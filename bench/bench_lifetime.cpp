@@ -1,0 +1,104 @@
+// Experiment E12 (extension) — network lifetime under reporting load.
+//
+// The paper's opening argument rests on "low cost, low power" devices
+// (its first reference is "Upper Bounds on the Lifetime of Sensor
+// Networks"), and its actuation path exists largely so consumers can
+// *slow sensors down* when fidelity is not needed. This bench closes
+// that loop quantitatively: identical fields run at different sampling
+// intervals and payload sizes, and we report when batteries start dying
+// and when half the field is dead. The shape to expect: lifetime scales
+// ~linearly with the interval and inversely with bytes-per-message —
+// which is exactly the leverage a Resource-Manager-mediated slowdown
+// (E8) gives a deployment.
+#include <benchmark/benchmark.h>
+
+#include "garnet/runtime.hpp"
+
+namespace garnet::bench {
+namespace {
+
+using util::Duration;
+
+struct LifetimeOutcome {
+  double first_death_s = 0;
+  double half_dead_s = 0;
+  double messages_total = 0;
+};
+
+constexpr std::size_t kSensors = 10;
+
+LifetimeOutcome run_field(std::uint32_t interval_ms, std::size_t payload_bytes,
+                          std::uint64_t seed) {
+  Runtime::Config config;
+  config.field.area = {{0, 0}, {400, 400}};
+  config.field.seed = seed;
+  config.field.radio.base_loss = 0.0;
+  config.field.radio.edge_loss = 0.0;
+  Runtime runtime(config);
+  runtime.deploy_receivers(4, 350);
+
+  for (core::SensorId id = 1; id <= kSensors; ++id) {
+    wireless::SensorNode::Config sensor;
+    sensor.id = id;
+    sensor.battery_joules = 2.0;  // small cell: dies within the run
+    sensor.tx_cost_joules_per_byte = 50e-6;
+    wireless::StreamSpec spec;
+    spec.interval_ms = interval_ms;
+    spec.constraints.max_payload = 0xFFFF;
+    spec.generate = [payload_bytes](util::SimTime, util::Rng&) {
+      return util::Bytes(payload_bytes);
+    };
+    sensor.streams.push_back(spec);
+    runtime.deploy_sensor(std::move(sensor),
+                          std::make_unique<sim::StaticMobility>(
+                              sim::Vec2{40.0 * static_cast<double>(id), 200.0}));
+  }
+
+  runtime.start_sensors();
+
+  LifetimeOutcome outcome;
+  const double step_s = 60.0;
+  for (int step = 1; step <= 24 * 60; ++step) {  // up to one virtual day
+    runtime.run_for(Duration::seconds(static_cast<std::int64_t>(step_s)));
+    std::size_t dead = 0;
+    for (std::size_t i = 0; i < runtime.field().sensor_count(); ++i) {
+      if (!runtime.field().sensor_at(i).alive()) ++dead;
+    }
+    if (dead >= 1 && outcome.first_death_s == 0) {
+      outcome.first_death_s = runtime.scheduler().now().to_seconds();
+    }
+    if (dead >= kSensors / 2) {
+      outcome.half_dead_s = runtime.scheduler().now().to_seconds();
+      break;
+    }
+  }
+  for (std::size_t i = 0; i < runtime.field().sensor_count(); ++i) {
+    outcome.messages_total +=
+        static_cast<double>(runtime.field().sensor_at(i).messages_sent());
+  }
+  return outcome;
+}
+
+/// Args: sampling interval ms, payload bytes.
+void BM_NetworkLifetime(benchmark::State& state) {
+  const auto interval_ms = static_cast<std::uint32_t>(state.range(0));
+  const auto payload = static_cast<std::size_t>(state.range(1));
+
+  LifetimeOutcome outcome;
+  for (auto _ : state) {
+    outcome = run_field(interval_ms, payload, 11);
+    benchmark::DoNotOptimize(&outcome);
+  }
+  state.counters["first_death_s"] = outcome.first_death_s;
+  state.counters["half_dead_s"] = outcome.half_dead_s;
+  state.counters["messages_before_half_dead"] = outcome.messages_total;
+}
+BENCHMARK(BM_NetworkLifetime)
+    ->ArgsProduct({{250, 1000, 4000}, {8, 64, 256}})
+    ->ArgNames({"interval_ms", "payload"})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace garnet::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,103 @@
+// Substrate costs underneath every experiment: the discrete-event
+// scheduler, the fixed-network bus, and the RPC layer. These bound what
+// the middleware numbers in E3/E9 can possibly be, and make regressions
+// in the foundations visible independently of the services.
+#include <benchmark/benchmark.h>
+
+#include "net/rpc.hpp"
+#include "sim/scheduler.hpp"
+#include "util/rng.hpp"
+
+namespace garnet::bench {
+namespace {
+
+using util::Duration;
+
+void BM_SchedulerScheduleRun(benchmark::State& state) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  sim::Scheduler scheduler;
+  util::Rng rng(1);
+  std::uint64_t counter = 0;
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < batch; ++i) {
+      scheduler.schedule_after(Duration::micros(static_cast<std::int64_t>(rng.below(1000))),
+                               [&counter] { ++counter; });
+    }
+    scheduler.run();
+  }
+  benchmark::DoNotOptimize(counter);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * batch));
+}
+BENCHMARK(BM_SchedulerScheduleRun)->Arg(16)->Arg(256)->Arg(4096)->ArgName("batch");
+
+void BM_SchedulerCancel(benchmark::State& state) {
+  sim::Scheduler scheduler;
+  for (auto _ : state) {
+    const sim::EventId id = scheduler.schedule_after(Duration::seconds(100), [] {});
+    benchmark::DoNotOptimize(scheduler.cancel(id));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SchedulerCancel);
+
+void BM_BusPostDeliver(benchmark::State& state) {
+  const auto payload_size = static_cast<std::size_t>(state.range(0));
+  sim::Scheduler scheduler;
+  net::MessageBus bus(scheduler, {});
+  std::uint64_t delivered = 0;
+  const net::Address sink =
+      bus.add_endpoint("sink", [&delivered](net::Envelope) { ++delivered; });
+  const util::Bytes payload(payload_size);
+
+  for (auto _ : state) {
+    bus.post(sink, sink, net::MessageType::kAppBase, payload);
+    scheduler.run();
+  }
+  benchmark::DoNotOptimize(delivered);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * payload_size));
+}
+BENCHMARK(BM_BusPostDeliver)->Arg(16)->Arg(256)->Arg(4096)->ArgName("payload");
+
+void BM_RpcRoundTrip(benchmark::State& state) {
+  sim::Scheduler scheduler;
+  net::MessageBus bus(scheduler, {});
+  net::RpcNode server(bus, "server");
+  net::RpcNode client(bus, "client");
+  server.expose(1, [](net::Address, util::BytesView args) -> net::RpcResult {
+    return util::Bytes(args.begin(), args.end());
+  });
+  const util::Bytes args(32);
+
+  std::uint64_t completed = 0;
+  for (auto _ : state) {
+    client.call(server.address(), 1, args, [&completed](net::RpcResult) { ++completed; });
+    scheduler.run();
+  }
+  benchmark::DoNotOptimize(completed);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_RpcRoundTrip);
+
+void BM_RpcConcurrentCalls(benchmark::State& state) {
+  const auto in_flight = static_cast<std::size_t>(state.range(0));
+  sim::Scheduler scheduler;
+  net::MessageBus bus(scheduler, {});
+  net::RpcNode server(bus, "server");
+  net::RpcNode client(bus, "client");
+  server.expose(1, [](net::Address, util::BytesView) -> net::RpcResult { return util::Bytes{}; });
+
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < in_flight; ++i) {
+      client.call(server.address(), 1, {}, [](net::RpcResult) {});
+    }
+    scheduler.run();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * in_flight));
+}
+BENCHMARK(BM_RpcConcurrentCalls)->Arg(1)->Arg(16)->Arg(256)->ArgName("in_flight");
+
+}  // namespace
+}  // namespace garnet::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,34 @@
+// Shared helpers for the Garnet experiment benches.
+//
+// Conventions (see EXPERIMENTS.md):
+//  * wall-clock rates (items_per_second) measure the middleware code;
+//  * domain outcomes (duplicate ratios, activations, virtual-time
+//    latencies) are exposed as benchmark counters, so each bench's
+//    output is the experiment's table.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include "core/message.hpp"
+#include "util/rng.hpp"
+
+namespace garnet::bench {
+
+/// Deterministic random payload of `size` bytes.
+inline util::Bytes random_payload(util::Rng& rng, std::size_t size) {
+  util::Bytes payload(size);
+  for (auto& b : payload) b = static_cast<std::byte>(rng.next());
+  return payload;
+}
+
+/// A plausible data message for codec/pipeline benches.
+inline core::DataMessage make_message(util::Rng& rng, std::size_t payload_size) {
+  core::DataMessage msg;
+  msg.stream_id.sensor = static_cast<core::SensorId>(rng.below(core::kMaxSensorId + 1));
+  msg.stream_id.stream = static_cast<core::InternalStreamId>(rng.below(256));
+  msg.sequence = static_cast<core::SequenceNo>(rng.below(65536));
+  msg.payload = random_payload(rng, payload_size);
+  return msg;
+}
+
+}  // namespace garnet::bench

@@ -1,0 +1,108 @@
+// Resilient archive: service replication + stream recording, composed
+// from the library à la carte (no Runtime facade).
+//
+// The paper presumes "service-level parallelism and replication ... for
+// efficiency, data-integrity, and fault-tolerance" (§3). This example
+// builds the pipeline by hand with a replicated Filtering Service (hot
+// standby), kills the primary mid-run, and shows that:
+//
+//   * the detection window is the only data loss,
+//   * the exactly-once property survives the failover (no duplicate
+//     deliveries after promotion), and
+//   * an archive recorded through the outage replays cleanly as a
+//     derived stream afterwards.
+#include <cstdio>
+#include <set>
+
+#include "core/recorder.hpp"
+#include "garnet/failover.hpp"
+#include "garnet/runtime.hpp"
+
+using namespace garnet;
+using util::Duration;
+
+int main() {
+  // --- hand-built stack -----------------------------------------------------
+  sim::Scheduler scheduler;
+  net::MessageBus bus(scheduler, {});
+  core::AuthService auth({});
+  core::StreamCatalog catalog;
+  core::DispatchingService dispatch(bus, auth, catalog);
+
+  wireless::SensorField::Config field_config;
+  field_config.area = {{0, 0}, {400, 400}};
+  field_config.radio.base_loss = 0.0;
+  field_config.radio.edge_loss = 0.0;
+  wireless::SensorField field(scheduler, field_config);
+  field.add_receiver_grid(4, 300);
+
+  FilteringFailover::Config failover_config;
+  failover_config.mode = FilteringFailover::Mode::kHot;
+  failover_config.heartbeat_interval = Duration::millis(100);
+  failover_config.miss_threshold = 3;
+  FilteringFailover filtering(scheduler, failover_config);
+
+  field.medium().set_uplink_sink(
+      [&](const wireless::ReceptionReport& report) { filtering.ingest(report); });
+  filtering.set_message_sink([&](const core::DataMessage& message, util::SimTime heard) {
+    dispatch.on_filtered(message, heard);
+  });
+
+  wireless::SensorField::PopulationSpec population;
+  population.count = 4;
+  population.interval_ms = 100;
+  field.add_population(population);
+
+  // --- archiving consumer ----------------------------------------------------
+  core::Consumer archiver(bus, "consumer.archiver");
+  archiver.set_identity(auth.register_consumer("archiver", archiver.address()).value());
+  std::set<std::pair<std::uint32_t, core::SequenceNo>> seen;
+  std::uint64_t duplicates = 0;
+  archiver.set_data_handler([&](const core::Delivery& delivery) {
+    if (!seen.insert({delivery.message.stream_id.packed(), delivery.message.sequence}).second) {
+      ++duplicates;
+    }
+  });
+  core::StreamRecorder recorder(archiver);
+  archiver.subscribe(core::StreamPattern::everything());
+  scheduler.run_for(Duration::millis(20));
+
+  // --- run, crash, keep running ----------------------------------------------
+  field.start_all();
+  scheduler.run_for(Duration::seconds(10));
+  const std::uint64_t before_crash = archiver.received();
+  std::printf("10s of healthy operation: %llu messages archived\n",
+              static_cast<unsigned long long>(before_crash));
+
+  filtering.kill_primary();
+  scheduler.run_for(Duration::seconds(10));
+  std::printf("primary filtering replica killed at t=10s\n");
+  std::printf("  detection latency: %.0fms, frames lost in window: %llu\n",
+              filtering.stats().last_detection_latency.to_millis(),
+              static_cast<unsigned long long>(filtering.stats().lost_in_window));
+  std::printf("  messages after failover: %llu (duplicates leaked: %llu)\n",
+              static_cast<unsigned long long>(archiver.received() - before_crash),
+              static_cast<unsigned long long>(duplicates));
+  field.stop_all();
+  scheduler.run_for(Duration::seconds(1));
+
+  // --- replay the archive ------------------------------------------------------
+  const core::StreamId archive_stream = catalog.allocate_derived();
+  catalog.advertise(archive_stream, "archive.replay", "replay", true);
+
+  core::Consumer analyst(bus, "consumer.analyst");
+  analyst.set_identity(auth.register_consumer("analyst", analyst.address()).value());
+  std::uint64_t replayed = 0;
+  analyst.set_data_handler([&](const core::Delivery&) { ++replayed; });
+  analyst.subscribe(core::StreamPattern::exact(archive_stream));
+  scheduler.run_for(Duration::millis(20));
+
+  const auto recording = std::move(recorder).take();
+  core::replay_as_stream(scheduler, recording, archiver, archive_stream, /*speed=*/20.0);
+  scheduler.run_for(Duration::seconds(5));
+
+  std::printf("archive of %zu messages (%.1fs span) replayed at 20x: analyst received %llu\n",
+              recording.size(), recording.span().to_seconds(),
+              static_cast<unsigned long long>(replayed));
+  return duplicates == 0 && replayed == recording.size() ? 0 : 1;
+}

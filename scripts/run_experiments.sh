@@ -1,0 +1,22 @@
+#!/usr/bin/env sh
+# Regenerates every experiment in EXPERIMENTS.md.
+#
+# Usage: scripts/run_experiments.sh [build-dir] [extra google-benchmark args]
+# e.g.   scripts/run_experiments.sh build --benchmark_min_time=0.05
+set -eu
+
+BUILD_DIR="${1:-build}"
+shift 2>/dev/null || true
+
+if [ ! -d "$BUILD_DIR/bench" ]; then
+  echo "error: '$BUILD_DIR/bench' not found; build first:" >&2
+  echo "  cmake -B $BUILD_DIR -G Ninja && cmake --build $BUILD_DIR" >&2
+  exit 1
+fi
+
+for bench in "$BUILD_DIR"/bench/bench_*; do
+  [ -x "$bench" ] || continue
+  echo "==== $(basename "$bench") ===="
+  "$bench" "$@"
+  echo
+done

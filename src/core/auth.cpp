@@ -1,0 +1,60 @@
+#include "core/auth.hpp"
+
+namespace garnet::core {
+
+std::string_view to_string(TrustLevel t) {
+  switch (t) {
+    case TrustLevel::kUntrusted: return "untrusted";
+    case TrustLevel::kStandard: return "standard";
+    case TrustLevel::kTrusted: return "trusted";
+  }
+  return "unknown";
+}
+
+AuthService::AuthService(Config config)
+    : config_(config), secret_(crypto::sipkey_from_seed(config.secret_seed)) {}
+
+void AuthService::grant_trust(const std::string& name, TrustLevel trust) {
+  trust_grants_[name] = trust;
+}
+
+util::Result<ConsumerIdentity, AuthError> AuthService::register_consumer(const std::string& name,
+                                                                         net::Address address,
+                                                                         std::uint8_t priority) {
+  if (by_name_.contains(name)) return util::Err{AuthError::kNameTaken};
+
+  ConsumerIdentity identity;
+  identity.id = next_id_++;
+  identity.name = name;
+  identity.address = address;
+  identity.priority = priority;
+  const auto grant = trust_grants_.find(name);
+  identity.trust = grant == trust_grants_.end() ? config_.default_trust : grant->second;
+
+  // Token is a MAC over the identity under the service secret: holders
+  // cannot forge tokens for other identities.
+  util::ByteWriter w(name.size() + 8);
+  w.u32(identity.id);
+  w.str(name);
+  identity.token = crypto::siphash24(secret_, w.view());
+
+  by_token_.emplace(identity.token, identity);
+  by_name_.emplace(name, identity.token);
+  return identity;
+}
+
+std::optional<ConsumerIdentity> AuthService::verify(ConsumerToken token) const {
+  const auto it = by_token_.find(token);
+  if (it == by_token_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool AuthService::revoke(ConsumerToken token) {
+  const auto it = by_token_.find(token);
+  if (it == by_token_.end()) return false;
+  by_name_.erase(it->second.name);
+  by_token_.erase(it);
+  return true;
+}
+
+}  // namespace garnet::core

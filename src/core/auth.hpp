@@ -1,0 +1,83 @@
+// Consumer registration and authentication.
+//
+// Paper §3 presumes "registration, authentication" among the typical
+// mechanisms; §9 additionally calls for "support for trusted applications
+// to provide advance warning of changing needs and override sensor
+// management policies". This service registers consumer identities,
+// issues MAC tokens (SipHash under a service secret), and records each
+// consumer's trust level, which the Resource Manager and Super
+// Coordinator consult:
+//
+//   kUntrusted — may subscribe to data only;
+//   kStandard  — may also issue actuation requests;
+//   kTrusted   — may additionally override conflict policy and feed the
+//                Super Coordinator with advance state information.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "crypto/siphash.hpp"
+#include "net/bus.hpp"
+#include "util/result.hpp"
+
+namespace garnet::core {
+
+enum class TrustLevel : std::uint8_t { kUntrusted = 0, kStandard = 1, kTrusted = 2 };
+
+[[nodiscard]] std::string_view to_string(TrustLevel t);
+
+using ConsumerToken = std::uint64_t;
+
+struct ConsumerIdentity {
+  std::uint32_t id = 0;
+  std::string name;
+  TrustLevel trust = TrustLevel::kStandard;
+  net::Address address;  ///< Bus endpoint for deliveries to this consumer.
+  ConsumerToken token = 0;
+  std::uint8_t priority = 100;  ///< Conflict-resolution rank, higher wins.
+};
+
+enum class AuthError : std::uint8_t {
+  kNameTaken,
+  kUnknownToken,
+};
+
+class AuthService {
+ public:
+  struct Config {
+    std::uint64_t secret_seed = 0x6172'6E65'7453'6563ull;
+    TrustLevel default_trust = TrustLevel::kStandard;
+  };
+
+  explicit AuthService(Config config);
+
+  /// Pre-authorises `name` at a trust level (deployment-time policy);
+  /// applied when that consumer registers.
+  void grant_trust(const std::string& name, TrustLevel trust);
+
+  /// Registers a consumer and issues its token.
+  util::Result<ConsumerIdentity, AuthError> register_consumer(const std::string& name,
+                                                              net::Address address,
+                                                              std::uint8_t priority = 100);
+
+  /// Verifies a token; nullopt when unknown/revoked.
+  [[nodiscard]] std::optional<ConsumerIdentity> verify(ConsumerToken token) const;
+
+  /// Revokes a consumer's token. Returns false if unknown.
+  bool revoke(ConsumerToken token);
+
+  [[nodiscard]] std::size_t consumer_count() const noexcept { return by_token_.size(); }
+
+ private:
+  Config config_;
+  crypto::SipKey secret_;
+  std::unordered_map<ConsumerToken, ConsumerIdentity> by_token_;
+  std::unordered_map<std::string, TrustLevel> trust_grants_;
+  std::unordered_map<std::string, ConsumerToken> by_name_;
+  std::uint32_t next_id_ = 1;
+};
+
+}  // namespace garnet::core

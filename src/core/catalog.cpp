@@ -1,0 +1,57 @@
+#include "core/catalog.hpp"
+
+#include <cassert>
+
+namespace garnet::core {
+
+void StreamCatalog::advertise(StreamId id, std::string name, std::string stream_class,
+                              bool derived) {
+  StreamInfo& info = streams_[id];
+  info.id = id;
+  info.name = std::move(name);
+  info.stream_class = std::move(stream_class);
+  info.advertised = true;
+  info.derived = derived;
+}
+
+void StreamCatalog::note_message(StreamId id, util::SimTime now) {
+  auto [it, inserted] = streams_.try_emplace(id);
+  StreamInfo& info = it->second;
+  if (inserted) {
+    info.id = id;
+    info.first_seen = now;
+    info.derived = id.sensor >= kDerivedSensorBase;
+  }
+  info.last_seen = now;
+  ++info.messages;
+}
+
+const StreamInfo* StreamCatalog::find(StreamId id) const {
+  const auto it = streams_.find(id);
+  return it == streams_.end() ? nullptr : &it->second;
+}
+
+std::vector<StreamInfo> StreamCatalog::discover(const Query& query) const {
+  std::vector<StreamInfo> out;
+  for (const auto& [id, info] : streams_) {
+    if (query.sensor && *query.sensor != id.sensor) continue;
+    if (!query.stream_class.empty() && query.stream_class != info.stream_class) continue;
+    if (!query.include_unadvertised && !info.advertised) continue;
+    out.push_back(info);
+  }
+  return out;
+}
+
+StreamId StreamCatalog::allocate_derived() {
+  const StreamId id{next_derived_sensor_, next_derived_stream_};
+  assert(next_derived_sensor_ <= kMaxSensorId && "derived stream id space exhausted");
+  if (next_derived_stream_ == 0xFF) {
+    next_derived_stream_ = 0;
+    ++next_derived_sensor_;
+  } else {
+    ++next_derived_stream_;
+  }
+  return id;
+}
+
+}  // namespace garnet::core

@@ -1,0 +1,67 @@
+// Stream catalog: advertising and discovery.
+//
+// Consumers "use typical advertising, discovery, registration ...
+// mechanisms to identify, subscribe to, and receive data streams of
+// interest" (paper §3). The catalog records advertised streams, detects
+// streams that appear on the air without advertisement (the un-configured
+// streams the Orphanage exists for), and allocates StreamIds for derived
+// streams published by multi-level consumers.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/message.hpp"
+#include "util/time.hpp"
+
+namespace garnet::core {
+
+struct StreamInfo {
+  StreamId id;
+  std::string name;        ///< Human label, empty for auto-detected streams.
+  std::string stream_class;///< e.g. "temperature", "water-level", "location".
+  bool advertised = false; ///< Explicitly advertised vs detected on the air.
+  bool derived = false;    ///< Produced by a consumer, not a sensor.
+  util::SimTime first_seen;
+  util::SimTime last_seen;
+  std::uint64_t messages = 0;
+};
+
+/// Sensor ids at or above this value are reserved for derived streams
+/// (multi-level consumers re-publishing processed data, paper §4.2).
+inline constexpr SensorId kDerivedSensorBase = 0xF0'0000;
+
+class StreamCatalog {
+ public:
+  /// Explicitly advertises a stream (producer-side registration).
+  void advertise(StreamId id, std::string name, std::string stream_class, bool derived = false);
+
+  /// Records that a message on `id` was observed at `now`; auto-creates an
+  /// un-advertised entry for unknown streams so they become discoverable.
+  void note_message(StreamId id, util::SimTime now);
+
+  [[nodiscard]] const StreamInfo* find(StreamId id) const;
+
+  struct Query {
+    std::optional<SensorId> sensor;
+    std::string stream_class;  ///< Empty matches any class.
+    bool include_unadvertised = true;
+  };
+  [[nodiscard]] std::vector<StreamInfo> discover(const Query& query) const;
+
+  /// Allocates a fresh derived-stream id (paper: consumers "may generate
+  /// further derived data streams").
+  [[nodiscard]] StreamId allocate_derived();
+
+  [[nodiscard]] std::size_t size() const noexcept { return streams_.size(); }
+
+ private:
+  std::unordered_map<StreamId, StreamInfo> streams_;
+  SensorId next_derived_sensor_ = kDerivedSensorBase;
+  InternalStreamId next_derived_stream_ = 0;
+};
+
+}  // namespace garnet::core

@@ -1,0 +1,72 @@
+#include "core/catalog_service.hpp"
+
+namespace garnet::core {
+
+CatalogService::CatalogService(net::MessageBus& bus, AuthService& auth, StreamCatalog& catalog)
+    : auth_(auth), catalog_(catalog), node_(bus, kEndpointName) {
+  node_.expose(kAdvertise, [this](net::Address, util::BytesView args) -> net::RpcResult {
+    util::ByteReader r(args);
+    const ConsumerToken token = r.u64();
+    const StreamId id = StreamId::from_packed(r.u32());
+    const std::string name = r.str();
+    const std::string stream_class = r.str();
+    if (!r.ok() || !auth_.verify(token)) return util::Err{net::RpcError::kRemoteFailure};
+
+    catalog_.advertise(id, name, stream_class, id.sensor >= kDerivedSensorBase);
+    return util::Bytes{};
+  });
+
+  node_.expose(kDiscover, [this](net::Address, util::BytesView args) -> net::RpcResult {
+    util::ByteReader r(args);
+    StreamCatalog::Query query;
+    const std::uint32_t sensor = r.u32();
+    if (sensor != 0xFFFFFFFFu) query.sensor = sensor;
+    query.stream_class = r.str();
+    query.include_unadvertised = r.u8() != 0;
+    if (!r.ok()) return util::Err{net::RpcError::kRemoteFailure};
+
+    const std::vector<StreamInfo> found = catalog_.discover(query);
+    util::ByteWriter w;
+    w.u16(static_cast<std::uint16_t>(std::min<std::size_t>(found.size(), 0xFFFF)));
+    std::size_t emitted = 0;
+    for (const StreamInfo& info : found) {
+      if (emitted++ == 0xFFFF) break;
+      w.u32(info.id.packed());
+      w.u8(info.advertised ? 1 : 0);
+      w.u8(info.derived ? 1 : 0);
+      w.u64(info.messages);
+      w.str(info.name);
+      w.str(info.stream_class);
+    }
+    return std::move(w).take();
+  });
+
+  node_.expose(kAllocateDerived, [this](net::Address, util::BytesView args) -> net::RpcResult {
+    util::ByteReader r(args);
+    const ConsumerToken token = r.u64();
+    if (!r.ok() || !auth_.verify(token)) return util::Err{net::RpcError::kRemoteFailure};
+    util::ByteWriter w(4);
+    w.u32(catalog_.allocate_derived().packed());
+    return std::move(w).take();
+  });
+}
+
+std::vector<StreamInfo> decode_discover_reply(util::BytesView reply) {
+  util::ByteReader r(reply);
+  const std::uint16_t n = r.u16();
+  std::vector<StreamInfo> out;
+  out.reserve(n);
+  for (std::uint16_t i = 0; i < n && r.ok(); ++i) {
+    StreamInfo info;
+    info.id = StreamId::from_packed(r.u32());
+    info.advertised = r.u8() != 0;
+    info.derived = r.u8() != 0;
+    info.messages = r.u64();
+    info.name = r.str();
+    info.stream_class = r.str();
+    if (r.ok()) out.push_back(std::move(info));
+  }
+  return out;
+}
+
+}  // namespace garnet::core

@@ -1,0 +1,44 @@
+// Catalog service facade: advertising and discovery over the fixed
+// network (paper §3's "typical advertising, discovery ... mechanisms").
+//
+// StreamCatalog is the in-process table; this facade is the bus-visible
+// service consumers talk to, so discovery works without sharing memory
+// with the middleware — a consumer only needs the endpoint name and a
+// token.
+#pragma once
+
+#include "core/auth.hpp"
+#include "core/catalog.hpp"
+#include "net/rpc.hpp"
+
+namespace garnet::core {
+
+class CatalogService {
+ public:
+  enum Method : net::MethodId {
+    /// [u64 token][u32 packed stream][str name][str class] -> []
+    kAdvertise = 1,
+    /// [u32 sensor (0xFFFFFFFF=any)][str class (empty=any)][u8 include_unadvertised]
+    /// -> [u16 n] n x ([u32 packed id][u8 advertised][u8 derived][u64 messages]
+    ///              [str name][str class])
+    kDiscover = 2,
+    /// [u64 token] -> [u32 packed stream id]  (derived-stream allocation)
+    kAllocateDerived = 3,
+  };
+
+  static constexpr const char* kEndpointName = "garnet.catalog";
+
+  CatalogService(net::MessageBus& bus, AuthService& auth, StreamCatalog& catalog);
+
+  [[nodiscard]] net::Address address() const noexcept { return node_.address(); }
+
+ private:
+  AuthService& auth_;
+  StreamCatalog& catalog_;
+  net::RpcNode node_;
+};
+
+/// Client-side decode of one kDiscover reply.
+[[nodiscard]] std::vector<StreamInfo> decode_discover_reply(util::BytesView reply);
+
+}  // namespace garnet::core

@@ -1,0 +1,246 @@
+#include "core/constraints.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace garnet::core {
+
+std::string_view to_string(ConstraintField f) {
+  switch (f) {
+    case ConstraintField::kIntervalMs: return "interval_ms";
+    case ConstraintField::kPayloadBytes: return "payload_bytes";
+    case ConstraintField::kMode: return "mode";
+  }
+  return "?";
+}
+
+namespace {
+
+constexpr std::string_view op_text(std::uint8_t op) {
+  constexpr std::string_view kOps[] = {"<=", ">=", "<", ">", "==", "!="};
+  return kOps[op];
+}
+
+}  // namespace
+
+/// Hand-rolled recursive-descent parser over the constraint grammar.
+class ConstraintParser {
+ public:
+  explicit ConstraintParser(std::string_view text) : text_(text) {}
+
+  util::Result<ConstraintSet, ParseError> run() {
+    skip_ws();
+    while (!at_end()) {
+      if (auto err = parse_clause()) return util::Err{std::move(*err)};
+      skip_ws();
+      if (!at_end()) {
+        if (!consume(';')) return util::Err{error("expected ';' between clauses")};
+        skip_ws();
+      }
+    }
+    return std::move(set_);
+  }
+
+ private:
+  using CmpOp = std::uint8_t;  // indexes op_text's table
+
+  std::optional<ParseError> parse_clause() {
+    const auto field = parse_field();
+    if (!field) return error("expected a field name (interval_ms, payload_bytes, mode)");
+    skip_ws();
+
+    if (match_keyword("in")) {
+      skip_ws();
+      if (!consume('{')) return error("expected '{' after 'in'");
+      std::vector<std::uint32_t> allowed;
+      for (;;) {
+        skip_ws();
+        const auto value = parse_number(*field);
+        if (!value) return error("expected a number in membership set");
+        allowed.push_back(*value);
+        skip_ws();
+        if (consume(',')) continue;
+        if (consume('}')) break;
+        return error("expected ',' or '}' in membership set");
+      }
+      std::sort(allowed.begin(), allowed.end());
+      allowed.erase(std::unique(allowed.begin(), allowed.end()), allowed.end());
+      set_.members_.push_back({*field, std::move(allowed)});
+      return std::nullopt;
+    }
+
+    const auto op = parse_op();
+    if (!op) return error("expected a comparison operator or 'in'");
+    skip_ws();
+    const auto value = parse_number(*field);
+    if (!value) return error("expected a number");
+    set_.clauses_.push_back(
+        {*field, static_cast<ConstraintSet::CmpOp>(*op), *value});
+    return std::nullopt;
+  }
+
+  std::optional<ConstraintField> parse_field() {
+    if (match_keyword("interval_ms")) return ConstraintField::kIntervalMs;
+    if (match_keyword("payload_bytes")) return ConstraintField::kPayloadBytes;
+    if (match_keyword("mode")) return ConstraintField::kMode;
+    return std::nullopt;
+  }
+
+  std::optional<CmpOp> parse_op() {
+    for (CmpOp op = 0; op < 6; ++op) {
+      if (match_symbol(op_text(op))) return op;
+    }
+    return std::nullopt;
+  }
+
+  /// digits with an optional duration suffix ('s', 'min') on interval_ms.
+  std::optional<std::uint32_t> parse_number(ConstraintField field) {
+    if (at_end() || !is_digit(peek())) return std::nullopt;
+    std::uint64_t value = 0;
+    while (!at_end() && is_digit(peek())) {
+      value = value * 10 + static_cast<std::uint64_t>(peek() - '0');
+      if (value > 0xFFFFFFFFull) return std::nullopt;  // overflow
+      ++pos_;
+    }
+    if (field == ConstraintField::kIntervalMs) {
+      if (match_keyword("min")) {
+        value *= 60'000;
+      } else if (match_keyword("ms")) {
+        // canonical unit, no scaling
+      } else if (match_keyword("s")) {
+        value *= 1'000;
+      }
+      if (value > 0xFFFFFFFFull) return std::nullopt;
+    }
+    return static_cast<std::uint32_t>(value);
+  }
+
+  // --- lexing helpers -------------------------------------------------------
+
+  static bool is_digit(char c) { return c >= '0' && c <= '9'; }
+  static bool is_ident(char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' || is_digit(c);
+  }
+
+  [[nodiscard]] bool at_end() const { return pos_ >= text_.size(); }
+  [[nodiscard]] char peek() const { return text_[pos_]; }
+
+  void skip_ws() {
+    while (!at_end()) {
+      const char c = peek();
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos_;
+      } else if (c == '#') {  // comment to end of line
+        while (!at_end() && peek() != '\n') ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool consume(char c) {
+    if (at_end() || peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  /// Matches an identifier-like keyword with a word boundary after it.
+  bool match_keyword(std::string_view word) {
+    if (text_.substr(pos_).substr(0, word.size()) != word) return false;
+    const std::size_t after = pos_ + word.size();
+    if (after < text_.size() && is_ident(text_[after])) return false;
+    pos_ = after;
+    return true;
+  }
+
+  /// Matches punctuation exactly (no word-boundary rule).
+  bool match_symbol(std::string_view sym) {
+    if (text_.substr(pos_).substr(0, sym.size()) != sym) return false;
+    pos_ += sym.size();
+    return true;
+  }
+
+  [[nodiscard]] ParseError error(std::string message) const { return {pos_, std::move(message)}; }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  ConstraintSet set_;
+};
+
+util::Result<ConstraintSet, ParseError> ConstraintSet::parse(std::string_view text) {
+  return ConstraintParser(text).run();
+}
+
+bool ConstraintSet::allows(ConstraintField field, std::uint32_t value) const {
+  for (const CmpClause& clause : clauses_) {
+    if (clause.field != field) continue;
+    switch (clause.op) {
+      case CmpOp::kLe: if (!(value <= clause.value)) return false; break;
+      case CmpOp::kGe: if (!(value >= clause.value)) return false; break;
+      case CmpOp::kLt: if (!(value < clause.value)) return false; break;
+      case CmpOp::kGt: if (!(value > clause.value)) return false; break;
+      case CmpOp::kEq: if (!(value == clause.value)) return false; break;
+      case CmpOp::kNe: if (!(value != clause.value)) return false; break;
+    }
+  }
+  for (const MemberClause& clause : members_) {
+    if (clause.field != field) continue;
+    if (!std::binary_search(clause.allowed.begin(), clause.allowed.end(), value)) return false;
+  }
+  return true;
+}
+
+ConstraintSet::Bounds ConstraintSet::bounds(ConstraintField field) const {
+  Bounds b;
+  for (const CmpClause& clause : clauses_) {
+    if (clause.field != field) continue;
+    switch (clause.op) {
+      case CmpOp::kLe: b.hi = std::min(b.hi, clause.value); break;
+      case CmpOp::kGe: b.lo = std::max(b.lo, clause.value); break;
+      case CmpOp::kLt:
+        if (clause.value > 0) b.hi = std::min(b.hi, clause.value - 1);
+        else b.hi = 0;  // x < 0 is unsatisfiable for unsigned; collapse
+        break;
+      case CmpOp::kGt:
+        b.lo = clause.value == 0xFFFFFFFFu ? 0xFFFFFFFFu : std::max(b.lo, clause.value + 1);
+        break;
+      case CmpOp::kEq:
+        b.lo = std::max(b.lo, clause.value);
+        b.hi = std::min(b.hi, clause.value);
+        break;
+      case CmpOp::kNe: break;  // does not shape the envelope
+    }
+  }
+  return b;
+}
+
+std::uint32_t ConstraintSet::clamp(ConstraintField field, std::uint32_t value) const {
+  const Bounds b = bounds(field);
+  if (b.lo > b.hi) return value;  // contradictory set: nothing sensible to do
+  return std::clamp(value, b.lo, b.hi);
+}
+
+std::string ConstraintSet::to_string() const {
+  std::string out;
+  const auto append = [&out](std::string piece) {
+    if (!out.empty()) out += "; ";
+    out += piece;
+  };
+  for (const CmpClause& clause : clauses_) {
+    append(std::string(core::to_string(clause.field)) + ' ' +
+           std::string(op_text(static_cast<std::uint8_t>(clause.op))) + ' ' +
+           std::to_string(clause.value));
+  }
+  for (const MemberClause& clause : members_) {
+    std::string piece = std::string(core::to_string(clause.field)) + " in {";
+    for (std::size_t i = 0; i < clause.allowed.size(); ++i) {
+      if (i) piece += ", ";
+      piece += std::to_string(clause.allowed[i]);
+    }
+    piece += '}';
+    append(std::move(piece));
+  }
+  return out;
+}
+
+}  // namespace garnet::core

@@ -1,0 +1,97 @@
+// Codified sensor constraints — the paper's §8 extension:
+//
+//   "Codification of sensor constraints via the development of an
+//    expressive language. This would facilitate the operation of the
+//    resource manager in automatically enforcing such limits."
+//
+// A constraint text is a semicolon-separated conjunction of clauses over
+// the actuatable properties of one sensor stream:
+//
+//   interval_ms >= 100; interval_ms <= 60000;
+//   payload_bytes <= 64;
+//   mode in {0, 1, 4};          # standby, continuous, burst
+//   interval_ms != 1000         # resonance with the pump controller
+//
+// Grammar (whitespace-insensitive, '#' comments to end of line):
+//
+//   constraints := clause (';' clause)* [';']
+//   clause      := field cmp number | field 'in' '{' number (',' number)* '}'
+//   field       := 'interval_ms' | 'payload_bytes' | 'mode'
+//   cmp         := '<=' | '>=' | '<' | '>' | '==' | '!='
+//   number      := digits, optionally suffixed 's' or 'min' (interval only)
+//
+// The Resource Manager consults the compiled ConstraintSet during
+// admission: range clauses clamp, membership and inequality clauses veto.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.hpp"
+
+namespace garnet::core {
+
+enum class ConstraintField : std::uint8_t { kIntervalMs, kPayloadBytes, kMode };
+
+[[nodiscard]] std::string_view to_string(ConstraintField f);
+
+struct ParseError {
+  std::size_t offset = 0;   ///< Byte offset into the constraint text.
+  std::string message;
+};
+
+/// Compiled conjunction of constraint clauses for one sensor stream.
+class ConstraintSet {
+ public:
+  /// Compiles constraint text; returns the first error with its offset.
+  [[nodiscard]] static util::Result<ConstraintSet, ParseError> parse(std::string_view text);
+
+  /// An empty set allows everything.
+  ConstraintSet() = default;
+
+  /// True if `value` satisfies every clause on `field`.
+  [[nodiscard]] bool allows(ConstraintField field, std::uint32_t value) const;
+
+  /// Nearest admissible value for a *range-constrained* field: clamps to
+  /// the [lower, upper] envelope implied by <=, >=, <, > and == clauses.
+  /// Membership and != clauses do not clamp (use allows() to veto).
+  [[nodiscard]] std::uint32_t clamp(ConstraintField field, std::uint32_t value) const;
+
+  /// The inclusive range envelope for a field (defaults: [0, UINT32_MAX]).
+  struct Bounds {
+    std::uint32_t lo = 0;
+    std::uint32_t hi = 0xFFFFFFFFu;
+  };
+  [[nodiscard]] Bounds bounds(ConstraintField field) const;
+
+  /// Canonical re-rendering of the compiled set (for diagnostics).
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] bool empty() const noexcept { return clauses_.empty() && members_.empty(); }
+  [[nodiscard]] std::size_t clause_count() const noexcept {
+    return clauses_.size() + members_.size();
+  }
+
+ private:
+  enum class CmpOp : std::uint8_t { kLe, kGe, kLt, kGt, kEq, kNe };
+
+  struct CmpClause {
+    ConstraintField field;
+    CmpOp op;
+    std::uint32_t value;
+  };
+  struct MemberClause {
+    ConstraintField field;
+    std::vector<std::uint32_t> allowed;  // sorted
+  };
+
+  friend class ConstraintParser;
+
+  std::vector<CmpClause> clauses_;
+  std::vector<MemberClause> members_;
+};
+
+}  // namespace garnet::core

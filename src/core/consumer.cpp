@@ -1,0 +1,146 @@
+#include "core/consumer.hpp"
+
+#include <cassert>
+
+#include "core/catalog_service.hpp"
+#include "core/coordinator.hpp"
+#include "core/location.hpp"
+
+namespace garnet::core {
+
+Consumer::Consumer(net::MessageBus& bus, std::string endpoint_name)
+    : bus_(bus),
+      node_(bus, std::move(endpoint_name), [this](net::Envelope e) { on_envelope(std::move(e)); }) {}
+
+net::Address Consumer::resolve(const char* name) {
+  const auto address = bus_.lookup(name);
+  assert(address && "middleware service endpoint not found on bus");
+  return *address;
+}
+
+void Consumer::on_envelope(net::Envelope envelope) {
+  if (envelope.type != kDataDelivery) return;
+  const auto decoded = decode_delivery(envelope.payload);
+  if (!decoded.ok()) return;
+  ++received_;
+  delivery_latency_.add(bus_.now() - decoded.value().first_heard);
+  if (data_handler_) data_handler_(decoded.value());
+}
+
+void Consumer::subscribe(StreamPattern pattern, SubscribeCallback on_done) {
+  subscribe(pattern, SubscribeOptions{}, std::move(on_done));
+}
+
+void Consumer::subscribe(StreamPattern pattern, SubscribeOptions qos, SubscribeCallback on_done) {
+  util::ByteWriter w(24);
+  w.u64(identity_.token);
+  w.u64(pattern.packed());
+  w.u32(qos.min_interval_ms);
+  w.u32(qos.max_age_ms);
+  node_.call(resolve(DispatchingService::kEndpointName), DispatchingService::kSubscribe,
+             std::move(w).take(), [on_done = std::move(on_done)](net::RpcResult result) {
+               if (!on_done) return;
+               if (!result.ok()) {
+                 on_done(util::Err{result.error()});
+                 return;
+               }
+               util::ByteReader r(result.value());
+               on_done(SubscriptionId{r.u64()});
+             });
+}
+
+void Consumer::unsubscribe(SubscriptionId id) {
+  util::ByteWriter w(16);
+  w.u64(identity_.token);
+  w.u64(id);
+  node_.call(resolve(DispatchingService::kEndpointName), DispatchingService::kUnsubscribe,
+             std::move(w).take(), [](net::RpcResult) {});
+}
+
+void Consumer::publish_derived(StreamId id, util::Bytes payload, std::uint8_t extra_flags) {
+  assert(id.sensor >= kDerivedSensorBase && "derived streams use the reserved id range");
+  DataMessage message;
+  message.header.flags = extra_flags;
+  message.header.set(HeaderFlag::kDerived);
+  message.stream_id = id;
+  message.sequence = derived_sequences_[id.packed()]++;
+  message.payload = std::move(payload);
+  node_.post(resolve(DispatchingService::kEndpointName), kDerivedPublish, encode(message));
+}
+
+void Consumer::request_update(StreamId target, UpdateAction action, std::uint32_t value,
+                              UpdateCallback on_done) {
+  util::ByteWriter w(17);
+  w.u64(identity_.token);
+  w.u32(target.packed());
+  w.u8(static_cast<std::uint8_t>(action));
+  w.u32(value);
+  node_.call(resolve(ActuationService::kEndpointName), ActuationService::kRequestUpdate,
+             std::move(w).take(), [on_done = std::move(on_done)](net::RpcResult result) {
+               if (!on_done) return;
+               if (!result.ok()) {
+                 on_done(0, Admission::kDenied, 0);
+                 return;
+               }
+               util::ByteReader r(result.value());
+               const std::uint32_t request_id = r.u32();
+               const auto admission = static_cast<Admission>(r.u8());
+               const std::uint32_t effective = r.u32();
+               on_done(request_id, admission, effective);
+             });
+}
+
+void Consumer::report_state(std::uint32_t state) {
+  node_.post(resolve(SuperCoordinator::kEndpointName), kStateChange,
+             encode(StateChange{identity_.token, state}));
+}
+
+void Consumer::send_location_hint(const LocationHint& hint) {
+  util::ByteWriter w(8 + 27);
+  w.u64(identity_.token);
+  w.raw(encode(hint));
+  node_.post(resolve(LocationService::kEndpointName), kLocationHint, std::move(w).take());
+}
+
+void Consumer::discover(const DiscoveryQuery& query, DiscoverCallback on_done) {
+  util::ByteWriter w;
+  w.u32(query.sensor ? *query.sensor : 0xFFFFFFFFu);
+  w.str(query.stream_class);
+  w.u8(query.include_unadvertised ? 1 : 0);
+  node_.call(resolve(CatalogService::kEndpointName), CatalogService::kDiscover,
+             std::move(w).take(), [on_done = std::move(on_done)](net::RpcResult result) {
+               if (!on_done) return;
+               if (!result.ok()) {
+                 on_done({});
+                 return;
+               }
+               on_done(decode_discover_reply(result.value()));
+             });
+}
+
+void Consumer::advertise(StreamId id, const std::string& name, const std::string& stream_class) {
+  util::ByteWriter w;
+  w.u64(identity_.token);
+  w.u32(id.packed());
+  w.str(name);
+  w.str(stream_class);
+  node_.call(resolve(CatalogService::kEndpointName), CatalogService::kAdvertise,
+             std::move(w).take(), [](net::RpcResult) {});
+}
+
+void Consumer::allocate_derived_stream(AllocateCallback on_done) {
+  util::ByteWriter w(8);
+  w.u64(identity_.token);
+  node_.call(resolve(CatalogService::kEndpointName), CatalogService::kAllocateDerived,
+             std::move(w).take(), [on_done = std::move(on_done)](net::RpcResult result) {
+               if (!on_done) return;
+               if (!result.ok()) {
+                 on_done(util::Err{result.error()});
+                 return;
+               }
+               util::ByteReader r(result.value());
+               on_done(StreamId::from_packed(r.u32()));
+             });
+}
+
+}  // namespace garnet::core

@@ -1,0 +1,108 @@
+// Consumer-process library.
+//
+// The application-facing half of Garnet: a Consumer owns a bus endpoint,
+// subscribes to streams by pattern, receives deliveries, issues stream-
+// update requests down the actuation path, reports its state to the Super
+// Coordinator, supplies location hints, and can re-publish *derived*
+// streams — the multi-level consumption the paper highlights ("each layer
+// offers increasingly enhanced services to successive levels", §4.2).
+//
+// Consumers are mutually unaware: nothing here names another consumer,
+// and all mediation happens inside the middleware services.
+//
+// Identity provisioning (AuthService registration) happens out-of-band
+// through the Runtime facade, like an operator issuing credentials; the
+// consumer then presents its token on every privileged interaction.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "core/actuation.hpp"
+#include "core/auth.hpp"
+#include "core/catalog.hpp"
+#include "core/dispatch.hpp"
+#include "core/wire_types.hpp"
+#include "net/rpc.hpp"
+
+namespace garnet::core {
+
+class Consumer {
+ public:
+  /// `endpoint_name` must be unique on the bus (e.g. "consumer.flood-watch").
+  Consumer(net::MessageBus& bus, std::string endpoint_name);
+
+  /// Installs the credentials issued by the operator (Runtime facade).
+  void set_identity(const ConsumerIdentity& identity) { identity_ = identity; }
+  [[nodiscard]] const ConsumerIdentity& identity() const noexcept { return identity_; }
+  [[nodiscard]] net::Address address() const noexcept { return node_.address(); }
+
+  // --- data plane ---------------------------------------------------------
+
+  using DataHandler = std::function<void(const Delivery&)>;
+  void set_data_handler(DataHandler handler) { data_handler_ = std::move(handler); }
+  /// Current handler (utilities like StreamRecorder chain in front of it).
+  [[nodiscard]] const DataHandler& data_handler() const noexcept { return data_handler_; }
+
+  using SubscribeCallback = std::function<void(util::Result<SubscriptionId, net::RpcError>)>;
+  void subscribe(StreamPattern pattern, SubscribeCallback on_done = {});
+  /// Subscription with per-consumer QoS (rate cap / staleness bound).
+  void subscribe(StreamPattern pattern, SubscribeOptions qos, SubscribeCallback on_done = {});
+  void unsubscribe(SubscriptionId id);
+
+  /// Publishes one message on a derived stream this consumer owns. The
+  /// kDerived flag is set automatically; sequence numbers are managed per
+  /// stream id.
+  void publish_derived(StreamId id, util::Bytes payload, std::uint8_t extra_flags = 0);
+
+  // --- control plane ------------------------------------------------------
+
+  using UpdateCallback =
+      std::function<void(std::uint32_t request_id, Admission admission, std::uint32_t effective)>;
+  void request_update(StreamId target, UpdateAction action, std::uint32_t value,
+                      UpdateCallback on_done = {});
+
+  void report_state(std::uint32_t state);
+  void send_location_hint(const LocationHint& hint);
+
+  // --- discovery ------------------------------------------------------------
+
+  struct DiscoveryQuery {
+    std::optional<SensorId> sensor;
+    std::string stream_class;  ///< Empty matches any class.
+    bool include_unadvertised = true;
+  };
+  using DiscoverCallback = std::function<void(std::vector<StreamInfo>)>;
+  /// Remote catalog discovery; the callback receives matching streams
+  /// (empty on failure).
+  void discover(const DiscoveryQuery& query, DiscoverCallback on_done);
+
+  /// Advertises a stream this consumer produces (or curates).
+  void advertise(StreamId id, const std::string& name, const std::string& stream_class);
+
+  /// Allocates a fresh derived-stream id from the catalog.
+  using AllocateCallback = std::function<void(util::Result<StreamId, net::RpcError>)>;
+  void allocate_derived_stream(AllocateCallback on_done);
+
+  // --- introspection ------------------------------------------------------
+
+  [[nodiscard]] std::uint64_t received() const noexcept { return received_; }
+  /// Radio-ingress to consumer-delivery latency distribution.
+  [[nodiscard]] const util::Quantiles& delivery_latency() const noexcept {
+    return delivery_latency_;
+  }
+
+ private:
+  void on_envelope(net::Envelope envelope);
+  [[nodiscard]] net::Address resolve(const char* name);
+
+  net::MessageBus& bus_;
+  net::RpcNode node_;
+  ConsumerIdentity identity_;
+  DataHandler data_handler_;
+  std::unordered_map<std::uint32_t, SequenceNo> derived_sequences_;
+  std::uint64_t received_ = 0;
+  util::Quantiles delivery_latency_;
+};
+
+}  // namespace garnet::core

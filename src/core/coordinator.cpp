@@ -1,0 +1,109 @@
+#include "core/coordinator.hpp"
+
+#include "util/log.hpp"
+
+namespace garnet::core {
+
+SuperCoordinator::SuperCoordinator(net::MessageBus& bus, AuthService& auth,
+                                   ResourceManager& resource, Config config)
+    : bus_(bus),
+      auth_(auth),
+      resource_(resource),
+      config_(config),
+      node_(bus, kEndpointName, [this](net::Envelope e) { on_envelope(std::move(e)); }) {}
+
+void SuperCoordinator::add_rule(AnticipationRule rule) { rules_.push_back(std::move(rule)); }
+
+void SuperCoordinator::on_envelope(net::Envelope envelope) {
+  if (envelope.type != kStateChange) return;
+  const auto decoded = decode_state_change(envelope.payload);
+  if (!decoded.ok()) {
+    ++stats_.rejected_reports;
+    return;
+  }
+  report_state(decoded.value().consumer_token, decoded.value().state);
+}
+
+void SuperCoordinator::report_state(ConsumerToken token, std::uint32_t state) {
+  const auto identity = auth_.verify(token);
+  if (!identity || identity->trust < config_.min_trust) {
+    ++stats_.rejected_reports;
+    return;
+  }
+  ++stats_.reports;
+
+  auto [it, inserted] = view_.try_emplace(identity->id);
+  ConsumerView& consumer = it->second;
+  if (inserted) {
+    consumer.consumer_id = identity->id;
+    consumer.name = identity->name;
+    consumer.token = token;
+    consumer.state = state;
+    consumer.since = bus_.now();
+    consumer.changes = 1;
+  } else {
+    if (consumer.state != state) {
+      TransitionModel& model = models_[identity->id];
+      ++model.counts[{consumer.state, state}];
+      ++model.from_totals[consumer.state];
+    }
+    consumer.state = state;
+    consumer.since = bus_.now();
+    ++consumer.changes;
+  }
+
+  anticipate(consumer);
+
+  if (policy_hook_) {
+    if (const auto policy = policy_hook_(view_)) {
+      if (*policy != resource_.policy()) {
+        ++stats_.policy_changes;
+        resource_.set_policy(*policy);
+      }
+    }
+  }
+}
+
+void SuperCoordinator::anticipate(const ConsumerView& consumer) {
+  const auto model_it = models_.find(consumer.consumer_id);
+  if (model_it == models_.end()) return;
+  const TransitionModel& model = model_it->second;
+
+  const auto total_it = model.from_totals.find(consumer.state);
+  if (total_it == model.from_totals.end() || total_it->second == 0) return;
+
+  // Most likely successor of the state just entered.
+  std::uint32_t best_state = 0;
+  std::uint32_t best_count = 0;
+  for (const auto& [edge, count] : model.counts) {
+    if (edge.first != consumer.state) continue;
+    if (count > best_count) {
+      best_count = count;
+      best_state = edge.second;
+    }
+  }
+  if (best_count < config_.min_observations) return;
+  const double probability =
+      static_cast<double>(best_count) / static_cast<double>(total_it->second);
+  if (probability < config_.min_probability) return;
+
+  ++stats_.predictions;
+
+  for (const AnticipationRule& rule : rules_) {
+    if (rule.state != best_state) continue;
+    if (!rule.consumer_name.empty() && rule.consumer_name != consumer.name) continue;
+    ++stats_.prearms_issued;
+    util::log_debug("coordinator", "pre-arming %s: state %u likely (p=%.2f)",
+                    consumer.name.c_str(), best_state, probability);
+    resource_.prearm(consumer.token, rule.target, rule.action, rule.value);
+  }
+}
+
+std::map<std::pair<std::uint32_t, std::uint32_t>, std::uint32_t>
+SuperCoordinator::transition_counts(std::uint32_t consumer_id) const {
+  const auto it = models_.find(consumer_id);
+  if (it == models_.end()) return {};
+  return it->second.counts;
+}
+
+}  // namespace garnet::core

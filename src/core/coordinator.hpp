@@ -1,0 +1,120 @@
+// Super Coordinator (paper §4.2, §6).
+//
+// "Suitably sophisticated consumer processes may forward state-change
+// details to the Super Coordinator, which eventually amasses a global
+// view of these consumers. In response to (or in anticipation of) global
+// consumer states, the Super Coordinator may invoke policy changes in the
+// strategy used by the Resource Manager."
+//
+// The coordinator's value is *prediction* (§6.1): from observed state
+// transitions it learns a per-consumer first-order transition model; when
+// a consumer enters a state whose likely successor carries a registered
+// anticipation rule, the coordinator pre-arms the Resource Manager so the
+// actuation request the consumer is about to make skips the evaluation
+// latency. "This provides opportunities for user-defined policies to be
+// enacted, leading to a policy-driven middleware infrastructure" — both
+// the anticipation rules and the policy hook are user-supplied.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/auth.hpp"
+#include "core/resource.hpp"
+#include "core/wire_types.hpp"
+#include "net/rpc.hpp"
+
+namespace garnet::core {
+
+/// Coordinator's view of one reporting consumer.
+struct ConsumerView {
+  std::uint32_t consumer_id = 0;
+  std::string name;
+  ConsumerToken token = 0;
+  std::uint32_t state = 0;
+  util::SimTime since;
+  std::uint64_t changes = 0;
+};
+
+/// The "approximate overview of key consumers" (paper §6).
+using GlobalView = std::unordered_map<std::uint32_t, ConsumerView>;
+
+/// User-defined anticipation: when `consumer name` is predicted to enter
+/// `state`, pre-arm this actuation with the Resource Manager.
+struct AnticipationRule {
+  std::string consumer_name;  ///< Empty matches any consumer.
+  std::uint32_t state = 0;
+  StreamId target;
+  UpdateAction action = UpdateAction::kSetIntervalMs;
+  std::uint32_t value = 0;
+};
+
+struct CoordinatorStats {
+  std::uint64_t reports = 0;
+  std::uint64_t rejected_reports = 0;  ///< Bad token / untrusted.
+  std::uint64_t predictions = 0;       ///< Next-state predictions made.
+  std::uint64_t prearms_issued = 0;
+  std::uint64_t policy_changes = 0;
+};
+
+class SuperCoordinator {
+ public:
+  static constexpr const char* kEndpointName = "garnet.coordinator";
+
+  struct Config {
+    /// A transition needs this many observations before it predicts.
+    std::uint32_t min_observations = 3;
+    /// ...and this share of all departures from the source state.
+    double min_probability = 0.5;
+    /// Untrusted consumers may not feed the global view.
+    TrustLevel min_trust = TrustLevel::kStandard;
+  };
+
+  SuperCoordinator(net::MessageBus& bus, AuthService& auth, ResourceManager& resource,
+                   Config config);
+
+  /// Registers a user anticipation rule.
+  void add_rule(AnticipationRule rule);
+
+  /// Optional global policy hook: examined after every report; returning
+  /// a policy switches the Resource Manager's conflict strategy.
+  using PolicyHook = std::function<std::optional<ConflictPolicy>(const GlobalView&)>;
+  void set_policy_hook(PolicyHook hook) { policy_hook_ = std::move(hook); }
+
+  /// Direct-call report path (the bus fallback decodes into this).
+  void report_state(ConsumerToken token, std::uint32_t state);
+
+  [[nodiscard]] const GlobalView& view() const noexcept { return view_; }
+  [[nodiscard]] const CoordinatorStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] net::Address address() const noexcept { return node_.address(); }
+
+  /// Learned transition counts for one consumer (tests/diagnostics).
+  [[nodiscard]] std::map<std::pair<std::uint32_t, std::uint32_t>, std::uint32_t>
+  transition_counts(std::uint32_t consumer_id) const;
+
+ private:
+  struct TransitionModel {
+    // (from, to) -> count, plus per-from totals.
+    std::map<std::pair<std::uint32_t, std::uint32_t>, std::uint32_t> counts;
+    std::map<std::uint32_t, std::uint32_t> from_totals;
+  };
+
+  void on_envelope(net::Envelope envelope);
+  void anticipate(const ConsumerView& consumer);
+
+  net::MessageBus& bus_;
+  AuthService& auth_;
+  ResourceManager& resource_;
+  Config config_;
+  net::RpcNode node_;
+  GlobalView view_;
+  std::unordered_map<std::uint32_t, TransitionModel> models_;
+  std::vector<AnticipationRule> rules_;
+  PolicyHook policy_hook_;
+  CoordinatorStats stats_;
+};
+
+}  // namespace garnet::core

@@ -1,0 +1,102 @@
+#include "core/dispatch.hpp"
+
+#include "util/log.hpp"
+
+namespace garnet::core {
+
+DispatchingService::DispatchingService(net::MessageBus& bus, AuthService& auth,
+                                       StreamCatalog& catalog)
+    : bus_(bus),
+      auth_(auth),
+      catalog_(catalog),
+      node_(bus, kEndpointName, [this](net::Envelope e) { on_envelope(std::move(e)); }) {
+  node_.expose(kSubscribe, [this](net::Address, util::BytesView args) -> net::RpcResult {
+    util::ByteReader r(args);
+    const ConsumerToken token = r.u64();
+    const auto pattern = StreamPattern::from_packed(r.u64());
+    if (!r.ok()) return util::Err{net::RpcError::kRemoteFailure};
+
+    SubscribeOptions qos;
+    if (r.remaining() >= 8) {
+      qos.min_interval_ms = r.u32();
+      qos.max_age_ms = r.u32();
+    }
+
+    const auto identity = auth_.verify(token);
+    if (!identity) return util::Err{net::RpcError::kRemoteFailure};
+
+    const SubscriptionId id = subscribe(identity->address, pattern, qos);
+    util::ByteWriter w(8);
+    w.u64(id);
+    return std::move(w).take();
+  });
+
+  node_.expose(kUnsubscribe, [this](net::Address, util::BytesView args) -> net::RpcResult {
+    util::ByteReader r(args);
+    const ConsumerToken token = r.u64();
+    const SubscriptionId id = r.u64();
+    if (!r.ok() || !auth_.verify(token)) return util::Err{net::RpcError::kRemoteFailure};
+    if (!unsubscribe(id)) return util::Err{net::RpcError::kRemoteFailure};
+    return util::Bytes{};
+  });
+}
+
+void DispatchingService::on_filtered(const DataMessage& message, util::SimTime first_heard) {
+  ++stats_.messages_in;
+  deliver(message, first_heard);
+}
+
+SubscriptionId DispatchingService::subscribe(net::Address consumer, StreamPattern pattern,
+                                             SubscribeOptions qos) {
+  return table_.add(consumer, pattern, qos);
+}
+
+bool DispatchingService::unsubscribe(SubscriptionId id) { return table_.remove(id); }
+
+std::size_t DispatchingService::drop_consumer(net::Address consumer) {
+  return table_.remove_consumer(consumer);
+}
+
+void DispatchingService::on_envelope(net::Envelope envelope) {
+  if (envelope.type != kDerivedPublish) return;
+  const auto decoded = decode(envelope.payload);
+  if (!decoded.ok() || !decoded.value().header.has(HeaderFlag::kDerived)) {
+    ++stats_.rejected_publishes;
+    return;
+  }
+  ++stats_.derived_in;
+  deliver(decoded.value(), bus_.now());
+}
+
+void DispatchingService::deliver(const DataMessage& message, util::SimTime first_heard) {
+  catalog_.note_message(message.stream_id, bus_.now());
+
+  if (message.ack_request_id && ack_observer_) {
+    ++stats_.acks_observed;
+    ack_observer_(*message.ack_request_id, message.stream_id.sensor, bus_.now());
+  }
+
+  scratch_.clear();
+  table_.collect(message.stream_id, {bus_.now(), first_heard}, scratch_);
+
+  if (scratch_.empty()) {
+    // Unclaimed (nobody subscribed) goes to the Orphanage. A message
+    // with subscribers that were all QoS-suppressed is *claimed* — the
+    // consumers chose not to receive this copy — and is simply dropped.
+    if (orphan_sink_.valid() && !table_.anyone_wants(message.stream_id)) {
+      ++stats_.orphaned;
+      bus_.post(node_.address(), orphan_sink_, kDataDelivery,
+                encode(Delivery{message, first_heard}));
+    }
+    return;
+  }
+
+  // One encode, N posts: the envelope payload is shared bytes per copy.
+  const util::Bytes wire = encode(Delivery{message, first_heard});
+  for (const net::Address consumer : scratch_) {
+    ++stats_.copies_delivered;
+    bus_.post(node_.address(), consumer, kDataDelivery, wire);
+  }
+}
+
+}  // namespace garnet::core

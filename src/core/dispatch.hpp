@@ -1,0 +1,87 @@
+// Dispatching Service (paper §4.2).
+//
+// Receives the reconstructed streams from the Filtering Service and fans
+// each message out to every subscribed consumer over the fixed network.
+// Data delivery is address-free: nothing in the message names a consumer
+// — "the StreamID in the data message implicitly identifies the source of
+// the message, while the end destinations are inferred" (paper §5,
+// "Delayed delivery decision-making").
+//
+// Messages matching no subscription are unclaimed and forwarded to the
+// Orphanage's address. Acknowledgement fields observed in passing data
+// messages are surfaced to the Actuation Service via a callback.
+#pragma once
+
+#include <functional>
+
+#include "core/auth.hpp"
+#include "core/catalog.hpp"
+#include "core/message.hpp"
+#include "core/pubsub.hpp"
+#include "core/wire_types.hpp"
+#include "net/rpc.hpp"
+
+namespace garnet::core {
+
+struct DispatchStats {
+  std::uint64_t messages_in = 0;      ///< Filtered messages received.
+  std::uint64_t derived_in = 0;       ///< Consumer-published derived messages.
+  std::uint64_t copies_delivered = 0; ///< Consumer deliveries posted.
+  std::uint64_t orphaned = 0;         ///< Unclaimed messages sent to Orphanage.
+  std::uint64_t acks_observed = 0;    ///< Ack fields relayed to Actuation.
+  std::uint64_t rejected_publishes = 0;
+};
+
+class DispatchingService {
+ public:
+  /// RPC surface.
+  enum Method : net::MethodId {
+    /// [u64 token][u64 packed pattern][u32 min_interval_ms][u32 max_age_ms]
+    /// -> [u64 sub id]. The two QoS fields may be omitted (defaults 0).
+    kSubscribe = 1,
+    kUnsubscribe = 2,  ///< [u64 token][u64 sub id] -> []
+  };
+
+  static constexpr const char* kEndpointName = "garnet.dispatch";
+
+  DispatchingService(net::MessageBus& bus, AuthService& auth, StreamCatalog& catalog);
+
+  /// Unclaimed data goes here (the Orphanage registers itself).
+  void set_orphan_sink(net::Address address) { orphan_sink_ = address; }
+
+  /// Actuation Service hook: fires for every data message that carries a
+  /// stream-update acknowledgement.
+  using AckObserver = std::function<void(std::uint32_t request_id, SensorId sensor,
+                                         util::SimTime observed_at)>;
+  void set_ack_observer(AckObserver observer) { ack_observer_ = std::move(observer); }
+
+  /// Input from the Filtering Service (wired directly by the runtime).
+  void on_filtered(const DataMessage& message, util::SimTime first_heard);
+
+  /// Direct (non-RPC) subscription management, used by in-process
+  /// services and tests. The RPC methods call these.
+  SubscriptionId subscribe(net::Address consumer, StreamPattern pattern,
+                           SubscribeOptions qos = {});
+  bool unsubscribe(SubscriptionId id);
+  std::size_t drop_consumer(net::Address consumer);
+
+  [[nodiscard]] const DispatchStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const SubscriptionTable& subscriptions() const noexcept { return table_; }
+  [[nodiscard]] net::Address address() const noexcept { return node_.address(); }
+
+ private:
+  void on_envelope(net::Envelope envelope);
+  void deliver(const DataMessage& message, util::SimTime first_heard);
+
+  net::MessageBus& bus_;
+  AuthService& auth_;
+  StreamCatalog& catalog_;
+  net::RpcNode node_;
+  SubscriptionTable table_;
+  net::Address orphan_sink_;
+  AckObserver ack_observer_;
+  DispatchStats stats_;
+  std::vector<net::Address> scratch_;  ///< Reused fan-out buffer.
+};
+
+}  // namespace garnet::core

@@ -1,0 +1,167 @@
+#include "core/filtering.hpp"
+
+#include <cassert>
+
+#include "util/log.hpp"
+
+namespace garnet::core {
+
+FilteringService::FilteringService(sim::Scheduler& scheduler, Config config)
+    : scheduler_(scheduler), config_(config) {
+  assert(config_.dedup_window < 0x8000 && "dedup window must be below half the sequence space");
+}
+
+void FilteringService::ingest(const wireless::ReceptionReport& report) {
+  ++stats_.copies_in;
+
+  const auto decoded = decode(report.frame);
+  if (!decoded.ok()) {
+    ++stats_.malformed;
+    return;
+  }
+  const DataMessage& message = decoded.value();
+
+  // Relayed copies (paper §8) carry another node's radio signature: the
+  // receiver heard the *relay*, not the source, so they must not feed
+  // location inference. The header tag makes that decision possible —
+  // "initial support has been provided by tagging the message header to
+  // reflect multi-hop and relayed data messages to facilitate intelligent
+  // processing decisions."
+  if (reception_sink_ && !message.header.has(HeaderFlag::kRelayed)) {
+    reception_sink_(ReceptionEvent{message.stream_id.sensor, report.receiver, report.rssi_dbm,
+                                   report.received_at});
+  } else if (message.header.has(HeaderFlag::kRelayed)) {
+    ++stats_.relayed_copies;
+  }
+
+  auto [it, inserted] = streams_.try_emplace(message.stream_id);
+  if (inserted) ++stats_.streams_seen;
+  accept(it->second, message, report.received_at);
+}
+
+void FilteringService::reset() {
+  for (auto& [id, state] : streams_) scheduler_.cancel(state.gap_timer);
+  streams_.clear();
+}
+
+std::vector<FilteringService::StreamReport> FilteringService::stream_reports() const {
+  std::vector<StreamReport> out;
+  out.reserve(streams_.size());
+  for (const auto& [id, state] : streams_) {
+    if (!state.started) continue;
+    StreamReport report;
+    report.id = id;
+    report.accepted = state.accepted;
+    // The stream spanned total_advance+1 sequence slots; anything we
+    // never accepted inside that span is a presumed-lost frame.
+    report.estimated_lost = state.total_advance + 1 - state.accepted;
+    report.newest = state.newest;
+    out.push_back(report);
+  }
+  return out;
+}
+
+void FilteringService::accept(StreamState& state, DataMessage message, util::SimTime heard_at) {
+  const SequenceNo seq = message.sequence;
+  const StreamId id = message.stream_id;
+
+  if (!state.started) {
+    state.started = true;
+    state.newest = seq;
+    state.next_release = seq;
+    state.seen.emplace(seq, true);
+    state.accepted = 1;
+  } else {
+    if (state.seen.contains(seq)) {
+      ++stats_.duplicates_dropped;
+      return;
+    }
+    const auto backward = static_cast<std::uint16_t>(state.newest - seq);
+    if (seq_newer(seq, state.newest)) {
+      state.total_advance += static_cast<std::uint16_t>(seq - state.newest);
+      state.newest = seq;
+      // Prune seen-set entries that fell out of the dedup window.
+      for (auto sit = state.seen.begin(); sit != state.seen.end();) {
+        if (static_cast<std::uint16_t>(state.newest - sit->first) > config_.dedup_window) {
+          sit = state.seen.erase(sit);
+        } else {
+          ++sit;
+        }
+      }
+    } else if (backward > config_.dedup_window) {
+      // Too old to distinguish a late copy from a wrapped sequence; the
+      // paper's 64K sequence space makes this a rare pathological case.
+      ++stats_.stale_dropped;
+      return;
+    }
+    state.seen.emplace(seq, true);
+    ++state.accepted;
+  }
+
+  if (config_.reorder_depth == 0) {
+    ++stats_.messages_out;
+    if (message_sink_) message_sink_(message, heard_at);
+    return;
+  }
+
+  if (seq != state.next_release) ++stats_.reordered;
+  state.held.emplace(seq, PendingMessage{std::move(message), heard_at});
+  release_ready(id, state);
+
+  // Overflow: don't hold more than reorder_depth; skip the gap to the
+  // earliest held message (in wrap order from next_release).
+  if (state.held.size() > config_.reorder_depth) {
+    flush_gap(id);
+  } else if (!state.held.empty()) {
+    arm_gap_timer(id, state);
+  }
+}
+
+void FilteringService::release_ready(StreamId id, StreamState& state) {
+  (void)id;
+  auto it = state.held.find(state.next_release);
+  while (it != state.held.end()) {
+    ++stats_.messages_out;
+    if (message_sink_) message_sink_(it->second.message, it->second.first_heard);
+    state.held.erase(it);
+    state.next_release = static_cast<SequenceNo>(state.next_release + 1);
+    it = state.held.find(state.next_release);
+  }
+  if (state.held.empty() && state.gap_timer.valid()) {
+    scheduler_.cancel(state.gap_timer);
+    state.gap_timer = sim::EventId{};
+  }
+}
+
+void FilteringService::flush_gap(StreamId id) {
+  const auto stream_it = streams_.find(id);
+  if (stream_it == streams_.end()) return;
+  StreamState& state = stream_it->second;
+  if (state.held.empty()) return;
+
+  // Find the held sequence closest ahead of next_release (wrap order).
+  SequenceNo best = 0;
+  std::uint16_t best_dist = 0xFFFF;
+  for (const auto& [seq, pending] : state.held) {
+    const auto dist = static_cast<std::uint16_t>(seq - state.next_release);
+    if (dist <= best_dist) {
+      best_dist = dist;
+      best = seq;
+    }
+  }
+  state.next_release = best;
+  release_ready(id, state);
+  if (!state.held.empty()) arm_gap_timer(id, state);
+}
+
+void FilteringService::arm_gap_timer(StreamId id, StreamState& state) {
+  if (state.gap_timer.valid()) return;  // already armed
+  state.gap_timer = scheduler_.schedule_after(config_.reorder_timeout, [this, id] {
+    const auto it = streams_.find(id);
+    if (it == streams_.end()) return;
+    it->second.gap_timer = sim::EventId{};
+    flush_gap(id);
+  });
+}
+
+}  // namespace garnet::core

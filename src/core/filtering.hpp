@@ -1,0 +1,140 @@
+// Filtering Service (paper §4.2).
+//
+// "The Filtering Service reconstructs the data streams by eliminating
+// duplicate data messages. Filtered data is then forwarded to the
+// Dispatching Service for delivery to subscribed consumer processes."
+//
+// Input is the raw receiver feed: every surviving copy of every frame,
+// from every receiver whose zone contained the sensor — i.e. duplicated,
+// jittered and possibly out of order. This service
+//
+//   * decodes and checksum-verifies each copy,
+//   * eliminates duplicates with a per-stream sequence window that is
+//     correct across the 16-bit sequence wraparound,
+//   * optionally holds messages in a small reorder buffer so consumers
+//     see in-sequence streams despite radio jitter, and
+//   * republishes per-copy reception metadata (receiver id, RSSI) — the
+//     duplicates the dedup discards are exactly what the Location Service
+//     wants, since each copy names a receiver that heard the sensor.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <unordered_map>
+
+#include "core/message.hpp"
+#include "sim/scheduler.hpp"
+#include "util/time.hpp"
+#include "wireless/radio.hpp"
+
+namespace garnet::core {
+
+/// Metadata about one heard copy, forwarded to the Location Service.
+struct ReceptionEvent {
+  SensorId sensor = 0;
+  wireless::ReceiverId receiver = 0;
+  double rssi_dbm = 0.0;
+  util::SimTime heard_at;
+};
+
+struct FilteringStats {
+  std::uint64_t copies_in = 0;        ///< Reception reports ingested.
+  std::uint64_t malformed = 0;        ///< Copies failing decode/checksum.
+  std::uint64_t duplicates_dropped = 0;
+  std::uint64_t stale_dropped = 0;    ///< Arrived after their window passed.
+  std::uint64_t messages_out = 0;     ///< Unique messages forwarded.
+  std::uint64_t reordered = 0;        ///< Messages held then released in order.
+  std::uint64_t streams_seen = 0;     ///< Distinct StreamIds reconstructed.
+  std::uint64_t relayed_copies = 0;   ///< Copies that arrived via a relay hop.
+};
+
+class FilteringService {
+ public:
+  struct Config {
+    /// How far back (in sequence distance) a copy may trail the newest
+    /// seen sequence and still be recognised as a duplicate rather than a
+    /// wrapped-around new message. Must be < 32768 (half the space).
+    std::uint16_t dedup_window = 1024;
+    /// Depth of the in-order release buffer; 0 forwards immediately in
+    /// arrival order (ablation A2 sweeps this).
+    std::uint16_t reorder_depth = 0;
+    /// How long to wait for a sequence gap to fill before releasing
+    /// out-of-order anyway.
+    util::Duration reorder_timeout = util::Duration::millis(20);
+  };
+
+  using MessageSink = std::function<void(const DataMessage&, util::SimTime first_heard)>;
+  using ReceptionSink = std::function<void(const ReceptionEvent&)>;
+
+  /// Per-stream reconstruction accounting. `estimated_lost` counts
+  /// sequence-number gaps never filled by any copy — frames the radio
+  /// swallowed entirely (sensor roamed out of coverage, or every
+  /// receiver's copy was lost).
+  struct StreamReport {
+    StreamId id;
+    std::uint64_t accepted = 0;        ///< Unique messages reconstructed.
+    std::uint64_t estimated_lost = 0;  ///< Gaps in the sequence space.
+    SequenceNo newest = 0;
+  };
+
+  FilteringService(sim::Scheduler& scheduler, Config config);
+
+  /// Unique messages, deduplicated (and, if configured, re-ordered).
+  void set_message_sink(MessageSink sink) { message_sink_ = std::move(sink); }
+
+  /// Every valid copy, including duplicates (Location Service feed).
+  void set_reception_sink(ReceptionSink sink) { reception_sink_ = std::move(sink); }
+
+  /// Ingests one raw copy from a receiver.
+  void ingest(const wireless::ReceptionReport& report);
+
+  /// Drops all per-stream state (e.g. on redeployment).
+  void reset();
+
+  [[nodiscard]] const FilteringStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+
+  /// Loss/reception accounting for every reconstructed stream.
+  [[nodiscard]] std::vector<StreamReport> stream_reports() const;
+
+ private:
+  struct PendingMessage {
+    DataMessage message;
+    util::SimTime first_heard;
+  };
+
+  /// Per-stream reconstruction state.
+  struct StreamState {
+    bool started = false;
+    SequenceNo newest = 0;  ///< Highest (mod-wrap) sequence seen.
+    std::uint64_t accepted = 0;       ///< Unique messages reconstructed.
+    std::uint64_t total_advance = 0;  ///< Sum of forward sequence jumps.
+    // Seen-set for the dedup window. Keyed by raw sequence; pruned as the
+    // window advances. (A bitmap would be faster; a map keeps the logic
+    // transparent and the window small.)
+    std::map<SequenceNo, bool> seen;
+    // Reorder buffer keyed by sequence distance from next_release.
+    SequenceNo next_release = 0;  ///< Next sequence owed to the sink.
+    std::map<SequenceNo, PendingMessage> held;
+    sim::EventId gap_timer;
+  };
+
+  void accept(StreamState& state, DataMessage message, util::SimTime heard_at);
+  void release_ready(StreamId id, StreamState& state);
+  void flush_gap(StreamId id);
+  void arm_gap_timer(StreamId id, StreamState& state);
+
+  /// True if `a` is newer than `b` in wrapping 16-bit arithmetic.
+  [[nodiscard]] static bool seq_newer(SequenceNo a, SequenceNo b) {
+    return static_cast<std::uint16_t>(a - b) < 0x8000 && a != b;
+  }
+
+  sim::Scheduler& scheduler_;
+  Config config_;
+  MessageSink message_sink_;
+  ReceptionSink reception_sink_;
+  std::unordered_map<StreamId, StreamState> streams_;
+  FilteringStats stats_;
+};
+
+}  // namespace garnet::core

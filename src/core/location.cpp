@@ -1,0 +1,171 @@
+#include "core/location.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace garnet::core {
+
+LocationService::LocationService(net::MessageBus& bus, AuthService& auth, Config config)
+    : bus_(bus),
+      auth_(auth),
+      config_(config),
+      node_(bus, kEndpointName, [this](net::Envelope e) { on_envelope(std::move(e)); }) {
+  node_.expose(kQuery, [this](net::Address, util::BytesView args) -> net::RpcResult {
+    util::ByteReader r(args);
+    const SensorId sensor = r.u24();
+    if (!r.ok()) return util::Err{net::RpcError::kRemoteFailure};
+
+    const auto est = estimate(sensor);
+    util::ByteWriter w(33);
+    w.u8(est ? 1 : 0);
+    if (est) {
+      w.f64(est->position.x);
+      w.f64(est->position.y);
+      w.f64(est->radius_m);
+      w.f64(est->confidence);
+    }
+    return std::move(w).take();
+  });
+}
+
+void LocationService::set_receiver_layout(const std::vector<wireless::Receiver>& receivers) {
+  receivers_.clear();
+  for (const wireless::Receiver& rx : receivers) receivers_.emplace(rx.id, rx);
+}
+
+void LocationService::observe(const ReceptionEvent& event) {
+  if (!receivers_.contains(event.receiver)) return;  // unknown antenna
+  ++stats_.observations;
+
+  SensorTrack& track = tracks_[event.sensor];
+  track.observations.push_back({event.receiver, event.rssi_dbm, event.heard_at});
+
+  // Trim anything outside the window.
+  const util::SimTime cutoff = event.heard_at - config_.observation_window;
+  while (!track.observations.empty() && track.observations.front().at < cutoff) {
+    track.observations.pop_front();
+  }
+
+  if (update_sink_) {
+    if (const auto est = infer(track)) update_sink_(event.sensor, *est);
+  }
+}
+
+void LocationService::hint(const LocationHint& hint, util::SimTime now) {
+  ++stats_.hints;
+  SensorTrack& track = tracks_[hint.sensor];
+  track.hint = HintRecord{{hint.x, hint.y}, hint.radius_m, now};
+  if (update_sink_) {
+    if (const auto est = estimate(hint.sensor)) update_sink_(hint.sensor, *est);
+  }
+}
+
+std::optional<LocationEstimate> LocationService::estimate(SensorId sensor) {
+  ++stats_.queries;
+  const auto it = tracks_.find(sensor);
+  if (it == tracks_.end()) return std::nullopt;
+  SensorTrack& track = it->second;
+  const util::SimTime now = bus_.scheduler().now();
+
+  // Drop observations that have aged out since the last touch.
+  const util::SimTime cutoff = now - config_.observation_window;
+  while (!track.observations.empty() && track.observations.front().at < cutoff) {
+    track.observations.pop_front();
+  }
+
+  std::optional<LocationEstimate> inferred = infer(track);
+
+  // A fresh hint competes with inference; a stale one is ignored.
+  std::optional<LocationEstimate> hinted;
+  if (track.hint && now - track.hint->at <= config_.hint_ttl) {
+    const double age_frac =
+        static_cast<double>((now - track.hint->at).ns) / static_cast<double>(config_.hint_ttl.ns);
+    hinted = LocationEstimate{track.hint->position, track.hint->radius_m,
+                              std::max(0.0, 1.0 - age_frac), now, LocationEstimate::Source::kHint};
+  }
+
+  std::optional<LocationEstimate> best;
+  if (inferred && hinted) {
+    // Fuse: confidence-weighted blend of position, tightest radius wins.
+    const double wi = inferred->confidence;
+    const double wh = hinted->confidence;
+    const double total = wi + wh;
+    if (total > 0) {
+      LocationEstimate fused;
+      fused.position = inferred->position * (wi / total) + hinted->position * (wh / total);
+      fused.radius_m = std::min(inferred->radius_m, hinted->radius_m);
+      fused.confidence = std::max(wi, wh);
+      fused.computed_at = now;
+      fused.source = LocationEstimate::Source::kFused;
+      best = fused;
+    }
+  } else if (inferred) {
+    best = inferred;
+  } else if (hinted) {
+    best = hinted;
+  }
+
+  if (best) ++stats_.queries_answered;
+  return best;
+}
+
+std::optional<LocationEstimate> LocationService::infer(SensorTrack& track) {
+  if (track.observations.empty()) return std::nullopt;
+
+  // RSSI-weighted centroid over the receivers that heard the sensor.
+  // Weight is linear received power: w = 10^(rssi/10).
+  double wsum = 0.0;
+  sim::Vec2 centroid{};
+  std::vector<wireless::ReceiverId> distinct;
+  for (const Observation& obs : track.observations) {
+    const auto rx = receivers_.find(obs.receiver);
+    if (rx == receivers_.end()) continue;
+    const double w = std::pow(10.0, obs.rssi_dbm / 10.0);
+    centroid = centroid + rx->second.position * w;
+    wsum += w;
+    if (std::find(distinct.begin(), distinct.end(), obs.receiver) == distinct.end()) {
+      distinct.push_back(obs.receiver);
+    }
+  }
+  if (wsum <= 0.0 || distinct.empty()) return std::nullopt;
+  centroid = centroid * (1.0 / wsum);
+
+  // Uncertainty: weighted spread of contributing receivers, floored at
+  // the base radius (one receiver alone only says "somewhere in my zone").
+  double spread = 0.0;
+  for (const Observation& obs : track.observations) {
+    const auto rx = receivers_.find(obs.receiver);
+    if (rx == receivers_.end()) continue;
+    const double w = std::pow(10.0, obs.rssi_dbm / 10.0);
+    spread += w * sim::distance(rx->second.position, centroid);
+  }
+  spread /= wsum;
+
+  LocationEstimate est;
+  est.position = centroid;
+  est.radius_m = std::max(config_.base_radius_m, spread);
+  est.confidence = std::min(1.0, static_cast<double>(distinct.size()) /
+                                     static_cast<double>(config_.full_confidence_receivers));
+  est.computed_at = track.observations.back().at;
+  est.source = LocationEstimate::Source::kInferred;
+  return est;
+}
+
+void LocationService::on_envelope(net::Envelope envelope) {
+  if (envelope.type != kLocationHint) return;
+  util::ByteReader r(envelope.payload);
+  const ConsumerToken token = r.u64();
+  if (!r.ok() || !auth_.verify(token)) {
+    ++stats_.hints_rejected;
+    return;
+  }
+  const util::BytesView rest = util::BytesView(envelope.payload).subspan(r.consumed());
+  const auto decoded = decode_location_hint(rest);
+  if (!decoded.ok()) {
+    ++stats_.hints_rejected;
+    return;
+  }
+  hint(decoded.value(), bus_.scheduler().now());
+}
+
+}  // namespace garnet::core

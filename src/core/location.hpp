@@ -1,0 +1,119 @@
+// Location Service (paper §4.2, §5).
+//
+// Garnet refuses to put a location field in the message header — that
+// "would impose a transmission burden on all sensors, especially those
+// without location awareness" (§5). Location is instead *inferred* on the
+// fixed side: every receiver that hears a sensor implies the sensor was
+// inside that receiver's zone, and signal strength weights the evidence.
+// Consumers that know better (e.g. they parse GPS out of an application
+// payload) may supply hints, which the service fuses with inference.
+//
+// "This data is mainly used to target location areas when transmitting
+// control messages to the sensor field" — the Message Replicator queries
+// estimates to pick transmitters (experiment E4). Location data is also
+// re-exportable as a data stream in its own right (§2), since "location
+// information may be regarded as sensitive and should be protected" —
+// hence a dedicated stream consumers must explicitly subscribe to, rather
+// than a field stamped on every message.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+
+#include "core/auth.hpp"
+#include "core/filtering.hpp"
+#include "core/wire_types.hpp"
+#include "net/rpc.hpp"
+#include "sim/geometry.hpp"
+#include "wireless/radio.hpp"
+
+namespace garnet::core {
+
+struct LocationEstimate {
+  sim::Vec2 position;
+  double radius_m = 0.0;    ///< Uncertainty radius around `position`.
+  double confidence = 0.0;  ///< 0..1; decays with evidence age.
+  util::SimTime computed_at;
+  enum class Source : std::uint8_t { kInferred, kHint, kFused } source = Source::kInferred;
+};
+
+struct LocationStats {
+  std::uint64_t observations = 0;
+  std::uint64_t hints = 0;
+  std::uint64_t hints_rejected = 0;  ///< Unauthenticated hint envelopes.
+  std::uint64_t queries = 0;
+  std::uint64_t queries_answered = 0;
+};
+
+class LocationService {
+ public:
+  enum Method : net::MethodId {
+    kQuery = 1,  ///< [u24 sensor] -> [u8 ok][f64 x][f64 y][f64 radius][f64 confidence]
+  };
+
+  static constexpr const char* kEndpointName = "garnet.location";
+
+  struct Config {
+    util::Duration observation_window = util::Duration::seconds(15);
+    util::Duration hint_ttl = util::Duration::seconds(60);
+    /// Evidence from fewer distinct receivers than this caps confidence.
+    std::size_t full_confidence_receivers = 3;
+    /// Floor of the uncertainty radius (one receiver zone's worth).
+    double base_radius_m = 75.0;
+  };
+
+  LocationService(net::MessageBus& bus, AuthService& auth, Config config);
+
+  /// Tells the service where the receivers are (deployment knowledge).
+  void set_receiver_layout(const std::vector<wireless::Receiver>& receivers);
+
+  /// Feed from the Filtering Service: one event per heard copy.
+  void observe(const ReceptionEvent& event);
+
+  /// Authenticated application hint (also arrives via kLocationHint
+  /// envelopes whose payload is [u64 token][LocationHint]).
+  void hint(const LocationHint& hint, util::SimTime now);
+
+  /// Best current estimate; nullopt when nothing fresh is known.
+  [[nodiscard]] std::optional<LocationEstimate> estimate(SensorId sensor);
+
+  /// Fires on every estimate-relevant update, letting the runtime
+  /// republish location as a data stream of its own.
+  using UpdateSink = std::function<void(SensorId, const LocationEstimate&)>;
+  void set_update_sink(UpdateSink sink) { update_sink_ = std::move(sink); }
+
+  [[nodiscard]] const LocationStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] net::Address address() const noexcept { return node_.address(); }
+
+ private:
+  struct Observation {
+    wireless::ReceiverId receiver;
+    double rssi_dbm;
+    util::SimTime at;
+  };
+  struct HintRecord {
+    sim::Vec2 position;
+    double radius_m;
+    util::SimTime at;
+  };
+  struct SensorTrack {
+    std::deque<Observation> observations;
+    std::optional<HintRecord> hint;
+  };
+
+  void on_envelope(net::Envelope envelope);
+  [[nodiscard]] std::optional<LocationEstimate> infer(SensorTrack& track);
+
+  net::MessageBus& bus_;
+  AuthService& auth_;
+  Config config_;
+  net::RpcNode node_;
+  std::unordered_map<wireless::ReceiverId, wireless::Receiver> receivers_;
+  std::unordered_map<SensorId, SensorTrack> tracks_;
+  UpdateSink update_sink_;
+  LocationStats stats_;
+};
+
+}  // namespace garnet::core

@@ -1,0 +1,64 @@
+#include "core/message.hpp"
+
+#include <cassert>
+
+#include "util/crc32c.hpp"
+
+namespace garnet::core {
+
+std::string StreamId::to_string() const {
+  return std::to_string(sensor) + '#' + std::to_string(stream);
+}
+
+std::size_t DataMessage::wire_size() const {
+  return kFixedHeaderBytes + (ack_request_id ? kAckExtensionBytes : 0) + payload.size() +
+         kChecksumBytes;
+}
+
+util::Bytes encode(const DataMessage& msg) {
+  assert(msg.stream_id.sensor <= kMaxSensorId);
+  assert(msg.payload.size() <= kMaxPayload);
+  assert(msg.ack_request_id.has_value() == msg.header.has(HeaderFlag::kAckPresent));
+
+  util::ByteWriter w(msg.wire_size());
+  w.u8(msg.header.packed());
+  w.u24(msg.stream_id.sensor);
+  w.u8(msg.stream_id.stream);
+  w.u16(msg.sequence);
+  w.u16(static_cast<std::uint16_t>(msg.payload.size()));
+  if (msg.ack_request_id) w.u32(*msg.ack_request_id);
+  w.raw(msg.payload);
+  w.u32(util::crc32c(w.view()));
+  return std::move(w).take();
+}
+
+util::Result<DataMessage, util::DecodeError> decode(util::BytesView wire) {
+  if (wire.size() < kFixedHeaderBytes + kChecksumBytes) {
+    return util::Err{util::DecodeError::kTruncated};
+  }
+
+  const util::BytesView body = wire.first(wire.size() - kChecksumBytes);
+  {
+    util::ByteReader trailer(wire.subspan(body.size()));
+    const std::uint32_t claimed = trailer.u32();
+    if (util::crc32c(body) != claimed) return util::Err{util::DecodeError::kBadChecksum};
+  }
+
+  util::ByteReader r(body);
+  DataMessage msg;
+  msg.header = MsgHeader::from_packed(r.u8());
+  if (msg.header.version != kFormatVersion) return util::Err{util::DecodeError::kBadVersion};
+
+  msg.stream_id.sensor = r.u24();
+  msg.stream_id.stream = r.u8();
+  msg.sequence = r.u16();
+  const std::uint16_t payload_size = r.u16();
+  if (msg.header.has(HeaderFlag::kAckPresent)) msg.ack_request_id = r.u32();
+  msg.payload = r.raw(payload_size);
+
+  if (!r.ok()) return util::Err{util::DecodeError::kTruncated};
+  if (r.remaining() != 0) return util::Err{util::DecodeError::kLengthMismatch};
+  return msg;
+}
+
+}  // namespace garnet::core

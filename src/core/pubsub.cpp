@@ -1,0 +1,131 @@
+#include "core/pubsub.hpp"
+
+#include <algorithm>
+
+namespace garnet::core {
+
+std::uint64_t StreamPattern::packed() const {
+  const std::uint64_t s = sensor ? *sensor : 0xFFFFFFFFull;
+  const std::uint64_t t = stream ? *stream : 0x100ull;
+  return (s << 16) | t;
+}
+
+StreamPattern StreamPattern::from_packed(std::uint64_t v) {
+  StreamPattern p;
+  const auto s = static_cast<std::uint32_t>(v >> 16);
+  const auto t = static_cast<std::uint16_t>(v & 0xFFFF);
+  if (s != 0xFFFFFFFFu) p.sensor = s;
+  if (t != 0x100u) p.stream = static_cast<InternalStreamId>(t);
+  return p;
+}
+
+SubscriptionId SubscriptionTable::add(net::Address consumer, StreamPattern pattern,
+                                      SubscribeOptions qos) {
+  const SubscriptionId id = next_id_++;
+  Entry entry{id, consumer, pattern, qos, util::SimTime{-1}};
+  if (pattern.is_exact()) {
+    const StreamId stream{*pattern.sensor, *pattern.stream};
+    exact_[stream].push_back(entry);
+    index_.emplace(id, stream);
+  } else {
+    wildcards_.push_back(entry);
+    index_.emplace(id, std::nullopt);
+  }
+  ++count_;
+  return id;
+}
+
+bool SubscriptionTable::remove(SubscriptionId id) {
+  const auto where = index_.find(id);
+  if (where == index_.end()) return false;
+
+  if (where->second) {
+    const auto bucket = exact_.find(*where->second);
+    if (bucket != exact_.end()) {
+      std::erase_if(bucket->second, [id](const Entry& e) { return e.id == id; });
+      if (bucket->second.empty()) exact_.erase(bucket);
+    }
+  } else {
+    std::erase_if(wildcards_, [id](const Entry& e) { return e.id == id; });
+  }
+  index_.erase(where);
+  --count_;
+  return true;
+}
+
+std::size_t SubscriptionTable::remove_consumer(net::Address consumer) {
+  std::size_t removed = 0;
+  for (auto& [stream, entries] : exact_) {
+    for (const Entry& e : entries) {
+      if (e.consumer == consumer) index_.erase(e.id);
+    }
+    const auto before = entries.size();
+    std::erase_if(entries, [consumer](const Entry& e) { return e.consumer == consumer; });
+    removed += before - entries.size();
+  }
+  for (const Entry& e : wildcards_) {
+    if (e.consumer == consumer) index_.erase(e.id);
+  }
+  const auto before = wildcards_.size();
+  std::erase_if(wildcards_, [consumer](const Entry& e) { return e.consumer == consumer; });
+  removed += before - wildcards_.size();
+  count_ -= removed;
+  return removed;
+}
+
+bool SubscriptionTable::qos_admits(Entry& entry, const DeliveryContext& context) {
+  if (entry.qos.max_age_ms != 0) {
+    const auto age = context.now - context.first_heard;
+    if (age > util::Duration::millis(entry.qos.max_age_ms)) {
+      ++qos_stats_.suppressed_stale;
+      return false;
+    }
+  }
+  if (entry.qos.min_interval_ms != 0 && entry.last_delivery.ns >= 0) {
+    const auto since = context.now - entry.last_delivery;
+    if (since < util::Duration::millis(entry.qos.min_interval_ms)) {
+      ++qos_stats_.suppressed_rate;
+      return false;
+    }
+  }
+  entry.last_delivery = context.now;
+  return true;
+}
+
+void SubscriptionTable::collect(StreamId id, const DeliveryContext& context,
+                                std::vector<net::Address>& out) {
+  const std::size_t start = out.size();
+  if (const auto it = exact_.find(id); it != exact_.end()) {
+    for (Entry& e : it->second) {
+      if (qos_admits(e, context)) out.push_back(e.consumer);
+    }
+  }
+  for (Entry& e : wildcards_) {
+    if (e.pattern.matches(id) && qos_admits(e, context)) out.push_back(e.consumer);
+  }
+  // Deduplicate newly appended addresses (consumer may match twice).
+  std::sort(out.begin() + static_cast<std::ptrdiff_t>(start), out.end());
+  out.erase(std::unique(out.begin() + static_cast<std::ptrdiff_t>(start), out.end()), out.end());
+}
+
+void SubscriptionTable::collect(StreamId id, std::vector<net::Address>& out) {
+  const std::size_t start = out.size();
+  if (const auto it = exact_.find(id); it != exact_.end()) {
+    for (const Entry& e : it->second) out.push_back(e.consumer);
+  }
+  for (const Entry& e : wildcards_) {
+    if (e.pattern.matches(id)) out.push_back(e.consumer);
+  }
+  std::sort(out.begin() + static_cast<std::ptrdiff_t>(start), out.end());
+  out.erase(std::unique(out.begin() + static_cast<std::ptrdiff_t>(start), out.end()), out.end());
+}
+
+bool SubscriptionTable::anyone_wants(StreamId id) const {
+  if (const auto it = exact_.find(id); it != exact_.end() && !it->second.empty()) return true;
+  return std::any_of(wildcards_.begin(), wildcards_.end(),
+                     [id](const Entry& e) { return e.pattern.matches(id); });
+}
+
+std::size_t SubscriptionTable::size() const noexcept { return count_; }
+
+}  // namespace garnet::core

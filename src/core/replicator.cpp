@@ -1,0 +1,47 @@
+#include "core/replicator.hpp"
+
+namespace garnet::core {
+
+MessageReplicator::MessageReplicator(wireless::RadioMedium& medium, LocationService& location,
+                                     Config config)
+    : medium_(medium), location_(location), config_(config) {}
+
+MessageReplicator::SendReport MessageReplicator::send(SensorId target, const util::Bytes& frame) {
+  ++stats_.sends;
+  SendReport report;
+
+  const auto estimate = location_.estimate(target);
+  const bool usable = estimate && estimate->confidence >= config_.min_confidence;
+
+  for (const wireless::Transmitter& tx : medium_.transmitters()) {
+    if (usable) {
+      const double reach = tx.range_m + estimate->radius_m + config_.margin_m;
+      if (sim::distance(tx.position, estimate->position) > reach) continue;
+    }
+    ++report.transmitters_used;
+    report.copies_scheduled += medium_.downlink(tx.id, frame);
+  }
+
+  // A usable estimate that selected zero transmitters (sensor believed
+  // outside all coverage) degrades to flood — better late than lost.
+  if (usable && report.transmitters_used == 0) {
+    for (const wireless::Transmitter& tx : medium_.transmitters()) {
+      ++report.transmitters_used;
+      report.copies_scheduled += medium_.downlink(tx.id, frame);
+    }
+    report.targeted = false;
+  } else {
+    report.targeted = usable;
+  }
+
+  if (report.targeted) {
+    ++stats_.targeted_sends;
+  } else {
+    ++stats_.flooded_sends;
+  }
+  stats_.transmitter_activations += report.transmitters_used;
+  stats_.copies_scheduled += report.copies_scheduled;
+  return report;
+}
+
+}  // namespace garnet::core

@@ -1,0 +1,28 @@
+#include "core/retri.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace garnet::core {
+
+RetriAllocator::RetriAllocator(unsigned id_bits, util::Rng rng)
+    : id_bits_(id_bits), rng_(rng) {
+  assert(id_bits >= 1 && id_bits <= 32);
+  mask_ = id_bits == 32 ? 0xFFFFFFFFu : ((1u << id_bits) - 1);
+}
+
+std::uint32_t RetriAllocator::begin() {
+  ++stats_.begun;
+  const auto id = static_cast<std::uint32_t>(rng_.next()) & mask_;
+  if (!active_.insert(id).second) ++stats_.collisions;
+  return id;
+}
+
+void RetriAllocator::end(std::uint32_t id) { active_.erase(id); }
+
+double RetriAllocator::expected_collision_probability(unsigned id_bits, std::size_t active) {
+  const double space = std::pow(2.0, id_bits);
+  return 1.0 - std::pow(1.0 - 1.0 / space, static_cast<double>(active));
+}
+
+}  // namespace garnet::core

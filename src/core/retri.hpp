@@ -1,0 +1,55 @@
+// RETRI baseline: Random, Ephemeral TRansaction Identifiers.
+//
+// Elson & Estrin (ICDCS-21) cut transmission energy by replacing large
+// predefined sensor/stream identifiers with small random per-transaction
+// ids. Garnet's §7 argues the ephemeral ids are inappropriate for its
+// model "because Garnet depends on unique consistent stream IDs". This
+// module implements the RETRI scheme so experiment E7 can measure the
+// actual trade: header bits saved per message versus the probability that
+// two concurrent transactions collide and their data is misattributed.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+
+#include "util/rng.hpp"
+
+namespace garnet::core {
+
+struct RetriStats {
+  std::uint64_t begun = 0;
+  std::uint64_t collisions = 0;  ///< begin() drew an id already active.
+};
+
+class RetriAllocator {
+ public:
+  /// `id_bits` in [1, 32]: identifier width each message would carry.
+  RetriAllocator(unsigned id_bits, util::Rng rng);
+
+  /// Opens a transaction with a random id. A collision with an active
+  /// transaction is counted (the receiver would merge two transactions)
+  /// but the id is still returned — that is exactly the failure mode.
+  [[nodiscard]] std::uint32_t begin();
+
+  /// Closes a transaction; ignores unknown ids (the colliding twin
+  /// already closed it).
+  void end(std::uint32_t id);
+
+  [[nodiscard]] unsigned id_bits() const noexcept { return id_bits_; }
+  [[nodiscard]] std::size_t active() const noexcept { return active_.size(); }
+  [[nodiscard]] const RetriStats& stats() const noexcept { return stats_; }
+
+  /// Birthday-style analytic collision probability for one new
+  /// transaction against `active` concurrent ones.
+  [[nodiscard]] static double expected_collision_probability(unsigned id_bits,
+                                                             std::size_t active);
+
+ private:
+  unsigned id_bits_;
+  std::uint32_t mask_;
+  util::Rng rng_;
+  std::unordered_set<std::uint32_t> active_;
+  RetriStats stats_;
+};
+
+}  // namespace garnet::core

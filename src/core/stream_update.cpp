@@ -1,0 +1,63 @@
+#include "core/stream_update.hpp"
+
+#include <cassert>
+
+#include "util/crc32c.hpp"
+
+namespace garnet::core {
+
+std::string_view to_string(UpdateAction a) {
+  switch (a) {
+    case UpdateAction::kSetIntervalMs: return "set-interval-ms";
+    case UpdateAction::kEnableStream: return "enable-stream";
+    case UpdateAction::kDisableStream: return "disable-stream";
+    case UpdateAction::kSetMode: return "set-mode";
+    case UpdateAction::kSetPayloadHint: return "set-payload-hint";
+  }
+  return "unknown";
+}
+
+util::Bytes encode(const StreamUpdateRequest& req) {
+  assert(req.target.sensor <= kMaxSensorId);
+  util::ByteWriter w(StreamUpdateRequest::wire_size());
+  w.u8(kFormatVersion);
+  w.u32(req.request_id);
+  w.u24(req.target.sensor);
+  w.u8(req.target.stream);
+  w.u8(static_cast<std::uint8_t>(req.action));
+  w.u32(req.value);
+  w.i64(req.issued_at.ns);
+  w.u32(util::crc32c(w.view()));
+  return std::move(w).take();
+}
+
+util::Result<StreamUpdateRequest, util::DecodeError> decode_update(util::BytesView wire) {
+  if (wire.size() != StreamUpdateRequest::wire_size()) {
+    return util::Err{util::DecodeError::kTruncated};
+  }
+
+  const util::BytesView body = wire.first(wire.size() - 4);
+  {
+    util::ByteReader trailer(wire.subspan(body.size()));
+    if (util::crc32c(body) != trailer.u32()) return util::Err{util::DecodeError::kBadChecksum};
+  }
+
+  util::ByteReader r(body);
+  const std::uint8_t version = r.u8();
+  if (version != kFormatVersion) return util::Err{util::DecodeError::kBadVersion};
+
+  StreamUpdateRequest req;
+  req.request_id = r.u32();
+  req.target.sensor = r.u24();
+  req.target.stream = r.u8();
+  const std::uint8_t action = r.u8();
+  if (action < 1 || action > 5) return util::Err{util::DecodeError::kMalformed};
+  req.action = static_cast<UpdateAction>(action);
+  req.value = r.u32();
+  req.issued_at.ns = r.i64();
+
+  if (!r.ok()) return util::Err{util::DecodeError::kTruncated};
+  return req;
+}
+
+}  // namespace garnet::core

@@ -1,0 +1,45 @@
+// Stream-update requests: the control messages consumers send back into
+// the sensor field to "influence the future contents of the originating
+// data streams" (paper §3). The Actuation Service stamps and checksums
+// them (§4.2) before the Message Replicator broadcasts them.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "core/message.hpp"
+#include "util/bytes.hpp"
+#include "util/result.hpp"
+#include "util/time.hpp"
+
+namespace garnet::core {
+
+/// What a consumer may ask a sensor stream to do.
+enum class UpdateAction : std::uint8_t {
+  kSetIntervalMs = 1,   ///< Set sampling interval; value = milliseconds.
+  kEnableStream = 2,    ///< Begin producing this internal stream.
+  kDisableStream = 3,   ///< Stop producing this internal stream.
+  kSetMode = 4,         ///< Opaque sensing mode selector; value = mode id.
+  kSetPayloadHint = 5,  ///< Request payload size/precision; value = bytes.
+};
+
+[[nodiscard]] std::string_view to_string(UpdateAction a);
+
+/// One control message, as carried over the air.
+struct StreamUpdateRequest {
+  std::uint32_t request_id = 0;  ///< Echoed by receive-capable sensors in acks.
+  StreamId target;
+  UpdateAction action = UpdateAction::kSetIntervalMs;
+  std::uint32_t value = 0;
+  util::SimTime issued_at;  ///< Stamped by the Actuation Service.
+
+  [[nodiscard]] static constexpr std::size_t wire_size() {
+    return 1 + 4 + 4 + 1 + 4 + 8 + 4;  // version, req id, stream, action, value, time, crc
+  }
+};
+
+[[nodiscard]] util::Bytes encode(const StreamUpdateRequest& req);
+[[nodiscard]] util::Result<StreamUpdateRequest, util::DecodeError> decode_update(
+    util::BytesView wire);
+
+}  // namespace garnet::core

@@ -1,0 +1,60 @@
+// Inter-service message types and payload codecs on the fixed network.
+//
+// The middleware services are "logically separate and distinct entities"
+// (paper §3); they exchange serialised payloads over net::MessageBus.
+// This header centralises the type tags and the small codecs so a reader
+// can see the whole fixed-network protocol in one place.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "core/message.hpp"
+#include "net/bus.hpp"
+#include "util/time.hpp"
+
+namespace garnet::core {
+
+/// Application message types (above net::MessageType::kAppBase).
+inline constexpr net::MessageType kDataDelivery = net::app_type(0);
+inline constexpr net::MessageType kStateChange = net::app_type(1);
+inline constexpr net::MessageType kLocationHint = net::app_type(2);
+inline constexpr net::MessageType kDerivedPublish = net::app_type(3);
+inline constexpr net::MessageType kLocationStream = net::app_type(4);
+
+/// A data message as delivered to a subscribed consumer, carrying the
+/// time the fixed network first heard it (for end-to-end latency).
+struct Delivery {
+  DataMessage message;
+  util::SimTime first_heard;
+};
+
+[[nodiscard]] util::Bytes encode(const Delivery& delivery);
+[[nodiscard]] util::Result<Delivery, util::DecodeError> decode_delivery(util::BytesView wire);
+
+/// Consumer state-change report for the Super Coordinator (paper §4.2:
+/// "Suitably sophisticated consumer processes may forward state-change
+/// details to the Super Coordinator").
+struct StateChange {
+  std::uint64_t consumer_token = 0;
+  std::uint32_t state = 0;
+};
+
+[[nodiscard]] util::Bytes encode(const StateChange& change);
+[[nodiscard]] util::Result<StateChange, util::DecodeError> decode_state_change(
+    util::BytesView wire);
+
+/// Application-supplied location hint (paper §5: "we allow consumer
+/// processes to provide location hints instead").
+struct LocationHint {
+  SensorId sensor = 0;
+  double x = 0.0;
+  double y = 0.0;
+  double radius_m = 50.0;
+};
+
+[[nodiscard]] util::Bytes encode(const LocationHint& hint);
+[[nodiscard]] util::Result<LocationHint, util::DecodeError> decode_location_hint(
+    util::BytesView wire);
+
+}  // namespace garnet::core

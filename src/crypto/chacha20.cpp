@@ -1,0 +1,100 @@
+#include "crypto/chacha20.hpp"
+
+#include <bit>
+
+#include "util/rng.hpp"
+
+namespace garnet::crypto {
+namespace {
+
+constexpr std::array<std::uint32_t, 4> kSigma = {0x61707865u, 0x3320646Eu, 0x79622D32u,
+                                                 0x6B206574u};  // "expand 32-byte k"
+
+constexpr std::uint32_t load32le(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) | (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) | (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+constexpr void store32le(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+  p[2] = static_cast<std::uint8_t>(v >> 16);
+  p[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+constexpr void quarter_round(std::uint32_t& a, std::uint32_t& b, std::uint32_t& c,
+                             std::uint32_t& d) {
+  a += b;
+  d = std::rotl(d ^ a, 16);
+  c += d;
+  b = std::rotl(b ^ c, 12);
+  a += b;
+  d = std::rotl(d ^ a, 8);
+  c += d;
+  b = std::rotl(b ^ c, 7);
+}
+
+}  // namespace
+
+void chacha20_block(const Key& key, const Nonce& nonce, std::uint32_t counter,
+                    std::array<std::uint8_t, 64>& out) {
+  std::array<std::uint32_t, 16> state{};
+  for (int i = 0; i < 4; ++i) state[static_cast<std::size_t>(i)] = kSigma[static_cast<std::size_t>(i)];
+  for (int i = 0; i < 8; ++i) state[static_cast<std::size_t>(4 + i)] = load32le(key.data() + 4 * i);
+  state[12] = counter;
+  for (int i = 0; i < 3; ++i) state[static_cast<std::size_t>(13 + i)] = load32le(nonce.data() + 4 * i);
+
+  std::array<std::uint32_t, 16> working = state;
+  for (int round = 0; round < 10; ++round) {
+    quarter_round(working[0], working[4], working[8], working[12]);
+    quarter_round(working[1], working[5], working[9], working[13]);
+    quarter_round(working[2], working[6], working[10], working[14]);
+    quarter_round(working[3], working[7], working[11], working[15]);
+    quarter_round(working[0], working[5], working[10], working[15]);
+    quarter_round(working[1], working[6], working[11], working[12]);
+    quarter_round(working[2], working[7], working[8], working[13]);
+    quarter_round(working[3], working[4], working[9], working[14]);
+  }
+  for (int i = 0; i < 16; ++i) {
+    store32le(out.data() + 4 * i,
+              working[static_cast<std::size_t>(i)] + state[static_cast<std::size_t>(i)]);
+  }
+}
+
+void chacha20_xor(const Key& key, const Nonce& nonce, std::uint32_t counter,
+                  std::span<std::byte> data) {
+  std::array<std::uint8_t, 64> block{};
+  std::size_t offset = 0;
+  while (offset < data.size()) {
+    chacha20_block(key, nonce, counter++, block);
+    const std::size_t n = std::min<std::size_t>(64, data.size() - offset);
+    for (std::size_t i = 0; i < n; ++i) {
+      data[offset + i] ^= static_cast<std::byte>(block[i]);
+    }
+    offset += n;
+  }
+}
+
+util::Bytes chacha20_encrypt(const Key& key, const Nonce& nonce, util::BytesView data) {
+  util::Bytes out(data.begin(), data.end());
+  chacha20_xor(key, nonce, 1, out);
+  return out;
+}
+
+Key key_from_seed(std::uint64_t seed) {
+  Key key{};
+  std::uint64_t sm = seed;
+  for (std::size_t i = 0; i < key.size(); i += 8) {
+    const std::uint64_t word = util::splitmix64(sm);
+    for (std::size_t j = 0; j < 8; ++j) key[i + j] = static_cast<std::uint8_t>(word >> (8 * j));
+  }
+  return key;
+}
+
+Nonce nonce_from_counter(std::uint64_t counter) {
+  Nonce nonce{};
+  for (std::size_t j = 0; j < 8; ++j) nonce[j] = static_cast<std::uint8_t>(counter >> (8 * j));
+  return nonce;
+}
+
+}  // namespace garnet::crypto

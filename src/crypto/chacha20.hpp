@@ -1,0 +1,39 @@
+// ChaCha20 stream cipher (RFC 8439 variant).
+//
+// The paper names "a high-level abstraction of data streams supporting
+// end-to-end encryption" as a novel feature: payloads are opaque to the
+// middleware, and producing/consuming applications encrypt underneath it.
+// This module provides that cipher; crypto/sealed.hpp composes it with
+// Poly1305 into an authenticated payload seal.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.hpp"
+
+namespace garnet::crypto {
+
+using Key = std::array<std::uint8_t, 32>;
+using Nonce = std::array<std::uint8_t, 12>;
+
+/// Computes one 64-byte ChaCha20 keystream block.
+void chacha20_block(const Key& key, const Nonce& nonce, std::uint32_t counter,
+                    std::array<std::uint8_t, 64>& out);
+
+/// XORs `data` in place with the keystream starting at block `counter`.
+/// Encryption and decryption are the same operation.
+void chacha20_xor(const Key& key, const Nonce& nonce, std::uint32_t counter,
+                  std::span<std::byte> data);
+
+/// Convenience: returns an encrypted copy of `data` (counter starts at 1,
+/// reserving block 0 for the Poly1305 one-time key as in RFC 8439).
+[[nodiscard]] util::Bytes chacha20_encrypt(const Key& key, const Nonce& nonce,
+                                           util::BytesView data);
+
+/// Deterministically expands a passphrase-style seed into a key (for tests
+/// and examples; not a KDF of record).
+[[nodiscard]] Key key_from_seed(std::uint64_t seed);
+[[nodiscard]] Nonce nonce_from_counter(std::uint64_t counter);
+
+}  // namespace garnet::crypto

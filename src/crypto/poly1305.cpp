@@ -1,0 +1,189 @@
+#include "crypto/poly1305.hpp"
+
+#include <cstring>
+
+namespace garnet::crypto {
+namespace {
+
+// 26-bit limb implementation following the reference design.
+struct Poly1305State {
+  std::uint32_t r[5];
+  std::uint32_t h[5] = {0, 0, 0, 0, 0};
+  std::uint32_t pad[4];
+};
+
+std::uint32_t load32le(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) | (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) | (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+void init(Poly1305State& st, const PolyKey& key) {
+  // r with required clamping.
+  st.r[0] = load32le(key.data() + 0) & 0x3ffffff;
+  st.r[1] = (load32le(key.data() + 3) >> 2) & 0x3ffff03;
+  st.r[2] = (load32le(key.data() + 6) >> 4) & 0x3ffc0ff;
+  st.r[3] = (load32le(key.data() + 9) >> 6) & 0x3f03fff;
+  st.r[4] = (load32le(key.data() + 12) >> 8) & 0x00fffff;
+  for (int i = 0; i < 4; ++i) st.pad[i] = load32le(key.data() + 16 + 4 * i);
+}
+
+void blocks(Poly1305State& st, const std::uint8_t* m, std::size_t bytes, std::uint32_t hibit) {
+  const std::uint32_t r0 = st.r[0], r1 = st.r[1], r2 = st.r[2], r3 = st.r[3], r4 = st.r[4];
+  const std::uint32_t s1 = r1 * 5, s2 = r2 * 5, s3 = r3 * 5, s4 = r4 * 5;
+  std::uint32_t h0 = st.h[0], h1 = st.h[1], h2 = st.h[2], h3 = st.h[3], h4 = st.h[4];
+
+  while (bytes >= 16) {
+    h0 += load32le(m + 0) & 0x3ffffff;
+    h1 += (load32le(m + 3) >> 2) & 0x3ffffff;
+    h2 += (load32le(m + 6) >> 4) & 0x3ffffff;
+    h3 += (load32le(m + 9) >> 6) & 0x3ffffff;
+    h4 += (load32le(m + 12) >> 8) | hibit;
+
+    const std::uint64_t d0 = static_cast<std::uint64_t>(h0) * r0 + static_cast<std::uint64_t>(h1) * s4 +
+                             static_cast<std::uint64_t>(h2) * s3 + static_cast<std::uint64_t>(h3) * s2 +
+                             static_cast<std::uint64_t>(h4) * s1;
+    std::uint64_t d1 = static_cast<std::uint64_t>(h0) * r1 + static_cast<std::uint64_t>(h1) * r0 +
+                       static_cast<std::uint64_t>(h2) * s4 + static_cast<std::uint64_t>(h3) * s3 +
+                       static_cast<std::uint64_t>(h4) * s2;
+    std::uint64_t d2 = static_cast<std::uint64_t>(h0) * r2 + static_cast<std::uint64_t>(h1) * r1 +
+                       static_cast<std::uint64_t>(h2) * r0 + static_cast<std::uint64_t>(h3) * s4 +
+                       static_cast<std::uint64_t>(h4) * s3;
+    std::uint64_t d3 = static_cast<std::uint64_t>(h0) * r3 + static_cast<std::uint64_t>(h1) * r2 +
+                       static_cast<std::uint64_t>(h2) * r1 + static_cast<std::uint64_t>(h3) * r0 +
+                       static_cast<std::uint64_t>(h4) * s4;
+    std::uint64_t d4 = static_cast<std::uint64_t>(h0) * r4 + static_cast<std::uint64_t>(h1) * r3 +
+                       static_cast<std::uint64_t>(h2) * r2 + static_cast<std::uint64_t>(h3) * r1 +
+                       static_cast<std::uint64_t>(h4) * r0;
+
+    std::uint32_t c = static_cast<std::uint32_t>(d0 >> 26);
+    h0 = static_cast<std::uint32_t>(d0) & 0x3ffffff;
+    d1 += c;
+    c = static_cast<std::uint32_t>(d1 >> 26);
+    h1 = static_cast<std::uint32_t>(d1) & 0x3ffffff;
+    d2 += c;
+    c = static_cast<std::uint32_t>(d2 >> 26);
+    h2 = static_cast<std::uint32_t>(d2) & 0x3ffffff;
+    d3 += c;
+    c = static_cast<std::uint32_t>(d3 >> 26);
+    h3 = static_cast<std::uint32_t>(d3) & 0x3ffffff;
+    d4 += c;
+    c = static_cast<std::uint32_t>(d4 >> 26);
+    h4 = static_cast<std::uint32_t>(d4) & 0x3ffffff;
+    h0 += c * 5;
+    c = h0 >> 26;
+    h0 &= 0x3ffffff;
+    h1 += c;
+
+    m += 16;
+    bytes -= 16;
+  }
+
+  st.h[0] = h0;
+  st.h[1] = h1;
+  st.h[2] = h2;
+  st.h[3] = h3;
+  st.h[4] = h4;
+}
+
+Tag finish(Poly1305State& st) {
+  std::uint32_t h0 = st.h[0], h1 = st.h[1], h2 = st.h[2], h3 = st.h[3], h4 = st.h[4];
+
+  std::uint32_t c = h1 >> 26;
+  h1 &= 0x3ffffff;
+  h2 += c;
+  c = h2 >> 26;
+  h2 &= 0x3ffffff;
+  h3 += c;
+  c = h3 >> 26;
+  h3 &= 0x3ffffff;
+  h4 += c;
+  c = h4 >> 26;
+  h4 &= 0x3ffffff;
+  h0 += c * 5;
+  c = h0 >> 26;
+  h0 &= 0x3ffffff;
+  h1 += c;
+
+  // compute h + -p
+  std::uint32_t g0 = h0 + 5;
+  c = g0 >> 26;
+  g0 &= 0x3ffffff;
+  std::uint32_t g1 = h1 + c;
+  c = g1 >> 26;
+  g1 &= 0x3ffffff;
+  std::uint32_t g2 = h2 + c;
+  c = g2 >> 26;
+  g2 &= 0x3ffffff;
+  std::uint32_t g3 = h3 + c;
+  c = g3 >> 26;
+  g3 &= 0x3ffffff;
+  const std::uint32_t g4 = h4 + c - (1u << 26);
+
+  // select h if h < p, or h + -p if h >= p
+  std::uint32_t mask = (g4 >> 31) - 1;
+  g0 &= mask;
+  g1 &= mask;
+  g2 &= mask;
+  g3 &= mask;
+  const std::uint32_t g4m = g4 & mask;
+  mask = ~mask;
+  h0 = (h0 & mask) | g0;
+  h1 = (h1 & mask) | g1;
+  h2 = (h2 & mask) | g2;
+  h3 = (h3 & mask) | g3;
+  h4 = (h4 & mask) | g4m;
+
+  // h = h % 2^128
+  h0 = (h0 | (h1 << 26)) & 0xffffffff;
+  h1 = ((h1 >> 6) | (h2 << 20)) & 0xffffffff;
+  h2 = ((h2 >> 12) | (h3 << 14)) & 0xffffffff;
+  h3 = ((h3 >> 18) | (h4 << 8)) & 0xffffffff;
+
+  // tag = (h + pad) % 2^128
+  std::uint64_t f = static_cast<std::uint64_t>(h0) + st.pad[0];
+  h0 = static_cast<std::uint32_t>(f);
+  f = static_cast<std::uint64_t>(h1) + st.pad[1] + (f >> 32);
+  h1 = static_cast<std::uint32_t>(f);
+  f = static_cast<std::uint64_t>(h2) + st.pad[2] + (f >> 32);
+  h2 = static_cast<std::uint32_t>(f);
+  f = static_cast<std::uint64_t>(h3) + st.pad[3] + (f >> 32);
+  h3 = static_cast<std::uint32_t>(f);
+
+  Tag tag{};
+  const std::uint32_t words[4] = {h0, h1, h2, h3};
+  for (int i = 0; i < 4; ++i) {
+    tag[static_cast<std::size_t>(4 * i + 0)] = static_cast<std::uint8_t>(words[i]);
+    tag[static_cast<std::size_t>(4 * i + 1)] = static_cast<std::uint8_t>(words[i] >> 8);
+    tag[static_cast<std::size_t>(4 * i + 2)] = static_cast<std::uint8_t>(words[i] >> 16);
+    tag[static_cast<std::size_t>(4 * i + 3)] = static_cast<std::uint8_t>(words[i] >> 24);
+  }
+  return tag;
+}
+
+}  // namespace
+
+Tag poly1305(const PolyKey& key, util::BytesView data) {
+  Poly1305State st;
+  init(st, key);
+
+  const auto* bytes = reinterpret_cast<const std::uint8_t*>(data.data());
+  const std::size_t full = data.size() & ~std::size_t{15};
+  if (full > 0) blocks(st, bytes, full, 1u << 24);
+
+  const std::size_t rem = data.size() - full;
+  if (rem > 0) {
+    std::uint8_t final_block[16] = {};
+    std::memcpy(final_block, bytes + full, rem);
+    final_block[rem] = 1;  // pad with 0x01 then zeros; hibit 0
+    blocks(st, final_block, 16, 0);
+  }
+  return finish(st);
+}
+
+bool tag_equal(const Tag& a, const Tag& b) {
+  std::uint8_t diff = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) diff |= static_cast<std::uint8_t>(a[i] ^ b[i]);
+  return diff == 0;
+}
+
+}  // namespace garnet::crypto

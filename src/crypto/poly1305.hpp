@@ -1,0 +1,23 @@
+// Poly1305 one-time authenticator (RFC 8439).
+//
+// Used by crypto/sealed.hpp to detect tampering with end-to-end encrypted
+// payloads travelling through the (untrusted) middleware.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.hpp"
+
+namespace garnet::crypto {
+
+using Tag = std::array<std::uint8_t, 16>;
+using PolyKey = std::array<std::uint8_t, 32>;
+
+/// Computes the Poly1305 tag of `data` under a one-time key.
+[[nodiscard]] Tag poly1305(const PolyKey& key, util::BytesView data);
+
+/// Constant-time tag comparison.
+[[nodiscard]] bool tag_equal(const Tag& a, const Tag& b);
+
+}  // namespace garnet::crypto

@@ -1,0 +1,42 @@
+#include "crypto/sealed.hpp"
+
+#include <cstring>
+
+namespace garnet::crypto {
+namespace {
+
+PolyKey one_time_key(const Key& key, const Nonce& nonce) {
+  std::array<std::uint8_t, 64> block{};
+  chacha20_block(key, nonce, 0, block);
+  PolyKey otk{};
+  std::copy(block.begin(), block.begin() + 32, otk.begin());
+  return otk;
+}
+
+}  // namespace
+
+util::Bytes seal(const Key& key, const Nonce& nonce, util::BytesView plaintext) {
+  util::Bytes out = chacha20_encrypt(key, nonce, plaintext);
+  const Tag tag = poly1305(one_time_key(key, nonce), out);
+  const auto* p = reinterpret_cast<const std::byte*>(tag.data());
+  out.insert(out.end(), p, p + tag.size());
+  return out;
+}
+
+util::Result<util::Bytes, SealError> open(const Key& key, const Nonce& nonce,
+                                          util::BytesView sealed) {
+  if (sealed.size() < kSealOverhead) return util::Err{SealError::kTruncated};
+
+  const util::BytesView ciphertext = sealed.first(sealed.size() - kSealOverhead);
+  Tag claimed{};
+  std::memcpy(claimed.data(), sealed.data() + ciphertext.size(), claimed.size());
+
+  const Tag expected = poly1305(one_time_key(key, nonce), ciphertext);
+  if (!tag_equal(claimed, expected)) return util::Err{SealError::kBadTag};
+
+  util::Bytes plain(ciphertext.begin(), ciphertext.end());
+  chacha20_xor(key, nonce, 1, plain);
+  return plain;
+}
+
+}  // namespace garnet::crypto

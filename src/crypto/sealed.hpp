@@ -1,0 +1,31 @@
+// Authenticated payload sealing: ChaCha20-Poly1305 in the RFC 8439
+// construction, applied end-to-end by data producers and consumers.
+//
+// The Garnet middleware never holds keys; it forwards sealed payloads as
+// opaque bytes (paper §4.3: "The payload field is not interpreted and is
+// opaque to the Garnet infrastructure").
+#pragma once
+
+#include "crypto/chacha20.hpp"
+#include "crypto/poly1305.hpp"
+#include "util/result.hpp"
+
+namespace garnet::crypto {
+
+enum class SealError : std::uint8_t {
+  kTruncated,  ///< Sealed blob shorter than a tag.
+  kBadTag,     ///< Authentication failed: tampered or wrong key/nonce.
+};
+
+/// Encrypts `plaintext` and appends a 16-byte Poly1305 tag.
+[[nodiscard]] util::Bytes seal(const Key& key, const Nonce& nonce, util::BytesView plaintext);
+
+/// Verifies the tag and decrypts. Fails without returning plaintext if the
+/// blob was modified in transit.
+[[nodiscard]] util::Result<util::Bytes, SealError> open(const Key& key, const Nonce& nonce,
+                                                        util::BytesView sealed);
+
+/// Size overhead added by seal().
+inline constexpr std::size_t kSealOverhead = 16;
+
+}  // namespace garnet::crypto

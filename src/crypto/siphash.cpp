@@ -1,0 +1,84 @@
+#include "crypto/siphash.hpp"
+
+#include <bit>
+
+#include "util/rng.hpp"
+
+namespace garnet::crypto {
+namespace {
+
+std::uint64_t load64le(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+void sipround(std::uint64_t& v0, std::uint64_t& v1, std::uint64_t& v2, std::uint64_t& v3) {
+  v0 += v1;
+  v1 = std::rotl(v1, 13);
+  v1 ^= v0;
+  v0 = std::rotl(v0, 32);
+  v2 += v3;
+  v3 = std::rotl(v3, 16);
+  v3 ^= v2;
+  v0 += v3;
+  v3 = std::rotl(v3, 21);
+  v3 ^= v0;
+  v2 += v1;
+  v1 = std::rotl(v1, 17);
+  v1 ^= v2;
+  v2 = std::rotl(v2, 32);
+}
+
+}  // namespace
+
+std::uint64_t siphash24(const SipKey& key, util::BytesView data) {
+  const std::uint64_t k0 = load64le(key.data());
+  const std::uint64_t k1 = load64le(key.data() + 8);
+
+  std::uint64_t v0 = 0x736f6d6570736575ull ^ k0;
+  std::uint64_t v1 = 0x646f72616e646f6dull ^ k1;
+  std::uint64_t v2 = 0x6c7967656e657261ull ^ k0;
+  std::uint64_t v3 = 0x7465646279746573ull ^ k1;
+
+  const auto* in = reinterpret_cast<const std::uint8_t*>(data.data());
+  const std::size_t len = data.size();
+  const std::size_t full = len & ~std::size_t{7};
+
+  for (std::size_t off = 0; off < full; off += 8) {
+    const std::uint64_t m = load64le(in + off);
+    v3 ^= m;
+    sipround(v0, v1, v2, v3);
+    sipround(v0, v1, v2, v3);
+    v0 ^= m;
+  }
+
+  std::uint64_t last = static_cast<std::uint64_t>(len & 0xff) << 56;
+  for (std::size_t i = full; i < len; ++i) {
+    last |= static_cast<std::uint64_t>(in[i]) << (8 * (i - full));
+  }
+  v3 ^= last;
+  sipround(v0, v1, v2, v3);
+  sipround(v0, v1, v2, v3);
+  v0 ^= last;
+
+  v2 ^= 0xff;
+  sipround(v0, v1, v2, v3);
+  sipround(v0, v1, v2, v3);
+  sipround(v0, v1, v2, v3);
+  sipround(v0, v1, v2, v3);
+
+  return v0 ^ v1 ^ v2 ^ v3;
+}
+
+SipKey sipkey_from_seed(std::uint64_t seed) {
+  SipKey key{};
+  std::uint64_t sm = seed;
+  for (std::size_t i = 0; i < key.size(); i += 8) {
+    const std::uint64_t word = util::splitmix64(sm);
+    for (std::size_t j = 0; j < 8; ++j) key[i + j] = static_cast<std::uint8_t>(word >> (8 * j));
+  }
+  return key;
+}
+
+}  // namespace garnet::crypto

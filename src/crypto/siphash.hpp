@@ -1,0 +1,22 @@
+// SipHash-2-4 keyed hash.
+//
+// The authentication service (core/auth) issues consumer tokens as
+// SipHash MACs over the consumer identity under a service secret — small,
+// fast, and adequate for the paper's "typical authentication mechanisms".
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.hpp"
+
+namespace garnet::crypto {
+
+using SipKey = std::array<std::uint8_t, 16>;
+
+/// SipHash-2-4 of `data` under `key`.
+[[nodiscard]] std::uint64_t siphash24(const SipKey& key, util::BytesView data);
+
+[[nodiscard]] SipKey sipkey_from_seed(std::uint64_t seed);
+
+}  // namespace garnet::crypto

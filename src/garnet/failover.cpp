@@ -1,0 +1,105 @@
+#include "garnet/failover.hpp"
+
+#include "util/log.hpp"
+
+namespace garnet {
+
+FilteringFailover::FilteringFailover(sim::Scheduler& scheduler, Config config)
+    : scheduler_(scheduler), config_(config) {
+  for (std::size_t i = 0; i < 2; ++i) {
+    replicas_[i] = std::make_unique<core::FilteringService>(scheduler, config.filtering);
+    replicas_[i]->set_message_sink(
+        [this, i](const core::DataMessage& message, util::SimTime first_heard) {
+          forward_message(i, message, first_heard);
+        });
+    replicas_[i]->set_reception_sink(
+        [this, i](const core::ReceptionEvent& event) { forward_reception(i, event); });
+  }
+  arm_watchdog();
+}
+
+FilteringFailover::~FilteringFailover() { scheduler_.cancel(watchdog_); }
+
+void FilteringFailover::set_message_sink(core::FilteringService::MessageSink sink) {
+  message_sink_ = std::move(sink);
+}
+
+void FilteringFailover::set_reception_sink(core::FilteringService::ReceptionSink sink) {
+  reception_sink_ = std::move(sink);
+}
+
+void FilteringFailover::ingest(const wireless::ReceptionReport& report) {
+  if (failed_over_) {
+    // Steady state after promotion: the former standby is the service.
+    replicas_[active_]->ingest(report);
+    return;
+  }
+
+  if (primary_alive_) {
+    replicas_[0]->ingest(report);
+    // Hot standby shadows every ingest to keep its dedup state current;
+    // its outputs are suppressed in forward_message.
+    if (config_.mode == Mode::kHot) replicas_[1]->ingest(report);
+    return;
+  }
+
+  // Detection window: the primary is dead but not yet declared so. The
+  // fixed network sees nothing; a hot standby still tracks state so the
+  // loss is bounded by the window, a cold one starts blank at promotion.
+  ++stats_.lost_in_window;
+  if (config_.mode == Mode::kHot) replicas_[1]->ingest(report);
+}
+
+void FilteringFailover::kill_primary() {
+  if (!primary_alive_) return;
+  primary_alive_ = false;
+  crashed_at_ = scheduler_.now();
+  util::log_info("failover", "filtering primary killed at t=%.3fs",
+                 scheduler_.now().to_seconds());
+}
+
+const core::FilteringStats& FilteringFailover::active_stats() const {
+  return replicas_[active_]->stats();
+}
+
+void FilteringFailover::arm_watchdog() {
+  watchdog_ = scheduler_.schedule_after(config_.heartbeat_interval, [this] { on_heartbeat(); });
+}
+
+void FilteringFailover::on_heartbeat() {
+  ++stats_.heartbeats;
+  if (primary_alive_ || failed_over_) {
+    consecutive_misses_ = 0;
+  } else {
+    ++stats_.misses;
+    if (++consecutive_misses_ >= config_.miss_threshold) {
+      promote();
+    }
+  }
+  arm_watchdog();
+}
+
+void FilteringFailover::promote() {
+  failed_over_ = true;
+  active_ = 1 - active_;
+  ++stats_.failovers;
+  stats_.last_detection_latency = scheduler_.now() - crashed_at_;
+  util::log_info("failover", "standby promoted after %.1fms",
+                 stats_.last_detection_latency.to_millis());
+}
+
+void FilteringFailover::forward_message(std::size_t source, const core::DataMessage& message,
+                                        util::SimTime first_heard) {
+  if (source != active_) {
+    ++stats_.suppressed_standby_outputs;
+    return;
+  }
+  if (message_sink_) message_sink_(message, first_heard);
+}
+
+void FilteringFailover::forward_reception(std::size_t source, const core::ReceptionEvent& event) {
+  if (source != active_) return;
+  if (reception_sink_) reception_sink_(event);
+}
+
+}  // namespace garnet

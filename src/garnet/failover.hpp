@@ -1,0 +1,94 @@
+// Service-level replication for the Filtering Service.
+//
+// Paper §3: "Service-level parallelism and replication are not
+// explicitly featured, although their existence shall be presumed for
+// efficiency, data-integrity, and fault-tolerance." This module makes
+// that presumption concrete for the service with the most at stake —
+// Filtering, whose per-stream dedup state guards the exactly-once
+// property — and makes the replication trade-offs measurable:
+//
+//   * kHot  — primary and standby both ingest every reception report;
+//     the standby's outputs are suppressed. Promotion is seamless for
+//     dedup state, at 2x ingest cost.
+//   * kCold — the standby idles until promoted; cheap, but it starts
+//     with empty per-stream state, so copies of messages the old primary
+//     already delivered can leak through as duplicates after failover.
+//
+// A watchdog heartbeats the primary; after `miss_threshold` consecutive
+// misses the standby is promoted. The interval between the crash and the
+// promotion is a detection window during which filtered output stops
+// (hot) or is lost entirely (cold) — also measurable. Failures are
+// injected with kill_primary(), the simulation's stand-in for a crashed
+// service process.
+#pragma once
+
+#include <memory>
+
+#include "core/filtering.hpp"
+
+namespace garnet {
+
+struct FailoverStats {
+  std::uint64_t heartbeats = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t failovers = 0;
+  std::uint64_t suppressed_standby_outputs = 0;  ///< Hot-standby duplicates dropped.
+  std::uint64_t lost_in_window = 0;              ///< Copies ingested while headless.
+  util::Duration last_detection_latency{0};      ///< Crash -> promotion.
+};
+
+class FilteringFailover {
+ public:
+  enum class Mode : std::uint8_t { kHot, kCold };
+
+  struct Config {
+    Mode mode = Mode::kHot;
+    util::Duration heartbeat_interval = util::Duration::millis(100);
+    std::uint32_t miss_threshold = 3;
+    core::FilteringService::Config filtering;
+  };
+
+  FilteringFailover(sim::Scheduler& scheduler, Config config);
+  ~FilteringFailover();
+
+  FilteringFailover(const FilteringFailover&) = delete;
+  FilteringFailover& operator=(const FilteringFailover&) = delete;
+
+  /// Same surface as FilteringService, so the runtime can wire either.
+  void set_message_sink(core::FilteringService::MessageSink sink);
+  void set_reception_sink(core::FilteringService::ReceptionSink sink);
+  void ingest(const wireless::ReceptionReport& report);
+
+  /// Failure injection: the primary stops responding (and stops
+  /// processing). The watchdog notices within
+  /// heartbeat_interval * miss_threshold.
+  void kill_primary();
+
+  [[nodiscard]] bool failed_over() const noexcept { return failed_over_; }
+  [[nodiscard]] const FailoverStats& stats() const noexcept { return stats_; }
+  /// Counters of whichever replica is currently active.
+  [[nodiscard]] const core::FilteringStats& active_stats() const;
+
+ private:
+  void arm_watchdog();
+  void on_heartbeat();
+  void promote();
+  void forward_message(std::size_t source, const core::DataMessage& message,
+                       util::SimTime first_heard);
+  void forward_reception(std::size_t source, const core::ReceptionEvent& event);
+
+  sim::Scheduler& scheduler_;
+  Config config_;
+  std::unique_ptr<core::FilteringService> replicas_[2];
+  std::size_t active_ = 0;
+  bool primary_alive_ = true;
+  bool failed_over_ = false;
+  std::uint32_t consecutive_misses_ = 0;
+  util::SimTime crashed_at_;
+  sim::EventId watchdog_;
+  core::FilteringService::MessageSink message_sink_;
+  core::FilteringService::ReceptionSink reception_sink_;
+  FailoverStats stats_;
+};
+
+}  // namespace garnet

@@ -1,0 +1,79 @@
+#include "garnet/pipeline.hpp"
+
+#include <algorithm>
+
+#include "garnet/runtime.hpp"
+
+namespace garnet {
+
+DerivedStage::DerivedStage(Runtime& runtime, const std::string& name,
+                           std::vector<core::StreamPattern> inputs, StageTransform transform,
+                           const std::string& output_class, core::SubscribeOptions qos)
+    : consumer_(runtime.bus(), "consumer.stage." + name), transform_(std::move(transform)) {
+  runtime.provision(consumer_, "stage." + name);
+  output_ = runtime.create_derived_stream(name, output_class);
+
+  consumer_.set_data_handler([this](const core::Delivery& delivery) {
+    auto produced = transform_(delivery);
+    if (!produced) return;
+    ++published_;
+    consumer_.publish_derived(output_, std::move(*produced),
+                              static_cast<std::uint8_t>(core::HeaderFlag::kFused));
+  });
+  for (const core::StreamPattern& pattern : inputs) consumer_.subscribe(pattern, qos, {});
+}
+
+StageTransform windowed_mean(std::size_t window) {
+  return [window, values = std::vector<double>()](const core::Delivery& delivery) mutable
+         -> std::optional<util::Bytes> {
+    util::ByteReader r(delivery.message.payload);
+    const double value = r.f64();
+    if (!r.ok()) return std::nullopt;
+    values.push_back(value);
+    if (values.size() < window) return std::nullopt;
+    double sum = 0;
+    for (const double x : values) sum += x;
+    values.clear();
+    util::ByteWriter w(8);
+    w.f64(sum / static_cast<double>(window));
+    return std::move(w).take();
+  };
+}
+
+StageTransform threshold_alert(double threshold) {
+  return [threshold, above = false](const core::Delivery& delivery) mutable
+         -> std::optional<util::Bytes> {
+    util::ByteReader r(delivery.message.payload);
+    const double value = r.f64();
+    if (!r.ok()) return std::nullopt;
+    const bool now_above = value > threshold;
+    const bool rising_edge = now_above && !above;
+    above = now_above;
+    if (!rising_edge) return std::nullopt;
+    util::ByteWriter w(8);
+    w.f64(value);
+    return std::move(w).take();
+  };
+}
+
+StageTransform windowed_minmaxmean(std::size_t window) {
+  return [window, values = std::vector<double>()](const core::Delivery& delivery) mutable
+         -> std::optional<util::Bytes> {
+    util::ByteReader r(delivery.message.payload);
+    const double value = r.f64();
+    if (!r.ok()) return std::nullopt;
+    values.push_back(value);
+    if (values.size() < window) return std::nullopt;
+    const auto [lo, hi] = std::minmax_element(values.begin(), values.end());
+    double sum = 0;
+    for (const double x : values) sum += x;
+    util::ByteWriter w(24);
+    w.f64(*lo);
+    w.f64(*hi);
+    w.f64(sum / static_cast<double>(window));
+    values.clear();
+    return std::move(w).take();
+  };
+}
+
+}  // namespace garnet

@@ -1,0 +1,112 @@
+#include "garnet/report.hpp"
+
+#include <cstdio>
+
+#include "garnet/runtime.hpp"
+
+namespace garnet {
+
+RuntimeReport snapshot(Runtime& runtime) {
+  RuntimeReport report;
+  report.captured_at = runtime.scheduler().now();
+  report.radio = runtime.field().medium().stats();
+  report.filtering = runtime.filtering().stats();
+  report.dispatch = runtime.dispatch().stats();
+  report.qos = runtime.dispatch().subscriptions().qos_stats();
+  report.location = runtime.location().stats();
+  report.resource = runtime.resource().stats();
+  report.replicator = runtime.replicator().stats();
+  report.actuation = runtime.actuation().stats();
+  report.coordinator = runtime.coordinator().stats();
+  report.bus = runtime.bus().stats();
+  report.sensors_deployed = runtime.field().sensor_count();
+  report.streams_catalogued = runtime.catalog().size();
+  report.subscriptions = runtime.dispatch().subscriptions().size();
+  report.orphaned_messages = runtime.orphanage().total_received();
+  return report;
+}
+
+namespace {
+
+void line(std::string& out, const char* label, std::uint64_t value) {
+  char buffer[96];
+  std::snprintf(buffer, sizeof buffer, "  %-32s %12llu\n", label,
+                static_cast<unsigned long long>(value));
+  out += buffer;
+}
+
+void header(std::string& out, const char* title) {
+  out += title;
+  out += '\n';
+}
+
+}  // namespace
+
+std::string RuntimeReport::render() const {
+  std::string out;
+  char buffer[96];
+  std::snprintf(buffer, sizeof buffer, "== Garnet status at t=%.3fs ==\n",
+                captured_at.to_seconds());
+  out += buffer;
+
+  header(out, "radio");
+  line(out, "uplink frames", radio.uplink_frames);
+  line(out, "uplink copies delivered", radio.uplink_deliveries);
+  line(out, "uplink duplicates", radio.uplink_duplicates);
+  line(out, "uplink unheard", radio.uplink_unheard);
+  line(out, "frames overheard by relays", radio.overheard);
+  line(out, "downlink broadcasts", radio.downlink_broadcasts);
+
+  header(out, "filtering");
+  line(out, "copies in", filtering.copies_in);
+  line(out, "malformed rejected", filtering.malformed);
+  line(out, "duplicates dropped", filtering.duplicates_dropped);
+  line(out, "relayed copies", filtering.relayed_copies);
+  line(out, "unique messages out", filtering.messages_out);
+  line(out, "streams reconstructed", filtering.streams_seen);
+
+  header(out, "dispatch");
+  line(out, "messages in", dispatch.messages_in);
+  line(out, "derived published", dispatch.derived_in);
+  line(out, "copies delivered", dispatch.copies_delivered);
+  line(out, "orphaned", dispatch.orphaned);
+  line(out, "qos rate-suppressed", qos.suppressed_rate);
+  line(out, "qos stale-suppressed", qos.suppressed_stale);
+  line(out, "active subscriptions", subscriptions);
+
+  header(out, "location");
+  line(out, "observations", location.observations);
+  line(out, "hints", location.hints);
+  line(out, "queries answered", location.queries_answered);
+
+  header(out, "actuation path");
+  line(out, "requests", actuation.requests);
+  line(out, "denied", actuation.denied);
+  line(out, "frames sent", actuation.sent);
+  line(out, "retries", actuation.retries);
+  line(out, "acknowledged", actuation.acked);
+  line(out, "expired", actuation.expired);
+  line(out, "replicator targeted sends", replicator.targeted_sends);
+  line(out, "replicator flooded sends", replicator.flooded_sends);
+
+  header(out, "governance");
+  line(out, "admissions evaluated", resource.evaluated);
+  line(out, "approved", resource.approved);
+  line(out, "modified", resource.modified);
+  line(out, "denied", resource.denied);
+  line(out, "trusted overrides", resource.trusted_overrides);
+  line(out, "pre-arm hits", resource.prearm_hits);
+  line(out, "coordinator reports", coordinator.reports);
+  line(out, "coordinator predictions", coordinator.predictions);
+  line(out, "pre-arms issued", coordinator.prearms_issued);
+  line(out, "policy changes", coordinator.policy_changes);
+
+  header(out, "inventory");
+  line(out, "sensors deployed", sensors_deployed);
+  line(out, "streams catalogued", streams_catalogued);
+  line(out, "orphaned messages stored", orphaned_messages);
+  line(out, "bus envelopes", bus.posted);
+  return out;
+}
+
+}  // namespace garnet

@@ -1,0 +1,47 @@
+// Operator-facing status report: one snapshot of every middleware
+// service's counters, renderable as aligned text. Examples print it;
+// tests assert on the struct; a deployment would export it to metrics.
+#pragma once
+
+#include <string>
+
+#include "core/actuation.hpp"
+#include "core/coordinator.hpp"
+#include "core/dispatch.hpp"
+#include "core/filtering.hpp"
+#include "core/location.hpp"
+#include "core/replicator.hpp"
+#include "core/resource.hpp"
+#include "net/bus.hpp"
+#include "wireless/radio.hpp"
+
+namespace garnet {
+
+class Runtime;
+
+/// Immutable copy of all service counters at one instant.
+struct RuntimeReport {
+  util::SimTime captured_at;
+  wireless::RadioStats radio;
+  core::FilteringStats filtering;
+  core::DispatchStats dispatch;
+  core::QosStats qos;
+  core::LocationStats location;
+  core::ResourceStats resource;
+  core::ReplicatorStats replicator;
+  core::ActuationStats actuation;
+  core::CoordinatorStats coordinator;
+  net::BusStats bus;
+  std::size_t sensors_deployed = 0;
+  std::size_t streams_catalogued = 0;
+  std::size_t subscriptions = 0;
+  std::uint64_t orphaned_messages = 0;
+
+  /// Multi-section aligned text rendering.
+  [[nodiscard]] std::string render() const;
+};
+
+/// Captures the current counters of every service in `runtime`.
+[[nodiscard]] RuntimeReport snapshot(Runtime& runtime);
+
+}  // namespace garnet

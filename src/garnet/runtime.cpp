@@ -1,0 +1,135 @@
+#include "garnet/runtime.hpp"
+
+#include <cassert>
+
+namespace garnet {
+
+Runtime::Runtime(Config config)
+    : config_(config),
+      field_(scheduler_, config.field),
+      bus_(scheduler_, config.bus),
+      auth_(config.auth),
+      filtering_(scheduler_, config.filtering),
+      dispatch_(bus_, auth_, catalog_),
+      orphanage_(bus_, config.orphanage),
+      location_(bus_, auth_, config.location),
+      resource_(bus_, auth_, config.resource),
+      replicator_(field_.medium(), location_, config.replicator),
+      actuation_(bus_, auth_, resource_, replicator_, config.actuation),
+      coordinator_(bus_, auth_, resource_, config.coordinator),
+      catalog_service_(bus_, auth_, catalog_) {
+  wire_services();
+}
+
+void Runtime::wire_services() {
+  // Receivers feed the Filtering Service.
+  field_.medium().set_uplink_sink(
+      [this](const wireless::ReceptionReport& report) { filtering_.ingest(report); });
+
+  // Filtering feeds Dispatching (unique messages) and Location (copies).
+  filtering_.set_message_sink([this](const core::DataMessage& message, util::SimTime heard) {
+    dispatch_.on_filtered(message, heard);
+  });
+  filtering_.set_reception_sink(
+      [this](const core::ReceptionEvent& event) { location_.observe(event); });
+
+  // Unclaimed data goes to the Orphanage; observed acks to Actuation.
+  dispatch_.set_orphan_sink(orphanage_.address());
+  dispatch_.set_ack_observer(
+      [this](std::uint32_t request_id, core::SensorId sensor, util::SimTime at) {
+        actuation_.on_ack(request_id, sensor, at);
+      });
+
+  // Location as a data stream of its own (optional).
+  if (config_.publish_location_stream) {
+    location_stream_ = catalog_.allocate_derived();
+    catalog_.advertise(*location_stream_, "location", "location", /*derived=*/true);
+    location_.set_update_sink(
+        [this](core::SensorId sensor, const core::LocationEstimate& estimate) {
+          publish_location(sensor, estimate);
+        });
+  }
+}
+
+void Runtime::publish_location(core::SensorId sensor, const core::LocationEstimate& estimate) {
+  const util::SimTime now = scheduler_.now();
+  const auto last = last_location_publish_.find(sensor);
+  if (last != last_location_publish_.end() &&
+      now - last->second < config_.location_publish_interval) {
+    return;
+  }
+  last_location_publish_[sensor] = now;
+
+  util::ByteWriter w(3 + 8 * 4);
+  w.u24(sensor);
+  w.f64(estimate.position.x);
+  w.f64(estimate.position.y);
+  w.f64(estimate.radius_m);
+  w.f64(estimate.confidence);
+
+  core::DataMessage message;
+  message.header.set(core::HeaderFlag::kDerived);
+  message.stream_id = *location_stream_;
+  message.sequence = location_sequence_++;
+  message.payload = std::move(w).take();
+  dispatch_.on_filtered(message, now);
+}
+
+void Runtime::deploy_receivers(std::size_t count, double range_m) {
+  field_.add_receiver_grid(count, range_m);
+  location_.set_receiver_layout(field_.medium().receivers());
+}
+
+void Runtime::deploy_transmitters(std::size_t count, double range_m) {
+  field_.add_transmitter_grid(count, range_m);
+}
+
+void Runtime::deploy_population(const wireless::SensorField::PopulationSpec& spec) {
+  field_.add_population(spec);
+  for (std::size_t i = 0; i < spec.count; ++i) {
+    const auto id = spec.first_id + static_cast<core::SensorId>(i);
+    core::SensorProfile profile;
+    profile.id = id;
+    profile.receive_capable = spec.capabilities.receive_capable;
+    profile.constraints[0] = spec.constraints;
+    resource_.register_profile(std::move(profile));
+  }
+}
+
+wireless::SensorNode& Runtime::deploy_sensor(wireless::SensorNode::Config config,
+                                             std::unique_ptr<sim::MobilityModel> mobility) {
+  core::SensorProfile profile;
+  profile.id = config.id;
+  profile.receive_capable = config.capabilities.receive_capable;
+  for (const wireless::StreamSpec& stream : config.streams) {
+    profile.constraints[stream.id] = stream.constraints;
+  }
+  resource_.register_profile(std::move(profile));
+  return field_.add_sensor(std::move(config), std::move(mobility));
+}
+
+core::ConsumerIdentity Runtime::provision(core::Consumer& consumer, const std::string& name,
+                                          std::uint8_t priority,
+                                          std::optional<core::TrustLevel> trust) {
+  if (trust) auth_.grant_trust(name, *trust);
+  auto identity = auth_.register_consumer(name, consumer.address(), priority);
+  assert(identity.ok() && "consumer name already registered");
+  consumer.set_identity(identity.value());
+  return identity.value();
+}
+
+void Runtime::deprovision(core::Consumer& consumer) {
+  const core::ConsumerToken token = consumer.identity().token;
+  auth_.revoke(token);
+  dispatch_.drop_consumer(consumer.address());
+  resource_.withdraw_consumer(token);
+}
+
+core::StreamId Runtime::create_derived_stream(const std::string& name,
+                                              const std::string& stream_class) {
+  const core::StreamId id = catalog_.allocate_derived();
+  catalog_.advertise(id, name, stream_class, /*derived=*/true);
+  return id;
+}
+
+}  // namespace garnet

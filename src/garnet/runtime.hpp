@@ -1,0 +1,147 @@
+// Garnet runtime: one deployable instance of the whole Figure-1 system.
+//
+// Owns the virtual clock, the wireless substrate, the fixed-network bus
+// and every middleware service, and wires them exactly as the paper's
+// architecture diagram shows:
+//
+//   sensors --radio--> receivers -> Filtering -> Dispatching -> consumers
+//                          |             |            +--> Orphanage (unclaimed)
+//                          |       (copy metadata)    +--> ack observations
+//                          v             v                      |
+//                      Location  <---  hints                    v
+//   sensors <--radio-- Transmitters <- Replicator <- Actuation <--- Resource Mgr
+//                                                                       ^
+//                consumers --state changes--> Super Coordinator --------+
+//
+// Applications normally construct a Runtime, deploy receivers /
+// transmitters / sensors, provision consumers, and run the scheduler.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/actuation.hpp"
+#include "core/auth.hpp"
+#include "core/catalog.hpp"
+#include "core/catalog_service.hpp"
+#include "core/consumer.hpp"
+#include "core/coordinator.hpp"
+#include "core/dispatch.hpp"
+#include "core/filtering.hpp"
+#include "core/location.hpp"
+#include "core/orphanage.hpp"
+#include "core/replicator.hpp"
+#include "core/resource.hpp"
+#include "net/bus.hpp"
+#include "sim/scheduler.hpp"
+#include "wireless/field.hpp"
+
+namespace garnet {
+
+class Runtime {
+ public:
+  struct Config {
+    wireless::SensorField::Config field;
+    net::MessageBus::Config bus;
+    core::AuthService::Config auth;
+    core::FilteringService::Config filtering;
+    core::Orphanage::Config orphanage;
+    core::LocationService::Config location;
+    core::ResourceManager::Config resource;
+    core::MessageReplicator::Config replicator;
+    core::ActuationService::Config actuation;
+    core::SuperCoordinator::Config coordinator;
+
+    /// Re-publish location estimates as a subscribable derived stream
+    /// (paper §2 treats location as "any other data stream").
+    bool publish_location_stream = false;
+    /// Per-sensor floor between two location-stream messages.
+    util::Duration location_publish_interval = util::Duration::seconds(1);
+  };
+
+  Runtime() : Runtime(Config{}) {}
+  explicit Runtime(Config config);
+
+  // --- deployment helpers -------------------------------------------------
+
+  /// Grid of receivers; re-announces the layout to the Location Service.
+  void deploy_receivers(std::size_t count, double range_m);
+  void deploy_transmitters(std::size_t count, double range_m);
+
+  /// Adds a random-waypoint population and registers Resource Manager
+  /// profiles for it.
+  void deploy_population(const wireless::SensorField::PopulationSpec& spec);
+
+  /// Adds one explicit sensor and registers its profile.
+  wireless::SensorNode& deploy_sensor(wireless::SensorNode::Config config,
+                                      std::unique_ptr<sim::MobilityModel> mobility);
+
+  /// Issues credentials to a consumer (out-of-band provisioning) and
+  /// installs them on it. `trust` overrides the auth default when set.
+  core::ConsumerIdentity provision(core::Consumer& consumer, const std::string& name,
+                                   std::uint8_t priority = 100,
+                                   std::optional<core::TrustLevel> trust = std::nullopt);
+
+  /// Allocates + advertises a derived stream for a multi-level consumer.
+  core::StreamId create_derived_stream(const std::string& name, const std::string& stream_class);
+
+  /// Tears down a consumer's presence in the middleware: revokes its
+  /// token, drops its subscriptions, and withdraws its actuation demands
+  /// so mediation stops honouring them. The Consumer object itself stays
+  /// usable as a bus endpoint (it simply has no rights left).
+  void deprovision(core::Consumer& consumer);
+
+  // --- execution ------------------------------------------------------------
+
+  void start_sensors() { field_.start_all(); }
+  void run_for(util::Duration span) { scheduler_.run_for(span); }
+  void run_until_idle() { scheduler_.run(); }
+
+  // --- component access -----------------------------------------------------
+
+  [[nodiscard]] sim::Scheduler& scheduler() noexcept { return scheduler_; }
+  [[nodiscard]] wireless::SensorField& field() noexcept { return field_; }
+  [[nodiscard]] net::MessageBus& bus() noexcept { return bus_; }
+  [[nodiscard]] core::AuthService& auth() noexcept { return auth_; }
+  [[nodiscard]] core::StreamCatalog& catalog() noexcept { return catalog_; }
+  [[nodiscard]] core::FilteringService& filtering() noexcept { return filtering_; }
+  [[nodiscard]] core::DispatchingService& dispatch() noexcept { return dispatch_; }
+  [[nodiscard]] core::Orphanage& orphanage() noexcept { return orphanage_; }
+  [[nodiscard]] core::LocationService& location() noexcept { return location_; }
+  [[nodiscard]] core::ResourceManager& resource() noexcept { return resource_; }
+  [[nodiscard]] core::MessageReplicator& replicator() noexcept { return replicator_; }
+  [[nodiscard]] core::ActuationService& actuation() noexcept { return actuation_; }
+  [[nodiscard]] core::SuperCoordinator& coordinator() noexcept { return coordinator_; }
+  [[nodiscard]] core::CatalogService& catalog_service() noexcept { return catalog_service_; }
+
+  /// Id of the derived stream carrying location updates (when enabled).
+  [[nodiscard]] std::optional<core::StreamId> location_stream() const noexcept {
+    return location_stream_;
+  }
+
+ private:
+  void wire_services();
+  void publish_location(core::SensorId sensor, const core::LocationEstimate& estimate);
+
+  Config config_;
+  sim::Scheduler scheduler_;
+  wireless::SensorField field_;
+  net::MessageBus bus_;
+  core::AuthService auth_;
+  core::StreamCatalog catalog_;
+  core::FilteringService filtering_;
+  core::DispatchingService dispatch_;
+  core::Orphanage orphanage_;
+  core::LocationService location_;
+  core::ResourceManager resource_;
+  core::MessageReplicator replicator_;
+  core::ActuationService actuation_;
+  core::SuperCoordinator coordinator_;
+  core::CatalogService catalog_service_;
+
+  std::optional<core::StreamId> location_stream_;
+  core::SequenceNo location_sequence_ = 0;
+  std::unordered_map<core::SensorId, util::SimTime> last_location_publish_;
+};
+
+}  // namespace garnet

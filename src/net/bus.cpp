@@ -1,0 +1,54 @@
+#include "net/bus.hpp"
+
+#include <cassert>
+
+#include "util/rng.hpp"
+
+namespace garnet::net {
+
+MessageBus::MessageBus(sim::Scheduler& scheduler, Config config)
+    : scheduler_(scheduler), config_(config) {}
+
+Address MessageBus::add_endpoint(std::string name, Handler handler) {
+  assert(handler);
+  assert(!names_.contains(name) && "endpoint names must be unique");
+  const Address address{next_address_++};
+  names_.emplace(name, address.value);
+  endpoints_.emplace(address.value, EndpointEntry{std::move(name), std::move(handler)});
+  return address;
+}
+
+void MessageBus::remove_endpoint(Address address) {
+  const auto it = endpoints_.find(address.value);
+  if (it == endpoints_.end()) return;
+  names_.erase(it->second.name);
+  endpoints_.erase(it);
+}
+
+std::optional<Address> MessageBus::lookup(const std::string& name) const {
+  const auto it = names_.find(name);
+  if (it == names_.end()) return std::nullopt;
+  return Address{it->second};
+}
+
+void MessageBus::post(Address from, Address to, MessageType type, util::Bytes payload) {
+  ++stats_.posted;
+  stats_.bytes += payload.size();
+
+  Envelope envelope{from, to, type, std::move(payload), scheduler_.now()};
+  const auto jitter_ns = static_cast<std::int64_t>(
+      util::splitmix64(jitter_state_) % static_cast<std::uint64_t>(config_.max_jitter.ns + 1));
+  const util::Duration delay = config_.latency + util::Duration::nanos(jitter_ns);
+
+  scheduler_.schedule_after(delay, [this, envelope = std::move(envelope)]() mutable {
+    const auto it = endpoints_.find(envelope.to.value);
+    if (it == endpoints_.end()) {
+      ++stats_.dropped_no_endpoint;
+      return;
+    }
+    ++stats_.delivered;
+    it->second.handler(std::move(envelope));
+  });
+}
+
+}  // namespace garnet::net

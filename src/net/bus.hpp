@@ -1,0 +1,100 @@
+// Fixed-network messaging substrate.
+//
+// Figure 1 shows two interaction styles among Garnet's services:
+// event-based asynchronous message passing (the default — "unless
+// otherwise indicated, communication is based on asynchronous message
+// exchange", §3) and remote procedure call (net/rpc.hpp, layered on this
+// bus). Services are logically separate entities exchanging serialised
+// envelopes; a configurable delivery latency models the fixed network.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "sim/scheduler.hpp"
+#include "util/bytes.hpp"
+#include "util/time.hpp"
+
+namespace garnet::net {
+
+/// Endpoint address on the fixed network. 0 is never a valid address.
+struct Address {
+  std::uint32_t value = 0;
+  [[nodiscard]] bool valid() const noexcept { return value != 0; }
+  constexpr auto operator<=>(const Address&) const = default;
+};
+
+/// Application-level message type tag. Values below 100 are reserved for
+/// the substrate (RPC framing); services define their own above that.
+enum class MessageType : std::uint16_t {
+  kRpcRequest = 1,
+  kRpcResponse = 2,
+  kAppBase = 100,
+};
+
+[[nodiscard]] constexpr MessageType app_type(std::uint16_t offset) {
+  return static_cast<MessageType>(static_cast<std::uint16_t>(MessageType::kAppBase) + offset);
+}
+
+struct Envelope {
+  Address from;
+  Address to;
+  MessageType type = MessageType::kAppBase;
+  util::Bytes payload;
+  util::SimTime sent_at;
+};
+
+struct BusStats {
+  std::uint64_t posted = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped_no_endpoint = 0;
+  std::uint64_t bytes = 0;
+};
+
+class MessageBus {
+ public:
+  struct Config {
+    util::Duration latency = util::Duration::micros(200);
+    util::Duration max_jitter = util::Duration::micros(100);
+  };
+
+  MessageBus(sim::Scheduler& scheduler, Config config);
+
+  using Handler = std::function<void(Envelope)>;
+
+  /// Registers a named endpoint; the name supports discovery. Names must
+  /// be unique. Returns the new address.
+  Address add_endpoint(std::string name, Handler handler);
+
+  void remove_endpoint(Address address);
+
+  /// Name-based discovery (paper §3: "typical ... discovery" mechanisms).
+  [[nodiscard]] std::optional<Address> lookup(const std::string& name) const;
+
+  /// Posts an envelope for asynchronous delivery. Delivery is reliable
+  /// (the fixed network, unlike the radio) but takes latency + jitter.
+  void post(Address from, Address to, MessageType type, util::Bytes payload);
+
+  [[nodiscard]] const BusStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] sim::Scheduler& scheduler() noexcept { return scheduler_; }
+  [[nodiscard]] util::SimTime now() const noexcept { return scheduler_.now(); }
+
+ private:
+  struct EndpointEntry {
+    std::string name;
+    Handler handler;
+  };
+
+  sim::Scheduler& scheduler_;
+  Config config_;
+  std::unordered_map<std::uint32_t, EndpointEntry> endpoints_;
+  std::unordered_map<std::string, std::uint32_t> names_;
+  std::uint32_t next_address_ = 1;
+  std::uint64_t jitter_state_ = 0x6A1B2C3D4E5F6071ull;
+  BusStats stats_;
+};
+
+}  // namespace garnet::net

@@ -1,0 +1,150 @@
+#include "net/rpc.hpp"
+
+#include <cassert>
+
+namespace garnet::net {
+namespace {
+
+// RPC request payload:  [u64 call id][u16 method][args...]
+// RPC response payload: [u64 call id][u8 status][reply...]
+enum class Status : std::uint8_t { kOk = 0, kNoSuchMethod = 1, kFailure = 2 };
+
+}  // namespace
+
+std::string_view to_string(RpcError e) {
+  switch (e) {
+    case RpcError::kTimeout: return "timeout";
+    case RpcError::kNoSuchMethod: return "no such method";
+    case RpcError::kRemoteFailure: return "remote failure";
+  }
+  return "unknown";
+}
+
+RpcNode::RpcNode(MessageBus& bus, std::string name, std::function<void(Envelope)> fallback)
+    : bus_(bus), fallback_(std::move(fallback)) {
+  address_ = bus_.add_endpoint(std::move(name), [this](Envelope e) { on_envelope(std::move(e)); });
+}
+
+RpcNode::~RpcNode() {
+  for (auto& [id, call] : pending_) bus_.scheduler().cancel(call.timeout);
+  bus_.remove_endpoint(address_);
+}
+
+void RpcNode::expose(MethodId method, RpcHandler handler) {
+  assert(handler);
+  expose_async(method, [handler = std::move(handler)](Address caller, util::BytesView args,
+                                                      RpcResponder respond) {
+    respond(handler(caller, args));
+  });
+}
+
+void RpcNode::expose_async(MethodId method, AsyncRpcHandler handler) {
+  assert(handler);
+  const auto [it, inserted] = methods_.emplace(method, std::move(handler));
+  assert(inserted && "method already exposed");
+  (void)it;
+  (void)inserted;
+}
+
+void RpcNode::call(Address callee, MethodId method, util::Bytes args, RpcCallback on_done,
+                   util::Duration timeout) {
+  assert(on_done);
+  const std::uint64_t call_id = next_call_id_++;
+
+  util::ByteWriter w(10 + args.size());
+  w.u64(call_id);
+  w.u16(method);
+  w.raw(args);
+
+  const sim::EventId timer = bus_.scheduler().schedule_after(timeout, [this, call_id] {
+    const auto it = pending_.find(call_id);
+    if (it == pending_.end()) return;
+    RpcCallback cb = std::move(it->second.on_done);
+    pending_.erase(it);
+    cb(util::Err{RpcError::kTimeout});
+  });
+
+  pending_.emplace(call_id, PendingCall{std::move(on_done), timer});
+  bus_.post(address_, callee, MessageType::kRpcRequest, std::move(w).take());
+}
+
+void RpcNode::post(Address to, MessageType type, util::Bytes payload) {
+  bus_.post(address_, to, type, std::move(payload));
+}
+
+void RpcNode::on_envelope(Envelope envelope) {
+  switch (envelope.type) {
+    case MessageType::kRpcRequest:
+      on_request(envelope);
+      return;
+    case MessageType::kRpcResponse:
+      on_response(envelope);
+      return;
+    default:
+      if (fallback_) fallback_(std::move(envelope));
+      return;
+  }
+}
+
+void RpcNode::on_request(const Envelope& envelope) {
+  util::ByteReader r(envelope.payload);
+  const std::uint64_t call_id = r.u64();
+  const MethodId method = r.u16();
+  if (!r.ok()) return;  // malformed request; nothing to answer
+
+  const Address caller = envelope.from;
+  const auto it = methods_.find(method);
+  if (it == methods_.end()) {
+    util::ByteWriter w(9);
+    w.u64(call_id);
+    w.u8(static_cast<std::uint8_t>(Status::kNoSuchMethod));
+    bus_.post(address_, caller, MessageType::kRpcResponse, std::move(w).take());
+    return;
+  }
+
+  // The responder may outlive this stack frame (deferred responses); it
+  // captures everything it needs by value.
+  RpcResponder respond = [this, call_id, caller](RpcResult result) {
+    util::ByteWriter w;
+    w.u64(call_id);
+    if (result.ok()) {
+      w.u8(static_cast<std::uint8_t>(Status::kOk));
+      w.raw(result.value());
+    } else {
+      w.u8(static_cast<std::uint8_t>(Status::kFailure));
+    }
+    bus_.post(address_, caller, MessageType::kRpcResponse, std::move(w).take());
+  };
+
+  const util::BytesView args = envelope.payload;
+  it->second(caller, args.subspan(r.consumed()), std::move(respond));
+}
+
+void RpcNode::on_response(const Envelope& envelope) {
+  util::ByteReader r(envelope.payload);
+  const std::uint64_t call_id = r.u64();
+  const auto status = static_cast<Status>(r.u8());
+  if (!r.ok()) return;
+
+  const auto it = pending_.find(call_id);
+  if (it == pending_.end()) return;  // raced with timeout; already reported
+  bus_.scheduler().cancel(it->second.timeout);
+  RpcCallback cb = std::move(it->second.on_done);
+  pending_.erase(it);
+
+  switch (status) {
+    case Status::kOk: {
+      const util::BytesView payload = envelope.payload;
+      cb(util::Bytes(payload.begin() + static_cast<std::ptrdiff_t>(r.consumed()), payload.end()));
+      return;
+    }
+    case Status::kNoSuchMethod:
+      cb(util::Err{RpcError::kNoSuchMethod});
+      return;
+    case Status::kFailure:
+      cb(util::Err{RpcError::kRemoteFailure});
+      return;
+  }
+}
+
+}  // namespace garnet::net

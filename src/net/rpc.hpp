@@ -1,0 +1,87 @@
+// Request/response calls layered on the asynchronous bus.
+//
+// Figure 1 marks some service interactions as Remote Procedure Call (e.g.
+// consumer -> Resource Manager approval). RpcNode gives a service both
+// roles: it can expose methods and call methods on peers, with timeouts.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "net/bus.hpp"
+#include "util/result.hpp"
+
+namespace garnet::net {
+
+enum class RpcError : std::uint8_t {
+  kTimeout,        ///< No response within the deadline.
+  kNoSuchMethod,   ///< Callee does not implement the method.
+  kRemoteFailure,  ///< Callee handler reported failure.
+};
+
+[[nodiscard]] std::string_view to_string(RpcError e);
+
+using MethodId = std::uint16_t;
+
+/// Handler result: ok bytes or failure (mapped to kRemoteFailure).
+using RpcResult = util::Result<util::Bytes, RpcError>;
+using RpcHandler = std::function<RpcResult(Address caller, util::BytesView args)>;
+using RpcCallback = std::function<void(RpcResult)>;
+
+/// Deferred-response handler: the callee answers by invoking `respond`
+/// (exactly once, possibly after further asynchronous work such as an
+/// admission-control deliberation).
+using RpcResponder = std::function<void(RpcResult)>;
+using AsyncRpcHandler =
+    std::function<void(Address caller, util::BytesView args, RpcResponder respond)>;
+
+class RpcNode {
+ public:
+  /// Registers `name` on the bus. Incoming non-RPC envelopes are passed to
+  /// `fallback` (may be empty when a service is purely RPC).
+  RpcNode(MessageBus& bus, std::string name,
+          std::function<void(Envelope)> fallback = {});
+  ~RpcNode();
+
+  RpcNode(const RpcNode&) = delete;
+  RpcNode& operator=(const RpcNode&) = delete;
+
+  /// Exposes a method. Must not already be registered.
+  void expose(MethodId method, RpcHandler handler);
+
+  /// Exposes a method whose response may be produced asynchronously.
+  /// The responder captures this node; it must not fire after the node
+  /// is destroyed (services own their nodes for the program's lifetime).
+  void expose_async(MethodId method, AsyncRpcHandler handler);
+
+  /// Invokes `method` on `callee`; `on_done` fires exactly once, with the
+  /// response or an error (timeout if no reply in time).
+  void call(Address callee, MethodId method, util::Bytes args, RpcCallback on_done,
+            util::Duration timeout = util::Duration::millis(50));
+
+  /// Posts a plain (non-RPC) message from this node's address.
+  void post(Address to, MessageType type, util::Bytes payload);
+
+  [[nodiscard]] Address address() const noexcept { return address_; }
+  [[nodiscard]] MessageBus& bus() noexcept { return bus_; }
+
+ private:
+  void on_envelope(Envelope envelope);
+  void on_request(const Envelope& envelope);
+  void on_response(const Envelope& envelope);
+
+  struct PendingCall {
+    RpcCallback on_done;
+    sim::EventId timeout;
+  };
+
+  MessageBus& bus_;
+  Address address_;
+  std::function<void(Envelope)> fallback_;
+  std::unordered_map<MethodId, AsyncRpcHandler> methods_;
+  std::unordered_map<std::uint64_t, PendingCall> pending_;
+  std::uint64_t next_call_id_ = 1;
+};
+
+}  // namespace garnet::net

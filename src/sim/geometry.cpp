@@ -1,0 +1,34 @@
+#include "sim/geometry.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace garnet::sim {
+
+Vec2 Rect::clamp(Vec2 p) const {
+  return {std::clamp(p.x, min.x, max.x), std::clamp(p.y, min.y, max.y)};
+}
+
+std::vector<Vec2> grid_layout(const Rect& area, std::size_t count) {
+  assert(count > 0);
+  std::vector<Vec2> points;
+  points.reserve(count);
+
+  const auto cols = static_cast<std::size_t>(
+      std::ceil(std::sqrt(static_cast<double>(count) * area.width() / std::max(area.height(), 1e-9))));
+  const std::size_t safe_cols = std::max<std::size_t>(cols, 1);
+  const std::size_t rows = (count + safe_cols - 1) / safe_cols;
+
+  const double dx = area.width() / static_cast<double>(safe_cols);
+  const double dy = area.height() / static_cast<double>(std::max<std::size_t>(rows, 1));
+
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t row = i / safe_cols;
+    const std::size_t col = i % safe_cols;
+    points.push_back({area.min.x + dx * (static_cast<double>(col) + 0.5),
+                      area.min.y + dy * (static_cast<double>(row) + 0.5)});
+  }
+  return points;
+}
+
+}  // namespace garnet::sim

@@ -1,0 +1,54 @@
+// 2-D geometry for the sensor field: positions, regions, coverage tests.
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+namespace garnet::sim {
+
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  constexpr Vec2 operator+(Vec2 o) const { return {x + o.x, y + o.y}; }
+  constexpr Vec2 operator-(Vec2 o) const { return {x - o.x, y - o.y}; }
+  constexpr Vec2 operator*(double k) const { return {x * k, y * k}; }
+  constexpr bool operator==(const Vec2&) const = default;
+
+  [[nodiscard]] double norm() const { return std::hypot(x, y); }
+};
+
+[[nodiscard]] inline double distance(Vec2 a, Vec2 b) { return (a - b).norm(); }
+
+/// Axis-aligned rectangle [min, max].
+struct Rect {
+  Vec2 min;
+  Vec2 max;
+
+  [[nodiscard]] constexpr double width() const { return max.x - min.x; }
+  [[nodiscard]] constexpr double height() const { return max.y - min.y; }
+  [[nodiscard]] constexpr Vec2 center() const { return {(min.x + max.x) / 2, (min.y + max.y) / 2}; }
+  [[nodiscard]] constexpr bool contains(Vec2 p) const {
+    return p.x >= min.x && p.x <= max.x && p.y >= min.y && p.y <= max.y;
+  }
+  /// Nearest point inside the rectangle to p (p itself if contained).
+  [[nodiscard]] Vec2 clamp(Vec2 p) const;
+};
+
+struct Circle {
+  Vec2 center;
+  double radius = 0.0;
+
+  [[nodiscard]] bool contains(Vec2 p) const { return distance(center, p) <= radius; }
+  [[nodiscard]] bool intersects(const Circle& other) const {
+    return distance(center, other.center) <= radius + other.radius;
+  }
+  /// True if any point of the rectangle lies within the circle.
+  [[nodiscard]] bool intersects(const Rect& r) const { return distance(center, r.clamp(center)) <= radius; }
+};
+
+/// Lays out `count` points in a near-square grid covering `area`; used to
+/// place receiver/transmitter arrays with controllable overlap.
+[[nodiscard]] std::vector<Vec2> grid_layout(const Rect& area, std::size_t count);
+
+}  // namespace garnet::sim

@@ -1,0 +1,64 @@
+#include "sim/mobility.hpp"
+
+#include <cassert>
+
+namespace garnet::sim {
+
+RandomWaypoint::RandomWaypoint(Config config, Vec2 start, util::Rng rng)
+    : config_(config), rng_(rng), from_(start), to_(start) {
+  leg_start_ = leg_end_ = pause_end_ = util::SimTime::zero();
+  advance_leg();
+}
+
+void RandomWaypoint::advance_leg() {
+  from_ = to_;
+  to_ = {rng_.uniform(config_.area.min.x, config_.area.max.x),
+         rng_.uniform(config_.area.min.y, config_.area.max.y)};
+  const double speed = rng_.uniform(config_.min_speed_mps, config_.max_speed_mps);
+  const double dist = distance(from_, to_);
+  leg_start_ = pause_end_;
+  const auto travel_ns = static_cast<std::int64_t>(dist / std::max(speed, 1e-9) * 1e9);
+  leg_end_ = leg_start_ + util::Duration::nanos(travel_ns);
+  pause_end_ = leg_end_ + config_.pause;
+}
+
+Vec2 RandomWaypoint::position_at(util::SimTime t) {
+  while (t >= pause_end_) advance_leg();
+  if (t >= leg_end_) return to_;  // pausing at destination
+  if (t <= leg_start_) return from_;
+  const double frac = static_cast<double>((t - leg_start_).ns) /
+                      static_cast<double>(std::max<std::int64_t>((leg_end_ - leg_start_).ns, 1));
+  return from_ + (to_ - from_) * frac;
+}
+
+PathMobility::PathMobility(std::vector<Vec2> waypoints, double speed_mps)
+    : waypoints_(std::move(waypoints)), speed_(speed_mps) {
+  assert(waypoints_.size() >= 2);
+  assert(speed_ > 0);
+  cumulative_.reserve(waypoints_.size() + 1);
+  cumulative_.push_back(0.0);
+  for (std::size_t i = 1; i < waypoints_.size(); ++i) {
+    cumulative_.push_back(cumulative_.back() + distance(waypoints_[i - 1], waypoints_[i]));
+  }
+  // closing segment back to the start
+  cumulative_.push_back(cumulative_.back() + distance(waypoints_.back(), waypoints_.front()));
+  loop_length_ = cumulative_.back();
+  assert(loop_length_ > 0);
+}
+
+Vec2 PathMobility::position_at(util::SimTime t) {
+  const double travelled = std::fmod(speed_ * t.to_seconds(), loop_length_);
+  // find the segment containing `travelled`
+  for (std::size_t i = 1; i < cumulative_.size(); ++i) {
+    if (travelled <= cumulative_[i]) {
+      const Vec2 a = waypoints_[i - 1];
+      const Vec2 b = waypoints_[i % waypoints_.size()];
+      const double seg = cumulative_[i] - cumulative_[i - 1];
+      const double frac = seg > 0 ? (travelled - cumulative_[i - 1]) / seg : 0.0;
+      return a + (b - a) * frac;
+    }
+  }
+  return waypoints_.front();
+}
+
+}  // namespace garnet::sim

@@ -1,0 +1,80 @@
+// Sensor mobility models.
+//
+// The paper's model has *mobile* sensors that "occasionally roam outside
+// the reception zone, which may cause data messages to be lost" (§4.2).
+// Mobility is what produces that behaviour in the reproduction.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "sim/geometry.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace garnet::sim {
+
+/// Position as a function of virtual time. Implementations must be
+/// deterministic given their constructor arguments.
+class MobilityModel {
+ public:
+  virtual ~MobilityModel() = default;
+
+  /// Position at time t. Calls must be non-decreasing in t.
+  [[nodiscard]] virtual Vec2 position_at(util::SimTime t) = 0;
+};
+
+/// A sensor that never moves (e.g. a moored water-level gauge).
+class StaticMobility final : public MobilityModel {
+ public:
+  explicit StaticMobility(Vec2 position) : position_(position) {}
+  [[nodiscard]] Vec2 position_at(util::SimTime) override { return position_; }
+
+ private:
+  Vec2 position_;
+};
+
+/// Random-waypoint: pick a uniform destination in the area, travel at a
+/// uniform speed from [min,max], pause, repeat. The standard WSN mobility
+/// model; sensors drift in and out of receiver coverage.
+class RandomWaypoint final : public MobilityModel {
+ public:
+  struct Config {
+    Rect area{{0, 0}, {1000, 1000}};
+    double min_speed_mps = 0.5;
+    double max_speed_mps = 2.0;
+    util::Duration pause = util::Duration::seconds(5);
+  };
+
+  RandomWaypoint(Config config, Vec2 start, util::Rng rng);
+
+  [[nodiscard]] Vec2 position_at(util::SimTime t) override;
+
+ private:
+  void advance_leg();
+
+  Config config_;
+  util::Rng rng_;
+  Vec2 from_;
+  Vec2 to_;
+  util::SimTime leg_start_;
+  util::SimTime leg_end_;    // arrival at `to_`
+  util::SimTime pause_end_;  // departure on the next leg
+};
+
+/// Follows a fixed closed loop of waypoints at constant speed; used by
+/// scenario examples for patrol-style movement.
+class PathMobility final : public MobilityModel {
+ public:
+  PathMobility(std::vector<Vec2> waypoints, double speed_mps);
+
+  [[nodiscard]] Vec2 position_at(util::SimTime t) override;
+
+ private:
+  std::vector<Vec2> waypoints_;
+  std::vector<double> cumulative_;  // distance to each waypoint along loop
+  double speed_;
+  double loop_length_;
+};
+
+}  // namespace garnet::sim

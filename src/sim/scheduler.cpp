@@ -1,0 +1,63 @@
+#include "sim/scheduler.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace garnet::sim {
+
+EventId Scheduler::schedule_at(util::SimTime at, EventFn fn) {
+  assert(fn);
+  const util::SimTime when = std::max(at, now_);
+  const std::uint64_t seq = next_seq_++;
+  queue_.push(Entry{when, seq, std::move(fn)});
+  pending_.insert(seq);
+  return EventId{seq};
+}
+
+EventId Scheduler::schedule_after(util::Duration delay, EventFn fn) {
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+bool Scheduler::cancel(EventId id) { return id.valid() && pending_.erase(id.value) > 0; }
+
+bool Scheduler::settle_head() {
+  while (!queue_.empty() && !pending_.contains(queue_.top().seq)) {
+    queue_.pop();  // cancelled entry
+  }
+  return !queue_.empty();
+}
+
+void Scheduler::pop_and_run() {
+  Entry top = std::move(const_cast<Entry&>(queue_.top()));
+  queue_.pop();
+  pending_.erase(top.seq);
+  now_ = top.at;
+  ++executed_;
+  top.fn();
+}
+
+std::optional<util::SimTime> Scheduler::next_event_time() {
+  if (!settle_head()) return std::nullopt;
+  return queue_.top().at;
+}
+
+std::size_t Scheduler::run(std::size_t limit) {
+  std::size_t count = 0;
+  while (count < limit && settle_head()) {
+    pop_and_run();
+    ++count;
+  }
+  return count;
+}
+
+std::size_t Scheduler::run_until(util::SimTime deadline) {
+  std::size_t count = 0;
+  while (settle_head() && queue_.top().at <= deadline) {
+    pop_and_run();
+    ++count;
+  }
+  now_ = std::max(now_, deadline);
+  return count;
+}
+
+}  // namespace garnet::sim

@@ -1,0 +1,86 @@
+// Deterministic discrete-event scheduler.
+//
+// Everything in the reproduction — radio propagation delays, fixed-network
+// message latency, sensor sampling timers, service timeouts — runs as
+// events on one virtual clock. Ties are broken by insertion order, so a
+// given seed always replays identically.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace garnet::sim {
+
+using EventFn = std::function<void()>;
+
+/// Handle for cancelling a scheduled event.
+struct EventId {
+  std::uint64_t value = 0;
+  [[nodiscard]] bool valid() const noexcept { return value != 0; }
+};
+
+class Scheduler {
+ public:
+  /// Current virtual time.
+  [[nodiscard]] util::SimTime now() const noexcept { return now_; }
+
+  /// Schedules `fn` at absolute time `at` (clamped to now if in the past).
+  EventId schedule_at(util::SimTime at, EventFn fn);
+
+  /// Schedules `fn` after `delay` from now.
+  EventId schedule_after(util::Duration delay, EventFn fn);
+
+  /// Cancels a pending event. Returns false if it already ran or was
+  /// cancelled before.
+  bool cancel(EventId id);
+
+  /// Runs events until the queue drains or `limit` is reached. Returns
+  /// the number of events executed.
+  std::size_t run(std::size_t limit = SIZE_MAX);
+
+  /// Runs all events with time <= deadline, then advances the clock to
+  /// the deadline.
+  std::size_t run_until(util::SimTime deadline);
+
+  /// Runs for `span` of virtual time from now.
+  std::size_t run_for(util::Duration span) { return run_until(now_ + span); }
+
+  [[nodiscard]] bool idle() const noexcept { return pending_.empty(); }
+  [[nodiscard]] std::size_t pending() const noexcept { return pending_.size(); }
+  [[nodiscard]] std::uint64_t executed() const noexcept { return executed_; }
+
+  /// Time of the next live event, if any (real-time drivers sleep until
+  /// it). Non-const: discards cancelled entries at the head.
+  [[nodiscard]] std::optional<util::SimTime> next_event_time();
+
+ private:
+  struct Entry {
+    util::SimTime at;
+    std::uint64_t seq;  // insertion order breaks ties
+    EventFn fn;
+
+    bool operator>(const Entry& other) const {
+      if (at != other.at) return at > other.at;
+      return seq > other.seq;
+    }
+  };
+
+  /// Discards cancelled entries at the head; returns whether a live event
+  /// remains on top.
+  bool settle_head();
+  void pop_and_run();
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
+  std::unordered_set<std::uint64_t> pending_;  // seq of live (not-yet-run, not-cancelled) events
+  util::SimTime now_ = util::SimTime::zero();
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace garnet::sim

@@ -1,0 +1,42 @@
+#include "util/crc32c.hpp"
+
+#include <array>
+
+namespace garnet::util {
+namespace {
+
+constexpr std::uint32_t kPoly = 0x82F63B78u;  // reflected CRC-32C polynomial
+
+constexpr std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1u) ? (crc >> 1) ^ kPoly : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+constexpr auto kTable = make_table();
+
+}  // namespace
+
+void Crc32c::update(BytesView data) {
+  std::uint32_t crc = state_;
+  for (const std::byte b : data) {
+    crc = kTable[(crc ^ static_cast<std::uint8_t>(b)) & 0xFFu] ^ (crc >> 8);
+  }
+  state_ = crc;
+}
+
+std::uint32_t Crc32c::value() const noexcept { return state_ ^ 0xFFFFFFFFu; }
+
+std::uint32_t crc32c(BytesView data) {
+  Crc32c crc;
+  crc.update(data);
+  return crc.value();
+}
+
+}  // namespace garnet::util

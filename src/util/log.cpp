@@ -1,0 +1,38 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+
+namespace garnet::util {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+constexpr std::string_view level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF  ";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+
+namespace detail {
+
+void log_line(LogLevel level, std::string_view component, std::string_view message) {
+  std::fprintf(stderr, "[%.*s] %-14.*s %.*s\n", static_cast<int>(level_name(level).size()),
+               level_name(level).data(), static_cast<int>(component.size()), component.data(),
+               static_cast<int>(message.size()), message.data());
+}
+
+}  // namespace detail
+}  // namespace garnet::util

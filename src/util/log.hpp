@@ -1,0 +1,54 @@
+// Minimal leveled logger (printf-style; <format> needs GCC 13+).
+//
+// Services log noteworthy transitions (admission denials, orphaned
+// streams, predictive pre-arms); examples raise the level to narrate what
+// the middleware is doing. Default threshold is Warn.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string_view>
+
+namespace garnet::util {
+
+enum class LogLevel : std::uint8_t { kTrace, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Global threshold; messages below it are discarded.
+void set_log_level(LogLevel level);
+[[nodiscard]] LogLevel log_level();
+
+namespace detail {
+void log_line(LogLevel level, std::string_view component, std::string_view message);
+}
+
+template <typename... Args>
+void log(LogLevel level, std::string_view component, const char* fmt, Args... args) {
+  if (level < log_level()) return;
+  char buffer[512];
+  if constexpr (sizeof...(Args) == 0) {
+    detail::log_line(level, component, fmt);
+  } else {
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wformat-security"
+    std::snprintf(buffer, sizeof buffer, fmt, args...);
+#pragma GCC diagnostic pop
+    detail::log_line(level, component, buffer);
+  }
+}
+
+template <typename... Args>
+void log_info(std::string_view component, const char* fmt, Args... args) {
+  log(LogLevel::kInfo, component, fmt, args...);
+}
+
+template <typename... Args>
+void log_warn(std::string_view component, const char* fmt, Args... args) {
+  log(LogLevel::kWarn, component, fmt, args...);
+}
+
+template <typename... Args>
+void log_debug(std::string_view component, const char* fmt, Args... args) {
+  log(LogLevel::kDebug, component, fmt, args...);
+}
+
+}  // namespace garnet::util

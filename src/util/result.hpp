@@ -1,0 +1,83 @@
+// Result<T, E>: a minimal expected-style sum type for fallible operations.
+//
+// Garnet services never throw across service boundaries; fallible calls
+// return Result and callers decide how to react. (std::expected is C++23;
+// this project targets C++20, so we carry a small equivalent.)
+#pragma once
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+namespace garnet::util {
+
+/// Wrapper distinguishing the error alternative when T and E coincide.
+template <typename E>
+struct Err {
+  E value;
+};
+
+template <typename E>
+Err(E) -> Err<E>;
+
+/// Value-or-error sum type. Default-constructs to a default-constructed
+/// value when T is default-constructible.
+template <typename T, typename E>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : storage_(std::in_place_index<0>, std::move(value)) {}
+  Result(Err<E> err) : storage_(std::in_place_index<1>, std::move(err.value)) {}
+
+  [[nodiscard]] bool ok() const noexcept { return storage_.index() == 0; }
+  explicit operator bool() const noexcept { return ok(); }
+
+  /// Precondition: ok().
+  [[nodiscard]] const T& value() const& {
+    assert(ok());
+    return std::get<0>(storage_);
+  }
+  [[nodiscard]] T& value() & {
+    assert(ok());
+    return std::get<0>(storage_);
+  }
+  [[nodiscard]] T&& value() && {
+    assert(ok());
+    return std::get<0>(std::move(storage_));
+  }
+
+  /// Precondition: !ok().
+  [[nodiscard]] const E& error() const& {
+    assert(!ok());
+    return std::get<1>(storage_);
+  }
+
+  [[nodiscard]] T value_or(T fallback) const& {
+    return ok() ? std::get<0>(storage_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, E> storage_;
+};
+
+/// Result specialisation for operations that produce no value.
+template <typename E>
+class [[nodiscard]] Status {
+ public:
+  Status() = default;
+  Status(Err<E> err) : error_(std::move(err.value)), failed_(true) {}
+
+  [[nodiscard]] bool ok() const noexcept { return !failed_; }
+  explicit operator bool() const noexcept { return ok(); }
+
+  /// Precondition: !ok().
+  [[nodiscard]] const E& error() const {
+    assert(failed_);
+    return error_;
+  }
+
+ private:
+  E error_{};
+  bool failed_ = false;
+};
+
+}  // namespace garnet::util

@@ -1,0 +1,66 @@
+// Fixed-capacity ring buffer.
+//
+// Used by the Orphanage for bounded retention of unclaimed data and by the
+// filtering reorder window.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace garnet::util {
+
+/// FIFO of bounded capacity; pushing into a full buffer evicts the oldest
+/// element. Not thread-safe (the simulation is single-threaded).
+template <typename T>
+class RingBuffer {
+ public:
+  explicit RingBuffer(std::size_t capacity) : slots_(capacity) { assert(capacity > 0); }
+
+  /// Returns true if an element was evicted to make room.
+  bool push(T value) {
+    const bool evicted = size_ == slots_.size();
+    if (evicted) head_ = (head_ + 1) % slots_.size();
+    slots_[(head_ + size_ - (evicted ? 1 : 0)) % slots_.size()] = std::move(value);
+    if (!evicted) ++size_;
+    return evicted;
+  }
+
+  /// Precondition: !empty().
+  [[nodiscard]] T& front() {
+    assert(size_ > 0);
+    return slots_[head_];
+  }
+  [[nodiscard]] const T& front() const {
+    assert(size_ > 0);
+    return slots_[head_];
+  }
+
+  void pop() {
+    assert(size_ > 0);
+    head_ = (head_ + 1) % slots_.size();
+    --size_;
+  }
+
+  /// Element i positions from the oldest. Precondition: i < size().
+  [[nodiscard]] const T& at(std::size_t i) const {
+    assert(i < size_);
+    return slots_[(head_ + i) % slots_.size()];
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return slots_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] bool full() const noexcept { return size_ == slots_.size(); }
+  void clear() noexcept {
+    head_ = 0;
+    size_ = 0;
+  }
+
+ private:
+  std::vector<T> slots_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace garnet::util

@@ -1,0 +1,90 @@
+#include "util/stats.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace garnet::util {
+
+void Accumulator::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double Accumulator::variance() const noexcept {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double Accumulator::stddev() const noexcept { return std::sqrt(variance()); }
+
+double Quantiles::quantile(double q) const {
+  if (samples_.empty()) return 0.0;
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  const double clamped = std::clamp(q, 0.0, 1.0);
+  const auto rank = static_cast<std::size_t>(clamped * static_cast<double>(samples_.size() - 1) + 0.5);
+  return samples_[std::min(rank, samples_.size() - 1)];
+}
+
+double Quantiles::mean() const {
+  if (samples_.empty()) return 0.0;
+  double sum = 0.0;
+  for (const double x : samples_) sum += x;
+  return sum / static_cast<double>(samples_.size());
+}
+
+double Quantiles::max() const {
+  if (samples_.empty()) return 0.0;
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), counts_(buckets, 0) {
+  assert(hi > lo && buckets > 0);
+}
+
+void Histogram::add(double x) {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  const auto idx = static_cast<std::size_t>((x - lo_) / (hi_ - lo_) * static_cast<double>(counts_.size()));
+  ++counts_[std::min(idx, counts_.size() - 1)];
+}
+
+std::string Histogram::render(std::size_t width) const {
+  std::uint64_t peak = 1;
+  for (const auto c : counts_) peak = std::max(peak, c);
+  std::string out;
+  const double step = (hi_ - lo_) / static_cast<double>(counts_.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double lo = lo_ + step * static_cast<double>(i);
+    char label[64];
+    std::snprintf(label, sizeof label, "%10.3g | ", lo);
+    out += label;
+    const auto bar = static_cast<std::size_t>(static_cast<double>(counts_[i]) * static_cast<double>(width) / static_cast<double>(peak));
+    out.append(bar, '#');
+    out += "  ";
+    out += std::to_string(counts_[i]);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace garnet::util

@@ -1,0 +1,47 @@
+// Virtual time for the discrete-event world.
+//
+// All latencies the middleware reports are measured in SimTime so that
+// experiment results do not depend on host hardware. SimTime is integer
+// nanoseconds since simulation start.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+
+namespace garnet::util {
+
+/// A span of virtual time, in nanoseconds. Strongly typed to avoid
+/// accidental mixing with raw integers.
+struct Duration {
+  std::int64_t ns = 0;
+
+  [[nodiscard]] static constexpr Duration nanos(std::int64_t n) { return {n}; }
+  [[nodiscard]] static constexpr Duration micros(std::int64_t us) { return {us * 1'000}; }
+  [[nodiscard]] static constexpr Duration millis(std::int64_t ms) { return {ms * 1'000'000}; }
+  [[nodiscard]] static constexpr Duration seconds(std::int64_t s) { return {s * 1'000'000'000}; }
+
+  [[nodiscard]] constexpr double to_seconds() const { return static_cast<double>(ns) / 1e9; }
+  [[nodiscard]] constexpr double to_millis() const { return static_cast<double>(ns) / 1e6; }
+
+  constexpr auto operator<=>(const Duration&) const = default;
+  constexpr Duration operator+(Duration other) const { return {ns + other.ns}; }
+  constexpr Duration operator-(Duration other) const { return {ns - other.ns}; }
+  constexpr Duration operator*(std::int64_t k) const { return {ns * k}; }
+  constexpr Duration operator/(std::int64_t k) const { return {ns / k}; }
+};
+
+/// An instant of virtual time, nanoseconds since simulation start.
+struct SimTime {
+  std::int64_t ns = 0;
+
+  [[nodiscard]] static constexpr SimTime zero() { return {0}; }
+
+  constexpr auto operator<=>(const SimTime&) const = default;
+  constexpr SimTime operator+(Duration d) const { return {ns + d.ns}; }
+  constexpr SimTime operator-(Duration d) const { return {ns - d.ns}; }
+  constexpr Duration operator-(SimTime other) const { return {ns - other.ns}; }
+
+  [[nodiscard]] constexpr double to_seconds() const { return static_cast<double>(ns) / 1e9; }
+};
+
+}  // namespace garnet::util

@@ -1,0 +1,69 @@
+#include "wireless/field.hpp"
+
+namespace garnet::wireless {
+
+SensorField::SensorField(sim::Scheduler& scheduler, Config config)
+    : scheduler_(scheduler),
+      config_(config),
+      rng_(config.seed),
+      medium_(scheduler, config.radio, util::Rng(config.seed ^ 0x5ADD1E5Cull)) {}
+
+void SensorField::add_receiver_grid(std::size_t count, double range_m) {
+  for (const sim::Vec2 pos : sim::grid_layout(config_.area, count)) {
+    medium_.add_receiver(Receiver{next_receiver_id_++, pos, range_m});
+  }
+}
+
+void SensorField::add_transmitter_grid(std::size_t count, double range_m) {
+  for (const sim::Vec2 pos : sim::grid_layout(config_.area, count)) {
+    medium_.add_transmitter(Transmitter{next_transmitter_id_++, pos, range_m});
+  }
+}
+
+SensorNode& SensorField::add_sensor(SensorNode::Config config,
+                                    std::unique_ptr<sim::MobilityModel> mobility) {
+  sensors_.push_back(std::make_unique<SensorNode>(scheduler_, medium_, std::move(config),
+                                                  std::move(mobility), rng_.fork()));
+  return *sensors_.back();
+}
+
+void SensorField::add_population(const PopulationSpec& spec) {
+  for (std::size_t i = 0; i < spec.count; ++i) {
+    SensorNode::Config config;
+    config.id = spec.first_id + static_cast<core::SensorId>(i);
+    config.capabilities = spec.capabilities;
+    StreamSpec stream;
+    stream.id = 0;
+    stream.interval_ms = spec.interval_ms;
+    stream.constraints = spec.constraints;
+    config.streams.push_back(std::move(stream));
+
+    const sim::Vec2 start{rng_.uniform(config_.area.min.x, config_.area.max.x),
+                          rng_.uniform(config_.area.min.y, config_.area.max.y)};
+    sim::RandomWaypoint::Config mobility_config{
+        .area = config_.area,
+        .min_speed_mps = spec.min_speed_mps,
+        .max_speed_mps = spec.max_speed_mps,
+        .pause = util::Duration::seconds(5),
+    };
+    add_sensor(std::move(config),
+               std::make_unique<sim::RandomWaypoint>(mobility_config, start, rng_.fork()));
+  }
+}
+
+void SensorField::start_all() {
+  for (const auto& sensor : sensors_) sensor->start();
+}
+
+void SensorField::stop_all() {
+  for (const auto& sensor : sensors_) sensor->stop();
+}
+
+SensorNode* SensorField::find_sensor(core::SensorId id) {
+  for (const auto& sensor : sensors_) {
+    if (sensor->id() == id) return sensor.get();
+  }
+  return nullptr;
+}
+
+}  // namespace garnet::wireless

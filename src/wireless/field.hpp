@@ -1,0 +1,71 @@
+// SensorField: owns the radio medium and the population of sensor nodes,
+// receivers and transmitters for one deployment, and offers builder
+// helpers the examples and benches use to lay out realistic fields.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "wireless/radio.hpp"
+#include "wireless/sensor.hpp"
+
+namespace garnet::wireless {
+
+class SensorField {
+ public:
+  struct Config {
+    sim::Rect area{{0, 0}, {1000, 1000}};
+    RadioMedium::Config radio;
+    std::uint64_t seed = 1;
+  };
+
+  SensorField(sim::Scheduler& scheduler, Config config);
+
+  /// Places `count` receivers on a grid, each with the given range. With
+  /// range > grid spacing the coverage disks overlap and duplicates arise.
+  void add_receiver_grid(std::size_t count, double range_m);
+
+  /// Places `count` transmitters on a grid for the actuation return path.
+  void add_transmitter_grid(std::size_t count, double range_m);
+
+  /// Adds a sensor with explicit config and mobility. Returns it.
+  SensorNode& add_sensor(SensorNode::Config config,
+                         std::unique_ptr<sim::MobilityModel> mobility);
+
+  /// Adds `count` sensors with ids starting at `first_id`, random-waypoint
+  /// mobility across the field, and one default stream each.
+  struct PopulationSpec {
+    core::SensorId first_id = 1;
+    std::size_t count = 10;
+    SensorCapabilities capabilities{.receive_capable = true, .location_aware = false};
+    std::uint32_t interval_ms = 1000;
+    StreamConstraints constraints;
+    double min_speed_mps = 0.5;
+    double max_speed_mps = 2.0;
+  };
+  void add_population(const PopulationSpec& spec);
+
+  /// Starts sampling on every sensor.
+  void start_all();
+  void stop_all();
+
+  [[nodiscard]] RadioMedium& medium() noexcept { return medium_; }
+  [[nodiscard]] const RadioMedium& medium() const noexcept { return medium_; }
+  [[nodiscard]] sim::Scheduler& scheduler() noexcept { return scheduler_; }
+  [[nodiscard]] const sim::Rect& area() const noexcept { return config_.area; }
+
+  [[nodiscard]] std::size_t sensor_count() const noexcept { return sensors_.size(); }
+  [[nodiscard]] SensorNode& sensor_at(std::size_t i) { return *sensors_.at(i); }
+  [[nodiscard]] SensorNode* find_sensor(core::SensorId id);
+
+ private:
+  sim::Scheduler& scheduler_;
+  Config config_;
+  util::Rng rng_;
+  RadioMedium medium_;
+  std::vector<std::unique_ptr<SensorNode>> sensors_;
+  ReceiverId next_receiver_id_ = 1;
+  TransmitterId next_transmitter_id_ = 1;
+};
+
+}  // namespace garnet::wireless

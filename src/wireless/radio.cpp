@@ -1,0 +1,129 @@
+#include "wireless/radio.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace garnet::wireless {
+
+RadioMedium::RadioMedium(sim::Scheduler& scheduler, Config config, util::Rng rng)
+    : scheduler_(scheduler), config_(config), rng_(rng) {}
+
+void RadioMedium::add_receiver(Receiver receiver) { receivers_.push_back(receiver); }
+
+void RadioMedium::set_uplink_sink(std::function<void(const ReceptionReport&)> sink) {
+  uplink_sink_ = std::move(sink);
+}
+
+void RadioMedium::add_transmitter(Transmitter transmitter) {
+  transmitters_.push_back(transmitter);
+}
+
+void RadioMedium::add_downlink_endpoint(DownlinkEndpoint endpoint) {
+  assert(endpoint.position && endpoint.deliver);
+  endpoints_.push_back(std::move(endpoint));
+}
+
+void RadioMedium::remove_downlink_endpoint(std::uint32_t key) {
+  std::erase_if(endpoints_, [key](const DownlinkEndpoint& e) { return e.key == key; });
+}
+
+void RadioMedium::add_overhear_endpoint(OverhearEndpoint endpoint) {
+  assert(endpoint.position && endpoint.deliver);
+  overhearers_.push_back(std::move(endpoint));
+}
+
+void RadioMedium::remove_overhear_endpoint(std::uint32_t key) {
+  std::erase_if(overhearers_, [key](const OverhearEndpoint& e) { return e.key == key; });
+}
+
+bool RadioMedium::copy_survives(double dist, double range) {
+  const double frac = range > 0 ? std::min(dist / range, 1.0) : 1.0;
+  const double loss = config_.base_loss + config_.edge_loss * frac * frac;
+  return !rng_.chance(loss);
+}
+
+double RadioMedium::rssi_for(double dist) {
+  const double d = std::max(dist, 1.0);
+  return config_.tx_power_dbm - 10.0 * config_.path_loss_exponent * std::log10(d) +
+         rng_.normal(0.0, config_.rssi_noise_stddev);
+}
+
+util::Duration RadioMedium::delivery_delay() {
+  const auto jitter_ns = static_cast<std::int64_t>(
+      rng_.uniform() * static_cast<double>(config_.max_jitter.ns));
+  return config_.hop_latency + util::Duration::nanos(jitter_ns);
+}
+
+void RadioMedium::uplink(sim::Vec2 from, util::Bytes frame, std::uint32_t sender_key) {
+  ++stats_.uplink_frames;
+  stats_.uplink_bytes_sent += frame.size();
+
+  // Peer overhearing (multi-hop substrate): nearby relay-capable nodes
+  // may hear the transmission too, subject to the same loss model.
+  for (const OverhearEndpoint& peer : overhearers_) {
+    if (sender_key != 0 && peer.key == sender_key) continue;  // not own frames
+    const double dist = sim::distance(from, peer.position());
+    if (dist > peer.range_m) continue;
+    if (!copy_survives(dist, peer.range_m)) continue;
+    ++stats_.overheard;
+    const std::uint32_t key = peer.key;
+    scheduler_.schedule_after(delivery_delay(), [this, key, frame]() {
+      const auto target =
+          std::find_if(overhearers_.begin(), overhearers_.end(),
+                       [key](const OverhearEndpoint& e) { return e.key == key; });
+      if (target != overhearers_.end()) target->deliver(frame);
+    });
+  }
+
+  std::size_t copies = 0;
+  for (const Receiver& rx : receivers_) {
+    const double dist = sim::distance(from, rx.position);
+    if (dist > rx.range_m) continue;
+    if (!copy_survives(dist, rx.range_m)) continue;
+
+    ++copies;
+    ++stats_.uplink_deliveries;
+    if (copies > 1) ++stats_.uplink_duplicates;
+
+    ReceptionReport report{rx.id, rssi_for(dist), {}, copies == 1 ? frame : frame};
+    const util::Duration delay = delivery_delay();
+    scheduler_.schedule_after(delay, [this, report = std::move(report)]() mutable {
+      if (!uplink_sink_) return;
+      report.received_at = scheduler_.now();
+      uplink_sink_(report);
+    });
+  }
+  if (copies == 0) ++stats_.uplink_unheard;
+}
+
+std::size_t RadioMedium::downlink(TransmitterId tx, util::Bytes frame) {
+  const auto it = std::find_if(transmitters_.begin(), transmitters_.end(),
+                               [tx](const Transmitter& t) { return t.id == tx; });
+  assert(it != transmitters_.end() && "unknown transmitter");
+
+  ++stats_.downlink_broadcasts;
+  stats_.downlink_bytes_sent += frame.size();
+
+  std::size_t scheduled = 0;
+  for (const DownlinkEndpoint& endpoint : endpoints_) {
+    const double dist = sim::distance(it->position, endpoint.position());
+    if (dist > it->range_m) continue;
+    if (!copy_survives(dist, it->range_m)) continue;
+
+    ++scheduled;
+    ++stats_.downlink_deliveries;
+    const util::Duration delay = delivery_delay();
+    // Capture by key, not reference: the endpoint may deregister (sensor
+    // death) before delivery fires.
+    const std::uint32_t key = endpoint.key;
+    scheduler_.schedule_after(delay, [this, key, frame]() {
+      const auto target = std::find_if(endpoints_.begin(), endpoints_.end(),
+                                       [key](const DownlinkEndpoint& e) { return e.key == key; });
+      if (target != endpoints_.end()) target->deliver(frame);
+    });
+  }
+  return scheduled;
+}
+
+}  // namespace garnet::wireless

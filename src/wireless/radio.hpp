@@ -1,0 +1,152 @@
+// The wireless medium: unreliable, lossy, duplicating — by construction.
+//
+// Uplink: a sensor transmission is heard independently by every receiver
+// whose coverage disk contains the sensor; each hearing may be lost with a
+// distance-dependent probability. Overlapping receivers therefore yield
+// duplicate copies of the same frame (paper §4.2: "Such coverage improves
+// data reception but causes potential duplication of data messages"), and
+// a sensor that has roamed out of all coverage loses the frame entirely.
+//
+// Downlink: fixed transmitters broadcast control frames; mobile sensors
+// within range may hear them, subject to the same loss model.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/geometry.hpp"
+#include "sim/scheduler.hpp"
+#include "util/bytes.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace garnet::wireless {
+
+using ReceiverId = std::uint32_t;
+using TransmitterId = std::uint32_t;
+
+/// One copy of an uplink frame as heard by one receiver. This is what the
+/// fixed network ingests; the Location Service additionally mines it for
+/// position inference (receiver identity + signal strength).
+struct ReceptionReport {
+  ReceiverId receiver;
+  double rssi_dbm = 0.0;
+  util::SimTime received_at;
+  util::Bytes frame;
+};
+
+/// Fixed receive antenna with a circular coverage zone.
+struct Receiver {
+  ReceiverId id = 0;
+  sim::Vec2 position;
+  double range_m = 100.0;
+};
+
+/// Fixed transmit antenna for the return (actuation) path.
+struct Transmitter {
+  TransmitterId id = 0;
+  sim::Vec2 position;
+  double range_m = 150.0;
+};
+
+/// Counters for the radio experiments (E2, E4, E6, E7).
+struct RadioStats {
+  std::uint64_t uplink_frames = 0;        ///< Sensor transmissions attempted.
+  std::uint64_t uplink_deliveries = 0;    ///< Receiver copies delivered (>= frames heard).
+  std::uint64_t uplink_duplicates = 0;    ///< Deliveries beyond the first per frame.
+  std::uint64_t uplink_unheard = 0;       ///< Frames no receiver delivered.
+  std::uint64_t uplink_bytes_sent = 0;    ///< Bytes leaving sensor radios.
+  std::uint64_t downlink_broadcasts = 0;  ///< Transmitter activations.
+  std::uint64_t downlink_deliveries = 0;  ///< Copies delivered to sensors.
+  std::uint64_t downlink_bytes_sent = 0;
+  std::uint64_t overheard = 0;            ///< Uplink copies overheard by peers.
+};
+
+class RadioMedium {
+ public:
+  struct Config {
+    /// Probability a frame copy is lost even in perfect range.
+    double base_loss = 0.02;
+    /// Additional loss grows with (distance/range)^2 up to this at the edge.
+    double edge_loss = 0.35;
+    /// Fixed propagation/processing latency per hop.
+    util::Duration hop_latency = util::Duration::micros(500);
+    /// Uniform extra jitter bound added per delivery.
+    util::Duration max_jitter = util::Duration::millis(4);
+    /// Free-space-style RSSI model: rssi = tx_power - 10 n log10(d).
+    double tx_power_dbm = 0.0;
+    double path_loss_exponent = 2.4;
+    double rssi_noise_stddev = 1.5;
+  };
+
+  RadioMedium(sim::Scheduler& scheduler, Config config, util::Rng rng);
+
+  // --- topology -----------------------------------------------------------
+
+  /// Adds a receive antenna. The sink receives every surviving frame copy.
+  void add_receiver(Receiver receiver);
+
+  /// All frame copies surviving the uplink are delivered here.
+  void set_uplink_sink(std::function<void(const ReceptionReport&)> sink);
+
+  /// Adds a fixed transmitter for the actuation return path.
+  void add_transmitter(Transmitter transmitter);
+
+  /// Registers a mobile downlink listener (a receive-capable sensor).
+  /// `position` is sampled at delivery-decision time so mobility matters.
+  struct DownlinkEndpoint {
+    std::uint32_t key;
+    std::function<sim::Vec2()> position;
+    std::function<void(util::BytesView)> deliver;
+  };
+  void add_downlink_endpoint(DownlinkEndpoint endpoint);
+  void remove_downlink_endpoint(std::uint32_t key);
+
+  /// Registers a node that overhears *uplink* transmissions of nearby
+  /// sensors (the substrate for multi-hop relaying, paper §8). The
+  /// overhearing node never receives its own transmissions.
+  struct OverhearEndpoint {
+    std::uint32_t key;
+    double range_m = 100.0;
+    std::function<sim::Vec2()> position;
+    std::function<void(util::BytesView)> deliver;
+  };
+  void add_overhear_endpoint(OverhearEndpoint endpoint);
+  void remove_overhear_endpoint(std::uint32_t key);
+
+  // --- traffic ------------------------------------------------------------
+
+  /// A sensor at `from` transmits one uplink frame. `sender_key`
+  /// identifies the transmitting node so it does not overhear itself
+  /// (0 = anonymous, never matches an overhear endpoint).
+  void uplink(sim::Vec2 from, util::Bytes frame, std::uint32_t sender_key = 0);
+
+  /// Broadcasts `frame` from the given transmitter. Returns the number of
+  /// endpoint deliveries scheduled (before loss is decided per copy).
+  std::size_t downlink(TransmitterId tx, util::Bytes frame);
+
+  // --- introspection ------------------------------------------------------
+
+  [[nodiscard]] const std::vector<Receiver>& receivers() const noexcept { return receivers_; }
+  [[nodiscard]] const std::vector<Transmitter>& transmitters() const noexcept { return transmitters_; }
+  [[nodiscard]] const RadioStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+
+ private:
+  [[nodiscard]] bool copy_survives(double dist, double range);
+  [[nodiscard]] double rssi_for(double dist);
+  [[nodiscard]] util::Duration delivery_delay();
+
+  sim::Scheduler& scheduler_;
+  Config config_;
+  util::Rng rng_;
+  std::vector<Receiver> receivers_;
+  std::vector<Transmitter> transmitters_;
+  std::vector<DownlinkEndpoint> endpoints_;
+  std::vector<OverhearEndpoint> overhearers_;
+  std::function<void(const ReceptionReport&)> uplink_sink_;
+  RadioStats stats_;
+};
+
+}  // namespace garnet::wireless

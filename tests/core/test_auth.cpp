@@ -1,0 +1,101 @@
+#include "core/auth.hpp"
+
+#include <gtest/gtest.h>
+
+namespace garnet::core {
+namespace {
+
+TEST(Auth, RegisterIssuesVerifiableToken) {
+  AuthService auth({});
+  const auto identity = auth.register_consumer("flood-watch", net::Address{5});
+  ASSERT_TRUE(identity.ok());
+  EXPECT_NE(identity.value().token, 0u);
+
+  const auto verified = auth.verify(identity.value().token);
+  ASSERT_TRUE(verified.has_value());
+  EXPECT_EQ(verified->name, "flood-watch");
+  EXPECT_EQ(verified->address, net::Address{5});
+}
+
+TEST(Auth, DuplicateNameRejected) {
+  AuthService auth({});
+  ASSERT_TRUE(auth.register_consumer("app", net::Address{1}).ok());
+  const auto second = auth.register_consumer("app", net::Address{2});
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.error(), AuthError::kNameTaken);
+}
+
+TEST(Auth, UnknownTokenFailsVerification) {
+  AuthService auth({});
+  EXPECT_FALSE(auth.verify(0xDEAD).has_value());
+}
+
+TEST(Auth, DefaultTrustApplied) {
+  AuthService auth({.secret_seed = 1, .default_trust = TrustLevel::kUntrusted});
+  const auto identity = auth.register_consumer("guest", net::Address{1});
+  ASSERT_TRUE(identity.ok());
+  EXPECT_EQ(identity.value().trust, TrustLevel::kUntrusted);
+}
+
+TEST(Auth, TrustGrantOverridesDefault) {
+  AuthService auth({});
+  auth.grant_trust("ops-console", TrustLevel::kTrusted);
+  const auto identity = auth.register_consumer("ops-console", net::Address{1});
+  ASSERT_TRUE(identity.ok());
+  EXPECT_EQ(identity.value().trust, TrustLevel::kTrusted);
+}
+
+TEST(Auth, TokensDifferAcrossConsumers) {
+  AuthService auth({});
+  const auto a = auth.register_consumer("a", net::Address{1});
+  const auto b = auth.register_consumer("b", net::Address{2});
+  EXPECT_NE(a.value().token, b.value().token);
+}
+
+TEST(Auth, TokensDifferAcrossSecrets) {
+  AuthService auth1({.secret_seed = 1, .default_trust = TrustLevel::kStandard});
+  AuthService auth2({.secret_seed = 2, .default_trust = TrustLevel::kStandard});
+  const auto t1 = auth1.register_consumer("same-name", net::Address{1});
+  const auto t2 = auth2.register_consumer("same-name", net::Address{1});
+  EXPECT_NE(t1.value().token, t2.value().token);
+}
+
+TEST(Auth, RevokeInvalidatesToken) {
+  AuthService auth({});
+  const auto identity = auth.register_consumer("app", net::Address{1});
+  ASSERT_TRUE(auth.revoke(identity.value().token));
+  EXPECT_FALSE(auth.verify(identity.value().token).has_value());
+  EXPECT_FALSE(auth.revoke(identity.value().token));
+}
+
+TEST(Auth, NameReusableAfterRevocation) {
+  AuthService auth({});
+  const auto first = auth.register_consumer("app", net::Address{1});
+  auth.revoke(first.value().token);
+  const auto second = auth.register_consumer("app", net::Address{2});
+  ASSERT_TRUE(second.ok());
+  EXPECT_NE(second.value().id, first.value().id);
+}
+
+TEST(Auth, PriorityRecorded) {
+  AuthService auth({});
+  const auto identity = auth.register_consumer("urgent", net::Address{1}, 250);
+  EXPECT_EQ(identity.value().priority, 250);
+}
+
+TEST(Auth, ConsumerCount) {
+  AuthService auth({});
+  EXPECT_EQ(auth.consumer_count(), 0u);
+  ASSERT_TRUE(auth.register_consumer("a", net::Address{1}).ok());
+  ASSERT_TRUE(auth.register_consumer("b", net::Address{2}).ok());
+  EXPECT_EQ(auth.consumer_count(), 2u);
+}
+
+TEST(Auth, TrustLevelToString) {
+  EXPECT_EQ(to_string(TrustLevel::kUntrusted), "untrusted");
+  EXPECT_EQ(to_string(TrustLevel::kStandard), "standard");
+  EXPECT_EQ(to_string(TrustLevel::kTrusted), "trusted");
+}
+
+}  // namespace
+}  // namespace garnet::core

@@ -1,0 +1,116 @@
+#include "core/catalog.hpp"
+
+#include <gtest/gtest.h>
+
+namespace garnet::core {
+namespace {
+
+using util::SimTime;
+
+TEST(Catalog, AdvertiseAndFind) {
+  StreamCatalog catalog;
+  catalog.advertise({1, 0}, "river-gauge-1", "water-level");
+  const StreamInfo* info = catalog.find({1, 0});
+  ASSERT_NE(info, nullptr);
+  EXPECT_EQ(info->name, "river-gauge-1");
+  EXPECT_EQ(info->stream_class, "water-level");
+  EXPECT_TRUE(info->advertised);
+  EXPECT_FALSE(info->derived);
+}
+
+TEST(Catalog, UnknownStreamIsNull) {
+  StreamCatalog catalog;
+  EXPECT_EQ(catalog.find({9, 9}), nullptr);
+}
+
+TEST(Catalog, NoteMessageAutoDetectsUnadvertised) {
+  // Paper §4.2: pub/sub "permits un-configured data streams to be
+  // detected" — a stream that just shows up becomes discoverable.
+  StreamCatalog catalog;
+  catalog.note_message({4, 2}, SimTime{100});
+  const StreamInfo* info = catalog.find({4, 2});
+  ASSERT_NE(info, nullptr);
+  EXPECT_FALSE(info->advertised);
+  EXPECT_EQ(info->messages, 1u);
+  EXPECT_EQ(info->first_seen, SimTime{100});
+}
+
+TEST(Catalog, NoteMessageUpdatesCounters) {
+  StreamCatalog catalog;
+  catalog.note_message({4, 2}, SimTime{100});
+  catalog.note_message({4, 2}, SimTime{200});
+  const StreamInfo* info = catalog.find({4, 2});
+  ASSERT_NE(info, nullptr);
+  EXPECT_EQ(info->messages, 2u);
+  EXPECT_EQ(info->first_seen, SimTime{100});
+  EXPECT_EQ(info->last_seen, SimTime{200});
+}
+
+TEST(Catalog, AdvertiseAfterDetectionKeepsCounts) {
+  StreamCatalog catalog;
+  catalog.note_message({4, 2}, SimTime{100});
+  catalog.advertise({4, 2}, "late-label", "temperature");
+  const StreamInfo* info = catalog.find({4, 2});
+  ASSERT_NE(info, nullptr);
+  EXPECT_TRUE(info->advertised);
+  EXPECT_EQ(info->messages, 1u);
+}
+
+TEST(Catalog, DiscoverBySensor) {
+  StreamCatalog catalog;
+  catalog.advertise({1, 0}, "a", "temp");
+  catalog.advertise({1, 1}, "b", "humidity");
+  catalog.advertise({2, 0}, "c", "temp");
+  StreamCatalog::Query q;
+  q.sensor = 1;
+  EXPECT_EQ(catalog.discover(q).size(), 2u);
+}
+
+TEST(Catalog, DiscoverByClass) {
+  StreamCatalog catalog;
+  catalog.advertise({1, 0}, "a", "temp");
+  catalog.advertise({2, 0}, "c", "temp");
+  catalog.advertise({3, 0}, "d", "salinity");
+  StreamCatalog::Query q;
+  q.stream_class = "temp";
+  EXPECT_EQ(catalog.discover(q).size(), 2u);
+}
+
+TEST(Catalog, DiscoverCanExcludeUnadvertised) {
+  StreamCatalog catalog;
+  catalog.advertise({1, 0}, "a", "temp");
+  catalog.note_message({2, 0}, SimTime{});
+  StreamCatalog::Query all;
+  EXPECT_EQ(catalog.discover(all).size(), 2u);
+  StreamCatalog::Query advertised_only;
+  advertised_only.include_unadvertised = false;
+  EXPECT_EQ(catalog.discover(advertised_only).size(), 1u);
+}
+
+TEST(Catalog, DerivedAllocationDistinctAndReserved) {
+  StreamCatalog catalog;
+  const StreamId a = catalog.allocate_derived();
+  const StreamId b = catalog.allocate_derived();
+  EXPECT_NE(a, b);
+  EXPECT_GE(a.sensor, kDerivedSensorBase);
+  EXPECT_GE(b.sensor, kDerivedSensorBase);
+}
+
+TEST(Catalog, DerivedAllocationRollsToNextSensor) {
+  StreamCatalog catalog;
+  StreamId last{};
+  for (int i = 0; i < 257; ++i) last = catalog.allocate_derived();
+  EXPECT_EQ(last.sensor, kDerivedSensorBase + 1);
+  EXPECT_EQ(last.stream, 0);
+}
+
+TEST(Catalog, DerivedStreamsFlaggedOnDetection) {
+  StreamCatalog catalog;
+  catalog.note_message({kDerivedSensorBase, 0}, SimTime{});
+  const StreamInfo* info = catalog.find({kDerivedSensorBase, 0});
+  ASSERT_NE(info, nullptr);
+  EXPECT_TRUE(info->derived);
+}
+
+}  // namespace
+}  // namespace garnet::core

@@ -1,0 +1,125 @@
+// Catalog facade: advertising and discovery over the fixed network.
+#include "core/catalog_service.hpp"
+
+#include <gtest/gtest.h>
+
+#include "garnet/runtime.hpp"
+
+namespace garnet::core {
+namespace {
+
+using util::Duration;
+
+struct CatalogServiceFixture : ::testing::Test {
+  Runtime runtime;
+  Consumer consumer{runtime.bus(), "consumer.app"};
+
+  CatalogServiceFixture() { runtime.provision(consumer, "app"); }
+};
+
+TEST_F(CatalogServiceFixture, AdvertiseThenDiscoverByClass) {
+  consumer.advertise({5, 0}, "river-gauge", "water-level");
+  runtime.run_for(Duration::millis(10));
+
+  std::optional<std::vector<StreamInfo>> found;
+  consumer.discover({.sensor = std::nullopt, .stream_class = "water-level",
+                     .include_unadvertised = true},
+                    [&](std::vector<StreamInfo> streams) { found = std::move(streams); });
+  runtime.run_for(Duration::millis(10));
+
+  ASSERT_TRUE(found.has_value());
+  ASSERT_EQ(found->size(), 1u);
+  EXPECT_EQ((*found)[0].name, "river-gauge");
+  EXPECT_EQ((*found)[0].id, (StreamId{5, 0}));
+  EXPECT_TRUE((*found)[0].advertised);
+}
+
+TEST_F(CatalogServiceFixture, DiscoverBySensor) {
+  consumer.advertise({5, 0}, "a", "x");
+  consumer.advertise({5, 1}, "b", "y");
+  consumer.advertise({6, 0}, "c", "x");
+  runtime.run_for(Duration::millis(10));
+
+  std::size_t count = 0;
+  consumer.discover({.sensor = 5, .stream_class = "", .include_unadvertised = true},
+                    [&](std::vector<StreamInfo> streams) { count = streams.size(); });
+  runtime.run_for(Duration::millis(10));
+  EXPECT_EQ(count, 2u);
+}
+
+TEST_F(CatalogServiceFixture, DiscoverEmptyOnNoMatch) {
+  bool called = false;
+  consumer.discover({.sensor = 99, .stream_class = "", .include_unadvertised = true},
+                    [&](std::vector<StreamInfo> streams) {
+                      called = true;
+                      EXPECT_TRUE(streams.empty());
+                    });
+  runtime.run_for(Duration::millis(10));
+  EXPECT_TRUE(called);
+}
+
+TEST_F(CatalogServiceFixture, AdvertiseRequiresValidToken) {
+  Consumer rogue(runtime.bus(), "consumer.rogue");  // never provisioned
+  rogue.advertise({7, 0}, "fake", "x");
+  runtime.run_for(Duration::millis(10));
+  EXPECT_EQ(runtime.catalog().find({7, 0}), nullptr);
+}
+
+TEST_F(CatalogServiceFixture, AllocateDerivedViaRpc) {
+  std::optional<StreamId> allocated;
+  consumer.allocate_derived_stream([&](auto result) {
+    ASSERT_TRUE(result.ok());
+    allocated = result.value();
+  });
+  runtime.run_for(Duration::millis(10));
+  ASSERT_TRUE(allocated.has_value());
+  EXPECT_GE(allocated->sensor, kDerivedSensorBase);
+
+  // The allocated id is immediately usable for publication.
+  consumer.advertise(*allocated, "my-derived", "derived");
+  runtime.run_for(Duration::millis(10));
+  const StreamInfo* info = runtime.catalog().find(*allocated);
+  ASSERT_NE(info, nullptr);
+  EXPECT_TRUE(info->derived);
+}
+
+TEST_F(CatalogServiceFixture, AllocateRequiresValidToken) {
+  Consumer rogue(runtime.bus(), "consumer.rogue");
+  std::optional<bool> ok;
+  rogue.allocate_derived_stream([&](auto result) { ok = result.ok(); });
+  runtime.run_for(Duration::millis(100));
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_FALSE(*ok);
+}
+
+TEST_F(CatalogServiceFixture, DiscoverSeesAutoDetectedStreams) {
+  runtime.catalog().note_message({9, 2}, runtime.scheduler().now());
+  std::size_t with = 0;
+  std::size_t without = 0;
+  consumer.discover({.sensor = 9, .stream_class = "", .include_unadvertised = true},
+                    [&](std::vector<StreamInfo> streams) { with = streams.size(); });
+  consumer.discover({.sensor = 9, .stream_class = "", .include_unadvertised = false},
+                    [&](std::vector<StreamInfo> streams) { without = streams.size(); });
+  runtime.run_for(Duration::millis(10));
+  EXPECT_EQ(with, 1u);
+  EXPECT_EQ(without, 0u);
+}
+
+TEST(DiscoverReply, DecodeRejectsTruncation) {
+  // A truncated reply yields only the complete prefix.
+  util::ByteWriter w;
+  w.u16(2);
+  w.u32(StreamId{1, 0}.packed());
+  w.u8(1);
+  w.u8(0);
+  w.u64(5);
+  w.str("full");
+  w.str("klass");
+  w.u32(StreamId{2, 0}.packed());  // second entry cut short
+  const auto streams = decode_discover_reply(w.view());
+  ASSERT_EQ(streams.size(), 1u);
+  EXPECT_EQ(streams[0].name, "full");
+}
+
+}  // namespace
+}  // namespace garnet::core

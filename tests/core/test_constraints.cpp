@@ -1,0 +1,215 @@
+// The §8 constraint-codification language: parsing, evaluation, and its
+// enforcement path through the Resource Manager.
+#include "core/constraints.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/resource.hpp"
+
+namespace garnet::core {
+namespace {
+
+ConstraintSet parse_ok(std::string_view text) {
+  auto result = ConstraintSet::parse(text);
+  EXPECT_TRUE(result.ok()) << (result.ok() ? "" : result.error().message);
+  return result.ok() ? std::move(result).value() : ConstraintSet{};
+}
+
+TEST(ConstraintParse, EmptyAllowsEverything) {
+  const ConstraintSet set = parse_ok("");
+  EXPECT_TRUE(set.empty());
+  EXPECT_TRUE(set.allows(ConstraintField::kIntervalMs, 0));
+  EXPECT_TRUE(set.allows(ConstraintField::kMode, 0xFFFFFFFF));
+}
+
+TEST(ConstraintParse, SingleRangeClause) {
+  const ConstraintSet set = parse_ok("interval_ms >= 100");
+  EXPECT_TRUE(set.allows(ConstraintField::kIntervalMs, 100));
+  EXPECT_TRUE(set.allows(ConstraintField::kIntervalMs, 5000));
+  EXPECT_FALSE(set.allows(ConstraintField::kIntervalMs, 99));
+  // Other fields untouched.
+  EXPECT_TRUE(set.allows(ConstraintField::kMode, 0));
+}
+
+TEST(ConstraintParse, ConjunctionOfClauses) {
+  const ConstraintSet set =
+      parse_ok("interval_ms >= 100; interval_ms <= 60000; payload_bytes <= 64");
+  EXPECT_EQ(set.clause_count(), 3u);
+  EXPECT_TRUE(set.allows(ConstraintField::kIntervalMs, 100));
+  EXPECT_FALSE(set.allows(ConstraintField::kIntervalMs, 60001));
+  EXPECT_FALSE(set.allows(ConstraintField::kPayloadBytes, 65));
+}
+
+TEST(ConstraintParse, AllOperators) {
+  EXPECT_FALSE(parse_ok("mode < 3").allows(ConstraintField::kMode, 3));
+  EXPECT_TRUE(parse_ok("mode < 3").allows(ConstraintField::kMode, 2));
+  EXPECT_FALSE(parse_ok("mode > 3").allows(ConstraintField::kMode, 3));
+  EXPECT_TRUE(parse_ok("mode > 3").allows(ConstraintField::kMode, 4));
+  EXPECT_TRUE(parse_ok("mode == 3").allows(ConstraintField::kMode, 3));
+  EXPECT_FALSE(parse_ok("mode == 3").allows(ConstraintField::kMode, 4));
+  EXPECT_FALSE(parse_ok("mode != 3").allows(ConstraintField::kMode, 3));
+  EXPECT_TRUE(parse_ok("mode != 3").allows(ConstraintField::kMode, 4));
+}
+
+TEST(ConstraintParse, Membership) {
+  const ConstraintSet set = parse_ok("mode in {0, 1, 4}");
+  EXPECT_TRUE(set.allows(ConstraintField::kMode, 0));
+  EXPECT_TRUE(set.allows(ConstraintField::kMode, 4));
+  EXPECT_FALSE(set.allows(ConstraintField::kMode, 2));
+  EXPECT_FALSE(set.allows(ConstraintField::kMode, 5));
+}
+
+TEST(ConstraintParse, DurationSuffixes) {
+  const ConstraintSet set = parse_ok("interval_ms >= 2s; interval_ms <= 5min");
+  const auto bounds = set.bounds(ConstraintField::kIntervalMs);
+  EXPECT_EQ(bounds.lo, 2000u);
+  EXPECT_EQ(bounds.hi, 300000u);
+}
+
+TEST(ConstraintParse, ExplicitMsSuffix) {
+  const ConstraintSet set = parse_ok("interval_ms >= 250ms");
+  EXPECT_EQ(set.bounds(ConstraintField::kIntervalMs).lo, 250u);
+}
+
+TEST(ConstraintParse, CommentsAndWhitespace) {
+  const ConstraintSet set = parse_ok(
+      "  # power budget for winter deployment\n"
+      "  interval_ms >= 10s;   # at most 0.1 Hz\n"
+      "  mode in {0, 2};       # standby or low-power burst\n");
+  EXPECT_EQ(set.clause_count(), 2u);
+  EXPECT_FALSE(set.allows(ConstraintField::kIntervalMs, 5000));
+  EXPECT_TRUE(set.allows(ConstraintField::kMode, 2));
+}
+
+TEST(ConstraintParse, TrailingSemicolonAccepted) {
+  EXPECT_EQ(parse_ok("mode == 1;").clause_count(), 1u);
+}
+
+TEST(ConstraintParse, ErrorsCarryOffsets) {
+  const auto bad_field = ConstraintSet::parse("speed > 3");
+  ASSERT_FALSE(bad_field.ok());
+  EXPECT_EQ(bad_field.error().offset, 0u);
+
+  const auto bad_op = ConstraintSet::parse("mode ~ 3");
+  ASSERT_FALSE(bad_op.ok());
+  EXPECT_EQ(bad_op.error().offset, 5u);
+
+  const auto bad_number = ConstraintSet::parse("mode == x");
+  ASSERT_FALSE(bad_number.ok());
+  EXPECT_EQ(bad_number.error().offset, 8u);
+
+  const auto missing_semi = ConstraintSet::parse("mode == 1 mode == 2");
+  ASSERT_FALSE(missing_semi.ok());
+
+  const auto bad_set = ConstraintSet::parse("mode in {1, }");
+  ASSERT_FALSE(bad_set.ok());
+
+  const auto overflow = ConstraintSet::parse("interval_ms <= 99999999999");
+  ASSERT_FALSE(overflow.ok());
+}
+
+TEST(ConstraintParse, MembershipDeduplicatesAndSorts) {
+  const ConstraintSet set = parse_ok("mode in {4, 1, 4, 0}");
+  EXPECT_EQ(set.to_string(), "mode in {0, 1, 4}");
+}
+
+TEST(ConstraintClamp, RangeEnvelope) {
+  const ConstraintSet set = parse_ok("interval_ms >= 100; interval_ms <= 60000");
+  EXPECT_EQ(set.clamp(ConstraintField::kIntervalMs, 5), 100u);
+  EXPECT_EQ(set.clamp(ConstraintField::kIntervalMs, 100000), 60000u);
+  EXPECT_EQ(set.clamp(ConstraintField::kIntervalMs, 500), 500u);
+}
+
+TEST(ConstraintClamp, StrictOperatorsTightenEnvelope) {
+  const ConstraintSet set = parse_ok("mode > 2; mode < 10");
+  EXPECT_EQ(set.clamp(ConstraintField::kMode, 0), 3u);
+  EXPECT_EQ(set.clamp(ConstraintField::kMode, 99), 9u);
+}
+
+TEST(ConstraintClamp, EqualityPins) {
+  const ConstraintSet set = parse_ok("payload_bytes == 32");
+  EXPECT_EQ(set.clamp(ConstraintField::kPayloadBytes, 7), 32u);
+  EXPECT_EQ(set.clamp(ConstraintField::kPayloadBytes, 500), 32u);
+}
+
+TEST(ConstraintClamp, ContradictionLeavesValue) {
+  const ConstraintSet set = parse_ok("mode > 10; mode < 5");
+  EXPECT_EQ(set.clamp(ConstraintField::kMode, 7), 7u);  // unsatisfiable: no-op
+  EXPECT_FALSE(set.allows(ConstraintField::kMode, 7));
+}
+
+TEST(ConstraintRender, CanonicalRoundTrip) {
+  const ConstraintSet set = parse_ok("interval_ms >= 1s; mode in {1,2}");
+  const ConstraintSet reparsed = parse_ok(set.to_string());
+  EXPECT_EQ(reparsed.to_string(), set.to_string());
+}
+
+// --- Resource Manager enforcement ------------------------------------------
+
+struct CodifiedFixture : ::testing::Test {
+  sim::Scheduler scheduler;
+  net::MessageBus bus{scheduler, {}};
+  AuthService auth{{}};
+  ResourceManager resource{bus, auth, {}};
+  ConsumerToken token = auth.register_consumer("app", net::Address{1}).value().token;
+};
+
+TEST_F(CodifiedFixture, CodifyRejectsBadText) {
+  const auto status = resource.codify(1, 0, "interval >= wat");
+  ASSERT_FALSE(status.ok());
+  EXPECT_FALSE(status.error().message.empty());
+}
+
+TEST_F(CodifiedFixture, IntervalEnvelopeEnforced) {
+  ASSERT_TRUE(resource.codify(1, 0, "interval_ms >= 1s; interval_ms <= 1min").ok());
+  const Decision too_fast = resource.evaluate_now(token, {1, 0}, UpdateAction::kSetIntervalMs, 50);
+  EXPECT_EQ(too_fast.admission, Admission::kModified);
+  EXPECT_EQ(too_fast.effective_value, 1000u);
+  const Decision ok = resource.evaluate_now(token, {1, 0}, UpdateAction::kSetIntervalMs, 5000);
+  EXPECT_EQ(ok.admission, Admission::kApproved);
+}
+
+TEST_F(CodifiedFixture, ExclusionVetoesInsideEnvelope) {
+  ASSERT_TRUE(resource.codify(1, 0, "interval_ms >= 100; interval_ms != 1000").ok());
+  const Decision vetoed = resource.evaluate_now(token, {1, 0}, UpdateAction::kSetIntervalMs, 1000);
+  EXPECT_EQ(vetoed.admission, Admission::kDenied);
+  EXPECT_EQ(resource.evaluate_now(token, {1, 0}, UpdateAction::kSetIntervalMs, 1500).admission,
+            Admission::kApproved);
+}
+
+TEST_F(CodifiedFixture, ModeWhitelistEnforced) {
+  ASSERT_TRUE(resource.codify(1, 0, "mode in {0, 1, 4}").ok());
+  EXPECT_EQ(resource.evaluate_now(token, {1, 0}, UpdateAction::kSetMode, 4).admission,
+            Admission::kApproved);
+  EXPECT_EQ(resource.evaluate_now(token, {1, 0}, UpdateAction::kSetMode, 3).admission,
+            Admission::kDenied);
+}
+
+TEST_F(CodifiedFixture, PayloadClampedByCodifiedLimit) {
+  ASSERT_TRUE(resource.codify(1, 0, "payload_bytes <= 48").ok());
+  const Decision d = resource.evaluate_now(token, {1, 0}, UpdateAction::kSetPayloadHint, 200);
+  EXPECT_EQ(d.admission, Admission::kModified);
+  EXPECT_EQ(d.effective_value, 48u);
+}
+
+TEST_F(CodifiedFixture, CodifiedComposesWithStructuralConstraints) {
+  SensorProfile profile;
+  profile.id = 1;
+  profile.constraints[0] = {.min_interval_ms = 50, .max_interval_ms = 120000, .max_payload = 64};
+  resource.register_profile(std::move(profile));
+  // Codified floor is stricter than the hardware floor.
+  ASSERT_TRUE(resource.codify(1, 0, "interval_ms >= 500").ok());
+
+  const Decision d = resource.evaluate_now(token, {1, 0}, UpdateAction::kSetIntervalMs, 60);
+  EXPECT_EQ(d.admission, Admission::kModified);
+  EXPECT_EQ(d.effective_value, 500u);  // hardware would allow 60; policy says 500
+}
+
+TEST_F(CodifiedFixture, OtherStreamsUnaffected) {
+  ASSERT_TRUE(resource.codify(1, 0, "mode in {0}").ok());
+  EXPECT_EQ(resource.evaluate_now(token, {1, 1}, UpdateAction::kSetMode, 9).admission,
+            Admission::kApproved);
+}
+
+}  // namespace
+}  // namespace garnet::core

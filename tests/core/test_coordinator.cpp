@@ -1,0 +1,197 @@
+// Super Coordinator: global consumer view, transition learning, and the
+// predictive pre-arm path (paper §6, experiment E5's correctness side).
+#include "core/coordinator.hpp"
+
+#include <gtest/gtest.h>
+
+namespace garnet::core {
+namespace {
+
+using util::Duration;
+
+constexpr std::uint32_t kCalm = 1;
+constexpr std::uint32_t kRising = 2;
+constexpr std::uint32_t kFlood = 3;
+
+struct CoordinatorFixture : ::testing::Test {
+  sim::Scheduler scheduler;
+  net::MessageBus bus{scheduler, {}};
+  AuthService auth{{}};
+  ResourceManager resource{bus, auth,
+                           {.policy = ConflictPolicy::kMostDemandingWins,
+                            .evaluation_delay = Duration::millis(5),
+                            .allow_trusted_override = true,
+                            .demand_ttl = Duration::seconds(300)}};
+  SuperCoordinator coordinator{bus, auth, resource, {}};
+
+  ConsumerIdentity register_consumer(const std::string& name,
+                                     TrustLevel trust = TrustLevel::kStandard) {
+    auth.grant_trust(name, trust);
+    return auth.register_consumer(name, net::Address{1}).value();
+  }
+
+  /// Drives the consumer through the calm -> rising -> flood cycle once.
+  void one_cycle(ConsumerToken token) {
+    coordinator.report_state(token, kCalm);
+    coordinator.report_state(token, kRising);
+    coordinator.report_state(token, kFlood);
+  }
+};
+
+TEST_F(CoordinatorFixture, BuildsGlobalView) {
+  const auto a = register_consumer("a");
+  const auto b = register_consumer("b");
+  coordinator.report_state(a.token, kCalm);
+  coordinator.report_state(b.token, kRising);
+
+  const GlobalView& view = coordinator.view();
+  ASSERT_EQ(view.size(), 2u);
+  EXPECT_EQ(view.at(a.id).state, kCalm);
+  EXPECT_EQ(view.at(b.id).state, kRising);
+  EXPECT_EQ(view.at(a.id).name, "a");
+}
+
+TEST_F(CoordinatorFixture, RejectsUnknownToken) {
+  coordinator.report_state(0xBAD, kCalm);
+  EXPECT_TRUE(coordinator.view().empty());
+  EXPECT_EQ(coordinator.stats().rejected_reports, 1u);
+}
+
+TEST_F(CoordinatorFixture, RejectsUntrustedConsumers) {
+  const auto guest = register_consumer("guest", TrustLevel::kUntrusted);
+  coordinator.report_state(guest.token, kCalm);
+  EXPECT_TRUE(coordinator.view().empty());
+  EXPECT_EQ(coordinator.stats().rejected_reports, 1u);
+}
+
+TEST_F(CoordinatorFixture, LearnsTransitionCounts) {
+  const auto app = register_consumer("app");
+  one_cycle(app.token);
+  one_cycle(app.token);
+
+  const auto counts = coordinator.transition_counts(app.id);
+  EXPECT_EQ(counts.at({kCalm, kRising}), 2u);
+  EXPECT_EQ(counts.at({kRising, kFlood}), 2u);
+  EXPECT_EQ(counts.at({kFlood, kCalm}), 1u);  // wrap between cycles
+}
+
+TEST_F(CoordinatorFixture, SameStateReportIsNotATransition) {
+  const auto app = register_consumer("app");
+  coordinator.report_state(app.token, kCalm);
+  coordinator.report_state(app.token, kCalm);
+  coordinator.report_state(app.token, kCalm);
+  EXPECT_TRUE(coordinator.transition_counts(app.id).empty());
+  EXPECT_EQ(coordinator.view().at(app.id).changes, 3u);
+}
+
+TEST_F(CoordinatorFixture, PrearmsAfterLearnedPattern) {
+  const auto app = register_consumer("app");
+  coordinator.add_rule({"app", kFlood, {7, 0}, UpdateAction::kSetIntervalMs, 100});
+
+  // Train: three full cycles teach rising -> flood.
+  for (int i = 0; i < 3; ++i) one_cycle(app.token);
+  EXPECT_EQ(coordinator.stats().prearms_issued, 0u);  // below min_observations until now
+
+  // Entering "rising" a fourth time predicts "flood" (3 observations,
+  // probability 1.0) and pre-arms the resource manager.
+  coordinator.report_state(app.token, kCalm);
+  coordinator.report_state(app.token, kRising);
+  EXPECT_GE(coordinator.stats().prearms_issued, 1u);
+
+  // The consumer's imminent request is served without deliberation.
+  std::optional<util::SimTime> decided_at;
+  resource.evaluate(app.token, {7, 0}, UpdateAction::kSetIntervalMs, 100,
+                    [&](Decision) { decided_at = scheduler.now(); });
+  ASSERT_TRUE(decided_at.has_value());
+  EXPECT_EQ(decided_at->ns, scheduler.now().ns);  // no 5ms delay
+  EXPECT_EQ(resource.stats().prearm_hits, 1u);
+}
+
+TEST_F(CoordinatorFixture, NoPrearmBelowMinObservations) {
+  const auto app = register_consumer("app");
+  coordinator.add_rule({"app", kFlood, {7, 0}, UpdateAction::kSetIntervalMs, 100});
+  one_cycle(app.token);
+  coordinator.report_state(app.token, kCalm);
+  coordinator.report_state(app.token, kRising);  // only 1 observation of rising->flood
+  EXPECT_EQ(coordinator.stats().prearms_issued, 0u);
+}
+
+TEST_F(CoordinatorFixture, NoPrearmBelowMinProbability) {
+  // A coordinator with a strict probability threshold, on its own stack
+  // (endpoint names are unique per bus).
+  sim::Scheduler scheduler2;
+  net::MessageBus bus2{scheduler2, {}};
+  AuthService auth2{{}};
+  ResourceManager resource2{bus2, auth2, {}};
+  SuperCoordinator picky(bus2, auth2, resource2,
+                         {.min_observations = 2, .min_probability = 0.9,
+                          .min_trust = TrustLevel::kStandard});
+  const auto app = auth2.register_consumer("app", net::Address{1}).value();
+  picky.add_rule({"app", kFlood, {7, 0}, UpdateAction::kSetIntervalMs, 100});
+
+  // rising -> flood half the time, rising -> calm the other half.
+  for (int i = 0; i < 4; ++i) {
+    picky.report_state(app.token, kRising);
+    picky.report_state(app.token, i % 2 == 0 ? kFlood : kCalm);
+  }
+  picky.report_state(app.token, kRising);
+  EXPECT_EQ(picky.stats().prearms_issued, 0u);  // p = 0.5 < 0.9
+}
+
+TEST_F(CoordinatorFixture, RuleScopedToConsumerName) {
+  const auto app = register_consumer("app");
+  const auto other = register_consumer("other");
+  coordinator.add_rule({"other", kFlood, {7, 0}, UpdateAction::kSetIntervalMs, 100});
+  for (int i = 0; i < 3; ++i) one_cycle(app.token);
+  coordinator.report_state(app.token, kCalm);
+  coordinator.report_state(app.token, kRising);
+  EXPECT_EQ(coordinator.stats().prearms_issued, 0u);  // rule is for "other"
+  (void)other;
+}
+
+TEST_F(CoordinatorFixture, WildcardRuleMatchesAnyConsumer) {
+  const auto app = register_consumer("app");
+  coordinator.add_rule({"", kFlood, {7, 0}, UpdateAction::kSetIntervalMs, 100});
+  for (int i = 0; i < 3; ++i) one_cycle(app.token);
+  coordinator.report_state(app.token, kCalm);
+  coordinator.report_state(app.token, kRising);
+  EXPECT_GE(coordinator.stats().prearms_issued, 1u);
+}
+
+TEST_F(CoordinatorFixture, PolicyHookSwitchesResourceStrategy) {
+  // "the Super Coordinator may invoke policy changes in the strategy
+  // used by the Resource Manager" (§4.2).
+  const auto app = register_consumer("app");
+  coordinator.set_policy_hook([](const GlobalView& view) -> std::optional<ConflictPolicy> {
+    for (const auto& [id, consumer] : view) {
+      if (consumer.state == kFlood) return ConflictPolicy::kPriorityWins;
+    }
+    return ConflictPolicy::kMostDemandingWins;
+  });
+
+  coordinator.report_state(app.token, kCalm);
+  EXPECT_EQ(resource.policy(), ConflictPolicy::kMostDemandingWins);
+  coordinator.report_state(app.token, kFlood);
+  EXPECT_EQ(resource.policy(), ConflictPolicy::kPriorityWins);
+  EXPECT_EQ(coordinator.stats().policy_changes, 1u);
+  coordinator.report_state(app.token, kCalm);
+  EXPECT_EQ(resource.policy(), ConflictPolicy::kMostDemandingWins);
+}
+
+TEST_F(CoordinatorFixture, StateChangeEnvelopePath) {
+  const auto app = register_consumer("app");
+  bus.post(net::Address{50}, coordinator.address(), kStateChange,
+           encode(StateChange{app.token, kRising}));
+  scheduler.run();
+  ASSERT_EQ(coordinator.view().size(), 1u);
+  EXPECT_EQ(coordinator.view().at(app.id).state, kRising);
+}
+
+TEST_F(CoordinatorFixture, MalformedStateChangeRejected) {
+  bus.post(net::Address{50}, coordinator.address(), kStateChange, util::to_bytes("junk"));
+  scheduler.run();
+  EXPECT_EQ(coordinator.stats().rejected_reports, 1u);
+}
+
+}  // namespace
+}  // namespace garnet::core

@@ -1,0 +1,223 @@
+#include "core/dispatch.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/scheduler.hpp"
+
+namespace garnet::core {
+namespace {
+
+using util::Duration;
+using util::SimTime;
+
+struct DispatchFixture : ::testing::Test {
+  sim::Scheduler scheduler;
+  net::MessageBus bus{scheduler, {}};
+  AuthService auth{{}};
+  StreamCatalog catalog;
+  DispatchingService dispatch{bus, auth, catalog};
+
+  struct FakeConsumer {
+    net::Address address;
+    std::vector<Delivery> deliveries;
+
+    FakeConsumer(net::MessageBus& bus, const std::string& name) {
+      address = bus.add_endpoint(name, [this](net::Envelope e) {
+        if (e.type != kDataDelivery) return;
+        const auto decoded = decode_delivery(e.payload);
+        ASSERT_TRUE(decoded.ok());
+        deliveries.push_back(decoded.value());
+      });
+    }
+  };
+
+  DataMessage make_message(StreamId id, SequenceNo seq = 0) {
+    DataMessage msg;
+    msg.stream_id = id;
+    msg.sequence = seq;
+    msg.payload = util::to_bytes("data");
+    return msg;
+  }
+};
+
+TEST_F(DispatchFixture, DeliversToExactSubscriber) {
+  FakeConsumer consumer(bus, "c1");
+  dispatch.subscribe(consumer.address, StreamPattern::exact({1, 0}));
+
+  dispatch.on_filtered(make_message({1, 0}), scheduler.now());
+  scheduler.run();
+
+  ASSERT_EQ(consumer.deliveries.size(), 1u);
+  EXPECT_EQ(consumer.deliveries[0].message.stream_id, (StreamId{1, 0}));
+}
+
+TEST_F(DispatchFixture, FansOutToAllSubscribers) {
+  FakeConsumer c1(bus, "c1");
+  FakeConsumer c2(bus, "c2");
+  FakeConsumer c3(bus, "c3");
+  dispatch.subscribe(c1.address, StreamPattern::exact({1, 0}));
+  dispatch.subscribe(c2.address, StreamPattern::all_of(1));
+  dispatch.subscribe(c3.address, StreamPattern::everything());
+
+  dispatch.on_filtered(make_message({1, 0}), scheduler.now());
+  scheduler.run();
+
+  EXPECT_EQ(c1.deliveries.size(), 1u);
+  EXPECT_EQ(c2.deliveries.size(), 1u);
+  EXPECT_EQ(c3.deliveries.size(), 1u);
+  EXPECT_EQ(dispatch.stats().copies_delivered, 3u);
+}
+
+TEST_F(DispatchFixture, NonMatchingSubscriberNotDelivered) {
+  FakeConsumer consumer(bus, "c1");
+  dispatch.subscribe(consumer.address, StreamPattern::exact({2, 0}));
+  dispatch.on_filtered(make_message({1, 0}), scheduler.now());
+  scheduler.run();
+  EXPECT_TRUE(consumer.deliveries.empty());
+}
+
+TEST_F(DispatchFixture, UnclaimedGoesToOrphanSink) {
+  FakeConsumer orphanage(bus, "orphanage");
+  dispatch.set_orphan_sink(orphanage.address);
+
+  dispatch.on_filtered(make_message({5, 5}), scheduler.now());
+  scheduler.run();
+
+  EXPECT_EQ(orphanage.deliveries.size(), 1u);
+  EXPECT_EQ(dispatch.stats().orphaned, 1u);
+}
+
+TEST_F(DispatchFixture, ClaimedDataSkipsOrphanage) {
+  FakeConsumer orphanage(bus, "orphanage");
+  FakeConsumer consumer(bus, "c1");
+  dispatch.set_orphan_sink(orphanage.address);
+  dispatch.subscribe(consumer.address, StreamPattern::exact({1, 0}));
+
+  dispatch.on_filtered(make_message({1, 0}), scheduler.now());
+  scheduler.run();
+
+  EXPECT_TRUE(orphanage.deliveries.empty());
+  EXPECT_EQ(consumer.deliveries.size(), 1u);
+}
+
+TEST_F(DispatchFixture, UnsubscribeStopsDelivery) {
+  FakeConsumer consumer(bus, "c1");
+  const SubscriptionId id = dispatch.subscribe(consumer.address, StreamPattern::exact({1, 0}));
+  dispatch.on_filtered(make_message({1, 0}, 0), scheduler.now());
+  scheduler.run();
+  EXPECT_TRUE(dispatch.unsubscribe(id));
+  dispatch.on_filtered(make_message({1, 0}, 1), scheduler.now());
+  scheduler.run();
+  EXPECT_EQ(consumer.deliveries.size(), 1u);
+}
+
+TEST_F(DispatchFixture, DropConsumerRemovesAllSubscriptions) {
+  FakeConsumer consumer(bus, "c1");
+  dispatch.subscribe(consumer.address, StreamPattern::exact({1, 0}));
+  dispatch.subscribe(consumer.address, StreamPattern::all_of(2));
+  EXPECT_EQ(dispatch.drop_consumer(consumer.address), 2u);
+  dispatch.on_filtered(make_message({1, 0}), scheduler.now());
+  scheduler.run();
+  EXPECT_TRUE(consumer.deliveries.empty());
+}
+
+TEST_F(DispatchFixture, CatalogNotesEveryMessage) {
+  dispatch.on_filtered(make_message({1, 0}), scheduler.now());
+  dispatch.on_filtered(make_message({1, 0}, 1), scheduler.now());
+  EXPECT_NE(catalog.find({1, 0}), nullptr);
+  EXPECT_EQ(catalog.find({1, 0})->messages, 2u);
+}
+
+TEST_F(DispatchFixture, AckObserverFires) {
+  std::vector<std::uint32_t> acks;
+  dispatch.set_ack_observer([&](std::uint32_t request_id, SensorId sensor, SimTime) {
+    acks.push_back(request_id);
+    EXPECT_EQ(sensor, 1u);
+  });
+  DataMessage msg = make_message({1, 0});
+  msg.header.set(HeaderFlag::kAckPresent);
+  msg.ack_request_id = 321;
+  dispatch.on_filtered(msg, scheduler.now());
+  EXPECT_EQ(acks, (std::vector<std::uint32_t>{321}));
+  EXPECT_EQ(dispatch.stats().acks_observed, 1u);
+}
+
+TEST_F(DispatchFixture, FirstHeardTimePropagated) {
+  FakeConsumer consumer(bus, "c1");
+  dispatch.subscribe(consumer.address, StreamPattern::exact({1, 0}));
+  const SimTime heard = SimTime{} + Duration::millis(123);
+  dispatch.on_filtered(make_message({1, 0}), heard);
+  scheduler.run();
+  ASSERT_EQ(consumer.deliveries.size(), 1u);
+  EXPECT_EQ(consumer.deliveries[0].first_heard, heard);
+}
+
+TEST_F(DispatchFixture, SubscribeViaRpc) {
+  FakeConsumer consumer(bus, "c1");
+  const auto identity = auth.register_consumer("c1", consumer.address);
+  ASSERT_TRUE(identity.ok());
+
+  net::RpcNode caller(bus, "caller");
+  bool subscribed = false;
+  util::ByteWriter w(16);
+  w.u64(identity.value().token);
+  w.u64(StreamPattern::exact({1, 0}).packed());
+  caller.call(dispatch.address(), DispatchingService::kSubscribe, std::move(w).take(),
+              [&](net::RpcResult result) {
+                ASSERT_TRUE(result.ok());
+                subscribed = true;
+              });
+  scheduler.run();
+  ASSERT_TRUE(subscribed);
+
+  dispatch.on_filtered(make_message({1, 0}), scheduler.now());
+  scheduler.run();
+  EXPECT_EQ(consumer.deliveries.size(), 1u);
+}
+
+TEST_F(DispatchFixture, SubscribeWithBadTokenRejected) {
+  net::RpcNode caller(bus, "caller");
+  std::optional<net::RpcError> error;
+  util::ByteWriter w(16);
+  w.u64(0xBADBAD);
+  w.u64(StreamPattern::everything().packed());
+  caller.call(dispatch.address(), DispatchingService::kSubscribe, std::move(w).take(),
+              [&](net::RpcResult result) {
+                ASSERT_FALSE(result.ok());
+                error = result.error();
+              });
+  scheduler.run();
+  EXPECT_EQ(error, net::RpcError::kRemoteFailure);
+}
+
+TEST_F(DispatchFixture, DerivedPublishDeliveredToSubscribers) {
+  FakeConsumer consumer(bus, "c1");
+  const StreamId derived = catalog.allocate_derived();
+  dispatch.subscribe(consumer.address, StreamPattern::exact(derived));
+
+  DataMessage msg = make_message(derived);
+  msg.header.set(HeaderFlag::kDerived);
+  bus.post(consumer.address, dispatch.address(), kDerivedPublish, encode(msg));
+  scheduler.run();
+
+  EXPECT_EQ(consumer.deliveries.size(), 1u);
+  EXPECT_EQ(dispatch.stats().derived_in, 1u);
+}
+
+TEST_F(DispatchFixture, DerivedPublishWithoutFlagRejected) {
+  const StreamId derived = catalog.allocate_derived();
+  const DataMessage msg = make_message(derived);  // kDerived flag missing
+  bus.post(net::Address{99}, dispatch.address(), kDerivedPublish, encode(msg));
+  scheduler.run();
+  EXPECT_EQ(dispatch.stats().derived_in, 0u);
+  EXPECT_EQ(dispatch.stats().rejected_publishes, 1u);
+}
+
+TEST_F(DispatchFixture, MalformedDerivedPublishRejected) {
+  bus.post(net::Address{99}, dispatch.address(), kDerivedPublish, util::to_bytes("junk"));
+  scheduler.run();
+  EXPECT_EQ(dispatch.stats().rejected_publishes, 1u);
+}
+
+}  // namespace
+}  // namespace garnet::core

@@ -1,0 +1,228 @@
+// Figure-2 wire format verification, including the paper's exact
+// capacity claims: 16.7M sensors, 256 internal streams per sensor, 64K
+// sequence counts, payloads of 64K bytes (experiment E1's correctness
+// side).
+#include "core/message.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "util/crc32c.hpp"
+#include "util/rng.hpp"
+
+namespace garnet::core {
+namespace {
+
+DataMessage sample_message() {
+  DataMessage msg;
+  msg.stream_id = {123456, 7};
+  msg.sequence = 4242;
+  msg.payload = util::to_bytes("reading: 21.5C");
+  return msg;
+}
+
+TEST(StreamId, PackedRoundTrip) {
+  const StreamId id{0xABCDEF, 0x42};
+  EXPECT_EQ(StreamId::from_packed(id.packed()), id);
+}
+
+TEST(StreamId, CapacityClaims) {
+  // "supports up to 16.7M sensors, 256 internal-streams/sensor".
+  EXPECT_EQ(kMaxSensorId, 16'777'215u);
+  EXPECT_EQ(static_cast<int>(std::numeric_limits<InternalStreamId>::max()), 255);
+  EXPECT_EQ(static_cast<int>(std::numeric_limits<SequenceNo>::max()), 65'535);
+  EXPECT_EQ(kMaxPayload, 65'535u);
+}
+
+TEST(StreamId, ToStringFormat) {
+  EXPECT_EQ((StreamId{17, 3}).to_string(), "17#3");
+}
+
+TEST(MsgHeader, FlagOperations) {
+  MsgHeader h;
+  EXPECT_FALSE(h.has(HeaderFlag::kFused));
+  h.set(HeaderFlag::kFused);
+  h.set(HeaderFlag::kRelayed);
+  EXPECT_TRUE(h.has(HeaderFlag::kFused));
+  EXPECT_TRUE(h.has(HeaderFlag::kRelayed));
+  h.clear(HeaderFlag::kFused);
+  EXPECT_FALSE(h.has(HeaderFlag::kFused));
+  EXPECT_TRUE(h.has(HeaderFlag::kRelayed));
+}
+
+TEST(MsgHeader, PackedVersionAndFlags) {
+  MsgHeader h;
+  h.set(HeaderFlag::kEncrypted);
+  const MsgHeader back = MsgHeader::from_packed(h.packed());
+  EXPECT_EQ(back.version, kFormatVersion);
+  EXPECT_TRUE(back.has(HeaderFlag::kEncrypted));
+}
+
+TEST(MessageCodec, WireLayoutMatchesFigure2) {
+  // Figure 2: 8-bit header | 32-bit StreamID | 16-bit sequence |
+  // 16-bit payload size | payload. Header is 9 bytes = 72 bits.
+  const DataMessage msg = sample_message();
+  const util::Bytes wire = encode(msg);
+  ASSERT_EQ(wire.size(), kFixedHeaderBytes + msg.payload.size() + kChecksumBytes);
+
+  util::ByteReader r(wire);
+  EXPECT_EQ(r.u8(), msg.header.packed());          // bits 0..7
+  EXPECT_EQ(r.u24(), msg.stream_id.sensor);        // bits 8..31
+  EXPECT_EQ(r.u8(), msg.stream_id.stream);         // bits 32..39
+  EXPECT_EQ(r.u16(), msg.sequence);                // bits 40..55
+  EXPECT_EQ(r.u16(), msg.payload.size());          // bits 56..71
+}
+
+TEST(MessageCodec, RoundTripBasic) {
+  const DataMessage msg = sample_message();
+  const auto decoded = decode(encode(msg));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().stream_id, msg.stream_id);
+  EXPECT_EQ(decoded.value().sequence, msg.sequence);
+  EXPECT_EQ(decoded.value().payload, msg.payload);
+  EXPECT_FALSE(decoded.value().ack_request_id.has_value());
+}
+
+TEST(MessageCodec, RoundTripWithAckExtension) {
+  DataMessage msg = sample_message();
+  msg.header.set(HeaderFlag::kAckPresent);
+  msg.ack_request_id = 0xDEADBEEF;
+  const auto decoded = decode(encode(msg));
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_TRUE(decoded.value().ack_request_id.has_value());
+  EXPECT_EQ(*decoded.value().ack_request_id, 0xDEADBEEFu);
+}
+
+TEST(MessageCodec, EmptyPayload) {
+  DataMessage msg = sample_message();
+  msg.payload.clear();
+  const auto decoded = decode(encode(msg));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded.value().payload.empty());
+}
+
+TEST(MessageCodec, MaxPayload) {
+  DataMessage msg = sample_message();
+  msg.payload.assign(kMaxPayload, std::byte{0x5A});
+  const auto decoded = decode(encode(msg));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().payload.size(), kMaxPayload);
+}
+
+TEST(MessageCodec, BoundarySensorIds) {
+  for (const SensorId sensor : {SensorId{0}, SensorId{1}, kMaxSensorId - 1, kMaxSensorId}) {
+    DataMessage msg = sample_message();
+    msg.stream_id.sensor = sensor;
+    const auto decoded = decode(encode(msg));
+    ASSERT_TRUE(decoded.ok()) << sensor;
+    EXPECT_EQ(decoded.value().stream_id.sensor, sensor);
+  }
+}
+
+TEST(MessageCodec, BoundarySequences) {
+  for (const SequenceNo seq : {SequenceNo{0}, SequenceNo{1}, SequenceNo{0x7FFF},
+                               SequenceNo{0x8000}, SequenceNo{0xFFFF}}) {
+    DataMessage msg = sample_message();
+    msg.sequence = seq;
+    const auto decoded = decode(encode(msg));
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded.value().sequence, seq);
+  }
+}
+
+TEST(MessageCodec, AllInternalStreamIds) {
+  for (int stream = 0; stream <= 255; ++stream) {
+    DataMessage msg = sample_message();
+    msg.stream_id.stream = static_cast<InternalStreamId>(stream);
+    const auto decoded = decode(encode(msg));
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded.value().stream_id.stream, stream);
+  }
+}
+
+TEST(MessageCodec, ChecksumDetectsCorruption) {
+  const util::Bytes wire = encode(sample_message());
+  for (std::size_t i = 0; i < wire.size(); ++i) {
+    util::Bytes corrupt = wire;
+    corrupt[i] ^= std::byte{0x01};
+    const auto decoded = decode(corrupt);
+    EXPECT_FALSE(decoded.ok()) << "flip at byte " << i;
+  }
+}
+
+TEST(MessageCodec, TruncatedFailsCleanly) {
+  const util::Bytes wire = encode(sample_message());
+  for (std::size_t keep = 0; keep < kFixedHeaderBytes + kChecksumBytes; ++keep) {
+    const auto decoded = decode(util::BytesView(wire).first(keep));
+    ASSERT_FALSE(decoded.ok());
+    EXPECT_EQ(decoded.error(), util::DecodeError::kTruncated);
+  }
+}
+
+TEST(MessageCodec, TrailingGarbageRejected) {
+  util::Bytes wire = encode(sample_message());
+  wire.push_back(std::byte{0x00});
+  EXPECT_FALSE(decode(wire).ok());
+}
+
+TEST(MessageCodec, WrongVersionRejected) {
+  util::Bytes wire = encode(sample_message());
+  // Force version bits to 2, then re-checksum so only the version is bad.
+  wire[0] = static_cast<std::byte>((2u << 6) | (static_cast<unsigned>(wire[0]) & 0x3F));
+  const util::BytesView body = util::BytesView(wire).first(wire.size() - kChecksumBytes);
+  const std::uint32_t crc = util::crc32c(body);
+  wire[wire.size() - 4] = static_cast<std::byte>(crc >> 24);
+  wire[wire.size() - 3] = static_cast<std::byte>(crc >> 16);
+  wire[wire.size() - 2] = static_cast<std::byte>(crc >> 8);
+  wire[wire.size() - 1] = static_cast<std::byte>(crc);
+  const auto decoded = decode(wire);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.error(), util::DecodeError::kBadVersion);
+}
+
+TEST(MessageCodec, WireSizeMatchesEncoding) {
+  DataMessage msg = sample_message();
+  EXPECT_EQ(encode(msg).size(), msg.wire_size());
+  msg.header.set(HeaderFlag::kAckPresent);
+  msg.ack_request_id = 7;
+  EXPECT_EQ(encode(msg).size(), msg.wire_size());
+}
+
+// Property sweep: random messages across the whole id/seq/payload space
+// round-trip bit-exactly, at several deterministic seeds.
+class MessageRoundTripProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MessageRoundTripProperty, RandomMessagesRoundTrip) {
+  util::Rng rng(GetParam());
+  for (int i = 0; i < 500; ++i) {
+    DataMessage msg;
+    msg.stream_id.sensor = static_cast<SensorId>(rng.below(kMaxSensorId + 1));
+    msg.stream_id.stream = static_cast<InternalStreamId>(rng.below(256));
+    msg.sequence = static_cast<SequenceNo>(rng.below(65536));
+    msg.payload.resize(rng.below(512));
+    for (auto& b : msg.payload) b = static_cast<std::byte>(rng.next());
+    if (rng.chance(0.3)) {
+      msg.header.set(HeaderFlag::kAckPresent);
+      msg.ack_request_id = static_cast<std::uint32_t>(rng.next());
+    }
+    if (rng.chance(0.2)) msg.header.set(HeaderFlag::kFused);
+    if (rng.chance(0.2)) msg.header.set(HeaderFlag::kRelayed);
+    if (rng.chance(0.2)) msg.header.set(HeaderFlag::kEncrypted);
+
+    const auto decoded = decode(encode(msg));
+    ASSERT_TRUE(decoded.ok());
+    const DataMessage& out = decoded.value();
+    EXPECT_EQ(out.stream_id, msg.stream_id);
+    EXPECT_EQ(out.sequence, msg.sequence);
+    EXPECT_EQ(out.payload, msg.payload);
+    EXPECT_EQ(out.header.flags, msg.header.flags);
+    EXPECT_EQ(out.ack_request_id, msg.ack_request_id);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MessageRoundTripProperty,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u));
+
+}  // namespace
+}  // namespace garnet::core

@@ -1,0 +1,124 @@
+#include "core/pubsub.hpp"
+
+#include <gtest/gtest.h>
+
+namespace garnet::core {
+namespace {
+
+TEST(StreamPattern, ExactMatchesOnlyItself) {
+  const auto p = StreamPattern::exact({5, 2});
+  EXPECT_TRUE(p.matches({5, 2}));
+  EXPECT_FALSE(p.matches({5, 3}));
+  EXPECT_FALSE(p.matches({6, 2}));
+  EXPECT_TRUE(p.is_exact());
+}
+
+TEST(StreamPattern, SensorWildcardMatchesAllStreams) {
+  const auto p = StreamPattern::all_of(5);
+  EXPECT_TRUE(p.matches({5, 0}));
+  EXPECT_TRUE(p.matches({5, 255}));
+  EXPECT_FALSE(p.matches({6, 0}));
+  EXPECT_FALSE(p.is_exact());
+}
+
+TEST(StreamPattern, EverythingMatchesEverything) {
+  const auto p = StreamPattern::everything();
+  EXPECT_TRUE(p.matches({0, 0}));
+  EXPECT_TRUE(p.matches({kMaxSensorId, 255}));
+}
+
+TEST(StreamPattern, PackedRoundTrip) {
+  for (const auto p : {StreamPattern::exact({123, 45}), StreamPattern::all_of(99),
+                       StreamPattern::everything(), StreamPattern{std::nullopt, 7}}) {
+    const auto back = StreamPattern::from_packed(p.packed());
+    EXPECT_EQ(back.sensor, p.sensor);
+    EXPECT_EQ(back.stream, p.stream);
+  }
+}
+
+struct TableFixture : ::testing::Test {
+  SubscriptionTable table;
+  std::vector<net::Address> out;
+
+  std::vector<net::Address> collect(StreamId id) {
+    out.clear();
+    table.collect(id, out);
+    return out;
+  }
+};
+
+TEST_F(TableFixture, ExactSubscriptionRouting) {
+  table.add(net::Address{10}, StreamPattern::exact({1, 0}));
+  table.add(net::Address{20}, StreamPattern::exact({2, 0}));
+  EXPECT_EQ(collect({1, 0}), (std::vector<net::Address>{{10}}));
+  EXPECT_EQ(collect({2, 0}), (std::vector<net::Address>{{20}}));
+  EXPECT_TRUE(collect({3, 0}).empty());
+}
+
+TEST_F(TableFixture, WildcardRouting) {
+  table.add(net::Address{10}, StreamPattern::all_of(1));
+  EXPECT_EQ(collect({1, 7}).size(), 1u);
+  EXPECT_TRUE(collect({2, 7}).empty());
+}
+
+TEST_F(TableFixture, ExactAndWildcardDeduplicated) {
+  table.add(net::Address{10}, StreamPattern::exact({1, 0}));
+  table.add(net::Address{10}, StreamPattern::all_of(1));
+  EXPECT_EQ(collect({1, 0}).size(), 1u);  // one copy despite two matches
+}
+
+TEST_F(TableFixture, MultipleConsumersFanOut) {
+  for (std::uint32_t a = 1; a <= 5; ++a) {
+    table.add(net::Address{a}, StreamPattern::exact({1, 0}));
+  }
+  EXPECT_EQ(collect({1, 0}).size(), 5u);
+}
+
+TEST_F(TableFixture, RemoveBySubscriptionId) {
+  const SubscriptionId id = table.add(net::Address{10}, StreamPattern::exact({1, 0}));
+  EXPECT_TRUE(table.remove(id));
+  EXPECT_FALSE(table.remove(id));  // idempotent failure
+  EXPECT_TRUE(collect({1, 0}).empty());
+  EXPECT_EQ(table.size(), 0u);
+}
+
+TEST_F(TableFixture, RemoveWildcardById) {
+  const SubscriptionId id = table.add(net::Address{10}, StreamPattern::everything());
+  EXPECT_TRUE(table.remove(id));
+  EXPECT_TRUE(collect({1, 0}).empty());
+}
+
+TEST_F(TableFixture, RemoveConsumerDropsAllItsSubscriptions) {
+  table.add(net::Address{10}, StreamPattern::exact({1, 0}));
+  table.add(net::Address{10}, StreamPattern::all_of(2));
+  table.add(net::Address{20}, StreamPattern::exact({1, 0}));
+  EXPECT_EQ(table.remove_consumer(net::Address{10}), 2u);
+  EXPECT_EQ(collect({1, 0}), (std::vector<net::Address>{{20}}));
+  EXPECT_TRUE(collect({2, 5}).empty());
+}
+
+TEST_F(TableFixture, AnyoneWants) {
+  EXPECT_FALSE(table.anyone_wants({1, 0}));
+  table.add(net::Address{10}, StreamPattern::all_of(1));
+  EXPECT_TRUE(table.anyone_wants({1, 9}));
+  EXPECT_FALSE(table.anyone_wants({2, 0}));
+}
+
+TEST_F(TableFixture, SizeTracksAddsAndRemoves) {
+  const auto a = table.add(net::Address{1}, StreamPattern::exact({1, 0}));
+  table.add(net::Address{2}, StreamPattern::everything());
+  EXPECT_EQ(table.size(), 2u);
+  table.remove(a);
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST_F(TableFixture, CollectAppendsWithoutClobbering) {
+  table.add(net::Address{10}, StreamPattern::exact({1, 0}));
+  out.push_back(net::Address{99});  // pre-existing content preserved
+  table.collect({1, 0}, out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], net::Address{99});
+}
+
+}  // namespace
+}  // namespace garnet::core

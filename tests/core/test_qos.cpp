@@ -1,0 +1,164 @@
+// Per-subscription quality of service (paper §1: "mechanisms to support
+// quality of service"): rate caps and staleness bounds applied by the
+// Dispatching Service, per subscription, invisible to other consumers.
+#include <gtest/gtest.h>
+
+#include "core/dispatch.hpp"
+#include "sim/scheduler.hpp"
+
+namespace garnet::core {
+namespace {
+
+using util::Duration;
+using util::SimTime;
+
+struct QosFixture : ::testing::Test {
+  sim::Scheduler scheduler;
+  net::MessageBus bus{scheduler, {}};
+  AuthService auth{{}};
+  StreamCatalog catalog;
+  DispatchingService dispatch{bus, auth, catalog};
+
+  struct Sink {
+    net::Address address;
+    std::uint64_t received = 0;
+    Sink(net::MessageBus& bus, const std::string& name) {
+      address = bus.add_endpoint(name, [this](net::Envelope e) {
+        if (e.type == kDataDelivery) ++received;
+      });
+    }
+  };
+
+  SequenceNo next_seq = 0;
+  void publish_at(SimTime when, StreamId id = {1, 0}) {
+    scheduler.schedule_at(when, [this, id] {
+      DataMessage msg;
+      msg.stream_id = id;
+      msg.sequence = next_seq++;
+      dispatch.on_filtered(msg, scheduler.now());
+    });
+  }
+};
+
+TEST_F(QosFixture, RateCapSuppressesExcessDeliveries) {
+  Sink fast(bus, "fast");
+  Sink capped(bus, "capped");
+  dispatch.subscribe(fast.address, StreamPattern::exact({1, 0}));
+  dispatch.subscribe(capped.address, StreamPattern::exact({1, 0}),
+                     {.min_interval_ms = 1000, .max_age_ms = 0});
+
+  // 100 messages at 100ms spacing = 10 virtual seconds.
+  for (int i = 0; i < 100; ++i) publish_at(SimTime{} + Duration::millis(100 * i));
+  scheduler.run();
+
+  EXPECT_EQ(fast.received, 100u);
+  // Capped at 1Hz over 10s: ~10 deliveries.
+  EXPECT_GE(capped.received, 9u);
+  EXPECT_LE(capped.received, 11u);
+  EXPECT_GT(dispatch.subscriptions().qos_stats().suppressed_rate, 80u);
+}
+
+TEST_F(QosFixture, StalenessBoundDropsOldMessages) {
+  Sink fresh_only(bus, "fresh");
+  dispatch.subscribe(fresh_only.address, StreamPattern::exact({1, 0}),
+                     {.min_interval_ms = 0, .max_age_ms = 50});
+
+  // A fresh message (age 0) and a stale one (heard 200ms ago).
+  DataMessage msg;
+  msg.stream_id = {1, 0};
+  msg.sequence = 0;
+  dispatch.on_filtered(msg, scheduler.now());
+  scheduler.run_for(Duration::millis(200));
+  msg.sequence = 1;
+  dispatch.on_filtered(msg, scheduler.now() - Duration::millis(200));
+  scheduler.run();
+
+  EXPECT_EQ(fresh_only.received, 1u);
+  EXPECT_EQ(dispatch.subscriptions().qos_stats().suppressed_stale, 1u);
+}
+
+TEST_F(QosFixture, QosIsPerSubscriptionNotPerStream) {
+  Sink a(bus, "a");
+  Sink b(bus, "b");
+  dispatch.subscribe(a.address, StreamPattern::exact({1, 0}),
+                     {.min_interval_ms = 1000, .max_age_ms = 0});
+  dispatch.subscribe(b.address, StreamPattern::exact({1, 0}),
+                     {.min_interval_ms = 300, .max_age_ms = 0});
+
+  for (int i = 0; i < 30; ++i) publish_at(SimTime{} + Duration::millis(100 * i));
+  scheduler.run();
+
+  // 3 virtual seconds of traffic: ~3 for the 1Hz cap, ~10 for 300ms cap.
+  EXPECT_LT(a.received, b.received);
+  EXPECT_GE(a.received, 2u);
+  EXPECT_GE(b.received, 8u);
+}
+
+TEST_F(QosFixture, SuppressedDeliveryIsNotOrphaned) {
+  Sink orphanage(bus, "orphanage");
+  Sink capped(bus, "capped");
+  dispatch.set_orphan_sink(orphanage.address);
+  dispatch.subscribe(capped.address, StreamPattern::exact({1, 0}),
+                     {.min_interval_ms = 10000, .max_age_ms = 0});
+
+  // Burst of 5 messages: first delivered, rest rate-suppressed — but the
+  // stream is claimed, so nothing may reach the Orphanage.
+  for (int i = 0; i < 5; ++i) publish_at(SimTime{} + Duration::millis(10 * i));
+  scheduler.run();
+
+  EXPECT_EQ(capped.received, 1u);
+  EXPECT_EQ(orphanage.received, 0u);
+  EXPECT_EQ(dispatch.stats().orphaned, 0u);
+}
+
+TEST_F(QosFixture, ZeroOptionsDeliverEverything) {
+  Sink all(bus, "all");
+  dispatch.subscribe(all.address, StreamPattern::exact({1, 0}), {});
+  for (int i = 0; i < 20; ++i) publish_at(SimTime{} + Duration::millis(i));
+  scheduler.run();
+  EXPECT_EQ(all.received, 20u);
+  EXPECT_EQ(dispatch.subscriptions().qos_stats().suppressed_rate, 0u);
+}
+
+TEST_F(QosFixture, RateCapCountsPerSubscriptionClock) {
+  // Two streams, one capped subscription per stream: caps do not couple.
+  Sink s(bus, "s");
+  dispatch.subscribe(s.address, StreamPattern::exact({1, 0}),
+                     {.min_interval_ms = 1000, .max_age_ms = 0});
+  dispatch.subscribe(s.address, StreamPattern::exact({2, 0}),
+                     {.min_interval_ms = 1000, .max_age_ms = 0});
+
+  publish_at(SimTime{} + Duration::millis(0), {1, 0});
+  publish_at(SimTime{} + Duration::millis(10), {2, 0});  // own clock: delivered
+  scheduler.run();
+  EXPECT_EQ(s.received, 2u);
+}
+
+TEST_F(QosFixture, SubscribeWithQosViaRpc) {
+  Sink sink(bus, "consumer-endpoint");
+  const auto identity = auth.register_consumer("c", sink.address);
+  ASSERT_TRUE(identity.ok());
+
+  net::RpcNode caller(bus, "caller");
+  util::ByteWriter w(24);
+  w.u64(identity.value().token);
+  w.u64(StreamPattern::exact({1, 0}).packed());
+  w.u32(1000);  // min interval
+  w.u32(0);     // no staleness bound
+  bool done = false;
+  caller.call(dispatch.address(), DispatchingService::kSubscribe, std::move(w).take(),
+              [&](net::RpcResult result) {
+                ASSERT_TRUE(result.ok());
+                done = true;
+              });
+  scheduler.run();
+  ASSERT_TRUE(done);
+
+  for (int i = 0; i < 20; ++i) publish_at(scheduler.now() + Duration::millis(100 * i));
+  scheduler.run();
+  EXPECT_LE(sink.received, 3u);  // ~2s of traffic at 1Hz cap
+  EXPECT_GE(sink.received, 1u);
+}
+
+}  // namespace
+}  // namespace garnet::core

@@ -1,0 +1,349 @@
+// Resource Manager admission control and conflict mediation (experiment
+// E8's correctness side): mutually-unaware consumers with clashing
+// demands are mediated per policy; trusted consumers may override.
+#include "core/resource.hpp"
+
+#include <gtest/gtest.h>
+
+namespace garnet::core {
+namespace {
+
+using util::Duration;
+
+struct ResourceFixture : ::testing::Test {
+  sim::Scheduler scheduler;
+  net::MessageBus bus{scheduler, {}};
+  AuthService auth{{}};
+
+  ResourceManager make(ConflictPolicy policy) {
+    ResourceManager::Config config;
+    config.policy = policy;
+    config.evaluation_delay = Duration::millis(5);
+    return ResourceManager(bus, auth, config);
+  }
+
+  ConsumerToken register_consumer(AuthService& a, const std::string& name,
+                                  std::uint8_t priority = 100,
+                                  std::optional<TrustLevel> trust = std::nullopt) {
+    if (trust) a.grant_trust(name, *trust);
+    const auto identity = a.register_consumer(name, net::Address{1}, priority);
+    return identity.value().token;
+  }
+
+  SensorProfile profile_for(SensorId id, bool receive_capable = true) {
+    SensorProfile profile;
+    profile.id = id;
+    profile.receive_capable = receive_capable;
+    profile.constraints[0] = {.min_interval_ms = 100, .max_interval_ms = 60000, .max_payload = 64};
+    return profile;
+  }
+};
+
+TEST_F(ResourceFixture, UnknownTokenDenied) {
+  ResourceManager rm = make(ConflictPolicy::kMostDemandingWins);
+  const Decision d = rm.evaluate_now(0xBAD, {1, 0}, UpdateAction::kSetIntervalMs, 500);
+  EXPECT_EQ(d.admission, Admission::kDenied);
+}
+
+TEST_F(ResourceFixture, UntrustedConsumerDenied) {
+  ResourceManager rm = make(ConflictPolicy::kMostDemandingWins);
+  const ConsumerToken token = register_consumer(auth, "guest", 100, TrustLevel::kUntrusted);
+  const Decision d = rm.evaluate_now(token, {1, 0}, UpdateAction::kSetIntervalMs, 500);
+  EXPECT_EQ(d.admission, Admission::kDenied);
+}
+
+TEST_F(ResourceFixture, TransmitOnlySensorDenied) {
+  ResourceManager rm = make(ConflictPolicy::kMostDemandingWins);
+  rm.register_profile(profile_for(1, /*receive_capable=*/false));
+  const ConsumerToken token = register_consumer(auth, "app");
+  const Decision d = rm.evaluate_now(token, {1, 0}, UpdateAction::kSetIntervalMs, 500);
+  EXPECT_EQ(d.admission, Admission::kDenied);
+}
+
+TEST_F(ResourceFixture, SingleDemandApproved) {
+  ResourceManager rm = make(ConflictPolicy::kMostDemandingWins);
+  rm.register_profile(profile_for(1));
+  const ConsumerToken token = register_consumer(auth, "app");
+  const Decision d = rm.evaluate_now(token, {1, 0}, UpdateAction::kSetIntervalMs, 500);
+  EXPECT_EQ(d.admission, Admission::kApproved);
+  EXPECT_EQ(d.effective_value, 500u);
+  EXPECT_EQ(rm.believed_interval({1, 0}), 500u);
+}
+
+TEST_F(ResourceFixture, ConstraintClampModifies) {
+  ResourceManager rm = make(ConflictPolicy::kMostDemandingWins);
+  rm.register_profile(profile_for(1));  // floor 100ms
+  const ConsumerToken token = register_consumer(auth, "app");
+  const Decision d = rm.evaluate_now(token, {1, 0}, UpdateAction::kSetIntervalMs, 10);
+  EXPECT_EQ(d.admission, Admission::kModified);
+  EXPECT_EQ(d.effective_value, 100u);
+}
+
+TEST_F(ResourceFixture, MostDemandingWinsTakesFastestRate) {
+  ResourceManager rm = make(ConflictPolicy::kMostDemandingWins);
+  rm.register_profile(profile_for(1));
+  const ConsumerToken slow = register_consumer(auth, "slow");
+  const ConsumerToken fast = register_consumer(auth, "fast");
+
+  EXPECT_EQ(rm.evaluate_now(slow, {1, 0}, UpdateAction::kSetIntervalMs, 5000).effective_value,
+            5000u);
+  // Faster demand wins...
+  EXPECT_EQ(rm.evaluate_now(fast, {1, 0}, UpdateAction::kSetIntervalMs, 500).effective_value,
+            500u);
+  // ...and keeps winning when the slow consumer re-asks.
+  const Decision d = rm.evaluate_now(slow, {1, 0}, UpdateAction::kSetIntervalMs, 5000);
+  EXPECT_EQ(d.admission, Admission::kModified);
+  EXPECT_EQ(d.effective_value, 500u);
+}
+
+TEST_F(ResourceFixture, PriorityWinsFollowsRank) {
+  ResourceManager rm = make(ConflictPolicy::kPriorityWins);
+  rm.register_profile(profile_for(1));
+  const ConsumerToken low = register_consumer(auth, "low", 10);
+  const ConsumerToken high = register_consumer(auth, "high", 200);
+
+  EXPECT_EQ(rm.evaluate_now(low, {1, 0}, UpdateAction::kSetIntervalMs, 500).effective_value,
+            500u);
+  EXPECT_EQ(rm.evaluate_now(high, {1, 0}, UpdateAction::kSetIntervalMs, 2000).effective_value,
+            2000u);
+  // Low priority cannot budge the high-priority setting.
+  const Decision d = rm.evaluate_now(low, {1, 0}, UpdateAction::kSetIntervalMs, 100);
+  EXPECT_EQ(d.admission, Admission::kModified);
+  EXPECT_EQ(d.effective_value, 2000u);
+}
+
+TEST_F(ResourceFixture, MergeTakesMedian) {
+  ResourceManager rm = make(ConflictPolicy::kMerge);
+  rm.register_profile(profile_for(1));
+  const ConsumerToken a = register_consumer(auth, "a");
+  const ConsumerToken b = register_consumer(auth, "b");
+  const ConsumerToken c = register_consumer(auth, "c");
+
+  (void)rm.evaluate_now(a, {1, 0}, UpdateAction::kSetIntervalMs, 1000);
+  (void)rm.evaluate_now(b, {1, 0}, UpdateAction::kSetIntervalMs, 4000);
+  const Decision d = rm.evaluate_now(c, {1, 0}, UpdateAction::kSetIntervalMs, 2000);
+  EXPECT_EQ(d.effective_value, 2000u);  // median of {1000, 2000, 4000}
+}
+
+TEST_F(ResourceFixture, RejectConflictsDeniesClashingDemand) {
+  ResourceManager rm = make(ConflictPolicy::kRejectConflicts);
+  rm.register_profile(profile_for(1));
+  const ConsumerToken first = register_consumer(auth, "first");
+  const ConsumerToken second = register_consumer(auth, "second");
+
+  EXPECT_EQ(rm.evaluate_now(first, {1, 0}, UpdateAction::kSetIntervalMs, 1000).admission,
+            Admission::kApproved);
+  const Decision clash = rm.evaluate_now(second, {1, 0}, UpdateAction::kSetIntervalMs, 500);
+  EXPECT_EQ(clash.admission, Admission::kDenied);
+  // Matching demand is fine.
+  EXPECT_EQ(rm.evaluate_now(second, {1, 0}, UpdateAction::kSetIntervalMs, 1000).admission,
+            Admission::kApproved);
+}
+
+TEST_F(ResourceFixture, TrustedOverridesRejectConflicts) {
+  // Paper §9: "support for trusted applications to ... override sensor
+  // management policies".
+  ResourceManager rm = make(ConflictPolicy::kRejectConflicts);
+  rm.register_profile(profile_for(1));
+  const ConsumerToken plain = register_consumer(auth, "plain");
+  const ConsumerToken trusted = register_consumer(auth, "ops", 100, TrustLevel::kTrusted);
+
+  (void)rm.evaluate_now(plain, {1, 0}, UpdateAction::kSetIntervalMs, 1000);
+  const Decision d = rm.evaluate_now(trusted, {1, 0}, UpdateAction::kSetIntervalMs, 200);
+  EXPECT_NE(d.admission, Admission::kDenied);
+  EXPECT_EQ(d.effective_value, 200u);
+  EXPECT_EQ(rm.stats().trusted_overrides, 1u);
+}
+
+TEST_F(ResourceFixture, DisableDeniedWhileOthersDepend) {
+  ResourceManager rm = make(ConflictPolicy::kMostDemandingWins);
+  rm.register_profile(profile_for(1));
+  const ConsumerToken a = register_consumer(auth, "a");
+  const ConsumerToken b = register_consumer(auth, "b");
+
+  (void)rm.evaluate_now(a, {1, 0}, UpdateAction::kSetIntervalMs, 1000);
+  const Decision d = rm.evaluate_now(b, {1, 0}, UpdateAction::kDisableStream, 0);
+  EXPECT_EQ(d.admission, Admission::kDenied);
+}
+
+TEST_F(ResourceFixture, DisableAllowedWithoutCompetitors) {
+  ResourceManager rm = make(ConflictPolicy::kMostDemandingWins);
+  rm.register_profile(profile_for(1));
+  const ConsumerToken a = register_consumer(auth, "a");
+  (void)rm.evaluate_now(a, {1, 0}, UpdateAction::kSetIntervalMs, 1000);
+  // Own demand does not block own disable.
+  EXPECT_EQ(rm.evaluate_now(a, {1, 0}, UpdateAction::kDisableStream, 0).admission,
+            Admission::kApproved);
+}
+
+TEST_F(ResourceFixture, TrustedMayDisableOverCompetitors) {
+  ResourceManager rm = make(ConflictPolicy::kMostDemandingWins);
+  rm.register_profile(profile_for(1));
+  const ConsumerToken a = register_consumer(auth, "a");
+  const ConsumerToken ops = register_consumer(auth, "ops", 100, TrustLevel::kTrusted);
+  (void)rm.evaluate_now(a, {1, 0}, UpdateAction::kSetIntervalMs, 1000);
+  EXPECT_EQ(rm.evaluate_now(ops, {1, 0}, UpdateAction::kDisableStream, 0).admission,
+            Admission::kApproved);
+}
+
+TEST_F(ResourceFixture, PayloadHintClamped) {
+  ResourceManager rm = make(ConflictPolicy::kMostDemandingWins);
+  rm.register_profile(profile_for(1));  // max_payload 64
+  const ConsumerToken token = register_consumer(auth, "app");
+  const Decision d = rm.evaluate_now(token, {1, 0}, UpdateAction::kSetPayloadHint, 512);
+  EXPECT_EQ(d.admission, Admission::kModified);
+  EXPECT_EQ(d.effective_value, 64u);
+}
+
+TEST_F(ResourceFixture, UnknownSensorApprovedWithoutKnowledge) {
+  // The approximate overview may simply not know a sensor yet.
+  ResourceManager rm = make(ConflictPolicy::kMostDemandingWins);
+  const ConsumerToken token = register_consumer(auth, "app");
+  const Decision d = rm.evaluate_now(token, {42, 0}, UpdateAction::kSetIntervalMs, 777);
+  EXPECT_EQ(d.admission, Admission::kApproved);
+  EXPECT_EQ(d.effective_value, 777u);
+}
+
+TEST_F(ResourceFixture, AsyncEvaluationTakesDeliberationTime) {
+  ResourceManager rm = make(ConflictPolicy::kMostDemandingWins);
+  rm.register_profile(profile_for(1));
+  const ConsumerToken token = register_consumer(auth, "app");
+
+  std::optional<util::SimTime> decided_at;
+  rm.evaluate(token, {1, 0}, UpdateAction::kSetIntervalMs, 500,
+              [&](Decision) { decided_at = scheduler.now(); });
+  scheduler.run();
+  ASSERT_TRUE(decided_at.has_value());
+  EXPECT_EQ(decided_at->ns, Duration::millis(5).ns);
+}
+
+TEST_F(ResourceFixture, PrearmSkipsDeliberation) {
+  ResourceManager rm = make(ConflictPolicy::kMostDemandingWins);
+  rm.register_profile(profile_for(1));
+  const ConsumerToken token = register_consumer(auth, "app");
+
+  rm.prearm(token, {1, 0}, UpdateAction::kSetIntervalMs, 500);
+  std::optional<util::SimTime> decided_at;
+  std::optional<Decision> decision;
+  rm.evaluate(token, {1, 0}, UpdateAction::kSetIntervalMs, 500, [&](Decision d) {
+    decided_at = scheduler.now();
+    decision = d;
+  });
+  // Pre-armed decisions resolve synchronously, before any event runs.
+  ASSERT_TRUE(decided_at.has_value());
+  EXPECT_EQ(decided_at->ns, 0);
+  EXPECT_EQ(decision->admission, Admission::kApproved);
+  EXPECT_EQ(rm.stats().prearm_hits, 1u);
+}
+
+TEST_F(ResourceFixture, StalePrearmFallsBackToDeliberation) {
+  ResourceManager rm = make(ConflictPolicy::kMostDemandingWins);
+  rm.register_profile(profile_for(1));
+  const ConsumerToken token = register_consumer(auth, "app");
+
+  rm.prearm(token, {1, 0}, UpdateAction::kSetIntervalMs, 500);
+  // Predictions age out: 60s later the pre-arm must not short-circuit.
+  scheduler.run_until(util::SimTime{} + Duration::seconds(120));
+
+  std::optional<util::SimTime> decided_at;
+  rm.evaluate(token, {1, 0}, UpdateAction::kSetIntervalMs, 500,
+              [&](Decision) { decided_at = scheduler.now(); });
+  scheduler.run();
+  ASSERT_TRUE(decided_at.has_value());
+  EXPECT_EQ((*decided_at - util::SimTime{} - Duration::seconds(120)).ns,
+            Duration::millis(5).ns);  // full deliberation happened
+  EXPECT_EQ(rm.stats().prearm_hits, 0u);
+}
+
+TEST_F(ResourceFixture, PrearmConsumedOnce) {
+  ResourceManager rm = make(ConflictPolicy::kMostDemandingWins);
+  const ConsumerToken token = register_consumer(auth, "app");
+  rm.prearm(token, {1, 0}, UpdateAction::kSetIntervalMs, 500);
+  rm.evaluate(token, {1, 0}, UpdateAction::kSetIntervalMs, 500, [](Decision) {});
+  rm.evaluate(token, {1, 0}, UpdateAction::kSetIntervalMs, 500, [](Decision) {});
+  scheduler.run();
+  EXPECT_EQ(rm.stats().prearm_hits, 1u);
+  EXPECT_EQ(rm.stats().evaluated, 2u);
+}
+
+TEST_F(ResourceFixture, PolicyChangeAtRuntime) {
+  ResourceManager rm = make(ConflictPolicy::kMostDemandingWins);
+  rm.set_policy(ConflictPolicy::kPriorityWins);
+  EXPECT_EQ(rm.policy(), ConflictPolicy::kPriorityWins);
+  EXPECT_EQ(rm.stats().policy_changes, 1u);
+  rm.set_policy(ConflictPolicy::kPriorityWins);  // no-op
+  EXPECT_EQ(rm.stats().policy_changes, 1u);
+}
+
+TEST_F(ResourceFixture, EvaluateViaRpc) {
+  ResourceManager rm = make(ConflictPolicy::kMostDemandingWins);
+  rm.register_profile(profile_for(1));
+  const ConsumerToken token = register_consumer(auth, "app");
+
+  net::RpcNode caller(bus, "caller");
+  std::optional<Admission> admission;
+  util::ByteWriter w(17);
+  w.u64(token);
+  w.u32(StreamId{1, 0}.packed());
+  w.u8(static_cast<std::uint8_t>(UpdateAction::kSetIntervalMs));
+  w.u32(500);
+  caller.call(rm.address(), ResourceManager::kEvaluate, std::move(w).take(),
+              [&](net::RpcResult result) {
+                ASSERT_TRUE(result.ok());
+                util::ByteReader r(result.value());
+                admission = static_cast<Admission>(r.u8());
+                EXPECT_EQ(r.u32(), 500u);
+              });
+  scheduler.run();
+  EXPECT_EQ(admission, Admission::kApproved);
+}
+
+TEST_F(ResourceFixture, StatsBreakdown) {
+  ResourceManager rm = make(ConflictPolicy::kRejectConflicts);
+  rm.register_profile(profile_for(1));
+  const ConsumerToken a = register_consumer(auth, "a");
+  const ConsumerToken b = register_consumer(auth, "b");
+  rm.evaluate(a, {1, 0}, UpdateAction::kSetIntervalMs, 1000, [](Decision) {});
+  scheduler.run();
+  rm.evaluate(b, {1, 0}, UpdateAction::kSetIntervalMs, 250, [](Decision) {});
+  scheduler.run();
+  EXPECT_EQ(rm.stats().evaluated, 2u);
+  EXPECT_EQ(rm.stats().approved, 1u);
+  EXPECT_EQ(rm.stats().denied, 1u);
+}
+
+TEST_F(ResourceFixture, WithdrawConsumerRemovesItsDemands) {
+  ResourceManager rm = make(ConflictPolicy::kMostDemandingWins);
+  rm.register_profile(profile_for(1));
+  const ConsumerToken fast = register_consumer(auth, "fast");
+  const ConsumerToken slow = register_consumer(auth, "slow");
+
+  (void)rm.evaluate_now(fast, {1, 0}, UpdateAction::kSetIntervalMs, 200);
+  (void)rm.evaluate_now(slow, {1, 0}, UpdateAction::kSetIntervalMs, 5000);
+  EXPECT_EQ(rm.believed_interval({1, 0}), 200u);  // fast demand rules
+
+  // The fast consumer departs; mediation must stop honouring it.
+  EXPECT_EQ(rm.withdraw_consumer(fast), 1u);
+  const Decision d = rm.evaluate_now(slow, {1, 0}, UpdateAction::kSetIntervalMs, 5000);
+  EXPECT_EQ(d.effective_value, 5000u);
+}
+
+TEST_F(ResourceFixture, WithdrawDropsPrearms) {
+  ResourceManager rm = make(ConflictPolicy::kMostDemandingWins);
+  const ConsumerToken token = register_consumer(auth, "app");
+  rm.prearm(token, {1, 0}, UpdateAction::kSetIntervalMs, 500);
+  rm.withdraw_consumer(token);
+  rm.evaluate(token, {1, 0}, UpdateAction::kSetIntervalMs, 500, [](Decision) {});
+  scheduler.run();
+  EXPECT_EQ(rm.stats().prearm_hits, 0u);
+}
+
+TEST_F(ResourceFixture, PolicyNamesComplete) {
+  EXPECT_EQ(to_string(ConflictPolicy::kMostDemandingWins), "most-demanding-wins");
+  EXPECT_EQ(to_string(ConflictPolicy::kPriorityWins), "priority-wins");
+  EXPECT_EQ(to_string(ConflictPolicy::kMerge), "merge");
+  EXPECT_EQ(to_string(ConflictPolicy::kRejectConflicts), "reject-conflicts");
+}
+
+}  // namespace
+}  // namespace garnet::core

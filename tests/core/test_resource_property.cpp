@@ -1,0 +1,130 @@
+// Property sweeps over the Resource Manager's mediation: random demand
+// sequences from many consumers, checked against policy invariants.
+#include <gtest/gtest.h>
+
+#include "core/resource.hpp"
+#include "util/rng.hpp"
+
+namespace garnet::core {
+namespace {
+
+constexpr std::uint32_t kMinMs = 100;
+constexpr std::uint32_t kMaxMs = 60000;
+
+struct Mediation {
+  sim::Scheduler scheduler;
+  net::MessageBus bus{scheduler, {}};
+  AuthService auth{{}};
+  ResourceManager resource;
+  std::vector<ConsumerToken> tokens;
+
+  explicit Mediation(ConflictPolicy policy)
+      : resource(bus, auth,
+                 {.policy = policy,
+                  .evaluation_delay = util::Duration::millis(1),
+                  .allow_trusted_override = true,
+                  .demand_ttl = util::Duration::seconds(3600)}) {
+    SensorProfile profile;
+    profile.id = 1;
+    profile.receive_capable = true;
+    profile.constraints[0] = {.min_interval_ms = kMinMs, .max_interval_ms = kMaxMs,
+                              .max_payload = 64};
+    resource.register_profile(std::move(profile));
+    for (int i = 0; i < 8; ++i) {
+      tokens.push_back(auth
+                           .register_consumer("c" + std::to_string(i), net::Address{1},
+                                              static_cast<std::uint8_t>(10 * i + 5))
+                           .value()
+                           .token);
+    }
+  }
+};
+
+class MediationProperty
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
+
+TEST_P(MediationProperty, InvariantsHoldUnderRandomDemands) {
+  const auto policy = static_cast<ConflictPolicy>(std::get<0>(GetParam()));
+  util::Rng rng(std::get<1>(GetParam()));
+  Mediation rig(policy);
+
+  std::optional<std::uint32_t> last_admitted_effective;
+  for (int step = 0; step < 500; ++step) {
+    const std::size_t who = rng.below(rig.tokens.size());
+    const auto asked = static_cast<std::uint32_t>(rng.below(120000) + 1);
+    const Decision decision = rig.resource.evaluate_now(
+        rig.tokens[who], {1, 0}, UpdateAction::kSetIntervalMs, asked);
+
+    if (decision.admission != Admission::kDenied) {
+      // Invariant 1: whatever is admitted respects device constraints.
+      EXPECT_GE(decision.effective_value, kMinMs);
+      EXPECT_LE(decision.effective_value, kMaxMs);
+      last_admitted_effective = decision.effective_value;
+    } else {
+      // Invariant 2: only the reject-conflicts policy denies interval
+      // requests from standard consumers on a known sensor.
+      EXPECT_EQ(policy, ConflictPolicy::kRejectConflicts);
+    }
+
+    // Invariant 3: the believed configuration is the last admitted value.
+    if (last_admitted_effective) {
+      EXPECT_EQ(rig.resource.believed_interval({1, 0}), last_admitted_effective);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PolicyBySeeds, MediationProperty,
+                         ::testing::Combine(::testing::Values(0, 1, 2, 3),
+                                            ::testing::Values(11u, 23u, 47u)));
+
+class MostDemandingProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MostDemandingProperty, EffectiveEqualsMinOfActiveDemands) {
+  util::Rng rng(GetParam());
+  Mediation rig(ConflictPolicy::kMostDemandingWins);
+
+  std::map<std::size_t, std::uint32_t> demands;  // consumer -> feasible demand
+  for (int step = 0; step < 300; ++step) {
+    const std::size_t who = rng.below(rig.tokens.size());
+    const auto asked = static_cast<std::uint32_t>(rng.below(120000) + 1);
+    const std::uint32_t feasible = std::clamp(asked, kMinMs, kMaxMs);
+    demands[who] = feasible;
+
+    const Decision decision = rig.resource.evaluate_now(
+        rig.tokens[who], {1, 0}, UpdateAction::kSetIntervalMs, asked);
+    ASSERT_NE(decision.admission, Admission::kDenied);
+
+    std::uint32_t expected = 0xFFFFFFFFu;
+    for (const auto& [consumer, demand] : demands) expected = std::min(expected, demand);
+    EXPECT_EQ(decision.effective_value, expected) << "step " << step;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MostDemandingProperty, ::testing::Values(5u, 17u, 29u, 71u));
+
+class PriorityProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PriorityProperty, TopPriorityDemandAlwaysRules) {
+  util::Rng rng(GetParam());
+  Mediation rig(ConflictPolicy::kPriorityWins);
+
+  // Consumer 7 holds the highest priority (75). Once it has demanded,
+  // every later decision must carry its demand.
+  const Decision top = rig.resource.evaluate_now(rig.tokens[7], {1, 0},
+                                                 UpdateAction::kSetIntervalMs, 7777);
+  ASSERT_NE(top.admission, Admission::kDenied);
+
+  for (int step = 0; step < 200; ++step) {
+    const std::size_t who = rng.below(7);  // everyone except the top consumer
+    const auto asked = static_cast<std::uint32_t>(rng.below(120000) + 1);
+    const Decision decision = rig.resource.evaluate_now(
+        rig.tokens[who], {1, 0}, UpdateAction::kSetIntervalMs, asked);
+    ASSERT_NE(decision.admission, Admission::kDenied);
+    EXPECT_EQ(decision.effective_value, 7777u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PriorityProperty, ::testing::Values(3u, 13u, 37u));
+
+}  // namespace
+}  // namespace garnet::core

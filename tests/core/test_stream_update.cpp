@@ -1,0 +1,115 @@
+#include "core/stream_update.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/crc32c.hpp"
+#include "util/rng.hpp"
+
+namespace garnet::core {
+namespace {
+
+StreamUpdateRequest sample_request() {
+  StreamUpdateRequest req;
+  req.request_id = 777;
+  req.target = {4321, 2};
+  req.action = UpdateAction::kSetIntervalMs;
+  req.value = 250;
+  req.issued_at = util::SimTime{} + util::Duration::seconds(12);
+  return req;
+}
+
+TEST(StreamUpdateCodec, RoundTrip) {
+  const StreamUpdateRequest req = sample_request();
+  const auto decoded = decode_update(encode(req));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().request_id, req.request_id);
+  EXPECT_EQ(decoded.value().target, req.target);
+  EXPECT_EQ(decoded.value().action, req.action);
+  EXPECT_EQ(decoded.value().value, req.value);
+  EXPECT_EQ(decoded.value().issued_at, req.issued_at);
+}
+
+TEST(StreamUpdateCodec, FixedWireSize) {
+  EXPECT_EQ(encode(sample_request()).size(), StreamUpdateRequest::wire_size());
+}
+
+TEST(StreamUpdateCodec, AllActionsRoundTrip) {
+  for (const auto action :
+       {UpdateAction::kSetIntervalMs, UpdateAction::kEnableStream, UpdateAction::kDisableStream,
+        UpdateAction::kSetMode, UpdateAction::kSetPayloadHint}) {
+    StreamUpdateRequest req = sample_request();
+    req.action = action;
+    const auto decoded = decode_update(encode(req));
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded.value().action, action);
+  }
+}
+
+TEST(StreamUpdateCodec, ChecksumDetectsCorruption) {
+  const util::Bytes wire = encode(sample_request());
+  for (std::size_t i = 0; i < wire.size(); ++i) {
+    util::Bytes corrupt = wire;
+    corrupt[i] ^= std::byte{0x10};
+    EXPECT_FALSE(decode_update(corrupt).ok()) << "flip at byte " << i;
+  }
+}
+
+TEST(StreamUpdateCodec, WrongSizeRejected) {
+  util::Bytes wire = encode(sample_request());
+  wire.pop_back();
+  EXPECT_FALSE(decode_update(wire).ok());
+  wire.push_back(std::byte{});
+  wire.push_back(std::byte{});
+  EXPECT_FALSE(decode_update(wire).ok());
+}
+
+TEST(StreamUpdateCodec, InvalidActionRejected) {
+  StreamUpdateRequest req = sample_request();
+  util::Bytes wire = encode(req);
+  // Action byte sits after version(1) + req id(4) + stream(4) = offset 9.
+  wire[9] = std::byte{99};
+  // Fix the checksum so only the action is invalid.
+  const util::BytesView body = util::BytesView(wire).first(wire.size() - 4);
+  const std::uint32_t crc = util::crc32c(body);
+  wire[wire.size() - 4] = static_cast<std::byte>(crc >> 24);
+  wire[wire.size() - 3] = static_cast<std::byte>(crc >> 16);
+  wire[wire.size() - 2] = static_cast<std::byte>(crc >> 8);
+  wire[wire.size() - 1] = static_cast<std::byte>(crc);
+  const auto decoded = decode_update(wire);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.error(), util::DecodeError::kMalformed);
+}
+
+TEST(StreamUpdateCodec, ToStringCoversAllActions) {
+  EXPECT_EQ(to_string(UpdateAction::kSetIntervalMs), "set-interval-ms");
+  EXPECT_EQ(to_string(UpdateAction::kEnableStream), "enable-stream");
+  EXPECT_EQ(to_string(UpdateAction::kDisableStream), "disable-stream");
+  EXPECT_EQ(to_string(UpdateAction::kSetMode), "set-mode");
+  EXPECT_EQ(to_string(UpdateAction::kSetPayloadHint), "set-payload-hint");
+}
+
+class UpdateRoundTripProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(UpdateRoundTripProperty, RandomRequestsRoundTrip) {
+  util::Rng rng(GetParam());
+  for (int i = 0; i < 300; ++i) {
+    StreamUpdateRequest req;
+    req.request_id = static_cast<std::uint32_t>(rng.next());
+    req.target.sensor = static_cast<SensorId>(rng.below(kMaxSensorId + 1));
+    req.target.stream = static_cast<InternalStreamId>(rng.below(256));
+    req.action = static_cast<UpdateAction>(1 + rng.below(5));
+    req.value = static_cast<std::uint32_t>(rng.next());
+    req.issued_at.ns = static_cast<std::int64_t>(rng.below(1ull << 62));
+    const auto decoded = decode_update(encode(req));
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded.value().request_id, req.request_id);
+    EXPECT_EQ(decoded.value().target, req.target);
+    EXPECT_EQ(decoded.value().value, req.value);
+    EXPECT_EQ(decoded.value().issued_at, req.issued_at);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UpdateRoundTripProperty, ::testing::Values(11u, 22u, 33u, 44u));
+
+}  // namespace
+}  // namespace garnet::core

@@ -1,0 +1,94 @@
+// Fixed-network payload codecs (docs/PROTOCOL.md §3).
+#include "core/wire_types.hpp"
+
+#include <gtest/gtest.h>
+
+namespace garnet::core {
+namespace {
+
+using util::Duration;
+using util::SimTime;
+
+TEST(DeliveryCodec, RoundTrip) {
+  Delivery delivery;
+  delivery.message.stream_id = {42, 3};
+  delivery.message.sequence = 999;
+  delivery.message.payload = util::to_bytes("payload");
+  delivery.first_heard = SimTime{} + Duration::millis(1234);
+
+  const auto decoded = decode_delivery(encode(delivery));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().first_heard, delivery.first_heard);
+  EXPECT_EQ(decoded.value().message.stream_id, delivery.message.stream_id);
+  EXPECT_EQ(decoded.value().message.payload, delivery.message.payload);
+}
+
+TEST(DeliveryCodec, PreservesAckExtension) {
+  Delivery delivery;
+  delivery.message.stream_id = {1, 0};
+  delivery.message.header.set(HeaderFlag::kAckPresent);
+  delivery.message.ack_request_id = 777;
+  const auto decoded = decode_delivery(encode(delivery));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().message.ack_request_id, 777u);
+}
+
+TEST(DeliveryCodec, TruncationFails) {
+  Delivery delivery;
+  delivery.message.stream_id = {1, 0};
+  const util::Bytes wire = encode(delivery);
+  for (std::size_t keep = 0; keep < wire.size(); ++keep) {
+    EXPECT_FALSE(decode_delivery(util::BytesView(wire).first(keep)).ok()) << keep;
+  }
+}
+
+TEST(DeliveryCodec, InnerCorruptionCaughtByMessageChecksum) {
+  Delivery delivery;
+  delivery.message.stream_id = {1, 0};
+  delivery.message.payload = util::to_bytes("abc");
+  util::Bytes wire = encode(delivery);
+  wire[12] ^= std::byte{0x04};  // inside the embedded message
+  EXPECT_FALSE(decode_delivery(wire).ok());
+}
+
+TEST(StateChangeCodec, RoundTrip) {
+  const StateChange change{0xDEADBEEFCAFEF00Dull, 42};
+  const auto decoded = decode_state_change(encode(change));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().consumer_token, change.consumer_token);
+  EXPECT_EQ(decoded.value().state, change.state);
+}
+
+TEST(StateChangeCodec, TruncationFails) {
+  const util::Bytes wire = encode(StateChange{1, 2});
+  EXPECT_FALSE(decode_state_change(util::BytesView(wire).first(wire.size() - 1)).ok());
+  EXPECT_FALSE(decode_state_change({}).ok());
+}
+
+TEST(LocationHintCodec, RoundTrip) {
+  const LocationHint hint{123456, -12.5, 9000.25, 33.0};
+  const auto decoded = decode_location_hint(encode(hint));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().sensor, hint.sensor);
+  EXPECT_DOUBLE_EQ(decoded.value().x, hint.x);
+  EXPECT_DOUBLE_EQ(decoded.value().y, hint.y);
+  EXPECT_DOUBLE_EQ(decoded.value().radius_m, hint.radius_m);
+}
+
+TEST(LocationHintCodec, MaxSensorId) {
+  const LocationHint hint{kMaxSensorId, 0, 0, 1};
+  const auto decoded = decode_location_hint(encode(hint));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().sensor, kMaxSensorId);
+}
+
+TEST(MessageTypes, DistinctTags) {
+  EXPECT_NE(kDataDelivery, kStateChange);
+  EXPECT_NE(kStateChange, kLocationHint);
+  EXPECT_NE(kLocationHint, kDerivedPublish);
+  EXPECT_GE(static_cast<std::uint16_t>(kDataDelivery),
+            static_cast<std::uint16_t>(net::MessageType::kAppBase));
+}
+
+}  // namespace
+}  // namespace garnet::core

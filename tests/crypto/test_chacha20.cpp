@@ -1,0 +1,88 @@
+#include "crypto/chacha20.hpp"
+
+#include <gtest/gtest.h>
+
+namespace garnet::crypto {
+namespace {
+
+Key sequential_key() {
+  Key key{};
+  for (std::size_t i = 0; i < key.size(); ++i) key[i] = static_cast<std::uint8_t>(i);
+  return key;
+}
+
+// RFC 8439 §2.3.2 block function test vector.
+TEST(ChaCha20, Rfc8439BlockVector) {
+  const Key key = sequential_key();
+  const Nonce nonce = {0x00, 0x00, 0x00, 0x09, 0x00, 0x00, 0x00, 0x4a, 0x00, 0x00, 0x00, 0x00};
+  std::array<std::uint8_t, 64> block{};
+  chacha20_block(key, nonce, 1, block);
+
+  const std::array<std::uint8_t, 64> expected = {
+      0x10, 0xf1, 0xe7, 0xe4, 0xd1, 0x3b, 0x59, 0x15, 0x50, 0x0f, 0xdd, 0x1f, 0xa3, 0x20, 0x71,
+      0xc4, 0xc7, 0xd1, 0xf4, 0xc7, 0x33, 0xc0, 0x68, 0x03, 0x04, 0x22, 0xaa, 0x9a, 0xc3, 0xd4,
+      0x6c, 0x4e, 0xd2, 0x82, 0x64, 0x46, 0x07, 0x9f, 0xaa, 0x09, 0x14, 0xc2, 0xd7, 0x05, 0xd9,
+      0x8b, 0x02, 0xa2, 0xb5, 0x12, 0x9c, 0xd1, 0xde, 0x16, 0x4e, 0xb9, 0xcb, 0xd0, 0x83, 0xe8,
+      0xa2, 0x50, 0x3c, 0x4e};
+  EXPECT_EQ(block, expected);
+}
+
+// RFC 8439 §2.4.2 encryption test vector (first 16 bytes checked).
+TEST(ChaCha20, Rfc8439EncryptionVector) {
+  const Key key = sequential_key();
+  const Nonce nonce = {0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x4a, 0x00, 0x00, 0x00, 0x00};
+  const std::string plaintext =
+      "Ladies and Gentlemen of the class of '99: If I could offer you "
+      "only one tip for the future, sunscreen would be it.";
+
+  const util::Bytes ciphertext = chacha20_encrypt(key, nonce, util::to_bytes(plaintext));
+  ASSERT_EQ(ciphertext.size(), plaintext.size());
+
+  const std::array<std::uint8_t, 16> expected_head = {0x6e, 0x2e, 0x35, 0x9a, 0x25, 0x68, 0xf9,
+                                                      0x80, 0x41, 0xba, 0x07, 0x28, 0xdd, 0x0d,
+                                                      0x69, 0x81};
+  for (std::size_t i = 0; i < expected_head.size(); ++i) {
+    EXPECT_EQ(static_cast<std::uint8_t>(ciphertext[i]), expected_head[i]) << "byte " << i;
+  }
+}
+
+TEST(ChaCha20, XorIsInvolution) {
+  const Key key = key_from_seed(99);
+  const Nonce nonce = nonce_from_counter(7);
+  util::Bytes data = util::to_bytes("round trip me please, across block boundaries too: "
+                                    "0123456789012345678901234567890123456789012345678901234567890123");
+  const util::Bytes original = data;
+  chacha20_xor(key, nonce, 1, data);
+  EXPECT_NE(data, original);
+  chacha20_xor(key, nonce, 1, data);
+  EXPECT_EQ(data, original);
+}
+
+TEST(ChaCha20, EmptyInputIsNoop) {
+  util::Bytes empty;
+  chacha20_xor(key_from_seed(1), nonce_from_counter(1), 1, empty);
+  EXPECT_TRUE(empty.empty());
+}
+
+TEST(ChaCha20, DifferentNoncesDiverge) {
+  const Key key = key_from_seed(5);
+  const util::Bytes plain = util::to_bytes("identical plaintext");
+  const util::Bytes a = chacha20_encrypt(key, nonce_from_counter(1), plain);
+  const util::Bytes b = chacha20_encrypt(key, nonce_from_counter(2), plain);
+  EXPECT_NE(a, b);
+}
+
+TEST(ChaCha20, DifferentKeysDiverge) {
+  const Nonce nonce = nonce_from_counter(1);
+  const util::Bytes plain = util::to_bytes("identical plaintext");
+  EXPECT_NE(chacha20_encrypt(key_from_seed(1), nonce, plain),
+            chacha20_encrypt(key_from_seed(2), nonce, plain));
+}
+
+TEST(ChaCha20, KeyFromSeedDeterministic) {
+  EXPECT_EQ(key_from_seed(42), key_from_seed(42));
+  EXPECT_NE(key_from_seed(42), key_from_seed(43));
+}
+
+}  // namespace
+}  // namespace garnet::crypto

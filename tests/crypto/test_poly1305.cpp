@@ -1,0 +1,67 @@
+#include "crypto/poly1305.hpp"
+
+#include <gtest/gtest.h>
+
+namespace garnet::crypto {
+namespace {
+
+// RFC 8439 §2.5.2 test vector.
+TEST(Poly1305, Rfc8439Vector) {
+  const PolyKey key = {0x85, 0xd6, 0xbe, 0x78, 0x57, 0x55, 0x6d, 0x33, 0x7f, 0x44, 0x52,
+                       0xfe, 0x42, 0xd5, 0x06, 0xa8, 0x01, 0x03, 0x80, 0x8a, 0xfb, 0x0d,
+                       0xb2, 0xfd, 0x4a, 0xbf, 0xf6, 0xaf, 0x41, 0x49, 0xf5, 0x1b};
+  const Tag tag = poly1305(key, util::to_bytes("Cryptographic Forum Research Group"));
+
+  const Tag expected = {0xa8, 0x06, 0x1d, 0xc1, 0x30, 0x51, 0x36, 0xc6,
+                        0xc2, 0x2b, 0x8b, 0xaf, 0x0c, 0x01, 0x27, 0xa9};
+  EXPECT_EQ(tag, expected);
+}
+
+TEST(Poly1305, EmptyMessage) {
+  PolyKey key{};
+  key[0] = 1;  // r = 1, s = 0
+  const Tag tag = poly1305(key, {});
+  // h stays 0; tag = pad = 0.
+  EXPECT_EQ(tag, Tag{});
+}
+
+TEST(Poly1305, TagDependsOnEveryByte) {
+  PolyKey key{};
+  for (std::size_t i = 0; i < key.size(); ++i) key[i] = static_cast<std::uint8_t>(i * 7 + 1);
+  util::Bytes msg = util::to_bytes("sixteen byte msg");
+  const Tag before = poly1305(key, msg);
+  for (std::size_t i = 0; i < msg.size(); ++i) {
+    util::Bytes mutated = msg;
+    mutated[i] ^= std::byte{0x80};
+    EXPECT_NE(poly1305(key, mutated), before) << "byte " << i;
+  }
+}
+
+TEST(Poly1305, BlockBoundaryLengths) {
+  PolyKey key{};
+  for (std::size_t i = 0; i < key.size(); ++i) key[i] = static_cast<std::uint8_t>(255 - i);
+  // Lengths around the 16-byte block boundary must all be distinct inputs.
+  util::Bytes msg(33, std::byte{0x5A});
+  const Tag t15 = poly1305(key, util::BytesView(msg).first(15));
+  const Tag t16 = poly1305(key, util::BytesView(msg).first(16));
+  const Tag t17 = poly1305(key, util::BytesView(msg).first(17));
+  const Tag t32 = poly1305(key, util::BytesView(msg).first(32));
+  const Tag t33 = poly1305(key, msg);
+  EXPECT_NE(t15, t16);
+  EXPECT_NE(t16, t17);
+  EXPECT_NE(t32, t33);
+}
+
+TEST(Poly1305, TagEqualConstantTimeSemantics) {
+  Tag a{};
+  Tag b{};
+  EXPECT_TRUE(tag_equal(a, b));
+  b[15] = 1;
+  EXPECT_FALSE(tag_equal(a, b));
+  b[15] = 0;
+  b[0] = 1;
+  EXPECT_FALSE(tag_equal(a, b));
+}
+
+}  // namespace
+}  // namespace garnet::crypto

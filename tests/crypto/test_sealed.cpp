@@ -1,0 +1,102 @@
+#include "crypto/sealed.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace garnet::crypto {
+namespace {
+
+TEST(Sealed, RoundTrip) {
+  const Key key = key_from_seed(1);
+  const Nonce nonce = nonce_from_counter(1);
+  const util::Bytes plain = util::to_bytes("water level: 3.72m");
+
+  const util::Bytes sealed_blob = seal(key, nonce, plain);
+  EXPECT_EQ(sealed_blob.size(), plain.size() + kSealOverhead);
+
+  const auto opened = open(key, nonce, sealed_blob);
+  ASSERT_TRUE(opened.ok());
+  EXPECT_EQ(opened.value(), plain);
+}
+
+TEST(Sealed, EmptyPayload) {
+  const Key key = key_from_seed(2);
+  const Nonce nonce = nonce_from_counter(3);
+  const util::Bytes sealed_blob = seal(key, nonce, {});
+  EXPECT_EQ(sealed_blob.size(), kSealOverhead);
+  const auto opened = open(key, nonce, sealed_blob);
+  ASSERT_TRUE(opened.ok());
+  EXPECT_TRUE(opened.value().empty());
+}
+
+TEST(Sealed, DetectsCiphertextTampering) {
+  const Key key = key_from_seed(4);
+  const Nonce nonce = nonce_from_counter(5);
+  util::Bytes blob = seal(key, nonce, util::to_bytes("authentic reading"));
+  blob[3] ^= std::byte{0x01};
+  const auto opened = open(key, nonce, blob);
+  ASSERT_FALSE(opened.ok());
+  EXPECT_EQ(opened.error(), SealError::kBadTag);
+}
+
+TEST(Sealed, DetectsTagTampering) {
+  const Key key = key_from_seed(4);
+  const Nonce nonce = nonce_from_counter(5);
+  util::Bytes blob = seal(key, nonce, util::to_bytes("authentic reading"));
+  blob.back() ^= std::byte{0xFF};
+  EXPECT_FALSE(open(key, nonce, blob).ok());
+}
+
+TEST(Sealed, WrongKeyFails) {
+  const Nonce nonce = nonce_from_counter(1);
+  const util::Bytes blob = seal(key_from_seed(10), nonce, util::to_bytes("secret"));
+  EXPECT_FALSE(open(key_from_seed(11), nonce, blob).ok());
+}
+
+TEST(Sealed, WrongNonceFails) {
+  const Key key = key_from_seed(10);
+  const util::Bytes blob = seal(key, nonce_from_counter(1), util::to_bytes("secret"));
+  EXPECT_FALSE(open(key, nonce_from_counter(2), blob).ok());
+}
+
+TEST(Sealed, TruncatedBlobFails) {
+  const auto opened = open(key_from_seed(1), nonce_from_counter(1), util::Bytes(8));
+  ASSERT_FALSE(opened.ok());
+  EXPECT_EQ(opened.error(), SealError::kTruncated);
+}
+
+TEST(Sealed, LargePayloadRoundTrip) {
+  const Key key = key_from_seed(77);
+  const Nonce nonce = nonce_from_counter(88);
+  util::Bytes plain(65536);
+  util::Rng rng(5);
+  for (auto& b : plain) b = static_cast<std::byte>(rng.next());
+  const auto opened = open(key, nonce, seal(key, nonce, plain));
+  ASSERT_TRUE(opened.ok());
+  EXPECT_EQ(opened.value(), plain);
+}
+
+// The middleware property: a sealed payload survives transit through
+// components that treat it as opaque bytes (copy/move), and only the
+// intended endpoint can open it.
+TEST(Sealed, EndToEndThroughOpaqueCopies) {
+  const Key key = key_from_seed(123);
+  const Nonce nonce = nonce_from_counter(456);
+  const util::Bytes original = util::to_bytes("for consumer eyes only");
+
+  util::Bytes in_flight = seal(key, nonce, original);
+  util::Bytes hop1 = in_flight;          // receiver copy
+  util::Bytes hop2 = std::move(hop1);    // filtering move
+  const util::Bytes hop3 = hop2;         // dispatch fan-out copy
+
+  const auto eavesdropper = open(key_from_seed(999), nonce, hop3);
+  EXPECT_FALSE(eavesdropper.ok());
+
+  const auto intended = open(key, nonce, hop3);
+  ASSERT_TRUE(intended.ok());
+  EXPECT_EQ(intended.value(), original);
+}
+
+}  // namespace
+}  // namespace garnet::crypto

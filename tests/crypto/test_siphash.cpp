@@ -1,0 +1,53 @@
+#include "crypto/siphash.hpp"
+
+#include <gtest/gtest.h>
+
+namespace garnet::crypto {
+namespace {
+
+SipKey reference_key() {
+  SipKey key{};
+  for (std::size_t i = 0; i < key.size(); ++i) key[i] = static_cast<std::uint8_t>(i);
+  return key;
+}
+
+util::Bytes sequential_input(std::size_t n) {
+  util::Bytes in(n);
+  for (std::size_t i = 0; i < n; ++i) in[i] = static_cast<std::byte>(i);
+  return in;
+}
+
+// Reference vectors from the SipHash paper / reference implementation:
+// key = 00..0f, input = 00..(n-1).
+TEST(SipHash, ReferenceVectors) {
+  const SipKey key = reference_key();
+  EXPECT_EQ(siphash24(key, sequential_input(0)), 0x726fdb47dd0e0e31ull);
+  EXPECT_EQ(siphash24(key, sequential_input(1)), 0x74f839c593dc67fdull);
+  EXPECT_EQ(siphash24(key, sequential_input(2)), 0x0d6c8009d9a94f5aull);
+  EXPECT_EQ(siphash24(key, sequential_input(7)), 0xab0200f58b01d137ull);
+  EXPECT_EQ(siphash24(key, sequential_input(8)), 0x93f5f5799a932462ull);
+  EXPECT_EQ(siphash24(key, sequential_input(15)), 0xa129ca6149be45e5ull);
+  EXPECT_EQ(siphash24(key, sequential_input(16)), 0x3f2acc7f57c29bdbull);
+}
+
+TEST(SipHash, KeySensitivity) {
+  SipKey a = reference_key();
+  SipKey b = reference_key();
+  b[15] ^= 1;
+  const util::Bytes msg = util::to_bytes("token material");
+  EXPECT_NE(siphash24(a, msg), siphash24(b, msg));
+}
+
+TEST(SipHash, MessageSensitivity) {
+  const SipKey key = reference_key();
+  EXPECT_NE(siphash24(key, util::to_bytes("consumer-a")),
+            siphash24(key, util::to_bytes("consumer-b")));
+}
+
+TEST(SipHash, KeyFromSeedDeterministic) {
+  EXPECT_EQ(sipkey_from_seed(9), sipkey_from_seed(9));
+  EXPECT_NE(sipkey_from_seed(9), sipkey_from_seed(10));
+}
+
+}  // namespace
+}  // namespace garnet::crypto

@@ -1,0 +1,113 @@
+#include "net/bus.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/scheduler.hpp"
+
+namespace garnet::net {
+namespace {
+
+using util::Duration;
+
+struct BusFixture : ::testing::Test {
+  sim::Scheduler scheduler;
+  MessageBus bus{scheduler, MessageBus::Config{}};
+};
+
+TEST_F(BusFixture, DeliversToEndpoint) {
+  std::vector<Envelope> received;
+  const Address a = bus.add_endpoint("a", [&](Envelope e) { received.push_back(std::move(e)); });
+  const Address b = bus.add_endpoint("b", [&](Envelope) { FAIL() << "wrong endpoint"; });
+  (void)b;
+
+  bus.post(b, a, MessageType::kAppBase, util::to_bytes("hello"));
+  scheduler.run();
+
+  ASSERT_EQ(received.size(), 1u);
+  EXPECT_EQ(received[0].from, b);
+  EXPECT_EQ(received[0].to, a);
+  EXPECT_EQ(util::to_string(received[0].payload), "hello");
+}
+
+TEST_F(BusFixture, DeliveryTakesLatency) {
+  const Address a = bus.add_endpoint("a", [&](Envelope e) {
+    EXPECT_GE((scheduler.now() - e.sent_at).ns, MessageBus::Config{}.latency.ns);
+  });
+  bus.post(a, a, MessageType::kAppBase, {});
+  scheduler.run();
+  EXPECT_EQ(bus.stats().delivered, 1u);
+}
+
+TEST_F(BusFixture, LookupByName) {
+  const Address a = bus.add_endpoint("service.alpha", [](Envelope) {});
+  EXPECT_EQ(bus.lookup("service.alpha"), a);
+  EXPECT_EQ(bus.lookup("service.beta"), std::nullopt);
+}
+
+TEST_F(BusFixture, RemoveEndpointStopsDelivery) {
+  int count = 0;
+  const Address a = bus.add_endpoint("a", [&](Envelope) { ++count; });
+  bus.post(a, a, MessageType::kAppBase, {});
+  scheduler.run();
+  EXPECT_EQ(count, 1);
+
+  bus.remove_endpoint(a);
+  EXPECT_EQ(bus.lookup("a"), std::nullopt);
+  bus.post(a, a, MessageType::kAppBase, {});
+  scheduler.run();
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(bus.stats().dropped_no_endpoint, 1u);
+}
+
+TEST_F(BusFixture, MessageToUnknownAddressDropped) {
+  bus.post(Address{}, Address{999}, MessageType::kAppBase, {});
+  scheduler.run();
+  EXPECT_EQ(bus.stats().dropped_no_endpoint, 1u);
+  EXPECT_EQ(bus.stats().delivered, 0u);
+}
+
+TEST_F(BusFixture, InFlightMessageSurvivesEndpointChurn) {
+  // A message posted before its target deregisters is dropped at
+  // delivery time, not crashed on.
+  const Address a = bus.add_endpoint("a", [](Envelope) { FAIL(); });
+  bus.post(a, a, MessageType::kAppBase, {});
+  bus.remove_endpoint(a);
+  scheduler.run();
+  EXPECT_EQ(bus.stats().dropped_no_endpoint, 1u);
+}
+
+TEST_F(BusFixture, StatsCountBytes) {
+  const Address a = bus.add_endpoint("a", [](Envelope) {});
+  bus.post(a, a, MessageType::kAppBase, util::Bytes(10));
+  bus.post(a, a, MessageType::kAppBase, util::Bytes(22));
+  scheduler.run();
+  EXPECT_EQ(bus.stats().posted, 2u);
+  EXPECT_EQ(bus.stats().bytes, 32u);
+}
+
+TEST_F(BusFixture, OrderPreservedForEqualJitter) {
+  MessageBus nojitter(scheduler, {Duration::micros(100), Duration::nanos(0)});
+  std::vector<int> order;
+  const Address a = nojitter.add_endpoint("a", [&](Envelope e) {
+    util::ByteReader r(e.payload);
+    order.push_back(static_cast<int>(r.u32()));
+  });
+  for (int i = 0; i < 5; ++i) {
+    util::ByteWriter w(4);
+    w.u32(static_cast<std::uint32_t>(i));
+    nojitter.post(a, a, MessageType::kAppBase, std::move(w).take());
+  }
+  scheduler.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST_F(BusFixture, AddressesAreUniqueAndValid) {
+  const Address a = bus.add_endpoint("a", [](Envelope) {});
+  const Address b = bus.add_endpoint("b", [](Envelope) {});
+  EXPECT_TRUE(a.valid());
+  EXPECT_TRUE(b.valid());
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace garnet::net

@@ -1,0 +1,222 @@
+#include "net/rpc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/scheduler.hpp"
+
+namespace garnet::net {
+namespace {
+
+using util::Duration;
+
+struct RpcFixture : ::testing::Test {
+  sim::Scheduler scheduler;
+  MessageBus bus{scheduler, MessageBus::Config{}};
+};
+
+TEST_F(RpcFixture, CallRoundTrip) {
+  RpcNode server(bus, "server");
+  RpcNode client(bus, "client");
+
+  server.expose(1, [](Address, util::BytesView args) -> RpcResult {
+    util::ByteReader r(args);
+    const std::uint32_t x = r.u32();
+    util::ByteWriter w(4);
+    w.u32(x * 2);
+    return std::move(w).take();
+  });
+
+  std::optional<std::uint32_t> answer;
+  util::ByteWriter w(4);
+  w.u32(21);
+  client.call(server.address(), 1, std::move(w).take(), [&](RpcResult result) {
+    ASSERT_TRUE(result.ok());
+    util::ByteReader r(result.value());
+    answer = r.u32();
+  });
+  scheduler.run();
+  EXPECT_EQ(answer, 42u);
+}
+
+TEST_F(RpcFixture, CallerIdentityPassedToHandler) {
+  RpcNode server(bus, "server");
+  RpcNode client(bus, "client");
+  Address seen{};
+  server.expose(1, [&](Address caller, util::BytesView) -> RpcResult {
+    seen = caller;
+    return util::Bytes{};
+  });
+  client.call(server.address(), 1, {}, [](RpcResult) {});
+  scheduler.run();
+  EXPECT_EQ(seen, client.address());
+}
+
+TEST_F(RpcFixture, NoSuchMethod) {
+  RpcNode server(bus, "server");
+  RpcNode client(bus, "client");
+  std::optional<RpcError> error;
+  client.call(server.address(), 99, {}, [&](RpcResult result) {
+    ASSERT_FALSE(result.ok());
+    error = result.error();
+  });
+  scheduler.run();
+  EXPECT_EQ(error, RpcError::kNoSuchMethod);
+}
+
+TEST_F(RpcFixture, RemoteFailurePropagates) {
+  RpcNode server(bus, "server");
+  RpcNode client(bus, "client");
+  server.expose(1, [](Address, util::BytesView) -> RpcResult {
+    return util::Err{RpcError::kRemoteFailure};
+  });
+  std::optional<RpcError> error;
+  client.call(server.address(), 1, {}, [&](RpcResult result) {
+    ASSERT_FALSE(result.ok());
+    error = result.error();
+  });
+  scheduler.run();
+  EXPECT_EQ(error, RpcError::kRemoteFailure);
+}
+
+TEST_F(RpcFixture, TimeoutWhenCalleeGone) {
+  RpcNode client(bus, "client");
+  std::optional<RpcError> error;
+  client.call(Address{777}, 1, {}, [&](RpcResult result) {
+    ASSERT_FALSE(result.ok());
+    error = result.error();
+  }, Duration::millis(10));
+  scheduler.run();
+  EXPECT_EQ(error, RpcError::kTimeout);
+  EXPECT_GE(scheduler.now().ns, Duration::millis(10).ns);
+}
+
+TEST_F(RpcFixture, CallbackFiresExactlyOnceOnTimeoutRace) {
+  // Server responds, but after the client's deadline: only the timeout
+  // callback may fire.
+  RpcNode server(bus, "server");
+  RpcNode client(bus, "client");
+  server.expose(1, [](Address, util::BytesView) -> RpcResult { return util::Bytes{}; });
+
+  MessageBus slow_bus(scheduler, {Duration::millis(50), Duration::nanos(0)});
+  RpcNode slow_server(slow_bus, "slow");
+  (void)slow_server;
+
+  int calls = 0;
+  std::optional<RpcError> error;
+  // Route through the normal bus but with a 0ms-ish deadline shorter than
+  // 2x latency.
+  client.call(server.address(), 1, {}, [&](RpcResult result) {
+    ++calls;
+    if (!result.ok()) error = result.error();
+  }, Duration::micros(100));
+  scheduler.run();
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(error, RpcError::kTimeout);
+}
+
+TEST_F(RpcFixture, ConcurrentCallsCorrelate) {
+  RpcNode server(bus, "server");
+  RpcNode client(bus, "client");
+  server.expose(1, [](Address, util::BytesView args) -> RpcResult {
+    return util::Bytes(args.begin(), args.end());  // echo
+  });
+
+  // Jitter may reorder arrivals; what matters is that every callback
+  // receives the echo of *its own* request.
+  int completed = 0;
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    util::ByteWriter w(4);
+    w.u32(i);
+    client.call(server.address(), 1, std::move(w).take(), [&, expected = i](RpcResult result) {
+      ASSERT_TRUE(result.ok());
+      util::ByteReader r(result.value());
+      EXPECT_EQ(r.u32(), expected);
+      ++completed;
+    });
+  }
+  scheduler.run();
+  EXPECT_EQ(completed, 10);
+}
+
+TEST_F(RpcFixture, TwoServersIndependentMethods) {
+  RpcNode s1(bus, "s1");
+  RpcNode s2(bus, "s2");
+  RpcNode client(bus, "client");
+  s1.expose(1, [](Address, util::BytesView) -> RpcResult { return util::to_bytes("one"); });
+  s2.expose(1, [](Address, util::BytesView) -> RpcResult { return util::to_bytes("two"); });
+
+  std::string r1, r2;
+  client.call(s1.address(), 1, {}, [&](RpcResult r) { r1 = util::to_string(r.value()); });
+  client.call(s2.address(), 1, {}, [&](RpcResult r) { r2 = util::to_string(r.value()); });
+  scheduler.run();
+  EXPECT_EQ(r1, "one");
+  EXPECT_EQ(r2, "two");
+}
+
+TEST_F(RpcFixture, FallbackReceivesPlainMessages) {
+  std::vector<MessageType> types;
+  RpcNode server(bus, "server", [&](Envelope e) { types.push_back(e.type); });
+  RpcNode client(bus, "client");
+  client.post(server.address(), app_type(5), util::to_bytes("plain"));
+  scheduler.run();
+  ASSERT_EQ(types.size(), 1u);
+  EXPECT_EQ(types[0], app_type(5));
+}
+
+TEST_F(RpcFixture, AsyncHandlerDefersResponse) {
+  RpcNode server(bus, "server");
+  RpcNode client(bus, "client");
+
+  // The callee answers only after 30ms of its own asynchronous work.
+  server.expose_async(1, [this](Address, util::BytesView, RpcResponder respond) {
+    scheduler.schedule_after(Duration::millis(30), [respond = std::move(respond)] {
+      respond(util::to_bytes("late answer"));
+    });
+  });
+
+  std::optional<std::string> answer;
+  std::optional<std::int64_t> answered_at;
+  client.call(server.address(), 1, {}, [&](RpcResult result) {
+    ASSERT_TRUE(result.ok());
+    answer = util::to_string(result.value());
+    answered_at = scheduler.now().ns;
+  }, Duration::seconds(1));
+  scheduler.run();
+
+  EXPECT_EQ(answer, "late answer");
+  ASSERT_TRUE(answered_at.has_value());
+  EXPECT_GE(*answered_at, Duration::millis(30).ns);
+}
+
+TEST_F(RpcFixture, AsyncHandlerSlowerThanDeadlineTimesOut) {
+  RpcNode server(bus, "server");
+  RpcNode client(bus, "client");
+  server.expose_async(1, [this](Address, util::BytesView, RpcResponder respond) {
+    scheduler.schedule_after(Duration::millis(100), [respond = std::move(respond)] {
+      respond(util::Bytes{});
+    });
+  });
+
+  int calls = 0;
+  std::optional<RpcError> error;
+  client.call(server.address(), 1, {}, [&](RpcResult result) {
+    ++calls;
+    if (!result.ok()) error = result.error();
+  }, Duration::millis(20));
+  scheduler.run();
+
+  EXPECT_EQ(calls, 1);  // the late response must not double-fire
+  EXPECT_EQ(error, RpcError::kTimeout);
+}
+
+TEST_F(RpcFixture, DestructionCancelsPendingTimeouts) {
+  {
+    RpcNode client(bus, "client");
+    client.call(Address{777}, 1, {}, [](RpcResult) { FAIL() << "must not fire"; },
+                Duration::seconds(10));
+  }
+  scheduler.run();  // timeout event was cancelled with the node
+}
+
+}  // namespace
+}  // namespace garnet::net

@@ -1,0 +1,96 @@
+#include "sim/geometry.hpp"
+
+#include <gtest/gtest.h>
+
+namespace garnet::sim {
+namespace {
+
+TEST(Vec2, Arithmetic) {
+  const Vec2 a{1, 2};
+  const Vec2 b{3, 5};
+  EXPECT_EQ((a + b), (Vec2{4, 7}));
+  EXPECT_EQ((b - a), (Vec2{2, 3}));
+  EXPECT_EQ((a * 2.0), (Vec2{2, 4}));
+}
+
+TEST(Vec2, NormAndDistance) {
+  EXPECT_DOUBLE_EQ((Vec2{3, 4}).norm(), 5.0);
+  EXPECT_DOUBLE_EQ(distance({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(distance({1, 1}, {1, 1}), 0.0);
+}
+
+TEST(Rect, ContainsAndDimensions) {
+  const Rect r{{0, 0}, {10, 20}};
+  EXPECT_DOUBLE_EQ(r.width(), 10.0);
+  EXPECT_DOUBLE_EQ(r.height(), 20.0);
+  EXPECT_EQ(r.center(), (Vec2{5, 10}));
+  EXPECT_TRUE(r.contains({5, 5}));
+  EXPECT_TRUE(r.contains({0, 0}));    // boundary inclusive
+  EXPECT_TRUE(r.contains({10, 20}));  // boundary inclusive
+  EXPECT_FALSE(r.contains({-0.1, 5}));
+  EXPECT_FALSE(r.contains({5, 20.1}));
+}
+
+TEST(Rect, ClampProjectsOutsidePoints) {
+  const Rect r{{0, 0}, {10, 10}};
+  EXPECT_EQ(r.clamp({5, 5}), (Vec2{5, 5}));
+  EXPECT_EQ(r.clamp({-5, 5}), (Vec2{0, 5}));
+  EXPECT_EQ(r.clamp({15, 15}), (Vec2{10, 10}));
+  EXPECT_EQ(r.clamp({5, -3}), (Vec2{5, 0}));
+}
+
+TEST(Circle, Contains) {
+  const Circle c{{0, 0}, 5};
+  EXPECT_TRUE(c.contains({3, 4}));   // exactly on the rim
+  EXPECT_TRUE(c.contains({0, 0}));
+  EXPECT_FALSE(c.contains({3.1, 4}));
+}
+
+TEST(Circle, IntersectsCircle) {
+  const Circle a{{0, 0}, 5};
+  EXPECT_TRUE(a.intersects(Circle{{8, 0}, 3}));   // touching
+  EXPECT_TRUE(a.intersects(Circle{{2, 0}, 1}));   // contained
+  EXPECT_FALSE(a.intersects(Circle{{9, 0}, 3}));
+}
+
+TEST(Circle, IntersectsRect) {
+  const Circle c{{0, 0}, 5};
+  EXPECT_TRUE(c.intersects(Rect{{3, 3}, {10, 10}}));   // corner inside
+  EXPECT_FALSE(c.intersects(Rect{{4, 4}, {10, 10}}));  // corner at dist ~5.66
+  EXPECT_TRUE(c.intersects(Rect{{-1, -1}, {1, 1}}));   // circle covers rect
+}
+
+TEST(GridLayout, CountAndContainment) {
+  const Rect area{{0, 0}, {100, 100}};
+  for (const std::size_t n : {1u, 2u, 3u, 4u, 7u, 16u, 100u}) {
+    const auto points = grid_layout(area, n);
+    ASSERT_EQ(points.size(), n);
+    for (const Vec2 p : points) EXPECT_TRUE(area.contains(p));
+  }
+}
+
+TEST(GridLayout, PointsAreDistinct) {
+  const auto points = grid_layout({{0, 0}, {100, 100}}, 25);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    for (std::size_t j = i + 1; j < points.size(); ++j) {
+      EXPECT_GT(distance(points[i], points[j]), 1.0);
+    }
+  }
+}
+
+TEST(GridLayout, SinglePointIsCentered) {
+  const auto points = grid_layout({{0, 0}, {10, 10}}, 1);
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_NEAR(points[0].x, 5.0, 1e-9);
+  EXPECT_NEAR(points[0].y, 5.0, 1e-9);
+}
+
+TEST(GridLayout, NonSquareArea) {
+  const Rect wide{{0, 0}, {1000, 10}};
+  const auto points = grid_layout(wide, 10);
+  ASSERT_EQ(points.size(), 10u);
+  for (const Vec2 p : points) EXPECT_TRUE(wide.contains(p));
+}
+
+}  // namespace
+}  // namespace garnet::sim

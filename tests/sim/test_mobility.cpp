@@ -1,0 +1,110 @@
+#include "sim/mobility.hpp"
+
+#include <gtest/gtest.h>
+
+namespace garnet::sim {
+namespace {
+
+using util::Duration;
+using util::SimTime;
+
+TEST(StaticMobility, NeverMoves) {
+  StaticMobility m({42, 17});
+  EXPECT_EQ(m.position_at(SimTime::zero()), (Vec2{42, 17}));
+  EXPECT_EQ(m.position_at(SimTime{} + Duration::seconds(3600)), (Vec2{42, 17}));
+}
+
+TEST(RandomWaypoint, StaysInsideArea) {
+  RandomWaypoint::Config config;
+  config.area = {{0, 0}, {100, 100}};
+  RandomWaypoint m(config, {50, 50}, util::Rng(1));
+  for (int s = 0; s <= 600; s += 5) {
+    const Vec2 p = m.position_at(SimTime{} + Duration::seconds(s));
+    EXPECT_TRUE(config.area.contains(p)) << "at t=" << s << "s: " << p.x << "," << p.y;
+  }
+}
+
+TEST(RandomWaypoint, ActuallyMoves) {
+  RandomWaypoint::Config config;
+  config.area = {{0, 0}, {1000, 1000}};
+  config.min_speed_mps = 5.0;
+  config.max_speed_mps = 10.0;
+  config.pause = Duration::seconds(0);
+  RandomWaypoint m(config, {500, 500}, util::Rng(2));
+  const Vec2 start = m.position_at(SimTime::zero());
+  const Vec2 later = m.position_at(SimTime{} + Duration::seconds(60));
+  EXPECT_GT(distance(start, later), 1.0);
+}
+
+TEST(RandomWaypoint, SpeedIsBounded) {
+  RandomWaypoint::Config config;
+  config.area = {{0, 0}, {1000, 1000}};
+  config.min_speed_mps = 1.0;
+  config.max_speed_mps = 3.0;
+  config.pause = Duration::seconds(0);
+  RandomWaypoint m(config, {500, 500}, util::Rng(3));
+  Vec2 prev = m.position_at(SimTime::zero());
+  for (int s = 1; s <= 300; ++s) {
+    const Vec2 cur = m.position_at(SimTime{} + Duration::seconds(s));
+    // Max displacement in 1s is max speed (pauses make it smaller).
+    EXPECT_LE(distance(prev, cur), 3.0 + 1e-6);
+    prev = cur;
+  }
+}
+
+TEST(RandomWaypoint, DeterministicForSeed) {
+  RandomWaypoint::Config config;
+  config.area = {{0, 0}, {200, 200}};
+  RandomWaypoint a(config, {10, 10}, util::Rng(7));
+  RandomWaypoint b(config, {10, 10}, util::Rng(7));
+  for (int s = 0; s < 120; s += 3) {
+    const SimTime t = SimTime{} + Duration::seconds(s);
+    EXPECT_EQ(a.position_at(t), b.position_at(t));
+  }
+}
+
+TEST(RandomWaypoint, PausesAtWaypoint) {
+  RandomWaypoint::Config config;
+  config.area = {{0, 0}, {10, 10}};  // tiny area: legs are short
+  config.min_speed_mps = 10.0;
+  config.max_speed_mps = 10.0;
+  config.pause = Duration::seconds(100);
+  RandomWaypoint m(config, {5, 5}, util::Rng(11));
+  // After the first (short) leg the sensor pauses; two samples inside the
+  // long pause must coincide.
+  const Vec2 p1 = m.position_at(SimTime{} + Duration::seconds(10));
+  const Vec2 p2 = m.position_at(SimTime{} + Duration::seconds(20));
+  EXPECT_EQ(p1, p2);
+}
+
+TEST(PathMobility, VisitsWaypoints) {
+  // Square loop, perimeter 40, speed 1 m/s.
+  PathMobility m({{0, 0}, {10, 0}, {10, 10}, {0, 10}}, 1.0);
+  EXPECT_EQ(m.position_at(SimTime::zero()), (Vec2{0, 0}));
+  const Vec2 p10 = m.position_at(SimTime{} + Duration::seconds(10));
+  EXPECT_NEAR(p10.x, 10.0, 1e-6);
+  EXPECT_NEAR(p10.y, 0.0, 1e-6);
+  const Vec2 p20 = m.position_at(SimTime{} + Duration::seconds(20));
+  EXPECT_NEAR(p20.x, 10.0, 1e-6);
+  EXPECT_NEAR(p20.y, 10.0, 1e-6);
+}
+
+TEST(PathMobility, LoopsBackToStart) {
+  PathMobility m({{0, 0}, {10, 0}, {10, 10}, {0, 10}}, 1.0);
+  const Vec2 after_loop = m.position_at(SimTime{} + Duration::seconds(40));
+  EXPECT_NEAR(after_loop.x, 0.0, 1e-6);
+  EXPECT_NEAR(after_loop.y, 0.0, 1e-6);
+  const Vec2 lap2 = m.position_at(SimTime{} + Duration::seconds(50));
+  EXPECT_NEAR(lap2.x, 10.0, 1e-6);
+  EXPECT_NEAR(lap2.y, 0.0, 1e-6);
+}
+
+TEST(PathMobility, MidSegmentInterpolation) {
+  PathMobility m({{0, 0}, {10, 0}, {10, 10}, {0, 10}}, 2.0);
+  const Vec2 p = m.position_at(SimTime{} + Duration::millis(2500));  // 5 m in
+  EXPECT_NEAR(p.x, 5.0, 1e-6);
+  EXPECT_NEAR(p.y, 0.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace garnet::sim

@@ -1,0 +1,58 @@
+#include "sim/realtime.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+namespace garnet::sim {
+namespace {
+
+using util::Duration;
+
+TEST(RealtimeDriver, ExecutesAllEventsInSpan) {
+  Scheduler scheduler;
+  int fired = 0;
+  for (int i = 1; i <= 5; ++i) {
+    scheduler.schedule_after(Duration::millis(i), [&] { ++fired; });
+  }
+  // 1000x speed: 5 virtual ms of work in ~5 wall microseconds.
+  RealtimeDriver driver(scheduler, 1000.0);
+  driver.run_for(Duration::millis(10));
+  EXPECT_EQ(fired, 5);
+  EXPECT_EQ(scheduler.now().ns, Duration::millis(10).ns);
+}
+
+TEST(RealtimeDriver, WallTimeTracksVirtualTime) {
+  Scheduler scheduler;
+  scheduler.schedule_after(Duration::millis(500), [] {});
+  // 10x speed: 600 virtual ms should take ~60 wall ms.
+  RealtimeDriver driver(scheduler, 10.0);
+  const auto start = std::chrono::steady_clock::now();
+  driver.run_for(Duration::millis(600));
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  EXPECT_GE(elapsed.count(), 50);
+  EXPECT_LT(elapsed.count(), 500);  // generous ceiling for slow CI hosts
+}
+
+TEST(RealtimeDriver, EmptyScheduleStillAdvancesClock) {
+  Scheduler scheduler;
+  RealtimeDriver driver(scheduler, 100000.0);
+  driver.run_for(Duration::seconds(10));
+  EXPECT_EQ(scheduler.now().to_seconds(), 10.0);
+}
+
+TEST(RealtimeDriver, EventsMaySpawnEvents) {
+  Scheduler scheduler;
+  int chain = 0;
+  std::function<void()> next = [&] {
+    if (++chain < 4) scheduler.schedule_after(Duration::millis(1), next);
+  };
+  scheduler.schedule_after(Duration::millis(1), next);
+  RealtimeDriver driver(scheduler, 1000.0);
+  driver.run_for(Duration::millis(10));
+  EXPECT_EQ(chain, 4);
+}
+
+}  // namespace
+}  // namespace garnet::sim

@@ -1,0 +1,115 @@
+#include "util/bytes.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace garnet::util {
+namespace {
+
+TEST(ByteWriter, BigEndianLayout) {
+  ByteWriter w;
+  w.u8(0xAB);
+  w.u16(0x1234);
+  w.u24(0x00ABCDEF);
+  w.u32(0xDEADBEEF);
+  const Bytes out = std::move(w).take();
+  ASSERT_EQ(out.size(), 1u + 2 + 3 + 4);
+  EXPECT_EQ(static_cast<unsigned>(out[0]), 0xABu);
+  EXPECT_EQ(static_cast<unsigned>(out[1]), 0x12u);
+  EXPECT_EQ(static_cast<unsigned>(out[2]), 0x34u);
+  EXPECT_EQ(static_cast<unsigned>(out[3]), 0xABu);
+  EXPECT_EQ(static_cast<unsigned>(out[4]), 0xCDu);
+  EXPECT_EQ(static_cast<unsigned>(out[5]), 0xEFu);
+  EXPECT_EQ(static_cast<unsigned>(out[6]), 0xDEu);
+}
+
+TEST(ByteRoundTrip, AllPrimitives) {
+  ByteWriter w;
+  w.u8(0x7F);
+  w.u16(0xFFFF);
+  w.u24(0xFFFFFF);
+  w.u32(0x12345678);
+  w.u64(0xFEDCBA9876543210ull);
+  w.i64(-123456789);
+  w.f64(3.14159);
+  w.str("garnet");
+
+  ByteReader r(w.view());
+  EXPECT_EQ(r.u8(), 0x7F);
+  EXPECT_EQ(r.u16(), 0xFFFF);
+  EXPECT_EQ(r.u24(), 0xFFFFFFu);
+  EXPECT_EQ(r.u32(), 0x12345678u);
+  EXPECT_EQ(r.u64(), 0xFEDCBA9876543210ull);
+  EXPECT_EQ(r.i64(), -123456789);
+  EXPECT_DOUBLE_EQ(r.f64(), 3.14159);
+  EXPECT_EQ(r.str(), "garnet");
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(ByteRoundTrip, FloatSpecials) {
+  ByteWriter w;
+  w.f64(std::numeric_limits<double>::infinity());
+  w.f64(-0.0);
+  w.f64(std::numeric_limits<double>::denorm_min());
+  ByteReader r(w.view());
+  EXPECT_EQ(r.f64(), std::numeric_limits<double>::infinity());
+  const double neg_zero = r.f64();
+  EXPECT_EQ(neg_zero, 0.0);
+  EXPECT_TRUE(std::signbit(neg_zero));
+  EXPECT_EQ(r.f64(), std::numeric_limits<double>::denorm_min());
+}
+
+TEST(ByteReader, TruncationSticks) {
+  ByteWriter w;
+  w.u16(7);
+  ByteReader r(w.view());
+  (void)r.u32();  // needs 4, only 2 available
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.u8(), 0u);  // subsequent reads keep failing safely
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(ByteReader, EmptyInput) {
+  ByteReader r(BytesView{});
+  EXPECT_EQ(r.u8(), 0u);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(ByteReader, RawReadsExact) {
+  ByteWriter w;
+  w.raw(to_bytes("hello world"));
+  ByteReader r(w.view());
+  EXPECT_EQ(to_string(r.raw(5)), "hello");
+  EXPECT_EQ(r.remaining(), 6u);
+}
+
+TEST(ByteReader, StrTruncatedLength) {
+  ByteWriter w;
+  w.u16(100);  // claims 100 bytes, provides none
+  ByteReader r(w.view());
+  EXPECT_EQ(r.str(), "");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Bytes, StringHelpersRoundTrip) {
+  const Bytes b = to_bytes("abc\0def");
+  EXPECT_EQ(to_string(b), std::string("abc"));  // string_view stops at NUL here
+  const Bytes full = to_bytes(std::string_view("abc\0def", 7));
+  EXPECT_EQ(to_string(full).size(), 7u);
+}
+
+TEST(ByteWriter, ConsumedTracksPosition) {
+  ByteWriter w;
+  w.u32(1);
+  w.u32(2);
+  ByteReader r(w.view());
+  (void)r.u32();
+  EXPECT_EQ(r.consumed(), 4u);
+  EXPECT_EQ(r.remaining(), 4u);
+}
+
+}  // namespace
+}  // namespace garnet::util

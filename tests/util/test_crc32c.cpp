@@ -1,0 +1,48 @@
+#include "util/crc32c.hpp"
+
+#include <gtest/gtest.h>
+
+namespace garnet::util {
+namespace {
+
+// Published CRC-32C check values.
+TEST(Crc32c, KnownVectors) {
+  EXPECT_EQ(crc32c(to_bytes("123456789")), 0xE3069283u);
+  EXPECT_EQ(crc32c(to_bytes("")), 0x00000000u);
+  EXPECT_EQ(crc32c(to_bytes("a")), 0xC1D04330u);
+  EXPECT_EQ(crc32c(to_bytes("abc")), 0x364B3FB7u);
+}
+
+TEST(Crc32c, AllZeros32Bytes) {
+  const Bytes zeros(32, std::byte{0});
+  EXPECT_EQ(crc32c(zeros), 0x8A9136AAu);  // RFC 3720 B.4 test vector
+}
+
+TEST(Crc32c, AllOnes32Bytes) {
+  const Bytes ones(32, std::byte{0xFF});
+  EXPECT_EQ(crc32c(ones), 0x62A8AB43u);  // RFC 3720 B.4 test vector
+}
+
+TEST(Crc32c, IncrementalMatchesOneShot) {
+  const Bytes data = to_bytes("the quick brown fox jumps over the lazy dog");
+  Crc32c crc;
+  crc.update(BytesView(data).first(10));
+  crc.update(BytesView(data).subspan(10));
+  EXPECT_EQ(crc.value(), crc32c(data));
+}
+
+TEST(Crc32c, DetectsSingleBitFlip) {
+  Bytes data = to_bytes("sensor payload");
+  const std::uint32_t before = crc32c(data);
+  data[5] ^= std::byte{0x01};
+  EXPECT_NE(crc32c(data), before);
+}
+
+TEST(Crc32c, DetectsTransposition) {
+  const std::uint32_t a = crc32c(to_bytes("ab"));
+  const std::uint32_t b = crc32c(to_bytes("ba"));
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace garnet::util

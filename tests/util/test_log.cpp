@@ -1,0 +1,54 @@
+#include "util/log.hpp"
+
+#include <gtest/gtest.h>
+
+namespace garnet::util {
+namespace {
+
+struct LogLevelGuard {
+  LogLevel saved = log_level();
+  ~LogLevelGuard() { set_log_level(saved); }
+};
+
+TEST(Log, DefaultThresholdIsWarn) {
+  const LogLevelGuard guard;
+  EXPECT_EQ(log_level(), LogLevel::kWarn);
+}
+
+TEST(Log, SetLevelRoundTrips) {
+  const LogLevelGuard guard;
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  set_log_level(LogLevel::kOff);
+  EXPECT_EQ(log_level(), LogLevel::kOff);
+}
+
+TEST(Log, BelowThresholdDoesNotFormat) {
+  const LogLevelGuard guard;
+  set_log_level(LogLevel::kOff);
+  // Would crash printf if evaluated with a mismatched format at runtime;
+  // the threshold gate must short-circuit before formatting.
+  log_debug("test", "%d %s", 1, "ok");
+  log_info("test", "%u", 42u);
+  log_warn("test", "plain message");
+}
+
+TEST(Log, EmitsAtOrAboveThreshold) {
+  const LogLevelGuard guard;
+  set_log_level(LogLevel::kInfo);
+  // Writes to stderr; this test just exercises the live path end-to-end
+  // (no crash, no UB under the format pragma) at every level.
+  log_info("component", "value=%d", 7);
+  log_warn("component", "warned");
+  log(LogLevel::kError, "component", "errored with %s", "detail");
+}
+
+TEST(Log, NoArgumentFormIsLiteral) {
+  const LogLevelGuard guard;
+  set_log_level(LogLevel::kInfo);
+  // A literal containing % must be safe in the zero-arg overload.
+  log_info("component", "100% literal percent");
+}
+
+}  // namespace
+}  // namespace garnet::util

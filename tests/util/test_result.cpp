@@ -1,0 +1,59 @@
+#include "util/result.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace garnet::util {
+namespace {
+
+enum class TestError { kBad, kWorse };
+
+TEST(Result, HoldsValue) {
+  const Result<int, TestError> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(static_cast<bool>(r));
+  EXPECT_EQ(r.value(), 42);
+}
+
+TEST(Result, HoldsError) {
+  const Result<int, TestError> r(Err{TestError::kWorse});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error(), TestError::kWorse);
+}
+
+TEST(Result, ValueOrFallsBack) {
+  const Result<int, TestError> ok(7);
+  const Result<int, TestError> bad(Err{TestError::kBad});
+  EXPECT_EQ(ok.value_or(-1), 7);
+  EXPECT_EQ(bad.value_or(-1), -1);
+}
+
+TEST(Result, MoveOutValue) {
+  Result<std::string, TestError> r(std::string("payload"));
+  const std::string taken = std::move(r).value();
+  EXPECT_EQ(taken, "payload");
+}
+
+TEST(Result, SameValueAndErrorTypesDisambiguated) {
+  const Result<int, int> ok(5);
+  const Result<int, int> bad(Err{9});
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 5);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error(), 9);
+}
+
+TEST(Status, DefaultIsOk) {
+  const Status<TestError> s;
+  EXPECT_TRUE(s.ok());
+}
+
+TEST(Status, CarriesError) {
+  const Status<TestError> s(Err{TestError::kBad});
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.error(), TestError::kBad);
+}
+
+}  // namespace
+}  // namespace garnet::util

@@ -1,0 +1,119 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace garnet::util {
+namespace {
+
+TEST(Accumulator, EmptyIsZero) {
+  const Accumulator acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_EQ(acc.mean(), 0.0);
+  EXPECT_EQ(acc.variance(), 0.0);
+  EXPECT_EQ(acc.min(), 0.0);
+  EXPECT_EQ(acc.max(), 0.0);
+}
+
+TEST(Accumulator, SingleValue) {
+  Accumulator acc;
+  acc.add(42.0);
+  EXPECT_EQ(acc.count(), 1u);
+  EXPECT_EQ(acc.mean(), 42.0);
+  EXPECT_EQ(acc.variance(), 0.0);
+  EXPECT_EQ(acc.min(), 42.0);
+  EXPECT_EQ(acc.max(), 42.0);
+}
+
+TEST(Accumulator, KnownMoments) {
+  Accumulator acc;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.add(x);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  EXPECT_NEAR(acc.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_EQ(acc.min(), 2.0);
+  EXPECT_EQ(acc.max(), 9.0);
+  EXPECT_DOUBLE_EQ(acc.sum(), 40.0);
+}
+
+TEST(Accumulator, NegativeValues) {
+  Accumulator acc;
+  acc.add(-5.0);
+  acc.add(5.0);
+  EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
+  EXPECT_EQ(acc.min(), -5.0);
+  EXPECT_EQ(acc.max(), 5.0);
+}
+
+TEST(Quantiles, EmptyIsZero) {
+  const Quantiles q;
+  EXPECT_EQ(q.quantile(0.5), 0.0);
+  EXPECT_EQ(q.mean(), 0.0);
+  EXPECT_EQ(q.max(), 0.0);
+}
+
+TEST(Quantiles, MedianOfOddSet) {
+  Quantiles q;
+  for (const double x : {9.0, 1.0, 5.0}) q.add(x);
+  EXPECT_EQ(q.median(), 5.0);
+}
+
+TEST(Quantiles, ExtremesAndOrder) {
+  Quantiles q;
+  for (int i = 100; i >= 1; --i) q.add(static_cast<double>(i));
+  EXPECT_EQ(q.quantile(0.0), 1.0);
+  EXPECT_EQ(q.quantile(1.0), 100.0);
+  EXPECT_NEAR(q.quantile(0.9), 90.0, 1.0);
+  EXPECT_EQ(q.max(), 100.0);
+  EXPECT_NEAR(q.mean(), 50.5, 1e-9);
+}
+
+TEST(Quantiles, ClampsOutOfRangeQ) {
+  Quantiles q;
+  q.add(3.0);
+  EXPECT_EQ(q.quantile(-1.0), 3.0);
+  EXPECT_EQ(q.quantile(2.0), 3.0);
+}
+
+TEST(Quantiles, AddAfterQueryStillSorted) {
+  Quantiles q;
+  q.add(10.0);
+  EXPECT_EQ(q.median(), 10.0);
+  q.add(0.0);
+  q.add(20.0);
+  EXPECT_EQ(q.median(), 10.0);
+  EXPECT_EQ(q.quantile(0.0), 0.0);
+}
+
+TEST(Quantiles, AcceptsDurations) {
+  Quantiles q;
+  q.add(Duration::millis(5));
+  q.add(Duration::millis(15));
+  EXPECT_NEAR(q.mean(), 10e6, 1e-3);
+}
+
+TEST(Histogram, BucketsAndBounds) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.0);   // bucket 0
+  h.add(9.99);  // bucket 9
+  h.add(5.0);   // bucket 5
+  h.add(-1.0);  // underflow
+  h.add(10.0);  // overflow (hi is exclusive)
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(9), 1u);
+  EXPECT_EQ(h.bucket(5), 1u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.total(), 5u);
+}
+
+TEST(Histogram, RenderContainsCounts) {
+  Histogram h(0.0, 2.0, 2);
+  h.add(0.5);
+  h.add(0.5);
+  h.add(1.5);
+  const std::string text = h.render(10);
+  EXPECT_NE(text.find('2'), std::string::npos);
+  EXPECT_NE(text.find('#'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace garnet::util

@@ -1,0 +1,60 @@
+#include "util/time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace garnet::util {
+namespace {
+
+TEST(Duration, FactoryUnits) {
+  EXPECT_EQ(Duration::nanos(7).ns, 7);
+  EXPECT_EQ(Duration::micros(3).ns, 3'000);
+  EXPECT_EQ(Duration::millis(2).ns, 2'000'000);
+  EXPECT_EQ(Duration::seconds(1).ns, 1'000'000'000);
+}
+
+TEST(Duration, Conversions) {
+  EXPECT_DOUBLE_EQ(Duration::seconds(2).to_seconds(), 2.0);
+  EXPECT_DOUBLE_EQ(Duration::millis(1500).to_seconds(), 1.5);
+  EXPECT_DOUBLE_EQ(Duration::micros(2500).to_millis(), 2.5);
+}
+
+TEST(Duration, Arithmetic) {
+  const Duration a = Duration::millis(300);
+  const Duration b = Duration::millis(200);
+  EXPECT_EQ((a + b).ns, Duration::millis(500).ns);
+  EXPECT_EQ((a - b).ns, Duration::millis(100).ns);
+  EXPECT_EQ((b - a).ns, Duration::millis(-100).ns);
+  EXPECT_EQ((a * 3).ns, Duration::millis(900).ns);
+  EXPECT_EQ((a / 3).ns, Duration::millis(100).ns);
+}
+
+TEST(Duration, Comparisons) {
+  EXPECT_LT(Duration::millis(1), Duration::millis(2));
+  EXPECT_EQ(Duration::micros(1000), Duration::millis(1));
+  EXPECT_GE(Duration::seconds(1), Duration::millis(1000));
+}
+
+TEST(SimTime, Arithmetic) {
+  const SimTime t0 = SimTime::zero();
+  const SimTime t1 = t0 + Duration::seconds(5);
+  EXPECT_EQ(t1.ns, 5'000'000'000);
+  EXPECT_EQ((t1 - t0).ns, Duration::seconds(5).ns);
+  EXPECT_EQ((t1 - Duration::seconds(2)).ns, Duration::seconds(3).ns);
+  EXPECT_DOUBLE_EQ(t1.to_seconds(), 5.0);
+}
+
+TEST(SimTime, Ordering) {
+  const SimTime early{10};
+  const SimTime late{20};
+  EXPECT_LT(early, late);
+  EXPECT_EQ(early, SimTime{10});
+  EXPECT_GT(late - early, Duration::nanos(5));
+}
+
+TEST(SimTime, NegativeSentinelComparable) {
+  // Services use SimTime{-1} as "never"; it must order before zero.
+  EXPECT_LT(SimTime{-1}, SimTime::zero());
+}
+
+}  // namespace
+}  // namespace garnet::util

@@ -1,0 +1,134 @@
+#include "wireless/field.hpp"
+
+#include <gtest/gtest.h>
+
+namespace garnet::wireless {
+namespace {
+
+using util::Duration;
+
+SensorField::Config small_field() {
+  SensorField::Config config;
+  config.area = {{0, 0}, {500, 500}};
+  config.radio.base_loss = 0.0;
+  config.radio.edge_loss = 0.0;
+  config.seed = 11;
+  return config;
+}
+
+struct FieldFixture : ::testing::Test {
+  sim::Scheduler scheduler;
+};
+
+TEST_F(FieldFixture, ReceiverGridCoversArea) {
+  SensorField field(scheduler, small_field());
+  field.add_receiver_grid(9, 150);
+  ASSERT_EQ(field.medium().receivers().size(), 9u);
+  for (const Receiver& rx : field.medium().receivers()) {
+    EXPECT_TRUE(field.area().contains(rx.position));
+    EXPECT_EQ(rx.range_m, 150);
+  }
+}
+
+TEST_F(FieldFixture, ReceiverIdsUnique) {
+  SensorField field(scheduler, small_field());
+  field.add_receiver_grid(16, 100);
+  std::set<ReceiverId> ids;
+  for (const Receiver& rx : field.medium().receivers()) ids.insert(rx.id);
+  EXPECT_EQ(ids.size(), 16u);
+}
+
+TEST_F(FieldFixture, TransmitterGrid) {
+  SensorField field(scheduler, small_field());
+  field.add_transmitter_grid(4, 200);
+  EXPECT_EQ(field.medium().transmitters().size(), 4u);
+}
+
+TEST_F(FieldFixture, PopulationCreatesSensorsWithSequentialIds) {
+  SensorField field(scheduler, small_field());
+  SensorField::PopulationSpec spec;
+  spec.first_id = 100;
+  spec.count = 12;
+  field.add_population(spec);
+  EXPECT_EQ(field.sensor_count(), 12u);
+  for (core::SensorId id = 100; id < 112; ++id) {
+    EXPECT_NE(field.find_sensor(id), nullptr) << id;
+  }
+  EXPECT_EQ(field.find_sensor(99), nullptr);
+}
+
+TEST_F(FieldFixture, PopulationSensorsStayInsideArea) {
+  SensorField field(scheduler, small_field());
+  SensorField::PopulationSpec spec;
+  spec.count = 10;
+  field.add_population(spec);
+  field.start_all();
+  scheduler.run_until(util::SimTime{} + Duration::seconds(120));
+  for (std::size_t i = 0; i < field.sensor_count(); ++i) {
+    EXPECT_TRUE(field.area().contains(field.sensor_at(i).position()));
+  }
+}
+
+TEST_F(FieldFixture, StartAllProducesTraffic) {
+  SensorField field(scheduler, small_field());
+  field.add_receiver_grid(4, 400);
+  SensorField::PopulationSpec spec;
+  spec.count = 5;
+  spec.interval_ms = 200;
+  field.add_population(spec);
+
+  std::size_t frames = 0;
+  field.medium().set_uplink_sink([&](const ReceptionReport&) { ++frames; });
+  field.start_all();
+  scheduler.run_until(util::SimTime{} + Duration::seconds(5));
+
+  EXPECT_GT(frames, 50u);  // 5 sensors * ~25 samples, likely duplicated
+  EXPECT_GT(field.medium().stats().uplink_frames, 100u);
+}
+
+TEST_F(FieldFixture, StopAllSilencesField) {
+  SensorField field(scheduler, small_field());
+  field.add_receiver_grid(4, 400);
+  SensorField::PopulationSpec spec;
+  spec.count = 3;
+  field.add_population(spec);
+  field.start_all();
+  scheduler.run_until(util::SimTime{} + Duration::seconds(2));
+  field.stop_all();
+  const auto frames = field.medium().stats().uplink_frames;
+  scheduler.run_until(util::SimTime{} + Duration::seconds(10));
+  EXPECT_EQ(field.medium().stats().uplink_frames, frames);
+}
+
+TEST_F(FieldFixture, DeterministicAcrossRuns) {
+  const auto run_once = [] {
+    sim::Scheduler scheduler;
+    SensorField field(scheduler, small_field());
+    field.add_receiver_grid(4, 300);
+    SensorField::PopulationSpec spec;
+    spec.count = 4;
+    field.add_population(spec);
+    std::vector<std::int64_t> trace;
+    field.medium().set_uplink_sink(
+        [&](const ReceptionReport& r) { trace.push_back(r.received_at.ns); });
+    field.start_all();
+    scheduler.run_until(util::SimTime{} + Duration::seconds(10));
+    return trace;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST_F(FieldFixture, ExplicitSensorPlacement) {
+  SensorField field(scheduler, small_field());
+  SensorNode::Config config;
+  config.id = 77;
+  config.streams.push_back({});
+  SensorNode& sensor =
+      field.add_sensor(std::move(config), std::make_unique<sim::StaticMobility>(sim::Vec2{9, 9}));
+  EXPECT_EQ(sensor.id(), 77u);
+  EXPECT_EQ(sensor.position(), (sim::Vec2{9, 9}));
+  EXPECT_EQ(field.find_sensor(77), &sensor);
+}
+
+}  // namespace
+}  // namespace garnet::wireless

@@ -1,0 +1,208 @@
+#include "wireless/radio.hpp"
+
+#include <gtest/gtest.h>
+
+namespace garnet::wireless {
+namespace {
+
+using util::Duration;
+
+RadioMedium::Config perfect_radio() {
+  RadioMedium::Config config;
+  config.base_loss = 0.0;
+  config.edge_loss = 0.0;
+  config.max_jitter = Duration::nanos(0);
+  return config;
+}
+
+struct RadioFixture : ::testing::Test {
+  sim::Scheduler scheduler;
+};
+
+TEST_F(RadioFixture, DeliversToReceiverInRange) {
+  RadioMedium medium(scheduler, perfect_radio(), util::Rng(1));
+  medium.add_receiver({1, {0, 0}, 100});
+  std::vector<ReceptionReport> reports;
+  medium.set_uplink_sink([&](const ReceptionReport& r) { reports.push_back(r); });
+
+  medium.uplink({50, 0}, util::to_bytes("frame"));
+  scheduler.run();
+
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_EQ(reports[0].receiver, 1u);
+  EXPECT_EQ(util::to_string(reports[0].frame), "frame");
+  EXPECT_GE(reports[0].received_at.ns, perfect_radio().hop_latency.ns);
+}
+
+TEST_F(RadioFixture, OutOfRangeFrameUnheard) {
+  RadioMedium medium(scheduler, perfect_radio(), util::Rng(1));
+  medium.add_receiver({1, {0, 0}, 100});
+  int heard = 0;
+  medium.set_uplink_sink([&](const ReceptionReport&) { ++heard; });
+
+  medium.uplink({500, 0}, util::to_bytes("frame"));
+  scheduler.run();
+
+  EXPECT_EQ(heard, 0);
+  EXPECT_EQ(medium.stats().uplink_unheard, 1u);
+}
+
+TEST_F(RadioFixture, OverlappingReceiversDuplicate) {
+  // Paper §4.2: overlapping coverage "causes potential duplication of
+  // data messages".
+  RadioMedium medium(scheduler, perfect_radio(), util::Rng(1));
+  medium.add_receiver({1, {-10, 0}, 100});
+  medium.add_receiver({2, {10, 0}, 100});
+  medium.add_receiver({3, {0, 10}, 100});
+  int heard = 0;
+  medium.set_uplink_sink([&](const ReceptionReport&) { ++heard; });
+
+  medium.uplink({0, 0}, util::to_bytes("frame"));
+  scheduler.run();
+
+  EXPECT_EQ(heard, 3);
+  EXPECT_EQ(medium.stats().uplink_duplicates, 2u);
+}
+
+TEST_F(RadioFixture, LossModelDropsFrames) {
+  RadioMedium::Config lossy = perfect_radio();
+  lossy.base_loss = 0.5;
+  RadioMedium medium(scheduler, lossy, util::Rng(7));
+  medium.add_receiver({1, {0, 0}, 100});
+  int heard = 0;
+  medium.set_uplink_sink([&](const ReceptionReport&) { ++heard; });
+
+  for (int i = 0; i < 1000; ++i) medium.uplink({10, 0}, util::Bytes(4));
+  scheduler.run();
+
+  EXPECT_GT(heard, 400);
+  EXPECT_LT(heard, 600);
+}
+
+TEST_F(RadioFixture, EdgeLossExceedsCenterLoss) {
+  RadioMedium::Config config = perfect_radio();
+  config.edge_loss = 0.4;
+  RadioMedium medium(scheduler, config, util::Rng(9));
+  medium.add_receiver({1, {0, 0}, 100});
+  int heard_near = 0;
+  int heard_far = 0;
+  int* counter = &heard_near;
+  medium.set_uplink_sink([&](const ReceptionReport&) { ++*counter; });
+
+  for (int i = 0; i < 2000; ++i) medium.uplink({5, 0}, util::Bytes(1));
+  scheduler.run();
+  counter = &heard_far;
+  for (int i = 0; i < 2000; ++i) medium.uplink({99, 0}, util::Bytes(1));
+  scheduler.run();
+
+  EXPECT_GT(heard_near, heard_far + 300);
+}
+
+TEST_F(RadioFixture, RssiDecreasesWithDistance) {
+  RadioMedium medium(scheduler, perfect_radio(), util::Rng(3));
+  medium.add_receiver({1, {0, 0}, 1000});
+  std::vector<double> rssi;
+  medium.set_uplink_sink([&](const ReceptionReport& r) { rssi.push_back(r.rssi_dbm); });
+
+  for (int i = 0; i < 50; ++i) medium.uplink({10, 0}, util::Bytes(1));
+  for (int i = 0; i < 50; ++i) medium.uplink({900, 0}, util::Bytes(1));
+  scheduler.run();
+
+  ASSERT_EQ(rssi.size(), 100u);
+  double near_mean = 0;
+  double far_mean = 0;
+  for (int i = 0; i < 50; ++i) near_mean += rssi[static_cast<std::size_t>(i)] / 50;
+  for (int i = 50; i < 100; ++i) far_mean += rssi[static_cast<std::size_t>(i)] / 50;
+  EXPECT_GT(near_mean, far_mean + 20);  // ~2.4*10*log10(90) ≈ 47 dB apart
+}
+
+TEST_F(RadioFixture, DownlinkReachesEndpointInRange) {
+  RadioMedium medium(scheduler, perfect_radio(), util::Rng(1));
+  medium.add_transmitter({1, {0, 0}, 200});
+  std::vector<std::string> delivered;
+  medium.add_downlink_endpoint({42, [] { return sim::Vec2{100, 0}; },
+                                [&](util::BytesView frame) {
+                                  delivered.push_back(util::to_string(frame));
+                                }});
+
+  const std::size_t scheduled = medium.downlink(1, util::to_bytes("ctl"));
+  scheduler.run();
+
+  EXPECT_EQ(scheduled, 1u);
+  ASSERT_EQ(delivered.size(), 1u);
+  EXPECT_EQ(delivered[0], "ctl");
+}
+
+TEST_F(RadioFixture, DownlinkSkipsOutOfRangeEndpoint) {
+  RadioMedium medium(scheduler, perfect_radio(), util::Rng(1));
+  medium.add_transmitter({1, {0, 0}, 200});
+  medium.add_downlink_endpoint({42, [] { return sim::Vec2{900, 0}; }, [](util::BytesView) {
+                                  FAIL() << "out of range";
+                                }});
+  EXPECT_EQ(medium.downlink(1, util::Bytes(4)), 0u);
+  scheduler.run();
+}
+
+TEST_F(RadioFixture, DownlinkPositionSampledAtSendTime) {
+  // A mobile endpoint that has wandered away no longer hears broadcasts.
+  RadioMedium medium(scheduler, perfect_radio(), util::Rng(1));
+  medium.add_transmitter({1, {0, 0}, 200});
+  sim::Vec2 position{100, 0};
+  int heard = 0;
+  medium.add_downlink_endpoint({42, [&] { return position; },
+                                [&](util::BytesView) { ++heard; }});
+
+  medium.downlink(1, util::Bytes(1));
+  scheduler.run();
+  position = {5000, 0};
+  medium.downlink(1, util::Bytes(1));
+  scheduler.run();
+
+  EXPECT_EQ(heard, 1);
+}
+
+TEST_F(RadioFixture, RemovedEndpointNotDelivered) {
+  RadioMedium medium(scheduler, perfect_radio(), util::Rng(1));
+  medium.add_transmitter({1, {0, 0}, 200});
+  medium.add_downlink_endpoint({42, [] { return sim::Vec2{0, 0}; }, [](util::BytesView) {
+                                  FAIL() << "endpoint was removed";
+                                }});
+  medium.downlink(1, util::Bytes(1));  // delivery scheduled...
+  medium.remove_downlink_endpoint(42); // ...but endpoint leaves first
+  scheduler.run();
+}
+
+TEST_F(RadioFixture, StatsAccumulate) {
+  RadioMedium medium(scheduler, perfect_radio(), util::Rng(1));
+  medium.add_receiver({1, {0, 0}, 100});
+  medium.add_transmitter({1, {0, 0}, 100});
+  medium.set_uplink_sink([](const ReceptionReport&) {});
+  medium.add_downlink_endpoint({1, [] { return sim::Vec2{0, 0}; }, [](util::BytesView) {}});
+
+  medium.uplink({0, 0}, util::Bytes(10));
+  medium.downlink(1, util::Bytes(20));
+  scheduler.run();
+
+  EXPECT_EQ(medium.stats().uplink_frames, 1u);
+  EXPECT_EQ(medium.stats().uplink_bytes_sent, 10u);
+  EXPECT_EQ(medium.stats().downlink_broadcasts, 1u);
+  EXPECT_EQ(medium.stats().downlink_bytes_sent, 20u);
+  EXPECT_EQ(medium.stats().downlink_deliveries, 1u);
+}
+
+TEST_F(RadioFixture, JitterVariesDeliveryTimes) {
+  RadioMedium::Config config = perfect_radio();
+  config.max_jitter = Duration::millis(5);
+  RadioMedium medium(scheduler, config, util::Rng(5));
+  medium.add_receiver({1, {0, 0}, 100});
+  std::set<std::int64_t> arrival_times;
+  medium.set_uplink_sink([&](const ReceptionReport& r) { arrival_times.insert(r.received_at.ns); });
+
+  for (int i = 0; i < 20; ++i) medium.uplink({0, 0}, util::Bytes(1));
+  scheduler.run();
+
+  EXPECT_GT(arrival_times.size(), 10u);  // distinct arrival instants
+}
+
+}  // namespace
+}  // namespace garnet::wireless
