@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_location_targeting.dir/bench_location_targeting.cpp.o"
+  "CMakeFiles/bench_location_targeting.dir/bench_location_targeting.cpp.o.d"
+  "bench_location_targeting"
+  "bench_location_targeting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_location_targeting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_message_codec.dir/bench_message_codec.cpp.o"
+  "CMakeFiles/bench_message_codec.dir/bench_message_codec.cpp.o.d"
+  "bench_message_codec"
+  "bench_message_codec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_message_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_resource_conflict.dir/bench_resource_conflict.cpp.o"
+  "CMakeFiles/bench_resource_conflict.dir/bench_resource_conflict.cpp.o.d"
+  "bench_resource_conflict"
+  "bench_resource_conflict.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_resource_conflict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

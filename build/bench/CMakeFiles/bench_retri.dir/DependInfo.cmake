@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_retri.cpp" "bench/CMakeFiles/bench_retri.dir/bench_retri.cpp.o" "gcc" "bench/CMakeFiles/bench_retri.dir/bench_retri.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/garnet/CMakeFiles/garnet_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/garnet_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/garnet_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/wireless/CMakeFiles/garnet_wireless.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/garnet_message.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/garnet_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/garnet_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/garnet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_retri.dir/bench_retri.cpp.o"
+  "CMakeFiles/bench_retri.dir/bench_retri.cpp.o.d"
+  "bench_retri"
+  "bench_retri.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_retri.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

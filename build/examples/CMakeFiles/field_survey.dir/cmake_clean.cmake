@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/field_survey.dir/field_survey.cpp.o"
+  "CMakeFiles/field_survey.dir/field_survey.cpp.o.d"
+  "field_survey"
+  "field_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/field_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/military_recon.dir/military_recon.cpp.o"
+  "CMakeFiles/military_recon.dir/military_recon.cpp.o.d"
+  "military_recon"
+  "military_recon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/military_recon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resilient_archive.dir/resilient_archive.cpp.o"
+  "CMakeFiles/resilient_archive.dir/resilient_archive.cpp.o.d"
+  "resilient_archive"
+  "resilient_archive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resilient_archive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/water_course.dir/water_course.cpp.o"
+  "CMakeFiles/water_course.dir/water_course.cpp.o.d"
+  "water_course"
+  "water_course.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/water_course.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

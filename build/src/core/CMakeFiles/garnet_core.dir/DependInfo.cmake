@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/actuation.cpp" "src/core/CMakeFiles/garnet_core.dir/actuation.cpp.o" "gcc" "src/core/CMakeFiles/garnet_core.dir/actuation.cpp.o.d"
+  "/root/repo/src/core/auth.cpp" "src/core/CMakeFiles/garnet_core.dir/auth.cpp.o" "gcc" "src/core/CMakeFiles/garnet_core.dir/auth.cpp.o.d"
+  "/root/repo/src/core/catalog.cpp" "src/core/CMakeFiles/garnet_core.dir/catalog.cpp.o" "gcc" "src/core/CMakeFiles/garnet_core.dir/catalog.cpp.o.d"
+  "/root/repo/src/core/catalog_service.cpp" "src/core/CMakeFiles/garnet_core.dir/catalog_service.cpp.o" "gcc" "src/core/CMakeFiles/garnet_core.dir/catalog_service.cpp.o.d"
+  "/root/repo/src/core/constraints.cpp" "src/core/CMakeFiles/garnet_core.dir/constraints.cpp.o" "gcc" "src/core/CMakeFiles/garnet_core.dir/constraints.cpp.o.d"
+  "/root/repo/src/core/consumer.cpp" "src/core/CMakeFiles/garnet_core.dir/consumer.cpp.o" "gcc" "src/core/CMakeFiles/garnet_core.dir/consumer.cpp.o.d"
+  "/root/repo/src/core/coordinator.cpp" "src/core/CMakeFiles/garnet_core.dir/coordinator.cpp.o" "gcc" "src/core/CMakeFiles/garnet_core.dir/coordinator.cpp.o.d"
+  "/root/repo/src/core/dispatch.cpp" "src/core/CMakeFiles/garnet_core.dir/dispatch.cpp.o" "gcc" "src/core/CMakeFiles/garnet_core.dir/dispatch.cpp.o.d"
+  "/root/repo/src/core/filtering.cpp" "src/core/CMakeFiles/garnet_core.dir/filtering.cpp.o" "gcc" "src/core/CMakeFiles/garnet_core.dir/filtering.cpp.o.d"
+  "/root/repo/src/core/location.cpp" "src/core/CMakeFiles/garnet_core.dir/location.cpp.o" "gcc" "src/core/CMakeFiles/garnet_core.dir/location.cpp.o.d"
+  "/root/repo/src/core/orphanage.cpp" "src/core/CMakeFiles/garnet_core.dir/orphanage.cpp.o" "gcc" "src/core/CMakeFiles/garnet_core.dir/orphanage.cpp.o.d"
+  "/root/repo/src/core/pubsub.cpp" "src/core/CMakeFiles/garnet_core.dir/pubsub.cpp.o" "gcc" "src/core/CMakeFiles/garnet_core.dir/pubsub.cpp.o.d"
+  "/root/repo/src/core/recorder.cpp" "src/core/CMakeFiles/garnet_core.dir/recorder.cpp.o" "gcc" "src/core/CMakeFiles/garnet_core.dir/recorder.cpp.o.d"
+  "/root/repo/src/core/replicator.cpp" "src/core/CMakeFiles/garnet_core.dir/replicator.cpp.o" "gcc" "src/core/CMakeFiles/garnet_core.dir/replicator.cpp.o.d"
+  "/root/repo/src/core/resource.cpp" "src/core/CMakeFiles/garnet_core.dir/resource.cpp.o" "gcc" "src/core/CMakeFiles/garnet_core.dir/resource.cpp.o.d"
+  "/root/repo/src/core/retri.cpp" "src/core/CMakeFiles/garnet_core.dir/retri.cpp.o" "gcc" "src/core/CMakeFiles/garnet_core.dir/retri.cpp.o.d"
+  "/root/repo/src/core/wire_types.cpp" "src/core/CMakeFiles/garnet_core.dir/wire_types.cpp.o" "gcc" "src/core/CMakeFiles/garnet_core.dir/wire_types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/garnet_message.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/garnet_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/wireless/CMakeFiles/garnet_wireless.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/garnet_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/garnet_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/garnet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/message.cpp" "src/core/CMakeFiles/garnet_message.dir/message.cpp.o" "gcc" "src/core/CMakeFiles/garnet_message.dir/message.cpp.o.d"
+  "/root/repo/src/core/stream_update.cpp" "src/core/CMakeFiles/garnet_message.dir/stream_update.cpp.o" "gcc" "src/core/CMakeFiles/garnet_message.dir/stream_update.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/garnet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

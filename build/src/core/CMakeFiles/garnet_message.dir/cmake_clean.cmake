@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/garnet_message.dir/message.cpp.o"
+  "CMakeFiles/garnet_message.dir/message.cpp.o.d"
+  "CMakeFiles/garnet_message.dir/stream_update.cpp.o"
+  "CMakeFiles/garnet_message.dir/stream_update.cpp.o.d"
+  "libgarnet_message.a"
+  "libgarnet_message.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/garnet_message.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

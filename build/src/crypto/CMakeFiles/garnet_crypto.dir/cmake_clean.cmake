@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/garnet_crypto.dir/chacha20.cpp.o"
+  "CMakeFiles/garnet_crypto.dir/chacha20.cpp.o.d"
+  "CMakeFiles/garnet_crypto.dir/poly1305.cpp.o"
+  "CMakeFiles/garnet_crypto.dir/poly1305.cpp.o.d"
+  "CMakeFiles/garnet_crypto.dir/sealed.cpp.o"
+  "CMakeFiles/garnet_crypto.dir/sealed.cpp.o.d"
+  "CMakeFiles/garnet_crypto.dir/siphash.cpp.o"
+  "CMakeFiles/garnet_crypto.dir/siphash.cpp.o.d"
+  "libgarnet_crypto.a"
+  "libgarnet_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/garnet_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/garnet_runtime.dir/failover.cpp.o"
+  "CMakeFiles/garnet_runtime.dir/failover.cpp.o.d"
+  "CMakeFiles/garnet_runtime.dir/pipeline.cpp.o"
+  "CMakeFiles/garnet_runtime.dir/pipeline.cpp.o.d"
+  "CMakeFiles/garnet_runtime.dir/report.cpp.o"
+  "CMakeFiles/garnet_runtime.dir/report.cpp.o.d"
+  "CMakeFiles/garnet_runtime.dir/runtime.cpp.o"
+  "CMakeFiles/garnet_runtime.dir/runtime.cpp.o.d"
+  "libgarnet_runtime.a"
+  "libgarnet_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/garnet_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

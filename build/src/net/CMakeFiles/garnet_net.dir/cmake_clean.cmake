@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/garnet_net.dir/bus.cpp.o"
+  "CMakeFiles/garnet_net.dir/bus.cpp.o.d"
+  "CMakeFiles/garnet_net.dir/rpc.cpp.o"
+  "CMakeFiles/garnet_net.dir/rpc.cpp.o.d"
+  "libgarnet_net.a"
+  "libgarnet_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/garnet_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/garnet_sim.dir/geometry.cpp.o"
+  "CMakeFiles/garnet_sim.dir/geometry.cpp.o.d"
+  "CMakeFiles/garnet_sim.dir/mobility.cpp.o"
+  "CMakeFiles/garnet_sim.dir/mobility.cpp.o.d"
+  "CMakeFiles/garnet_sim.dir/scheduler.cpp.o"
+  "CMakeFiles/garnet_sim.dir/scheduler.cpp.o.d"
+  "libgarnet_sim.a"
+  "libgarnet_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/garnet_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/garnet_util.dir/bytes.cpp.o"
+  "CMakeFiles/garnet_util.dir/bytes.cpp.o.d"
+  "CMakeFiles/garnet_util.dir/crc32c.cpp.o"
+  "CMakeFiles/garnet_util.dir/crc32c.cpp.o.d"
+  "CMakeFiles/garnet_util.dir/log.cpp.o"
+  "CMakeFiles/garnet_util.dir/log.cpp.o.d"
+  "CMakeFiles/garnet_util.dir/rng.cpp.o"
+  "CMakeFiles/garnet_util.dir/rng.cpp.o.d"
+  "CMakeFiles/garnet_util.dir/stats.cpp.o"
+  "CMakeFiles/garnet_util.dir/stats.cpp.o.d"
+  "libgarnet_util.a"
+  "libgarnet_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/garnet_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

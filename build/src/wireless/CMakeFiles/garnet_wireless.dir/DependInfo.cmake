@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wireless/field.cpp" "src/wireless/CMakeFiles/garnet_wireless.dir/field.cpp.o" "gcc" "src/wireless/CMakeFiles/garnet_wireless.dir/field.cpp.o.d"
+  "/root/repo/src/wireless/radio.cpp" "src/wireless/CMakeFiles/garnet_wireless.dir/radio.cpp.o" "gcc" "src/wireless/CMakeFiles/garnet_wireless.dir/radio.cpp.o.d"
+  "/root/repo/src/wireless/sensor.cpp" "src/wireless/CMakeFiles/garnet_wireless.dir/sensor.cpp.o" "gcc" "src/wireless/CMakeFiles/garnet_wireless.dir/sensor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/garnet_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/garnet_message.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/garnet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/garnet_wireless.dir/field.cpp.o"
+  "CMakeFiles/garnet_wireless.dir/field.cpp.o.d"
+  "CMakeFiles/garnet_wireless.dir/radio.cpp.o"
+  "CMakeFiles/garnet_wireless.dir/radio.cpp.o.d"
+  "CMakeFiles/garnet_wireless.dir/sensor.cpp.o"
+  "CMakeFiles/garnet_wireless.dir/sensor.cpp.o.d"
+  "libgarnet_wireless.a"
+  "libgarnet_wireless.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/garnet_wireless.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

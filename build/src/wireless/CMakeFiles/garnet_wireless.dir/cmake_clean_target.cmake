@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgarnet_wireless.a"
+)

@@ -1,0 +1,47 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_actuation.cpp" "tests/CMakeFiles/garnet_core_tests.dir/core/test_actuation.cpp.o" "gcc" "tests/CMakeFiles/garnet_core_tests.dir/core/test_actuation.cpp.o.d"
+  "/root/repo/tests/core/test_auth.cpp" "tests/CMakeFiles/garnet_core_tests.dir/core/test_auth.cpp.o" "gcc" "tests/CMakeFiles/garnet_core_tests.dir/core/test_auth.cpp.o.d"
+  "/root/repo/tests/core/test_catalog.cpp" "tests/CMakeFiles/garnet_core_tests.dir/core/test_catalog.cpp.o" "gcc" "tests/CMakeFiles/garnet_core_tests.dir/core/test_catalog.cpp.o.d"
+  "/root/repo/tests/core/test_catalog_service.cpp" "tests/CMakeFiles/garnet_core_tests.dir/core/test_catalog_service.cpp.o" "gcc" "tests/CMakeFiles/garnet_core_tests.dir/core/test_catalog_service.cpp.o.d"
+  "/root/repo/tests/core/test_constraints.cpp" "tests/CMakeFiles/garnet_core_tests.dir/core/test_constraints.cpp.o" "gcc" "tests/CMakeFiles/garnet_core_tests.dir/core/test_constraints.cpp.o.d"
+  "/root/repo/tests/core/test_consumer.cpp" "tests/CMakeFiles/garnet_core_tests.dir/core/test_consumer.cpp.o" "gcc" "tests/CMakeFiles/garnet_core_tests.dir/core/test_consumer.cpp.o.d"
+  "/root/repo/tests/core/test_coordinator.cpp" "tests/CMakeFiles/garnet_core_tests.dir/core/test_coordinator.cpp.o" "gcc" "tests/CMakeFiles/garnet_core_tests.dir/core/test_coordinator.cpp.o.d"
+  "/root/repo/tests/core/test_dispatch.cpp" "tests/CMakeFiles/garnet_core_tests.dir/core/test_dispatch.cpp.o" "gcc" "tests/CMakeFiles/garnet_core_tests.dir/core/test_dispatch.cpp.o.d"
+  "/root/repo/tests/core/test_filtering.cpp" "tests/CMakeFiles/garnet_core_tests.dir/core/test_filtering.cpp.o" "gcc" "tests/CMakeFiles/garnet_core_tests.dir/core/test_filtering.cpp.o.d"
+  "/root/repo/tests/core/test_location.cpp" "tests/CMakeFiles/garnet_core_tests.dir/core/test_location.cpp.o" "gcc" "tests/CMakeFiles/garnet_core_tests.dir/core/test_location.cpp.o.d"
+  "/root/repo/tests/core/test_message.cpp" "tests/CMakeFiles/garnet_core_tests.dir/core/test_message.cpp.o" "gcc" "tests/CMakeFiles/garnet_core_tests.dir/core/test_message.cpp.o.d"
+  "/root/repo/tests/core/test_orphanage.cpp" "tests/CMakeFiles/garnet_core_tests.dir/core/test_orphanage.cpp.o" "gcc" "tests/CMakeFiles/garnet_core_tests.dir/core/test_orphanage.cpp.o.d"
+  "/root/repo/tests/core/test_pubsub.cpp" "tests/CMakeFiles/garnet_core_tests.dir/core/test_pubsub.cpp.o" "gcc" "tests/CMakeFiles/garnet_core_tests.dir/core/test_pubsub.cpp.o.d"
+  "/root/repo/tests/core/test_qos.cpp" "tests/CMakeFiles/garnet_core_tests.dir/core/test_qos.cpp.o" "gcc" "tests/CMakeFiles/garnet_core_tests.dir/core/test_qos.cpp.o.d"
+  "/root/repo/tests/core/test_recorder.cpp" "tests/CMakeFiles/garnet_core_tests.dir/core/test_recorder.cpp.o" "gcc" "tests/CMakeFiles/garnet_core_tests.dir/core/test_recorder.cpp.o.d"
+  "/root/repo/tests/core/test_replicator.cpp" "tests/CMakeFiles/garnet_core_tests.dir/core/test_replicator.cpp.o" "gcc" "tests/CMakeFiles/garnet_core_tests.dir/core/test_replicator.cpp.o.d"
+  "/root/repo/tests/core/test_resource.cpp" "tests/CMakeFiles/garnet_core_tests.dir/core/test_resource.cpp.o" "gcc" "tests/CMakeFiles/garnet_core_tests.dir/core/test_resource.cpp.o.d"
+  "/root/repo/tests/core/test_resource_property.cpp" "tests/CMakeFiles/garnet_core_tests.dir/core/test_resource_property.cpp.o" "gcc" "tests/CMakeFiles/garnet_core_tests.dir/core/test_resource_property.cpp.o.d"
+  "/root/repo/tests/core/test_retri.cpp" "tests/CMakeFiles/garnet_core_tests.dir/core/test_retri.cpp.o" "gcc" "tests/CMakeFiles/garnet_core_tests.dir/core/test_retri.cpp.o.d"
+  "/root/repo/tests/core/test_stream_update.cpp" "tests/CMakeFiles/garnet_core_tests.dir/core/test_stream_update.cpp.o" "gcc" "tests/CMakeFiles/garnet_core_tests.dir/core/test_stream_update.cpp.o.d"
+  "/root/repo/tests/core/test_wire_types.cpp" "tests/CMakeFiles/garnet_core_tests.dir/core/test_wire_types.cpp.o" "gcc" "tests/CMakeFiles/garnet_core_tests.dir/core/test_wire_types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/garnet/CMakeFiles/garnet_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/garnet_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/garnet_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/wireless/CMakeFiles/garnet_wireless.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/garnet_message.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/garnet_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/garnet_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/garnet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/garnet_crypto_tests.dir/crypto/test_chacha20.cpp.o"
+  "CMakeFiles/garnet_crypto_tests.dir/crypto/test_chacha20.cpp.o.d"
+  "CMakeFiles/garnet_crypto_tests.dir/crypto/test_poly1305.cpp.o"
+  "CMakeFiles/garnet_crypto_tests.dir/crypto/test_poly1305.cpp.o.d"
+  "CMakeFiles/garnet_crypto_tests.dir/crypto/test_sealed.cpp.o"
+  "CMakeFiles/garnet_crypto_tests.dir/crypto/test_sealed.cpp.o.d"
+  "CMakeFiles/garnet_crypto_tests.dir/crypto/test_siphash.cpp.o"
+  "CMakeFiles/garnet_crypto_tests.dir/crypto/test_siphash.cpp.o.d"
+  "garnet_crypto_tests"
+  "garnet_crypto_tests.pdb"
+  "garnet_crypto_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/garnet_crypto_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

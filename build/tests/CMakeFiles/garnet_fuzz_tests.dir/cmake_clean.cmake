@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/garnet_fuzz_tests.dir/fuzz/test_robustness.cpp.o"
+  "CMakeFiles/garnet_fuzz_tests.dir/fuzz/test_robustness.cpp.o.d"
+  "garnet_fuzz_tests"
+  "garnet_fuzz_tests.pdb"
+  "garnet_fuzz_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/garnet_fuzz_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for garnet_fuzz_tests.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/test_actuation_path.cpp" "tests/CMakeFiles/garnet_integration_tests.dir/integration/test_actuation_path.cpp.o" "gcc" "tests/CMakeFiles/garnet_integration_tests.dir/integration/test_actuation_path.cpp.o.d"
+  "/root/repo/tests/integration/test_determinism.cpp" "tests/CMakeFiles/garnet_integration_tests.dir/integration/test_determinism.cpp.o" "gcc" "tests/CMakeFiles/garnet_integration_tests.dir/integration/test_determinism.cpp.o.d"
+  "/root/repo/tests/integration/test_end_to_end.cpp" "tests/CMakeFiles/garnet_integration_tests.dir/integration/test_end_to_end.cpp.o" "gcc" "tests/CMakeFiles/garnet_integration_tests.dir/integration/test_end_to_end.cpp.o.d"
+  "/root/repo/tests/integration/test_extensions.cpp" "tests/CMakeFiles/garnet_integration_tests.dir/integration/test_extensions.cpp.o" "gcc" "tests/CMakeFiles/garnet_integration_tests.dir/integration/test_extensions.cpp.o.d"
+  "/root/repo/tests/integration/test_failure_injection.cpp" "tests/CMakeFiles/garnet_integration_tests.dir/integration/test_failure_injection.cpp.o" "gcc" "tests/CMakeFiles/garnet_integration_tests.dir/integration/test_failure_injection.cpp.o.d"
+  "/root/repo/tests/integration/test_multilevel.cpp" "tests/CMakeFiles/garnet_integration_tests.dir/integration/test_multilevel.cpp.o" "gcc" "tests/CMakeFiles/garnet_integration_tests.dir/integration/test_multilevel.cpp.o.d"
+  "/root/repo/tests/integration/test_scenarios.cpp" "tests/CMakeFiles/garnet_integration_tests.dir/integration/test_scenarios.cpp.o" "gcc" "tests/CMakeFiles/garnet_integration_tests.dir/integration/test_scenarios.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/garnet/CMakeFiles/garnet_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/garnet_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/garnet_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/wireless/CMakeFiles/garnet_wireless.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/garnet_message.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/garnet_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/garnet_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/garnet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

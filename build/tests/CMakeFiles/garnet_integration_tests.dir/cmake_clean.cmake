@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/garnet_integration_tests.dir/integration/test_actuation_path.cpp.o"
+  "CMakeFiles/garnet_integration_tests.dir/integration/test_actuation_path.cpp.o.d"
+  "CMakeFiles/garnet_integration_tests.dir/integration/test_determinism.cpp.o"
+  "CMakeFiles/garnet_integration_tests.dir/integration/test_determinism.cpp.o.d"
+  "CMakeFiles/garnet_integration_tests.dir/integration/test_end_to_end.cpp.o"
+  "CMakeFiles/garnet_integration_tests.dir/integration/test_end_to_end.cpp.o.d"
+  "CMakeFiles/garnet_integration_tests.dir/integration/test_extensions.cpp.o"
+  "CMakeFiles/garnet_integration_tests.dir/integration/test_extensions.cpp.o.d"
+  "CMakeFiles/garnet_integration_tests.dir/integration/test_failure_injection.cpp.o"
+  "CMakeFiles/garnet_integration_tests.dir/integration/test_failure_injection.cpp.o.d"
+  "CMakeFiles/garnet_integration_tests.dir/integration/test_multilevel.cpp.o"
+  "CMakeFiles/garnet_integration_tests.dir/integration/test_multilevel.cpp.o.d"
+  "CMakeFiles/garnet_integration_tests.dir/integration/test_scenarios.cpp.o"
+  "CMakeFiles/garnet_integration_tests.dir/integration/test_scenarios.cpp.o.d"
+  "garnet_integration_tests"
+  "garnet_integration_tests.pdb"
+  "garnet_integration_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/garnet_integration_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

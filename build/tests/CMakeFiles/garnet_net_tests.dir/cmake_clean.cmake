@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/garnet_net_tests.dir/net/test_bus.cpp.o"
+  "CMakeFiles/garnet_net_tests.dir/net/test_bus.cpp.o.d"
+  "CMakeFiles/garnet_net_tests.dir/net/test_rpc.cpp.o"
+  "CMakeFiles/garnet_net_tests.dir/net/test_rpc.cpp.o.d"
+  "garnet_net_tests"
+  "garnet_net_tests.pdb"
+  "garnet_net_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/garnet_net_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/garnet_runtime_tests.dir/garnet/test_failover.cpp.o"
+  "CMakeFiles/garnet_runtime_tests.dir/garnet/test_failover.cpp.o.d"
+  "CMakeFiles/garnet_runtime_tests.dir/garnet/test_pipeline.cpp.o"
+  "CMakeFiles/garnet_runtime_tests.dir/garnet/test_pipeline.cpp.o.d"
+  "CMakeFiles/garnet_runtime_tests.dir/garnet/test_runtime.cpp.o"
+  "CMakeFiles/garnet_runtime_tests.dir/garnet/test_runtime.cpp.o.d"
+  "garnet_runtime_tests"
+  "garnet_runtime_tests.pdb"
+  "garnet_runtime_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/garnet_runtime_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/garnet_sim_tests.dir/sim/test_geometry.cpp.o"
+  "CMakeFiles/garnet_sim_tests.dir/sim/test_geometry.cpp.o.d"
+  "CMakeFiles/garnet_sim_tests.dir/sim/test_mobility.cpp.o"
+  "CMakeFiles/garnet_sim_tests.dir/sim/test_mobility.cpp.o.d"
+  "CMakeFiles/garnet_sim_tests.dir/sim/test_realtime.cpp.o"
+  "CMakeFiles/garnet_sim_tests.dir/sim/test_realtime.cpp.o.d"
+  "CMakeFiles/garnet_sim_tests.dir/sim/test_scheduler.cpp.o"
+  "CMakeFiles/garnet_sim_tests.dir/sim/test_scheduler.cpp.o.d"
+  "garnet_sim_tests"
+  "garnet_sim_tests.pdb"
+  "garnet_sim_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/garnet_sim_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

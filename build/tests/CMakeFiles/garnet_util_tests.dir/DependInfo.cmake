@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/util/test_bytes.cpp" "tests/CMakeFiles/garnet_util_tests.dir/util/test_bytes.cpp.o" "gcc" "tests/CMakeFiles/garnet_util_tests.dir/util/test_bytes.cpp.o.d"
+  "/root/repo/tests/util/test_crc32c.cpp" "tests/CMakeFiles/garnet_util_tests.dir/util/test_crc32c.cpp.o" "gcc" "tests/CMakeFiles/garnet_util_tests.dir/util/test_crc32c.cpp.o.d"
+  "/root/repo/tests/util/test_log.cpp" "tests/CMakeFiles/garnet_util_tests.dir/util/test_log.cpp.o" "gcc" "tests/CMakeFiles/garnet_util_tests.dir/util/test_log.cpp.o.d"
+  "/root/repo/tests/util/test_result.cpp" "tests/CMakeFiles/garnet_util_tests.dir/util/test_result.cpp.o" "gcc" "tests/CMakeFiles/garnet_util_tests.dir/util/test_result.cpp.o.d"
+  "/root/repo/tests/util/test_ring_buffer.cpp" "tests/CMakeFiles/garnet_util_tests.dir/util/test_ring_buffer.cpp.o" "gcc" "tests/CMakeFiles/garnet_util_tests.dir/util/test_ring_buffer.cpp.o.d"
+  "/root/repo/tests/util/test_rng.cpp" "tests/CMakeFiles/garnet_util_tests.dir/util/test_rng.cpp.o" "gcc" "tests/CMakeFiles/garnet_util_tests.dir/util/test_rng.cpp.o.d"
+  "/root/repo/tests/util/test_stats.cpp" "tests/CMakeFiles/garnet_util_tests.dir/util/test_stats.cpp.o" "gcc" "tests/CMakeFiles/garnet_util_tests.dir/util/test_stats.cpp.o.d"
+  "/root/repo/tests/util/test_time.cpp" "tests/CMakeFiles/garnet_util_tests.dir/util/test_time.cpp.o" "gcc" "tests/CMakeFiles/garnet_util_tests.dir/util/test_time.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/garnet/CMakeFiles/garnet_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/garnet_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/garnet_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/wireless/CMakeFiles/garnet_wireless.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/garnet_message.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/garnet_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/garnet_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/garnet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/garnet_util_tests.dir/util/test_bytes.cpp.o"
+  "CMakeFiles/garnet_util_tests.dir/util/test_bytes.cpp.o.d"
+  "CMakeFiles/garnet_util_tests.dir/util/test_crc32c.cpp.o"
+  "CMakeFiles/garnet_util_tests.dir/util/test_crc32c.cpp.o.d"
+  "CMakeFiles/garnet_util_tests.dir/util/test_log.cpp.o"
+  "CMakeFiles/garnet_util_tests.dir/util/test_log.cpp.o.d"
+  "CMakeFiles/garnet_util_tests.dir/util/test_result.cpp.o"
+  "CMakeFiles/garnet_util_tests.dir/util/test_result.cpp.o.d"
+  "CMakeFiles/garnet_util_tests.dir/util/test_ring_buffer.cpp.o"
+  "CMakeFiles/garnet_util_tests.dir/util/test_ring_buffer.cpp.o.d"
+  "CMakeFiles/garnet_util_tests.dir/util/test_rng.cpp.o"
+  "CMakeFiles/garnet_util_tests.dir/util/test_rng.cpp.o.d"
+  "CMakeFiles/garnet_util_tests.dir/util/test_stats.cpp.o"
+  "CMakeFiles/garnet_util_tests.dir/util/test_stats.cpp.o.d"
+  "CMakeFiles/garnet_util_tests.dir/util/test_time.cpp.o"
+  "CMakeFiles/garnet_util_tests.dir/util/test_time.cpp.o.d"
+  "garnet_util_tests"
+  "garnet_util_tests.pdb"
+  "garnet_util_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/garnet_util_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

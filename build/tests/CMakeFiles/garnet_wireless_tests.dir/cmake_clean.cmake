@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/garnet_wireless_tests.dir/wireless/test_field.cpp.o"
+  "CMakeFiles/garnet_wireless_tests.dir/wireless/test_field.cpp.o.d"
+  "CMakeFiles/garnet_wireless_tests.dir/wireless/test_radio.cpp.o"
+  "CMakeFiles/garnet_wireless_tests.dir/wireless/test_radio.cpp.o.d"
+  "CMakeFiles/garnet_wireless_tests.dir/wireless/test_relay.cpp.o"
+  "CMakeFiles/garnet_wireless_tests.dir/wireless/test_relay.cpp.o.d"
+  "CMakeFiles/garnet_wireless_tests.dir/wireless/test_sensor.cpp.o"
+  "CMakeFiles/garnet_wireless_tests.dir/wireless/test_sensor.cpp.o.d"
+  "garnet_wireless_tests"
+  "garnet_wireless_tests.pdb"
+  "garnet_wireless_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/garnet_wireless_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/garnet_util_tests[1]_include.cmake")
+include("/root/repo/build/tests/garnet_crypto_tests[1]_include.cmake")
+include("/root/repo/build/tests/garnet_sim_tests[1]_include.cmake")
+include("/root/repo/build/tests/garnet_net_tests[1]_include.cmake")
+include("/root/repo/build/tests/garnet_wireless_tests[1]_include.cmake")
+include("/root/repo/build/tests/garnet_core_tests[1]_include.cmake")
+include("/root/repo/build/tests/garnet_integration_tests[1]_include.cmake")
+include("/root/repo/build/tests/garnet_runtime_tests[1]_include.cmake")
+include("/root/repo/build/tests/garnet_fuzz_tests[1]_include.cmake")
