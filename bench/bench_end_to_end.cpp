@@ -10,6 +10,8 @@
 // by radio + bus hops, independent of scale.
 #include <benchmark/benchmark.h>
 
+#include "bench/common.hpp"
+#include "garnet/report.hpp"
 #include "garnet/runtime.hpp"
 
 namespace garnet::bench {
@@ -22,6 +24,7 @@ struct PipelineOutcome {
   double latency_mean_ms = 0;
   double latency_p99_ms = 0;
   std::uint64_t radio_frames = 0;
+  std::string telemetry_json;  ///< Full exposition incl. stage latencies.
 };
 
 PipelineOutcome run_pipeline(std::size_t sensors, util::Duration span, std::uint64_t seed) {
@@ -55,6 +58,7 @@ PipelineOutcome run_pipeline(std::size_t sensors, util::Duration span, std::uint
   outcome.latency_mean_ms = consumer.delivery_latency().mean() / 1e6;
   outcome.latency_p99_ms = consumer.delivery_latency().quantile(0.99) / 1e6;
   outcome.radio_frames = runtime.field().medium().stats().uplink_frames;
+  outcome.telemetry_json = snapshot(runtime).to_json();
   return outcome;
 }
 
@@ -73,6 +77,9 @@ void BM_Pipeline(benchmark::State& state) {
   state.counters["delivery_latency_mean_ms"] = outcome.latency_mean_ms;
   state.counters["delivery_latency_p99_ms"] = outcome.latency_p99_ms;
   state.counters["radio_frames"] = static_cast<double>(outcome.radio_frames);
+  // One telemetry exposition per field size — carries the per-stage
+  // (radio/filter/dispatch/deliver) latency histogram quantiles.
+  write_bench_report("end_to_end_sensors_" + std::to_string(sensors), outcome.telemetry_json);
 }
 BENCHMARK(BM_Pipeline)
     ->Arg(10)

@@ -9,6 +9,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
 #include "core/message.hpp"
 #include "util/rng.hpp"
 
@@ -19,6 +23,23 @@ inline util::Bytes random_payload(util::Rng& rng, std::size_t size) {
   util::Bytes payload(size);
   for (auto& b : payload) b = static_cast<std::byte>(rng.next());
   return payload;
+}
+
+/// Writes one experiment's machine-readable outcome: BENCH_<name>.json
+/// in $GARNET_BENCH_JSON_DIR (default: the working directory). The
+/// payload is typically a telemetry exposition (obs::render_json /
+/// RuntimeReport::to_json), so the experiment tables in EXPERIMENTS.md
+/// can be regenerated without scraping benchmark counters.
+inline bool write_bench_report(const std::string& name, const std::string& json) {
+  const char* dir = std::getenv("GARNET_BENCH_JSON_DIR");
+  std::string path = (dir != nullptr && *dir != '\0') ? dir : ".";
+  path += "/BENCH_" + name + ".json";
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) return false;
+  std::fwrite(json.data(), 1, json.size(), file);
+  std::fputc('\n', file);
+  std::fclose(file);
+  return true;
 }
 
 /// A plausible data message for codec/pipeline benches.

@@ -1,12 +1,15 @@
 // Live stream monitor: a terminal dashboard over everything on the air,
 // paced by the real-time driver so updates arrive as they would in a
-// deployment (here at 30x so a demo takes seconds).
+// deployment (here at 30x so a demo takes seconds). Exits with the
+// operator text report plus the same snapshot as JSON exposition — what
+// a scraper or the bench harness would ingest.
 //
 // Usage: stream_monitor [speedup]    (default 30)
 #include <cstdio>
 #include <cstdlib>
 #include <map>
 
+#include "garnet/report.hpp"
 #include "garnet/runtime.hpp"
 #include "sim/realtime.hpp"
 
@@ -84,5 +87,9 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(report.estimated_lost));
     }
   }
+
+  const RuntimeReport status = snapshot(runtime);
+  std::printf("\n%s", status.render().c_str());
+  std::printf("\n-- JSON exposition (metrics + recent traces) --\n%s\n", status.to_json().c_str());
   return 0;
 }

@@ -3,6 +3,10 @@
 #
 # Usage: scripts/run_experiments.sh [build-dir] [extra google-benchmark args]
 # e.g.   scripts/run_experiments.sh build --benchmark_min_time=0.05
+#
+# Benches that capture a telemetry snapshot write BENCH_*.json (metrics
+# + stage-latency histogram quantiles, see docs/OBSERVABILITY.md) into
+# $GARNET_BENCH_JSON_DIR, which defaults to <build-dir>/bench-results.
 set -eu
 
 BUILD_DIR="${1:-build}"
@@ -14,9 +18,16 @@ if [ ! -d "$BUILD_DIR/bench" ]; then
   exit 1
 fi
 
+GARNET_BENCH_JSON_DIR="${GARNET_BENCH_JSON_DIR:-$BUILD_DIR/bench-results}"
+export GARNET_BENCH_JSON_DIR
+mkdir -p "$GARNET_BENCH_JSON_DIR"
+
 for bench in "$BUILD_DIR"/bench/bench_*; do
   [ -x "$bench" ] || continue
   echo "==== $(basename "$bench") ===="
   "$bench" "$@"
   echo
 done
+
+echo "==== machine-readable reports ($GARNET_BENCH_JSON_DIR) ===="
+ls -1 "$GARNET_BENCH_JSON_DIR"/BENCH_*.json 2>/dev/null || echo "(none produced)"

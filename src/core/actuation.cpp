@@ -71,6 +71,11 @@ std::uint32_t ActuationService::launch(ConsumerToken, StreamId target, UpdateAct
   pending.issued_at = request.issued_at;
   pending.retries_left = config_.max_retries;
   pending.frame = encode(request);  // the paper's checksumming step (CRC trailer)
+  pending.trace_key = obs::TraceKey{target.packed(), static_cast<std::uint16_t>(request_id),
+                                    obs::TraceKey::kActuation};
+  if (tracer_ != nullptr) {
+    tracer_->begin_span(pending.trace_key, "actuation", pending.issued_at.ns);
+  }
   pending_.emplace(request_id, std::move(pending));
 
   transmit(request_id);
@@ -102,6 +107,7 @@ void ActuationService::on_timeout(std::uint32_t request_id) {
 
   ++stats_.expired;
   const util::Duration latency = bus_.scheduler().now() - pending.issued_at;
+  if (tracer_ != nullptr) tracer_->discard(pending.trace_key);
   pending_.erase(it);
   if (completion_observer_) completion_observer_(request_id, false, latency);
 }
@@ -116,6 +122,10 @@ void ActuationService::on_ack(std::uint32_t request_id, SensorId sensor,
   const util::Duration latency = observed_at - it->second.issued_at;
   ack_latency_.add(latency);
   bus_.scheduler().cancel(it->second.timer);
+  if (tracer_ != nullptr) {
+    tracer_->end_span(it->second.trace_key, "actuation", observed_at.ns);
+    tracer_->complete(it->second.trace_key, observed_at.ns);
+  }
   pending_.erase(it);
   if (completion_observer_) completion_observer_(request_id, true, latency);
 }

@@ -20,6 +20,7 @@
 #include "core/resource.hpp"
 #include "core/stream_update.hpp"
 #include "net/rpc.hpp"
+#include "obs/trace.hpp"
 #include "util/stats.hpp"
 
 namespace garnet::core {
@@ -72,6 +73,11 @@ class ActuationService {
     completion_observer_ = std::move(observer);
   }
 
+  /// Message traces: each admitted request opens an "actuation" span that
+  /// closes when the sensor's acknowledgement is observed (kActuation
+  /// domain, so keys never collide with data-plane traces).
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
   [[nodiscard]] const ActuationStats& stats() const noexcept { return stats_; }
   /// Issue-to-ack latency distribution (virtual time, ns).
   [[nodiscard]] const util::Quantiles& ack_latency() const noexcept { return ack_latency_; }
@@ -90,6 +96,7 @@ class ActuationService {
     std::uint32_t retries_left = 0;
     util::Bytes frame;
     sim::EventId timer;
+    obs::TraceKey trace_key;
   };
 
   void transmit(std::uint32_t request_id);
@@ -106,6 +113,7 @@ class ActuationService {
   ActuationStats stats_;
   util::Quantiles ack_latency_;
   CompletionObserver completion_observer_;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace garnet::core

@@ -24,6 +24,14 @@ void Consumer::on_envelope(net::Envelope envelope) {
   if (!decoded.ok()) return;
   ++received_;
   delivery_latency_.add(bus_.now() - decoded.value().first_heard);
+  if (tracer_ != nullptr) {
+    // The first consumer to receive a copy completes the journey; for
+    // later copies the trace is already in the flight recorder.
+    const DataMessage& message = decoded.value().message;
+    const obs::TraceKey trace_key{message.stream_id.packed(), message.sequence};
+    tracer_->end_span(trace_key, "deliver", bus_.now().ns);
+    tracer_->complete(trace_key, bus_.now().ns);
+  }
   if (data_handler_) data_handler_(decoded.value());
 }
 

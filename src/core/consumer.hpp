@@ -24,6 +24,7 @@
 #include "core/dispatch.hpp"
 #include "core/wire_types.hpp"
 #include "net/rpc.hpp"
+#include "obs/trace.hpp"
 
 namespace garnet::core {
 
@@ -86,6 +87,10 @@ class Consumer {
 
   // --- introspection ------------------------------------------------------
 
+  /// Message traces: delivery to this consumer closes the "deliver" span
+  /// and completes the journey (installed by Runtime::provision).
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
   [[nodiscard]] std::uint64_t received() const noexcept { return received_; }
   /// Radio-ingress to consumer-delivery latency distribution.
   [[nodiscard]] const util::Quantiles& delivery_latency() const noexcept {
@@ -103,6 +108,7 @@ class Consumer {
   std::unordered_map<std::uint32_t, SequenceNo> derived_sequences_;
   std::uint64_t received_ = 0;
   util::Quantiles delivery_latency_;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace garnet::core

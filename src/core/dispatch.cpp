@@ -69,6 +69,9 @@ void DispatchingService::on_envelope(net::Envelope envelope) {
 }
 
 void DispatchingService::deliver(const DataMessage& message, util::SimTime first_heard) {
+  const obs::TraceKey trace_key{message.stream_id.packed(), message.sequence};
+  if (tracer_ != nullptr) tracer_->begin_span(trace_key, "dispatch", bus_.now().ns);
+
   catalog_.note_message(message.stream_id, bus_.now());
 
   if (message.ack_request_id && ack_observer_) {
@@ -83,12 +86,22 @@ void DispatchingService::deliver(const DataMessage& message, util::SimTime first
     // Unclaimed (nobody subscribed) goes to the Orphanage. A message
     // with subscribers that were all QoS-suppressed is *claimed* — the
     // consumers chose not to receive this copy — and is simply dropped.
+    // Either way the journey ends here, so the trace is not recorded.
+    if (tracer_ != nullptr) {
+      tracer_->end_span(trace_key, "dispatch", bus_.now().ns);
+      tracer_->discard(trace_key);
+    }
     if (orphan_sink_.valid() && !table_.anyone_wants(message.stream_id)) {
       ++stats_.orphaned;
       bus_.post(node_.address(), orphan_sink_, kDataDelivery,
                 encode(Delivery{message, first_heard}));
     }
     return;
+  }
+
+  if (tracer_ != nullptr) {
+    tracer_->end_span(trace_key, "dispatch", bus_.now().ns);
+    tracer_->begin_span(trace_key, "deliver", bus_.now().ns);
   }
 
   // One encode, N posts: the envelope payload is shared bytes per copy.

@@ -20,6 +20,7 @@
 #include "core/pubsub.hpp"
 #include "core/wire_types.hpp"
 #include "net/rpc.hpp"
+#include "obs/trace.hpp"
 
 namespace garnet::core {
 
@@ -65,6 +66,10 @@ class DispatchingService {
   bool unsubscribe(SubscriptionId id);
   std::size_t drop_consumer(net::Address consumer);
 
+  /// Message traces: brackets fan-out in a "dispatch" span, opens the
+  /// "deliver" span when copies are posted, discards orphaned journeys.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
   [[nodiscard]] const DispatchStats& stats() const noexcept { return stats_; }
   [[nodiscard]] const SubscriptionTable& subscriptions() const noexcept { return table_; }
   [[nodiscard]] net::Address address() const noexcept { return node_.address(); }
@@ -81,6 +86,7 @@ class DispatchingService {
   net::Address orphan_sink_;
   AckObserver ack_observer_;
   DispatchStats stats_;
+  obs::Tracer* tracer_ = nullptr;
   std::vector<net::Address> scratch_;  ///< Reused fan-out buffer.
 };
 

@@ -98,8 +98,19 @@ void FilteringService::accept(StreamState& state, DataMessage message, util::Sim
     ++state.accepted;
   }
 
+  // A new unique message: the radio hop ends at its first valid receipt
+  // and filtering's own work (dedup + optional reordering) begins.
+  if (tracer_ != nullptr) {
+    const obs::TraceKey trace_key{id.packed(), seq};
+    tracer_->end_span(trace_key, "radio", heard_at.ns);
+    tracer_->begin_span(trace_key, "filter", heard_at.ns);
+  }
+
   if (config_.reorder_depth == 0) {
     ++stats_.messages_out;
+    if (tracer_ != nullptr) {
+      tracer_->end_span({id.packed(), seq}, "filter", scheduler_.now().ns);
+    }
     if (message_sink_) message_sink_(message, heard_at);
     return;
   }
@@ -118,10 +129,13 @@ void FilteringService::accept(StreamState& state, DataMessage message, util::Sim
 }
 
 void FilteringService::release_ready(StreamId id, StreamState& state) {
-  (void)id;
   auto it = state.held.find(state.next_release);
   while (it != state.held.end()) {
     ++stats_.messages_out;
+    if (tracer_ != nullptr) {
+      tracer_->end_span({id.packed(), it->second.message.sequence}, "filter",
+                        scheduler_.now().ns);
+    }
     if (message_sink_) message_sink_(it->second.message, it->second.first_heard);
     state.held.erase(it);
     state.next_release = static_cast<SequenceNo>(state.next_release + 1);

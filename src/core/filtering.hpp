@@ -23,6 +23,7 @@
 #include <unordered_map>
 
 #include "core/message.hpp"
+#include "obs/trace.hpp"
 #include "sim/scheduler.hpp"
 #include "util/time.hpp"
 #include "wireless/radio.hpp"
@@ -91,6 +92,10 @@ class FilteringService {
   /// Drops all per-stream state (e.g. on redeployment).
   void reset();
 
+  /// Message traces: closes the "radio" span at first valid receipt and
+  /// brackets dedup/reorder work in a "filter" span.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
   [[nodiscard]] const FilteringStats& stats() const noexcept { return stats_; }
   [[nodiscard]] const Config& config() const noexcept { return config_; }
 
@@ -135,6 +140,7 @@ class FilteringService {
   ReceptionSink reception_sink_;
   std::unordered_map<StreamId, StreamState> streams_;
   FilteringStats stats_;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace garnet::core

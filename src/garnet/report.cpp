@@ -1,29 +1,26 @@
 #include "garnet/report.hpp"
 
+#include <cmath>
 #include <cstdio>
 
 #include "garnet/runtime.hpp"
+#include "obs/export.hpp"
 
 namespace garnet {
 
 RuntimeReport snapshot(Runtime& runtime) {
   RuntimeReport report;
   report.captured_at = runtime.scheduler().now();
-  report.radio = runtime.field().medium().stats();
-  report.filtering = runtime.filtering().stats();
-  report.dispatch = runtime.dispatch().stats();
-  report.qos = runtime.dispatch().subscriptions().qos_stats();
-  report.location = runtime.location().stats();
-  report.resource = runtime.resource().stats();
-  report.replicator = runtime.replicator().stats();
-  report.actuation = runtime.actuation().stats();
-  report.coordinator = runtime.coordinator().stats();
-  report.bus = runtime.bus().stats();
-  report.sensors_deployed = runtime.field().sensor_count();
-  report.streams_catalogued = runtime.catalog().size();
-  report.subscriptions = runtime.dispatch().subscriptions().size();
-  report.orphaned_messages = runtime.orphanage().total_received();
+  report.metrics =
+      runtime.telemetry().registry.snapshot(static_cast<std::uint64_t>(report.captured_at.ns));
+  report.recent_traces = runtime.telemetry().tracer.completed_snapshot();
   return report;
+}
+
+std::uint64_t RuntimeReport::value(std::string_view name, const obs::Labels& labels) const {
+  const obs::Sample* sample = metrics.find(name, labels);
+  if (sample == nullptr) return 0;
+  return static_cast<std::uint64_t>(std::llround(sample->numeric()));
 }
 
 namespace {
@@ -40,6 +37,15 @@ void header(std::string& out, const char* title) {
   out += '\n';
 }
 
+/// "  deliver  count 42  p50 1.2ms  p99 3.4ms" from a stage histogram.
+void latency_line(std::string& out, const char* stage, const obs::HistogramSnapshot& h) {
+  char buffer[112];
+  std::snprintf(buffer, sizeof buffer, "  %-12s count %10llu   p50 %10.0fns   p99 %10.0fns\n",
+                stage, static_cast<unsigned long long>(h.count), h.quantile(0.5),
+                h.quantile(0.99));
+  out += buffer;
+}
+
 }  // namespace
 
 std::string RuntimeReport::render() const {
@@ -50,63 +56,80 @@ std::string RuntimeReport::render() const {
   out += buffer;
 
   header(out, "radio");
-  line(out, "uplink frames", radio.uplink_frames);
-  line(out, "uplink copies delivered", radio.uplink_deliveries);
-  line(out, "uplink duplicates", radio.uplink_duplicates);
-  line(out, "uplink unheard", radio.uplink_unheard);
-  line(out, "frames overheard by relays", radio.overheard);
-  line(out, "downlink broadcasts", radio.downlink_broadcasts);
+  line(out, "uplink frames", value("garnet.radio.uplink_frames"));
+  line(out, "uplink copies delivered", value("garnet.radio.uplink_deliveries"));
+  line(out, "uplink duplicates", value("garnet.radio.uplink_duplicates"));
+  line(out, "uplink unheard", value("garnet.radio.uplink_unheard"));
+  line(out, "frames overheard by relays", value("garnet.radio.overheard"));
+  line(out, "downlink broadcasts", value("garnet.radio.downlink_broadcasts"));
 
   header(out, "filtering");
-  line(out, "copies in", filtering.copies_in);
-  line(out, "malformed rejected", filtering.malformed);
-  line(out, "duplicates dropped", filtering.duplicates_dropped);
-  line(out, "relayed copies", filtering.relayed_copies);
-  line(out, "unique messages out", filtering.messages_out);
-  line(out, "streams reconstructed", filtering.streams_seen);
+  line(out, "copies in", value("garnet.filtering.copies_in"));
+  line(out, "malformed rejected", value("garnet.filtering.malformed"));
+  line(out, "duplicates dropped", value("garnet.filtering.duplicates_dropped"));
+  line(out, "relayed copies", value("garnet.filtering.relayed_copies"));
+  line(out, "unique messages out", value("garnet.filtering.messages_out"));
+  line(out, "streams reconstructed", value("garnet.filtering.streams_seen"));
 
   header(out, "dispatch");
-  line(out, "messages in", dispatch.messages_in);
-  line(out, "derived published", dispatch.derived_in);
-  line(out, "copies delivered", dispatch.copies_delivered);
-  line(out, "orphaned", dispatch.orphaned);
-  line(out, "qos rate-suppressed", qos.suppressed_rate);
-  line(out, "qos stale-suppressed", qos.suppressed_stale);
-  line(out, "active subscriptions", subscriptions);
+  line(out, "messages in", value("garnet.dispatch.messages_in"));
+  line(out, "derived published", value("garnet.dispatch.derived_in"));
+  line(out, "copies delivered", value("garnet.dispatch.copies_delivered"));
+  line(out, "orphaned", value("garnet.dispatch.orphaned"));
+  line(out, "qos rate-suppressed", value("garnet.qos.suppressed_rate"));
+  line(out, "qos stale-suppressed", value("garnet.qos.suppressed_stale"));
+  line(out, "active subscriptions", value("garnet.dispatch.subscriptions"));
 
   header(out, "location");
-  line(out, "observations", location.observations);
-  line(out, "hints", location.hints);
-  line(out, "queries answered", location.queries_answered);
+  line(out, "observations", value("garnet.location.observations"));
+  line(out, "hints", value("garnet.location.hints"));
+  line(out, "queries answered", value("garnet.location.queries_answered"));
 
   header(out, "actuation path");
-  line(out, "requests", actuation.requests);
-  line(out, "denied", actuation.denied);
-  line(out, "frames sent", actuation.sent);
-  line(out, "retries", actuation.retries);
-  line(out, "acknowledged", actuation.acked);
-  line(out, "expired", actuation.expired);
-  line(out, "replicator targeted sends", replicator.targeted_sends);
-  line(out, "replicator flooded sends", replicator.flooded_sends);
+  line(out, "requests", value("garnet.actuation.requests"));
+  line(out, "denied", value("garnet.actuation.denied"));
+  line(out, "frames sent", value("garnet.actuation.sent"));
+  line(out, "retries", value("garnet.actuation.retries"));
+  line(out, "acknowledged", value("garnet.actuation.acked"));
+  line(out, "expired", value("garnet.actuation.expired"));
+  line(out, "replicator targeted sends", value("garnet.replicator.targeted_sends"));
+  line(out, "replicator flooded sends", value("garnet.replicator.flooded_sends"));
 
   header(out, "governance");
-  line(out, "admissions evaluated", resource.evaluated);
-  line(out, "approved", resource.approved);
-  line(out, "modified", resource.modified);
-  line(out, "denied", resource.denied);
-  line(out, "trusted overrides", resource.trusted_overrides);
-  line(out, "pre-arm hits", resource.prearm_hits);
-  line(out, "coordinator reports", coordinator.reports);
-  line(out, "coordinator predictions", coordinator.predictions);
-  line(out, "pre-arms issued", coordinator.prearms_issued);
-  line(out, "policy changes", coordinator.policy_changes);
+  line(out, "admissions evaluated", value("garnet.resource.evaluated"));
+  line(out, "approved", value("garnet.resource.approved"));
+  line(out, "modified", value("garnet.resource.modified"));
+  line(out, "denied", value("garnet.resource.denied"));
+  line(out, "trusted overrides", value("garnet.resource.trusted_overrides"));
+  line(out, "pre-arm hits", value("garnet.resource.prearm_hits"));
+  line(out, "coordinator reports", value("garnet.coordinator.reports"));
+  line(out, "coordinator predictions", value("garnet.coordinator.predictions"));
+  line(out, "pre-arms issued", value("garnet.coordinator.prearms_issued"));
+  line(out, "policy changes", value("garnet.coordinator.policy_changes"));
 
   header(out, "inventory");
-  line(out, "sensors deployed", sensors_deployed);
-  line(out, "streams catalogued", streams_catalogued);
-  line(out, "orphaned messages stored", orphaned_messages);
-  line(out, "bus envelopes", bus.posted);
+  line(out, "sensors deployed", value("garnet.field.sensors"));
+  line(out, "streams catalogued", value("garnet.catalog.streams"));
+  line(out, "orphaned messages stored", value("garnet.orphanage.messages"));
+  line(out, "bus envelopes", value("garnet.bus.posted"));
+
+  // Per-stage pipeline latencies, fed by the tracer as spans close.
+  bool latency_header = false;
+  for (const char* stage : {"radio", "filter", "dispatch", "deliver", "actuation"}) {
+    const obs::HistogramSnapshot* h =
+        metrics.histogram(obs::kStageLatencyMetric, {{"stage", stage}});
+    if (h == nullptr || h->count == 0) continue;
+    if (!latency_header) {
+      header(out, "stage latency");
+      latency_header = true;
+    }
+    latency_line(out, stage, *h);
+  }
   return out;
 }
+
+std::string RuntimeReport::to_json() const { return obs::render_json(metrics, recent_traces); }
+
+std::string RuntimeReport::to_prometheus() const { return obs::render_prometheus(metrics); }
 
 }  // namespace garnet

@@ -1,44 +1,41 @@
-// Operator-facing status report: one snapshot of every middleware
-// service's counters, renderable as aligned text. Examples print it;
-// tests assert on the struct; a deployment would export it to metrics.
+// Operator-facing status report, backed by the telemetry subsystem.
+//
+// A report is one MetricsSnapshot (every registry instrument plus the
+// service counters surfaced by the Runtime's pull collector) together
+// with the flight recorder's recent message traces. The same snapshot
+// renders three ways: aligned text for terminals, JSON for the bench
+// harness, and Prometheus exposition for scrapers.
 #pragma once
 
 #include <string>
+#include <string_view>
+#include <vector>
 
-#include "core/actuation.hpp"
-#include "core/coordinator.hpp"
-#include "core/dispatch.hpp"
-#include "core/filtering.hpp"
-#include "core/location.hpp"
-#include "core/replicator.hpp"
-#include "core/resource.hpp"
-#include "net/bus.hpp"
-#include "wireless/radio.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/time.hpp"
 
 namespace garnet {
 
 class Runtime;
 
-/// Immutable copy of all service counters at one instant.
+/// Immutable copy of every service counter and distribution at one
+/// instant, plus the most recent completed message traces.
 struct RuntimeReport {
   util::SimTime captured_at;
-  wireless::RadioStats radio;
-  core::FilteringStats filtering;
-  core::DispatchStats dispatch;
-  core::QosStats qos;
-  core::LocationStats location;
-  core::ResourceStats resource;
-  core::ReplicatorStats replicator;
-  core::ActuationStats actuation;
-  core::CoordinatorStats coordinator;
-  net::BusStats bus;
-  std::size_t sensors_deployed = 0;
-  std::size_t streams_catalogued = 0;
-  std::size_t subscriptions = 0;
-  std::uint64_t orphaned_messages = 0;
+  obs::MetricsSnapshot metrics;
+  std::vector<obs::Trace> recent_traces;  ///< Flight recorder, oldest first.
+
+  /// Counter or gauge by metric name (see Runtime::collect_service_stats
+  /// for the naming scheme), rounded to integer; 0 when absent.
+  [[nodiscard]] std::uint64_t value(std::string_view name, const obs::Labels& labels = {}) const;
 
   /// Multi-section aligned text rendering.
   [[nodiscard]] std::string render() const;
+  /// {"captured_at_ns":...,"metrics":[...],"traces":[...]}.
+  [[nodiscard]] std::string to_json() const;
+  /// Prometheus text exposition format v0.0.4.
+  [[nodiscard]] std::string to_prometheus() const;
 };
 
 /// Captures the current counters of every service in `runtime`.

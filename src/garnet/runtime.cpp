@@ -6,6 +6,7 @@ namespace garnet {
 
 Runtime::Runtime(Config config)
     : config_(config),
+      telemetry_(config.trace),
       field_(scheduler_, config.field),
       bus_(scheduler_, config.bus),
       auth_(config.auth),
@@ -22,6 +23,18 @@ Runtime::Runtime(Config config)
 }
 
 void Runtime::wire_services() {
+  // Telemetry: trace spans at every pipeline hop, push-style histograms
+  // on the radio and bus, and a pull collector surfacing the services'
+  // plain counters through the registry's exposition formats.
+  field_.set_tracer(&telemetry_.tracer);
+  filtering_.set_tracer(&telemetry_.tracer);
+  dispatch_.set_tracer(&telemetry_.tracer);
+  actuation_.set_tracer(&telemetry_.tracer);
+  field_.medium().set_metrics(telemetry_.registry);
+  bus_.set_metrics(telemetry_.registry);
+  telemetry_.registry.add_collector(
+      [this](obs::SnapshotBuilder& out) { collect_service_stats(out); });
+
   // Receivers feed the Filtering Service.
   field_.medium().set_uplink_sink(
       [this](const wireless::ReceptionReport& report) { filtering_.ingest(report); });
@@ -49,6 +62,91 @@ void Runtime::wire_services() {
           publish_location(sensor, estimate);
         });
   }
+}
+
+void Runtime::collect_service_stats(obs::SnapshotBuilder& out) {
+  const wireless::RadioStats& radio = field_.medium().stats();
+  out.counter("garnet.radio.uplink_frames", radio.uplink_frames);
+  out.counter("garnet.radio.uplink_deliveries", radio.uplink_deliveries);
+  out.counter("garnet.radio.uplink_duplicates", radio.uplink_duplicates);
+  out.counter("garnet.radio.uplink_unheard", radio.uplink_unheard);
+  out.counter("garnet.radio.uplink_bytes_sent", radio.uplink_bytes_sent);
+  out.counter("garnet.radio.downlink_broadcasts", radio.downlink_broadcasts);
+  out.counter("garnet.radio.downlink_deliveries", radio.downlink_deliveries);
+  out.counter("garnet.radio.downlink_bytes_sent", radio.downlink_bytes_sent);
+  out.counter("garnet.radio.overheard", radio.overheard);
+
+  const core::FilteringStats& filtering = filtering_.stats();
+  out.counter("garnet.filtering.copies_in", filtering.copies_in);
+  out.counter("garnet.filtering.malformed", filtering.malformed);
+  out.counter("garnet.filtering.duplicates_dropped", filtering.duplicates_dropped);
+  out.counter("garnet.filtering.stale_dropped", filtering.stale_dropped);
+  out.counter("garnet.filtering.messages_out", filtering.messages_out);
+  out.counter("garnet.filtering.reordered", filtering.reordered);
+  out.counter("garnet.filtering.streams_seen", filtering.streams_seen);
+  out.counter("garnet.filtering.relayed_copies", filtering.relayed_copies);
+
+  const core::DispatchStats& dispatch = dispatch_.stats();
+  out.counter("garnet.dispatch.messages_in", dispatch.messages_in);
+  out.counter("garnet.dispatch.derived_in", dispatch.derived_in);
+  out.counter("garnet.dispatch.copies_delivered", dispatch.copies_delivered);
+  out.counter("garnet.dispatch.orphaned", dispatch.orphaned);
+  out.counter("garnet.dispatch.acks_observed", dispatch.acks_observed);
+  out.counter("garnet.dispatch.rejected_publishes", dispatch.rejected_publishes);
+
+  const core::QosStats& qos = dispatch_.subscriptions().qos_stats();
+  out.counter("garnet.qos.suppressed_rate", qos.suppressed_rate);
+  out.counter("garnet.qos.suppressed_stale", qos.suppressed_stale);
+
+  const core::LocationStats& location = location_.stats();
+  out.counter("garnet.location.observations", location.observations);
+  out.counter("garnet.location.hints", location.hints);
+  out.counter("garnet.location.hints_rejected", location.hints_rejected);
+  out.counter("garnet.location.queries", location.queries);
+  out.counter("garnet.location.queries_answered", location.queries_answered);
+
+  const core::ResourceStats& resource = resource_.stats();
+  out.counter("garnet.resource.evaluated", resource.evaluated);
+  out.counter("garnet.resource.approved", resource.approved);
+  out.counter("garnet.resource.modified", resource.modified);
+  out.counter("garnet.resource.denied", resource.denied);
+  out.counter("garnet.resource.trusted_overrides", resource.trusted_overrides);
+  out.counter("garnet.resource.prearm_hits", resource.prearm_hits);
+  out.counter("garnet.resource.policy_changes", resource.policy_changes);
+
+  const core::ReplicatorStats& replicator = replicator_.stats();
+  out.counter("garnet.replicator.sends", replicator.sends);
+  out.counter("garnet.replicator.targeted_sends", replicator.targeted_sends);
+  out.counter("garnet.replicator.flooded_sends", replicator.flooded_sends);
+  out.counter("garnet.replicator.transmitter_activations", replicator.transmitter_activations);
+  out.counter("garnet.replicator.copies_scheduled", replicator.copies_scheduled);
+
+  const core::ActuationStats& actuation = actuation_.stats();
+  out.counter("garnet.actuation.requests", actuation.requests);
+  out.counter("garnet.actuation.denied", actuation.denied);
+  out.counter("garnet.actuation.sent", actuation.sent);
+  out.counter("garnet.actuation.retries", actuation.retries);
+  out.counter("garnet.actuation.acked", actuation.acked);
+  out.counter("garnet.actuation.expired", actuation.expired);
+
+  const core::CoordinatorStats& coordinator = coordinator_.stats();
+  out.counter("garnet.coordinator.reports", coordinator.reports);
+  out.counter("garnet.coordinator.rejected_reports", coordinator.rejected_reports);
+  out.counter("garnet.coordinator.predictions", coordinator.predictions);
+  out.counter("garnet.coordinator.prearms_issued", coordinator.prearms_issued);
+  out.counter("garnet.coordinator.policy_changes", coordinator.policy_changes);
+
+  const net::BusStats& bus = bus_.stats();
+  out.counter("garnet.bus.posted", bus.posted);
+  out.counter("garnet.bus.delivered", bus.delivered);
+  out.counter("garnet.bus.dropped_no_endpoint", bus.dropped_no_endpoint);
+  out.counter("garnet.bus.bytes", bus.bytes);
+
+  out.gauge("garnet.field.sensors", static_cast<double>(field_.sensor_count()));
+  out.gauge("garnet.catalog.streams", static_cast<double>(catalog_.size()));
+  out.gauge("garnet.dispatch.subscriptions",
+            static_cast<double>(dispatch_.subscriptions().size()));
+  out.gauge("garnet.orphanage.messages", static_cast<double>(orphanage_.total_received()));
 }
 
 void Runtime::publish_location(core::SensorId sensor, const core::LocationEstimate& estimate) {
@@ -115,6 +213,7 @@ core::ConsumerIdentity Runtime::provision(core::Consumer& consumer, const std::s
   auto identity = auth_.register_consumer(name, consumer.address(), priority);
   assert(identity.ok() && "consumer name already registered");
   consumer.set_identity(identity.value());
+  consumer.set_tracer(&telemetry_.tracer);
   return identity.value();
 }
 

@@ -33,6 +33,7 @@
 #include "core/replicator.hpp"
 #include "core/resource.hpp"
 #include "net/bus.hpp"
+#include "obs/telemetry.hpp"
 #include "sim/scheduler.hpp"
 #include "wireless/field.hpp"
 
@@ -51,6 +52,7 @@ class Runtime {
     core::MessageReplicator::Config replicator;
     core::ActuationService::Config actuation;
     core::SuperCoordinator::Config coordinator;
+    obs::Tracer::Config trace;
 
     /// Re-publish location estimates as a subscribable derived stream
     /// (paper §2 treats location as "any other data stream").
@@ -113,6 +115,8 @@ class Runtime {
   [[nodiscard]] core::ActuationService& actuation() noexcept { return actuation_; }
   [[nodiscard]] core::SuperCoordinator& coordinator() noexcept { return coordinator_; }
   [[nodiscard]] core::CatalogService& catalog_service() noexcept { return catalog_service_; }
+  /// Metrics registry + message tracer; every service is wired into it.
+  [[nodiscard]] obs::Telemetry& telemetry() noexcept { return telemetry_; }
 
   /// Id of the derived stream carrying location updates (when enabled).
   [[nodiscard]] std::optional<core::StreamId> location_stream() const noexcept {
@@ -122,8 +126,11 @@ class Runtime {
  private:
   void wire_services();
   void publish_location(core::SensorId sensor, const core::LocationEstimate& estimate);
+  /// Pull-collector surfacing every service's plain stats struct.
+  void collect_service_stats(obs::SnapshotBuilder& out);
 
   Config config_;
+  obs::Telemetry telemetry_;
   sim::Scheduler scheduler_;
   wireless::SensorField field_;
   net::MessageBus bus_;

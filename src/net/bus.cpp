@@ -31,9 +31,16 @@ std::optional<Address> MessageBus::lookup(const std::string& name) const {
   return Address{it->second};
 }
 
+void MessageBus::set_metrics(obs::MetricsRegistry& registry) {
+  transit_histogram_ = &registry.histogram("garnet.bus.transit_ns");
+  size_histogram_ =
+      &registry.histogram("garnet.bus.envelope_bytes", obs::Histogram::Layout::bytes());
+}
+
 void MessageBus::post(Address from, Address to, MessageType type, util::Bytes payload) {
   ++stats_.posted;
   stats_.bytes += payload.size();
+  if (size_histogram_ != nullptr) size_histogram_->observe(static_cast<double>(payload.size()));
 
   Envelope envelope{from, to, type, std::move(payload), scheduler_.now()};
   const auto jitter_ns = static_cast<std::int64_t>(
@@ -47,6 +54,10 @@ void MessageBus::post(Address from, Address to, MessageType type, util::Bytes pa
       return;
     }
     ++stats_.delivered;
+    if (transit_histogram_ != nullptr) {
+      transit_histogram_->observe(
+          static_cast<double>((scheduler_.now() - envelope.sent_at).ns));
+    }
     it->second.handler(std::move(envelope));
   });
 }

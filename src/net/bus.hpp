@@ -14,6 +14,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "obs/metrics.hpp"
 #include "sim/scheduler.hpp"
 #include "util/bytes.hpp"
 #include "util/time.hpp"
@@ -78,6 +79,10 @@ class MessageBus {
   /// (the fixed network, unlike the radio) but takes latency + jitter.
   void post(Address from, Address to, MessageType type, util::Bytes payload);
 
+  /// Registers native telemetry instruments (envelope transit-time and
+  /// size distributions) in `registry`.
+  void set_metrics(obs::MetricsRegistry& registry);
+
   [[nodiscard]] const BusStats& stats() const noexcept { return stats_; }
   [[nodiscard]] sim::Scheduler& scheduler() noexcept { return scheduler_; }
   [[nodiscard]] util::SimTime now() const noexcept { return scheduler_.now(); }
@@ -95,6 +100,8 @@ class MessageBus {
   std::uint32_t next_address_ = 1;
   std::uint64_t jitter_state_ = 0x6A1B2C3D4E5F6071ull;
   BusStats stats_;
+  obs::Histogram* transit_histogram_ = nullptr;
+  obs::Histogram* size_histogram_ = nullptr;
 };
 
 }  // namespace garnet::net

@@ -1,0 +1,251 @@
+#include "obs/export.hpp"
+
+#include <cstdio>
+
+namespace garnet::obs {
+
+namespace {
+
+void appendf(std::string& out, const char* fmt, auto... args) {
+  char buffer[192];
+  std::snprintf(buffer, sizeof buffer, fmt, args...);
+  out += buffer;
+}
+
+/// Compact numeric rendering: integers without a fractional part.
+void append_number(std::string& out, double v) {
+  if (v == static_cast<double>(static_cast<long long>(v)) && v > -1e15 && v < 1e15) {
+    appendf(out, "%lld", static_cast<long long>(v));
+  } else {
+    appendf(out, "%.6g", v);
+  }
+}
+
+void append_json_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  out += '"';
+}
+
+void append_json_labels(std::string& out, const Labels& labels) {
+  out += '{';
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i) out += ',';
+    append_json_string(out, labels[i].first);
+    out += ':';
+    append_json_string(out, labels[i].second);
+  }
+  out += '}';
+}
+
+void append_histogram_json(std::string& out, const HistogramSnapshot& h) {
+  appendf(out, "\"count\":%llu,\"sum\":", static_cast<unsigned long long>(h.count));
+  append_number(out, h.sum);
+  out += ",\"quantiles\":{";
+  static constexpr std::pair<const char*, double> kQuantiles[] = {
+      {"p50", 0.50}, {"p90", 0.90}, {"p99", 0.99}, {"p999", 0.999}};
+  for (std::size_t i = 0; i < std::size(kQuantiles); ++i) {
+    if (i) out += ',';
+    appendf(out, "\"%s\":", kQuantiles[i].first);
+    append_number(out, h.quantile(kQuantiles[i].second));
+  }
+  out += "},\"buckets\":[";
+  bool first = true;
+  for (std::size_t i = 0; i < h.counts.size(); ++i) {
+    if (h.counts[i] == 0) continue;  // sparse: log-scale layouts are mostly empty
+    if (!first) out += ',';
+    first = false;
+    out += "{\"le\":";
+    if (i < h.bounds.size()) {
+      append_number(out, h.bounds[i]);
+    } else {
+      out += "\"+Inf\"";
+    }
+    appendf(out, ",\"count\":%llu}", static_cast<unsigned long long>(h.counts[i]));
+  }
+  out += ']';
+}
+
+/// Prometheus metric names allow [a-zA-Z0-9_:] only.
+std::string prometheus_name(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') ||
+                    c == '_' || c == ':';
+    if (!ok) c = '_';
+  }
+  return out;
+}
+
+void append_prometheus_labels(std::string& out, const Labels& labels,
+                              const char* extra_key = nullptr,
+                              const std::string& extra_value = "") {
+  if (labels.empty() && extra_key == nullptr) return;
+  out += '{';
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += k;
+    out += "=\"";
+    out += v;
+    out += '"';
+  }
+  if (extra_key != nullptr) {
+    if (!first) out += ',';
+    out += extra_key;
+    out += "=\"";
+    out += extra_value;
+    out += '"';
+  }
+  out += '}';
+}
+
+}  // namespace
+
+std::string render_text(const MetricsSnapshot& snapshot) {
+  std::string out;
+  appendf(out, "== metrics at t=%.3fs (%zu series) ==\n",
+          static_cast<double>(snapshot.captured_at_ns) / 1e9, snapshot.samples.size());
+  for (const Sample& sample : snapshot.samples) {
+    const std::string id = sample.name + label_string(sample.labels);
+    if (sample.kind == InstrumentKind::kHistogram) {
+      const HistogramSnapshot& h = sample.histogram;
+      appendf(out, "  %-52s count=%llu mean=%.3g p50=%.3g p99=%.3g\n", id.c_str(),
+              static_cast<unsigned long long>(h.count), h.mean(), h.quantile(0.5),
+              h.quantile(0.99));
+    } else {
+      appendf(out, "  %-52s ", id.c_str());
+      append_number(out, sample.numeric());
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+std::string render_json(const MetricsSnapshot& snapshot) {
+  return render_json(snapshot, {});
+}
+
+std::string render_json(const MetricsSnapshot& snapshot, const std::vector<Trace>& traces) {
+  std::string out;
+  appendf(out, "{\"captured_at_ns\":%llu,\"metrics\":[",
+          static_cast<unsigned long long>(snapshot.captured_at_ns));
+  for (std::size_t i = 0; i < snapshot.samples.size(); ++i) {
+    const Sample& sample = snapshot.samples[i];
+    if (i) out += ',';
+    out += "{\"name\":";
+    append_json_string(out, sample.name);
+    out += ",\"labels\":";
+    append_json_labels(out, sample.labels);
+    switch (sample.kind) {
+      case InstrumentKind::kCounter:
+        appendf(out, ",\"kind\":\"counter\",\"value\":%llu",
+                static_cast<unsigned long long>(sample.counter));
+        break;
+      case InstrumentKind::kGauge:
+        out += ",\"kind\":\"gauge\",\"value\":";
+        append_number(out, sample.gauge);
+        break;
+      case InstrumentKind::kHistogram:
+        out += ",\"kind\":\"histogram\",";
+        append_histogram_json(out, sample.histogram);
+        break;
+    }
+    out += '}';
+  }
+  out += ']';
+  if (!traces.empty()) {
+    out += ",\"traces\":";
+    out += render_traces_json(traces);
+  }
+  out += '}';
+  return out;
+}
+
+std::string render_traces_json(const std::vector<Trace>& traces) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    const Trace& trace = traces[i];
+    if (i) out += ',';
+    appendf(out, "{\"stream\":%u,\"sequence\":%u,\"domain\":\"%s\",", trace.key.stream,
+            trace.key.sequence, trace.key.domain == TraceKey::kActuation ? "actuation" : "data");
+    appendf(out, "\"begin_ns\":%lld,\"end_ns\":%lld,\"spans\":[",
+            static_cast<long long>(trace.begin_ns), static_cast<long long>(trace.end_ns));
+    for (std::size_t s = 0; s < trace.spans.size(); ++s) {
+      const Span& span = trace.spans[s];
+      if (s) out += ',';
+      out += "{\"stage\":";
+      append_json_string(out, span.stage);
+      appendf(out, ",\"begin_ns\":%lld,\"end_ns\":%lld}", static_cast<long long>(span.begin_ns),
+              static_cast<long long>(span.end_ns));
+    }
+    out += "]}";
+  }
+  out += ']';
+  return out;
+}
+
+std::string render_prometheus(const MetricsSnapshot& snapshot) {
+  std::string out;
+  std::string last_name;
+  for (const Sample& sample : snapshot.samples) {
+    const std::string name = prometheus_name(sample.name);
+    switch (sample.kind) {
+      case InstrumentKind::kCounter:
+        if (name != last_name) appendf(out, "# TYPE %s counter\n", name.c_str());
+        out += name;
+        append_prometheus_labels(out, sample.labels);
+        appendf(out, " %llu\n", static_cast<unsigned long long>(sample.counter));
+        break;
+      case InstrumentKind::kGauge:
+        if (name != last_name) appendf(out, "# TYPE %s gauge\n", name.c_str());
+        out += name;
+        append_prometheus_labels(out, sample.labels);
+        out += ' ';
+        append_number(out, sample.gauge);
+        out += '\n';
+        break;
+      case InstrumentKind::kHistogram: {
+        if (name != last_name) appendf(out, "# TYPE %s histogram\n", name.c_str());
+        const HistogramSnapshot& h = sample.histogram;
+        std::uint64_t cumulative = 0;
+        for (std::size_t i = 0; i < h.counts.size(); ++i) {
+          cumulative += h.counts[i];
+          if (h.counts[i] == 0 && i < h.bounds.size()) continue;  // keep +Inf, skip empties
+          out += name;
+          out += "_bucket";
+          std::string le = "+Inf";
+          if (i < h.bounds.size()) {
+            le.clear();
+            append_number(le, h.bounds[i]);
+          }
+          append_prometheus_labels(out, sample.labels, "le", le);
+          appendf(out, " %llu\n", static_cast<unsigned long long>(cumulative));
+        }
+        out += name;
+        out += "_sum";
+        append_prometheus_labels(out, sample.labels);
+        out += ' ';
+        append_number(out, h.sum);
+        out += '\n';
+        out += name;
+        out += "_count";
+        append_prometheus_labels(out, sample.labels);
+        appendf(out, " %llu\n", static_cast<unsigned long long>(h.count));
+        break;
+      }
+    }
+    last_name = name;
+  }
+  return out;
+}
+
+}  // namespace garnet::obs

@@ -1,0 +1,32 @@
+// Machine- and operator-readable exposition of telemetry snapshots.
+//
+// Three formats over the same MetricsSnapshot:
+//   * render_text        — aligned columns for terminals (RuntimeReport);
+//   * render_json        — one JSON object, histograms with quantiles,
+//                          consumed by the bench harness (BENCH_*.json);
+//   * render_prometheus  — Prometheus text exposition format v0.0.4
+//                          (names sanitised, cumulative `le` buckets).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace garnet::obs {
+
+[[nodiscard]] std::string render_text(const MetricsSnapshot& snapshot);
+
+/// {"captured_at_ns":N,"metrics":[...]} — pass traces to append a
+/// "traces" array rendered from the flight recorder.
+[[nodiscard]] std::string render_json(const MetricsSnapshot& snapshot);
+[[nodiscard]] std::string render_json(const MetricsSnapshot& snapshot,
+                                      const std::vector<Trace>& traces);
+
+[[nodiscard]] std::string render_prometheus(const MetricsSnapshot& snapshot);
+
+/// JSON array of traces (used by render_json and the examples).
+[[nodiscard]] std::string render_traces_json(const std::vector<Trace>& traces);
+
+}  // namespace garnet::obs

@@ -1,0 +1,25 @@
+// The telemetry bundle one deployment owns: a metrics registry plus a
+// message tracer bound to it (stage latencies land in the registry's
+// per-stage histograms). The Runtime holds one and hands pointers to
+// every instrumented service.
+#pragma once
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace garnet::obs {
+
+struct Telemetry {
+  MetricsRegistry registry;
+  Tracer tracer;
+
+  Telemetry() : Telemetry(Tracer::Config{}) {}
+  explicit Telemetry(Tracer::Config trace_config) : tracer(trace_config) {
+    tracer.bind_metrics(&registry);
+  }
+
+  Telemetry(const Telemetry&) = delete;
+  Telemetry& operator=(const Telemetry&) = delete;
+};
+
+}  // namespace garnet::obs

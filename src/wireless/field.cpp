@@ -24,7 +24,13 @@ SensorNode& SensorField::add_sensor(SensorNode::Config config,
                                     std::unique_ptr<sim::MobilityModel> mobility) {
   sensors_.push_back(std::make_unique<SensorNode>(scheduler_, medium_, std::move(config),
                                                   std::move(mobility), rng_.fork()));
+  sensors_.back()->set_tracer(tracer_);
   return *sensors_.back();
+}
+
+void SensorField::set_tracer(obs::Tracer* tracer) {
+  tracer_ = tracer;
+  for (const auto& sensor : sensors_) sensor->set_tracer(tracer);
 }
 
 void SensorField::add_population(const PopulationSpec& spec) {

@@ -49,6 +49,10 @@ class SensorField {
   void start_all();
   void stop_all();
 
+  /// Installs the tracer on every current and future sensor, so data
+  /// traces open at the moment of radio transmission.
+  void set_tracer(obs::Tracer* tracer);
+
   [[nodiscard]] RadioMedium& medium() noexcept { return medium_; }
   [[nodiscard]] const RadioMedium& medium() const noexcept { return medium_; }
   [[nodiscard]] sim::Scheduler& scheduler() noexcept { return scheduler_; }
@@ -64,6 +68,7 @@ class SensorField {
   util::Rng rng_;
   RadioMedium medium_;
   std::vector<std::unique_ptr<SensorNode>> sensors_;
+  obs::Tracer* tracer_ = nullptr;
   ReceiverId next_receiver_id_ = 1;
   TransmitterId next_transmitter_id_ = 1;
 };

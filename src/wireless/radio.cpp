@@ -55,9 +55,18 @@ util::Duration RadioMedium::delivery_delay() {
   return config_.hop_latency + util::Duration::nanos(jitter_ns);
 }
 
+void RadioMedium::set_metrics(obs::MetricsRegistry& registry) {
+  hop_delay_histogram_ = &registry.histogram("garnet.radio.hop_delay_ns");
+  frame_size_histogram_ =
+      &registry.histogram("garnet.radio.frame_bytes", obs::Histogram::Layout::bytes());
+}
+
 void RadioMedium::uplink(sim::Vec2 from, util::Bytes frame, std::uint32_t sender_key) {
   ++stats_.uplink_frames;
   stats_.uplink_bytes_sent += frame.size();
+  if (frame_size_histogram_ != nullptr) {
+    frame_size_histogram_->observe(static_cast<double>(frame.size()));
+  }
 
   // Peer overhearing (multi-hop substrate): nearby relay-capable nodes
   // may hear the transmission too, subject to the same loss model.
@@ -88,6 +97,9 @@ void RadioMedium::uplink(sim::Vec2 from, util::Bytes frame, std::uint32_t sender
 
     ReceptionReport report{rx.id, rssi_for(dist), {}, copies == 1 ? frame : frame};
     const util::Duration delay = delivery_delay();
+    if (hop_delay_histogram_ != nullptr) {
+      hop_delay_histogram_->observe(static_cast<double>(delay.ns));
+    }
     scheduler_.schedule_after(delay, [this, report = std::move(report)]() mutable {
       if (!uplink_sink_) return;
       report.received_at = scheduler_.now();

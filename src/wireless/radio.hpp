@@ -15,6 +15,7 @@
 #include <functional>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "sim/geometry.hpp"
 #include "sim/scheduler.hpp"
 #include "util/bytes.hpp"
@@ -128,6 +129,10 @@ class RadioMedium {
 
   // --- introspection ------------------------------------------------------
 
+  /// Registers native telemetry instruments (uplink hop delay and frame
+  /// size distributions) in `registry`.
+  void set_metrics(obs::MetricsRegistry& registry);
+
   [[nodiscard]] const std::vector<Receiver>& receivers() const noexcept { return receivers_; }
   [[nodiscard]] const std::vector<Transmitter>& transmitters() const noexcept { return transmitters_; }
   [[nodiscard]] const RadioStats& stats() const noexcept { return stats_; }
@@ -147,6 +152,8 @@ class RadioMedium {
   std::vector<OverhearEndpoint> overhearers_;
   std::function<void(const ReceptionReport&)> uplink_sink_;
   RadioStats stats_;
+  obs::Histogram* hop_delay_histogram_ = nullptr;
+  obs::Histogram* frame_size_histogram_ = nullptr;
 };
 
 }  // namespace garnet::wireless

@@ -117,6 +117,9 @@ void SensorNode::emit_sample(std::size_t stream_index) {
   spend(static_cast<double>(frame.size()) * config_.tx_cost_joules_per_byte);
   if (!alive_) return;  // battery died paying for this frame
   ++messages_sent_;
+  if (tracer_ != nullptr) {
+    tracer_->begin_span({msg.stream_id.packed(), msg.sequence}, "radio", scheduler_.now().ns);
+  }
   medium_.uplink(position(), std::move(frame), config_.id);
 
   schedule_sample(stream_index);

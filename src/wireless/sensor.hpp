@@ -24,6 +24,7 @@
 
 #include "core/message.hpp"
 #include "core/stream_update.hpp"
+#include "obs/trace.hpp"
 #include "sim/mobility.hpp"
 #include "sim/scheduler.hpp"
 #include "util/ring_buffer.hpp"
@@ -135,6 +136,11 @@ class SensorNode {
     update_observer_ = std::move(fn);
   }
 
+  /// Message traces originate here: each uplink sample opens a "radio"
+  /// span keyed by its (StreamID, sequence). Relayed frames are not
+  /// traced (the origin sensor already opened the trace).
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
  private:
   void schedule_sample(std::size_t stream_index);
   void emit_sample(std::size_t stream_index);
@@ -166,6 +172,7 @@ class SensorNode {
   /// Recently relayed (stream, seq) pairs, to damp relay duplication.
   util::RingBuffer<std::uint64_t> recent_relays_{128};
   std::function<void(const core::StreamUpdateRequest&, UpdateOutcome)> update_observer_;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 /// Default payload generator: an 8-byte big-endian reading derived from a

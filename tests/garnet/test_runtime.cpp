@@ -108,18 +108,26 @@ TEST(RuntimeReport, SnapshotAndRenderCoverServices) {
   runtime.run_for(Duration::seconds(5));
 
   const RuntimeReport report = snapshot(runtime);
-  EXPECT_GT(report.radio.uplink_frames, 0u);
-  EXPECT_GT(report.filtering.messages_out, 0u);
-  EXPECT_GT(report.dispatch.copies_delivered, 0u);
-  EXPECT_EQ(report.sensors_deployed, 2u);
-  EXPECT_EQ(report.subscriptions, 1u);
-  EXPECT_GT(report.orphaned_messages, 0u);  // sensor 2 unclaimed
+  EXPECT_GT(report.value("garnet.radio.uplink_frames"), 0u);
+  EXPECT_GT(report.value("garnet.filtering.messages_out"), 0u);
+  EXPECT_GT(report.value("garnet.dispatch.copies_delivered"), 0u);
+  EXPECT_EQ(report.value("garnet.field.sensors"), 2u);
+  EXPECT_EQ(report.value("garnet.dispatch.subscriptions"), 1u);
+  EXPECT_GT(report.value("garnet.orphanage.messages"), 0u);  // sensor 2 unclaimed
 
   const std::string text = report.render();
   EXPECT_NE(text.find("radio"), std::string::npos);
   EXPECT_NE(text.find("filtering"), std::string::npos);
   EXPECT_NE(text.find("governance"), std::string::npos);
   EXPECT_NE(text.find("uplink frames"), std::string::npos);
+  EXPECT_NE(text.find("stage latency"), std::string::npos);
+
+  // The machine-readable expositions carry the same snapshot.
+  const std::string json = report.to_json();
+  EXPECT_NE(json.find("\"garnet.radio.uplink_frames\""), std::string::npos);
+  EXPECT_NE(json.find("\"traces\""), std::string::npos);
+  const std::string prom = report.to_prometheus();
+  EXPECT_NE(prom.find("garnet_radio_uplink_frames"), std::string::npos);
 }
 
 TEST(Runtime, DeprovisionRevokesEverything) {

@@ -1,0 +1,72 @@
+// Exposition formats: aligned text, JSON, Prometheus text v0.0.4.
+#include "obs/export.hpp"
+
+#include <gtest/gtest.h>
+
+namespace garnet::obs {
+namespace {
+
+MetricsSnapshot sample_snapshot() {
+  MetricsRegistry registry;
+  registry.counter("garnet.bus.posted").inc(12);
+  registry.gauge("garnet.field.sensors").set(3);
+  Histogram& h = registry.histogram("garnet.stage_latency_ns",
+                                    Histogram::Layout::latency_ns(), {{"stage", "filter"}});
+  h.observe(2e5);
+  h.observe(4e5);
+  return registry.snapshot(1500000000);
+}
+
+TEST(RenderText, AlignedSeriesPerLine) {
+  const std::string text = render_text(sample_snapshot());
+  EXPECT_NE(text.find("garnet.bus.posted"), std::string::npos);
+  EXPECT_NE(text.find("12"), std::string::npos);
+  EXPECT_NE(text.find("garnet.stage_latency_ns{stage=filter}"), std::string::npos);
+  EXPECT_NE(text.find("count=2"), std::string::npos);
+}
+
+TEST(RenderJson, CarriesKindsValuesAndQuantiles) {
+  const std::string json = render_json(sample_snapshot());
+  EXPECT_NE(json.find("\"captured_at_ns\":1500000000"), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"garnet.bus.posted\""), std::string::npos);
+  EXPECT_NE(json.find("\"kind\":\"counter\",\"value\":12"), std::string::npos);
+  EXPECT_NE(json.find("\"kind\":\"gauge\",\"value\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"labels\":{\"stage\":\"filter\"}"), std::string::npos);
+  EXPECT_NE(json.find("\"kind\":\"histogram\",\"count\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"p50\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p99\":"), std::string::npos);
+  EXPECT_NE(json.find("\"buckets\":["), std::string::npos);
+  // No traces array unless traces are passed.
+  EXPECT_EQ(json.find("\"traces\""), std::string::npos);
+}
+
+TEST(RenderJson, AppendsTraces) {
+  Tracer tracer;
+  const TraceKey key{66051, 9};  // 0x010203
+  tracer.begin_span(key, "radio", 100);
+  tracer.end_span(key, "radio", 300);
+  tracer.complete(key, 300);
+
+  const std::string json = render_json(sample_snapshot(), tracer.completed_snapshot());
+  EXPECT_NE(json.find("\"traces\":[{\"stream\":66051,\"sequence\":9,\"domain\":\"data\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"stage\":\"radio\",\"begin_ns\":100,\"end_ns\":300"), std::string::npos);
+}
+
+TEST(RenderPrometheus, SanitisedNamesAndCumulativeBuckets) {
+  const std::string prom = render_prometheus(sample_snapshot());
+  EXPECT_NE(prom.find("# TYPE garnet_bus_posted counter"), std::string::npos);
+  EXPECT_NE(prom.find("garnet_bus_posted 12"), std::string::npos);
+  EXPECT_NE(prom.find("# TYPE garnet_field_sensors gauge"), std::string::npos);
+  EXPECT_NE(prom.find("# TYPE garnet_stage_latency_ns histogram"), std::string::npos);
+  EXPECT_NE(prom.find("garnet_stage_latency_ns_bucket{stage=\"filter\",le=\"+Inf\"} 2"),
+            std::string::npos);
+  EXPECT_NE(prom.find("garnet_stage_latency_ns_sum{stage=\"filter\"} 600000"),
+            std::string::npos);
+  EXPECT_NE(prom.find("garnet_stage_latency_ns_count{stage=\"filter\"} 2"), std::string::npos);
+  // Dots never survive into metric names.
+  EXPECT_EQ(prom.find("garnet.bus"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace garnet::obs
