@@ -1,0 +1,102 @@
+// Experiment A4 — chaos tolerance of the RPC control plane.
+//
+// Sweeps the bus-level drop probability (0%, 5%, 10%, 20%) over a fixed
+// RPC workload and reports what the retry/backoff layer pays to keep the
+// control plane correct: retries per call, duplicate requests absorbed
+// by the callee's at-most-once cache, and the residual exhaustion rate.
+// The fault plan is seeded, so every row of the table is replayable.
+#include <benchmark/benchmark.h>
+
+#include "bench/common.hpp"
+#include "net/rpc.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+
+namespace garnet::bench {
+namespace {
+
+using util::Duration;
+
+struct ChaosOutcome {
+  double succeeded = 0;
+  double retries_per_call = 0;
+  double deduped = 0;
+  double exhausted = 0;
+  double faults_injected = 0;
+};
+
+constexpr std::uint32_t kCalls = 200;
+
+ChaosOutcome run_workload(double drop_percent, std::uint32_t retries, std::uint64_t seed,
+                          obs::MetricsRegistry* registry = nullptr) {
+  sim::Scheduler scheduler;
+  net::MessageBus::Config config;
+  config.faults.seed = seed;
+  config.faults.global.drop = drop_percent / 100.0;
+  net::MessageBus bus(scheduler, config);
+  if (registry != nullptr) bus.set_metrics(*registry);
+
+  net::RpcNode server(bus, "server");
+  net::RpcNode client(bus, "client");
+  server.expose(1, [](net::Address, util::BytesView args) -> net::RpcResult {
+    return util::Bytes(args.begin(), args.end());
+  });
+
+  net::CallOptions options;
+  options.timeout = Duration::millis(5);
+  options.retries = retries;
+  options.backoff = Duration::millis(1);
+  options.idempotent = true;
+
+  std::uint32_t succeeded = 0;
+  for (std::uint32_t i = 0; i < kCalls; ++i) {
+    client.call(server.address(), 1, {}, options, [&](net::RpcResult result) {
+      if (result.ok()) ++succeeded;
+    });
+  }
+  scheduler.run();
+
+  const net::RpcStats& rpc = bus.rpc_stats();
+  ChaosOutcome outcome;
+  outcome.succeeded = succeeded;
+  outcome.retries_per_call = static_cast<double>(rpc.retries) / kCalls;
+  outcome.deduped = static_cast<double>(rpc.deduped);
+  outcome.exhausted = static_cast<double>(rpc.exhausted);
+  if (bus.fault_injector() != nullptr) {
+    outcome.faults_injected = static_cast<double>(bus.fault_injector()->counters().total());
+  }
+  return outcome;
+}
+
+/// Args: drop percentage, retry budget.
+void BM_RpcUnderDrop(benchmark::State& state) {
+  const auto drop_percent = static_cast<double>(state.range(0));
+  const auto retries = static_cast<std::uint32_t>(state.range(1));
+
+  ChaosOutcome outcome;
+  for (auto _ : state) {
+    outcome = run_workload(drop_percent, retries, /*seed=*/0xC4A05u);
+    benchmark::DoNotOptimize(&outcome);
+  }
+  state.counters["success_rate"] = outcome.succeeded / kCalls;
+  state.counters["retries_per_call"] = outcome.retries_per_call;
+  state.counters["requests_deduped"] = outcome.deduped;
+  state.counters["calls_exhausted"] = outcome.exhausted;
+  state.counters["faults_injected"] = outcome.faults_injected;
+
+  // One machine-readable exposition for the harshest configuration.
+  if (drop_percent == 20 && retries == 8) {
+    obs::MetricsRegistry registry;
+    run_workload(drop_percent, retries, /*seed=*/0xC4A05u, &registry);
+    write_bench_report("chaos", obs::render_json(registry.snapshot()));
+  }
+}
+BENCHMARK(BM_RpcUnderDrop)
+    ->ArgsProduct({{0, 5, 10, 20}, {0, 2, 8}})
+    ->ArgNames({"drop_pct", "retries"})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace garnet::bench
+
+BENCHMARK_MAIN();

@@ -103,7 +103,9 @@ SharingOutcome run_scenario(std::size_t consumers, bool shared, std::uint64_t se
     outcome.radio_bytes_per_delivery =
         static_cast<double>(radio.uplink_bytes_sent) / static_cast<double>(delivered);
     outcome.fixed_msgs_per_delivery =
-        static_cast<double>(runtime.bus().stats().posted) / static_cast<double>(delivered);
+        static_cast<double>(
+            runtime.telemetry().registry.snapshot().counter("garnet.bus.posted")) /
+        static_cast<double>(delivered);
   }
   outcome.energy_joules = energy_spent;
   return outcome;

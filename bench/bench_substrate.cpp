@@ -71,7 +71,8 @@ void BM_RpcRoundTrip(benchmark::State& state) {
 
   std::uint64_t completed = 0;
   for (auto _ : state) {
-    client.call(server.address(), 1, args, [&completed](net::RpcResult) { ++completed; });
+    client.call(server.address(), 1, args, net::CallOptions{},
+                [&completed](net::RpcResult) { ++completed; });
     scheduler.run();
   }
   benchmark::DoNotOptimize(completed);
@@ -89,7 +90,7 @@ void BM_RpcConcurrentCalls(benchmark::State& state) {
 
   for (auto _ : state) {
     for (std::size_t i = 0; i < in_flight; ++i) {
-      client.call(server.address(), 1, {}, [](net::RpcResult) {});
+      client.call(server.address(), 1, {}, net::CallOptions{}, [](net::RpcResult) {});
     }
     scheduler.run();
   }

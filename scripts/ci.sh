@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# CI entry point: sanitized build + full test suite.
+#
+# Usage: scripts/ci.sh [build-dir]   (default: build-ci)
+set -euo pipefail
+
+BUILD_DIR="${1:-build-ci}"
+GENERATOR_ARGS=()
+if command -v ninja >/dev/null 2>&1; then
+  GENERATOR_ARGS=(-G Ninja)
+fi
+
+cmake -B "$BUILD_DIR" -S . "${GENERATOR_ARGS[@]}" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DGARNET_SANITIZE=address,undefined
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"

@@ -5,11 +5,9 @@
 namespace garnet::core {
 
 ActuationService::ActuationService(net::MessageBus& bus, AuthService& auth,
-                                   ResourceManager& resource, MessageReplicator& replicator,
-                                   Config config)
+                                   MessageReplicator& replicator, Config config)
     : bus_(bus),
       auth_(auth),
-      resource_(resource),
       replicator_(replicator),
       config_(config),
       node_(bus, kEndpointName) {
@@ -42,17 +40,54 @@ void ActuationService::request_update(ConsumerToken token, StreamId target, Upda
                                       std::uint32_t value,
                                       std::function<void(Outcome)> on_outcome) {
   ++stats_.requests;
-  resource_.evaluate(
-      token, target, action, value,
-      [this, token, target, action, on_outcome = std::move(on_outcome)](Decision decision) {
-        Outcome outcome{0, decision};
-        if (decision.admission == Admission::kDenied) {
-          ++stats_.denied;
-        } else {
-          outcome.request_id = launch(token, target, action, decision.effective_value);
-        }
-        if (on_outcome) on_outcome(outcome);
-      });
+
+  const auto manager = bus_.lookup(ResourceManager::kEndpointName);
+  if (!manager) {
+    deny_unreachable(std::move(on_outcome));
+    return;
+  }
+
+  util::ByteWriter w(17);
+  w.u64(token);
+  w.u32(target.packed());
+  w.u8(static_cast<std::uint8_t>(action));
+  w.u32(value);
+
+  // Approval execution is guarded by the callee's at-most-once cache, so
+  // a retried request never deliberates (or records a demand) twice.
+  net::CallOptions options;
+  options.timeout = config_.approval_timeout;
+  options.retries = config_.approval_retries;
+  options.backoff = config_.approval_backoff;
+  node_.call(*manager, ResourceManager::kEvaluate, std::move(w).take(), options,
+             [this, token, target, action, on_outcome = std::move(on_outcome)](
+                 net::RpcResult result) mutable {
+               if (!result.ok()) {
+                 deny_unreachable(std::move(on_outcome));
+                 return;
+               }
+               util::ByteReader r(result.value());
+               Decision decision;
+               decision.admission = static_cast<Admission>(r.u8());
+               decision.effective_value = r.u32();
+               Outcome outcome{0, decision};
+               if (decision.admission == Admission::kDenied) {
+                 ++stats_.denied;
+               } else {
+                 outcome.request_id = launch(token, target, action, decision.effective_value);
+               }
+               if (on_outcome) on_outcome(outcome);
+             });
+}
+
+void ActuationService::deny_unreachable(std::function<void(Outcome)> on_outcome) {
+  ++stats_.approval_unreachable;
+  ++stats_.denied;
+  util::log_warn("actuation", "resource manager unreachable; denying request at t=%.3fs",
+                 bus_.scheduler().now().to_seconds());
+  if (on_outcome) {
+    on_outcome(Outcome{0, Decision{Admission::kDenied, 0, "resource manager unreachable"}});
+  }
 }
 
 std::uint32_t ActuationService::launch(ConsumerToken, StreamId target, UpdateAction action,

@@ -11,6 +11,12 @@
 // field that receive-capable sensors embed in their next data message
 // (surfaced by the Dispatching Service). Unacknowledged requests are
 // retransmitted a configurable number of times.
+//
+// Approval is a real RPC over the bus (as Figure 1 draws it), found by
+// endpoint name — not a shared-memory call. When the Resource Manager is
+// unreachable (partition, loss) the call is retried per Config and then
+// the request is *denied*, surfacing in stats().approval_unreachable,
+// rather than stalling the consumer forever.
 #pragma once
 
 #include <functional>
@@ -32,6 +38,9 @@ struct ActuationStats {
   std::uint64_t retries = 0;
   std::uint64_t acked = 0;
   std::uint64_t expired = 0;       ///< Gave up after all retries.
+  /// Requests denied because the Resource Manager could not be reached
+  /// within the approval retry budget (degraded mode, also in denied).
+  std::uint64_t approval_unreachable = 0;
 };
 
 class ActuationService {
@@ -47,10 +56,15 @@ class ActuationService {
   struct Config {
     util::Duration ack_timeout = util::Duration::seconds(3);
     std::uint32_t max_retries = 2;
+    /// Resource Manager approval call: per-attempt deadline must cover
+    /// the manager's deliberation delay plus two bus transits.
+    util::Duration approval_timeout = util::Duration::millis(20);
+    std::uint32_t approval_retries = 3;
+    util::Duration approval_backoff = util::Duration::millis(5);
   };
 
-  ActuationService(net::MessageBus& bus, AuthService& auth, ResourceManager& resource,
-                   MessageReplicator& replicator, Config config);
+  ActuationService(net::MessageBus& bus, AuthService& auth, MessageReplicator& replicator,
+                   Config config);
 
   struct Outcome {
     std::uint32_t request_id = 0;  ///< 0 when denied.
@@ -101,10 +115,12 @@ class ActuationService {
 
   void transmit(std::uint32_t request_id);
   void on_timeout(std::uint32_t request_id);
+  /// Degraded path: the approval RPC exhausted its budget (or no manager
+  /// is on the bus); the request is denied, never silently stalled.
+  void deny_unreachable(std::function<void(Outcome)> on_outcome);
 
   net::MessageBus& bus_;
   AuthService& auth_;
-  ResourceManager& resource_;
   MessageReplicator& replicator_;
   Config config_;
   net::RpcNode node_;

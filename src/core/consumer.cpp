@@ -18,6 +18,12 @@ net::Address Consumer::resolve(const char* name) {
   return *address;
 }
 
+net::CallOptions Consumer::options_for(bool idempotent) const {
+  net::CallOptions options = call_options_;
+  options.idempotent = idempotent;
+  return options;
+}
+
 void Consumer::on_envelope(net::Envelope envelope) {
   if (envelope.type != kDataDelivery) return;
   const auto decoded = decode_delivery(envelope.payload);
@@ -45,13 +51,17 @@ void Consumer::subscribe(StreamPattern pattern, SubscribeOptions qos, SubscribeC
   w.u64(pattern.packed());
   w.u32(qos.min_interval_ms);
   w.u32(qos.max_age_ms);
+  // Not idempotent: re-executing would create a second subscription, so
+  // retries lean on the dispatcher's at-most-once cache.
   node_.call(resolve(DispatchingService::kEndpointName), DispatchingService::kSubscribe,
-             std::move(w).take(), [on_done = std::move(on_done)](net::RpcResult result) {
-               if (!on_done) return;
+             std::move(w).take(), options_for(/*idempotent=*/false),
+             [this, on_done = std::move(on_done)](net::RpcResult result) {
                if (!result.ok()) {
-                 on_done(util::Err{result.error()});
+                 ++net_stats_.subscribe_failures;
+                 if (on_done) on_done(util::Err{result.error()});
                  return;
                }
+               if (!on_done) return;
                util::ByteReader r(result.value());
                on_done(SubscriptionId{r.u64()});
              });
@@ -62,7 +72,9 @@ void Consumer::unsubscribe(SubscriptionId id) {
   w.u64(identity_.token);
   w.u64(id);
   node_.call(resolve(DispatchingService::kEndpointName), DispatchingService::kUnsubscribe,
-             std::move(w).take(), [](net::RpcResult) {});
+             std::move(w).take(), options_for(/*idempotent=*/true), [this](net::RpcResult result) {
+               if (!result.ok()) ++net_stats_.unsubscribe_failures;
+             });
 }
 
 void Consumer::publish_derived(StreamId id, util::Bytes payload, std::uint8_t extra_flags) {
@@ -83,13 +95,17 @@ void Consumer::request_update(StreamId target, UpdateAction action, std::uint32_
   w.u32(target.packed());
   w.u8(static_cast<std::uint8_t>(action));
   w.u32(value);
+  // An actuation demand must execute at most once — a retried duplicate
+  // would reach the sensor twice — so it is never marked idempotent.
   node_.call(resolve(ActuationService::kEndpointName), ActuationService::kRequestUpdate,
-             std::move(w).take(), [on_done = std::move(on_done)](net::RpcResult result) {
-               if (!on_done) return;
+             std::move(w).take(), options_for(/*idempotent=*/false),
+             [this, on_done = std::move(on_done)](net::RpcResult result) {
                if (!result.ok()) {
-                 on_done(0, Admission::kDenied, 0);
+                 ++net_stats_.update_failures;
+                 if (on_done) on_done(0, Admission::kDenied, 0);
                  return;
                }
+               if (!on_done) return;
                util::ByteReader r(result.value());
                const std::uint32_t request_id = r.u32();
                const auto admission = static_cast<Admission>(r.u8());
@@ -116,13 +132,14 @@ void Consumer::discover(const DiscoveryQuery& query, DiscoverCallback on_done) {
   w.str(query.stream_class);
   w.u8(query.include_unadvertised ? 1 : 0);
   node_.call(resolve(CatalogService::kEndpointName), CatalogService::kDiscover,
-             std::move(w).take(), [on_done = std::move(on_done)](net::RpcResult result) {
-               if (!on_done) return;
+             std::move(w).take(), options_for(/*idempotent=*/true),
+             [this, on_done = std::move(on_done)](net::RpcResult result) {
                if (!result.ok()) {
-                 on_done({});
+                 ++net_stats_.catalog_failures;
+                 if (on_done) on_done({});
                  return;
                }
-               on_done(decode_discover_reply(result.value()));
+               if (on_done) on_done(decode_discover_reply(result.value()));
              });
 }
 
@@ -132,20 +149,26 @@ void Consumer::advertise(StreamId id, const std::string& name, const std::string
   w.u32(id.packed());
   w.str(name);
   w.str(stream_class);
+  // Re-advertising the same stream overwrites the same entry: idempotent.
   node_.call(resolve(CatalogService::kEndpointName), CatalogService::kAdvertise,
-             std::move(w).take(), [](net::RpcResult) {});
+             std::move(w).take(), options_for(/*idempotent=*/true), [this](net::RpcResult result) {
+               if (!result.ok()) ++net_stats_.catalog_failures;
+             });
 }
 
 void Consumer::allocate_derived_stream(AllocateCallback on_done) {
   util::ByteWriter w(8);
   w.u64(identity_.token);
+  // Not idempotent: each execution burns a fresh id from the catalog.
   node_.call(resolve(CatalogService::kEndpointName), CatalogService::kAllocateDerived,
-             std::move(w).take(), [on_done = std::move(on_done)](net::RpcResult result) {
-               if (!on_done) return;
+             std::move(w).take(), options_for(/*idempotent=*/false),
+             [this, on_done = std::move(on_done)](net::RpcResult result) {
                if (!result.ok()) {
-                 on_done(util::Err{result.error()});
+                 ++net_stats_.catalog_failures;
+                 if (on_done) on_done(util::Err{result.error()});
                  return;
                }
+               if (!on_done) return;
                util::ByteReader r(result.value());
                on_done(StreamId::from_packed(r.u32()));
              });

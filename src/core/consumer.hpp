@@ -28,6 +28,17 @@
 
 namespace garnet::core {
 
+/// Outcomes of the consumer's control-plane RPCs under network faults:
+/// each counter is a give-up after the per-call retry budget was spent.
+/// The consumer degrades (callbacks fire with a failure) instead of
+/// stalling.
+struct ConsumerNetStats {
+  std::uint64_t subscribe_failures = 0;
+  std::uint64_t unsubscribe_failures = 0;
+  std::uint64_t update_failures = 0;    ///< Actuation demands.
+  std::uint64_t catalog_failures = 0;   ///< Discover / advertise / allocate.
+};
+
 class Consumer {
  public:
   /// `endpoint_name` must be unique on the bus (e.g. "consumer.flood-watch").
@@ -37,6 +48,12 @@ class Consumer {
   void set_identity(const ConsumerIdentity& identity) { identity_ = identity; }
   [[nodiscard]] const ConsumerIdentity& identity() const noexcept { return identity_; }
   [[nodiscard]] net::Address address() const noexcept { return node_.address(); }
+
+  /// Base reliability contract for every control-plane RPC this consumer
+  /// issues (per-call idempotency is set by the operation). The default
+  /// retries a few times with exponential backoff before degrading.
+  void set_call_options(net::CallOptions options) { call_options_ = options; }
+  [[nodiscard]] const net::CallOptions& call_options() const noexcept { return call_options_; }
 
   // --- data plane ---------------------------------------------------------
 
@@ -96,19 +113,33 @@ class Consumer {
   [[nodiscard]] const util::Quantiles& delivery_latency() const noexcept {
     return delivery_latency_;
   }
+  /// Control-plane RPC give-ups (degraded-mode outcomes).
+  [[nodiscard]] const ConsumerNetStats& net_stats() const noexcept { return net_stats_; }
 
  private:
   void on_envelope(net::Envelope envelope);
   [[nodiscard]] net::Address resolve(const char* name);
+  /// The base policy with the operation's idempotency applied.
+  [[nodiscard]] net::CallOptions options_for(bool idempotent) const;
 
   net::MessageBus& bus_;
   net::RpcNode node_;
   ConsumerIdentity identity_;
   DataHandler data_handler_;
+  net::CallOptions call_options_ = default_call_options();
+  ConsumerNetStats net_stats_;
   std::unordered_map<std::uint32_t, SequenceNo> derived_sequences_;
   std::uint64_t received_ = 0;
   util::Quantiles delivery_latency_;
   obs::Tracer* tracer_ = nullptr;
+
+  [[nodiscard]] static net::CallOptions default_call_options() {
+    net::CallOptions options;
+    options.retries = 4;
+    options.backoff = util::Duration::millis(2);
+    options.max_backoff = util::Duration::millis(50);
+    return options;
+  }
 };
 
 }  // namespace garnet::core

@@ -21,20 +21,27 @@ ResourceManager::ResourceManager(net::MessageBus& bus, AuthService& auth, Config
       auth_(auth),
       config_(config),
       node_(bus, kEndpointName) {
-  node_.expose(kEvaluate, [this](net::Address, util::BytesView args) -> net::RpcResult {
+  // Async exposure so remote callers go through the same path as
+  // in-process ones: pre-armed decisions answer immediately, everything
+  // else pays the deliberation delay.
+  node_.expose_async(kEvaluate, [this](net::Address, util::BytesView args,
+                                       net::RpcResponder respond) {
     util::ByteReader r(args);
     const ConsumerToken token = r.u64();
     const StreamId target = StreamId::from_packed(r.u32());
     const auto action = static_cast<UpdateAction>(r.u8());
     const std::uint32_t value = r.u32();
-    if (!r.ok()) return util::Err{net::RpcError::kRemoteFailure};
+    if (!r.ok()) {
+      respond(util::Err{net::RpcError::kRemoteFailure});
+      return;
+    }
 
-    const Decision decision = evaluate_now(token, target, action, value);
-    record_outcome(decision);
-    util::ByteWriter w(5);
-    w.u8(static_cast<std::uint8_t>(decision.admission));
-    w.u32(decision.effective_value);
-    return std::move(w).take();
+    evaluate(token, target, action, value, [respond = std::move(respond)](Decision decision) {
+      util::ByteWriter w(5);
+      w.u8(static_cast<std::uint8_t>(decision.admission));
+      w.u32(decision.effective_value);
+      respond(std::move(w).take());
+    });
   });
 }
 

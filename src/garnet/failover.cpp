@@ -18,6 +18,19 @@ FilteringFailover::FilteringFailover(sim::Scheduler& scheduler, Config config)
   arm_watchdog();
 }
 
+FilteringFailover::FilteringFailover(sim::Scheduler& scheduler, net::MessageBus& bus,
+                                     Config config)
+    : FilteringFailover(scheduler, config) {
+  primary_node_ = std::make_unique<net::RpcNode>(bus, kPrimaryEndpointName);
+  watchdog_node_ = std::make_unique<net::RpcNode>(bus, kWatchdogEndpointName);
+  primary_node_->expose_async(
+      kPing, [this](net::Address, util::BytesView, net::RpcResponder respond) {
+        // A dead primary answers nothing — the watchdog's ping times out,
+        // which is exactly how a crashed process looks from the network.
+        if (primary_alive_ && !failed_over_) respond(util::Bytes{});
+      });
+}
+
 FilteringFailover::~FilteringFailover() { scheduler_.cancel(watchdog_); }
 
 void FilteringFailover::set_message_sink(core::FilteringService::MessageSink sink) {
@@ -68,22 +81,49 @@ void FilteringFailover::arm_watchdog() {
 
 void FilteringFailover::on_heartbeat() {
   ++stats_.heartbeats;
-  if (primary_alive_ || failed_over_) {
+  if (watchdog_node_) {
+    // Bus transport: liveness is whatever the network says it is. The
+    // verdict lands in ping_primary's callback, not here.
+    if (!failed_over_) ping_primary();
+  } else if (primary_alive_ || failed_over_) {
     consecutive_misses_ = 0;
   } else {
-    ++stats_.misses;
-    if (++consecutive_misses_ >= config_.miss_threshold) {
-      promote();
-    }
+    record_miss();
   }
   arm_watchdog();
+}
+
+void FilteringFailover::ping_primary() {
+  net::CallOptions options;
+  // One attempt per heartbeat; the deadline leaves room for the next
+  // beat. Retrying here would only blur the miss count.
+  options.timeout = config_.heartbeat_interval / 2;
+  options.idempotent = true;
+  watchdog_node_->call(primary_node_->address(), kPing, {}, options,
+                       [this](net::RpcResult result) {
+                         if (failed_over_) return;
+                         if (result.ok()) {
+                           consecutive_misses_ = 0;
+                           return;
+                         }
+                         record_miss();
+                       });
+}
+
+void FilteringFailover::record_miss() {
+  ++stats_.misses;
+  if (consecutive_misses_ == 0) first_miss_at_ = scheduler_.now();
+  if (++consecutive_misses_ >= config_.miss_threshold) promote();
 }
 
 void FilteringFailover::promote() {
   failed_over_ = true;
   active_ = 1 - active_;
   ++stats_.failovers;
-  stats_.last_detection_latency = scheduler_.now() - crashed_at_;
+  // A partition promotes without any crash; anchor the detection window
+  // at the first missed heartbeat in that case.
+  const util::SimTime since = primary_alive_ ? first_miss_at_ : crashed_at_;
+  stats_.last_detection_latency = scheduler_.now() - since;
   util::log_info("failover", "standby promoted after %.1fms",
                  stats_.last_detection_latency.to_millis());
 }

@@ -20,11 +20,21 @@
 // (hot) or is lost entirely (cold) — also measurable. Failures are
 // injected with kill_primary(), the simulation's stand-in for a crashed
 // service process.
+//
+// Two heartbeat transports:
+//   * In-process (scheduler-only ctor): the watchdog inspects the
+//     primary's liveness flag directly. Detects crashes only.
+//   * Bus (MessageBus ctor): the watchdog is a real RPC client pinging
+//     the primary's "garnet.filtering.primary" endpoint; a dead primary
+//     simply never answers and the ping times out. This path also
+//     detects network partitions between watchdog and primary, so a
+//     seeded FaultPlan partition promotes the standby just like a crash.
 #pragma once
 
 #include <memory>
 
 #include "core/filtering.hpp"
+#include "net/rpc.hpp"
 
 namespace garnet {
 
@@ -41,6 +51,13 @@ class FilteringFailover {
  public:
   enum class Mode : std::uint8_t { kHot, kCold };
 
+  /// The primary's liveness probe endpoint (bus transport only).
+  static constexpr const char* kPrimaryEndpointName = "garnet.filtering.primary";
+  static constexpr const char* kWatchdogEndpointName = "garnet.filtering.watchdog";
+  enum Method : net::MethodId {
+    kPing = 1,  ///< [] -> [] while the primary lives; no answer when dead.
+  };
+
   struct Config {
     Mode mode = Mode::kHot;
     util::Duration heartbeat_interval = util::Duration::millis(100);
@@ -49,6 +66,9 @@ class FilteringFailover {
   };
 
   FilteringFailover(sim::Scheduler& scheduler, Config config);
+  /// Bus transport: the watchdog pings over `bus` and therefore also
+  /// notices partitions injected by the bus's FaultPlan.
+  FilteringFailover(sim::Scheduler& scheduler, net::MessageBus& bus, Config config);
   ~FilteringFailover();
 
   FilteringFailover(const FilteringFailover&) = delete;
@@ -72,6 +92,8 @@ class FilteringFailover {
  private:
   void arm_watchdog();
   void on_heartbeat();
+  void ping_primary();
+  void record_miss();
   void promote();
   void forward_message(std::size_t source, const core::DataMessage& message,
                        util::SimTime first_heard);
@@ -85,7 +107,11 @@ class FilteringFailover {
   bool failed_over_ = false;
   std::uint32_t consecutive_misses_ = 0;
   util::SimTime crashed_at_;
+  util::SimTime first_miss_at_;  ///< Detection anchor when nobody crashed (partition).
   sim::EventId watchdog_;
+  /// Bus transport (null in in-process mode).
+  std::unique_ptr<net::RpcNode> primary_node_;
+  std::unique_ptr<net::RpcNode> watchdog_node_;
   core::FilteringService::MessageSink message_sink_;
   core::FilteringService::ReceptionSink reception_sink_;
   FailoverStats stats_;

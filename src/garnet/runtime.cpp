@@ -4,11 +4,21 @@
 
 namespace garnet {
 
+namespace {
+
+net::MessageBus::Config bus_config(const Runtime::Config& config) {
+  net::MessageBus::Config bus = config.bus;
+  if (config.faults.enabled()) bus.faults = config.faults;
+  return bus;
+}
+
+}  // namespace
+
 Runtime::Runtime(Config config)
     : config_(config),
       telemetry_(config.trace),
       field_(scheduler_, config.field),
-      bus_(scheduler_, config.bus),
+      bus_(scheduler_, bus_config(config)),
       auth_(config.auth),
       filtering_(scheduler_, config.filtering),
       dispatch_(bus_, auth_, catalog_),
@@ -16,7 +26,7 @@ Runtime::Runtime(Config config)
       location_(bus_, auth_, config.location),
       resource_(bus_, auth_, config.resource),
       replicator_(field_.medium(), location_, config.replicator),
-      actuation_(bus_, auth_, resource_, replicator_, config.actuation),
+      actuation_(bus_, auth_, replicator_, config.actuation),
       coordinator_(bus_, auth_, resource_, config.coordinator),
       catalog_service_(bus_, auth_, catalog_) {
   wire_services();
@@ -128,6 +138,7 @@ void Runtime::collect_service_stats(obs::SnapshotBuilder& out) {
   out.counter("garnet.actuation.retries", actuation.retries);
   out.counter("garnet.actuation.acked", actuation.acked);
   out.counter("garnet.actuation.expired", actuation.expired);
+  out.counter("garnet.actuation.approval_unreachable", actuation.approval_unreachable);
 
   const core::CoordinatorStats& coordinator = coordinator_.stats();
   out.counter("garnet.coordinator.reports", coordinator.reports);
@@ -136,11 +147,7 @@ void Runtime::collect_service_stats(obs::SnapshotBuilder& out) {
   out.counter("garnet.coordinator.prearms_issued", coordinator.prearms_issued);
   out.counter("garnet.coordinator.policy_changes", coordinator.policy_changes);
 
-  const net::BusStats& bus = bus_.stats();
-  out.counter("garnet.bus.posted", bus.posted);
-  out.counter("garnet.bus.delivered", bus.delivered);
-  out.counter("garnet.bus.dropped_no_endpoint", bus.dropped_no_endpoint);
-  out.counter("garnet.bus.bytes", bus.bytes);
+  // garnet.bus.* comes from the bus's own collector (set_metrics).
 
   out.gauge("garnet.field.sensors", static_cast<double>(field_.sensor_count()));
   out.gauge("garnet.catalog.streams", static_cast<double>(catalog_.size()));

@@ -44,6 +44,9 @@ class Runtime {
   struct Config {
     wireless::SensorField::Config field;
     net::MessageBus::Config bus;
+    /// Deterministic network chaos (drops, duplicates, delays,
+    /// partitions). A non-empty plan here overrides `bus.faults`.
+    net::FaultPlan faults;
     core::AuthService::Config auth;
     core::FilteringService::Config filtering;
     core::Orphanage::Config orphanage;

@@ -7,7 +7,11 @@
 namespace garnet::net {
 
 MessageBus::MessageBus(sim::Scheduler& scheduler, Config config)
-    : scheduler_(scheduler), config_(config) {}
+    : scheduler_(scheduler), config_(std::move(config)) {
+  if (config_.faults.enabled()) {
+    injector_ = std::make_unique<FaultInjector>(scheduler_, config_.faults);
+  }
+}
 
 Address MessageBus::add_endpoint(std::string name, Handler handler) {
   assert(handler);
@@ -35,18 +39,37 @@ void MessageBus::set_metrics(obs::MetricsRegistry& registry) {
   transit_histogram_ = &registry.histogram("garnet.bus.transit_ns");
   size_histogram_ =
       &registry.histogram("garnet.bus.envelope_bytes", obs::Histogram::Layout::bytes());
+  registry.add_collector([this](obs::SnapshotBuilder& out) { collect(out); });
 }
 
-void MessageBus::post(Address from, Address to, MessageType type, util::Bytes payload) {
-  ++stats_.posted;
-  stats_.bytes += payload.size();
-  if (size_histogram_ != nullptr) size_histogram_->observe(static_cast<double>(payload.size()));
+void MessageBus::collect(obs::SnapshotBuilder& out) const {
+  out.counter("garnet.bus.posted", stats_.posted);
+  out.counter("garnet.bus.delivered", stats_.delivered);
+  out.counter("garnet.bus.dropped_no_endpoint", stats_.dropped_no_endpoint);
+  out.counter("garnet.bus.bytes", stats_.bytes);
 
-  Envelope envelope{from, to, type, std::move(payload), scheduler_.now()};
-  const auto jitter_ns = static_cast<std::int64_t>(
-      util::splitmix64(jitter_state_) % static_cast<std::uint64_t>(config_.max_jitter.ns + 1));
-  const util::Duration delay = config_.latency + util::Duration::nanos(jitter_ns);
+  // All fault kinds are emitted even when zero (or when no injector is
+  // installed) so expositions keep a stable schema across configurations.
+  const FaultCounters counters = injector_ ? injector_->counters() : FaultCounters{};
+  out.counter("garnet.bus.faults", counters.dropped, {{"kind", "drop"}});
+  out.counter("garnet.bus.faults", counters.duplicated, {{"kind", "duplicate"}});
+  out.counter("garnet.bus.faults", counters.delayed, {{"kind", "delay"}});
+  out.counter("garnet.bus.faults", counters.reordered, {{"kind", "reorder"}});
+  out.counter("garnet.bus.faults", counters.partitioned, {{"kind", "partition"}});
 
+  out.counter("garnet.rpc.calls", rpc_stats_.calls);
+  out.counter("garnet.rpc.retries", rpc_stats_.retries);
+  out.counter("garnet.rpc.exhausted", rpc_stats_.exhausted);
+  out.counter("garnet.rpc.deduped", rpc_stats_.deduped);
+}
+
+const std::string& MessageBus::name_of(Address address) const {
+  static const std::string kUnknown;
+  const auto it = endpoints_.find(address.value);
+  return it != endpoints_.end() ? it->second.name : kUnknown;
+}
+
+void MessageBus::deliver_after(util::Duration delay, Envelope envelope) {
   scheduler_.schedule_after(delay, [this, envelope = std::move(envelope)]() mutable {
     const auto it = endpoints_.find(envelope.to.value);
     if (it == endpoints_.end()) {
@@ -55,11 +78,33 @@ void MessageBus::post(Address from, Address to, MessageType type, util::Bytes pa
     }
     ++stats_.delivered;
     if (transit_histogram_ != nullptr) {
-      transit_histogram_->observe(
-          static_cast<double>((scheduler_.now() - envelope.sent_at).ns));
+      transit_histogram_->observe(static_cast<double>((scheduler_.now() - envelope.sent_at).ns));
     }
     it->second.handler(std::move(envelope));
   });
+}
+
+void MessageBus::post(Address from, Address to, MessageType type, util::Bytes payload) {
+  ++stats_.posted;
+  stats_.bytes += payload.size();
+  if (size_histogram_ != nullptr) size_histogram_->observe(static_cast<double>(payload.size()));
+
+  FaultInjector::Verdict verdict;
+  if (injector_) {
+    verdict = injector_->decide(name_of(from), name_of(to));
+    if (!verdict.deliver) return;  // counted as posted, never arrives
+  }
+
+  Envelope envelope{from, to, type, std::move(payload), scheduler_.now()};
+  const auto jitter_ns = static_cast<std::int64_t>(
+      util::splitmix64(jitter_state_) % static_cast<std::uint64_t>(config_.max_jitter.ns + 1));
+  const util::Duration delay =
+      config_.latency + util::Duration::nanos(jitter_ns) + verdict.extra_delay;
+
+  if (verdict.duplicate) {
+    deliver_after(delay + verdict.duplicate_delay, envelope);  // the trailing copy
+  }
+  deliver_after(delay, std::move(envelope));
 }
 
 }  // namespace garnet::net

@@ -6,14 +6,22 @@
 // exchange", §3) and remote procedure call (net/rpc.hpp, layered on this
 // bus). Services are logically separate entities exchanging serialised
 // envelopes; a configurable delivery latency models the fixed network.
+//
+// Delivery is *not* unconditionally reliable: a FaultPlan (net/fault.hpp)
+// installs a deterministic FaultInjector that can drop, delay, duplicate,
+// reorder, or partition traffic — the substrate the chaos suite and the
+// RPC retry layer are exercised against. With no plan configured the bus
+// behaves exactly as before: every envelope arrives after latency+jitter.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <unordered_map>
 
+#include "net/fault.hpp"
 #include "obs/metrics.hpp"
 #include "sim/scheduler.hpp"
 #include "util/bytes.hpp"
@@ -55,11 +63,24 @@ struct BusStats {
   std::uint64_t bytes = 0;
 };
 
+/// Caller/callee-side RPC reliability counters, aggregated on the bus
+/// because RpcNodes are ephemeral (services create and destroy them) while
+/// the bus spans the deployment. Surfaced as garnet.rpc.* by the bus's
+/// telemetry collector.
+struct RpcStats {
+  std::uint64_t calls = 0;      ///< call() invocations (first attempts).
+  std::uint64_t retries = 0;    ///< Re-sent attempts after a timeout.
+  std::uint64_t exhausted = 0;  ///< Calls that failed after the full budget.
+  std::uint64_t deduped = 0;    ///< Requests answered from the callee cache.
+};
+
 class MessageBus {
  public:
   struct Config {
     util::Duration latency = util::Duration::micros(200);
     util::Duration max_jitter = util::Duration::micros(100);
+    /// Deterministic chaos regime; default-constructed = fully reliable.
+    FaultPlan faults;
   };
 
   MessageBus(sim::Scheduler& scheduler, Config config);
@@ -75,15 +96,35 @@ class MessageBus {
   /// Name-based discovery (paper §3: "typical ... discovery" mechanisms).
   [[nodiscard]] std::optional<Address> lookup(const std::string& name) const;
 
-  /// Posts an envelope for asynchronous delivery. Delivery is reliable
-  /// (the fixed network, unlike the radio) but takes latency + jitter.
+  /// Posts an envelope for asynchronous delivery after latency + jitter.
+  /// The fault injector (when configured) may drop, delay, or duplicate
+  /// it; links are identified by endpoint names, so plans are stable
+  /// across runs.
   void post(Address from, Address to, MessageType type, util::Bytes payload);
 
   /// Registers native telemetry instruments (envelope transit-time and
-  /// size distributions) in `registry`.
+  /// size distributions) and a pull collector exposing the bus counters
+  /// (garnet.bus.posted/delivered/dropped_no_endpoint/bytes), the fault
+  /// counters (garnet.bus.faults{kind=...}), and the RPC reliability
+  /// counters (garnet.rpc.*).
   void set_metrics(obs::MetricsRegistry& registry);
 
-  [[nodiscard]] const BusStats& stats() const noexcept { return stats_; }
+  /// Deprecated shim: read the same counters through the telemetry
+  /// collector (garnet.bus.*) instead. Kept for one release.
+  [[deprecated("read garnet.bus.* via the telemetry collector instead")]]
+  [[nodiscard]] const BusStats& stats() const noexcept {
+    return stats_;
+  }
+
+  /// Fault injector installed by Config::faults; nullptr when the plan is
+  /// disabled. Non-owning — used for manual partition control and for
+  /// reading fault counters / the replay journal.
+  [[nodiscard]] FaultInjector* fault_injector() noexcept { return injector_.get(); }
+  [[nodiscard]] const FaultInjector* fault_injector() const noexcept { return injector_.get(); }
+
+  [[nodiscard]] RpcStats& rpc_stats() noexcept { return rpc_stats_; }
+  [[nodiscard]] const RpcStats& rpc_stats() const noexcept { return rpc_stats_; }
+
   [[nodiscard]] sim::Scheduler& scheduler() noexcept { return scheduler_; }
   [[nodiscard]] util::SimTime now() const noexcept { return scheduler_.now(); }
 
@@ -93,6 +134,10 @@ class MessageBus {
     Handler handler;
   };
 
+  void deliver_after(util::Duration delay, Envelope envelope);
+  [[nodiscard]] const std::string& name_of(Address address) const;
+  void collect(obs::SnapshotBuilder& out) const;
+
   sim::Scheduler& scheduler_;
   Config config_;
   std::unordered_map<std::uint32_t, EndpointEntry> endpoints_;
@@ -100,6 +145,8 @@ class MessageBus {
   std::uint32_t next_address_ = 1;
   std::uint64_t jitter_state_ = 0x6A1B2C3D4E5F6071ull;
   BusStats stats_;
+  RpcStats rpc_stats_;
+  std::unique_ptr<FaultInjector> injector_;
   obs::Histogram* transit_histogram_ = nullptr;
   obs::Histogram* size_histogram_ = nullptr;
 };

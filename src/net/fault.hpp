@@ -1,0 +1,157 @@
+// Deterministic fault injection for the fixed-network bus.
+//
+// The paper presumes "service-level parallelism and replication ... for
+// efficiency, data-integrity, and fault-tolerance" (§3), which only
+// matters if the network can actually fail. A FaultPlan describes the
+// failure regime — per-link and global drop probability, extra latency,
+// duplication, reordering, and named partitions that open and heal at
+// sim times — and a FaultInjector executes it from one seed, so every
+// chaos run replays exactly: same plan + same workload ⇒ byte-identical
+// fault sequence and identical telemetry counters.
+//
+// The injector sits inside MessageBus::post. Links are identified by
+// endpoint *names* (stable across runs), not addresses.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "sim/scheduler.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace garnet::net {
+
+enum class FaultKind : std::uint8_t {
+  kDrop,       ///< Envelope silently discarded.
+  kDuplicate,  ///< A second copy delivered after the first.
+  kDelay,      ///< Deterministic extra latency added.
+  kReorder,    ///< Randomised extra latency; may overtake later posts.
+  kPartition,  ///< Dropped because an open partition separates the link.
+};
+
+[[nodiscard]] std::string_view to_string(FaultKind kind);
+
+/// Fault parameters for one link (or the global default). Probabilities
+/// are evaluated independently per envelope, in a fixed draw order.
+struct LinkFaults {
+  double drop = 0.0;       ///< P(envelope never arrives).
+  double duplicate = 0.0;  ///< P(envelope arrives twice).
+  double reorder = 0.0;    ///< P(envelope gets a random extra delay).
+  util::Duration extra_latency{};  ///< Added to every envelope on the link.
+  util::Duration reorder_window = util::Duration::millis(2);  ///< U[0, window) when reordered.
+  /// Drops exactly the first N envelopes on the link — a deterministic
+  /// loss primitive for tests that need "the first response is lost"
+  /// without tuning seeds.
+  std::uint32_t drop_first = 0;
+
+  [[nodiscard]] bool any() const noexcept {
+    return drop > 0.0 || duplicate > 0.0 || reorder > 0.0 || extra_latency.ns > 0 ||
+           drop_first > 0;
+  }
+};
+
+/// A complete, replayable description of a chaos run.
+struct FaultPlan {
+  std::uint64_t seed = 0xC4A05FA017ull;
+
+  /// Applied to every envelope whose link has no dedicated entry.
+  LinkFaults global;
+
+  /// Per-link overrides, keyed by (from endpoint name, to endpoint name).
+  std::map<std::pair<std::string, std::string>, LinkFaults> links;
+
+  /// A named partition isolates `members` from every other endpoint (both
+  /// directions) while open; traffic among members still flows.
+  struct PartitionSpec {
+    std::string name;
+    std::vector<std::string> members;
+    util::SimTime opens_at{};                  ///< <= 0 opens immediately.
+    std::optional<util::SimTime> heals_at;     ///< Unset: heals only manually.
+  };
+  std::vector<PartitionSpec> partitions;
+
+  /// When > 0, the injector records the first N faults in a journal whose
+  /// text rendering is byte-comparable across runs (determinism tests).
+  std::size_t journal_limit = 0;
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return global.any() || !links.empty() || !partitions.empty();
+  }
+};
+
+/// One injected fault, for the replay journal.
+struct FaultRecord {
+  FaultKind kind = FaultKind::kDrop;
+  std::string from;
+  std::string to;
+  util::SimTime at;
+};
+
+struct FaultCounters {
+  std::uint64_t dropped = 0;
+  std::uint64_t duplicated = 0;
+  std::uint64_t delayed = 0;
+  std::uint64_t reordered = 0;
+  std::uint64_t partitioned = 0;
+
+  [[nodiscard]] std::uint64_t total() const noexcept {
+    return dropped + duplicated + delayed + reordered + partitioned;
+  }
+};
+
+class FaultInjector {
+ public:
+  /// Schedules partition open/heal events on `scheduler` per the plan.
+  FaultInjector(sim::Scheduler& scheduler, FaultPlan plan);
+
+  /// What MessageBus::post must do with one envelope. Draws are made in a
+  /// fixed order (partition check, drop, duplicate, reorder), so the
+  /// decision stream is a pure function of (plan, call sequence).
+  struct Verdict {
+    bool deliver = true;
+    bool duplicate = false;
+    util::Duration extra_delay{};      ///< Applied to the (first) copy.
+    util::Duration duplicate_delay{};  ///< Additional delay of the copy.
+  };
+
+  [[nodiscard]] Verdict decide(const std::string& from, const std::string& to);
+
+  /// Manual partition control (sim-time control comes from the plan).
+  void open_partition(std::string_view name);
+  void heal_partition(std::string_view name);
+  [[nodiscard]] bool partition_open(std::string_view name) const;
+
+  [[nodiscard]] const FaultCounters& counters() const noexcept { return counters_; }
+  [[nodiscard]] const std::vector<FaultRecord>& journal() const noexcept { return journal_; }
+  /// Deterministic one-line-per-fault rendering for replay comparison.
+  [[nodiscard]] std::string journal_text() const;
+
+ private:
+  struct PartitionState {
+    FaultPlan::PartitionSpec spec;
+    std::set<std::string, std::less<>> members;
+    bool open = false;
+  };
+
+  [[nodiscard]] const LinkFaults& faults_for(const std::string& from, const std::string& to) const;
+  /// True when some open partition has exactly one of {from, to} inside.
+  [[nodiscard]] bool partition_blocks(const std::string& from, const std::string& to) const;
+  void record(FaultKind kind, const std::string& from, const std::string& to);
+
+  sim::Scheduler& scheduler_;
+  FaultPlan plan_;
+  util::Rng rng_;
+  std::vector<PartitionState> partitions_;
+  std::map<std::pair<std::string, std::string>, std::uint64_t> link_posts_;
+  FaultCounters counters_;
+  std::vector<FaultRecord> journal_;
+};
+
+}  // namespace garnet::net

@@ -1,13 +1,16 @@
 #include "net/rpc.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 namespace garnet::net {
 namespace {
 
-// RPC request payload:  [u64 call id][u16 method][args...]
+// RPC request payload:  [u64 call id][u16 method][u8 flags][args...]
 // RPC response payload: [u64 call id][u8 status][reply...]
 enum class Status : std::uint8_t { kOk = 0, kNoSuchMethod = 1, kFailure = 2 };
+
+constexpr std::uint8_t kFlagIdempotent = 0x01;
 
 }  // namespace
 
@@ -23,10 +26,13 @@ std::string_view to_string(RpcError e) {
 RpcNode::RpcNode(MessageBus& bus, std::string name, std::function<void(Envelope)> fallback)
     : bus_(bus), fallback_(std::move(fallback)) {
   address_ = bus_.add_endpoint(std::move(name), [this](Envelope e) { on_envelope(std::move(e)); });
+  // Seeded from the (deterministically assigned) address so every node
+  // has an independent but replayable jitter stream.
+  backoff_rng_ = util::Rng(0x9E3779B97F4A7C15ull ^ address_.value);
 }
 
 RpcNode::~RpcNode() {
-  for (auto& [id, call] : pending_) bus_.scheduler().cancel(call.timeout);
+  for (auto& [id, call] : pending_) bus_.scheduler().cancel(call.timer);
   bus_.remove_endpoint(address_);
 }
 
@@ -46,26 +52,67 @@ void RpcNode::expose_async(MethodId method, AsyncRpcHandler handler) {
   (void)inserted;
 }
 
-void RpcNode::call(Address callee, MethodId method, util::Bytes args, RpcCallback on_done,
-                   util::Duration timeout) {
+void RpcNode::call(Address callee, MethodId method, util::Bytes args, CallOptions options,
+                   RpcCallback on_done) {
   assert(on_done);
   const std::uint64_t call_id = next_call_id_++;
 
-  util::ByteWriter w(10 + args.size());
+  util::ByteWriter w(11 + args.size());
   w.u64(call_id);
   w.u16(method);
+  w.u8(options.idempotent ? kFlagIdempotent : 0);
   w.raw(args);
 
-  const sim::EventId timer = bus_.scheduler().schedule_after(timeout, [this, call_id] {
-    const auto it = pending_.find(call_id);
-    if (it == pending_.end()) return;
-    RpcCallback cb = std::move(it->second.on_done);
-    pending_.erase(it);
-    cb(util::Err{RpcError::kTimeout});
-  });
+  PendingCall pending;
+  pending.on_done = std::move(on_done);
+  pending.callee = callee;
+  pending.frame = std::move(w).take();
+  pending.next_backoff = options.backoff;
+  pending.options = options;
+  pending_.emplace(call_id, std::move(pending));
 
-  pending_.emplace(call_id, PendingCall{std::move(on_done), timer});
-  bus_.post(address_, callee, MessageType::kRpcRequest, std::move(w).take());
+  ++bus_.rpc_stats().calls;
+  send_attempt(call_id);
+}
+
+void RpcNode::send_attempt(std::uint64_t call_id) {
+  const auto it = pending_.find(call_id);
+  if (it == pending_.end()) return;
+  PendingCall& pending = it->second;
+
+  ++pending.sends;
+  pending.timer = bus_.scheduler().schedule_after(
+      pending.options.timeout, [this, call_id] { on_attempt_timeout(call_id); });
+  bus_.post(address_, pending.callee, MessageType::kRpcRequest, pending.frame);
+}
+
+void RpcNode::on_attempt_timeout(std::uint64_t call_id) {
+  const auto it = pending_.find(call_id);
+  if (it == pending_.end()) return;
+  PendingCall& pending = it->second;
+
+  if (pending.sends <= pending.options.retries) {
+    ++bus_.rpc_stats().retries;
+    util::Duration pause = pending.next_backoff;
+    if (pending.options.jitter > 0.0 && pause.ns > 0) {
+      const double factor =
+          1.0 + pending.options.jitter * (2.0 * backoff_rng_.uniform() - 1.0);
+      pause = util::Duration::nanos(
+          static_cast<std::int64_t>(static_cast<double>(pause.ns) * factor));
+    }
+    pending.next_backoff = std::min(
+        util::Duration::nanos(static_cast<std::int64_t>(
+            static_cast<double>(pending.next_backoff.ns) * pending.options.backoff_factor)),
+        pending.options.max_backoff);
+    pending.timer =
+        bus_.scheduler().schedule_after(pause, [this, call_id] { send_attempt(call_id); });
+    return;
+  }
+
+  ++bus_.rpc_stats().exhausted;
+  RpcCallback cb = std::move(pending.on_done);
+  pending_.erase(it);
+  cb(util::Err{RpcError::kTimeout});
 }
 
 void RpcNode::post(Address to, MessageType type, util::Bytes payload) {
@@ -86,35 +133,71 @@ void RpcNode::on_envelope(Envelope envelope) {
   }
 }
 
+void RpcNode::remember(const DedupKey& key, DedupEntry entry) {
+  if (dedup_order_.size() >= kDedupCapacity) {
+    dedup_.erase(dedup_order_.front());
+    dedup_order_.pop_front();
+  }
+  dedup_.emplace(key, std::move(entry));
+  dedup_order_.push_back(key);
+}
+
 void RpcNode::on_request(const Envelope& envelope) {
   util::ByteReader r(envelope.payload);
   const std::uint64_t call_id = r.u64();
   const MethodId method = r.u16();
+  const std::uint8_t flags = r.u8();
   if (!r.ok()) return;  // malformed request; nothing to answer
 
   const Address caller = envelope.from;
-  const auto it = methods_.find(method);
-  if (it == methods_.end()) {
-    util::ByteWriter w(9);
-    w.u64(call_id);
-    w.u8(static_cast<std::uint8_t>(Status::kNoSuchMethod));
-    bus_.post(address_, caller, MessageType::kRpcResponse, std::move(w).take());
-    return;
+  const bool cached = (flags & kFlagIdempotent) == 0;
+  const DedupKey key{caller.value, call_id};
+
+  if (cached) {
+    // At-most-once: a repeat of a request we have already seen (retry or
+    // fault duplicate) must not re-execute the handler. Finished entries
+    // answer from the cache; in-flight ones stay silent — the original
+    // execution's response is still coming.
+    if (const auto it = dedup_.find(key); it != dedup_.end()) {
+      ++bus_.rpc_stats().deduped;
+      if (it->second.done) {
+        bus_.post(address_, caller, MessageType::kRpcResponse, it->second.response);
+      }
+      return;
+    }
+    remember(key, DedupEntry{});
   }
 
   // The responder may outlive this stack frame (deferred responses); it
-  // captures everything it needs by value.
-  RpcResponder respond = [this, call_id, caller](RpcResult result) {
+  // captures everything it needs by value. Every outcome — ok, failure,
+  // unknown method — produces a response frame that is cached for
+  // repeats, so at-most-once covers error paths too.
+  RpcResponder respond = [this, call_id, caller, cached, key](RpcResult result) {
     util::ByteWriter w;
     w.u64(call_id);
     if (result.ok()) {
       w.u8(static_cast<std::uint8_t>(Status::kOk));
       w.raw(result.value());
+    } else if (result.error() == RpcError::kNoSuchMethod) {
+      w.u8(static_cast<std::uint8_t>(Status::kNoSuchMethod));
     } else {
       w.u8(static_cast<std::uint8_t>(Status::kFailure));
     }
-    bus_.post(address_, caller, MessageType::kRpcResponse, std::move(w).take());
+    util::Bytes frame = std::move(w).take();
+    if (cached) {
+      if (const auto it = dedup_.find(key); it != dedup_.end()) {
+        it->second.done = true;
+        it->second.response = frame;  // keep a copy for retried requests
+      }
+    }
+    bus_.post(address_, caller, MessageType::kRpcResponse, std::move(frame));
   };
+
+  const auto it = methods_.find(method);
+  if (it == methods_.end()) {
+    respond(util::Err{RpcError::kNoSuchMethod});
+    return;
+  }
 
   const util::BytesView args = envelope.payload;
   it->second(caller, args.subspan(r.consumed()), std::move(respond));
@@ -127,8 +210,12 @@ void RpcNode::on_response(const Envelope& envelope) {
   if (!r.ok()) return;
 
   const auto it = pending_.find(call_id);
-  if (it == pending_.end()) return;  // raced with timeout; already reported
-  bus_.scheduler().cancel(it->second.timeout);
+  // Late or duplicated response: the call already completed (or gave up);
+  // the callback must not fire again.
+  if (it == pending_.end()) return;
+  // Cancels either the attempt timeout or a pending backoff/retry — a
+  // response that arrives between the two still completes the call.
+  bus_.scheduler().cancel(it->second.timer);
   RpcCallback cb = std::move(it->second.on_done);
   pending_.erase(it);
 

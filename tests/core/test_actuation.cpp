@@ -34,7 +34,7 @@ struct ActuationFixture : ::testing::Test {
 
   ActuationService make(ActuationService::Config config = {.ack_timeout = Duration::millis(100),
                                                            .max_retries = 2}) {
-    return ActuationService(bus, auth, resource, replicator, config);
+    return ActuationService(bus, auth, replicator, config);
   }
 
   ConsumerToken register_consumer(const std::string& name) {
@@ -185,7 +185,7 @@ TEST_F(ActuationFixture, RequestViaRpc) {
   w.u8(static_cast<std::uint8_t>(UpdateAction::kSetIntervalMs));
   w.u32(750);
   caller.call(actuation.address(), ActuationService::kRequestUpdate, std::move(w).take(),
-              [&](net::RpcResult result) {
+              net::CallOptions{}, [&](net::RpcResult result) {
                 ASSERT_TRUE(result.ok());
                 util::ByteReader r(result.value());
                 request_id = r.u32();

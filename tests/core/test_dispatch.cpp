@@ -163,7 +163,7 @@ TEST_F(DispatchFixture, SubscribeViaRpc) {
   w.u64(identity.value().token);
   w.u64(StreamPattern::exact({1, 0}).packed());
   caller.call(dispatch.address(), DispatchingService::kSubscribe, std::move(w).take(),
-              [&](net::RpcResult result) {
+              net::CallOptions{}, [&](net::RpcResult result) {
                 ASSERT_TRUE(result.ok());
                 subscribed = true;
               });
@@ -182,7 +182,7 @@ TEST_F(DispatchFixture, SubscribeWithBadTokenRejected) {
   w.u64(0xBADBAD);
   w.u64(StreamPattern::everything().packed());
   caller.call(dispatch.address(), DispatchingService::kSubscribe, std::move(w).take(),
-              [&](net::RpcResult result) {
+              net::CallOptions{}, [&](net::RpcResult result) {
                 ASSERT_FALSE(result.ok());
                 error = result.error();
               });

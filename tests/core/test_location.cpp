@@ -155,7 +155,7 @@ TEST_F(LocationFixture, QueryViaRpc) {
   util::ByteWriter w(3);
   w.u24(1);
   caller.call(location.address(), LocationService::kQuery, std::move(w).take(),
-              [&](net::RpcResult result) {
+              net::CallOptions{}, [&](net::RpcResult result) {
                 ASSERT_TRUE(result.ok());
                 util::ByteReader r(result.value());
                 if (r.u8() == 1) {

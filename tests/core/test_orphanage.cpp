@@ -106,7 +106,7 @@ TEST_F(OrphanageFixture, BacklogFetchableViaRpc) {
   w.u32(StreamId{1, 0}.packed());
   w.u16(10);
   caller.call(orphanage.address(), Orphanage::kFetchBacklog, std::move(w).take(),
-              [&](net::RpcResult result) {
+              net::CallOptions{}, [&](net::RpcResult result) {
                 ASSERT_TRUE(result.ok());
                 util::ByteReader r(result.value());
                 const std::uint16_t n = r.u16();

@@ -147,7 +147,7 @@ TEST_F(QosFixture, SubscribeWithQosViaRpc) {
   w.u32(0);     // no staleness bound
   bool done = false;
   caller.call(dispatch.address(), DispatchingService::kSubscribe, std::move(w).take(),
-              [&](net::RpcResult result) {
+              net::CallOptions{}, [&](net::RpcResult result) {
                 ASSERT_TRUE(result.ok());
                 done = true;
               });

@@ -288,7 +288,7 @@ TEST_F(ResourceFixture, EvaluateViaRpc) {
   w.u8(static_cast<std::uint8_t>(UpdateAction::kSetIntervalMs));
   w.u32(500);
   caller.call(rm.address(), ResourceManager::kEvaluate, std::move(w).take(),
-              [&](net::RpcResult result) {
+              net::CallOptions{}, [&](net::RpcResult result) {
                 ASSERT_TRUE(result.ok());
                 util::ByteReader r(result.value());
                 admission = static_cast<Admission>(r.u8());

@@ -155,5 +155,38 @@ TEST_F(FailoverFixture, ReceptionEventsFollowActiveReplica) {
   EXPECT_EQ(events, 2u);  // now from the promoted standby
 }
 
+// --- Bus heartbeat transport ------------------------------------------
+// The watchdog is a real RPC client; the primary's liveness is inferred
+// from answered pings rather than read off a flag.
+
+TEST_F(FailoverFixture, BusHeartbeatStaysQuietWhilePrimaryAnswers) {
+  net::MessageBus bus(scheduler, {});
+  FilteringFailover failover(scheduler, bus, config_for(FilteringFailover::Mode::kHot));
+  scheduler.run_for(Duration::seconds(10));
+  EXPECT_FALSE(failover.failed_over());
+  EXPECT_EQ(failover.stats().misses, 0u);
+  EXPECT_GT(failover.stats().heartbeats, 90u);
+}
+
+TEST_F(FailoverFixture, BusHeartbeatPromotesOnCrash) {
+  net::MessageBus bus(scheduler, {});
+  FilteringFailover failover(scheduler, bus, config_for(FilteringFailover::Mode::kHot));
+  std::size_t out = 0;
+  failover.set_message_sink([&](const core::DataMessage&, SimTime) { ++out; });
+
+  scheduler.run_for(Duration::seconds(1));
+  EXPECT_FALSE(failover.failed_over());
+
+  // A dead primary never answers; pings time out and count as misses.
+  failover.kill_primary();
+  scheduler.run_for(Duration::seconds(1));
+  EXPECT_TRUE(failover.failed_over());
+  EXPECT_EQ(failover.stats().failovers, 1u);
+  EXPECT_GE(failover.stats().misses, 3u);
+
+  failover.ingest(make_report(0));
+  EXPECT_EQ(out, 1u);  // the promoted standby serves traffic
+}
+
 }  // namespace
 }  // namespace garnet

@@ -1,0 +1,288 @@
+// Chaos suite: the acceptance tests for deterministic fault injection on
+// the bus plus retry/backoff in the RPC layer.
+//
+//   * Under a seeded 20% drop plan, idempotent RPCs with a retry budget
+//     all eventually succeed.
+//   * With faults confined to the response link, every retry reaches the
+//     callee and is absorbed by the at-most-once cache: non-idempotent
+//     handlers execute exactly once and deduped == retries exactly.
+//   * Two runs from the same seed produce byte-identical fault journals
+//     and identical garnet.bus.faults / garnet.rpc.* telemetry.
+//   * A partition between the filtering watchdog and primary promotes
+//     the hot standby; its dedup state holds after the partition heals.
+//   * An unreachable Resource Manager degrades actuation to an explicit
+//     denial instead of a silent stall.
+#include <gtest/gtest.h>
+
+#include "garnet/failover.hpp"
+#include "garnet/runtime.hpp"
+#include "net/rpc.hpp"
+#include "obs/metrics.hpp"
+
+namespace garnet {
+namespace {
+
+using util::Duration;
+using util::SimTime;
+
+/// All telemetry this suite asserts determinism over.
+std::vector<std::uint64_t> chaos_counters(const obs::MetricsSnapshot& snap) {
+  std::vector<std::uint64_t> values;
+  for (const char* kind : {"drop", "duplicate", "delay", "reorder", "partition"}) {
+    values.push_back(snap.counter("garnet.bus.faults", {{"kind", kind}}));
+  }
+  for (const char* name : {"garnet.rpc.calls", "garnet.rpc.retries", "garnet.rpc.exhausted",
+                           "garnet.rpc.deduped", "garnet.bus.posted", "garnet.bus.delivered"}) {
+    values.push_back(snap.counter(name));
+  }
+  return values;
+}
+
+TEST(Chaos, IdempotentCallsAllSucceedUnder20PercentDrop) {
+  sim::Scheduler scheduler;
+  net::MessageBus::Config config;
+  config.faults.seed = 0xC0FFEE;
+  config.faults.global.drop = 0.20;
+  net::MessageBus bus(scheduler, config);
+
+  net::RpcNode server(bus, "server");
+  net::RpcNode client(bus, "client");
+  server.expose(1, [](net::Address, util::BytesView args) -> net::RpcResult {
+    return util::Bytes(args.begin(), args.end());  // echo
+  });
+
+  net::CallOptions options;
+  options.timeout = Duration::millis(5);
+  options.retries = 8;  // acceptance floor is >= 5
+  options.backoff = Duration::millis(1);
+  options.idempotent = true;
+
+  constexpr std::uint32_t kCalls = 40;
+  std::uint32_t succeeded = 0;
+  for (std::uint32_t i = 0; i < kCalls; ++i) {
+    util::ByteWriter w(4);
+    w.u32(i);
+    client.call(server.address(), 1, std::move(w).take(), options,
+                [&, expected = i](net::RpcResult result) {
+                  ASSERT_TRUE(result.ok()) << "call " << expected << " exhausted its budget";
+                  util::ByteReader r(result.value());
+                  EXPECT_EQ(r.u32(), expected);
+                  ++succeeded;
+                });
+  }
+  scheduler.run();
+
+  EXPECT_EQ(succeeded, kCalls);
+  EXPECT_EQ(bus.rpc_stats().exhausted, 0u);
+  EXPECT_GT(bus.rpc_stats().retries, 0u);  // the plan really did bite
+  ASSERT_NE(bus.fault_injector(), nullptr);
+  EXPECT_GT(bus.fault_injector()->counters().dropped, 0u);
+}
+
+TEST(Chaos, ResponseLinkFaultsDedupEqualsRetriesExactly) {
+  // Faults only on server->client: every request arrives, so every
+  // retry is a duplicate the callee's cache must absorb.
+  sim::Scheduler scheduler;
+  net::MessageBus::Config config;
+  config.faults.seed = 7;
+  config.faults.links[{"server", "client"}].drop = 0.30;
+  net::MessageBus bus(scheduler, config);
+
+  net::RpcNode server(bus, "server");
+  net::RpcNode client(bus, "client");
+  std::uint32_t executions = 0;
+  server.expose(1, [&](net::Address, util::BytesView) -> net::RpcResult {
+    ++executions;
+    return util::to_bytes("ok");
+  });
+
+  net::CallOptions options;
+  options.timeout = Duration::millis(5);
+  options.retries = 10;
+  options.backoff = Duration::millis(1);
+  // Non-idempotent on purpose: execute-at-most-once is the property.
+
+  constexpr std::uint32_t kCalls = 30;
+  std::uint32_t succeeded = 0;
+  for (std::uint32_t i = 0; i < kCalls; ++i) {
+    client.call(server.address(), 1, {}, options, [&](net::RpcResult result) {
+      ASSERT_TRUE(result.ok());
+      ++succeeded;
+    });
+  }
+  scheduler.run();
+
+  EXPECT_EQ(succeeded, kCalls);
+  EXPECT_EQ(executions, kCalls);  // retries never re-executed the handler
+  EXPECT_GT(bus.rpc_stats().retries, 0u);
+  // Every retry-induced duplicate request — and nothing else — hit the
+  // cache: the two counters must agree to the message.
+  EXPECT_EQ(bus.rpc_stats().deduped, bus.rpc_stats().retries);
+}
+
+TEST(Chaos, SameSeedByteIdenticalJournalAndTelemetry) {
+  const auto run_once = [] {
+    sim::Scheduler scheduler;
+    obs::MetricsRegistry registry;
+    net::MessageBus::Config config;
+    config.faults.seed = 0xDECAF;
+    config.faults.global.drop = 0.15;
+    config.faults.global.duplicate = 0.10;
+    config.faults.global.reorder = 0.10;
+    config.faults.journal_limit = 4096;
+    net::MessageBus bus(scheduler, config);
+    bus.set_metrics(registry);
+
+    net::RpcNode server(bus, "server");
+    net::RpcNode client(bus, "client");
+    server.expose(1, [](net::Address, util::BytesView) -> net::RpcResult {
+      return util::to_bytes("pong");
+    });
+
+    net::CallOptions options;
+    options.timeout = Duration::millis(5);
+    options.retries = 6;
+    options.backoff = Duration::millis(1);
+    options.idempotent = true;
+    for (int i = 0; i < 50; ++i) {
+      client.call(server.address(), 1, {}, options, [](net::RpcResult) {});
+    }
+    scheduler.run();
+
+    return std::make_pair(bus.fault_injector()->journal_text(),
+                          chaos_counters(registry.snapshot()));
+  };
+
+  const auto first = run_once();
+  const auto second = run_once();
+  EXPECT_EQ(first.first, second.first);  // byte-identical fault sequence
+  EXPECT_FALSE(first.first.empty());
+  EXPECT_EQ(first.second, second.second);  // identical telemetry counters
+}
+
+TEST(Chaos, RuntimeChaosRunsAreReplayable) {
+  // Same property through the full Runtime: the FaultPlan rides in on
+  // Runtime::Config and the telemetry replays counter-for-counter.
+  const auto run_once = [] {
+    Runtime::Config config;
+    config.field.seed = 77;
+    config.faults.seed = 0xBEEF;
+    config.faults.global.drop = 0.25;
+    config.faults.global.duplicate = 0.10;
+    Runtime runtime(config);
+    runtime.deploy_receivers(4, 400);
+    runtime.deploy_transmitters(1, 900);
+
+    wireless::SensorField::PopulationSpec population;
+    population.count = 3;
+    population.interval_ms = 200;
+    runtime.deploy_population(population);
+
+    core::Consumer consumer(runtime.bus(), "consumer.chaos");
+    runtime.provision(consumer, "chaos");
+    consumer.subscribe(core::StreamPattern::everything());
+    runtime.run_for(Duration::millis(20));
+    runtime.start_sensors();
+    runtime.run_for(Duration::seconds(1));
+    consumer.request_update({1, 0}, core::UpdateAction::kSetIntervalMs, 150, {});
+    runtime.run_for(Duration::seconds(1));
+
+    return chaos_counters(runtime.telemetry().registry.snapshot());
+  };
+
+  const auto first = run_once();
+  const auto second = run_once();
+  EXPECT_EQ(first, second);
+  // The plan actually dropped traffic (index 0 = faults{kind=drop}).
+  EXPECT_GT(first[0], 0u);
+}
+
+TEST(Chaos, PartitionPromotesFailoverAndDedupHoldsAfterHeal) {
+  sim::Scheduler scheduler;
+  net::MessageBus::Config config;
+  {
+    net::FaultPlan::PartitionSpec partition;
+    partition.name = "watchdog-cut";
+    partition.members = {FilteringFailover::kWatchdogEndpointName};
+    partition.opens_at = SimTime{} + Duration::millis(500);
+    partition.heals_at = SimTime{} + Duration::millis(1500);
+    config.faults.partitions.push_back(partition);
+  }
+  net::MessageBus bus(scheduler, config);
+
+  FilteringFailover::Config failover_config;
+  failover_config.mode = FilteringFailover::Mode::kHot;
+  failover_config.heartbeat_interval = Duration::millis(100);
+  failover_config.miss_threshold = 3;
+  FilteringFailover failover(scheduler, bus, failover_config);
+
+  std::multiset<core::SequenceNo> delivered;
+  failover.set_message_sink(
+      [&](const core::DataMessage& m, SimTime) { delivered.insert(m.sequence); });
+
+  const auto report = [](core::SequenceNo seq, wireless::ReceiverId receiver) {
+    core::DataMessage msg;
+    msg.stream_id = {1, 0};
+    msg.sequence = seq;
+    msg.payload = util::to_bytes("x");
+    return wireless::ReceptionReport{receiver, -40.0, SimTime{}, core::encode(msg)};
+  };
+
+  // Healthy phase: pings flow, traffic is deduplicated by the primary.
+  for (core::SequenceNo seq = 0; seq < 5; ++seq) failover.ingest(report(seq, 1));
+  scheduler.run_until(SimTime{} + Duration::millis(450));
+  EXPECT_FALSE(failover.failed_over());
+  EXPECT_EQ(failover.stats().misses, 0u);
+
+  // Partition opens at 500ms: the watchdog's pings stop arriving even
+  // though the primary never crashed; the standby must be promoted.
+  scheduler.run_until(SimTime{} + Duration::millis(1400));
+  EXPECT_TRUE(failover.failed_over());
+  EXPECT_EQ(failover.stats().failovers, 1u);
+  EXPECT_GT(bus.fault_injector()->counters().partitioned, 0u);
+
+  // After the heal, late radio copies of the pre-partition messages
+  // arrive: the hot standby's shadowed dedup state still holds.
+  scheduler.run_until(SimTime{} + Duration::millis(2000));
+  for (core::SequenceNo seq = 0; seq < 5; ++seq) failover.ingest(report(seq, 2));
+  for (core::SequenceNo seq = 0; seq < 5; ++seq) {
+    EXPECT_EQ(delivered.count(seq), 1u) << "sequence " << seq << " re-delivered after heal";
+  }
+  failover.ingest(report(100, 1));
+  EXPECT_EQ(delivered.count(100), 1u);  // fresh traffic flows post-heal
+}
+
+TEST(Chaos, UnreachableResourceManagerDegradesToDenial) {
+  // The Resource Manager is partitioned off from t=0 and never heals.
+  // Actuation demands must come back *denied* within the approval retry
+  // budget — an explicit degraded outcome, not a stall.
+  Runtime::Config config;
+  {
+    net::FaultPlan::PartitionSpec partition;
+    partition.name = "rm-island";
+    partition.members = {core::ResourceManager::kEndpointName};
+    partition.opens_at = SimTime{};  // open immediately
+    config.faults.partitions.push_back(partition);
+  }
+  Runtime runtime(config);
+
+  core::Consumer consumer(runtime.bus(), "consumer.app");
+  runtime.provision(consumer, "app");
+
+  std::optional<core::Admission> admission;
+  consumer.request_update({1, 0}, core::UpdateAction::kSetIntervalMs, 500,
+                          [&](std::uint32_t, core::Admission a, std::uint32_t) { admission = a; });
+  runtime.run_for(Duration::seconds(1));
+
+  ASSERT_TRUE(admission.has_value()) << "degraded path must still answer the consumer";
+  EXPECT_EQ(*admission, core::Admission::kDenied);
+  EXPECT_GE(runtime.actuation().stats().approval_unreachable, 1u);
+
+  const obs::MetricsSnapshot snap = runtime.telemetry().registry.snapshot();
+  EXPECT_GE(snap.counter("garnet.actuation.approval_unreachable"), 1u);
+  EXPECT_GE(snap.counter("garnet.rpc.exhausted"), 1u);
+  EXPECT_GT(snap.counter("garnet.bus.faults", {{"kind", "partition"}}), 0u);
+}
+
+}  // namespace
+}  // namespace garnet

@@ -143,7 +143,8 @@ TEST_F(FailureFixture, ConsumerVanishingMidStreamIsDropSafe) {
   const net::Address gone = consumer->address();
   consumer.reset();
   runtime.run_for(Duration::seconds(5));
-  EXPECT_GT(runtime.bus().stats().dropped_no_endpoint, 0u);
+  EXPECT_GT(runtime.telemetry().registry.snapshot().counter("garnet.bus.dropped_no_endpoint"),
+            0u);
 
   // Housekeeping: the operator can purge the dead subscriptions.
   EXPECT_GT(runtime.dispatch().drop_consumer(gone), 0u);

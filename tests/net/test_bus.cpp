@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/metrics.hpp"
 #include "sim/scheduler.hpp"
 
 namespace garnet::net {
@@ -11,7 +12,14 @@ using util::Duration;
 
 struct BusFixture : ::testing::Test {
   sim::Scheduler scheduler;
+  obs::MetricsRegistry registry;
   MessageBus bus{scheduler, MessageBus::Config{}};
+
+  BusFixture() { bus.set_metrics(registry); }
+
+  [[nodiscard]] std::uint64_t counter(std::string_view name) {
+    return registry.snapshot().counter(name);
+  }
 };
 
 TEST_F(BusFixture, DeliversToEndpoint) {
@@ -35,7 +43,7 @@ TEST_F(BusFixture, DeliveryTakesLatency) {
   });
   bus.post(a, a, MessageType::kAppBase, {});
   scheduler.run();
-  EXPECT_EQ(bus.stats().delivered, 1u);
+  EXPECT_EQ(counter("garnet.bus.delivered"), 1u);
 }
 
 TEST_F(BusFixture, LookupByName) {
@@ -56,14 +64,14 @@ TEST_F(BusFixture, RemoveEndpointStopsDelivery) {
   bus.post(a, a, MessageType::kAppBase, {});
   scheduler.run();
   EXPECT_EQ(count, 1);
-  EXPECT_EQ(bus.stats().dropped_no_endpoint, 1u);
+  EXPECT_EQ(counter("garnet.bus.dropped_no_endpoint"), 1u);
 }
 
 TEST_F(BusFixture, MessageToUnknownAddressDropped) {
   bus.post(Address{}, Address{999}, MessageType::kAppBase, {});
   scheduler.run();
-  EXPECT_EQ(bus.stats().dropped_no_endpoint, 1u);
-  EXPECT_EQ(bus.stats().delivered, 0u);
+  EXPECT_EQ(counter("garnet.bus.dropped_no_endpoint"), 1u);
+  EXPECT_EQ(counter("garnet.bus.delivered"), 0u);
 }
 
 TEST_F(BusFixture, InFlightMessageSurvivesEndpointChurn) {
@@ -73,7 +81,7 @@ TEST_F(BusFixture, InFlightMessageSurvivesEndpointChurn) {
   bus.post(a, a, MessageType::kAppBase, {});
   bus.remove_endpoint(a);
   scheduler.run();
-  EXPECT_EQ(bus.stats().dropped_no_endpoint, 1u);
+  EXPECT_EQ(counter("garnet.bus.dropped_no_endpoint"), 1u);
 }
 
 TEST_F(BusFixture, StatsCountBytes) {
@@ -81,12 +89,40 @@ TEST_F(BusFixture, StatsCountBytes) {
   bus.post(a, a, MessageType::kAppBase, util::Bytes(10));
   bus.post(a, a, MessageType::kAppBase, util::Bytes(22));
   scheduler.run();
-  EXPECT_EQ(bus.stats().posted, 2u);
-  EXPECT_EQ(bus.stats().bytes, 32u);
+  EXPECT_EQ(counter("garnet.bus.posted"), 2u);
+  EXPECT_EQ(counter("garnet.bus.bytes"), 32u);
+}
+
+TEST_F(BusFixture, FaultCountersExposedEvenWithoutInjector) {
+  // The exposition schema is stable: a fault-free bus still reports all
+  // five garnet.bus.faults kinds (as zero) and the garnet.rpc.* family.
+  const obs::MetricsSnapshot snap = registry.snapshot();
+  for (const char* kind : {"drop", "duplicate", "delay", "reorder", "partition"}) {
+    ASSERT_NE(snap.find("garnet.bus.faults", {{"kind", kind}}), nullptr) << kind;
+    EXPECT_EQ(snap.counter("garnet.bus.faults", {{"kind", kind}}), 0u) << kind;
+  }
+  ASSERT_NE(snap.find("garnet.rpc.calls"), nullptr);
+  ASSERT_NE(snap.find("garnet.rpc.retries"), nullptr);
+  ASSERT_NE(snap.find("garnet.rpc.exhausted"), nullptr);
+  ASSERT_NE(snap.find("garnet.rpc.deduped"), nullptr);
+}
+
+TEST_F(BusFixture, DeprecatedStatsShimStillAgrees) {
+  // stats() survives one release as a shim; it must keep agreeing with
+  // the collector until it is deleted.
+  const Address a = bus.add_endpoint("a", [](Envelope) {});
+  bus.post(a, a, MessageType::kAppBase, util::Bytes(8));
+  scheduler.run();
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  EXPECT_EQ(bus.stats().posted, counter("garnet.bus.posted"));
+  EXPECT_EQ(bus.stats().delivered, counter("garnet.bus.delivered"));
+  EXPECT_EQ(bus.stats().bytes, counter("garnet.bus.bytes"));
+#pragma GCC diagnostic pop
 }
 
 TEST_F(BusFixture, OrderPreservedForEqualJitter) {
-  MessageBus nojitter(scheduler, {Duration::micros(100), Duration::nanos(0)});
+  MessageBus nojitter(scheduler, {Duration::micros(100), Duration::nanos(0), {}});
   std::vector<int> order;
   const Address a = nojitter.add_endpoint("a", [&](Envelope e) {
     util::ByteReader r(e.payload);

@@ -1,0 +1,229 @@
+// Deterministic fault injection: the FaultInjector's verdict stream and
+// journal must be a pure function of (plan, post sequence), partitions
+// must open/heal on schedule, and every fault must be counted.
+#include "net/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/bus.hpp"
+#include "obs/metrics.hpp"
+
+namespace garnet::net {
+namespace {
+
+using util::Duration;
+using util::SimTime;
+
+struct FaultFixture : ::testing::Test {
+  sim::Scheduler scheduler;
+};
+
+TEST_F(FaultFixture, EmptyPlanIsDisabled) {
+  EXPECT_FALSE(FaultPlan{}.enabled());
+  FaultPlan plan;
+  plan.global.drop = 0.1;
+  EXPECT_TRUE(plan.enabled());
+  plan = FaultPlan{};
+  plan.links[{"a", "b"}].drop_first = 1;
+  EXPECT_TRUE(plan.enabled());
+  plan = FaultPlan{};
+  plan.partitions.push_back({"p", {"a"}, SimTime{}, std::nullopt});
+  EXPECT_TRUE(plan.enabled());
+}
+
+TEST_F(FaultFixture, CleanLinkDeliversUntouched) {
+  FaultPlan plan;
+  plan.links[{"a", "b"}].drop = 1.0;  // some *other* link is faulty
+  FaultInjector injector(scheduler, plan);
+  const auto verdict = injector.decide("c", "d");
+  EXPECT_TRUE(verdict.deliver);
+  EXPECT_FALSE(verdict.duplicate);
+  EXPECT_EQ(verdict.extra_delay.ns, 0);
+  EXPECT_EQ(injector.counters().total(), 0u);
+}
+
+TEST_F(FaultFixture, DropFirstDropsExactlyFirstN) {
+  FaultPlan plan;
+  plan.links[{"a", "b"}].drop_first = 3;
+  FaultInjector injector(scheduler, plan);
+
+  int delivered = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (injector.decide("a", "b").deliver) ++delivered;
+  }
+  EXPECT_EQ(delivered, 7);
+  EXPECT_EQ(injector.counters().dropped, 3u);
+  // The reverse direction is a different link: untouched.
+  EXPECT_TRUE(injector.decide("b", "a").deliver);
+}
+
+TEST_F(FaultFixture, DropProbabilityRoughlyHonoured) {
+  FaultPlan plan;
+  plan.global.drop = 0.5;
+  FaultInjector injector(scheduler, plan);
+  int dropped = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (!injector.decide("a", "b").deliver) ++dropped;
+  }
+  EXPECT_GT(dropped, 350);
+  EXPECT_LT(dropped, 650);
+  EXPECT_EQ(injector.counters().dropped, static_cast<std::uint64_t>(dropped));
+}
+
+TEST_F(FaultFixture, ExtraLatencyIsDeterministicPerLink) {
+  FaultPlan plan;
+  plan.links[{"a", "b"}].extra_latency = Duration::millis(7);
+  FaultInjector injector(scheduler, plan);
+  const auto verdict = injector.decide("a", "b");
+  EXPECT_TRUE(verdict.deliver);
+  EXPECT_EQ(verdict.extra_delay.ns, Duration::millis(7).ns);
+  EXPECT_EQ(injector.counters().delayed, 1u);
+}
+
+TEST_F(FaultFixture, DuplicateProducesTrailingCopy) {
+  FaultPlan plan;
+  plan.global.duplicate = 1.0;
+  FaultInjector injector(scheduler, plan);
+  const auto verdict = injector.decide("a", "b");
+  EXPECT_TRUE(verdict.deliver);
+  EXPECT_TRUE(verdict.duplicate);
+  EXPECT_GE(verdict.duplicate_delay.ns, 0);
+  EXPECT_EQ(injector.counters().duplicated, 1u);
+}
+
+TEST_F(FaultFixture, ReorderAddsBoundedRandomDelay) {
+  FaultPlan plan;
+  plan.global.reorder = 1.0;
+  plan.global.reorder_window = Duration::millis(2);
+  FaultInjector injector(scheduler, plan);
+  for (int i = 0; i < 100; ++i) {
+    const auto verdict = injector.decide("a", "b");
+    EXPECT_TRUE(verdict.deliver);
+    EXPECT_GE(verdict.extra_delay.ns, 0);
+    EXPECT_LT(verdict.extra_delay.ns, Duration::millis(2).ns);
+  }
+  EXPECT_EQ(injector.counters().reordered, 100u);
+}
+
+TEST_F(FaultFixture, SameSeedSameVerdictsAndJournal) {
+  FaultPlan plan;
+  plan.seed = 0xFEEDFACE;
+  plan.global.drop = 0.3;
+  plan.global.duplicate = 0.2;
+  plan.global.reorder = 0.1;
+  plan.journal_limit = 4096;
+
+  const auto replay = [&] {
+    sim::Scheduler fresh;
+    FaultInjector injector(fresh, plan);
+    std::vector<std::uint64_t> stream;
+    for (int i = 0; i < 500; ++i) {
+      const auto verdict = injector.decide("svc.a", "svc.b");
+      stream.push_back((verdict.deliver ? 1u : 0u) | (verdict.duplicate ? 2u : 0u));
+      stream.push_back(static_cast<std::uint64_t>(verdict.extra_delay.ns));
+      stream.push_back(static_cast<std::uint64_t>(verdict.duplicate_delay.ns));
+    }
+    return std::make_tuple(stream, injector.journal_text(), injector.counters());
+  };
+
+  const auto first = replay();
+  const auto second = replay();
+  EXPECT_EQ(std::get<0>(first), std::get<0>(second));
+  EXPECT_EQ(std::get<1>(first), std::get<1>(second));  // byte-identical journal
+  EXPECT_FALSE(std::get<1>(first).empty());
+  EXPECT_EQ(std::get<2>(first).dropped, std::get<2>(second).dropped);
+  EXPECT_EQ(std::get<2>(first).duplicated, std::get<2>(second).duplicated);
+  EXPECT_EQ(std::get<2>(first).reordered, std::get<2>(second).reordered);
+}
+
+TEST_F(FaultFixture, DifferentSeedsDiverge) {
+  FaultPlan plan;
+  plan.global.drop = 0.5;
+  plan.journal_limit = 4096;
+  const auto journal_for = [&](std::uint64_t seed) {
+    sim::Scheduler fresh;
+    FaultPlan seeded = plan;
+    seeded.seed = seed;
+    FaultInjector injector(fresh, seeded);
+    for (int i = 0; i < 200; ++i) (void)injector.decide("a", "b");
+    return injector.journal_text();
+  };
+  EXPECT_NE(journal_for(1), journal_for(2));
+}
+
+TEST_F(FaultFixture, PartitionBlocksCrossTrafficBothWays) {
+  FaultPlan plan;
+  plan.partitions.push_back({"west-wing", {"svc.a", "svc.b"}, SimTime{}, std::nullopt});
+  FaultInjector injector(scheduler, plan);
+
+  EXPECT_TRUE(injector.partition_open("west-wing"));
+  EXPECT_FALSE(injector.decide("svc.a", "svc.c").deliver);
+  EXPECT_FALSE(injector.decide("svc.c", "svc.a").deliver);
+  // Traffic among members, and among outsiders, still flows.
+  EXPECT_TRUE(injector.decide("svc.a", "svc.b").deliver);
+  EXPECT_TRUE(injector.decide("svc.c", "svc.d").deliver);
+  EXPECT_EQ(injector.counters().partitioned, 2u);
+
+  injector.heal_partition("west-wing");
+  EXPECT_FALSE(injector.partition_open("west-wing"));
+  EXPECT_TRUE(injector.decide("svc.a", "svc.c").deliver);
+}
+
+TEST_F(FaultFixture, PartitionOpensAndHealsOnSchedule) {
+  FaultPlan plan;
+  FaultPlan::PartitionSpec spec;
+  spec.name = "storm";
+  spec.members = {"svc.a"};
+  spec.opens_at = SimTime{} + Duration::millis(100);
+  spec.heals_at = SimTime{} + Duration::millis(200);
+  plan.partitions.push_back(spec);
+  FaultInjector injector(scheduler, plan);
+
+  EXPECT_TRUE(injector.decide("svc.a", "svc.b").deliver);  // not open yet
+  scheduler.run_for(Duration::millis(150));
+  EXPECT_TRUE(injector.partition_open("storm"));
+  EXPECT_FALSE(injector.decide("svc.a", "svc.b").deliver);
+  scheduler.run_for(Duration::millis(100));
+  EXPECT_FALSE(injector.partition_open("storm"));
+  EXPECT_TRUE(injector.decide("svc.a", "svc.b").deliver);
+}
+
+TEST_F(FaultFixture, JournalLimitCapsRecording) {
+  FaultPlan plan;
+  plan.global.drop = 1.0;
+  plan.journal_limit = 5;
+  FaultInjector injector(scheduler, plan);
+  for (int i = 0; i < 50; ++i) (void)injector.decide("a", "b");
+  EXPECT_EQ(injector.journal().size(), 5u);
+  EXPECT_EQ(injector.counters().dropped, 50u);  // counting is never capped
+}
+
+TEST_F(FaultFixture, BusInstallsInjectorAndCountsFaults) {
+  // End-to-end through MessageBus::post: a total drop plan starves the
+  // endpoint and the faults surface in the telemetry collector.
+  obs::MetricsRegistry registry;
+  MessageBus::Config config;
+  config.faults.global.drop = 1.0;
+  MessageBus bus(scheduler, config);
+  bus.set_metrics(registry);
+  ASSERT_NE(bus.fault_injector(), nullptr);
+
+  int received = 0;
+  const Address a = bus.add_endpoint("a", [&](Envelope) { ++received; });
+  for (int i = 0; i < 10; ++i) bus.post(a, a, MessageType::kAppBase, {});
+  scheduler.run();
+
+  EXPECT_EQ(received, 0);
+  const obs::MetricsSnapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.counter("garnet.bus.faults", {{"kind", "drop"}}), 10u);
+  EXPECT_EQ(snap.counter("garnet.bus.posted"), 10u);
+  EXPECT_EQ(snap.counter("garnet.bus.delivered"), 0u);
+}
+
+TEST_F(FaultFixture, BusWithoutPlanHasNoInjector) {
+  MessageBus bus(scheduler, MessageBus::Config{});
+  EXPECT_EQ(bus.fault_injector(), nullptr);
+}
+
+}  // namespace
+}  // namespace garnet::net

@@ -29,7 +29,7 @@ TEST_F(RpcFixture, CallRoundTrip) {
   std::optional<std::uint32_t> answer;
   util::ByteWriter w(4);
   w.u32(21);
-  client.call(server.address(), 1, std::move(w).take(), [&](RpcResult result) {
+  client.call(server.address(), 1, std::move(w).take(), CallOptions{}, [&](RpcResult result) {
     ASSERT_TRUE(result.ok());
     util::ByteReader r(result.value());
     answer = r.u32();
@@ -46,7 +46,7 @@ TEST_F(RpcFixture, CallerIdentityPassedToHandler) {
     seen = caller;
     return util::Bytes{};
   });
-  client.call(server.address(), 1, {}, [](RpcResult) {});
+  client.call(server.address(), 1, {}, CallOptions{}, [](RpcResult) {});
   scheduler.run();
   EXPECT_EQ(seen, client.address());
 }
@@ -55,7 +55,7 @@ TEST_F(RpcFixture, NoSuchMethod) {
   RpcNode server(bus, "server");
   RpcNode client(bus, "client");
   std::optional<RpcError> error;
-  client.call(server.address(), 99, {}, [&](RpcResult result) {
+  client.call(server.address(), 99, {}, CallOptions{}, [&](RpcResult result) {
     ASSERT_FALSE(result.ok());
     error = result.error();
   });
@@ -70,7 +70,7 @@ TEST_F(RpcFixture, RemoteFailurePropagates) {
     return util::Err{RpcError::kRemoteFailure};
   });
   std::optional<RpcError> error;
-  client.call(server.address(), 1, {}, [&](RpcResult result) {
+  client.call(server.address(), 1, {}, CallOptions{}, [&](RpcResult result) {
     ASSERT_FALSE(result.ok());
     error = result.error();
   });
@@ -81,10 +81,11 @@ TEST_F(RpcFixture, RemoteFailurePropagates) {
 TEST_F(RpcFixture, TimeoutWhenCalleeGone) {
   RpcNode client(bus, "client");
   std::optional<RpcError> error;
-  client.call(Address{777}, 1, {}, [&](RpcResult result) {
-    ASSERT_FALSE(result.ok());
-    error = result.error();
-  }, Duration::millis(10));
+  client.call(Address{777}, 1, {}, CallOptions::with_timeout(Duration::millis(10)),
+              [&](RpcResult result) {
+                ASSERT_FALSE(result.ok());
+                error = result.error();
+              });
   scheduler.run();
   EXPECT_EQ(error, RpcError::kTimeout);
   EXPECT_GE(scheduler.now().ns, Duration::millis(10).ns);
@@ -97,18 +98,15 @@ TEST_F(RpcFixture, CallbackFiresExactlyOnceOnTimeoutRace) {
   RpcNode client(bus, "client");
   server.expose(1, [](Address, util::BytesView) -> RpcResult { return util::Bytes{}; });
 
-  MessageBus slow_bus(scheduler, {Duration::millis(50), Duration::nanos(0)});
-  RpcNode slow_server(slow_bus, "slow");
-  (void)slow_server;
-
   int calls = 0;
   std::optional<RpcError> error;
-  // Route through the normal bus but with a 0ms-ish deadline shorter than
-  // 2x latency.
-  client.call(server.address(), 1, {}, [&](RpcResult result) {
-    ++calls;
-    if (!result.ok()) error = result.error();
-  }, Duration::micros(100));
+  // Route through the normal bus but with a deadline shorter than 2x
+  // latency, so the response is in flight when the timeout fires.
+  client.call(server.address(), 1, {}, CallOptions::with_timeout(Duration::micros(100)),
+              [&](RpcResult result) {
+                ++calls;
+                if (!result.ok()) error = result.error();
+              });
   scheduler.run();
   EXPECT_EQ(calls, 1);
   EXPECT_EQ(error, RpcError::kTimeout);
@@ -127,12 +125,13 @@ TEST_F(RpcFixture, ConcurrentCallsCorrelate) {
   for (std::uint32_t i = 0; i < 10; ++i) {
     util::ByteWriter w(4);
     w.u32(i);
-    client.call(server.address(), 1, std::move(w).take(), [&, expected = i](RpcResult result) {
-      ASSERT_TRUE(result.ok());
-      util::ByteReader r(result.value());
-      EXPECT_EQ(r.u32(), expected);
-      ++completed;
-    });
+    client.call(server.address(), 1, std::move(w).take(), CallOptions{},
+                [&, expected = i](RpcResult result) {
+                  ASSERT_TRUE(result.ok());
+                  util::ByteReader r(result.value());
+                  EXPECT_EQ(r.u32(), expected);
+                  ++completed;
+                });
   }
   scheduler.run();
   EXPECT_EQ(completed, 10);
@@ -146,8 +145,10 @@ TEST_F(RpcFixture, TwoServersIndependentMethods) {
   s2.expose(1, [](Address, util::BytesView) -> RpcResult { return util::to_bytes("two"); });
 
   std::string r1, r2;
-  client.call(s1.address(), 1, {}, [&](RpcResult r) { r1 = util::to_string(r.value()); });
-  client.call(s2.address(), 1, {}, [&](RpcResult r) { r2 = util::to_string(r.value()); });
+  client.call(s1.address(), 1, {}, CallOptions{},
+              [&](RpcResult r) { r1 = util::to_string(r.value()); });
+  client.call(s2.address(), 1, {}, CallOptions{},
+              [&](RpcResult r) { r2 = util::to_string(r.value()); });
   scheduler.run();
   EXPECT_EQ(r1, "one");
   EXPECT_EQ(r2, "two");
@@ -176,11 +177,12 @@ TEST_F(RpcFixture, AsyncHandlerDefersResponse) {
 
   std::optional<std::string> answer;
   std::optional<std::int64_t> answered_at;
-  client.call(server.address(), 1, {}, [&](RpcResult result) {
-    ASSERT_TRUE(result.ok());
-    answer = util::to_string(result.value());
-    answered_at = scheduler.now().ns;
-  }, Duration::seconds(1));
+  client.call(server.address(), 1, {}, CallOptions::with_timeout(Duration::seconds(1)),
+              [&](RpcResult result) {
+                ASSERT_TRUE(result.ok());
+                answer = util::to_string(result.value());
+                answered_at = scheduler.now().ns;
+              });
   scheduler.run();
 
   EXPECT_EQ(answer, "late answer");
@@ -199,21 +201,167 @@ TEST_F(RpcFixture, AsyncHandlerSlowerThanDeadlineTimesOut) {
 
   int calls = 0;
   std::optional<RpcError> error;
-  client.call(server.address(), 1, {}, [&](RpcResult result) {
-    ++calls;
-    if (!result.ok()) error = result.error();
-  }, Duration::millis(20));
+  client.call(server.address(), 1, {}, CallOptions::with_timeout(Duration::millis(20)),
+              [&](RpcResult result) {
+                ++calls;
+                if (!result.ok()) error = result.error();
+              });
   scheduler.run();
 
   EXPECT_EQ(calls, 1);  // the late response must not double-fire
   EXPECT_EQ(error, RpcError::kTimeout);
 }
 
+TEST_F(RpcFixture, LateResponseAfterRetriedCallDoesNotDoubleFire) {
+  // The reply to attempt #1 lands *after* the per-attempt deadline, while
+  // attempt #2 is pending; its own reply lands too. The callback must
+  // fire exactly once, with the first response that arrives.
+  RpcNode server(bus, "server");
+  RpcNode client(bus, "client");
+  int executions = 0;
+  server.expose_async(1, [&, this](Address, util::BytesView, RpcResponder respond) {
+    ++executions;
+    scheduler.schedule_after(Duration::millis(30), [respond = std::move(respond)] {
+      respond(util::to_bytes("slow"));
+    });
+  });
+
+  CallOptions options;
+  options.timeout = Duration::millis(20);
+  options.retries = 2;
+  options.backoff = Duration::millis(1);
+  options.idempotent = true;  // each attempt re-executes and re-replies
+  int calls = 0;
+  client.call(server.address(), 1, {}, options, [&](RpcResult result) {
+    ++calls;
+    EXPECT_TRUE(result.ok());
+  });
+  scheduler.run();
+  EXPECT_EQ(calls, 1);
+  EXPECT_GE(executions, 2);  // the retry really did reach the server
+}
+
+TEST_F(RpcFixture, ExhaustedAfterRetryBudget) {
+  RpcNode client(bus, "client");
+  CallOptions options;
+  options.timeout = Duration::millis(5);
+  options.retries = 3;
+  options.backoff = Duration::millis(1);
+  std::optional<RpcError> error;
+  client.call(Address{777}, 1, {}, options, [&](RpcResult result) {
+    ASSERT_FALSE(result.ok());
+    error = result.error();
+  });
+  scheduler.run();
+  EXPECT_EQ(error, RpcError::kTimeout);
+  EXPECT_EQ(bus.rpc_stats().calls, 1u);
+  EXPECT_EQ(bus.rpc_stats().retries, 3u);
+  EXPECT_EQ(bus.rpc_stats().exhausted, 1u);
+}
+
+/// Chaos fixture: the server's responses back to the client lose their
+/// first copy, so every call needs one retry. Faulting only the response
+/// link guarantees each retry *reaches* the server and exercises dedup.
+struct RpcRetryFixture : ::testing::Test {
+  sim::Scheduler scheduler;
+  MessageBus bus{scheduler, []() {
+                   MessageBus::Config config;
+                   config.faults.links[{"server", "client"}].drop_first = 1;
+                   return config;
+                 }()};
+};
+
+TEST_F(RpcRetryFixture, RetryRecoversFromLostResponse) {
+  RpcNode server(bus, "server");
+  RpcNode client(bus, "client");
+  server.expose(1, [](Address, util::BytesView) -> RpcResult { return util::to_bytes("ok"); });
+
+  CallOptions options;
+  options.timeout = Duration::millis(10);
+  options.retries = 3;
+  options.backoff = Duration::millis(1);
+  std::optional<std::string> answer;
+  client.call(server.address(), 1, {}, options,
+              [&](RpcResult result) { answer = util::to_string(result.value()); });
+  scheduler.run();
+  EXPECT_EQ(answer, "ok");
+  EXPECT_EQ(bus.rpc_stats().retries, 1u);
+  EXPECT_EQ(bus.rpc_stats().exhausted, 0u);
+}
+
+TEST_F(RpcRetryFixture, NonIdempotentRetryExecutesExactlyOnce) {
+  RpcNode server(bus, "server");
+  RpcNode client(bus, "client");
+  int executions = 0;
+  server.expose(1, [&](Address, util::BytesView) -> RpcResult {
+    ++executions;
+    return util::to_bytes("done");
+  });
+
+  CallOptions options;
+  options.timeout = Duration::millis(10);
+  options.retries = 3;
+  options.backoff = Duration::millis(1);
+  // Not idempotent: the retry must be answered from the callee's
+  // at-most-once cache, never re-executed.
+  std::optional<std::string> answer;
+  client.call(server.address(), 1, {}, options,
+              [&](RpcResult result) { answer = util::to_string(result.value()); });
+  scheduler.run();
+  EXPECT_EQ(answer, "done");
+  EXPECT_EQ(executions, 1);
+  EXPECT_EQ(bus.rpc_stats().deduped, 1u);
+}
+
+TEST_F(RpcRetryFixture, IdempotentRetryReExecutes) {
+  RpcNode server(bus, "server");
+  RpcNode client(bus, "client");
+  int executions = 0;
+  server.expose(1, [&](Address, util::BytesView) -> RpcResult {
+    ++executions;
+    return util::to_bytes("done");
+  });
+
+  CallOptions options;
+  options.timeout = Duration::millis(10);
+  options.retries = 3;
+  options.backoff = Duration::millis(1);
+  options.idempotent = true;  // declared safe to re-run: skips the cache
+  std::optional<std::string> answer;
+  client.call(server.address(), 1, {}, options,
+              [&](RpcResult result) { answer = util::to_string(result.value()); });
+  scheduler.run();
+  EXPECT_EQ(answer, "done");
+  EXPECT_EQ(executions, 2);
+  EXPECT_EQ(bus.rpc_stats().deduped, 0u);
+}
+
+TEST_F(RpcRetryFixture, DedupCachesFailureOutcomesToo) {
+  // A kNoSuchMethod response is also cached: the retried request must get
+  // the same verdict back instead of vanishing into an in-flight entry.
+  RpcNode server(bus, "server");
+  RpcNode client(bus, "client");
+
+  CallOptions options;
+  options.timeout = Duration::millis(10);
+  options.retries = 3;
+  options.backoff = Duration::millis(1);
+  std::optional<RpcError> error;
+  client.call(server.address(), 99, {}, options, [&](RpcResult result) {
+    ASSERT_FALSE(result.ok());
+    error = result.error();
+  });
+  scheduler.run();
+  EXPECT_EQ(error, RpcError::kNoSuchMethod);
+  EXPECT_EQ(bus.rpc_stats().deduped, 1u);
+  EXPECT_EQ(bus.rpc_stats().exhausted, 0u);
+}
+
 TEST_F(RpcFixture, DestructionCancelsPendingTimeouts) {
   {
     RpcNode client(bus, "client");
-    client.call(Address{777}, 1, {}, [](RpcResult) { FAIL() << "must not fire"; },
-                Duration::seconds(10));
+    client.call(Address{777}, 1, {}, CallOptions::with_timeout(Duration::seconds(10)),
+                [](RpcResult) { FAIL() << "must not fire"; });
   }
   scheduler.run();  // timeout event was cancelled with the node
 }
