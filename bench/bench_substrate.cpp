@@ -47,7 +47,8 @@ void BM_BusPostDeliver(benchmark::State& state) {
   std::uint64_t delivered = 0;
   const net::Address sink =
       bus.add_endpoint("sink", [&delivered](net::Envelope) { ++delivered; });
-  const util::Bytes payload(payload_size);
+  // Wrapped once; every post shares the same immutable buffer.
+  const util::SharedBytes payload{util::Bytes(payload_size)};
 
   for (auto _ : state) {
     bus.post(sink, sink, net::MessageType::kAppBase, payload);

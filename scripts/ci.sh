@@ -1,17 +1,35 @@
 #!/usr/bin/env bash
-# CI entry point: sanitized build + full test suite.
+# CI entry point: sanitized build + full test suite, then an optimised
+# Release leg (-O2 -DNDEBUG via -DGARNET_ASSERTS=OFF) that smoke-runs the
+# benchmark suite and emits the machine-readable BENCH_*.json reports
+# (notably BENCH_dispatch.json, the zero-copy payload-path pins).
 #
-# Usage: scripts/ci.sh [build-dir]   (default: build-ci)
+# Usage: scripts/ci.sh [build-dir] [perf-build-dir]
+#        (defaults: build-ci, build-ci-perf)
 set -euo pipefail
 
 BUILD_DIR="${1:-build-ci}"
+PERF_BUILD_DIR="${2:-build-ci-perf}"
 GENERATOR_ARGS=()
 if command -v ninja >/dev/null 2>&1; then
   GENERATOR_ARGS=(-G Ninja)
 fi
 
+# Leg 1 — correctness: sanitizers on, asserts on, every test.
 cmake -B "$BUILD_DIR" -S . "${GENERATOR_ARGS[@]}" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DGARNET_SANITIZE=address,undefined
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+
+# Leg 2 — performance: plain Release (-O2 -DNDEBUG, no sanitizers, no
+# asserts) so the bench numbers reflect what a deployment would see.
+# A short min_time keeps this a smoke run; the JSON pins (allocs/copies
+# per message) are time-independent.
+cmake -B "$PERF_BUILD_DIR" -S . "${GENERATOR_ARGS[@]}" \
+  -DCMAKE_BUILD_TYPE=Release \
+  -DGARNET_ASSERTS=OFF
+cmake --build "$PERF_BUILD_DIR" -j "$(nproc)"
+scripts/run_experiments.sh "$PERF_BUILD_DIR" --benchmark_min_time=0.05
+
+echo "CI OK: tests green, bench reports in $PERF_BUILD_DIR/bench-results"

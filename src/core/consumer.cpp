@@ -26,14 +26,14 @@ net::CallOptions Consumer::options_for(bool idempotent) const {
 
 void Consumer::on_envelope(net::Envelope envelope) {
   if (envelope.type != kDataDelivery) return;
-  const auto decoded = decode_delivery(envelope.payload);
+  const auto decoded = decode_delivery_view(envelope.payload);
   if (!decoded.ok()) return;
   ++received_;
   delivery_latency_.add(bus_.now() - decoded.value().first_heard);
   if (tracer_ != nullptr) {
     // The first consumer to receive a copy completes the journey; for
     // later copies the trace is already in the flight recorder.
-    const DataMessage& message = decoded.value().message;
+    const DataMessageView& message = decoded.value().message;
     const obs::TraceKey trace_key{message.stream_id.packed(), message.sequence};
     tracer_->end_span(trace_key, "deliver", bus_.now().ns);
     tracer_->complete(trace_key, bus_.now().ns);

@@ -57,7 +57,12 @@ class Consumer {
 
   // --- data plane ---------------------------------------------------------
 
-  using DataHandler = std::function<void(const Delivery&)>;
+  /// Handlers receive a zero-copy view whose payload aliases the wire
+  /// buffer (valid for the callback's duration; retain `wire` or call
+  /// to_owned() to keep it). Lambdas written against `const Delivery&`
+  /// still bind — the view converts implicitly, at the cost of a counted
+  /// payload copy.
+  using DataHandler = std::function<void(const DeliveryView&)>;
   void set_data_handler(DataHandler handler) { data_handler_ = std::move(handler); }
   /// Current handler (utilities like StreamRecorder chain in front of it).
   [[nodiscard]] const DataHandler& data_handler() const noexcept { return data_handler_; }

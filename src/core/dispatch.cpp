@@ -43,7 +43,7 @@ DispatchingService::DispatchingService(net::MessageBus& bus, AuthService& auth,
 
 void DispatchingService::on_filtered(const DataMessage& message, util::SimTime first_heard) {
   ++stats_.messages_in;
-  deliver(message, first_heard);
+  deliver(as_view(message), first_heard);
 }
 
 SubscriptionId DispatchingService::subscribe(net::Address consumer, StreamPattern pattern,
@@ -59,7 +59,9 @@ std::size_t DispatchingService::drop_consumer(net::Address consumer) {
 
 void DispatchingService::on_envelope(net::Envelope envelope) {
   if (envelope.type != kDerivedPublish) return;
-  const auto decoded = decode(envelope.payload);
+  // Zero-copy validate-and-forward: the view's payload aliases the
+  // envelope buffer, which outlives the synchronous deliver() below.
+  const auto decoded = decode_view(envelope.payload);
   if (!decoded.ok() || !decoded.value().header.has(HeaderFlag::kDerived)) {
     ++stats_.rejected_publishes;
     return;
@@ -68,7 +70,7 @@ void DispatchingService::on_envelope(net::Envelope envelope) {
   deliver(decoded.value(), bus_.now());
 }
 
-void DispatchingService::deliver(const DataMessage& message, util::SimTime first_heard) {
+void DispatchingService::deliver(const DataMessageView& message, util::SimTime first_heard) {
   const obs::TraceKey trace_key{message.stream_id.packed(), message.sequence};
   if (tracer_ != nullptr) tracer_->begin_span(trace_key, "dispatch", bus_.now().ns);
 
@@ -94,7 +96,7 @@ void DispatchingService::deliver(const DataMessage& message, util::SimTime first
     if (orphan_sink_.valid() && !table_.anyone_wants(message.stream_id)) {
       ++stats_.orphaned;
       bus_.post(node_.address(), orphan_sink_, kDataDelivery,
-                encode(Delivery{message, first_heard}));
+                encode_delivery(message, first_heard));
     }
     return;
   }
@@ -104,8 +106,9 @@ void DispatchingService::deliver(const DataMessage& message, util::SimTime first
     tracer_->begin_span(trace_key, "deliver", bus_.now().ns);
   }
 
-  // One encode, N posts: the envelope payload is shared bytes per copy.
-  const util::Bytes wire = encode(Delivery{message, first_heard});
+  // One encode, N posts: every consumer's envelope refcounts this one
+  // buffer; no per-subscriber byte copy happens anywhere downstream.
+  const util::SharedBytes wire = encode_delivery(message, first_heard);
   for (const net::Address consumer : scratch_) {
     ++stats_.copies_delivered;
     bus_.post(node_.address(), consumer, kDataDelivery, wire);

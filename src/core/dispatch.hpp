@@ -76,7 +76,7 @@ class DispatchingService {
 
  private:
   void on_envelope(net::Envelope envelope);
-  void deliver(const DataMessage& message, util::SimTime first_heard);
+  void deliver(const DataMessageView& message, util::SimTime first_heard);
 
   net::MessageBus& bus_;
   AuthService& auth_;

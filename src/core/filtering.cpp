@@ -14,12 +14,14 @@ FilteringService::FilteringService(sim::Scheduler& scheduler, Config config)
 void FilteringService::ingest(const wireless::ReceptionReport& report) {
   ++stats_.copies_in;
 
-  const auto decoded = decode(report.frame);
+  // Zero-copy parse: most copies are duplicates the dedup below will
+  // drop, so the payload is not copied out of the radio frame here.
+  const auto decoded = decode_view(report.frame);
   if (!decoded.ok()) {
     ++stats_.malformed;
     return;
   }
-  const DataMessage& message = decoded.value();
+  const DataMessageView& message = decoded.value();
 
   // Relayed copies (paper §8) carry another node's radio signature: the
   // receiver heard the *relay*, not the source, so they must not feed
@@ -61,7 +63,8 @@ std::vector<FilteringService::StreamReport> FilteringService::stream_reports() c
   return out;
 }
 
-void FilteringService::accept(StreamState& state, DataMessage message, util::SimTime heard_at) {
+void FilteringService::accept(StreamState& state, const DataMessageView& message,
+                              util::SimTime heard_at) {
   const SequenceNo seq = message.sequence;
   const StreamId id = message.stream_id;
 
@@ -111,12 +114,12 @@ void FilteringService::accept(StreamState& state, DataMessage message, util::Sim
     if (tracer_ != nullptr) {
       tracer_->end_span({id.packed(), seq}, "filter", scheduler_.now().ns);
     }
-    if (message_sink_) message_sink_(message, heard_at);
+    if (message_sink_) message_sink_(message.to_owned(), heard_at);
     return;
   }
 
   if (seq != state.next_release) ++stats_.reordered;
-  state.held.emplace(seq, PendingMessage{std::move(message), heard_at});
+  state.held.emplace(seq, PendingMessage{message.to_owned(), heard_at});
   release_ready(id, state);
 
   // Overflow: don't hold more than reorder_depth; skip the gap to the

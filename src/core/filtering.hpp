@@ -124,7 +124,9 @@ class FilteringService {
     sim::EventId gap_timer;
   };
 
-  void accept(StreamState& state, DataMessage message, util::SimTime heard_at);
+  /// `message` is a view into the radio frame; the payload is copied out
+  /// only when the message is accepted (duplicates drop copy-free).
+  void accept(StreamState& state, const DataMessageView& message, util::SimTime heard_at);
   void release_ready(StreamId id, StreamState& state);
   void flush_gap(StreamId id);
   void arm_gap_timer(StreamId id, StreamState& state);

@@ -11,13 +11,14 @@ Orphanage::Orphanage(net::MessageBus& bus, Config config)
     const std::uint16_t max = r.u16();
     if (!r.ok()) return util::Err{net::RpcError::kRemoteFailure};
 
-    const std::vector<Delivery> backlog = claim(id, max);
+    // The retained views still hold the original delivery frames, so the
+    // backlog reply is framed straight from those buffers — no re-encode.
+    const std::vector<DeliveryView> backlog = drain(id, max);
     util::ByteWriter w;
     w.u16(static_cast<std::uint16_t>(backlog.size()));
-    for (const Delivery& delivery : backlog) {
-      const util::Bytes one = encode(delivery);
-      w.u16(static_cast<std::uint16_t>(one.size()));
-      w.raw(one);
+    for (const DeliveryView& delivery : backlog) {
+      w.u16(static_cast<std::uint16_t>(delivery.wire.size()));
+      w.raw(delivery.wire);
     }
     return std::move(w).take();
   });
@@ -25,9 +26,9 @@ Orphanage::Orphanage(net::MessageBus& bus, Config config)
 
 void Orphanage::on_envelope(net::Envelope envelope) {
   if (envelope.type != kDataDelivery) return;
-  const auto decoded = decode_delivery(envelope.payload);
+  auto decoded = decode_delivery_view(envelope.payload);
   if (!decoded.ok()) return;
-  const Delivery& delivery = decoded.value();
+  const DeliveryView& delivery = decoded.value();
 
   ++total_received_;
   auto [it, inserted] =
@@ -47,7 +48,7 @@ void Orphanage::on_envelope(net::Envelope envelope) {
   analysis.arrival_rate_hz =
       span_s > 0 ? static_cast<double>(analysis.messages - 1) / span_s : 0.0;
 
-  if (store.backlog.push(delivery)) ++analysis.evicted;
+  if (store.backlog.push(std::move(decoded).value())) ++analysis.evicted;
 }
 
 std::vector<OrphanAnalysis> Orphanage::report() const {
@@ -62,15 +63,21 @@ const OrphanAnalysis* Orphanage::analysis(StreamId id) const {
   return it == stores_.end() ? nullptr : &it->second.analysis;
 }
 
-std::vector<Delivery> Orphanage::claim(StreamId id, std::size_t max) {
-  std::vector<Delivery> out;
+std::vector<DeliveryView> Orphanage::drain(StreamId id, std::size_t max) {
+  std::vector<DeliveryView> out;
   const auto it = stores_.find(id);
   if (it == stores_.end()) return out;
-  util::RingBuffer<Delivery>& backlog = it->second.backlog;
+  util::RingBuffer<DeliveryView>& backlog = it->second.backlog;
   while (!backlog.empty() && out.size() < max) {
     out.push_back(std::move(backlog.front()));
     backlog.pop();
   }
+  return out;
+}
+
+std::vector<Delivery> Orphanage::claim(StreamId id, std::size_t max) {
+  std::vector<Delivery> out;
+  for (const DeliveryView& delivery : drain(id, max)) out.push_back(delivery.to_owned());
   return out;
 }
 

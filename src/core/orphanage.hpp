@@ -49,6 +49,8 @@ class Orphanage {
 
   /// Removes and returns up to `max` retained deliveries of a stream,
   /// oldest first (claim handoff). Direct-call form of kFetchBacklog.
+  /// Materialises owned copies — claiming is the cold path; retention
+  /// itself holds refcounted views of the original wire buffers.
   [[nodiscard]] std::vector<Delivery> claim(StreamId id, std::size_t max = SIZE_MAX);
 
   [[nodiscard]] net::Address address() const noexcept { return node_.address(); }
@@ -57,12 +59,15 @@ class Orphanage {
  private:
   struct StreamStore {
     OrphanAnalysis analysis;
-    util::RingBuffer<Delivery> backlog;
+    /// Views keep the dispatch-time wire buffers alive; no payload copy
+    /// happens on the retention path.
+    util::RingBuffer<DeliveryView> backlog;
     util::Accumulator payload_bytes;
     explicit StreamStore(std::size_t retention) : backlog(retention) {}
   };
 
   void on_envelope(net::Envelope envelope);
+  [[nodiscard]] std::vector<DeliveryView> drain(StreamId id, std::size_t max);
 
   Config config_;
   net::RpcNode node_;

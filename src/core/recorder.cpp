@@ -32,8 +32,10 @@ StreamRecorder::StreamRecorder(Consumer& consumer) {
   // Chain in front of whatever handler the consumer already has; the
   // recorder is transparent to the application.
   consumer.set_data_handler(
-      [this, previous = consumer.data_handler()](const Delivery& delivery) {
-        recording_.append(delivery);
+      [this, previous = consumer.data_handler()](const DeliveryView& delivery) {
+        // Archival must outlive the wire buffer, so this is a deliberate
+        // (counted) payload copy.
+        recording_.append(delivery.to_owned());
         if (previous) previous(delivery);
       });
 }

@@ -2,11 +2,14 @@
 
 namespace garnet::core {
 
+Delivery DeliveryView::to_owned() const {
+  return Delivery{message.to_owned(), first_heard};
+}
+
 util::Bytes encode(const Delivery& delivery) {
-  const util::Bytes inner = encode(delivery.message);
-  util::ByteWriter w(8 + inner.size());
+  util::ByteWriter w(8 + delivery.message.wire_size());
   w.i64(delivery.first_heard.ns);
-  w.raw(inner);
+  encode_into(w, as_view(delivery.message));
   return std::move(w).take();
 }
 
@@ -18,6 +21,26 @@ util::Result<Delivery, util::DecodeError> decode_delivery(util::BytesView wire) 
   auto message = decode(wire.subspan(r.consumed()));
   if (!message.ok()) return util::Err{message.error()};
   delivery.message = std::move(message).value();
+  return delivery;
+}
+
+util::SharedBytes encode_delivery(const DataMessageView& message, util::SimTime first_heard) {
+  util::ByteWriter w(8 + message.wire_size());
+  w.i64(first_heard.ns);
+  encode_into(w, message);
+  return util::take_shared(std::move(w));
+}
+
+util::Result<DeliveryView, util::DecodeError> decode_delivery_view(util::SharedBytes wire,
+                                                                   ChecksumPolicy policy) {
+  util::ByteReader r(wire);
+  DeliveryView delivery;
+  delivery.first_heard.ns = r.i64();
+  if (!r.ok()) return util::Err{util::DecodeError::kTruncated};
+  auto message = decode_view(wire.span().subspan(r.consumed()), policy);
+  if (!message.ok()) return util::Err{message.error()};
+  delivery.message = message.value();
+  delivery.wire = std::move(wire);
   return delivery;
 }
 

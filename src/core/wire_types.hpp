@@ -29,8 +29,47 @@ struct Delivery {
   util::SimTime first_heard;
 };
 
+/// A delivery whose message payload aliases the wire buffer it arrived
+/// in — the zero-copy consumer-facing shape. The `wire` handle keeps the
+/// buffer alive, so a DeliveryView is self-contained: it may be stored
+/// (orphanage ring, pending queues) without copying payload bytes, and
+/// N consumers of one dispatch all alias the same allocation.
+struct DeliveryView {
+  DataMessageView message;
+  util::SimTime first_heard;
+  /// The delivery's wire buffer; message.payload points into it.
+  util::SharedBytes wire;
+
+  /// Materialises an owned Delivery (one counted payload copy).
+  [[nodiscard]] Delivery to_owned() const;
+  /// Implicit owning conversion so legacy `const Delivery&` handlers
+  /// still bind; costs a counted payload copy — hot paths take the view.
+  operator Delivery() const { return to_owned(); }  // NOLINT(google-explicit-constructor)
+};
+
 [[nodiscard]] util::Bytes encode(const Delivery& delivery);
 [[nodiscard]] util::Result<Delivery, util::DecodeError> decode_delivery(util::BytesView wire);
+
+/// Borrowing view of an owned delivery (no bytes copied, no wire handle):
+/// the view is valid only while `delivery` lives. Lets owned data flow
+/// into view-taking consumers (stage transforms, handlers) directly.
+[[nodiscard]] inline DeliveryView as_view(const Delivery& delivery) {
+  return DeliveryView{as_view(delivery.message), delivery.first_heard, {}};
+}
+
+/// Encodes a delivery frame (i64 first-heard prefix + Figure-2 message)
+/// in one exact allocation, returning the shared buffer that fan-out
+/// posts, fault duplicates, and consumer views all alias.
+[[nodiscard]] util::SharedBytes encode_delivery(const DataMessageView& message,
+                                               util::SimTime first_heard);
+
+/// Zero-copy parse of a delivery frame: the returned view's payload
+/// aliases `wire`, which the view retains. Delivery frames are encoded
+/// in-process by the dispatcher and never cross a corrupting medium, so
+/// consumers default to trusting the encode-time checksum ("verify
+/// once") instead of re-hashing the shared buffer per subscriber.
+[[nodiscard]] util::Result<DeliveryView, util::DecodeError> decode_delivery_view(
+    util::SharedBytes wire, ChecksumPolicy policy = ChecksumPolicy::kTrusted);
 
 /// Consumer state-change report for the Super Coordinator (paper §4.2:
 /// "Suitably sophisticated consumer processes may forward state-change

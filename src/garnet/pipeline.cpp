@@ -13,7 +13,7 @@ DerivedStage::DerivedStage(Runtime& runtime, const std::string& name,
   runtime.provision(consumer_, "stage." + name);
   output_ = runtime.create_derived_stream(name, output_class);
 
-  consumer_.set_data_handler([this](const core::Delivery& delivery) {
+  consumer_.set_data_handler([this](const core::DeliveryView& delivery) {
     auto produced = transform_(delivery);
     if (!produced) return;
     ++published_;
@@ -24,7 +24,7 @@ DerivedStage::DerivedStage(Runtime& runtime, const std::string& name,
 }
 
 StageTransform windowed_mean(std::size_t window) {
-  return [window, values = std::vector<double>()](const core::Delivery& delivery) mutable
+  return [window, values = std::vector<double>()](const core::DeliveryView& delivery) mutable
          -> std::optional<util::Bytes> {
     util::ByteReader r(delivery.message.payload);
     const double value = r.f64();
@@ -41,7 +41,7 @@ StageTransform windowed_mean(std::size_t window) {
 }
 
 StageTransform threshold_alert(double threshold) {
-  return [threshold, above = false](const core::Delivery& delivery) mutable
+  return [threshold, above = false](const core::DeliveryView& delivery) mutable
          -> std::optional<util::Bytes> {
     util::ByteReader r(delivery.message.payload);
     const double value = r.f64();
@@ -57,7 +57,7 @@ StageTransform threshold_alert(double threshold) {
 }
 
 StageTransform windowed_minmaxmean(std::size_t window) {
-  return [window, values = std::vector<double>()](const core::Delivery& delivery) mutable
+  return [window, values = std::vector<double>()](const core::DeliveryView& delivery) mutable
          -> std::optional<util::Bytes> {
     util::ByteReader r(delivery.message.payload);
     const double value = r.f64();

@@ -30,8 +30,10 @@ class Runtime;
 
 /// Transform applied to each input delivery. Returning an empty optional
 /// publishes nothing for this input (aggregating transforms emit only
-/// when their window closes).
-using StageTransform = std::function<std::optional<util::Bytes>(const core::Delivery&)>;
+/// when their window closes). The delivery is a zero-copy view: its
+/// payload aliases the wire buffer and is valid for the call's duration
+/// (call to_owned() to keep it longer).
+using StageTransform = std::function<std::optional<util::Bytes>(const core::DeliveryView&)>;
 
 class DerivedStage {
  public:

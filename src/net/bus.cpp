@@ -48,6 +48,14 @@ void MessageBus::collect(obs::SnapshotBuilder& out) const {
   out.counter("garnet.bus.dropped_no_endpoint", stats_.dropped_no_endpoint);
   out.counter("garnet.bus.bytes", stats_.bytes);
 
+  // Zero-copy payload accounting (process-wide; see util/shared_bytes).
+  // One allocation per encoded message, ~zero copies: fan-out, duplicates
+  // and retries must share buffers, not clone them.
+  const util::PayloadStats payload = util::payload_stats();
+  out.counter("garnet.bus.payload_allocs", payload.allocations);
+  out.counter("garnet.bus.payload_alloc_bytes", payload.allocation_bytes);
+  out.counter("garnet.bus.payload_copies", payload.copies);
+
   // All fault kinds are emitted even when zero (or when no injector is
   // installed) so expositions keep a stable schema across configurations.
   const FaultCounters counters = injector_ ? injector_->counters() : FaultCounters{};
@@ -84,7 +92,7 @@ void MessageBus::deliver_after(util::Duration delay, Envelope envelope) {
   });
 }
 
-void MessageBus::post(Address from, Address to, MessageType type, util::Bytes payload) {
+void MessageBus::post(Address from, Address to, MessageType type, util::SharedBytes payload) {
   ++stats_.posted;
   stats_.bytes += payload.size();
   if (size_histogram_ != nullptr) size_histogram_->observe(static_cast<double>(payload.size()));
@@ -102,7 +110,9 @@ void MessageBus::post(Address from, Address to, MessageType type, util::Bytes pa
       config_.latency + util::Duration::nanos(jitter_ns) + verdict.extra_delay;
 
   if (verdict.duplicate) {
-    deliver_after(delay + verdict.duplicate_delay, envelope);  // the trailing copy
+    // The trailing copy shares the original's payload buffer — a
+    // duplicated 64 KB envelope costs a refcount bump, not a memcpy.
+    deliver_after(delay + verdict.duplicate_delay, envelope);
   }
   deliver_after(delay, std::move(envelope));
 }

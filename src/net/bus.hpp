@@ -25,6 +25,7 @@
 #include "obs/metrics.hpp"
 #include "sim/scheduler.hpp"
 #include "util/bytes.hpp"
+#include "util/shared_bytes.hpp"
 #include "util/time.hpp"
 
 namespace garnet::net {
@@ -48,11 +49,14 @@ enum class MessageType : std::uint16_t {
   return static_cast<MessageType>(static_cast<std::uint16_t>(MessageType::kAppBase) + offset);
 }
 
+/// One message in flight. The payload is an immutable shared buffer:
+/// fan-out posts, fault-injected duplicates and retry re-sends all alias
+/// one allocation, and copying an Envelope is a refcount bump.
 struct Envelope {
   Address from;
   Address to;
   MessageType type = MessageType::kAppBase;
-  util::Bytes payload;
+  util::SharedBytes payload;
   util::SimTime sent_at;
 };
 
@@ -97,24 +101,20 @@ class MessageBus {
   [[nodiscard]] std::optional<Address> lookup(const std::string& name) const;
 
   /// Posts an envelope for asynchronous delivery after latency + jitter.
-  /// The fault injector (when configured) may drop, delay, or duplicate
-  /// it; links are identified by endpoint names, so plans are stable
-  /// across runs.
-  void post(Address from, Address to, MessageType type, util::Bytes payload);
+  /// The payload is shared, not copied: posting the same SharedBytes to N
+  /// destinations is N refcount bumps on one buffer. The fault injector
+  /// (when configured) may drop, delay, or duplicate it; links are
+  /// identified by endpoint names, so plans are stable across runs.
+  void post(Address from, Address to, MessageType type, util::SharedBytes payload);
 
   /// Registers native telemetry instruments (envelope transit-time and
   /// size distributions) and a pull collector exposing the bus counters
-  /// (garnet.bus.posted/delivered/dropped_no_endpoint/bytes), the fault
-  /// counters (garnet.bus.faults{kind=...}), and the RPC reliability
-  /// counters (garnet.rpc.*).
+  /// (garnet.bus.posted/delivered/dropped_no_endpoint/bytes), the
+  /// payload-path accounting (garnet.bus.payload_allocs /
+  /// payload_alloc_bytes / payload_copies), the fault counters
+  /// (garnet.bus.faults{kind=...}), and the RPC reliability counters
+  /// (garnet.rpc.*).
   void set_metrics(obs::MetricsRegistry& registry);
-
-  /// Deprecated shim: read the same counters through the telemetry
-  /// collector (garnet.bus.*) instead. Kept for one release.
-  [[deprecated("read garnet.bus.* via the telemetry collector instead")]]
-  [[nodiscard]] const BusStats& stats() const noexcept {
-    return stats_;
-  }
 
   /// Fault injector installed by Config::faults; nullptr when the plan is
   /// disabled. Non-owning — used for manual partition control and for

@@ -115,7 +115,7 @@ void RpcNode::on_attempt_timeout(std::uint64_t call_id) {
   cb(util::Err{RpcError::kTimeout});
 }
 
-void RpcNode::post(Address to, MessageType type, util::Bytes payload) {
+void RpcNode::post(Address to, MessageType type, util::SharedBytes payload) {
   bus_.post(address_, to, type, std::move(payload));
 }
 
@@ -183,11 +183,11 @@ void RpcNode::on_request(const Envelope& envelope) {
     } else {
       w.u8(static_cast<std::uint8_t>(Status::kFailure));
     }
-    util::Bytes frame = std::move(w).take();
+    util::SharedBytes frame = std::move(w).take();
     if (cached) {
       if (const auto it = dedup_.find(key); it != dedup_.end()) {
         it->second.done = true;
-        it->second.response = frame;  // keep a copy for retried requests
+        it->second.response = frame;  // shares the buffer with this post
       }
     }
     bus_.post(address_, caller, MessageType::kRpcResponse, std::move(frame));

@@ -115,7 +115,7 @@ class RpcNode {
             RpcCallback on_done);
 
   /// Posts a plain (non-RPC) message from this node's address.
-  void post(Address to, MessageType type, util::Bytes payload);
+  void post(Address to, MessageType type, util::SharedBytes payload);
 
   [[nodiscard]] Address address() const noexcept { return address_; }
   [[nodiscard]] MessageBus& bus() noexcept { return bus_; }
@@ -129,15 +129,17 @@ class RpcNode {
   using DedupKey = std::pair<std::uint32_t, std::uint64_t>;
 
   struct DedupEntry {
-    bool done = false;       ///< False while the handler is still running.
-    util::Bytes response;    ///< Full response frame, re-posted on repeats.
+    bool done = false;  ///< False while the handler is still running.
+    /// Full response frame; repeats re-post the same shared buffer.
+    util::SharedBytes response;
   };
 
   struct PendingCall {
     RpcCallback on_done;
     sim::EventId timer;  ///< Attempt timeout, or the backoff pause timer.
     Address callee;
-    util::Bytes frame;   ///< Request frame, re-posted on retries.
+    /// Request frame; every retry re-posts the same shared buffer.
+    util::SharedBytes frame;
     CallOptions options;
     std::uint32_t sends = 0;
     util::Duration next_backoff{};

@@ -98,6 +98,13 @@ Bytes ByteReader::raw(std::size_t n) {
   return out;
 }
 
+BytesView ByteReader::view(std::size_t n) {
+  if (!take(n)) return {};
+  const BytesView out = data_.subspan(pos_, n);
+  pos_ += n;
+  return out;
+}
+
 std::string ByteReader::str() {
   const auto n = u16();
   if (!take(n)) return {};

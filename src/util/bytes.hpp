@@ -68,6 +68,10 @@ class ByteReader {
   [[nodiscard]] std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
   [[nodiscard]] double f64();
   [[nodiscard]] Bytes raw(std::size_t n);
+  /// Zero-copy read: a view of the next n bytes, aliasing the reader's
+  /// underlying buffer (valid for that buffer's lifetime). Empty on
+  /// truncation.
+  [[nodiscard]] BytesView view(std::size_t n);
   [[nodiscard]] std::string str();
 
   [[nodiscard]] bool ok() const noexcept { return !failed_; }

@@ -1,34 +1,87 @@
 #include "util/crc32c.hpp"
 
 #include <array>
+#include <cstring>
 
 namespace garnet::util {
 namespace {
 
 constexpr std::uint32_t kPoly = 0x82F63B78u;  // reflected CRC-32C polynomial
 
-constexpr std::array<std::uint32_t, 256> make_table() {
-  std::array<std::uint32_t, 256> table{};
+// Slicing-by-8: table[0] is the classic byte-at-a-time table; table[k]
+// advances a byte through k additional zero bytes, so eight lookups
+// retire eight input bytes per iteration.
+constexpr std::array<std::array<std::uint32_t, 256>, 8> make_tables() {
+  std::array<std::array<std::uint32_t, 256>, 8> tables{};
   for (std::uint32_t i = 0; i < 256; ++i) {
     std::uint32_t crc = i;
     for (int bit = 0; bit < 8; ++bit) {
       crc = (crc & 1u) ? (crc >> 1) ^ kPoly : crc >> 1;
     }
-    table[i] = crc;
+    tables[0][i] = crc;
   }
-  return table;
+  for (std::size_t k = 1; k < 8; ++k) {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      tables[k][i] = tables[0][tables[k - 1][i] & 0xFFu] ^ (tables[k - 1][i] >> 8);
+    }
+  }
+  return tables;
 }
 
-constexpr auto kTable = make_table();
+const auto kTables = make_tables();
+
+std::uint32_t update_sliced(std::uint32_t crc, const std::byte* p, std::size_t n) {
+  while (n >= 8) {
+    std::uint64_t chunk;
+    std::memcpy(&chunk, p, 8);  // little-endian assumed, as elsewhere in util/bytes
+    crc ^= static_cast<std::uint32_t>(chunk);
+    const auto hi = static_cast<std::uint32_t>(chunk >> 32);
+    crc = kTables[7][crc & 0xFFu] ^ kTables[6][(crc >> 8) & 0xFFu] ^
+          kTables[5][(crc >> 16) & 0xFFu] ^ kTables[4][crc >> 24] ^ kTables[3][hi & 0xFFu] ^
+          kTables[2][(hi >> 8) & 0xFFu] ^ kTables[1][(hi >> 16) & 0xFFu] ^ kTables[0][hi >> 24];
+    p += 8;
+    n -= 8;
+  }
+  while (n-- > 0) {
+    crc = kTables[0][(crc ^ static_cast<std::uint8_t>(*p++)) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc;
+}
+
+#if defined(__x86_64__) && defined(__GNUC__)
+__attribute__((target("sse4.2"))) std::uint32_t update_hw(std::uint32_t crc, const std::byte* p,
+                                                          std::size_t n) {
+  std::uint64_t crc64 = crc;
+  while (n >= 8) {
+    std::uint64_t chunk;
+    std::memcpy(&chunk, p, 8);
+    crc64 = __builtin_ia32_crc32di(crc64, chunk);
+    p += 8;
+    n -= 8;
+  }
+  crc = static_cast<std::uint32_t>(crc64);
+  while (n-- > 0) {
+    crc = __builtin_ia32_crc32qi(crc, static_cast<std::uint8_t>(*p++));
+  }
+  return crc;
+}
+
+bool hw_supported() {
+  static const bool supported = __builtin_cpu_supports("sse4.2");
+  return supported;
+}
+#else
+std::uint32_t update_hw(std::uint32_t crc, const std::byte* p, std::size_t n) {
+  return update_sliced(crc, p, n);
+}
+constexpr bool hw_supported() { return false; }
+#endif
 
 }  // namespace
 
 void Crc32c::update(BytesView data) {
-  std::uint32_t crc = state_;
-  for (const std::byte b : data) {
-    crc = kTable[(crc ^ static_cast<std::uint8_t>(b)) & 0xFFu] ^ (crc >> 8);
-  }
-  state_ = crc;
+  state_ = hw_supported() ? update_hw(state_, data.data(), data.size())
+                          : update_sliced(state_, data.data(), data.size());
 }
 
 std::uint32_t Crc32c::value() const noexcept { return state_ ^ 0xFFFFFFFFu; }

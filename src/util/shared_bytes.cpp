@@ -1,0 +1,50 @@
+#include "util/shared_bytes.hpp"
+
+#include <atomic>
+
+namespace garnet::util {
+namespace {
+
+// Process-wide accounting. Monotonic counters; readers take deltas.
+std::atomic<std::uint64_t> g_allocations{0};
+std::atomic<std::uint64_t> g_allocation_bytes{0};
+std::atomic<std::uint64_t> g_copies{0};
+
+void count_allocation(std::size_t bytes) noexcept {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  g_allocation_bytes.fetch_add(bytes, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+PayloadStats payload_stats() noexcept {
+  return {g_allocations.load(std::memory_order_relaxed),
+          g_allocation_bytes.load(std::memory_order_relaxed),
+          g_copies.load(std::memory_order_relaxed)};
+}
+
+SharedBytes::SharedBytes(Bytes&& bytes) {
+  if (bytes.empty()) return;
+  count_allocation(bytes.size());
+  owner_ = std::make_shared<const Bytes>(std::move(bytes));
+  data_ = owner_->data();
+  length_ = owner_->size();
+}
+
+SharedBytes SharedBytes::copy_of(BytesView data) {
+  if (data.empty()) return {};
+  g_copies.fetch_add(1, std::memory_order_relaxed);
+  return SharedBytes(Bytes(data.begin(), data.end()));
+}
+
+Bytes SharedBytes::to_owned_copy() const {
+  if (!empty()) g_copies.fetch_add(1, std::memory_order_relaxed);
+  return Bytes(data_, data_ + length_);
+}
+
+Bytes counted_copy(BytesView data) {
+  if (!data.empty()) g_copies.fetch_add(1, std::memory_order_relaxed);
+  return Bytes(data.begin(), data.end());
+}
+
+}  // namespace garnet::util

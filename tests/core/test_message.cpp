@@ -10,6 +10,7 @@
 
 #include "util/crc32c.hpp"
 #include "util/rng.hpp"
+#include "util/shared_bytes.hpp"
 
 namespace garnet::core {
 namespace {
@@ -109,6 +110,60 @@ TEST(MessageCodec, MaxPayload) {
   ASSERT_TRUE(decoded.ok());
   EXPECT_EQ(decoded.value().payload.size(), kMaxPayload);
 }
+
+TEST(MessageCodec, MaxPayloadViewRoundTripAliasesWire) {
+  // The zero-copy side of the 64KB claim: decode_view must hand back a
+  // payload that points into the wire buffer, with no byte copy counted.
+  DataMessage msg = sample_message();
+  msg.payload.assign(kMaxPayload, std::byte{0xA5});
+  const util::Bytes wire = encode(msg);
+
+  const util::PayloadStats before = util::payload_stats();
+  const auto view = decode_view(wire);
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(util::payload_stats().copies, before.copies);
+
+  const util::BytesView payload = view.value().payload;
+  EXPECT_EQ(payload.size(), kMaxPayload);
+  EXPECT_GE(payload.data(), wire.data());
+  EXPECT_LE(payload.data() + payload.size(), wire.data() + wire.size());
+
+  // Materialising the view costs exactly the one counted copy.
+  const DataMessage owned = view.value().to_owned();
+  EXPECT_EQ(util::payload_stats().copies, before.copies + 1);
+  EXPECT_EQ(owned.payload, msg.payload);
+  EXPECT_EQ(owned.stream_id, msg.stream_id);
+}
+
+TEST(MessageCodec, DecodeViewTrustedSkipsChecksumButNotStructure) {
+  util::Bytes wire = encode(sample_message());
+  wire[wire.size() - 1] ^= std::byte{0xFF};  // corrupt the CRC trailer
+
+  const auto strict = decode_view(wire, ChecksumPolicy::kVerify);
+  ASSERT_FALSE(strict.ok());
+  EXPECT_EQ(strict.error(), util::DecodeError::kBadChecksum);
+
+  // Trusted consumers (in-process delivery frames) skip the re-hash...
+  const auto trusted = decode_view(wire, ChecksumPolicy::kTrusted);
+  ASSERT_TRUE(trusted.ok());
+  EXPECT_EQ(trusted.value().stream_id, sample_message().stream_id);
+
+  // ...but structural validation still runs under kTrusted.
+  const auto truncated =
+      decode_view(util::BytesView(wire).first(kFixedHeaderBytes - 1), ChecksumPolicy::kTrusted);
+  ASSERT_FALSE(truncated.ok());
+  EXPECT_EQ(truncated.error(), util::DecodeError::kTruncated);
+}
+
+#ifndef NDEBUG
+TEST(MessageCodecDeathTest, EncodeAssertsSensorIdWithinFigure2Range) {
+  // Figure 2 gives the sensor id 24 bits; encoding a wider id would
+  // silently truncate, so it is an asserted precondition instead.
+  DataMessage msg = sample_message();
+  msg.stream_id.sensor = kMaxSensorId + 1;
+  EXPECT_DEATH((void)encode(msg), "kMaxSensorId");
+}
+#endif
 
 TEST(MessageCodec, BoundarySensorIds) {
   for (const SensorId sensor : {SensorId{0}, SensorId{1}, kMaxSensorId - 1, kMaxSensorId}) {

@@ -87,7 +87,7 @@ TEST_F(PipelineFixture, ThresholdAlertFiresOnRisingEdgesOnly) {
     util::ByteWriter w(8);
     w.f64(value);
     delivery.message.payload = std::move(w).take();
-    return transform(delivery).has_value();
+    return transform(core::as_view(delivery)).has_value();
   };
   EXPECT_FALSE(feed(5.0));
   EXPECT_TRUE(feed(15.0));   // rising edge
@@ -103,7 +103,7 @@ TEST_F(PipelineFixture, MinMaxMeanOrdering) {
     util::ByteWriter w(8);
     w.f64(value);
     delivery.message.payload = std::move(w).take();
-    return transform(delivery);
+    return transform(core::as_view(delivery));
   };
   EXPECT_FALSE(feed(3.0).has_value());
   EXPECT_FALSE(feed(1.0).has_value());
@@ -130,16 +130,16 @@ TEST_F(PipelineFixture, MalformedInputsAreSkipped) {
   auto transform = windowed_mean(2);
   core::Delivery delivery;
   delivery.message.payload = util::to_bytes("shrt");  // < 8 bytes
-  EXPECT_FALSE(transform(delivery).has_value());
+  EXPECT_FALSE(transform(core::as_view(delivery)).has_value());
   // Valid inputs still work afterwards.
   util::ByteWriter w(8);
   w.f64(4.0);
   delivery.message.payload = std::move(w).take();
-  EXPECT_FALSE(transform(delivery).has_value());
+  EXPECT_FALSE(transform(core::as_view(delivery)).has_value());
   util::ByteWriter w2(8);
   w2.f64(6.0);
   delivery.message.payload = std::move(w2).take();
-  const auto out = transform(delivery);
+  const auto out = transform(core::as_view(delivery));
   ASSERT_TRUE(out.has_value());
   util::ByteReader r(*out);
   EXPECT_DOUBLE_EQ(r.f64(), 5.0);

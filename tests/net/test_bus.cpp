@@ -107,18 +107,66 @@ TEST_F(BusFixture, FaultCountersExposedEvenWithoutInjector) {
   ASSERT_NE(snap.find("garnet.rpc.deduped"), nullptr);
 }
 
-TEST_F(BusFixture, DeprecatedStatsShimStillAgrees) {
-  // stats() survives one release as a shim; it must keep agreeing with
-  // the collector until it is deleted.
+TEST_F(BusFixture, PayloadAccountingExposedByCollector) {
+  // The deprecated stats() shim is gone; the collector is the only read
+  // surface, and it now carries the zero-copy payload accounting. The
+  // counters are process-wide and monotonic, so assert deltas.
+  const std::uint64_t allocs_before = counter("garnet.bus.payload_allocs");
+  const std::uint64_t bytes_before = counter("garnet.bus.payload_alloc_bytes");
   const Address a = bus.add_endpoint("a", [](Envelope) {});
   bus.post(a, a, MessageType::kAppBase, util::Bytes(8));
   scheduler.run();
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  EXPECT_EQ(bus.stats().posted, counter("garnet.bus.posted"));
-  EXPECT_EQ(bus.stats().delivered, counter("garnet.bus.delivered"));
-  EXPECT_EQ(bus.stats().bytes, counter("garnet.bus.bytes"));
-#pragma GCC diagnostic pop
+  EXPECT_EQ(counter("garnet.bus.payload_allocs") - allocs_before, 1u);
+  EXPECT_EQ(counter("garnet.bus.payload_alloc_bytes") - bytes_before, 8u);
+  ASSERT_NE(registry.snapshot().find("garnet.bus.payload_copies"), nullptr);
+}
+
+TEST_F(BusFixture, SharedPayloadSurvivesSenderSideDestruction) {
+  // The sender's handle dies before delivery; the queued envelope's
+  // refcount keeps the allocation alive, so the receiver reads the very
+  // same bytes, never a rescue copy.
+  const std::byte* data = nullptr;
+  std::vector<Envelope> received;
+  const Address a = bus.add_endpoint("a", [&](Envelope e) { received.push_back(std::move(e)); });
+
+  const std::uint64_t copies_before = counter("garnet.bus.payload_copies");
+  {
+    util::SharedBytes frame{util::to_bytes("outlives the sender")};
+    data = frame.data();
+    bus.post(a, a, MessageType::kAppBase, std::move(frame));
+  }  // sender-side handle destroyed here; delivery still pending
+
+  scheduler.run();
+  ASSERT_EQ(received.size(), 1u);
+  EXPECT_EQ(received[0].payload.data(), data);
+  EXPECT_EQ(util::to_string(received[0].payload), "outlives the sender");
+  EXPECT_EQ(counter("garnet.bus.payload_copies"), copies_before);
+}
+
+TEST(BusFaultAliasing, InjectedDuplicateSharesTheBufferNotACopy) {
+  sim::Scheduler scheduler;
+  MessageBus::Config config;
+  config.faults.links[{"src", "dst"}].duplicate = 1.0;
+  MessageBus bus(scheduler, config);
+  obs::MetricsRegistry registry;
+  bus.set_metrics(registry);
+
+  std::vector<const std::byte*> seen;
+  const Address dst =
+      bus.add_endpoint("dst", [&](Envelope e) { seen.push_back(e.payload.data()); });
+  const Address src = bus.add_endpoint("src", [](Envelope) {});
+
+  const std::uint64_t allocs_before = registry.snapshot().counter("garnet.bus.payload_allocs");
+  const std::uint64_t copies_before = registry.snapshot().counter("garnet.bus.payload_copies");
+  bus.post(src, dst, MessageType::kAppBase, util::Bytes(256));
+  scheduler.run();
+
+  // Original + injected duplicate arrived, aliasing one allocation.
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], seen[1]);
+  EXPECT_EQ(bus.fault_injector()->counters().duplicated, 1u);
+  EXPECT_EQ(registry.snapshot().counter("garnet.bus.payload_allocs") - allocs_before, 1u);
+  EXPECT_EQ(registry.snapshot().counter("garnet.bus.payload_copies") - copies_before, 0u);
 }
 
 TEST_F(BusFixture, OrderPreservedForEqualJitter) {

@@ -336,6 +336,34 @@ TEST_F(RpcRetryFixture, IdempotentRetryReExecutes) {
   EXPECT_EQ(bus.rpc_stats().deduped, 0u);
 }
 
+TEST_F(RpcRetryFixture, RetryAndDedupReplayShareBuffersNotCopies) {
+  // Reliability without re-serialisation: the retry re-posts the stored
+  // request frame and the dedup cache re-posts the stored response frame,
+  // so one lost response costs zero extra payload allocations or copies.
+  RpcNode server(bus, "server");
+  RpcNode client(bus, "client");
+  server.expose(1, [](Address, util::BytesView) -> RpcResult { return util::Bytes(512); });
+
+  CallOptions options;
+  options.timeout = Duration::millis(10);
+  options.retries = 3;
+  options.backoff = Duration::millis(1);
+  const util::PayloadStats before = util::payload_stats();
+  std::optional<std::size_t> answer;
+  client.call(server.address(), 1, {}, options,
+              [&](RpcResult result) { answer = result.value().size(); });
+  scheduler.run();
+
+  EXPECT_EQ(answer, 512u);
+  EXPECT_EQ(bus.rpc_stats().retries, 1u);
+  EXPECT_EQ(bus.rpc_stats().deduped, 1u);
+  const util::PayloadStats after = util::payload_stats();
+  // Exactly two frames entered the shared domain (one request, one
+  // response) despite four posts (request, retry, response, replay).
+  EXPECT_EQ(after.allocations - before.allocations, 2u);
+  EXPECT_EQ(after.copies - before.copies, 0u);
+}
+
 TEST_F(RpcRetryFixture, DedupCachesFailureOutcomesToo) {
   // A kNoSuchMethod response is also cached: the retried request must get
   // the same verdict back instead of vanishing into an in-flight entry.

@@ -1,0 +1,151 @@
+// SharedBytes is the ownership primitive under the zero-copy payload
+// path: adopt counts one allocation, handle copies and sub-views count
+// nothing, and every escape back to owned bytes counts one copy. The
+// accounting discipline is what the integration guard and the dispatch
+// bench pin against, so it gets its own unit coverage here.
+#include "util/shared_bytes.hpp"
+
+#include <gtest/gtest.h>
+
+#include <utility>
+
+#include "util/bytes.hpp"
+
+namespace garnet::util {
+namespace {
+
+Bytes pattern(std::size_t n) {
+  Bytes out(n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = static_cast<std::byte>(i & 0xFF);
+  return out;
+}
+
+TEST(SharedBytesTest, DefaultIsEmptyWithNoAllocation) {
+  const PayloadStats before = payload_stats();
+  const SharedBytes empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.size(), 0u);
+  EXPECT_EQ(empty.data(), nullptr);
+  EXPECT_EQ(empty.use_count(), 0);
+  const PayloadStats after = payload_stats();
+  EXPECT_EQ(after.allocations, before.allocations);
+  EXPECT_EQ(after.copies, before.copies);
+}
+
+TEST(SharedBytesTest, AdoptCountsOneAllocationAndNoCopy) {
+  const PayloadStats before = payload_stats();
+  const SharedBytes shared{pattern(64)};
+  const PayloadStats after = payload_stats();
+  EXPECT_EQ(after.allocations - before.allocations, 1u);
+  EXPECT_EQ(after.allocation_bytes - before.allocation_bytes, 64u);
+  EXPECT_EQ(after.copies - before.copies, 0u);
+  EXPECT_EQ(shared.size(), 64u);
+  EXPECT_EQ(shared.use_count(), 1);
+}
+
+TEST(SharedBytesTest, AdoptingEmptyBytesCountsNothing) {
+  const PayloadStats before = payload_stats();
+  const SharedBytes shared{Bytes{}};
+  EXPECT_TRUE(shared.empty());
+  const PayloadStats after = payload_stats();
+  EXPECT_EQ(after.allocations, before.allocations);
+}
+
+TEST(SharedBytesTest, CopyOfCountsOneAllocationAndOneCopy) {
+  const Bytes source = pattern(32);
+  const PayloadStats before = payload_stats();
+  const SharedBytes shared = SharedBytes::copy_of(source);
+  const PayloadStats after = payload_stats();
+  EXPECT_EQ(after.allocations - before.allocations, 1u);
+  EXPECT_EQ(after.copies - before.copies, 1u);
+  // A real copy: different storage, same contents.
+  EXPECT_NE(shared.data(), source.data());
+  EXPECT_TRUE(std::equal(source.begin(), source.end(), shared.data()));
+}
+
+TEST(SharedBytesTest, HandleCopiesShareTheAllocationUncounted) {
+  const SharedBytes original{pattern(16)};
+  const PayloadStats before = payload_stats();
+  const SharedBytes copy = original;               // NOLINT(performance-unnecessary-copy-initialization)
+  const SharedBytes moved = SharedBytes{original};  // copy then move
+  const PayloadStats after = payload_stats();
+  EXPECT_EQ(after.allocations, before.allocations);
+  EXPECT_EQ(after.copies, before.copies);
+  EXPECT_EQ(copy.data(), original.data());
+  EXPECT_EQ(moved.data(), original.data());
+  EXPECT_EQ(original.use_count(), 3);
+}
+
+TEST(SharedBytesTest, ViewAliasesSubrangeOfSameAllocation) {
+  const SharedBytes whole{pattern(100)};
+  const PayloadStats before = payload_stats();
+  const SharedBytes middle = whole.view(10, 20);
+  const PayloadStats after = payload_stats();
+  EXPECT_EQ(after.allocations, before.allocations);
+  EXPECT_EQ(after.copies, before.copies);
+  EXPECT_EQ(middle.size(), 20u);
+  EXPECT_EQ(middle.data(), whole.data() + 10);
+  EXPECT_EQ(middle.span()[0], static_cast<std::byte>(10));
+  EXPECT_EQ(whole.use_count(), 2);
+}
+
+TEST(SharedBytesTest, BufferSurvivesOriginalHandleDestruction) {
+  // The fan-out / retry property in miniature: the last surviving view
+  // keeps the allocation alive after the handle that created it is gone.
+  SharedBytes view;
+  const std::byte* data = nullptr;
+  {
+    const SharedBytes original{pattern(48)};
+    data = original.data();
+    view = original.view(8, 8);
+  }
+  EXPECT_EQ(view.use_count(), 1);
+  EXPECT_EQ(view.data(), data + 8);
+  EXPECT_EQ(view.span()[0], static_cast<std::byte>(8));
+}
+
+TEST(SharedBytesTest, ToOwnedCopyCountsOneCopy) {
+  const SharedBytes shared{pattern(24)};
+  const PayloadStats before = payload_stats();
+  const Bytes owned = shared.to_owned_copy();
+  const PayloadStats after = payload_stats();
+  EXPECT_EQ(after.copies - before.copies, 1u);
+  EXPECT_EQ(after.allocations, before.allocations);  // owned escape, not a shared entry
+  EXPECT_EQ(owned.size(), shared.size());
+  EXPECT_NE(owned.data(), shared.data());
+}
+
+TEST(SharedBytesTest, TakeSharedAdoptsWriterBuffer) {
+  ByteWriter w(8);
+  w.u32(0xDEADBEEFu);
+  w.u32(0x01020304u);
+  const PayloadStats before = payload_stats();
+  const SharedBytes frame = take_shared(std::move(w));
+  const PayloadStats after = payload_stats();
+  EXPECT_EQ(after.allocations - before.allocations, 1u);
+  EXPECT_EQ(after.copies - before.copies, 0u);
+  ByteReader r(frame);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u32(), 0x01020304u);
+}
+
+TEST(SharedBytesTest, CountedCopyCountsUnlessEmpty) {
+  const Bytes source = pattern(12);
+  const PayloadStats before = payload_stats();
+  const Bytes copied = counted_copy(source);
+  EXPECT_EQ(payload_stats().copies - before.copies, 1u);
+  EXPECT_EQ(copied, source);
+  const Bytes nothing = counted_copy(BytesView{});
+  EXPECT_TRUE(nothing.empty());
+  EXPECT_EQ(payload_stats().copies - before.copies, 1u);  // empty copy not counted
+}
+
+TEST(SharedBytesTest, ImplicitBytesViewConversion) {
+  const SharedBytes shared{pattern(10)};
+  const BytesView view = shared;
+  EXPECT_EQ(view.data(), shared.data());
+  EXPECT_EQ(view.size(), 10u);
+}
+
+}  // namespace
+}  // namespace garnet::util
