@@ -12,6 +12,7 @@
 #include <set>
 
 #include "garnet/failover.hpp"
+#include "obs/metrics.hpp"
 #include "util/rng.hpp"
 
 namespace garnet::bench {
@@ -42,11 +43,13 @@ struct CrashOutcome {
 CrashOutcome run_crash(FilteringFailover::Mode mode, std::int64_t heartbeat_ms,
                        std::uint64_t seed) {
   sim::Scheduler scheduler;
+  obs::MetricsRegistry registry;
   FilteringFailover::Config config;
   config.mode = mode;
   config.heartbeat_interval = Duration::millis(heartbeat_ms);
   config.miss_threshold = 3;
   FilteringFailover failover(scheduler, config);
+  failover.set_metrics(registry);
 
   std::set<std::pair<std::uint32_t, core::SequenceNo>> delivered;
   std::uint64_t duplicates = 0;
@@ -72,8 +75,9 @@ CrashOutcome run_crash(FilteringFailover::Mode mode, std::int64_t heartbeat_ms,
   scheduler.run_until(SimTime{} + Duration::seconds(25));
 
   CrashOutcome outcome;
-  outcome.detection_ms = failover.stats().last_detection_latency.to_millis();
-  outcome.lost_in_window = static_cast<double>(failover.stats().lost_in_window);
+  const obs::MetricsSnapshot snap = registry.snapshot();
+  outcome.detection_ms = snap.gauge("garnet.failover.detection_latency_ns") / 1e6;
+  outcome.lost_in_window = static_cast<double>(snap.counter("garnet.failover.lost_in_window"));
   outcome.duplicates_leaked = static_cast<double>(duplicates);
   return outcome;
 }

@@ -1,0 +1,165 @@
+// Experiment A5 — overload control under flood.
+//
+// Sweeps offered load (1x / 4x / 10x the healthy 2ms cadence) against
+// one straggling subscriber (healthy / 20x / 100x per-message service
+// time) and reports what the overload layer buys: the healthy consumer's
+// goodput, the control-plane (catalog discovery) tail latency, shed and
+// quarantine counts. The harshest cell's full telemetry snapshot is
+// persisted to BENCH_overload.json; scripts/ci.sh gates on it — the
+// control-plane shed counters must stay zero while data was shed.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "garnet/runtime.hpp"
+#include "obs/export.hpp"
+
+namespace garnet::bench {
+namespace {
+
+using util::Duration;
+using util::SimTime;
+
+struct FloodOutcome {
+  double fast_received = 0;
+  double slow_received = 0;
+  double control_p99_ms = 0;
+  double discoveries_unanswered = 0;
+  double data_sheds = 0;
+  double control_sheds = 0;
+  double quarantines = 0;
+  double messages_offered = 0;
+};
+
+/// One virtual second of flood: messages injected into the dispatcher on
+/// a fixed cadence, a healthy subscriber, a configurable straggler, and a
+/// catalog-discovery prober supplying the control-plane traffic. When
+/// `json_out` is set, the full telemetry snapshot (plus the headline
+/// bench.overload.* gauges) is rendered before teardown.
+FloodOutcome run_flood(std::int64_t message_interval_us, std::int64_t slow_service_us,
+                       std::string* json_out = nullptr) {
+  Runtime::Config config;
+  config.overload.credit_window = 32;
+  config.overload.shed_journal_limit = 1 << 14;
+  {
+    net::InboxConfig fast;
+    fast.capacity = 64;
+    fast.policy = net::OverflowPolicy::kDropOldest;
+    fast.service_time = Duration::micros(20);
+    config.overload.inboxes["consumer.fast"] = fast;
+    net::InboxConfig slow = fast;
+    slow.capacity = 8;
+    slow.service_time = Duration::micros(slow_service_us);
+    config.overload.inboxes["consumer.slow"] = slow;
+  }
+  Runtime runtime(config);
+
+  core::Consumer fast(runtime.bus(), "consumer.fast");
+  runtime.provision(fast, "fast");
+  fast.subscribe(core::StreamPattern::everything());
+  core::Consumer slow(runtime.bus(), "consumer.slow");
+  runtime.provision(slow, "slow");
+  slow.subscribe(core::StreamPattern::everything());
+  core::Consumer prober(runtime.bus(), "consumer.prober");
+  runtime.provision(prober, "prober");
+  runtime.run_for(Duration::millis(20));
+
+  FloodOutcome outcome;
+  std::vector<Duration> control_latencies;
+  std::uint64_t issued = 0;
+  std::uint64_t answered = 0;
+  sim::Scheduler& scheduler = runtime.scheduler();
+  const SimTime flood_end = scheduler.now() + Duration::seconds(1);
+
+  core::SequenceNo next_seq = 0;
+  std::function<void()> inject = [&] {
+    core::DataMessage msg;
+    msg.stream_id = {1, 0};
+    msg.sequence = next_seq++;
+    msg.payload = util::Bytes(24);
+    runtime.dispatch().on_filtered(msg, scheduler.now());
+    outcome.messages_offered += 1;
+    if (scheduler.now() < flood_end) {
+      scheduler.schedule_after(Duration::micros(message_interval_us), inject);
+    }
+  };
+  std::function<void()> probe = [&] {
+    ++issued;
+    const SimTime asked = scheduler.now();
+    prober.discover({}, [&, asked](std::vector<core::StreamInfo>) {
+      ++answered;
+      control_latencies.push_back(scheduler.now() - asked);
+    });
+    if (scheduler.now() < flood_end) scheduler.schedule_after(Duration::millis(20), probe);
+  };
+  inject();
+  probe();
+  runtime.run_for(Duration::seconds(2));  // flood + drain
+
+  outcome.fast_received = static_cast<double>(fast.received());
+  outcome.slow_received = static_cast<double>(slow.received());
+  outcome.discoveries_unanswered = static_cast<double>(issued - answered);
+  if (!control_latencies.empty()) {
+    std::sort(control_latencies.begin(), control_latencies.end(),
+              [](Duration a, Duration b) { return a.ns < b.ns; });
+    outcome.control_p99_ms =
+        control_latencies[(control_latencies.size() * 99) / 100].to_millis();
+  }
+  outcome.data_sheds = static_cast<double>(runtime.bus().shed_stats().data_total());
+  outcome.control_sheds = static_cast<double>(runtime.bus().shed_stats().control_total());
+  outcome.quarantines = static_cast<double>(runtime.dispatch().stats().quarantines);
+
+  if (json_out != nullptr) {
+    obs::MetricsRegistry& registry = runtime.telemetry().registry;
+    registry.add_collector([&outcome](obs::SnapshotBuilder& out) {
+      out.gauge("bench.overload.goodput_fast", outcome.fast_received);
+      out.gauge("bench.overload.goodput_slow", outcome.slow_received);
+      out.gauge("bench.overload.control_p99_ms", outcome.control_p99_ms);
+      out.gauge("bench.overload.discoveries_unanswered", outcome.discoveries_unanswered);
+      out.gauge("bench.overload.messages_offered", outcome.messages_offered);
+    });
+    *json_out = obs::render_json(registry.snapshot());
+  }
+  return outcome;
+}
+
+/// Args: message interval (us) — 2000 is the healthy cadence; slow
+/// consumer per-message service time (us) — 20 matches the healthy one.
+void BM_OverloadFlood(benchmark::State& state) {
+  const auto interval_us = state.range(0);
+  const auto slow_service_us = state.range(1);
+
+  FloodOutcome outcome;
+  for (auto _ : state) {
+    outcome = run_flood(interval_us, slow_service_us);
+    benchmark::DoNotOptimize(&outcome);
+  }
+  state.counters["goodput_fast"] = outcome.fast_received;
+  state.counters["goodput_slow"] = outcome.slow_received;
+  state.counters["control_p99_ms"] = outcome.control_p99_ms;
+  state.counters["discoveries_unanswered"] = outcome.discoveries_unanswered;
+  state.counters["data_sheds"] = outcome.data_sheds;
+  state.counters["control_sheds"] = outcome.control_sheds;
+  state.counters["quarantines"] = outcome.quarantines;
+
+  // Machine-readable exposition for the harshest cell: 10x load with the
+  // 100x straggler. scripts/ci.sh asserts the priority invariant on it.
+  if (interval_us == 200 && slow_service_us == 2000) {
+    std::string json;
+    run_flood(interval_us, slow_service_us, &json);
+    write_bench_report("overload", json);
+  }
+}
+BENCHMARK(BM_OverloadFlood)
+    ->ArgsProduct({{2000, 500, 200}, {20, 400, 2000}})
+    ->ArgNames({"interval_us", "slow_svc_us"})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace garnet::bench
+
+BENCHMARK_MAIN();

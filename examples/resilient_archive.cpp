@@ -17,6 +17,7 @@
 #include "core/recorder.hpp"
 #include "garnet/failover.hpp"
 #include "garnet/runtime.hpp"
+#include "obs/metrics.hpp"
 
 using namespace garnet;
 using util::Duration;
@@ -40,7 +41,9 @@ int main() {
   failover_config.mode = FilteringFailover::Mode::kHot;
   failover_config.heartbeat_interval = Duration::millis(100);
   failover_config.miss_threshold = 3;
+  obs::MetricsRegistry registry;
   FilteringFailover filtering(scheduler, failover_config);
+  filtering.set_metrics(registry);
 
   field.medium().set_uplink_sink(
       [&](const wireless::ReceptionReport& report) { filtering.ingest(report); });
@@ -77,9 +80,12 @@ int main() {
   filtering.kill_primary();
   scheduler.run_for(Duration::seconds(10));
   std::printf("primary filtering replica killed at t=10s\n");
-  std::printf("  detection latency: %.0fms, frames lost in window: %llu\n",
-              filtering.stats().last_detection_latency.to_millis(),
-              static_cast<unsigned long long>(filtering.stats().lost_in_window));
+  {
+    const obs::MetricsSnapshot snap = registry.snapshot();
+    std::printf("  detection latency: %.0fms, frames lost in window: %llu\n",
+                snap.gauge("garnet.failover.detection_latency_ns") / 1e6,
+                static_cast<unsigned long long>(snap.counter("garnet.failover.lost_in_window")));
+  }
   std::printf("  messages after failover: %llu (duplicates leaked: %llu)\n",
               static_cast<unsigned long long>(archiver.received() - before_crash),
               static_cast<unsigned long long>(duplicates));

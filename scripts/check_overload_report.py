@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""CI gate over BENCH_overload.json (see bench/bench_overload.cpp).
+
+The report is the full telemetry snapshot of the harshest flood cell
+(10x offered load, one 100x-slow consumer). The gate enforces the
+overload layer's contract from docs/FAULT_MODEL.md:
+
+  1. control-plane traffic is never shed (garnet.bus.shed{class=control}
+     must be zero for every policy) while data-plane traffic was shed;
+  2. the flood actually exercised the shedding path (data sheds or
+     quarantines are nonzero — a silently idle gate proves nothing);
+  3. every control-plane probe was answered (no discovery went dark).
+"""
+import json
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) != 2:
+        print("usage: check_overload_report.py BENCH_overload.json", file=sys.stderr)
+        return 2
+    with open(sys.argv[1], encoding="utf-8") as fh:
+        report = json.load(fh)
+
+    shed = {"control": 0.0, "data": 0.0}
+    quarantines = 0.0
+    unanswered = None
+    for metric in report["metrics"]:
+        name = metric["name"]
+        if name == "garnet.bus.shed":
+            shed[metric["labels"]["class"]] += metric["value"]
+        elif name == "garnet.dispatch.quarantines":
+            quarantines = metric["value"]
+        elif name == "bench.overload.discoveries_unanswered":
+            unanswered = metric["value"]
+
+    failures = []
+    if shed["control"] > 0:
+        failures.append(
+            f"control-plane traffic was shed ({shed['control']:.0f} envelopes) — "
+            "the priority invariant is broken"
+        )
+    if shed["data"] + quarantines == 0:
+        failures.append("the flood shed nothing (no data sheds, no quarantines) — gate is vacuous")
+    if unanswered is None:
+        failures.append("bench.overload.discoveries_unanswered missing from the report")
+    elif unanswered > 0:
+        failures.append(f"{unanswered:.0f} control-plane discoveries went unanswered")
+
+    if failures:
+        for failure in failures:
+            print(f"overload gate FAILED: {failure}", file=sys.stderr)
+        return 1
+    print(
+        f"overload gate OK: data sheds={shed['data']:.0f}, quarantines={quarantines:.0f}, "
+        f"control sheds=0, all discoveries answered"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

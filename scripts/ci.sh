@@ -32,4 +32,9 @@ cmake -B "$PERF_BUILD_DIR" -S . "${GENERATOR_ARGS[@]}" \
 cmake --build "$PERF_BUILD_DIR" -j "$(nproc)"
 scripts/run_experiments.sh "$PERF_BUILD_DIR" --benchmark_min_time=0.05
 
+# Overload gate: the flood bench's telemetry snapshot must show the
+# priority invariant held — data-plane traffic was shed under the 10x
+# flood, control-plane traffic never was.
+scripts/check_overload_report.py "$PERF_BUILD_DIR/bench-results/BENCH_overload.json"
+
 echo "CI OK: tests green, bench reports in $PERF_BUILD_DIR/bench-results"

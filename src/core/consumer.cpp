@@ -10,7 +10,32 @@ namespace garnet::core {
 
 Consumer::Consumer(net::MessageBus& bus, std::string endpoint_name)
     : bus_(bus),
+      name_(endpoint_name),
       node_(bus, std::move(endpoint_name), [this](net::Envelope e) { on_envelope(std::move(e)); }) {}
+
+Consumer::~Consumer() {
+  if (metrics_ != nullptr) metrics_->remove_collector(collector_id_);
+}
+
+void Consumer::set_metrics(obs::MetricsRegistry& registry) {
+  if (metrics_ != nullptr) metrics_->remove_collector(collector_id_);
+  metrics_ = &registry;
+  collector_id_ = registry.add_collector([this](obs::SnapshotBuilder& out) { collect(out); });
+}
+
+void Consumer::collect(obs::SnapshotBuilder& out) const {
+  const obs::Labels who{{"consumer", name_}};
+  out.counter("garnet.consumer.rpc_failures", net_stats_.subscribe_failures,
+              {{"consumer", name_}, {"op", "subscribe"}});
+  out.counter("garnet.consumer.rpc_failures", net_stats_.unsubscribe_failures,
+              {{"consumer", name_}, {"op", "unsubscribe"}});
+  out.counter("garnet.consumer.rpc_failures", net_stats_.update_failures,
+              {{"consumer", name_}, {"op", "update"}});
+  out.counter("garnet.consumer.rpc_failures", net_stats_.catalog_failures,
+              {{"consumer", name_}, {"op", "catalog"}});
+  out.counter("garnet.consumer.received", received_, who);
+  out.counter("garnet.consumer.credit_acks", credit_acks_, who);
+}
 
 net::Address Consumer::resolve(const char* name) {
   const auto address = bus_.lookup(name);
@@ -39,6 +64,18 @@ void Consumer::on_envelope(net::Envelope envelope) {
     tracer_->complete(trace_key, bus_.now().ns);
   }
   if (data_handler_) data_handler_(decoded.value());
+  // The ack rides *behind* the handler: under flow control the credit
+  // returns to the dispatcher only once this delivery is processed, so a
+  // slow consumer's window drains at its true consumption rate.
+  if (credit_window_ > 0) send_credit();
+}
+
+void Consumer::send_credit() {
+  ++credit_acks_;
+  util::ByteWriter w(4);
+  w.u32(1);
+  node_.post(resolve(DispatchingService::kEndpointName), kDeliveryCredit,
+             util::take_shared(std::move(w)));
 }
 
 void Consumer::subscribe(StreamPattern pattern, SubscribeCallback on_done) {
@@ -61,9 +98,12 @@ void Consumer::subscribe(StreamPattern pattern, SubscribeOptions qos, SubscribeC
                  if (on_done) on_done(util::Err{result.error()});
                  return;
                }
-               if (!on_done) return;
                util::ByteReader r(result.value());
-               on_done(SubscriptionId{r.u64()});
+               const auto id = SubscriptionId{r.u64()};
+               // Flow-control window granted by the dispatcher (absent in
+               // pre-flow-control replies; 0 means disabled either way).
+               if (r.remaining() >= 4) credit_window_ = r.u32();
+               if (on_done) on_done(id);
              });
 }
 

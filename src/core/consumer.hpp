@@ -24,6 +24,7 @@
 #include "core/dispatch.hpp"
 #include "core/wire_types.hpp"
 #include "net/rpc.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
 namespace garnet::core {
@@ -31,7 +32,8 @@ namespace garnet::core {
 /// Outcomes of the consumer's control-plane RPCs under network faults:
 /// each counter is a give-up after the per-call retry budget was spent.
 /// The consumer degrades (callbacks fire with a failure) instead of
-/// stalling.
+/// stalling. Surfaced as garnet.consumer.rpc_failures{op,consumer} via
+/// set_metrics — there is no accessor.
 struct ConsumerNetStats {
   std::uint64_t subscribe_failures = 0;
   std::uint64_t unsubscribe_failures = 0;
@@ -43,6 +45,10 @@ class Consumer {
  public:
   /// `endpoint_name` must be unique on the bus (e.g. "consumer.flood-watch").
   Consumer(net::MessageBus& bus, std::string endpoint_name);
+  ~Consumer();
+
+  Consumer(const Consumer&) = delete;
+  Consumer& operator=(const Consumer&) = delete;
 
   /// Installs the credentials issued by the operator (Runtime facade).
   void set_identity(const ConsumerIdentity& identity) { identity_ = identity; }
@@ -113,13 +119,21 @@ class Consumer {
   /// and completes the journey (installed by Runtime::provision).
   void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
 
+  /// Registers a pull collector exposing this consumer's control-plane
+  /// RPC give-ups as garnet.consumer.rpc_failures{op,consumer=<endpoint>}
+  /// plus garnet.consumer.received and garnet.consumer.credit_acks.
+  /// Deregistered automatically on destruction (the registry must
+  /// outlive the consumer).
+  void set_metrics(obs::MetricsRegistry& registry);
+
   [[nodiscard]] std::uint64_t received() const noexcept { return received_; }
   /// Radio-ingress to consumer-delivery latency distribution.
   [[nodiscard]] const util::Quantiles& delivery_latency() const noexcept {
     return delivery_latency_;
   }
-  /// Control-plane RPC give-ups (degraded-mode outcomes).
-  [[nodiscard]] const ConsumerNetStats& net_stats() const noexcept { return net_stats_; }
+  /// Delivery window granted by the dispatcher (0 until a subscribe
+  /// reply arrives under flow control).
+  [[nodiscard]] std::uint32_t credit_window() const noexcept { return credit_window_; }
 
  private:
   void on_envelope(net::Envelope envelope);
@@ -127,7 +141,11 @@ class Consumer {
   /// The base policy with the operation's idempotency applied.
   [[nodiscard]] net::CallOptions options_for(bool idempotent) const;
 
+  void collect(obs::SnapshotBuilder& out) const;
+  void send_credit();
+
   net::MessageBus& bus_;
+  std::string name_;  ///< Endpoint name; labels this consumer's metrics.
   net::RpcNode node_;
   ConsumerIdentity identity_;
   DataHandler data_handler_;
@@ -137,6 +155,10 @@ class Consumer {
   std::uint64_t received_ = 0;
   util::Quantiles delivery_latency_;
   obs::Tracer* tracer_ = nullptr;
+  std::uint32_t credit_window_ = 0;  ///< From the subscribe reply; 0 = no flow control.
+  std::uint64_t credit_acks_ = 0;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::MetricsRegistry::CollectorId collector_id_ = 0;
 
   [[nodiscard]] static net::CallOptions default_call_options() {
     net::CallOptions options;

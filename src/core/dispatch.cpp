@@ -1,8 +1,21 @@
 #include "core/dispatch.hpp"
 
+#include <algorithm>
+
+#include "core/orphanage.hpp"
 #include "util/log.hpp"
 
 namespace garnet::core {
+
+namespace {
+
+/// Wrap-aware "seq is at or past floor" for 16-bit sequence numbers:
+/// true when seq is within the forward half-window of floor.
+[[nodiscard]] bool at_or_past(SequenceNo seq, SequenceNo floor) {
+  return static_cast<std::int16_t>(static_cast<std::uint16_t>(seq - floor)) >= 0;
+}
+
+}  // namespace
 
 DispatchingService::DispatchingService(net::MessageBus& bus, AuthService& auth,
                                        StreamCatalog& catalog)
@@ -26,8 +39,9 @@ DispatchingService::DispatchingService(net::MessageBus& bus, AuthService& auth,
     if (!identity) return util::Err{net::RpcError::kRemoteFailure};
 
     const SubscriptionId id = subscribe(identity->address, pattern, qos);
-    util::ByteWriter w(8);
+    util::ByteWriter w(12);
     w.u64(id);
+    w.u32(flow_.credit_window);  // 0 = flow control disabled
     return std::move(w).take();
   });
 
@@ -54,10 +68,208 @@ SubscriptionId DispatchingService::subscribe(net::Address consumer, StreamPatter
 bool DispatchingService::unsubscribe(SubscriptionId id) { return table_.remove(id); }
 
 std::size_t DispatchingService::drop_consumer(net::Address consumer) {
+  // Erasing the flow retires its epoch: an in-flight resume that fetched
+  // this consumer's stash will see the mismatch and return the frames to
+  // the Orphanage instead of delivering to (or losing them with) the
+  // departed consumer.
+  flows_.erase(consumer.value);
   return table_.remove_consumer(consumer);
 }
 
+void DispatchingService::set_flow_control(FlowControlConfig config) {
+  flow_ = config;
+  for (auto& [address, flow] : flows_) {
+    flow.credits = std::min(flow.credits, flow_.credit_window);
+  }
+  if (!flow_.enabled()) flows_.clear();
+}
+
+bool DispatchingService::quarantined(net::Address consumer) const {
+  const auto it = flows_.find(consumer.value);
+  return it != flows_.end() && it->second.quarantined;
+}
+
+std::uint32_t DispatchingService::credits(net::Address consumer) const {
+  const auto it = flows_.find(consumer.value);
+  return it != flows_.end() ? it->second.credits : flow_.credit_window;
+}
+
+DispatchingService::Flow& DispatchingService::flow_for(net::Address consumer) {
+  const auto [it, inserted] = flows_.try_emplace(consumer.value);
+  if (inserted) {
+    it->second.credits = flow_.credit_window;
+    it->second.epoch = next_flow_epoch_++;
+  }
+  return it->second;
+}
+
+DispatchingService::Flow* DispatchingService::flow_if_current(const ResumePlan& plan) {
+  const auto it = flows_.find(plan.consumer.value);
+  if (it == flows_.end() || it->second.epoch != plan.epoch) return nullptr;
+  return &it->second;
+}
+
+std::uint32_t DispatchingService::resume_threshold() const {
+  if (flow_.resume_threshold > 0) return flow_.resume_threshold;
+  return std::max<std::uint32_t>(1, flow_.credit_window / 2);
+}
+
+void DispatchingService::on_credit(const net::Envelope& envelope) {
+  if (!flow_.enabled()) return;
+  util::ByteReader r(envelope.payload);
+  const std::uint32_t granted = r.u32();
+  if (!r.ok() || granted == 0) return;
+  // Only senders we have delivered to carry flow state; credits from
+  // strangers (fuzzed or stale endpoints) are ignored, not banked.
+  const auto it = flows_.find(envelope.from.value);
+  if (it == flows_.end()) return;
+  ++stats_.credit_acks;
+  Flow& flow = it->second;
+  flow.credits = static_cast<std::uint32_t>(std::min<std::uint64_t>(
+      flow_.credit_window, static_cast<std::uint64_t>(flow.credits) + granted));
+  maybe_resume(envelope.from);
+}
+
+void DispatchingService::maybe_resume(net::Address consumer) {
+  const auto it = flows_.find(consumer.value);
+  if (it == flows_.end()) return;
+  Flow& flow = it->second;
+  if (!flow.quarantined || flow.resume_inflight || flow.credits == 0) return;
+  if (flow.shed_floor.empty()) {
+    // Nothing was shed while quarantined (or the stash is unreachable):
+    // plain release.
+    flow.quarantined = false;
+    return;
+  }
+  if (flow.credits < resume_threshold()) return;
+  start_resume(consumer, flow);
+}
+
+void DispatchingService::start_resume(net::Address consumer, Flow& flow) {
+  if (!orphan_sink_.valid()) {
+    // No stash to replay from; release with whatever was lost, lost.
+    flow.shed_floor.clear();
+    flow.quarantined = false;
+    return;
+  }
+  ++stats_.resumes;
+  flow.resume_inflight = true;
+  auto plan = std::make_shared<ResumePlan>();
+  plan->consumer = consumer;
+  plan->epoch = flow.epoch;
+  plan->floors = std::move(flow.shed_floor);
+  flow.shed_floor.clear();
+  plan->streams.reserve(plan->floors.size());
+  for (const auto& [packed, floor] : plan->floors) plan->streams.push_back(packed);
+  std::sort(plan->streams.begin(), plan->streams.end());
+  fetch_next(plan);
+}
+
+void DispatchingService::fetch_next(const std::shared_ptr<ResumePlan>& plan) {
+  if (flow_if_current(*plan) == nullptr) return;  // consumer dropped; plan dead
+  if (plan->index >= plan->streams.size()) {
+    finish_resume(plan);
+    return;
+  }
+  util::ByteWriter w(6);
+  w.u32(plan->streams[plan->index]);
+  w.u16(flow_.fetch_batch);
+  // kFetchBacklog drains the stash, so a re-executed fetch would see an
+  // empty ring and the drained frames would ride the lost response:
+  // never idempotent, always through the at-most-once cache.
+  net::CallOptions options = flow_.fetch_options;
+  options.idempotent = false;
+  node_.call(orphan_sink_, Orphanage::kFetchBacklog, std::move(w).take(), options,
+             [this, plan](net::RpcResult result) {
+               if (!result.ok()) {
+                 // Stash unreachable for this stream; skip it rather than
+                 // stall the whole replay.
+                 ++plan->index;
+                 fetch_next(plan);
+                 return;
+               }
+               on_backlog(plan, util::SharedBytes(std::move(result).value()));
+             });
+}
+
+void DispatchingService::on_backlog(const std::shared_ptr<ResumePlan>& plan,
+                                    util::SharedBytes reply) {
+  util::ByteReader r(reply);
+  const std::uint16_t count = r.u16();
+  const SequenceNo floor = plan->floors[plan->streams[plan->index]];
+  for (std::uint16_t i = 0; i < count && r.ok(); ++i) {
+    const std::uint16_t length = r.u16();
+    const std::size_t offset = r.consumed();
+    if (r.view(length).empty() && length > 0) break;  // truncated reply
+    // Zero-copy: each stashed frame is a sub-view of the one reply buffer.
+    util::SharedBytes frame = reply.view(offset, length);
+
+    Flow* flow = flow_if_current(*plan);
+    if (flow == nullptr || flow->credits == 0) {
+      // Consumer dropped mid-replay, or its window re-exhausted: the
+      // frame goes back to the stash so it is neither lost nor delivered
+      // out of contract. (For a live flow the floor re-forms, so the
+      // next resume round picks it up.)
+      ++stats_.resume_returned;
+      node_.post(orphan_sink_, kDataDelivery, frame);
+      if (flow != nullptr) {
+        auto decoded = decode_delivery_view(frame);
+        if (decoded.ok()) {
+          const DataMessageView& message = decoded.value().message;
+          const auto [it, inserted] =
+              flow->shed_floor.try_emplace(message.stream_id.packed(), message.sequence);
+          if (!inserted && at_or_past(it->second, message.sequence)) {
+            it->second = message.sequence;
+          }
+        }
+      }
+      continue;
+    }
+
+    auto decoded = decode_delivery_view(frame);
+    if (!decoded.ok()) {
+      ++stats_.resume_discarded;
+      continue;
+    }
+    const DataMessageView& message = decoded.value().message;
+    // Duplicate-freedom: only frames at or past the shed floor were
+    // withheld from this consumer; anything earlier is a pre-quarantine
+    // orphan it already received (or never subscribed to at that time).
+    if (!at_or_past(message.sequence, floor) ||
+        !table_.subscribes(plan->consumer, message.stream_id)) {
+      ++stats_.resume_discarded;
+      continue;
+    }
+    ++stats_.resume_redelivered;
+    ++stats_.copies_delivered;
+    --flow->credits;
+    if (flow->credits == 0) ++stats_.credits_exhausted;
+    bus_.post(node_.address(), plan->consumer, kDataDelivery, std::move(frame));
+  }
+  // A full batch may mean more frames remain for this stream; an
+  // undersized one means the stash is drained for it.
+  if (count < flow_.fetch_batch) ++plan->index;
+  fetch_next(plan);
+}
+
+void DispatchingService::finish_resume(const std::shared_ptr<ResumePlan>& plan) {
+  Flow* flow = flow_if_current(*plan);
+  if (flow == nullptr) return;
+  flow->resume_inflight = false;
+  if (flow->shed_floor.empty()) {
+    if (flow->credits > 0) flow->quarantined = false;
+    return;
+  }
+  // New sheds accumulated while replaying (re-stashed frames or fresh
+  // traffic): go again if the window allows, else wait for the next ack.
+  maybe_resume(plan->consumer);
+}
+
 void DispatchingService::on_envelope(net::Envelope envelope) {
+  if (envelope.type == kDeliveryCredit) {
+    on_credit(envelope);
+    return;
+  }
   if (envelope.type != kDerivedPublish) return;
   // Zero-copy validate-and-forward: the view's payload aliases the
   // envelope buffer, which outlives the synchronous deliver() below.
@@ -109,9 +321,36 @@ void DispatchingService::deliver(const DataMessageView& message, util::SimTime f
   // One encode, N posts: every consumer's envelope refcounts this one
   // buffer; no per-subscriber byte copy happens anywhere downstream.
   const util::SharedBytes wire = encode_delivery(message, first_heard);
+  bool stashed = false;
   for (const net::Address consumer : scratch_) {
+    if (flow_.enabled()) {
+      Flow& flow = flow_for(consumer);
+      if (flow.quarantined) {
+        // Shed for this consumer alone; the copy is stashed (below) and
+        // the floor marks where its duplicate-free replay must start.
+        ++stats_.quarantine_sheds;
+        const auto [it, inserted] =
+            flow.shed_floor.try_emplace(message.stream_id.packed(), message.sequence);
+        if (!inserted && at_or_past(it->second, message.sequence)) {
+          it->second = message.sequence;
+        }
+        stashed = true;
+        continue;
+      }
+      --flow.credits;
+      if (flow.credits == 0) {
+        ++stats_.credits_exhausted;
+        ++stats_.quarantines;
+        flow.quarantined = true;
+      }
+    }
     ++stats_.copies_delivered;
     bus_.post(node_.address(), consumer, kDataDelivery, wire);
+  }
+  // One stash post covers every consumer quarantined on this message —
+  // the Orphanage keeps a single retained copy per message either way.
+  if (stashed && orphan_sink_.valid()) {
+    bus_.post(node_.address(), orphan_sink_, kDataDelivery, wire);
   }
 }
 

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 
 #include "core/auth.hpp"
 #include "core/catalog.hpp"
@@ -31,6 +32,37 @@ struct DispatchStats {
   std::uint64_t orphaned = 0;         ///< Unclaimed messages sent to Orphanage.
   std::uint64_t acks_observed = 0;    ///< Ack fields relayed to Actuation.
   std::uint64_t rejected_publishes = 0;
+  // Credit-based flow control (zero while disabled):
+  std::uint64_t credits_exhausted = 0;   ///< Windows driven to zero.
+  std::uint64_t quarantines = 0;         ///< Consumers entering quarantine.
+  std::uint64_t quarantine_sheds = 0;    ///< Copies withheld from quarantined consumers.
+  std::uint64_t credit_acks = 0;         ///< kDeliveryCredit envelopes applied.
+  std::uint64_t resumes = 0;             ///< Backlog-replay rounds started.
+  std::uint64_t resume_redelivered = 0;  ///< Stashed copies delivered on resume.
+  std::uint64_t resume_discarded = 0;    ///< Stashed copies dropped (dup/unsubscribed).
+  std::uint64_t resume_returned = 0;     ///< Fetched copies re-stashed (no credits / consumer gone).
+};
+
+/// Credit-based backpressure for the dispatch fan-out. Each subscriber
+/// carries a delivery window; every posted copy spends one credit and the
+/// consumer replenishes with kDeliveryCredit acks after it processes a
+/// delivery. A consumer that drains its window to zero is *quarantined*:
+/// its copies are shed to the Orphanage (the stash) while every other
+/// subscriber's fan-out continues untouched. When credits return, the
+/// dispatcher replays the stash via Orphanage::kFetchBacklog, filtered by
+/// per-stream shed floors so nothing is delivered twice.
+struct FlowControlConfig {
+  /// Deliveries in flight per consumer before quarantine. 0 = disabled.
+  std::uint32_t credit_window = 0;
+  /// Credits required before a quarantined consumer's backlog replay
+  /// starts. 0 = half the window (at least 1).
+  std::uint32_t resume_threshold = 0;
+  /// Backlog messages fetched per kFetchBacklog round-trip.
+  std::uint16_t fetch_batch = 32;
+  /// Reliability contract for the stash-fetch RPCs.
+  net::CallOptions fetch_options = net::CallOptions::reliable(2);
+
+  [[nodiscard]] bool enabled() const noexcept { return credit_window > 0; }
 };
 
 class DispatchingService {
@@ -38,7 +70,10 @@ class DispatchingService {
   /// RPC surface.
   enum Method : net::MethodId {
     /// [u64 token][u64 packed pattern][u32 min_interval_ms][u32 max_age_ms]
-    /// -> [u64 sub id]. The two QoS fields may be omitted (defaults 0).
+    /// -> [u64 sub id][u32 credit window]. The two QoS request fields may
+    /// be omitted (defaults 0); the reply's credit window is 0 when flow
+    /// control is disabled. Pre-flow-control readers that stop after the
+    /// sub id still parse the reply.
     kSubscribe = 1,
     kUnsubscribe = 2,  ///< [u64 token][u64 sub id] -> []
   };
@@ -47,8 +82,19 @@ class DispatchingService {
 
   DispatchingService(net::MessageBus& bus, AuthService& auth, StreamCatalog& catalog);
 
-  /// Unclaimed data goes here (the Orphanage registers itself).
+  /// Unclaimed data goes here (the Orphanage registers itself). Also the
+  /// quarantine stash when flow control is enabled.
   void set_orphan_sink(net::Address address) { orphan_sink_ = address; }
+
+  /// Enables (or reconfigures) credit-based backpressure. Existing
+  /// consumers' windows are re-primed to the new size.
+  void set_flow_control(FlowControlConfig config);
+  [[nodiscard]] const FlowControlConfig& flow_control() const noexcept { return flow_; }
+
+  /// True while `consumer` is quarantined (flow control only).
+  [[nodiscard]] bool quarantined(net::Address consumer) const;
+  /// Remaining delivery credits (the full window when unknown/disabled).
+  [[nodiscard]] std::uint32_t credits(net::Address consumer) const;
 
   /// Actuation Service hook: fires for every data message that carries a
   /// stream-update acknowledgement.
@@ -75,8 +121,42 @@ class DispatchingService {
   [[nodiscard]] net::Address address() const noexcept { return node_.address(); }
 
  private:
+  /// Per-consumer flow state, created lazily at first delivery. The epoch
+  /// is globally unique per Flow instance so an in-flight resume can tell
+  /// "my consumer was dropped (and possibly re-admitted)" apart from "my
+  /// consumer is still the one I started for".
+  struct Flow {
+    std::uint32_t credits = 0;
+    bool quarantined = false;
+    bool resume_inflight = false;
+    std::uint64_t epoch = 0;
+    /// packed StreamId -> first shed sequence. Resume replays only
+    /// messages at or past the floor — everything earlier was already
+    /// delivered, which is what makes the replay duplicate-free.
+    std::unordered_map<std::uint32_t, SequenceNo> shed_floor;
+  };
+
+  /// One backlog-replay round for one quarantined consumer; fetches the
+  /// stashed streams sequentially from the Orphanage.
+  struct ResumePlan {
+    net::Address consumer;
+    std::uint64_t epoch = 0;
+    std::vector<std::uint32_t> streams;  ///< Sorted: deterministic replay order.
+    std::unordered_map<std::uint32_t, SequenceNo> floors;
+    std::size_t index = 0;
+  };
+
   void on_envelope(net::Envelope envelope);
   void deliver(const DataMessageView& message, util::SimTime first_heard);
+  Flow& flow_for(net::Address consumer);
+  [[nodiscard]] Flow* flow_if_current(const ResumePlan& plan);
+  [[nodiscard]] std::uint32_t resume_threshold() const;
+  void on_credit(const net::Envelope& envelope);
+  void maybe_resume(net::Address consumer);
+  void start_resume(net::Address consumer, Flow& flow);
+  void fetch_next(const std::shared_ptr<ResumePlan>& plan);
+  void on_backlog(const std::shared_ptr<ResumePlan>& plan, util::SharedBytes reply);
+  void finish_resume(const std::shared_ptr<ResumePlan>& plan);
 
   net::MessageBus& bus_;
   AuthService& auth_;
@@ -88,6 +168,9 @@ class DispatchingService {
   DispatchStats stats_;
   obs::Tracer* tracer_ = nullptr;
   std::vector<net::Address> scratch_;  ///< Reused fan-out buffer.
+  FlowControlConfig flow_;
+  std::unordered_map<std::uint32_t, Flow> flows_;  ///< Keyed by consumer address.
+  std::uint64_t next_flow_epoch_ = 1;
 };
 
 }  // namespace garnet::core

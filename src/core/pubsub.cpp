@@ -126,6 +126,17 @@ bool SubscriptionTable::anyone_wants(StreamId id) const {
                      [id](const Entry& e) { return e.pattern.matches(id); });
 }
 
+bool SubscriptionTable::subscribes(net::Address consumer, StreamId id) const {
+  if (const auto it = exact_.find(id); it != exact_.end()) {
+    for (const Entry& entry : it->second) {
+      if (entry.consumer == consumer) return true;
+    }
+  }
+  return std::any_of(wildcards_.begin(), wildcards_.end(), [&](const Entry& entry) {
+    return entry.consumer == consumer && entry.pattern.matches(id);
+  });
+}
+
 std::size_t SubscriptionTable::size() const noexcept { return count_; }
 
 }  // namespace garnet::core

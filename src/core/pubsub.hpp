@@ -90,6 +90,10 @@ class SubscriptionTable {
   void collect(StreamId id, std::vector<net::Address>& out);
 
   [[nodiscard]] bool anyone_wants(StreamId id) const;
+  /// True when `consumer` holds any subscription (exact or wildcard)
+  /// matching `id`. QoS-blind; used by quarantine resume to decide
+  /// whether a stashed message is still owed to the consumer.
+  [[nodiscard]] bool subscribes(net::Address consumer, StreamId id) const;
   [[nodiscard]] std::size_t size() const noexcept;
   [[nodiscard]] const QosStats& qos_stats() const noexcept { return qos_stats_; }
 

@@ -21,6 +21,10 @@ inline constexpr net::MessageType kStateChange = net::app_type(1);
 inline constexpr net::MessageType kLocationHint = net::app_type(2);
 inline constexpr net::MessageType kDerivedPublish = net::app_type(3);
 inline constexpr net::MessageType kLocationStream = net::app_type(4);
+/// Consumer -> dispatcher credit replenishment (flow control). Payload:
+/// [u32 credits]. Registered as control-plane class by the runtime so a
+/// data flood cannot shed the very acks that would relieve it.
+inline constexpr net::MessageType kDeliveryCredit = net::app_type(5);
 
 /// A data message as delivered to a subscribed consumer, carrying the
 /// time the fixed network first heard it (for end-to-end latency).

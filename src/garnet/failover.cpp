@@ -31,7 +31,25 @@ FilteringFailover::FilteringFailover(sim::Scheduler& scheduler, net::MessageBus&
       });
 }
 
-FilteringFailover::~FilteringFailover() { scheduler_.cancel(watchdog_); }
+FilteringFailover::~FilteringFailover() {
+  scheduler_.cancel(watchdog_);
+  if (metrics_ != nullptr) metrics_->remove_collector(collector_id_);
+}
+
+void FilteringFailover::set_metrics(obs::MetricsRegistry& registry) {
+  if (metrics_ != nullptr) metrics_->remove_collector(collector_id_);
+  metrics_ = &registry;
+  collector_id_ = registry.add_collector([this](obs::SnapshotBuilder& out) {
+    out.counter("garnet.failover.heartbeats", stats_.heartbeats);
+    out.counter("garnet.failover.misses", stats_.misses);
+    out.counter("garnet.failover.failovers", stats_.failovers);
+    out.counter("garnet.failover.suppressed_standby_outputs", stats_.suppressed_standby_outputs);
+    out.counter("garnet.failover.lost_in_window", stats_.lost_in_window);
+    out.gauge("garnet.failover.failed_over", failed_over_ ? 1.0 : 0.0);
+    out.gauge("garnet.failover.detection_latency_ns",
+              static_cast<double>(stats_.last_detection_latency.ns));
+  });
+}
 
 void FilteringFailover::set_message_sink(core::FilteringService::MessageSink sink) {
   message_sink_ = std::move(sink);

@@ -35,9 +35,12 @@
 
 #include "core/filtering.hpp"
 #include "net/rpc.hpp"
+#include "obs/metrics.hpp"
 
 namespace garnet {
 
+/// Watchdog/promotion counters. Surfaced as garnet.failover.* via
+/// set_metrics — there is no accessor; tests read registry snapshots.
 struct FailoverStats {
   std::uint64_t heartbeats = 0;
   std::uint64_t misses = 0;
@@ -84,8 +87,14 @@ class FilteringFailover {
   /// heartbeat_interval * miss_threshold.
   void kill_primary();
 
+  /// Registers a pull collector exposing garnet.failover.heartbeats/
+  /// misses/failovers/suppressed_standby_outputs/lost_in_window counters
+  /// plus the garnet.failover.failed_over and detection_latency_ns
+  /// gauges. Deregistered automatically on destruction (the registry
+  /// must outlive the failover pair).
+  void set_metrics(obs::MetricsRegistry& registry);
+
   [[nodiscard]] bool failed_over() const noexcept { return failed_over_; }
-  [[nodiscard]] const FailoverStats& stats() const noexcept { return stats_; }
   /// Counters of whichever replica is currently active.
   [[nodiscard]] const core::FilteringStats& active_stats() const;
 
@@ -115,6 +124,8 @@ class FilteringFailover {
   core::FilteringService::MessageSink message_sink_;
   core::FilteringService::ReceptionSink reception_sink_;
   FailoverStats stats_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::MetricsRegistry::CollectorId collector_id_ = 0;
 };
 
 }  // namespace garnet

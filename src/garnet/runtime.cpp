@@ -9,6 +9,19 @@ namespace {
 net::MessageBus::Config bus_config(const Runtime::Config& config) {
   net::MessageBus::Config bus = config.bus;
   if (config.faults.enabled()) bus.faults = config.faults;
+  // Fold the overload layer in: inbox shapes, breaker contract, journal.
+  if (config.overload.default_inbox.active()) bus.default_inbox = config.overload.default_inbox;
+  for (const auto& [name, inbox] : config.overload.inboxes) bus.inboxes[name] = inbox;
+  if (config.overload.breaker.enabled()) bus.breaker = config.overload.breaker;
+  if (config.overload.shed_journal_limit > 0) {
+    bus.shed_journal_limit = config.overload.shed_journal_limit;
+  }
+  // Control-plane app types: actuation/coordination state, location
+  // hints, and the flow-control credits themselves — shedding credits
+  // under load would deadlock the very mechanism that relieves it.
+  bus.control_types.push_back(core::kStateChange);
+  bus.control_types.push_back(core::kLocationHint);
+  bus.control_types.push_back(core::kDeliveryCredit);
   return bus;
 }
 
@@ -29,6 +42,12 @@ Runtime::Runtime(Config config)
       actuation_(bus_, auth_, replicator_, config.actuation),
       coordinator_(bus_, auth_, resource_, config.coordinator),
       catalog_service_(bus_, auth_, catalog_) {
+  if (config_.overload.credit_window > 0) {
+    core::FlowControlConfig flow;
+    flow.credit_window = config_.overload.credit_window;
+    flow.resume_threshold = config_.overload.resume_threshold;
+    dispatch_.set_flow_control(flow);
+  }
   wire_services();
 }
 
@@ -103,6 +122,14 @@ void Runtime::collect_service_stats(obs::SnapshotBuilder& out) {
   out.counter("garnet.dispatch.orphaned", dispatch.orphaned);
   out.counter("garnet.dispatch.acks_observed", dispatch.acks_observed);
   out.counter("garnet.dispatch.rejected_publishes", dispatch.rejected_publishes);
+  out.counter("garnet.dispatch.credits_exhausted", dispatch.credits_exhausted);
+  out.counter("garnet.dispatch.quarantines", dispatch.quarantines);
+  out.counter("garnet.dispatch.quarantine_sheds", dispatch.quarantine_sheds);
+  out.counter("garnet.dispatch.credit_acks", dispatch.credit_acks);
+  out.counter("garnet.dispatch.resumes", dispatch.resumes);
+  out.counter("garnet.dispatch.resume_redelivered", dispatch.resume_redelivered);
+  out.counter("garnet.dispatch.resume_discarded", dispatch.resume_discarded);
+  out.counter("garnet.dispatch.resume_returned", dispatch.resume_returned);
 
   const core::QosStats& qos = dispatch_.subscriptions().qos_stats();
   out.counter("garnet.qos.suppressed_rate", qos.suppressed_rate);
@@ -221,6 +248,7 @@ core::ConsumerIdentity Runtime::provision(core::Consumer& consumer, const std::s
   assert(identity.ok() && "consumer name already registered");
   consumer.set_identity(identity.value());
   consumer.set_tracer(&telemetry_.tracer);
+  consumer.set_metrics(telemetry_.registry);
   return identity.value();
 }
 

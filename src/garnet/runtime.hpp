@@ -17,6 +17,7 @@
 // transmitters / sensors, provision consumers, and run the scheduler.
 #pragma once
 
+#include <map>
 #include <memory>
 #include <string>
 
@@ -39,6 +40,24 @@
 
 namespace garnet {
 
+/// Overload-control knobs folded into the bus and dispatcher at
+/// construction. Everything defaults off: a Runtime without an
+/// OverloadConfig behaves exactly as before the overload layer existed.
+struct OverloadConfig {
+  /// Bounded inbox applied to every bus endpoint without an override.
+  net::InboxConfig default_inbox;
+  /// Per-endpoint inbox overrides, keyed by endpoint name.
+  std::map<std::string, net::InboxConfig> inboxes;
+  /// Circuit-breaker contract inherited by every RpcNode on the bus.
+  net::BreakerConfig breaker;
+  /// Dispatch credit window per subscriber; 0 disables backpressure.
+  std::uint32_t credit_window = 0;
+  /// Credits required before a quarantined consumer resumes (0 = window/2).
+  std::uint32_t resume_threshold = 0;
+  /// Record the first N shed events in the bus's byte-comparable journal.
+  std::size_t shed_journal_limit = 0;
+};
+
 class Runtime {
  public:
   struct Config {
@@ -47,6 +66,9 @@ class Runtime {
     /// Deterministic network chaos (drops, duplicates, delays,
     /// partitions). A non-empty plan here overrides `bus.faults`.
     net::FaultPlan faults;
+    /// Overload control (bounded inboxes, breakers, backpressure).
+    /// Inbox/breaker fields override their `bus` counterparts.
+    OverloadConfig overload;
     core::AuthService::Config auth;
     core::FilteringService::Config filtering;
     core::Orphanage::Config orphanage;

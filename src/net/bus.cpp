@@ -1,6 +1,8 @@
 #include "net/bus.hpp"
 
+#include <algorithm>
 #include <cassert>
+#include <sstream>
 
 #include "util/rng.hpp"
 
@@ -11,6 +13,9 @@ MessageBus::MessageBus(sim::Scheduler& scheduler, Config config)
   if (config_.faults.enabled()) {
     injector_ = std::make_unique<FaultInjector>(scheduler_, config_.faults);
   }
+  for (const MessageType type : config_.control_types) {
+    control_types_.insert(static_cast<std::uint16_t>(type));
+  }
 }
 
 Address MessageBus::add_endpoint(std::string name, Handler handler) {
@@ -18,7 +23,12 @@ Address MessageBus::add_endpoint(std::string name, Handler handler) {
   assert(!names_.contains(name) && "endpoint names must be unique");
   const Address address{next_address_++};
   names_.emplace(name, address.value);
-  endpoints_.emplace(address.value, EndpointEntry{std::move(name), std::move(handler)});
+  EndpointEntry entry{std::move(name), std::move(handler), nullptr};
+  const auto override_it = config_.inboxes.find(entry.name);
+  const InboxConfig inbox =
+      override_it != config_.inboxes.end() ? override_it->second : config_.default_inbox;
+  if (inbox.active()) entry.inbox = std::make_unique<Inbox>(inbox);
+  endpoints_.emplace(address.value, std::move(entry));
   return address;
 }
 
@@ -33,6 +43,26 @@ std::optional<Address> MessageBus::lookup(const std::string& name) const {
   const auto it = names_.find(name);
   if (it == names_.end()) return std::nullopt;
   return Address{it->second};
+}
+
+void MessageBus::set_inbox(Address address, InboxConfig config) {
+  const auto it = endpoints_.find(address.value);
+  if (it == endpoints_.end()) return;
+  if (!config.active()) {
+    it->second.inbox.reset();
+    return;
+  }
+  if (it->second.inbox) {
+    it->second.inbox->config = config;
+  } else {
+    it->second.inbox = std::make_unique<Inbox>(config);
+  }
+}
+
+TrafficClass MessageBus::classify(MessageType type) const {
+  const auto raw = static_cast<std::uint16_t>(type);
+  if (raw < static_cast<std::uint16_t>(MessageType::kAppBase)) return TrafficClass::kControl;
+  return control_types_.contains(raw) ? TrafficClass::kControl : TrafficClass::kData;
 }
 
 void MessageBus::set_metrics(obs::MetricsRegistry& registry) {
@@ -65,10 +95,38 @@ void MessageBus::collect(obs::SnapshotBuilder& out) const {
   out.counter("garnet.bus.faults", counters.reordered, {{"kind", "reorder"}});
   out.counter("garnet.bus.faults", counters.partitioned, {{"kind", "partition"}});
 
+  // Shed accounting: the full (class, policy) grid is emitted even when
+  // zero so the CI control-shed gate can grep a stable schema, and so the
+  // priority invariant (control row all-zero while data rows count) is
+  // provable from the exposition alone.
+  out.counter("garnet.bus.shed", shed_stats_.data_drop_newest,
+              {{"class", "data"}, {"policy", "drop_newest"}});
+  out.counter("garnet.bus.shed", shed_stats_.data_drop_oldest,
+              {{"class", "data"}, {"policy", "drop_oldest"}});
+  out.counter("garnet.bus.shed", shed_stats_.data_reject_nack,
+              {{"class", "data"}, {"policy", "reject_nack"}});
+  out.counter("garnet.bus.shed", shed_stats_.control_drop_newest,
+              {{"class", "control"}, {"policy", "drop_newest"}});
+  out.counter("garnet.bus.shed", shed_stats_.control_drop_oldest,
+              {{"class", "control"}, {"policy", "drop_oldest"}});
+  out.counter("garnet.bus.shed", shed_stats_.control_reject_nack,
+              {{"class", "control"}, {"policy", "reject_nack"}});
+  out.counter("garnet.bus.nacks", shed_stats_.nacks_sent);
+  out.gauge("garnet.bus.inbox_depth", static_cast<double>(total_inbox_depth()));
+  for (const auto& [address, entry] : endpoints_) {
+    if (!entry.inbox) continue;
+    out.gauge("garnet.bus.inbox_depth", static_cast<double>(entry.inbox->depth()),
+              {{"endpoint", entry.name}});
+  }
+
   out.counter("garnet.rpc.calls", rpc_stats_.calls);
   out.counter("garnet.rpc.retries", rpc_stats_.retries);
   out.counter("garnet.rpc.exhausted", rpc_stats_.exhausted);
   out.counter("garnet.rpc.deduped", rpc_stats_.deduped);
+  out.counter("garnet.rpc.nacked", rpc_stats_.nacked);
+  out.counter("garnet.rpc.breaker_opens", rpc_stats_.breaker_opens);
+  out.counter("garnet.rpc.breaker_fast_fails", rpc_stats_.breaker_fast_fails);
+  out.gauge("garnet.rpc.breaker_state", static_cast<double>(rpc_stats_.open_breakers));
 }
 
 const std::string& MessageBus::name_of(Address address) const {
@@ -77,18 +135,167 @@ const std::string& MessageBus::name_of(Address address) const {
   return it != endpoints_.end() ? it->second.name : kUnknown;
 }
 
-void MessageBus::deliver_after(util::Duration delay, Envelope envelope) {
-  scheduler_.schedule_after(delay, [this, envelope = std::move(envelope)]() mutable {
-    const auto it = endpoints_.find(envelope.to.value);
-    if (it == endpoints_.end()) {
-      ++stats_.dropped_no_endpoint;
+std::size_t MessageBus::inbox_depth(Address address) const {
+  const auto it = endpoints_.find(address.value);
+  if (it == endpoints_.end() || !it->second.inbox) return 0;
+  return it->second.inbox->depth();
+}
+
+std::size_t MessageBus::total_inbox_depth() const {
+  std::size_t total = 0;
+  for (const auto& [address, entry] : endpoints_) {
+    if (entry.inbox) total += entry.inbox->depth();
+  }
+  return total;
+}
+
+std::string MessageBus::shed_journal_text() const {
+  std::ostringstream out;
+  for (const ShedRecord& record : shed_journal_) {
+    out << record.at.ns << " shed " << to_string(record.cls) << ' ' << to_string(record.policy)
+        << ' ' << record.from << "->" << record.to << " type=" << record.type << '\n';
+  }
+  return out.str();
+}
+
+void MessageBus::shed(const Envelope& envelope, TrafficClass cls, OverflowPolicy policy) {
+  switch (cls) {
+    case TrafficClass::kData:
+      switch (policy) {
+        case OverflowPolicy::kDropNewest: ++shed_stats_.data_drop_newest; break;
+        case OverflowPolicy::kDropOldest: ++shed_stats_.data_drop_oldest; break;
+        case OverflowPolicy::kRejectNack: ++shed_stats_.data_reject_nack; break;
+      }
+      break;
+    case TrafficClass::kControl:
+      switch (policy) {
+        case OverflowPolicy::kDropNewest: ++shed_stats_.control_drop_newest; break;
+        case OverflowPolicy::kDropOldest: ++shed_stats_.control_drop_oldest; break;
+        case OverflowPolicy::kRejectNack: ++shed_stats_.control_reject_nack; break;
+      }
+      break;
+  }
+  if (shed_journal_.size() < config_.shed_journal_limit) {
+    shed_journal_.push_back(ShedRecord{scheduler_.now(), name_of(envelope.from),
+                                       name_of(envelope.to), cls, policy,
+                                       static_cast<std::uint16_t>(envelope.type)});
+  }
+  if (policy == OverflowPolicy::kRejectNack) nack(envelope);
+}
+
+void MessageBus::nack(const Envelope& envelope) {
+  // Never nack a nack — a full inbox on both sides must not ping-pong.
+  if (envelope.type == MessageType::kNack || !envelope.from.valid()) return;
+  ++shed_stats_.nacks_sent;
+  // [u16 original type][first 8 bytes of the original payload]: the RPC
+  // layer needs the original type to know the echoed u64 is one of *its*
+  // call ids and not a colliding id from an unrelated numbering space.
+  const std::size_t echo = std::min<std::size_t>(envelope.payload.size(), 8);
+  util::ByteWriter w(2 + echo);
+  w.u16(static_cast<std::uint16_t>(envelope.type));
+  w.raw(envelope.payload.span().subspan(0, echo));
+  post(envelope.to, envelope.from, MessageType::kNack, util::take_shared(std::move(w)));
+}
+
+void MessageBus::serve(EndpointEntry& entry, Envelope envelope) {
+  ++stats_.delivered;
+  if (transit_histogram_ != nullptr) {
+    transit_histogram_->observe(static_cast<double>((scheduler_.now() - envelope.sent_at).ns));
+  }
+  Inbox* inbox = entry.inbox.get();
+  if (inbox != nullptr) {
+    inbox->busy = true;
+    const Address address = envelope.to;
+    scheduler_.schedule_after(inbox->config.service_time,
+                              [this, address] { service_done(address); });
+  }
+  entry.handler(std::move(envelope));
+}
+
+void MessageBus::service_done(Address address) {
+  const auto it = endpoints_.find(address.value);
+  if (it == endpoints_.end() || !it->second.inbox) return;
+  Inbox& inbox = *it->second.inbox;
+  // Priority dequeue: every queued control envelope goes before any data.
+  if (!inbox.control.empty()) {
+    Envelope next = std::move(inbox.control.front());
+    inbox.control.pop_front();
+    serve(it->second, std::move(next));
+  } else if (!inbox.data.empty()) {
+    Envelope next = std::move(inbox.data.front());
+    inbox.data.pop_front();
+    serve(it->second, std::move(next));
+  } else {
+    inbox.busy = false;
+  }
+}
+
+void MessageBus::enqueue(EndpointEntry& entry, Envelope envelope) {
+  Inbox& inbox = *entry.inbox;
+  const TrafficClass cls = classify(envelope.type);
+  if (inbox.config.capacity > 0 && inbox.depth() >= inbox.config.capacity) {
+    const OverflowPolicy policy = inbox.config.policy;
+    if (cls == TrafficClass::kControl && !inbox.data.empty()) {
+      // Control always displaces data: evict the oldest data envelope to
+      // admit the control one, whatever the policy. The eviction is a
+      // data-class shed (and under kRejectNack its sender is told).
+      shed(inbox.data.front(), TrafficClass::kData, policy);
+      inbox.data.pop_front();
+      inbox.control.push_back(std::move(envelope));
       return;
     }
+    // Shedding stays inside the arriving envelope's class from here on.
+    // (A control arrival past capacity with no data queued can only shed
+    // control — the inbox is all-control, so the invariant holds.)
+    switch (policy) {
+      case OverflowPolicy::kDropNewest:
+      case OverflowPolicy::kRejectNack:
+        shed(envelope, cls, policy);
+        return;
+      case OverflowPolicy::kDropOldest: {
+        std::deque<Envelope>& queue =
+            cls == TrafficClass::kControl ? inbox.control : inbox.data;
+        if (queue.empty()) {
+          // Data arrival, data queue empty, inbox full of control: data
+          // never displaces control, so the arrival itself is shed.
+          shed(envelope, cls, policy);
+          return;
+        }
+        shed(queue.front(), cls, policy);
+        queue.pop_front();
+        break;
+      }
+    }
+  }
+  (cls == TrafficClass::kControl ? inbox.control : inbox.data).push_back(std::move(envelope));
+}
+
+void MessageBus::arrive(Envelope envelope) {
+  const auto it = endpoints_.find(envelope.to.value);
+  if (it == endpoints_.end()) {
+    ++stats_.dropped_no_endpoint;
+    return;
+  }
+  EndpointEntry& entry = it->second;
+  if (!entry.inbox) {
+    // Inactive inbox: historical hand-to-handler-on-arrival behaviour.
     ++stats_.delivered;
     if (transit_histogram_ != nullptr) {
       transit_histogram_->observe(static_cast<double>((scheduler_.now() - envelope.sent_at).ns));
     }
-    it->second.handler(std::move(envelope));
+    entry.handler(std::move(envelope));
+    return;
+  }
+  if (entry.inbox->busy) {
+    enqueue(entry, std::move(envelope));
+  } else {
+    serve(entry, std::move(envelope));
+  }
+}
+
+void MessageBus::deliver_after(util::Duration delay, Envelope envelope) {
+  scheduler_.schedule_after(delay, [this, envelope = std::move(envelope)]() mutable {
+    arrive(std::move(envelope));
   });
 }
 

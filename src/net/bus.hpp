@@ -12,16 +12,29 @@
 // reorder, or partition traffic — the substrate the chaos suite and the
 // RPC retry layer are exercised against. With no plan configured the bus
 // behaves exactly as before: every envelope arrives after latency+jitter.
+//
+// Endpoints may additionally carry a *bounded inbox* (net/overload.hpp):
+// a finite two-class queue with a per-envelope service time. Control
+// traffic (RPC framing plus registered control types) is dequeued ahead
+// of data deliveries and is never shed while data remains to shed; data
+// past capacity is shed by the endpoint's OverflowPolicy, optionally
+// echoing a kNack to the sender. Endpoints without an inbox config keep
+// the historical hand-to-handler-on-arrival behaviour exactly.
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
+#include <vector>
 
 #include "net/fault.hpp"
+#include "net/overload.hpp"
 #include "obs/metrics.hpp"
 #include "sim/scheduler.hpp"
 #include "util/bytes.hpp"
@@ -38,10 +51,15 @@ struct Address {
 };
 
 /// Application-level message type tag. Values below 100 are reserved for
-/// the substrate (RPC framing); services define their own above that.
+/// the substrate (RPC framing, overload NACKs); services define their own
+/// above that.
 enum class MessageType : std::uint16_t {
   kRpcRequest = 1,
   kRpcResponse = 2,
+  /// Overload rejection: a kRejectNack inbox shed this sender's envelope.
+  /// Payload: [u16 original type][first 8 bytes of the original payload]
+  /// — enough for the RPC layer to fail the attempt fast (net/rpc.hpp).
+  kNack = 3,
   kAppBase = 100,
 };
 
@@ -76,6 +94,21 @@ struct RpcStats {
   std::uint64_t retries = 0;    ///< Re-sent attempts after a timeout.
   std::uint64_t exhausted = 0;  ///< Calls that failed after the full budget.
   std::uint64_t deduped = 0;    ///< Requests answered from the callee cache.
+  std::uint64_t nacked = 0;     ///< Attempts failed fast by an inbox NACK.
+  std::uint64_t breaker_opens = 0;      ///< closed/half-open -> open edges.
+  std::uint64_t breaker_fast_fails = 0; ///< Calls rejected while not closed.
+  std::uint64_t open_breakers = 0;      ///< Breakers currently not closed.
+};
+
+/// One shed event, for the replay journal (determinism tests compare the
+/// text rendering byte-for-byte across runs).
+struct ShedRecord {
+  util::SimTime at;
+  std::string from;
+  std::string to;
+  TrafficClass cls = TrafficClass::kData;
+  OverflowPolicy policy = OverflowPolicy::kDropNewest;
+  std::uint16_t type = 0;
 };
 
 class MessageBus {
@@ -85,6 +118,22 @@ class MessageBus {
     util::Duration max_jitter = util::Duration::micros(100);
     /// Deterministic chaos regime; default-constructed = fully reliable.
     FaultPlan faults;
+
+    /// Inbox applied to every endpoint without a per-name override. The
+    /// default is inactive: direct delivery, no queueing, no shedding.
+    InboxConfig default_inbox;
+    /// Per-endpoint inbox overrides, keyed by endpoint name (stable
+    /// across runs, like FaultPlan links).
+    std::map<std::string, InboxConfig> inboxes;
+    /// App-level message types scheduled as control plane in addition to
+    /// the substrate types (< kAppBase), e.g. actuation and credit
+    /// replenishment. The runtime registers core's control types here.
+    std::vector<MessageType> control_types;
+    /// Default circuit-breaker contract for every RpcNode on this bus.
+    BreakerConfig breaker;
+    /// When > 0, record the first N shed events in a byte-comparable
+    /// journal (same contract as FaultPlan::journal_limit).
+    std::size_t shed_journal_limit = 0;
   };
 
   MessageBus(sim::Scheduler& scheduler, Config config);
@@ -92,7 +141,8 @@ class MessageBus {
   using Handler = std::function<void(Envelope)>;
 
   /// Registers a named endpoint; the name supports discovery. Names must
-  /// be unique. Returns the new address.
+  /// be unique. Returns the new address. The endpoint's inbox comes from
+  /// Config::inboxes[name], falling back to Config::default_inbox.
   Address add_endpoint(std::string name, Handler handler);
 
   void remove_endpoint(Address address);
@@ -107,12 +157,17 @@ class MessageBus {
   /// identified by endpoint names, so plans are stable across runs.
   void post(Address from, Address to, MessageType type, util::SharedBytes payload);
 
+  /// Installs (or replaces) an endpoint's inbox at runtime; queued
+  /// envelopes are preserved. Used by tests and operator tooling.
+  void set_inbox(Address address, InboxConfig config);
+
   /// Registers native telemetry instruments (envelope transit-time and
   /// size distributions) and a pull collector exposing the bus counters
   /// (garnet.bus.posted/delivered/dropped_no_endpoint/bytes), the
-  /// payload-path accounting (garnet.bus.payload_allocs /
-  /// payload_alloc_bytes / payload_copies), the fault counters
-  /// (garnet.bus.faults{kind=...}), and the RPC reliability counters
+  /// payload-path accounting (garnet.bus.payload_*), the fault counters
+  /// (garnet.bus.faults{kind=...}), the overload accounting
+  /// (garnet.bus.shed{class,policy}, garnet.bus.nacks,
+  /// garnet.bus.inbox_depth), and the RPC reliability + breaker counters
   /// (garnet.rpc.*).
   void set_metrics(obs::MetricsRegistry& registry);
 
@@ -125,27 +180,68 @@ class MessageBus {
   [[nodiscard]] RpcStats& rpc_stats() noexcept { return rpc_stats_; }
   [[nodiscard]] const RpcStats& rpc_stats() const noexcept { return rpc_stats_; }
 
+  /// Shed accounting across every bounded inbox on the bus.
+  [[nodiscard]] const ShedStats& shed_stats() const noexcept { return shed_stats_; }
+  /// Deterministic one-line-per-shed rendering for replay comparison
+  /// (empty unless Config::shed_journal_limit > 0).
+  [[nodiscard]] std::string shed_journal_text() const;
+
+  /// Queued envelopes at one endpoint (0 for inactive inboxes or unknown
+  /// addresses); the in-service envelope is not counted.
+  [[nodiscard]] std::size_t inbox_depth(Address address) const;
+  /// Sum of all endpoint inbox depths.
+  [[nodiscard]] std::size_t total_inbox_depth() const;
+
+  /// Scheduling class of a message type under this bus's configuration.
+  [[nodiscard]] TrafficClass classify(MessageType type) const;
+
+  /// Default circuit-breaker contract RpcNodes inherit at construction.
+  [[nodiscard]] const BreakerConfig& breaker_config() const noexcept { return config_.breaker; }
+
   [[nodiscard]] sim::Scheduler& scheduler() noexcept { return scheduler_; }
   [[nodiscard]] util::SimTime now() const noexcept { return scheduler_.now(); }
 
  private:
+  /// Two-class bounded queue with a serial server: one envelope is in
+  /// service for `service_time`; arrivals meanwhile queue, control ahead
+  /// of data; past capacity the OverflowPolicy decides who is shed.
+  struct Inbox {
+    InboxConfig config;
+    std::deque<Envelope> control;
+    std::deque<Envelope> data;
+    bool busy = false;
+
+    [[nodiscard]] std::size_t depth() const noexcept { return control.size() + data.size(); }
+    explicit Inbox(InboxConfig c) : config(c) {}
+  };
+
   struct EndpointEntry {
     std::string name;
     Handler handler;
+    std::unique_ptr<Inbox> inbox;  ///< Null when the inbox is inactive.
   };
 
   void deliver_after(util::Duration delay, Envelope envelope);
+  void arrive(Envelope envelope);
+  void enqueue(EndpointEntry& entry, Envelope envelope);
+  void serve(EndpointEntry& entry, Envelope envelope);
+  void service_done(Address address);
+  void shed(const Envelope& envelope, TrafficClass cls, OverflowPolicy policy);
+  void nack(const Envelope& envelope);
   [[nodiscard]] const std::string& name_of(Address address) const;
   void collect(obs::SnapshotBuilder& out) const;
 
   sim::Scheduler& scheduler_;
   Config config_;
+  std::unordered_set<std::uint16_t> control_types_;
   std::unordered_map<std::uint32_t, EndpointEntry> endpoints_;
   std::unordered_map<std::string, std::uint32_t> names_;
   std::uint32_t next_address_ = 1;
   std::uint64_t jitter_state_ = 0x6A1B2C3D4E5F6071ull;
   BusStats stats_;
   RpcStats rpc_stats_;
+  ShedStats shed_stats_;
+  std::vector<ShedRecord> shed_journal_;
   std::unique_ptr<FaultInjector> injector_;
   obs::Histogram* transit_histogram_ = nullptr;
   obs::Histogram* size_histogram_ = nullptr;

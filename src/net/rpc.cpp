@@ -19,6 +19,7 @@ std::string_view to_string(RpcError e) {
     case RpcError::kTimeout: return "timeout";
     case RpcError::kNoSuchMethod: return "no such method";
     case RpcError::kRemoteFailure: return "remote failure";
+    case RpcError::kCircuitOpen: return "circuit open";
   }
   return "unknown";
 }
@@ -33,7 +34,64 @@ RpcNode::RpcNode(MessageBus& bus, std::string name, std::function<void(Envelope)
 
 RpcNode::~RpcNode() {
   for (auto& [id, call] : pending_) bus_.scheduler().cancel(call.timer);
+  // The bus's open-breaker gauge tracks live nodes only.
+  for (const auto& [callee, breaker] : breakers_) {
+    if (breaker.state != BreakerState::kClosed) --bus_.rpc_stats().open_breakers;
+  }
   bus_.remove_endpoint(address_);
+}
+
+RpcNode::Breaker* RpcNode::breaker_for(Address callee) {
+  const BreakerConfig& config = bus_.breaker_config();
+  if (!config.enabled()) return nullptr;
+  Breaker& breaker = breakers_[callee.value];
+  // Lazy open -> half-open: evaluated when the next call arrives rather
+  // than on a timer, so an idle breaker costs nothing.
+  if (breaker.state == BreakerState::kOpen &&
+      bus_.now() >= breaker.opened_at + config.open_for) {
+    breaker.state = BreakerState::kHalfOpen;
+    breaker.probe_inflight = false;
+  }
+  return &breaker;
+}
+
+RpcNode::BreakerState RpcNode::breaker_state(Address callee) {
+  const Breaker* breaker = breaker_for(callee);
+  return breaker != nullptr ? breaker->state : BreakerState::kClosed;
+}
+
+void RpcNode::note_exhausted(Address callee) {
+  Breaker* breaker = breaker_for(callee);
+  if (breaker == nullptr) return;
+  ++breaker->consecutive_failures;
+  if (breaker->state == BreakerState::kHalfOpen) {
+    // The probe itself exhausted: straight back to open for another
+    // cool-down. The breaker was already counted as non-closed.
+    breaker->state = BreakerState::kOpen;
+    breaker->opened_at = bus_.now();
+    breaker->probe_inflight = false;
+    ++bus_.rpc_stats().breaker_opens;
+  } else if (breaker->state == BreakerState::kClosed &&
+             breaker->consecutive_failures >= bus_.breaker_config().failure_threshold) {
+    breaker->state = BreakerState::kOpen;
+    breaker->opened_at = bus_.now();
+    ++bus_.rpc_stats().breaker_opens;
+    ++bus_.rpc_stats().open_breakers;
+  }
+}
+
+void RpcNode::note_answered(Address callee) {
+  const auto it = breakers_.find(callee.value);
+  if (it == breakers_.end()) return;
+  Breaker& breaker = it->second;
+  breaker.consecutive_failures = 0;
+  // Any answer proves the callee alive — including a late one that races
+  // the open state: recover immediately rather than waiting out open_for.
+  if (breaker.state != BreakerState::kClosed) {
+    breaker.state = BreakerState::kClosed;
+    breaker.probe_inflight = false;
+    --bus_.rpc_stats().open_breakers;
+  }
 }
 
 void RpcNode::expose(MethodId method, RpcHandler handler) {
@@ -55,6 +113,20 @@ void RpcNode::expose_async(MethodId method, AsyncRpcHandler handler) {
 void RpcNode::call(Address callee, MethodId method, util::Bytes args, CallOptions options,
                    RpcCallback on_done) {
   assert(on_done);
+
+  if (Breaker* breaker = breaker_for(callee); breaker != nullptr) {
+    if (breaker->state == BreakerState::kOpen ||
+        (breaker->state == BreakerState::kHalfOpen && breaker->probe_inflight)) {
+      // Fail fast without touching the wire; asynchronously, so callers
+      // see the same callback discipline as every other outcome.
+      ++bus_.rpc_stats().breaker_fast_fails;
+      bus_.scheduler().schedule_after(
+          util::Duration{}, [cb = std::move(on_done)] { cb(util::Err{RpcError::kCircuitOpen}); });
+      return;
+    }
+    if (breaker->state == BreakerState::kHalfOpen) breaker->probe_inflight = true;
+  }
+
   const std::uint64_t call_id = next_call_id_++;
 
   util::ByteWriter w(11 + args.size());
@@ -110,6 +182,7 @@ void RpcNode::on_attempt_timeout(std::uint64_t call_id) {
   }
 
   ++bus_.rpc_stats().exhausted;
+  note_exhausted(pending.callee);
   RpcCallback cb = std::move(pending.on_done);
   pending_.erase(it);
   cb(util::Err{RpcError::kTimeout});
@@ -126,6 +199,9 @@ void RpcNode::on_envelope(Envelope envelope) {
       return;
     case MessageType::kRpcResponse:
       on_response(envelope);
+      return;
+    case MessageType::kNack:
+      on_nack(envelope);
       return;
     default:
       if (fallback_) fallback_(std::move(envelope));
@@ -203,12 +279,32 @@ void RpcNode::on_request(const Envelope& envelope) {
   it->second(caller, args.subspan(r.consumed()), std::move(respond));
 }
 
+void RpcNode::on_nack(const Envelope& envelope) {
+  // An overloaded inbox rejected one of our envelopes (kRejectNack). The
+  // payload names the original type plus its first 8 bytes; for a shed
+  // RPC request those are the call id, which lets the attempt fail now
+  // instead of burning the rest of its timeout. A shed *response* is not
+  // actionable here — the caller's own timeout covers it.
+  util::ByteReader r(envelope.payload);
+  const auto original = static_cast<MessageType>(r.u16());
+  const std::uint64_t call_id = r.u64();
+  if (!r.ok() || original != MessageType::kRpcRequest) return;
+  const auto it = pending_.find(call_id);
+  // The callee-address check guards against call-id collisions: ids are
+  // per-caller, so a nack echoing someone else's id must not match.
+  if (it == pending_.end() || !(it->second.callee == envelope.from)) return;
+  ++bus_.rpc_stats().nacked;
+  bus_.scheduler().cancel(it->second.timer);
+  on_attempt_timeout(call_id);  // retry (with backoff) or exhaust, as usual
+}
+
 void RpcNode::on_response(const Envelope& envelope) {
   util::ByteReader r(envelope.payload);
   const std::uint64_t call_id = r.u64();
   const auto status = static_cast<Status>(r.u8());
   if (!r.ok()) return;
 
+  note_answered(envelope.from);
   const auto it = pending_.find(call_id);
   // Late or duplicated response: the call already completed (or gave up);
   // the callback must not fire again.

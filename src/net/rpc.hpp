@@ -38,6 +38,7 @@ enum class RpcError : std::uint8_t {
   kTimeout,        ///< No response within the deadline (after all retries).
   kNoSuchMethod,   ///< Callee does not implement the method.
   kRemoteFailure,  ///< Callee handler reported failure.
+  kCircuitOpen,    ///< Failed fast: this callee's circuit breaker is open.
 };
 
 [[nodiscard]] std::string_view to_string(RpcError e);
@@ -110,9 +111,15 @@ class RpcNode {
 
   /// Invokes `method` on `callee` under `options`; `on_done` fires exactly
   /// once, with the response or an error (timeout after the retry budget
-  /// is spent).
+  /// is spent, or kCircuitOpen immediately when this callee's breaker is
+  /// not accepting traffic).
   void call(Address callee, MethodId method, util::Bytes args, CallOptions options,
             RpcCallback on_done);
+
+  /// Circuit-breaker state towards one callee (bus Config::breaker; see
+  /// net/overload.hpp for the state machine). kClosed when disabled.
+  enum class BreakerState : std::uint8_t { kClosed, kOpen, kHalfOpen };
+  [[nodiscard]] BreakerState breaker_state(Address callee);
 
   /// Posts a plain (non-RPC) message from this node's address.
   void post(Address to, MessageType type, util::SharedBytes payload);
@@ -145,12 +152,25 @@ class RpcNode {
     util::Duration next_backoff{};
   };
 
+  /// Per-callee breaker bookkeeping. The open->half-open transition is
+  /// lazy: evaluated when the next call towards the callee arrives.
+  struct Breaker {
+    BreakerState state = BreakerState::kClosed;
+    std::uint32_t consecutive_failures = 0;
+    util::SimTime opened_at;
+    bool probe_inflight = false;  ///< Half-open admits exactly one call.
+  };
+
   void on_envelope(Envelope envelope);
   void on_request(const Envelope& envelope);
   void on_response(const Envelope& envelope);
+  void on_nack(const Envelope& envelope);
   void send_attempt(std::uint64_t call_id);
   void on_attempt_timeout(std::uint64_t call_id);
   void remember(const DedupKey& key, DedupEntry entry);
+  [[nodiscard]] Breaker* breaker_for(Address callee);
+  void note_exhausted(Address callee);
+  void note_answered(Address callee);
 
   MessageBus& bus_;
   Address address_;
@@ -159,6 +179,7 @@ class RpcNode {
   std::unordered_map<std::uint64_t, PendingCall> pending_;
   std::map<DedupKey, DedupEntry> dedup_;
   std::deque<DedupKey> dedup_order_;
+  std::unordered_map<std::uint32_t, Breaker> breakers_;
   util::Rng backoff_rng_;
   std::uint64_t next_call_id_ = 1;
 };

@@ -179,8 +179,14 @@ Histogram& MetricsRegistry::histogram(const std::string& name, Histogram::Layout
   return *entry.histogram;
 }
 
-void MetricsRegistry::add_collector(Collector collector) {
-  collectors_.push_back(std::move(collector));
+MetricsRegistry::CollectorId MetricsRegistry::add_collector(Collector collector) {
+  const CollectorId id = next_collector_id_++;
+  collectors_.emplace_back(id, std::move(collector));
+  return id;
+}
+
+void MetricsRegistry::remove_collector(CollectorId id) {
+  std::erase_if(collectors_, [id](const auto& entry) { return entry.first == id; });
 }
 
 MetricsSnapshot MetricsRegistry::snapshot(std::uint64_t now_ns) const {
@@ -200,7 +206,7 @@ MetricsSnapshot MetricsRegistry::snapshot(std::uint64_t now_ns) const {
     snap.samples.push_back(std::move(sample));
   }
   SnapshotBuilder builder(snap.samples);
-  for (const Collector& collector : collectors_) collector(builder);
+  for (const auto& [id, collector] : collectors_) collector(builder);
   std::sort(snap.samples.begin(), snap.samples.end(), [](const Sample& a, const Sample& b) {
     if (a.name != b.name) return a.name < b.name;
     return a.labels < b.labels;

@@ -175,8 +175,13 @@ class MetricsRegistry {
 
   /// Pull-style adapter invoked on every snapshot(); lets services with
   /// plain stats structs expose them without converting to atomics.
+  /// Returns a token for remove_collector — owners with a narrower
+  /// lifetime than the registry (stack-allocated services in tests) must
+  /// deregister before they are destroyed.
   using Collector = std::function<void(SnapshotBuilder&)>;
-  void add_collector(Collector collector);
+  using CollectorId = std::uint64_t;
+  CollectorId add_collector(Collector collector);
+  void remove_collector(CollectorId id);
 
   [[nodiscard]] MetricsSnapshot snapshot(std::uint64_t now_ns = 0) const;
 
@@ -195,7 +200,8 @@ class MetricsRegistry {
   Entry& entry_for(const std::string& name, Labels labels, InstrumentKind kind);
 
   std::map<std::string, Entry> entries_;  ///< Keyed by name + label_string.
-  std::vector<Collector> collectors_;
+  std::vector<std::pair<CollectorId, Collector>> collectors_;
+  CollectorId next_collector_id_ = 1;
 };
 
 }  // namespace garnet::obs

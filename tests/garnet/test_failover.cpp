@@ -8,6 +8,8 @@
 
 #include <set>
 
+#include "obs/metrics.hpp"
+
 namespace garnet {
 namespace {
 
@@ -23,7 +25,13 @@ wireless::ReceptionReport make_report(core::SequenceNo seq, wireless::ReceiverId
 }
 
 struct FailoverFixture : ::testing::Test {
+  // Declared before any FilteringFailover in the tests so it outlives
+  // them: failover counters now surface only through the registry.
+  obs::MetricsRegistry registry;
   sim::Scheduler scheduler;
+
+  std::uint64_t counter(const char* name) { return registry.snapshot().counter(name); }
+  double gauge(const char* name) { return registry.snapshot().gauge(name); }
 
   FilteringFailover::Config config_for(FilteringFailover::Mode mode) {
     FilteringFailover::Config config;
@@ -36,18 +44,20 @@ struct FailoverFixture : ::testing::Test {
 
 TEST_F(FailoverFixture, NormalOperationForwardsPrimaryOnly) {
   FilteringFailover failover(scheduler, config_for(FilteringFailover::Mode::kHot));
+  failover.set_metrics(registry);
   std::size_t out = 0;
   failover.set_message_sink([&](const core::DataMessage&, SimTime) { ++out; });
 
   for (core::SequenceNo seq = 0; seq < 10; ++seq) failover.ingest(make_report(seq));
   EXPECT_EQ(out, 10u);
   // The hot standby processed everything too, silently.
-  EXPECT_EQ(failover.stats().suppressed_standby_outputs, 10u);
+  EXPECT_EQ(counter("garnet.failover.suppressed_standby_outputs"), 10u);
   EXPECT_FALSE(failover.failed_over());
 }
 
 TEST_F(FailoverFixture, WatchdogPromotesWithinDetectionBudget) {
   FilteringFailover failover(scheduler, config_for(FilteringFailover::Mode::kHot));
+  failover.set_metrics(registry);
   failover.set_message_sink([](const core::DataMessage&, SimTime) {});
 
   scheduler.run_for(Duration::seconds(1));
@@ -56,14 +66,17 @@ TEST_F(FailoverFixture, WatchdogPromotesWithinDetectionBudget) {
   failover.kill_primary();
   scheduler.run_for(Duration::seconds(1));
   EXPECT_TRUE(failover.failed_over());
-  EXPECT_EQ(failover.stats().failovers, 1u);
+  EXPECT_EQ(counter("garnet.failover.failovers"), 1u);
   // 3 misses at 100ms heartbeat: detection within (3..4] beats.
-  EXPECT_LE(failover.stats().last_detection_latency.ns, Duration::millis(400).ns);
-  EXPECT_GE(failover.stats().last_detection_latency.ns, Duration::millis(200).ns);
+  EXPECT_LE(gauge("garnet.failover.detection_latency_ns"),
+            static_cast<double>(Duration::millis(400).ns));
+  EXPECT_GE(gauge("garnet.failover.detection_latency_ns"),
+            static_cast<double>(Duration::millis(200).ns));
 }
 
 TEST_F(FailoverFixture, HotStandbyPreservesDedupAcrossFailover) {
   FilteringFailover failover(scheduler, config_for(FilteringFailover::Mode::kHot));
+  failover.set_metrics(registry);
   std::multiset<core::SequenceNo> delivered;
   failover.set_message_sink(
       [&](const core::DataMessage& m, SimTime) { delivered.insert(m.sequence); });
@@ -86,6 +99,7 @@ TEST_F(FailoverFixture, HotStandbyPreservesDedupAcrossFailover) {
 
 TEST_F(FailoverFixture, ColdStandbyLeaksDuplicatesAfterFailover) {
   FilteringFailover failover(scheduler, config_for(FilteringFailover::Mode::kCold));
+  failover.set_metrics(registry);
   std::multiset<core::SequenceNo> delivered;
   failover.set_message_sink(
       [&](const core::DataMessage& m, SimTime) { delivered.insert(m.sequence); });
@@ -105,6 +119,7 @@ TEST_F(FailoverFixture, ColdStandbyLeaksDuplicatesAfterFailover) {
 
 TEST_F(FailoverFixture, DetectionWindowLossIsCounted) {
   FilteringFailover failover(scheduler, config_for(FilteringFailover::Mode::kHot));
+  failover.set_metrics(registry);
   std::size_t out = 0;
   failover.set_message_sink([&](const core::DataMessage&, SimTime) { ++out; });
 
@@ -112,7 +127,7 @@ TEST_F(FailoverFixture, DetectionWindowLossIsCounted) {
   // Traffic arriving while headless is lost and accounted.
   for (core::SequenceNo seq = 0; seq < 7; ++seq) failover.ingest(make_report(seq));
   EXPECT_EQ(out, 0u);
-  EXPECT_EQ(failover.stats().lost_in_window, 7u);
+  EXPECT_EQ(counter("garnet.failover.lost_in_window"), 7u);
 
   scheduler.run_for(Duration::seconds(1));
   ASSERT_TRUE(failover.failed_over());
@@ -126,23 +141,26 @@ TEST_F(FailoverFixture, DetectionWindowLossIsCounted) {
 
 TEST_F(FailoverFixture, NoSpontaneousFailover) {
   FilteringFailover failover(scheduler, config_for(FilteringFailover::Mode::kHot));
+  failover.set_metrics(registry);
   scheduler.run_for(Duration::seconds(60));
   EXPECT_FALSE(failover.failed_over());
-  EXPECT_EQ(failover.stats().failovers, 0u);
-  EXPECT_GT(failover.stats().heartbeats, 500u);
-  EXPECT_EQ(failover.stats().misses, 0u);
+  EXPECT_EQ(counter("garnet.failover.failovers"), 0u);
+  EXPECT_GT(counter("garnet.failover.heartbeats"), 500u);
+  EXPECT_EQ(counter("garnet.failover.misses"), 0u);
 }
 
 TEST_F(FailoverFixture, KillIsIdempotent) {
   FilteringFailover failover(scheduler, config_for(FilteringFailover::Mode::kHot));
+  failover.set_metrics(registry);
   failover.kill_primary();
   failover.kill_primary();
   scheduler.run_for(Duration::seconds(1));
-  EXPECT_EQ(failover.stats().failovers, 1u);
+  EXPECT_EQ(counter("garnet.failover.failovers"), 1u);
 }
 
 TEST_F(FailoverFixture, ReceptionEventsFollowActiveReplica) {
   FilteringFailover failover(scheduler, config_for(FilteringFailover::Mode::kHot));
+  failover.set_metrics(registry);
   std::size_t events = 0;
   failover.set_reception_sink([&](const core::ReceptionEvent&) { ++events; });
 
@@ -162,15 +180,17 @@ TEST_F(FailoverFixture, ReceptionEventsFollowActiveReplica) {
 TEST_F(FailoverFixture, BusHeartbeatStaysQuietWhilePrimaryAnswers) {
   net::MessageBus bus(scheduler, {});
   FilteringFailover failover(scheduler, bus, config_for(FilteringFailover::Mode::kHot));
+  failover.set_metrics(registry);
   scheduler.run_for(Duration::seconds(10));
   EXPECT_FALSE(failover.failed_over());
-  EXPECT_EQ(failover.stats().misses, 0u);
-  EXPECT_GT(failover.stats().heartbeats, 90u);
+  EXPECT_EQ(counter("garnet.failover.misses"), 0u);
+  EXPECT_GT(counter("garnet.failover.heartbeats"), 90u);
 }
 
 TEST_F(FailoverFixture, BusHeartbeatPromotesOnCrash) {
   net::MessageBus bus(scheduler, {});
   FilteringFailover failover(scheduler, bus, config_for(FilteringFailover::Mode::kHot));
+  failover.set_metrics(registry);
   std::size_t out = 0;
   failover.set_message_sink([&](const core::DataMessage&, SimTime) { ++out; });
 
@@ -181,8 +201,8 @@ TEST_F(FailoverFixture, BusHeartbeatPromotesOnCrash) {
   failover.kill_primary();
   scheduler.run_for(Duration::seconds(1));
   EXPECT_TRUE(failover.failed_over());
-  EXPECT_EQ(failover.stats().failovers, 1u);
-  EXPECT_GE(failover.stats().misses, 3u);
+  EXPECT_EQ(counter("garnet.failover.failovers"), 1u);
+  EXPECT_GE(counter("garnet.failover.misses"), 3u);
 
   failover.ingest(make_report(0));
   EXPECT_EQ(out, 1u);  // the promoted standby serves traffic

@@ -14,6 +14,8 @@
 //     denial instead of a silent stall.
 #include <gtest/gtest.h>
 
+#include <functional>
+
 #include "garnet/failover.hpp"
 #include "garnet/runtime.hpp"
 #include "net/rpc.hpp"
@@ -214,7 +216,9 @@ TEST(Chaos, PartitionPromotesFailoverAndDedupHoldsAfterHeal) {
   failover_config.mode = FilteringFailover::Mode::kHot;
   failover_config.heartbeat_interval = Duration::millis(100);
   failover_config.miss_threshold = 3;
+  obs::MetricsRegistry registry;
   FilteringFailover failover(scheduler, bus, failover_config);
+  failover.set_metrics(registry);
 
   std::multiset<core::SequenceNo> delivered;
   failover.set_message_sink(
@@ -232,13 +236,13 @@ TEST(Chaos, PartitionPromotesFailoverAndDedupHoldsAfterHeal) {
   for (core::SequenceNo seq = 0; seq < 5; ++seq) failover.ingest(report(seq, 1));
   scheduler.run_until(SimTime{} + Duration::millis(450));
   EXPECT_FALSE(failover.failed_over());
-  EXPECT_EQ(failover.stats().misses, 0u);
+  EXPECT_EQ(registry.snapshot().counter("garnet.failover.misses"), 0u);
 
   // Partition opens at 500ms: the watchdog's pings stop arriving even
   // though the primary never crashed; the standby must be promoted.
   scheduler.run_until(SimTime{} + Duration::millis(1400));
   EXPECT_TRUE(failover.failed_over());
-  EXPECT_EQ(failover.stats().failovers, 1u);
+  EXPECT_EQ(registry.snapshot().counter("garnet.failover.failovers"), 1u);
   EXPECT_GT(bus.fault_injector()->counters().partitioned, 0u);
 
   // After the heal, late radio copies of the pre-partition messages
@@ -250,6 +254,72 @@ TEST(Chaos, PartitionPromotesFailoverAndDedupHoldsAfterHeal) {
   }
   failover.ingest(report(100, 1));
   EXPECT_EQ(delivered.count(100), 1u);  // fresh traffic flows post-heal
+}
+
+TEST(Chaos, FailoverDetectsDeadPrimaryThroughSaturatedWatchdogInbox) {
+  // Combined partition + overload chaos: the watchdog's bounded inbox is
+  // kept saturated by a data-plane flood for the whole run, and the
+  // primary is islanded by a FaultPlan partition mid-flood. Liveness
+  // traffic (ping responses) is control-plane, so it displaces flood
+  // data instead of being shed — before the cut the flood must not
+  // cause a false promotion, and once the partition opens the missed
+  // pings still promote the standby on schedule.
+  sim::Scheduler scheduler;
+  net::MessageBus::Config config;
+  {
+    net::InboxConfig inbox;
+    inbox.capacity = 4;
+    inbox.policy = net::OverflowPolicy::kDropOldest;
+    inbox.service_time = Duration::millis(1);
+    config.inboxes[FilteringFailover::kWatchdogEndpointName] = inbox;
+  }
+  {
+    net::FaultPlan::PartitionSpec partition;
+    partition.name = "primary-island";
+    partition.members = {FilteringFailover::kPrimaryEndpointName};
+    partition.opens_at = SimTime{} + Duration::millis(1000);
+    config.faults.partitions.push_back(partition);
+  }
+  net::MessageBus bus(scheduler, config);
+
+  FilteringFailover::Config failover_config;
+  failover_config.mode = FilteringFailover::Mode::kHot;
+  failover_config.heartbeat_interval = Duration::millis(100);
+  failover_config.miss_threshold = 3;
+  obs::MetricsRegistry registry;
+  FilteringFailover failover(scheduler, bus, failover_config);
+  failover.set_metrics(registry);
+
+  // Data-plane flood aimed at the watchdog endpoint, refreshed faster
+  // than its inbox drains so the queue stays pinned at capacity.
+  const net::Address flooder = bus.add_endpoint("chaos.flooder", [](net::Envelope) {});
+  const auto watchdog = bus.lookup(FilteringFailover::kWatchdogEndpointName);
+  ASSERT_TRUE(watchdog.has_value());
+  std::function<void()> flood = [&] {
+    for (int i = 0; i < 8; ++i) {
+      bus.post(flooder, *watchdog, net::app_type(0), util::SharedBytes{util::to_bytes("junk")});
+    }
+    if (scheduler.now() < SimTime{} + Duration::millis(1900)) {
+      scheduler.schedule_after(Duration::millis(2), flood);
+    }
+  };
+  flood();
+
+  // Healthy primary + saturated watchdog inbox: no false promotion.
+  scheduler.run_until(SimTime{} + Duration::millis(1000));
+  EXPECT_FALSE(failover.failed_over());
+  EXPECT_EQ(registry.snapshot().counter("garnet.failover.misses"), 0u);
+  EXPECT_GT(bus.shed_stats().data_total(), 0u);  // the flood really overflowed
+
+  // At t=1s the partition islands the primary mid-flood: detection must
+  // land within the usual heartbeat_interval * miss_threshold budget
+  // despite the saturation.
+  scheduler.run_until(SimTime{} + Duration::millis(1600));
+  EXPECT_TRUE(failover.failed_over());
+  EXPECT_EQ(registry.snapshot().counter("garnet.failover.failovers"), 1u);
+
+  // The structural invariant: only data-plane traffic was shed.
+  EXPECT_EQ(bus.shed_stats().control_total(), 0u);
 }
 
 TEST(Chaos, UnreachableResourceManagerDegradesToDenial) {

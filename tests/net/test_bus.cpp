@@ -170,7 +170,10 @@ TEST(BusFaultAliasing, InjectedDuplicateSharesTheBufferNotACopy) {
 }
 
 TEST_F(BusFixture, OrderPreservedForEqualJitter) {
-  MessageBus nojitter(scheduler, {Duration::micros(100), Duration::nanos(0), {}});
+  MessageBus::Config config;
+  config.latency = Duration::micros(100);
+  config.max_jitter = Duration::nanos(0);
+  MessageBus nojitter(scheduler, config);
   std::vector<int> order;
   const Address a = nojitter.add_endpoint("a", [&](Envelope e) {
     util::ByteReader r(e.payload);
