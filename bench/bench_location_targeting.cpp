@@ -69,19 +69,20 @@ Outcome run_scenario(std::size_t grid, std::size_t sensors, bool warm, std::uint
     applied += runtime.field().sensor_at(i).updates_applied();
   }
 
-  const auto& rep = runtime.replicator().stats();
+  const auto snap = runtime.telemetry().registry.snapshot();
+  const auto sends = snap.counter("garnet.replicator.sends");
+  const auto activations = snap.counter("garnet.replicator.transmitter_activations");
+  const auto targeted = snap.counter("garnet.replicator.targeted_sends");
   const auto& radio = runtime.field().medium().stats();
   Outcome outcome;
   outcome.activations_per_send =
-      rep.sends ? static_cast<double>(rep.transmitter_activations) / static_cast<double>(rep.sends)
-                : 0;
+      sends ? static_cast<double>(activations) / static_cast<double>(sends) : 0;
   outcome.downlink_bytes_per_send =
-      rep.sends ? static_cast<double>(radio.downlink_bytes_sent) / static_cast<double>(rep.sends)
-                : 0;
+      sends ? static_cast<double>(radio.downlink_bytes_sent) / static_cast<double>(sends) : 0;
   outcome.delivery_success =
       static_cast<double>(applied - applied_before) / static_cast<double>(sensors);
   outcome.targeted_fraction =
-      rep.sends ? static_cast<double>(rep.targeted_sends) / static_cast<double>(rep.sends) : 0;
+      sends ? static_cast<double>(targeted) / static_cast<double>(sends) : 0;
   return outcome;
 }
 

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""CI gate over BENCH_recovery.json (see bench/bench_recovery.cpp).
+
+The report is the full telemetry snapshot of the canonical crash cycle
+(250ms checkpoint cadence, 3-miss watchdog): the dispatcher is
+crash-stopped mid-flood and the watchdog promotes it from checkpoint +
+op-log + orphanage stash. The gate enforces the recovery contract from
+docs/FAULT_MODEL.md:
+
+  1. zero duplicates after promotion — restored dedup windows and
+     sequence cursors must close the replay/duplicate leak completely;
+  2. every crashed service recovered (crashes == promotions + rejoins
+     and the garnet.recovery.crashed gauge ended at zero);
+  3. the cycle actually exercised recovery (a crash fired, a checkpoint
+     was stored, the stash replayed something — an idle gate proves
+     nothing).
+"""
+import json
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) != 2:
+        print("usage: check_recovery_report.py BENCH_recovery.json", file=sys.stderr)
+        return 2
+    with open(sys.argv[1], encoding="utf-8") as fh:
+        report = json.load(fh)
+
+    values = {}
+    for metric in report["metrics"]:
+        # Histograms carry count/sum/quantiles instead of a scalar value.
+        if not metric.get("labels") and "value" in metric:
+            values[metric["name"]] = metric["value"]
+
+    def value(name, default=None):
+        if name in values:
+            return values[name]
+        return default
+
+    failures = []
+
+    duplicates = value("bench.recovery.duplicates_after_promotion")
+    if duplicates is None:
+        failures.append("bench.recovery.duplicates_after_promotion missing from the report")
+    elif duplicates > 0:
+        failures.append(
+            f"{duplicates:.0f} duplicate deliveries after promotion — "
+            "recovery re-delivered acknowledged messages"
+        )
+
+    crashes = value("garnet.recovery.crashes", 0.0)
+    recovered = value("garnet.recovery.promotions", 0.0) + value("garnet.recovery.rejoins", 0.0)
+    still_down = value("garnet.recovery.crashed", 0.0)
+    if crashes == 0:
+        failures.append("no crash fired — the recovery path was never exercised")
+    if recovered < crashes:
+        failures.append(
+            f"only {recovered:.0f} of {crashes:.0f} crashed services recovered"
+        )
+    if still_down > 0:
+        failures.append(f"{still_down:.0f} services still crashed at end of run")
+
+    if value("garnet.checkpoint.stored", 0.0) == 0:
+        failures.append("no checkpoint was replicated — promotion ran stateless")
+    if value("garnet.dispatch.recovery_replayed", 0.0) == 0:
+        failures.append("the orphanage stash replayed nothing — crash-window traffic was lost")
+
+    if failures:
+        for failure in failures:
+            print(f"recovery gate FAILED: {failure}", file=sys.stderr)
+        return 1
+    print(
+        f"recovery gate OK: {crashes:.0f} crash(es) recovered, "
+        f"latency={value('garnet.recovery.latency_ns', 0.0) / 1e6:.1f}ms, "
+        f"ops replayed={value('garnet.recovery.ops_replayed', 0.0):.0f}, "
+        f"stash replayed={value('garnet.dispatch.recovery_replayed', 0.0):.0f}, "
+        "duplicates after promotion=0"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

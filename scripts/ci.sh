@@ -37,4 +37,9 @@ scripts/run_experiments.sh "$PERF_BUILD_DIR" --benchmark_min_time=0.05
 # flood, control-plane traffic never was.
 scripts/check_overload_report.py "$PERF_BUILD_DIR/bench-results/BENCH_overload.json"
 
+# Recovery gate: the crash-cycle bench's snapshot must show every
+# crashed service recovered and zero duplicate deliveries after the
+# promotion (checkpoint + op-log + stash replay closed the gap exactly).
+scripts/check_recovery_report.py "$PERF_BUILD_DIR/bench-results/BENCH_recovery.json"
+
 echo "CI OK: tests green, bench reports in $PERF_BUILD_DIR/bench-results"

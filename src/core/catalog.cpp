@@ -1,6 +1,8 @@
 #include "core/catalog.hpp"
 
+#include <algorithm>
 #include <cassert>
+#include <utility>
 
 namespace garnet::core {
 
@@ -40,6 +42,67 @@ std::vector<StreamInfo> StreamCatalog::discover(const Query& query) const {
     out.push_back(info);
   }
   return out;
+}
+
+util::Bytes StreamCatalog::capture_state() const {
+  std::vector<const StreamInfo*> ordered;
+  ordered.reserve(streams_.size());
+  for (const auto& [id, info] : streams_) ordered.push_back(&info);
+  std::sort(ordered.begin(), ordered.end(), [](const StreamInfo* a, const StreamInfo* b) {
+    return a->id.packed() < b->id.packed();
+  });
+
+  util::ByteWriter w(16 + ordered.size() * 48);
+  w.u32(static_cast<std::uint32_t>(ordered.size()));
+  for (const StreamInfo* info : ordered) {
+    w.u32(info->id.packed());
+    w.str(info->name);
+    w.str(info->stream_class);
+    w.u8(info->advertised ? 1 : 0);
+    w.u8(info->derived ? 1 : 0);
+    w.i64(info->first_seen.ns);
+    w.i64(info->last_seen.ns);
+    w.u64(info->messages);
+  }
+  w.u32(next_derived_sensor_);
+  w.u8(next_derived_stream_);
+  return std::move(w).take();
+}
+
+util::Status<util::DecodeError> StreamCatalog::restore_state(util::BytesView state) {
+  util::ByteReader r(state);
+  std::vector<StreamInfo> parsed;
+  const std::uint32_t declared = r.u32();
+  for (std::uint32_t i = 0; i < declared && r.ok(); ++i) {
+    StreamInfo info;
+    info.id = StreamId::from_packed(r.u32());
+    info.name = r.str();
+    info.stream_class = r.str();
+    info.advertised = r.u8() != 0;
+    info.derived = r.u8() != 0;
+    info.first_seen = util::SimTime{r.i64()};
+    info.last_seen = util::SimTime{r.i64()};
+    info.messages = r.u64();
+    if (r.ok()) parsed.push_back(std::move(info));
+  }
+  const SensorId next_sensor = r.u32();
+  const auto next_stream = static_cast<InternalStreamId>(r.u8());
+  if (!r.ok() || r.remaining() != 0) return util::Err{util::DecodeError::kTruncated};
+
+  streams_.clear();
+  for (auto& info : parsed) {
+    const StreamId id = info.id;
+    streams_.emplace(id, std::move(info));
+  }
+  next_derived_sensor_ = next_sensor;
+  next_derived_stream_ = next_stream;
+  return {};
+}
+
+void StreamCatalog::clear() {
+  streams_.clear();
+  next_derived_sensor_ = kDerivedSensorBase;
+  next_derived_stream_ = 0;
 }
 
 StreamId StreamCatalog::allocate_derived() {

@@ -15,6 +15,8 @@
 #include <vector>
 
 #include "core/message.hpp"
+#include "util/bytes.hpp"
+#include "util/result.hpp"
 #include "util/time.hpp"
 
 namespace garnet::core {
@@ -55,6 +57,17 @@ class StreamCatalog {
   /// Allocates a fresh derived-stream id (paper: consumers "may generate
   /// further derived data streams").
   [[nodiscard]] StreamId allocate_derived();
+
+  /// Crash-recovery snapshot: every stream record plus the derived-id
+  /// allocator, streams sorted by packed id (byte-deterministic).
+  [[nodiscard]] util::Bytes capture_state() const;
+
+  /// Rebuilds from capture_state() bytes; parses fully before
+  /// committing, current state survives a failed restore.
+  [[nodiscard]] util::Status<util::DecodeError> restore_state(util::BytesView state);
+
+  /// Crash wipe: forgets every stream and resets the derived allocator.
+  void clear();
 
   [[nodiscard]] std::size_t size() const noexcept { return streams_.size(); }
 

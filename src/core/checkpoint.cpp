@@ -1,0 +1,54 @@
+#include "core/checkpoint.hpp"
+
+#include "util/crc32c.hpp"
+
+namespace garnet::core::checkpoint {
+
+util::Bytes encode(const Header& header, util::BytesView state) {
+  util::ByteWriter w(4 + 1 + 2 + header.service.size() + 8 + 8 + 4 + state.size() + 4);
+  w.u32(kMagic);
+  w.u8(header.version);
+  w.str(header.service);
+  w.u64(header.epoch);
+  w.i64(header.taken_at.ns);
+  w.u32(static_cast<std::uint32_t>(state.size()));
+  w.raw(state);
+  const std::uint32_t crc = util::crc32c(w.view());
+  w.u32(crc);
+  return std::move(w).take();
+}
+
+util::Result<Decoded, util::DecodeError> decode(util::BytesView wire) {
+  // Smallest possible frame: magic + version + empty name + epoch +
+  // taken_at + zero state_len + crc.
+  constexpr std::size_t kMinFrame = 4 + 1 + 2 + 8 + 8 + 4 + 4;
+  if (wire.size() < kMinFrame) return util::Err{util::DecodeError::kTruncated};
+
+  util::ByteReader r(wire);
+  if (r.u32() != kMagic) return util::Err{util::DecodeError::kMalformed};
+  const std::uint8_t version = r.u8();
+  if (version != kVersion) return util::Err{util::DecodeError::kBadVersion};
+
+  Decoded out;
+  out.header.version = version;
+  out.header.service = r.str();
+  out.header.epoch = r.u64();
+  out.header.taken_at = util::SimTime{r.i64()};
+  const std::uint32_t state_len = r.u32();
+  if (!r.ok()) return util::Err{util::DecodeError::kTruncated};
+  if (r.remaining() < 4 || r.remaining() - 4 != state_len) {
+    return util::Err{util::DecodeError::kLengthMismatch};
+  }
+  out.state = r.view(state_len);
+
+  // CRC covers every byte before the trailer — a flip anywhere in the
+  // header or state that slipped past the structural checks fails here.
+  const std::uint32_t stored = r.u32();
+  if (!r.ok()) return util::Err{util::DecodeError::kTruncated};
+  if (util::crc32c(wire.subspan(0, wire.size() - 4)) != stored) {
+    return util::Err{util::DecodeError::kBadChecksum};
+  }
+  return out;
+}
+
+}  // namespace garnet::core::checkpoint

@@ -1,0 +1,103 @@
+// Service checkpoints and the replicated operation log (crash recovery).
+//
+// The paper presumes "service-level parallelism and replication ... for
+// efficiency, data-integrity, and fault-tolerance" (§3). TinyDB-style
+// in-network state dies with the nodes, so Garnet's fixed-side services
+// must own their durable state: each stateful service (Filtering dedup
+// windows, Dispatching subscriptions/credits/cursors, Location tracks,
+// the Catalog) serialises itself into a *checkpoint* — a versioned,
+// CRC-guarded frame whose body bytes are deterministic (every map is
+// walked in sorted key order), so two replicas checkpointing the same
+// state produce byte-identical frames.
+//
+// Between checkpoints, mutations stream into a bounded OpLog that a
+// standby tails over the bus (garnet/recovery.hpp). Promotion restores
+// the last checkpoint and replays the ops at or past its watermark —
+// the classic checkpoint + upstream-replay recovery of stream systems,
+// bounded in both directions: the checkpoint cadence bounds replay
+// length, the log capacity bounds memory.
+//
+// Decode NEVER partially applies: it either returns a validated view of
+// the state body or a util::DecodeError, and restore_state()
+// implementations parse into temporaries before committing.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "util/bytes.hpp"
+#include "util/time.hpp"
+
+namespace garnet::core::checkpoint {
+
+/// "GCKP" — rejects frames from other numbering spaces immediately.
+inline constexpr std::uint32_t kMagic = 0x47434B50;
+inline constexpr std::uint8_t kVersion = 1;
+
+struct Header {
+  std::uint8_t version = kVersion;
+  std::string service;        ///< Recovery-harness service name.
+  std::uint64_t epoch = 0;    ///< Monotonic per service; newer wins.
+  util::SimTime taken_at{};   ///< Sim time the snapshot was captured.
+};
+
+/// Frame layout (big-endian):
+///   [u32 magic][u8 version][str service][u64 epoch][i64 taken_at]
+///   [u32 state_len][state bytes][u32 crc32c over all preceding bytes]
+[[nodiscard]] util::Bytes encode(const Header& header, util::BytesView state);
+
+struct Decoded {
+  Header header;
+  util::BytesView state;  ///< Aliases the input buffer.
+};
+
+/// Validates framing, version, declared length and CRC before exposing
+/// any state bytes. Truncated, bit-flipped or version-skewed input is
+/// rejected with the matching DecodeError; nothing is ever applied from
+/// a frame that fails any check.
+[[nodiscard]] util::Result<Decoded, util::DecodeError> decode(util::BytesView wire);
+
+/// Bounded in-memory operation log. The primary appends one Record per
+/// logged mutation; the standby's copy (replicated over the bus) is
+/// replayed from the checkpoint watermark at promotion. Capacity-bound:
+/// the oldest records are evicted first, and `evicted()` exposes how
+/// many — a nonzero count with a too-old watermark means the replay
+/// window was exceeded and recovery is lossy (surfaced in telemetry).
+class OpLog {
+ public:
+  struct Record {
+    std::uint64_t lsn = 0;   ///< Log sequence number, strictly increasing.
+    std::uint16_t kind = 0;  ///< Service-private op code.
+    util::Bytes payload;
+  };
+
+  explicit OpLog(std::size_t capacity = 4096) : capacity_(capacity) {}
+
+  void append(Record record) {
+    records_.push_back(std::move(record));
+    while (records_.size() > capacity_) {
+      records_.pop_front();
+      ++evicted_;
+    }
+  }
+
+  /// Drops every record with lsn <= `lsn` (checkpoint truncation).
+  void truncate_through(std::uint64_t lsn) {
+    while (!records_.empty() && records_.front().lsn <= lsn) records_.pop_front();
+  }
+
+  void clear() { records_.clear(); }
+
+  [[nodiscard]] const std::deque<Record>& records() const noexcept { return records_; }
+  [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::uint64_t evicted() const noexcept { return evicted_; }
+
+ private:
+  std::size_t capacity_;
+  std::deque<Record> records_;
+  std::uint64_t evicted_ = 0;
+};
+
+}  // namespace garnet::core::checkpoint

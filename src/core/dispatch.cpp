@@ -62,10 +62,28 @@ void DispatchingService::on_filtered(const DataMessage& message, util::SimTime f
 
 SubscriptionId DispatchingService::subscribe(net::Address consumer, StreamPattern pattern,
                                              SubscribeOptions qos) {
-  return table_.add(consumer, pattern, qos);
+  const SubscriptionId id = table_.add(consumer, pattern, qos);
+  if (op_sink_) {
+    util::ByteWriter w(28);
+    w.u64(id);
+    w.u32(consumer.value);
+    w.u64(pattern.packed());
+    w.u32(qos.min_interval_ms);
+    w.u32(qos.max_age_ms);
+    op_sink_(kOpSubscribe, w.view());
+  }
+  return id;
 }
 
-bool DispatchingService::unsubscribe(SubscriptionId id) { return table_.remove(id); }
+bool DispatchingService::unsubscribe(SubscriptionId id) {
+  if (!table_.remove(id)) return false;
+  if (op_sink_) {
+    util::ByteWriter w(8);
+    w.u64(id);
+    op_sink_(kOpUnsubscribe, w.view());
+  }
+  return true;
+}
 
 std::size_t DispatchingService::drop_consumer(net::Address consumer) {
   // Erasing the flow retires its epoch: an in-flight resume that fetched
@@ -73,7 +91,258 @@ std::size_t DispatchingService::drop_consumer(net::Address consumer) {
   // the Orphanage instead of delivering to (or losing them with) the
   // departed consumer.
   flows_.erase(consumer.value);
-  return table_.remove_consumer(consumer);
+  const std::size_t removed = table_.remove_consumer(consumer);
+  if (op_sink_) {
+    util::ByteWriter w(4);
+    w.u32(consumer.value);
+    op_sink_(kOpDropConsumer, w.view());
+  }
+  return removed;
+}
+
+void DispatchingService::apply_op(std::uint16_t kind, util::BytesView payload) {
+  util::ByteReader r(payload);
+  switch (kind) {
+    case kOpSubscribe: {
+      const SubscriptionId id = r.u64();
+      const net::Address consumer{r.u32()};
+      const auto pattern = StreamPattern::from_packed(r.u64());
+      SubscribeOptions qos;
+      qos.min_interval_ms = r.u32();
+      qos.max_age_ms = r.u32();
+      if (r.ok()) table_.restore_entry(id, consumer, pattern, qos);
+      break;
+    }
+    case kOpUnsubscribe: {
+      const SubscriptionId id = r.u64();
+      if (r.ok()) table_.remove(id);
+      break;
+    }
+    case kOpDropConsumer: {
+      const net::Address consumer{r.u32()};
+      if (r.ok()) {
+        flows_.erase(consumer.value);
+        table_.remove_consumer(consumer);
+      }
+      break;
+    }
+    case kOpCursor: {
+      const std::uint32_t packed = r.u32();
+      const SequenceNo seq = r.u16();
+      if (!r.ok()) break;
+      const auto [it, inserted] = cursors_.try_emplace(packed, seq);
+      if (!inserted && at_or_past(seq, it->second)) it->second = seq;
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+util::Bytes DispatchingService::capture_state() const {
+  util::ByteWriter w(256);
+  table_.capture(w);
+
+  std::vector<std::uint32_t> addrs;
+  addrs.reserve(flows_.size());
+  for (const auto& entry : flows_) addrs.push_back(entry.first);
+  std::sort(addrs.begin(), addrs.end());
+  w.u32(static_cast<std::uint32_t>(addrs.size()));
+  for (const std::uint32_t addr : addrs) {
+    const Flow& flow = flows_.at(addr);
+    w.u32(addr);
+    w.u32(flow.credits);
+    w.u8(flow.quarantined ? 1 : 0);
+    std::vector<std::uint64_t> shed(flow.shed.begin(), flow.shed.end());
+    std::sort(shed.begin(), shed.end());
+    w.u32(static_cast<std::uint32_t>(shed.size()));
+    for (const std::uint64_t key : shed) {
+      w.u32(static_cast<std::uint32_t>(key >> 16));
+      w.u16(static_cast<std::uint16_t>(key & 0xFFFF));
+    }
+  }
+
+  w.u32(static_cast<std::uint32_t>(cursors_.size()));
+  for (const auto& [packed, seq] : cursors_) {
+    w.u32(packed);
+    w.u16(seq);
+  }
+  return std::move(w).take();
+}
+
+util::Status<util::DecodeError> DispatchingService::restore_state(util::BytesView state) {
+  util::ByteReader r(state);
+  SubscriptionTable table;
+  if (const auto status = table.restore(r); !status.ok()) return status;
+
+  struct ParsedFlow {
+    std::uint32_t addr = 0;
+    bool quarantined = false;
+    std::vector<std::uint64_t> shed;
+  };
+  const std::uint32_t flow_count = r.u32();
+  std::vector<ParsedFlow> flows;
+  for (std::uint32_t i = 0; i < flow_count && r.ok(); ++i) {
+    ParsedFlow f;
+    f.addr = r.u32();
+    [[maybe_unused]] const std::uint32_t credits = r.u32();  // restore re-primes
+    f.quarantined = r.u8() != 0;
+    const std::uint32_t shed_count = r.u32();
+    for (std::uint32_t j = 0; j < shed_count && r.ok(); ++j) {
+      const std::uint32_t packed = r.u32();
+      const SequenceNo seq = r.u16();
+      f.shed.push_back(shed_key(packed, seq));
+    }
+    if (r.ok()) flows.push_back(std::move(f));
+  }
+  const std::uint32_t cursor_count = r.u32();
+  std::vector<std::pair<std::uint32_t, SequenceNo>> cursors;
+  for (std::uint32_t i = 0; i < cursor_count && r.ok(); ++i) {
+    const std::uint32_t packed = r.u32();
+    const SequenceNo seq = r.u16();
+    cursors.emplace_back(packed, seq);
+  }
+  if (!r.ok() || r.remaining() != 0) return util::Err{util::DecodeError::kTruncated};
+
+  table_ = std::move(table);
+  flows_.clear();
+  if (flow_.enabled()) {
+    for (const ParsedFlow& f : flows) {
+      Flow& flow = flows_[f.addr];
+      flow.credits = flow_.credit_window;
+      flow.quarantined = f.quarantined;
+      flow.epoch = next_flow_epoch_++;
+      flow.shed.insert(f.shed.begin(), f.shed.end());
+    }
+  }
+  cursors_.clear();
+  for (const auto& [packed, seq] : cursors) cursors_.emplace(packed, seq);
+  return {};
+}
+
+void DispatchingService::reset_state() {
+  table_ = SubscriptionTable{};
+  flows_.clear();
+  cursors_.clear();
+}
+
+std::optional<SequenceNo> DispatchingService::cursor(StreamId id) const {
+  const auto it = cursors_.find(id.packed());
+  if (it == cursors_.end()) return std::nullopt;
+  return it->second;
+}
+
+void DispatchingService::advance_cursor(StreamId id, SequenceNo seq) {
+  const std::uint32_t packed = id.packed();
+  const auto [it, inserted] = cursors_.try_emplace(packed, seq);
+  if (!inserted) {
+    if (seq == it->second || !at_or_past(seq, it->second)) return;
+    it->second = seq;
+  }
+  if (op_sink_) {
+    util::ByteWriter w(6);
+    w.u32(packed);
+    w.u16(seq);
+    op_sink_(kOpCursor, w.view());
+  }
+}
+
+void DispatchingService::replay_stash() {
+  if (!orphan_sink_.valid() || cursors_.empty()) {
+    finish_stash_replay();
+    return;
+  }
+  auto plan = std::make_shared<StashReplay>();
+  plan->streams.reserve(cursors_.size());
+  for (const auto& [packed, cur] : cursors_) {
+    plan->streams.push_back(packed);
+    plan->floors.emplace(packed, static_cast<SequenceNo>(cur + 1));
+  }
+  active_stash_replay_ = plan;
+  fetch_stash(plan);
+}
+
+void DispatchingService::fetch_stash(const std::shared_ptr<StashReplay>& plan) {
+  if (plan->index >= plan->streams.size()) {
+    finish_stash_replay();
+    return;
+  }
+  util::ByteWriter w(6);
+  w.u32(plan->streams[plan->index]);
+  w.u16(flow_.fetch_batch);
+  // Same contract as the quarantine resume: kFetchBacklog drains, so the
+  // call must go through the at-most-once cache, never retried blind.
+  net::CallOptions options = flow_.fetch_options;
+  options.idempotent = false;
+  node_.call(orphan_sink_, Orphanage::kFetchBacklog, std::move(w).take(), options,
+             [this, plan](net::RpcResult result) {
+               if (!result.ok()) {
+                 ++plan->index;
+                 fetch_stash(plan);
+                 return;
+               }
+               on_stash_backlog(plan, util::SharedBytes(std::move(result).value()));
+             });
+}
+
+void DispatchingService::on_stash_backlog(const std::shared_ptr<StashReplay>& plan,
+                                          util::SharedBytes reply) {
+  util::ByteReader r(reply);
+  const std::uint16_t count = r.u16();
+  const SequenceNo plan_floor = plan->floors[plan->streams[plan->index]];
+  for (std::uint16_t i = 0; i < count && r.ok(); ++i) {
+    const std::uint16_t length = r.u16();
+    const std::size_t offset = r.consumed();
+    if (r.view(length).empty() && length > 0) break;  // truncated reply
+    util::SharedBytes frame = reply.view(offset, length);
+    const auto decoded = decode_delivery_view(frame);
+    if (!decoded.ok()) continue;
+    const DeliveryView& delivery = decoded.value();
+    const std::uint32_t packed = delivery.message.stream_id.packed();
+    const SequenceNo seq = delivery.message.sequence;
+    // The sweep races live traffic, and deliver() re-stashes
+    // quarantine-shed copies that later rounds fetch back. A frame is
+    // replayed only inside the crash window: at or past the crash-time
+    // cursor (floor), below the first live post-promotion delivery
+    // (ceiling), and strictly above what this sweep already delivered.
+    const auto ceiling = plan->ceilings.find(packed);
+    const auto watermark = plan->replayed.find(packed);
+    const bool before_crash = !at_or_past(seq, plan_floor);
+    const bool live_copy =
+        ceiling != plan->ceilings.end() && at_or_past(seq, ceiling->second);
+    const bool already_replayed =
+        watermark != plan->replayed.end() &&
+        !at_or_past(seq, static_cast<SequenceNo>(watermark->second + 1));
+    if (before_crash || live_copy || already_replayed) {
+      // Already processed — an orphan or a quarantine shed. Back to the
+      // stash for the resume path and late claimants.
+      ++stats_.recovery_returned;
+      node_.post(orphan_sink_, kDataDelivery, frame);
+      continue;
+    }
+    // The crashed primary never saw this frame (it reached the stash via
+    // the runtime's crash redirect): run it through the normal fan-out,
+    // which re-advances the cursor and re-stashes it if unclaimed.
+    ++stats_.recovery_replayed;
+    plan->replayed[packed] = seq;
+    stash_replay_delivering_ = true;
+    deliver(delivery.message, delivery.first_heard);
+    stash_replay_delivering_ = false;
+  }
+  if (count < flow_.fetch_batch) ++plan->index;
+  fetch_stash(plan);
+}
+
+void DispatchingService::finish_stash_replay() {
+  active_stash_replay_.reset();
+  // Quarantined flows came back with a full window; kick their backlog
+  // replay now that the crash-window frames are settled.
+  std::vector<net::Address> quarantined;
+  for (const auto& entry : flows_) {
+    if (entry.second.quarantined) quarantined.push_back(net::Address{entry.first});
+  }
+  std::sort(quarantined.begin(), quarantined.end());
+  for (const net::Address consumer : quarantined) maybe_resume(consumer);
 }
 
 void DispatchingService::set_flow_control(FlowControlConfig config) {
@@ -135,7 +404,7 @@ void DispatchingService::maybe_resume(net::Address consumer) {
   if (it == flows_.end()) return;
   Flow& flow = it->second;
   if (!flow.quarantined || flow.resume_inflight || flow.credits == 0) return;
-  if (flow.shed_floor.empty()) {
+  if (flow.shed.empty()) {
     // Nothing was shed while quarantined (or the stash is unreachable):
     // plain release.
     flow.quarantined = false;
@@ -148,7 +417,7 @@ void DispatchingService::maybe_resume(net::Address consumer) {
 void DispatchingService::start_resume(net::Address consumer, Flow& flow) {
   if (!orphan_sink_.valid()) {
     // No stash to replay from; release with whatever was lost, lost.
-    flow.shed_floor.clear();
+    flow.shed.clear();
     flow.quarantined = false;
     return;
   }
@@ -157,11 +426,14 @@ void DispatchingService::start_resume(net::Address consumer, Flow& flow) {
   auto plan = std::make_shared<ResumePlan>();
   plan->consumer = consumer;
   plan->epoch = flow.epoch;
-  plan->floors = std::move(flow.shed_floor);
-  flow.shed_floor.clear();
-  plan->streams.reserve(plan->floors.size());
-  for (const auto& [packed, floor] : plan->floors) plan->streams.push_back(packed);
+  plan->shed = std::move(flow.shed);
+  flow.shed.clear();
+  for (const std::uint64_t key : plan->shed) {
+    plan->streams.push_back(static_cast<std::uint32_t>(key >> 16));
+  }
   std::sort(plan->streams.begin(), plan->streams.end());
+  plan->streams.erase(std::unique(plan->streams.begin(), plan->streams.end()),
+                      plan->streams.end());
   fetch_next(plan);
 }
 
@@ -196,7 +468,6 @@ void DispatchingService::on_backlog(const std::shared_ptr<ResumePlan>& plan,
                                     util::SharedBytes reply) {
   util::ByteReader r(reply);
   const std::uint16_t count = r.u16();
-  const SequenceNo floor = plan->floors[plan->streams[plan->index]];
   for (std::uint16_t i = 0; i < count && r.ok(); ++i) {
     const std::uint16_t length = r.u16();
     const std::size_t offset = r.consumed();
@@ -216,11 +487,7 @@ void DispatchingService::on_backlog(const std::shared_ptr<ResumePlan>& plan,
         auto decoded = decode_delivery_view(frame);
         if (decoded.ok()) {
           const DataMessageView& message = decoded.value().message;
-          const auto [it, inserted] =
-              flow->shed_floor.try_emplace(message.stream_id.packed(), message.sequence);
-          if (!inserted && at_or_past(it->second, message.sequence)) {
-            it->second = message.sequence;
-          }
+          flow->shed.insert(shed_key(message.stream_id.packed(), message.sequence));
         }
       }
       continue;
@@ -232,10 +499,12 @@ void DispatchingService::on_backlog(const std::shared_ptr<ResumePlan>& plan,
       continue;
     }
     const DataMessageView& message = decoded.value().message;
-    // Duplicate-freedom: only frames at or past the shed floor were
-    // withheld from this consumer; anything earlier is a pre-quarantine
-    // orphan it already received (or never subscribed to at that time).
-    if (!at_or_past(message.sequence, floor) ||
+    // Duplicate-freedom: redeliver exactly what was shed from THIS
+    // consumer. The shared stash also holds copies shed for other
+    // consumers, pre-quarantine orphans, and — after a crash — sweep
+    // leftovers interleaving old and new sequences; membership in the
+    // flow's shed set is the only test that rejects all of them.
+    if (plan->shed.count(shed_key(message.stream_id.packed(), message.sequence)) == 0 ||
         !table_.subscribes(plan->consumer, message.stream_id)) {
       ++stats_.resume_discarded;
       continue;
@@ -256,7 +525,7 @@ void DispatchingService::finish_resume(const std::shared_ptr<ResumePlan>& plan) 
   Flow* flow = flow_if_current(*plan);
   if (flow == nullptr) return;
   flow->resume_inflight = false;
-  if (flow->shed_floor.empty()) {
+  if (flow->shed.empty()) {
     if (flow->credits > 0) flow->quarantined = false;
     return;
   }
@@ -283,10 +552,25 @@ void DispatchingService::on_envelope(net::Envelope envelope) {
 }
 
 void DispatchingService::deliver(const DataMessageView& message, util::SimTime first_heard) {
+  if (!stash_replay_delivering_) {
+    // Live traffic racing an in-flight stash sweep: the first such
+    // sequence caps the sweep for its stream, so quarantine-shed copies
+    // of this delivery fetched by a later round are never re-fanned-out.
+    if (const auto plan = active_stash_replay_.lock()) {
+      const auto [it, inserted] =
+          plan->ceilings.emplace(message.stream_id.packed(), message.sequence);
+      if (!inserted && !at_or_past(message.sequence, it->second)) {
+        it->second = message.sequence;
+      }
+    }
+  }
   const obs::TraceKey trace_key{message.stream_id.packed(), message.sequence};
   if (tracer_ != nullptr) tracer_->begin_span(trace_key, "dispatch", bus_.now().ns);
 
   catalog_.note_message(message.stream_id, bus_.now());
+  // The cursor marks "processed through seq" whatever the claim outcome;
+  // it is the gap-detection floor for post-crash stash replay.
+  advance_cursor(message.stream_id, message.sequence);
 
   if (message.ack_request_id && ack_observer_) {
     ++stats_.acks_observed;
@@ -327,13 +611,9 @@ void DispatchingService::deliver(const DataMessageView& message, util::SimTime f
       Flow& flow = flow_for(consumer);
       if (flow.quarantined) {
         // Shed for this consumer alone; the copy is stashed (below) and
-        // the floor marks where its duplicate-free replay must start.
+        // the shed set marks it for duplicate-free redelivery on resume.
         ++stats_.quarantine_sheds;
-        const auto [it, inserted] =
-            flow.shed_floor.try_emplace(message.stream_id.packed(), message.sequence);
-        if (!inserted && at_or_past(it->second, message.sequence)) {
-          it->second = message.sequence;
-        }
+        flow.shed.insert(shed_key(message.stream_id.packed(), message.sequence));
         stashed = true;
         continue;
       }

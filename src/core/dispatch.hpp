@@ -13,7 +13,11 @@
 #pragma once
 
 #include <functional>
+#include <map>
 #include <memory>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
 
 #include "core/auth.hpp"
 #include "core/catalog.hpp"
@@ -41,6 +45,22 @@ struct DispatchStats {
   std::uint64_t resume_redelivered = 0;  ///< Stashed copies delivered on resume.
   std::uint64_t resume_discarded = 0;    ///< Stashed copies dropped (dup/unsubscribed).
   std::uint64_t resume_returned = 0;     ///< Fetched copies re-stashed (no credits / consumer gone).
+  // Crash recovery (zero unless replay_stash() ran):
+  std::uint64_t recovery_replayed = 0;   ///< Crash-window frames re-dispatched after restart.
+  std::uint64_t recovery_returned = 0;   ///< Pre-crash frames re-stashed during replay.
+};
+
+/// Op-log record kinds emitted through set_op_sink() and consumed by
+/// apply_op(). Payloads are ByteWriter frames:
+///   kOpSubscribe    [u64 id][u32 consumer][u64 packed pattern][u32 min_interval_ms][u32 max_age_ms]
+///   kOpUnsubscribe  [u64 id]
+///   kOpDropConsumer [u32 consumer]
+///   kOpCursor       [u32 packed stream][u16 sequence]
+enum DispatchOp : std::uint16_t {
+  kOpSubscribe = 1,
+  kOpUnsubscribe = 2,
+  kOpDropConsumer = 3,
+  kOpCursor = 4,
 };
 
 /// Credit-based backpressure for the dispatch fan-out. Each subscriber
@@ -50,7 +70,7 @@ struct DispatchStats {
 /// its copies are shed to the Orphanage (the stash) while every other
 /// subscriber's fan-out continues untouched. When credits return, the
 /// dispatcher replays the stash via Orphanage::kFetchBacklog, filtered by
-/// per-stream shed floors so nothing is delivered twice.
+/// the consumer's exact shed set so nothing is delivered twice.
 struct FlowControlConfig {
   /// Deliveries in flight per consumer before quarantine. 0 = disabled.
   std::uint32_t credit_window = 0;
@@ -112,6 +132,43 @@ class DispatchingService {
   bool unsubscribe(SubscriptionId id);
   std::size_t drop_consumer(net::Address consumer);
 
+  /// Streams subscription and cursor mutations into the recovery
+  /// harness's replicated op log (DispatchOp kinds above). Ops are never
+  /// emitted while apply_op() is replaying.
+  using OpSink = std::function<void(std::uint16_t kind, util::BytesView payload)>;
+  void set_op_sink(OpSink sink) { op_sink_ = std::move(sink); }
+
+  /// Applies one replayed op-log record (promotion path). Malformed
+  /// payloads are ignored; replay is idempotent.
+  void apply_op(std::uint16_t kind, util::BytesView payload);
+
+  /// Crash-recovery snapshot: subscriptions, per-consumer credit/
+  /// quarantine state with shed sets, and per-stream delivery cursors.
+  /// Byte-deterministic (every unordered container is walked sorted).
+  [[nodiscard]] util::Bytes capture_state() const;
+
+  /// Rebuilds from capture_state() bytes; parses fully before
+  /// committing. Restored flows are re-primed to a full credit window —
+  /// in-flight deliveries died with the primary, so the true outstanding
+  /// count is unknowable; the cost is bounded at one extra window of
+  /// in-flight copies per consumer. Quarantine flags and shed sets are
+  /// preserved, so resume replay stays duplicate-free.
+  [[nodiscard]] util::Status<util::DecodeError> restore_state(util::BytesView state);
+
+  /// Crash wipe: drops subscriptions, flows, and cursors.
+  void reset_state();
+
+  /// Post-restore gap repair: re-fetches the Orphanage stash for every
+  /// cursor stream. Frames past the cursor (arrived while down, parked
+  /// in the stash by the runtime's crash redirect) re-enter the normal
+  /// fan-out; frames at or before it (orphans, quarantine sheds) return
+  /// to the stash. Finishes by kicking quarantine resume for restored
+  /// quarantined consumers.
+  void replay_stash();
+
+  /// Newest delivered sequence for gap detection (nullopt = never seen).
+  [[nodiscard]] std::optional<SequenceNo> cursor(StreamId id) const;
+
   /// Message traces: brackets fan-out in a "dispatch" span, opens the
   /// "deliver" span when copies are posted, discards orphaned journeys.
   void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
@@ -130,10 +187,15 @@ class DispatchingService {
     bool quarantined = false;
     bool resume_inflight = false;
     std::uint64_t epoch = 0;
-    /// packed StreamId -> first shed sequence. Resume replays only
-    /// messages at or past the floor — everything earlier was already
-    /// delivered, which is what makes the replay duplicate-free.
-    std::unordered_map<std::uint32_t, SequenceNo> shed_floor;
+    /// Exactly the (stream, sequence) pairs shed from this consumer,
+    /// keyed `packed StreamId << 16 | sequence`. Resume redelivers a
+    /// fetched frame iff it is in this set: the shared stash also holds
+    /// copies shed for *other* consumers, and a post-crash sweep
+    /// interleaves old and new sequences, so neither a floor nor a
+    /// [floor, ceiling] range can separate "missed" from "already
+    /// received" — only membership can. Cleared per resume round, so it
+    /// is bounded by one quarantine episode's sheds.
+    std::unordered_set<std::uint64_t> shed;
   };
 
   /// One backlog-replay round for one quarantined consumer; fetches the
@@ -142,12 +204,37 @@ class DispatchingService {
     net::Address consumer;
     std::uint64_t epoch = 0;
     std::vector<std::uint32_t> streams;  ///< Sorted: deterministic replay order.
-    std::unordered_map<std::uint32_t, SequenceNo> floors;
+    std::unordered_set<std::uint64_t> shed;  ///< Moved from the flow (see Flow::shed).
+    std::size_t index = 0;
+  };
+
+  /// Key for Flow::shed / ResumePlan::shed.
+  [[nodiscard]] static constexpr std::uint64_t shed_key(std::uint32_t packed,
+                                                        SequenceNo seq) noexcept {
+    return (static_cast<std::uint64_t>(packed) << 16) | seq;
+  }
+
+  /// One post-restart stash sweep over the cursor streams. The sweep
+  /// races live traffic: fetch rounds are RPC-paced, and both the
+  /// replay's own deliveries and fresh post-promotion frames re-stash
+  /// quarantine-shed copies the next round can fetch back. `floors`
+  /// bounds the sweep from below (processed before the crash),
+  /// `ceilings` from above (delivered live since the sweep began), and
+  /// `replayed` makes the sweep itself idempotent.
+  struct StashReplay {
+    std::vector<std::uint32_t> streams;  ///< Sorted: deterministic replay order.
+    std::map<std::uint32_t, SequenceNo> floors;    ///< cursor + 1 per stream.
+    std::map<std::uint32_t, SequenceNo> ceilings;  ///< first live post-promotion seq.
+    std::map<std::uint32_t, SequenceNo> replayed;  ///< highest seq this sweep delivered.
     std::size_t index = 0;
   };
 
   void on_envelope(net::Envelope envelope);
   void deliver(const DataMessageView& message, util::SimTime first_heard);
+  void advance_cursor(StreamId id, SequenceNo seq);
+  void fetch_stash(const std::shared_ptr<StashReplay>& plan);
+  void on_stash_backlog(const std::shared_ptr<StashReplay>& plan, util::SharedBytes reply);
+  void finish_stash_replay();
   Flow& flow_for(net::Address consumer);
   [[nodiscard]] Flow* flow_if_current(const ResumePlan& plan);
   [[nodiscard]] std::uint32_t resume_threshold() const;
@@ -171,6 +258,14 @@ class DispatchingService {
   FlowControlConfig flow_;
   std::unordered_map<std::uint32_t, Flow> flows_;  ///< Keyed by consumer address.
   std::uint64_t next_flow_epoch_ = 1;
+  OpSink op_sink_;
+  /// packed StreamId -> newest processed sequence. A std::map so
+  /// checkpoints iterate it in deterministic order for free.
+  std::map<std::uint32_t, SequenceNo> cursors_;
+  /// Alive while a post-restart stash sweep is in flight, so deliver()
+  /// can mark live traffic racing it (the sweep's per-stream ceiling).
+  std::weak_ptr<StashReplay> active_stash_replay_;
+  bool stash_replay_delivering_ = false;  ///< deliver() call is the sweep's own.
 };
 
 }  // namespace garnet::core

@@ -1,6 +1,9 @@
 #include "core/filtering.hpp"
 
+#include <algorithm>
 #include <cassert>
+#include <utility>
+#include <vector>
 
 #include "util/log.hpp"
 
@@ -44,6 +47,86 @@ void FilteringService::ingest(const wireless::ReceptionReport& report) {
 void FilteringService::reset() {
   for (auto& [id, state] : streams_) scheduler_.cancel(state.gap_timer);
   streams_.clear();
+}
+
+util::Bytes FilteringService::capture_state() const {
+  std::vector<std::pair<std::uint32_t, const StreamState*>> ordered;
+  ordered.reserve(streams_.size());
+  for (const auto& [id, state] : streams_) ordered.emplace_back(id.packed(), &state);
+  std::sort(ordered.begin(), ordered.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  util::ByteWriter w(16 + ordered.size() * 32);
+  w.u32(static_cast<std::uint32_t>(ordered.size()));
+  for (const auto& [packed, state] : ordered) {
+    w.u32(packed);
+    w.u8(state->started ? 1 : 0);
+    w.u16(state->newest);
+    w.u16(state->next_release);
+    w.u64(state->accepted);
+    w.u64(state->total_advance);
+    // std::map iterates keys ascending — deterministic by construction.
+    w.u16(static_cast<std::uint16_t>(state->seen.size()));
+    for (const auto& entry : state->seen) w.u16(entry.first);
+  }
+  return std::move(w).take();
+}
+
+util::Status<util::DecodeError> FilteringService::restore_state(util::BytesView state) {
+  util::ByteReader r(state);
+  std::vector<std::pair<StreamId, StreamState>> parsed;
+  const std::uint32_t declared = r.u32();
+  for (std::uint32_t i = 0; i < declared && r.ok(); ++i) {
+    const StreamId id = StreamId::from_packed(r.u32());
+    StreamState s;
+    s.started = r.u8() != 0;
+    s.newest = r.u16();
+    s.next_release = r.u16();
+    s.accepted = r.u64();
+    s.total_advance = r.u64();
+    const std::uint16_t seen_count = r.u16();
+    for (std::uint16_t j = 0; j < seen_count && r.ok(); ++j) s.seen.emplace(r.u16(), true);
+    if (r.ok()) parsed.emplace_back(id, std::move(s));
+  }
+  if (!r.ok() || r.remaining() != 0) return util::Err{util::DecodeError::kTruncated};
+
+  reset();  // cancels gap timers before the wholesale swap
+  for (auto& [id, s] : parsed) streams_.emplace(id, std::move(s));
+  return {};
+}
+
+void FilteringService::note_seen(StreamId id, SequenceNo seq) {
+  auto [it, inserted] = streams_.try_emplace(id);
+  if (inserted) ++stats_.streams_seen;
+  StreamState& state = it->second;
+  if (!state.started) {
+    state.started = true;
+    state.newest = seq;
+    // Unlike accept(), the message was already forwarded by the (dead)
+    // primary, so the release cursor points past it.
+    state.next_release = static_cast<SequenceNo>(seq + 1);
+    state.seen.emplace(seq, true);
+    state.accepted = 1;
+    return;
+  }
+  if (state.seen.contains(seq)) return;
+  const auto backward = static_cast<std::uint16_t>(state.newest - seq);
+  if (seq_newer(seq, state.newest)) {
+    state.total_advance += static_cast<std::uint16_t>(seq - state.newest);
+    state.newest = seq;
+    for (auto sit = state.seen.begin(); sit != state.seen.end();) {
+      if (static_cast<std::uint16_t>(state.newest - sit->first) > config_.dedup_window) {
+        sit = state.seen.erase(sit);
+      } else {
+        ++sit;
+      }
+    }
+    state.next_release = static_cast<SequenceNo>(seq + 1);
+  } else if (backward > config_.dedup_window) {
+    return;
+  }
+  state.seen.emplace(seq, true);
+  ++state.accepted;
 }
 
 std::vector<FilteringService::StreamReport> FilteringService::stream_reports() const {

@@ -25,6 +25,8 @@
 #include "core/message.hpp"
 #include "obs/trace.hpp"
 #include "sim/scheduler.hpp"
+#include "util/bytes.hpp"
+#include "util/result.hpp"
 #include "util/time.hpp"
 #include "wireless/radio.hpp"
 
@@ -48,6 +50,11 @@ struct FilteringStats {
   std::uint64_t streams_seen = 0;     ///< Distinct StreamIds reconstructed.
   std::uint64_t relayed_copies = 0;   ///< Copies that arrived via a relay hop.
 };
+
+/// Filtering's single op-log record kind (garnet/recovery): one message
+/// forwarded downstream. Payload: [u32 packed StreamId][u16 sequence].
+/// Replayed through note_seen() on a promoted standby.
+inline constexpr std::uint16_t kFilteringOpSeen = 1;
 
 class FilteringService {
  public:
@@ -91,6 +98,22 @@ class FilteringService {
 
   /// Drops all per-stream state (e.g. on redeployment).
   void reset();
+
+  /// Crash-recovery surface (core/checkpoint.hpp): byte-deterministic
+  /// snapshot of the per-stream dedup state, streams sorted by packed id.
+  /// The reorder hold buffer is in-flight data and intentionally not
+  /// captured — at most reorder_depth messages per stream ride a crash
+  /// (they surface as sequence gaps, never as duplicates).
+  [[nodiscard]] util::Bytes capture_state() const;
+
+  /// Rebuilds dedup state from capture_state() bytes. Fully parses
+  /// before committing; current state survives a failed restore.
+  [[nodiscard]] util::Status<util::DecodeError> restore_state(util::BytesView state);
+
+  /// Marks (id, seq) as already seen and forwarded — the op-log replay
+  /// primitive. A promoted standby replays the primary's post-checkpoint
+  /// output through this to advance its dedup cursor without re-emitting.
+  void note_seen(StreamId id, SequenceNo seq);
 
   /// Message traces: closes the "radio" span at first valid receipt and
   /// brackets dedup/reorder work in a "filter" span.

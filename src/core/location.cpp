@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
+#include <vector>
 
 namespace garnet::core {
 
@@ -149,6 +151,71 @@ std::optional<LocationEstimate> LocationService::infer(SensorTrack& track) {
   est.computed_at = track.observations.back().at;
   est.source = LocationEstimate::Source::kInferred;
   return est;
+}
+
+util::Bytes LocationService::capture_state() const {
+  std::vector<std::pair<SensorId, const SensorTrack*>> ordered;
+  ordered.reserve(tracks_.size());
+  for (const auto& [sensor, track] : tracks_) ordered.emplace_back(sensor, &track);
+  std::sort(ordered.begin(), ordered.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  util::ByteWriter w(16 + ordered.size() * 64);
+  w.u32(static_cast<std::uint32_t>(ordered.size()));
+  for (const auto& [sensor, track] : ordered) {
+    w.u32(sensor);
+    w.u32(static_cast<std::uint32_t>(track->observations.size()));
+    for (const Observation& obs : track->observations) {
+      w.u32(obs.receiver);
+      w.f64(obs.rssi_dbm);
+      w.i64(obs.at.ns);
+    }
+    w.u8(track->hint ? 1 : 0);
+    if (track->hint) {
+      w.f64(track->hint->position.x);
+      w.f64(track->hint->position.y);
+      w.f64(track->hint->radius_m);
+      w.i64(track->hint->at.ns);
+    }
+  }
+  return std::move(w).take();
+}
+
+util::Status<util::DecodeError> LocationService::restore_state(util::BytesView state) {
+  util::ByteReader r(state);
+  std::vector<std::pair<SensorId, SensorTrack>> parsed;
+  const std::uint32_t declared = r.u32();
+  for (std::uint32_t i = 0; i < declared && r.ok(); ++i) {
+    const SensorId sensor = r.u32();
+    SensorTrack track;
+    const std::uint32_t obs_count = r.u32();
+    for (std::uint32_t j = 0; j < obs_count && r.ok(); ++j) {
+      Observation obs{};
+      obs.receiver = r.u32();
+      obs.rssi_dbm = r.f64();
+      obs.at = util::SimTime{r.i64()};
+      track.observations.push_back(obs);
+    }
+    if (r.u8() != 0) {
+      HintRecord hint{};
+      hint.position.x = r.f64();
+      hint.position.y = r.f64();
+      hint.radius_m = r.f64();
+      hint.at = util::SimTime{r.i64()};
+      track.hint = hint;
+    }
+    if (r.ok()) parsed.emplace_back(sensor, std::move(track));
+  }
+  if (!r.ok() || r.remaining() != 0) return util::Err{util::DecodeError::kTruncated};
+
+  tracks_.clear();
+  for (auto& [sensor, track] : parsed) tracks_.emplace(sensor, std::move(track));
+  return {};
+}
+
+void LocationService::reset_state() {
+  tracks_.clear();
+  receivers_.clear();
 }
 
 void LocationService::on_envelope(net::Envelope envelope) {

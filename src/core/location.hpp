@@ -84,6 +84,18 @@ class LocationService {
   using UpdateSink = std::function<void(SensorId, const LocationEstimate&)>;
   void set_update_sink(UpdateSink sink) { update_sink_ = std::move(sink); }
 
+  /// Crash-recovery snapshot: every sensor track (observations + hint),
+  /// sensors sorted ascending. The receiver layout is deployment
+  /// knowledge the runtime re-announces on restart, so it is excluded.
+  [[nodiscard]] util::Bytes capture_state() const;
+
+  /// Rebuilds tracks from capture_state() bytes; parses fully before
+  /// committing, current state survives a failed restore.
+  [[nodiscard]] util::Status<util::DecodeError> restore_state(util::BytesView state);
+
+  /// Crash wipe: forgets every track and the receiver layout.
+  void reset_state();
+
   [[nodiscard]] const LocationStats& stats() const noexcept { return stats_; }
   [[nodiscard]] net::Address address() const noexcept { return node_.address(); }
 

@@ -120,6 +120,75 @@ void SubscriptionTable::collect(StreamId id, std::vector<net::Address>& out) {
   out.erase(std::unique(out.begin() + static_cast<std::ptrdiff_t>(start), out.end()), out.end());
 }
 
+void SubscriptionTable::capture(util::ByteWriter& w) const {
+  std::vector<const Entry*> entries;
+  entries.reserve(count_);
+  for (const auto& [stream, bucket] : exact_) {
+    for (const Entry& e : bucket) entries.push_back(&e);
+  }
+  for (const Entry& e : wildcards_) entries.push_back(&e);
+  // Sorted by id so two replicas capture byte-identical tables.
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry* a, const Entry* b) { return a->id < b->id; });
+
+  w.u32(static_cast<std::uint32_t>(entries.size()));
+  for (const Entry* e : entries) {
+    w.u64(e->id);
+    w.u32(e->consumer.value);
+    w.u64(e->pattern.packed());
+    w.u32(e->qos.min_interval_ms);
+    w.u32(e->qos.max_age_ms);
+  }
+  w.u64(next_id_);
+}
+
+util::Status<util::DecodeError> SubscriptionTable::restore(util::ByteReader& r) {
+  struct Parsed {
+    SubscriptionId id;
+    net::Address consumer;
+    StreamPattern pattern;
+    SubscribeOptions qos;
+  };
+  const std::uint32_t declared = r.u32();
+  std::vector<Parsed> parsed;
+  for (std::uint32_t i = 0; i < declared && r.ok(); ++i) {
+    Parsed p;
+    p.id = r.u64();
+    p.consumer = net::Address{r.u32()};
+    p.pattern = StreamPattern::from_packed(r.u64());
+    p.qos.min_interval_ms = r.u32();
+    p.qos.max_age_ms = r.u32();
+    if (r.ok()) parsed.push_back(p);
+  }
+  const std::uint64_t next_id = r.u64();
+  if (!r.ok()) return util::Err{util::DecodeError::kTruncated};
+
+  exact_.clear();
+  wildcards_.clear();
+  index_.clear();
+  count_ = 0;
+  next_id_ = 1;
+  for (const Parsed& p : parsed) restore_entry(p.id, p.consumer, p.pattern, p.qos);
+  if (next_id > next_id_) next_id_ = next_id;
+  return {};
+}
+
+void SubscriptionTable::restore_entry(SubscriptionId id, net::Address consumer,
+                                      StreamPattern pattern, SubscribeOptions qos) {
+  if (index_.contains(id)) return;
+  Entry entry{id, consumer, pattern, qos, util::SimTime{-1}};
+  if (pattern.is_exact()) {
+    const StreamId stream{*pattern.sensor, *pattern.stream};
+    exact_[stream].push_back(entry);
+    index_.emplace(id, stream);
+  } else {
+    wildcards_.push_back(entry);
+    index_.emplace(id, std::nullopt);
+  }
+  ++count_;
+  if (id >= next_id_) next_id_ = id + 1;
+}
+
 bool SubscriptionTable::anyone_wants(StreamId id) const {
   if (const auto it = exact_.find(id); it != exact_.end() && !it->second.empty()) return true;
   return std::any_of(wildcards_.begin(), wildcards_.end(),

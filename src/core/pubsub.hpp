@@ -14,6 +14,8 @@
 
 #include "core/message.hpp"
 #include "net/bus.hpp"
+#include "util/bytes.hpp"
+#include "util/result.hpp"
 #include "util/time.hpp"
 
 namespace garnet::core {
@@ -88,6 +90,22 @@ class SubscriptionTable {
 
   /// QoS-blind form (tests, anyone_wants-style probing).
   void collect(StreamId id, std::vector<net::Address>& out);
+
+  /// Byte-deterministic snapshot of every subscription (sorted by id)
+  /// plus the id allocator, appended to `w` for service checkpoints.
+  /// Rate-cap state (`last_delivery`) is transient and not captured; a
+  /// restored subscription may deliver one message early.
+  void capture(util::ByteWriter& w) const;
+
+  /// Rebuilds the table from capture() bytes at `r`'s cursor. Parses
+  /// fully before committing — on failure the table is untouched.
+  [[nodiscard]] util::Status<util::DecodeError> restore(util::ByteReader& r);
+
+  /// Re-inserts one subscription under its original id (checkpoint
+  /// restore and op-log replay), bumping the allocator past it. A
+  /// duplicate id is ignored, making replay idempotent.
+  void restore_entry(SubscriptionId id, net::Address consumer, StreamPattern pattern,
+                     SubscribeOptions qos);
 
   [[nodiscard]] bool anyone_wants(StreamId id) const;
   /// True when `consumer` holds any subscription (exact or wildcard)

@@ -6,6 +6,22 @@ MessageReplicator::MessageReplicator(wireless::RadioMedium& medium, LocationServ
                                      Config config)
     : medium_(medium), location_(location), config_(config) {}
 
+MessageReplicator::~MessageReplicator() {
+  if (metrics_ != nullptr) metrics_->remove_collector(collector_id_);
+}
+
+void MessageReplicator::set_metrics(obs::MetricsRegistry& registry) {
+  if (metrics_ != nullptr) metrics_->remove_collector(collector_id_);
+  metrics_ = &registry;
+  collector_id_ = registry.add_collector([this](obs::SnapshotBuilder& out) {
+    out.counter("garnet.replicator.sends", stats_.sends);
+    out.counter("garnet.replicator.targeted_sends", stats_.targeted_sends);
+    out.counter("garnet.replicator.flooded_sends", stats_.flooded_sends);
+    out.counter("garnet.replicator.transmitter_activations", stats_.transmitter_activations);
+    out.counter("garnet.replicator.copies_scheduled", stats_.copies_scheduled);
+  });
+}
+
 MessageReplicator::SendReport MessageReplicator::send(SensorId target, const util::Bytes& frame) {
   ++stats_.sends;
   SendReport report;

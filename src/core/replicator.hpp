@@ -13,10 +13,13 @@
 #pragma once
 
 #include "core/location.hpp"
+#include "obs/metrics.hpp"
 #include "wireless/radio.hpp"
 
 namespace garnet::core {
 
+/// Targeting counters. Surfaced as garnet.replicator.* via set_metrics —
+/// there is no accessor; tests read registry snapshots.
 struct ReplicatorStats {
   std::uint64_t sends = 0;
   std::uint64_t targeted_sends = 0;    ///< Had a usable location estimate.
@@ -36,6 +39,10 @@ class MessageReplicator {
   };
 
   MessageReplicator(wireless::RadioMedium& medium, LocationService& location, Config config);
+  ~MessageReplicator();
+
+  MessageReplicator(const MessageReplicator&) = delete;
+  MessageReplicator& operator=(const MessageReplicator&) = delete;
 
   struct SendReport {
     bool targeted = false;
@@ -46,13 +53,19 @@ class MessageReplicator {
   /// Broadcasts `frame` toward `target` through the chosen transmitters.
   SendReport send(SensorId target, const util::Bytes& frame);
 
-  [[nodiscard]] const ReplicatorStats& stats() const noexcept { return stats_; }
+  /// Registers a pull collector exposing the garnet.replicator.sends/
+  /// targeted_sends/flooded_sends/transmitter_activations/
+  /// copies_scheduled counters. Deregistered automatically on destruction
+  /// (the registry must outlive the replicator).
+  void set_metrics(obs::MetricsRegistry& registry);
 
  private:
   wireless::RadioMedium& medium_;
   LocationService& location_;
   Config config_;
   ReplicatorStats stats_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::MetricsRegistry::CollectorId collector_id_ = 0;
 };
 
 }  // namespace garnet::core

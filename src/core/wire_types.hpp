@@ -25,6 +25,13 @@ inline constexpr net::MessageType kLocationStream = net::app_type(4);
 /// [u32 credits]. Registered as control-plane class by the runtime so a
 /// data flood cannot shed the very acks that would relieve it.
 inline constexpr net::MessageType kDeliveryCredit = net::app_type(5);
+/// Primary -> recovery replica checkpoint replication. Payload:
+/// [str service][u64 lsn watermark][u32 len][core/checkpoint frame].
+/// Control-plane class: a data flood must not shed the standby's state.
+inline constexpr net::MessageType kCheckpointReplica = net::app_type(6);
+/// Primary -> recovery replica op-log replication. Payload:
+/// [str service][u64 lsn][u16 op kind][u16 len][op bytes].
+inline constexpr net::MessageType kOpLogRecord = net::app_type(7);
 
 /// A data message as delivered to a subscribed consumer, carrying the
 /// time the fixed network first heard it (for end-to-end latency).

@@ -5,7 +5,7 @@
 namespace garnet {
 
 FilteringFailover::FilteringFailover(sim::Scheduler& scheduler, Config config)
-    : scheduler_(scheduler), config_(config) {
+    : scheduler_(scheduler), config_(config), oplog_(config.oplog_capacity) {
   for (std::size_t i = 0; i < 2; ++i) {
     replicas_[i] = std::make_unique<core::FilteringService>(scheduler, config.filtering);
     replicas_[i]->set_message_sink(
@@ -16,6 +16,7 @@ FilteringFailover::FilteringFailover(sim::Scheduler& scheduler, Config config)
         [this, i](const core::ReceptionEvent& event) { forward_reception(i, event); });
   }
   arm_watchdog();
+  if (config_.mode == Mode::kCold) arm_checkpoint();
 }
 
 FilteringFailover::FilteringFailover(sim::Scheduler& scheduler, net::MessageBus& bus,
@@ -33,6 +34,7 @@ FilteringFailover::FilteringFailover(sim::Scheduler& scheduler, net::MessageBus&
 
 FilteringFailover::~FilteringFailover() {
   scheduler_.cancel(watchdog_);
+  scheduler_.cancel(checkpoint_timer_);
   if (metrics_ != nullptr) metrics_->remove_collector(collector_id_);
 }
 
@@ -45,6 +47,8 @@ void FilteringFailover::set_metrics(obs::MetricsRegistry& registry) {
     out.counter("garnet.failover.failovers", stats_.failovers);
     out.counter("garnet.failover.suppressed_standby_outputs", stats_.suppressed_standby_outputs);
     out.counter("garnet.failover.lost_in_window", stats_.lost_in_window);
+    out.counter("garnet.failover.checkpoints", stats_.checkpoints);
+    out.counter("garnet.failover.ops_replayed", stats_.ops_replayed);
     out.gauge("garnet.failover.failed_over", failed_over_ ? 1.0 : 0.0);
     out.gauge("garnet.failover.detection_latency_ns",
               static_cast<double>(stats_.last_detection_latency.ns));
@@ -97,6 +101,47 @@ void FilteringFailover::arm_watchdog() {
   watchdog_ = scheduler_.schedule_after(config_.heartbeat_interval, [this] { on_heartbeat(); });
 }
 
+void FilteringFailover::arm_checkpoint() {
+  checkpoint_timer_ = scheduler_.schedule_after(config_.checkpoint_interval, [this] {
+    take_checkpoint();
+    arm_checkpoint();
+  });
+}
+
+void FilteringFailover::take_checkpoint() {
+  if (failed_over_ || !primary_alive_) return;  // nobody left to snapshot
+  core::checkpoint::Header header;
+  header.service = "filtering";
+  header.epoch = ++checkpoint_epoch_;
+  header.taken_at = scheduler_.now();
+  standby_checkpoint_ = core::checkpoint::encode(header, replicas_[0]->capture_state());
+  checkpoint_lsn_ = next_lsn_;
+  oplog_.truncate_through(next_lsn_ - 1);
+  ++stats_.checkpoints;
+}
+
+void FilteringFailover::seed_cold_standby() {
+  bool restored = false;
+  if (!standby_checkpoint_.empty()) {
+    const auto decoded = core::checkpoint::decode(standby_checkpoint_);
+    if (decoded.ok() && replicas_[active_]->restore_state(decoded.value().state).ok()) {
+      restored = true;
+    }
+  }
+  // Replay what the checkpoint missed — or, before the first checkpoint
+  // ever lands, everything the primary forwarded since boot.
+  const std::uint64_t start_lsn = restored ? checkpoint_lsn_ : 1;
+  for (const core::checkpoint::OpLog::Record& record : oplog_.records()) {
+    if (record.lsn < start_lsn) continue;
+    util::ByteReader r(record.payload);
+    const std::uint32_t packed = r.u32();
+    const core::SequenceNo seq = r.u16();
+    if (!r.ok()) continue;
+    replicas_[active_]->note_seen(core::StreamId::from_packed(packed), seq);
+    ++stats_.ops_replayed;
+  }
+}
+
 void FilteringFailover::on_heartbeat() {
   ++stats_.heartbeats;
   if (watchdog_node_) {
@@ -138,6 +183,10 @@ void FilteringFailover::promote() {
   failed_over_ = true;
   active_ = 1 - active_;
   ++stats_.failovers;
+  // Cold promotion: seed the blank standby with the primary's last
+  // checkpoint + op-log replay so no already-delivered message leaks
+  // through its empty dedup windows as a duplicate.
+  if (config_.mode == Mode::kCold) seed_cold_standby();
   // A partition promotes without any crash; anchor the detection window
   // at the first missed heartbeat in that case.
   const util::SimTime since = primary_alive_ ? first_miss_at_ : crashed_at_;
@@ -151,6 +200,14 @@ void FilteringFailover::forward_message(std::size_t source, const core::DataMess
   if (source != active_) {
     ++stats_.suppressed_standby_outputs;
     return;
+  }
+  // Cold mode logs every forwarded (stream, seq) so the standby's
+  // promotion seed covers the interval since the last checkpoint.
+  if (config_.mode == Mode::kCold && !failed_over_) {
+    util::ByteWriter w(6);
+    w.u32(message.stream_id.packed());
+    w.u16(message.sequence);
+    oplog_.append({next_lsn_++, core::kFilteringOpSeen, std::move(w).take()});
   }
   if (message_sink_) message_sink_(message, first_heard);
 }

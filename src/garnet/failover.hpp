@@ -10,9 +10,11 @@
 //   * kHot  — primary and standby both ingest every reception report;
 //     the standby's outputs are suppressed. Promotion is seamless for
 //     dedup state, at 2x ingest cost.
-//   * kCold — the standby idles until promoted; cheap, but it starts
-//     with empty per-stream state, so copies of messages the old primary
-//     already delivered can leak through as duplicates after failover.
+//   * kCold — the standby idles until promoted. Instead of 2x ingest it
+//     is seeded at promotion from the primary's latest checkpoint plus a
+//     replay of the op log recorded since (core/checkpoint.hpp), so the
+//     promoted replica's dedup cursors cover everything the old primary
+//     already delivered and no duplicates leak through after failover.
 //
 // A watchdog heartbeats the primary; after `miss_threshold` consecutive
 // misses the standby is promoted. The interval between the crash and the
@@ -33,6 +35,7 @@
 
 #include <memory>
 
+#include "core/checkpoint.hpp"
 #include "core/filtering.hpp"
 #include "net/rpc.hpp"
 #include "obs/metrics.hpp"
@@ -47,6 +50,8 @@ struct FailoverStats {
   std::uint64_t failovers = 0;
   std::uint64_t suppressed_standby_outputs = 0;  ///< Hot-standby duplicates dropped.
   std::uint64_t lost_in_window = 0;              ///< Copies ingested while headless.
+  std::uint64_t checkpoints = 0;    ///< Cold-mode snapshots of the primary.
+  std::uint64_t ops_replayed = 0;   ///< Op-log records replayed at promotion.
   util::Duration last_detection_latency{0};      ///< Crash -> promotion.
 };
 
@@ -65,6 +70,11 @@ class FilteringFailover {
     Mode mode = Mode::kHot;
     util::Duration heartbeat_interval = util::Duration::millis(100);
     std::uint32_t miss_threshold = 3;
+    /// Cold mode: how often the primary's dedup state is checkpointed
+    /// for the standby's promotion seed.
+    util::Duration checkpoint_interval = util::Duration::millis(250);
+    /// Cold mode: bound on ops retained between checkpoints.
+    std::size_t oplog_capacity = 4096;
     core::FilteringService::Config filtering;
   };
 
@@ -100,6 +110,9 @@ class FilteringFailover {
 
  private:
   void arm_watchdog();
+  void arm_checkpoint();
+  void take_checkpoint();
+  void seed_cold_standby();
   void on_heartbeat();
   void ping_primary();
   void record_miss();
@@ -118,6 +131,14 @@ class FilteringFailover {
   util::SimTime crashed_at_;
   util::SimTime first_miss_at_;  ///< Detection anchor when nobody crashed (partition).
   sim::EventId watchdog_;
+  // Cold-mode promotion seed: the primary's latest checkpoint frame plus
+  // the op log of messages it forwarded since (core/checkpoint.hpp).
+  sim::EventId checkpoint_timer_;
+  util::Bytes standby_checkpoint_;
+  std::uint64_t checkpoint_epoch_ = 0;
+  std::uint64_t checkpoint_lsn_ = 1;  ///< Ops < this are inside the checkpoint.
+  std::uint64_t next_lsn_ = 1;
+  core::checkpoint::OpLog oplog_;
   /// Bus transport (null in in-process mode).
   std::unique_ptr<net::RpcNode> primary_node_;
   std::unique_ptr<net::RpcNode> watchdog_node_;

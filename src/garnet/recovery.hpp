@@ -1,0 +1,175 @@
+// Service-agnostic crash recovery: checkpoints + replicated op-log.
+//
+// Generalises the FilteringFailover experiment (garnet/failover.hpp) into
+// the harness the paper's presumption of "service-level ... replication
+// ... for efficiency, data-integrity, and fault-tolerance" (§3) demands
+// for *every* stateful service. Each managed service registers four
+// hooks — capture, restore, wipe, and (optionally) apply_op/on_restart —
+// and the harness does the rest:
+//
+//   * On a checkpoint cadence, the primary's state is captured into a
+//     core/checkpoint frame and replicated to a standby endpoint over
+//     the bus as a control-class kCheckpointReplica envelope.
+//   * Between checkpoints, logged mutations stream to the standby as
+//     kOpLogRecord envelopes into a bounded core::checkpoint::OpLog.
+//   * A crash (injected by net::FaultPlan::crashes or called directly)
+//     wipes the service's volatile state and marks its bus endpoints
+//     down — peers keep posting, the bus counts and discards.
+//   * A heartbeat watchdog notices the dead service after
+//     miss_threshold beats and *promotes*: restore the latest replica
+//     checkpoint, replay ops at or past its watermark, bring endpoints
+//     back up, and run the service's on_restart hook (e.g. dispatch
+//     replays stashed deliveries; location re-learns receiver layout).
+//     A scheduled restart does the same immediately (rejoin).
+//
+// Replication rides the same bus as everything else, so checkpoints and
+// ops are subject to the configured latency — a standby is always a
+// little behind, which is exactly the gap the op-log replay closes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/checkpoint.hpp"
+#include "net/bus.hpp"
+#include "obs/metrics.hpp"
+#include "sim/scheduler.hpp"
+#include "util/bytes.hpp"
+#include "util/result.hpp"
+#include "util/time.hpp"
+
+namespace garnet {
+
+struct RecoveryConfig {
+  bool enabled = false;
+  /// Watchdog beat; a crashed service is promoted after miss_threshold
+  /// consecutive beats find it dead.
+  util::Duration heartbeat_interval = util::Duration::millis(100);
+  std::uint32_t miss_threshold = 3;
+  /// Checkpoint cadence per managed service. Longer intervals mean more
+  /// ops to replay at promotion; shorter intervals cost capture time.
+  util::Duration checkpoint_interval = util::Duration::millis(250);
+  /// Replicated op-log bound per service (oldest evicted first).
+  std::size_t oplog_capacity = 4096;
+};
+
+/// Recovery counters. Surfaced as garnet.recovery.* / garnet.checkpoint.*
+/// via set_metrics — tests read registry snapshots.
+struct RecoveryStats {
+  std::uint64_t checkpoints_taken = 0;     ///< Frames captured on the primary.
+  std::uint64_t checkpoints_stored = 0;    ///< Frames accepted by the replica.
+  std::uint64_t checkpoints_rejected = 0;  ///< Frames failing decode/restore.
+  std::uint64_t checkpoint_bytes_last = 0;
+  std::uint64_t ops_logged = 0;      ///< Mutations appended by primaries.
+  std::uint64_t ops_replicated = 0;  ///< Records accepted by the replica.
+  std::uint64_t ops_replayed = 0;    ///< Records re-applied at recovery.
+  std::uint64_t crashes = 0;
+  std::uint64_t promotions = 0;  ///< Watchdog-detected recoveries.
+  std::uint64_t rejoins = 0;     ///< Scheduled-restart recoveries.
+  std::uint64_t inputs_lost = 0; ///< Inputs that arrived while crashed.
+  util::Duration last_recovery_latency{0};  ///< Crash -> state restored.
+};
+
+class RecoveryHarness {
+ public:
+  static constexpr const char* kPrimaryEndpointName = "garnet.recovery.primary";
+  static constexpr const char* kReplicaEndpointName = "garnet.recovery.replica";
+
+  /// One stateful service under management. All hooks run on the sim
+  /// thread; capture/restore use the service's core/checkpoint framing.
+  struct Service {
+    std::string name;
+    /// Bus endpoint names silenced while the service is crashed.
+    std::vector<std::string> endpoints;
+    /// Serialise current state (deterministic bytes; see checkpoint.hpp).
+    std::function<util::Bytes()> capture;
+    /// Replace state from a decoded checkpoint body. Must parse fully
+    /// into temporaries before committing (never partially applies).
+    std::function<util::Status<util::DecodeError>(util::BytesView)> restore;
+    /// Drop all volatile state (the crash itself).
+    std::function<void()> wipe;
+    /// Re-apply one replicated op (optional; checkpoint-only services
+    /// such as location/catalog leave it unset).
+    std::function<void(std::uint16_t kind, util::BytesView payload)> apply_op;
+    /// Runs after state is restored and endpoints are back up (optional):
+    /// replay stashed deliveries, re-announce layouts, resume flows.
+    std::function<void()> on_restart;
+  };
+
+  RecoveryHarness(sim::Scheduler& scheduler, net::MessageBus& bus, RecoveryConfig config);
+  ~RecoveryHarness();
+
+  RecoveryHarness(const RecoveryHarness&) = delete;
+  RecoveryHarness& operator=(const RecoveryHarness&) = delete;
+
+  void manage(Service service);
+
+  /// Primary-side mutation log: replicates one op to the standby. Ops
+  /// from a crashed service are dropped (a dead process logs nothing).
+  void log_op(const std::string& service, std::uint16_t kind, util::BytesView payload);
+
+  /// Crash-stop the named service now: wipe volatile state, silence its
+  /// endpoints. The watchdog promotes after miss_threshold beats unless
+  /// restart() revives it first.
+  void crash(const std::string& service);
+  /// Revive immediately (restore + replay + on_restart). No-op unless
+  /// crashed.
+  void restart(const std::string& service);
+  [[nodiscard]] bool crashed(const std::string& service) const;
+
+  /// Accounting hook for inputs the runtime observed dying with the
+  /// crashed service (e.g. reception reports to a dead filtering).
+  void note_lost_input(const std::string& service);
+
+  /// Registers a pull collector exposing garnet.checkpoint.taken/stored/
+  /// rejected counters and last_bytes gauge plus garnet.recovery.*
+  /// counters and the crashed/latency gauges. Deregistered on
+  /// destruction (the registry must outlive the harness).
+  void set_metrics(obs::MetricsRegistry& registry);
+
+  [[nodiscard]] const RecoveryStats& stats() const noexcept { return stats_; }
+
+ private:
+  struct Managed {
+    Service spec;
+    bool is_crashed = false;
+    std::uint32_t misses = 0;
+    util::SimTime crashed_at;
+    // Primary-side replication cursors (live in the harness, not the
+    // service process, so they survive the crash like a peer would).
+    std::uint64_t epoch = 0;
+    std::uint64_t next_lsn = 1;
+    // Replica-side copy of the service's durable state.
+    util::Bytes checkpoint;
+    std::uint64_t checkpoint_lsn = 1;  ///< Ops < this are inside the checkpoint.
+    core::checkpoint::OpLog log;
+    std::uint64_t inputs_lost = 0;
+
+    explicit Managed(Service s, std::size_t oplog_capacity)
+        : spec(std::move(s)), log(oplog_capacity) {}
+  };
+
+  void arm_heartbeat();
+  void arm_checkpoint();
+  void on_heartbeat();
+  void take_checkpoints();
+  void on_replica(net::Envelope envelope);
+  void recover(Managed& managed, bool promotion);
+
+  sim::Scheduler& scheduler_;
+  net::MessageBus& bus_;
+  RecoveryConfig config_;
+  net::Address primary_;
+  net::Address replica_;
+  std::map<std::string, Managed> services_;  ///< Sorted: deterministic ticks.
+  sim::EventId heartbeat_;
+  sim::EventId checkpoint_timer_;
+  RecoveryStats stats_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::MetricsRegistry::CollectorId collector_id_ = 0;
+};
+
+}  // namespace garnet

@@ -22,6 +22,11 @@ net::MessageBus::Config bus_config(const Runtime::Config& config) {
   bus.control_types.push_back(core::kStateChange);
   bus.control_types.push_back(core::kLocationHint);
   bus.control_types.push_back(core::kDeliveryCredit);
+  // Recovery replication is control plane too: shedding checkpoints or
+  // op-log records under a data flood would corrupt the very standby
+  // that the flood makes more likely to be needed.
+  bus.control_types.push_back(core::kCheckpointReplica);
+  bus.control_types.push_back(core::kOpLogRecord);
   return bus;
 }
 
@@ -48,6 +53,9 @@ Runtime::Runtime(Config config)
     flow.resume_threshold = config_.overload.resume_threshold;
     dispatch_.set_flow_control(flow);
   }
+  if (config_.recovery.enabled) {
+    recovery_ = std::make_unique<RecoveryHarness>(scheduler_, bus_, config_.recovery);
+  }
   wire_services();
 }
 
@@ -61,19 +69,49 @@ void Runtime::wire_services() {
   actuation_.set_tracer(&telemetry_.tracer);
   field_.medium().set_metrics(telemetry_.registry);
   bus_.set_metrics(telemetry_.registry);
+  replicator_.set_metrics(telemetry_.registry);
   telemetry_.registry.add_collector(
       [this](obs::SnapshotBuilder& out) { collect_service_stats(out); });
 
-  // Receivers feed the Filtering Service.
-  field_.medium().set_uplink_sink(
-      [this](const wireless::ReceptionReport& report) { filtering_.ingest(report); });
+  // Receivers feed the Filtering Service. A crashed filtering has no
+  // process to ingest into: its inputs are counted lost (the radio does
+  // not buffer; the sensors keep transmitting regardless).
+  field_.medium().set_uplink_sink([this](const wireless::ReceptionReport& report) {
+    if (recovery_ && recovery_->crashed("filtering")) {
+      recovery_->note_lost_input("filtering");
+      return;
+    }
+    filtering_.ingest(report);
+  });
 
   // Filtering feeds Dispatching (unique messages) and Location (copies).
   filtering_.set_message_sink([this](const core::DataMessage& message, util::SimTime heard) {
+    if (recovery_ != nullptr) {
+      // Log the forwarded (stream, seq) so a promoted filtering replica
+      // advances its dedup cursors past everything already delivered.
+      util::ByteWriter w(6);
+      w.u32(message.stream_id.packed());
+      w.u16(message.sequence);
+      recovery_->log_op("filtering", core::kFilteringOpSeen, w.view());
+      if (recovery_->crashed("dispatch")) {
+        // Park the frame in the Orphanage stash; dispatch's post-restart
+        // replay_stash() fetches everything past its restored cursors.
+        bus_.post(dispatch_.address(), orphanage_.address(), core::kDataDelivery,
+                  core::encode_delivery(core::as_view(message), heard));
+        return;
+      }
+    }
     dispatch_.on_filtered(message, heard);
   });
-  filtering_.set_reception_sink(
-      [this](const core::ReceptionEvent& event) { location_.observe(event); });
+  filtering_.set_reception_sink([this](const core::ReceptionEvent& event) {
+    if (recovery_ && recovery_->crashed("location")) {
+      recovery_->note_lost_input("location");
+      return;
+    }
+    location_.observe(event);
+  });
+
+  if (recovery_ != nullptr) wire_recovery();
 
   // Unclaimed data goes to the Orphanage; observed acks to Actuation.
   dispatch_.set_orphan_sink(orphanage_.address());
@@ -90,6 +128,78 @@ void Runtime::wire_services() {
         [this](core::SensorId sensor, const core::LocationEstimate& estimate) {
           publish_location(sensor, estimate);
         });
+  }
+}
+
+void Runtime::wire_recovery() {
+  recovery_->set_metrics(telemetry_.registry);
+
+  // Dispatch streams its subscription/cursor mutations into the
+  // replicated op log; the other direction is the promotion replay.
+  dispatch_.set_op_sink([this](std::uint16_t kind, util::BytesView payload) {
+    recovery_->log_op("dispatch", kind, payload);
+  });
+
+  recovery_->manage({
+      .name = "filtering",
+      .endpoints = {},  // no bus endpoint; fed directly by the radio sink
+      .capture = [this] { return filtering_.capture_state(); },
+      .restore = [this](util::BytesView state) { return filtering_.restore_state(state); },
+      .wipe = [this] { filtering_.reset(); },
+      .apply_op =
+          [this](std::uint16_t kind, util::BytesView payload) {
+            if (kind != core::kFilteringOpSeen) return;
+            util::ByteReader r(payload);
+            const std::uint32_t packed = r.u32();
+            const core::SequenceNo seq = r.u16();
+            if (r.ok()) filtering_.note_seen(core::StreamId::from_packed(packed), seq);
+          },
+      .on_restart = {},
+  });
+
+  recovery_->manage({
+      .name = "dispatch",
+      .endpoints = {core::DispatchingService::kEndpointName},
+      .capture = [this] { return dispatch_.capture_state(); },
+      .restore = [this](util::BytesView state) { return dispatch_.restore_state(state); },
+      .wipe = [this] { dispatch_.reset_state(); },
+      .apply_op = [this](std::uint16_t kind,
+                         util::BytesView payload) { dispatch_.apply_op(kind, payload); },
+      .on_restart = [this] { dispatch_.replay_stash(); },
+  });
+
+  // Location and catalog are checkpoint-only: their state is soft
+  // (re-learnable from the ongoing stream), so gaps cost accuracy, not
+  // correctness, and an op log would buy nothing.
+  recovery_->manage({
+      .name = "location",
+      .endpoints = {core::LocationService::kEndpointName},
+      .capture = [this] { return location_.capture_state(); },
+      .restore = [this](util::BytesView state) { return location_.restore_state(state); },
+      .wipe = [this] { location_.reset_state(); },
+      .apply_op = {},
+      .on_restart = [this] { location_.set_receiver_layout(field_.medium().receivers()); },
+  });
+
+  recovery_->manage({
+      .name = "catalog",
+      .endpoints = {core::CatalogService::kEndpointName},
+      .capture = [this] { return catalog_.capture_state(); },
+      .restore = [this](util::BytesView state) { return catalog_.restore_state(state); },
+      .wipe = [this] { catalog_.clear(); },
+      .apply_op = {},
+      .on_restart = {},
+  });
+
+  // FaultPlan::crashes fire through the injector into the harness.
+  if (net::FaultInjector* injector = bus_.fault_injector()) {
+    injector->set_crash_handler([this](const std::string& service, bool restart) {
+      if (restart) {
+        recovery_->restart(service);
+      } else {
+        recovery_->crash(service);
+      }
+    });
   }
 }
 
@@ -130,6 +240,8 @@ void Runtime::collect_service_stats(obs::SnapshotBuilder& out) {
   out.counter("garnet.dispatch.resume_redelivered", dispatch.resume_redelivered);
   out.counter("garnet.dispatch.resume_discarded", dispatch.resume_discarded);
   out.counter("garnet.dispatch.resume_returned", dispatch.resume_returned);
+  out.counter("garnet.dispatch.recovery_replayed", dispatch.recovery_replayed);
+  out.counter("garnet.dispatch.recovery_returned", dispatch.recovery_returned);
 
   const core::QosStats& qos = dispatch_.subscriptions().qos_stats();
   out.counter("garnet.qos.suppressed_rate", qos.suppressed_rate);
@@ -151,12 +263,7 @@ void Runtime::collect_service_stats(obs::SnapshotBuilder& out) {
   out.counter("garnet.resource.prearm_hits", resource.prearm_hits);
   out.counter("garnet.resource.policy_changes", resource.policy_changes);
 
-  const core::ReplicatorStats& replicator = replicator_.stats();
-  out.counter("garnet.replicator.sends", replicator.sends);
-  out.counter("garnet.replicator.targeted_sends", replicator.targeted_sends);
-  out.counter("garnet.replicator.flooded_sends", replicator.flooded_sends);
-  out.counter("garnet.replicator.transmitter_activations", replicator.transmitter_activations);
-  out.counter("garnet.replicator.copies_scheduled", replicator.copies_scheduled);
+  // garnet.replicator.* comes from the replicator's own collector.
 
   const core::ActuationStats& actuation = actuation_.stats();
   out.counter("garnet.actuation.requests", actuation.requests);

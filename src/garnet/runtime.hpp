@@ -33,6 +33,7 @@
 #include "core/orphanage.hpp"
 #include "core/replicator.hpp"
 #include "core/resource.hpp"
+#include "garnet/recovery.hpp"
 #include "net/bus.hpp"
 #include "obs/telemetry.hpp"
 #include "sim/scheduler.hpp"
@@ -69,6 +70,11 @@ class Runtime {
     /// Overload control (bounded inboxes, breakers, backpressure).
     /// Inbox/breaker fields override their `bus` counterparts.
     OverloadConfig overload;
+    /// Crash recovery: checkpoints + replicated op-logs for the stateful
+    /// services (filtering, dispatch, location, catalog). Off by default;
+    /// when enabled, FaultPlan::crashes can kill and revive any of them
+    /// mid-run and the harness restores state and replays the gap.
+    RecoveryConfig recovery;
     core::AuthService::Config auth;
     core::FilteringService::Config filtering;
     core::Orphanage::Config orphanage;
@@ -140,6 +146,8 @@ class Runtime {
   [[nodiscard]] core::ActuationService& actuation() noexcept { return actuation_; }
   [[nodiscard]] core::SuperCoordinator& coordinator() noexcept { return coordinator_; }
   [[nodiscard]] core::CatalogService& catalog_service() noexcept { return catalog_service_; }
+  /// Crash-recovery harness; nullptr unless Config::recovery.enabled.
+  [[nodiscard]] RecoveryHarness* recovery() noexcept { return recovery_.get(); }
   /// Metrics registry + message tracer; every service is wired into it.
   [[nodiscard]] obs::Telemetry& telemetry() noexcept { return telemetry_; }
 
@@ -150,6 +158,9 @@ class Runtime {
 
  private:
   void wire_services();
+  /// Registers the four stateful services with the recovery harness and
+  /// binds the fault injector's crash events to it.
+  void wire_recovery();
   void publish_location(core::SensorId sensor, const core::LocationEstimate& estimate);
   /// Pull-collector surfacing every service's plain stats struct.
   void collect_service_stats(obs::SnapshotBuilder& out);
@@ -170,6 +181,9 @@ class Runtime {
   core::ActuationService actuation_;
   core::SuperCoordinator coordinator_;
   core::CatalogService catalog_service_;
+  /// Declared after every service it manages: destroyed first, so its
+  /// collector/timers never outlive the services its hooks capture.
+  std::unique_ptr<RecoveryHarness> recovery_;
 
   std::optional<core::StreamId> location_stream_;
   core::SequenceNo location_sequence_ = 0;

@@ -59,6 +59,25 @@ void MessageBus::set_inbox(Address address, InboxConfig config) {
   }
 }
 
+void MessageBus::set_endpoint_down(const std::string& name, bool down) {
+  const auto it = names_.find(name);
+  if (it == names_.end()) return;
+  EndpointEntry& entry = endpoints_.at(it->second);
+  entry.down = down;
+  if (down && entry.inbox) {
+    // Queued-but-unserved envelopes lived in the dead process's memory.
+    entry.inbox->control.clear();
+    entry.inbox->data.clear();
+    entry.inbox->busy = false;
+  }
+}
+
+bool MessageBus::endpoint_down(const std::string& name) const {
+  const auto it = names_.find(name);
+  if (it == names_.end()) return false;
+  return endpoints_.at(it->second).down;
+}
+
 TrafficClass MessageBus::classify(MessageType type) const {
   const auto raw = static_cast<std::uint16_t>(type);
   if (raw < static_cast<std::uint16_t>(MessageType::kAppBase)) return TrafficClass::kControl;
@@ -76,6 +95,7 @@ void MessageBus::collect(obs::SnapshotBuilder& out) const {
   out.counter("garnet.bus.posted", stats_.posted);
   out.counter("garnet.bus.delivered", stats_.delivered);
   out.counter("garnet.bus.dropped_no_endpoint", stats_.dropped_no_endpoint);
+  out.counter("garnet.bus.dropped_endpoint_down", stats_.dropped_endpoint_down);
   out.counter("garnet.bus.bytes", stats_.bytes);
 
   // Zero-copy payload accounting (process-wide; see util/shared_bytes).
@@ -94,6 +114,8 @@ void MessageBus::collect(obs::SnapshotBuilder& out) const {
   out.counter("garnet.bus.faults", counters.delayed, {{"kind", "delay"}});
   out.counter("garnet.bus.faults", counters.reordered, {{"kind", "reorder"}});
   out.counter("garnet.bus.faults", counters.partitioned, {{"kind", "partition"}});
+  out.counter("garnet.bus.faults", counters.crashed, {{"kind", "crash"}});
+  out.counter("garnet.bus.faults", counters.restarted, {{"kind", "restart"}});
 
   // Shed accounting: the full (class, policy) grid is emitted even when
   // zero so the CI control-shed gate can grep a stable schema, and so the
@@ -277,6 +299,10 @@ void MessageBus::arrive(Envelope envelope) {
     return;
   }
   EndpointEntry& entry = it->second;
+  if (entry.down) {
+    ++stats_.dropped_endpoint_down;
+    return;
+  }
   if (!entry.inbox) {
     // Inactive inbox: historical hand-to-handler-on-arrival behaviour.
     ++stats_.delivered;

@@ -82,6 +82,7 @@ struct BusStats {
   std::uint64_t posted = 0;
   std::uint64_t delivered = 0;
   std::uint64_t dropped_no_endpoint = 0;
+  std::uint64_t dropped_endpoint_down = 0;  ///< Arrived while the endpoint was crashed.
   std::uint64_t bytes = 0;
 };
 
@@ -161,6 +162,15 @@ class MessageBus {
   /// envelopes are preserved. Used by tests and operator tooling.
   void set_inbox(Address address, InboxConfig config);
 
+  /// Marks a named endpoint down (crashed) or back up. While down, the
+  /// endpoint keeps its name and address — discovery still resolves, and
+  /// senders keep posting — but every arrival is counted and discarded,
+  /// modelling a crash-stop process whose peers cannot tell it is gone.
+  /// Going down also wipes any queued inbox envelopes (volatile memory
+  /// dies with the process). Unknown names are ignored.
+  void set_endpoint_down(const std::string& name, bool down);
+  [[nodiscard]] bool endpoint_down(const std::string& name) const;
+
   /// Registers native telemetry instruments (envelope transit-time and
   /// size distributions) and a pull collector exposing the bus counters
   /// (garnet.bus.posted/delivered/dropped_no_endpoint/bytes), the
@@ -219,6 +229,7 @@ class MessageBus {
     std::string name;
     Handler handler;
     std::unique_ptr<Inbox> inbox;  ///< Null when the inbox is inactive.
+    bool down = false;             ///< Crashed: arrivals counted and discarded.
   };
 
   void deliver_after(util::Duration delay, Envelope envelope);

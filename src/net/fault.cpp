@@ -15,6 +15,8 @@ std::string_view to_string(FaultKind kind) {
     case FaultKind::kDelay: return "delay";
     case FaultKind::kReorder: return "reorder";
     case FaultKind::kPartition: return "partition";
+    case FaultKind::kCrash: return "crash";
+    case FaultKind::kRestart: return "restart";
   }
   return "unknown";
 }
@@ -46,6 +48,36 @@ FaultInjector::FaultInjector(sim::Scheduler& scheduler, FaultPlan plan)
       });
     }
   }
+
+  // Crash/restart events are pure time triggers, like partition edges:
+  // they never touch the rng, so a plan with crashes produces the same
+  // link-fault verdict stream as the same plan without them.
+  for (std::size_t index = 0; index < plan_.crashes.size(); ++index) {
+    const FaultPlan::CrashSpec& spec = plan_.crashes[index];
+    scheduler_.schedule_at(spec.at, [this, index] { fire_crash(index); });
+    if (spec.restart_after.has_value()) {
+      scheduler_.schedule_at(spec.at + *spec.restart_after,
+                             [this, index] { fire_restart(index); });
+    }
+  }
+}
+
+void FaultInjector::fire_crash(std::size_t index) {
+  const FaultPlan::CrashSpec& spec = plan_.crashes[index];
+  ++counters_.crashed;
+  record(FaultKind::kCrash, spec.service, spec.service);
+  util::log_info("fault", "service '%s' crashed at t=%.3fs", spec.service.c_str(),
+                 scheduler_.now().to_seconds());
+  if (crash_handler_) crash_handler_(spec.service, /*restart=*/false);
+}
+
+void FaultInjector::fire_restart(std::size_t index) {
+  const FaultPlan::CrashSpec& spec = plan_.crashes[index];
+  ++counters_.restarted;
+  record(FaultKind::kRestart, spec.service, spec.service);
+  util::log_info("fault", "service '%s' restarted at t=%.3fs", spec.service.c_str(),
+                 scheduler_.now().to_seconds());
+  if (crash_handler_) crash_handler_(spec.service, /*restart=*/true);
 }
 
 const LinkFaults& FaultInjector::faults_for(const std::string& from,

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <optional>
 #include <set>
@@ -34,6 +35,8 @@ enum class FaultKind : std::uint8_t {
   kDelay,      ///< Deterministic extra latency added.
   kReorder,    ///< Randomised extra latency; may overtake later posts.
   kPartition,  ///< Dropped because an open partition separates the link.
+  kCrash,      ///< A service process killed at a scheduled sim time.
+  kRestart,    ///< A crashed service process revived after its delay.
 };
 
 [[nodiscard]] std::string_view to_string(FaultKind kind);
@@ -77,12 +80,24 @@ struct FaultPlan {
   };
   std::vector<PartitionSpec> partitions;
 
+  /// A scheduled process crash: the named service (a garnet/recovery
+  /// service name, e.g. "dispatch") dies at `at` and, when `restart_after`
+  /// is set, rejoins that much later. Crash events are time-scheduled like
+  /// partitions — they consume no RNG draws, so adding one never perturbs
+  /// the link-fault decision stream of an otherwise identical plan.
+  struct CrashSpec {
+    std::string service;
+    util::SimTime at{};
+    std::optional<util::Duration> restart_after;
+  };
+  std::vector<CrashSpec> crashes;
+
   /// When > 0, the injector records the first N faults in a journal whose
   /// text rendering is byte-comparable across runs (determinism tests).
   std::size_t journal_limit = 0;
 
   [[nodiscard]] bool enabled() const noexcept {
-    return global.any() || !links.empty() || !partitions.empty();
+    return global.any() || !links.empty() || !partitions.empty() || !crashes.empty();
   }
 };
 
@@ -100,9 +115,11 @@ struct FaultCounters {
   std::uint64_t delayed = 0;
   std::uint64_t reordered = 0;
   std::uint64_t partitioned = 0;
+  std::uint64_t crashed = 0;
+  std::uint64_t restarted = 0;
 
   [[nodiscard]] std::uint64_t total() const noexcept {
-    return dropped + duplicated + delayed + reordered + partitioned;
+    return dropped + duplicated + delayed + reordered + partitioned + crashed + restarted;
   }
 };
 
@@ -122,6 +139,13 @@ class FaultInjector {
   };
 
   [[nodiscard]] Verdict decide(const std::string& from, const std::string& to);
+
+  /// Executes the plan's CrashSpec events. The handler receives the
+  /// service name and restart=false at crash time, restart=true at
+  /// revival. Bind it before the scheduler reaches the first crash time;
+  /// without one, crashes are still counted and journalled.
+  using CrashHandler = std::function<void(const std::string& service, bool restart)>;
+  void set_crash_handler(CrashHandler handler) { crash_handler_ = std::move(handler); }
 
   /// Manual partition control (sim-time control comes from the plan).
   void open_partition(std::string_view name);
@@ -144,6 +168,8 @@ class FaultInjector {
   /// True when some open partition has exactly one of {from, to} inside.
   [[nodiscard]] bool partition_blocks(const std::string& from, const std::string& to) const;
   void record(FaultKind kind, const std::string& from, const std::string& to);
+  void fire_crash(std::size_t index);
+  void fire_restart(std::size_t index);
 
   sim::Scheduler& scheduler_;
   FaultPlan plan_;
@@ -152,6 +178,7 @@ class FaultInjector {
   std::map<std::pair<std::string, std::string>, std::uint64_t> link_posts_;
   FaultCounters counters_;
   std::vector<FaultRecord> journal_;
+  CrashHandler crash_handler_;
 };
 
 }  // namespace garnet::net

@@ -1,0 +1,195 @@
+// Checkpoint framing and the bounded op-log (crash recovery substrate).
+//
+// The frame is the unit of durability for every stateful service: a
+// bit-flip, truncation or version skew anywhere must be rejected before
+// a single state byte is exposed, and two captures of identical state
+// must be byte-identical (the determinism the replicated journals rely
+// on).
+#include "core/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/auth.hpp"
+#include "core/catalog.hpp"
+#include "core/dispatch.hpp"
+#include "core/filtering.hpp"
+#include "sim/scheduler.hpp"
+#include "util/bytes.hpp"
+
+namespace garnet::core::checkpoint {
+namespace {
+
+using util::DecodeError;
+
+Header sample_header() {
+  Header header;
+  header.service = "dispatch";
+  header.epoch = 42;
+  header.taken_at = util::SimTime{} + util::Duration::millis(1250);
+  return header;
+}
+
+TEST(Checkpoint, RoundTripPreservesHeaderAndState) {
+  const util::Bytes state = util::to_bytes("subscriptions+credits+cursors");
+  const util::Bytes frame = encode(sample_header(), state);
+
+  const auto decoded = decode(frame);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().header.version, kVersion);
+  EXPECT_EQ(decoded.value().header.service, "dispatch");
+  EXPECT_EQ(decoded.value().header.epoch, 42u);
+  EXPECT_EQ(decoded.value().header.taken_at.ns, util::Duration::millis(1250).ns);
+  ASSERT_EQ(decoded.value().state.size(), state.size());
+  EXPECT_TRUE(std::equal(state.begin(), state.end(), decoded.value().state.begin()));
+}
+
+TEST(Checkpoint, EmptyStateIsAValidFrame) {
+  const util::Bytes frame = encode(sample_header(), {});
+  const auto decoded = decode(frame);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().state.size(), 0u);
+}
+
+TEST(Checkpoint, EncodeIsByteDeterministic) {
+  const util::Bytes state = util::to_bytes("same state, same bytes");
+  EXPECT_EQ(encode(sample_header(), state), encode(sample_header(), state));
+}
+
+TEST(Checkpoint, EveryTruncationIsRejected) {
+  const util::Bytes frame = encode(sample_header(), util::to_bytes("payload"));
+  for (std::size_t len = 0; len < frame.size(); ++len) {
+    const auto decoded = decode(util::BytesView(frame.data(), len));
+    EXPECT_FALSE(decoded.ok()) << "accepted a " << len << "-byte prefix";
+  }
+}
+
+TEST(Checkpoint, WrongMagicIsMalformed) {
+  util::Bytes frame = encode(sample_header(), util::to_bytes("x"));
+  frame[0] ^= std::byte{0xFF};
+  const auto decoded = decode(frame);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.error(), DecodeError::kMalformed);
+}
+
+TEST(Checkpoint, VersionSkewIsRejectedBeforeAnythingElse) {
+  util::Bytes frame = encode(sample_header(), util::to_bytes("x"));
+  frame[4] = std::byte{kVersion + 1};  // byte 4 = version, after the magic
+  const auto decoded = decode(frame);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.error(), DecodeError::kBadVersion);
+}
+
+TEST(Checkpoint, DeclaredLengthMustMatchFrame) {
+  const util::Bytes frame = encode(sample_header(), util::to_bytes("abcdef"));
+  // Chop exactly one state byte off the middle: framing survives but the
+  // declared state_len no longer fits before the CRC trailer.
+  util::Bytes shorter(frame.begin(), frame.end() - 5);
+  shorter.insert(shorter.end(), frame.end() - 4, frame.end());
+  const auto decoded = decode(shorter);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.error(), DecodeError::kLengthMismatch);
+}
+
+TEST(Checkpoint, AnySingleBitFlipFailsTheChecksum) {
+  const util::Bytes frame = encode(sample_header(), util::to_bytes("guarded"));
+  // Flip one bit in every byte position past the header fields that the
+  // structural checks would catch first; all must fail *somewhere*.
+  for (std::size_t i = 0; i < frame.size(); ++i) {
+    util::Bytes mutated = frame;
+    mutated[i] ^= std::byte{0x01};
+    EXPECT_FALSE(decode(mutated).ok()) << "bit flip at byte " << i << " accepted";
+  }
+}
+
+TEST(Checkpoint, ChecksumErrorReportedWhenStructureSurvives) {
+  util::Bytes frame = encode(sample_header(), util::to_bytes("guarded"));
+  // Corrupt a state byte: framing is intact, only the CRC notices.
+  frame[frame.size() - 5] ^= std::byte{0x10};
+  const auto decoded = decode(frame);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.error(), DecodeError::kBadChecksum);
+}
+
+// --- service capture/restore ------------------------------------------
+
+TEST(Checkpoint, FilteringCaptureIsDeterministicAcrossInsertionOrder) {
+  // Two services fed the same sequences in different orders hold the
+  // same logical state; their captures must be byte-identical.
+  sim::Scheduler scheduler;
+  FilteringService a(scheduler, {});
+  FilteringService b(scheduler, {});
+  for (SequenceNo seq : {0, 1, 2, 3, 4}) a.note_seen({7, 1}, seq);
+  for (SequenceNo seq : {9, 10}) a.note_seen({3, 0}, seq);
+  for (SequenceNo seq : {9, 10}) b.note_seen({3, 0}, seq);
+  for (SequenceNo seq : {0, 1, 2, 3, 4}) b.note_seen({7, 1}, seq);
+  EXPECT_EQ(a.capture_state(), b.capture_state());
+}
+
+TEST(Checkpoint, FilteringRestoreRejectsGarbageWithoutPartialApply) {
+  sim::Scheduler scheduler;
+  FilteringService service(scheduler, {});
+  service.note_seen({1, 0}, 5);
+  const util::Bytes before = service.capture_state();
+
+  const util::Bytes junk = util::to_bytes("not a filtering state body");
+  EXPECT_FALSE(service.restore_state(junk).ok());
+  EXPECT_EQ(service.capture_state(), before);  // untouched on failure
+}
+
+TEST(Checkpoint, DispatchRestoreRejectsGarbageWithoutPartialApply) {
+  sim::Scheduler scheduler;
+  net::MessageBus bus(scheduler, {});
+  AuthService auth{{}};
+  StreamCatalog catalog;
+  DispatchingService dispatch(bus, auth, catalog);
+  const util::Bytes before = dispatch.capture_state();
+
+  EXPECT_FALSE(dispatch.restore_state(util::to_bytes("garbage")).ok());
+  EXPECT_EQ(dispatch.capture_state(), before);
+}
+
+// --- OpLog -------------------------------------------------------------
+
+TEST(OpLog, AppendKeepsEverythingUnderCapacity) {
+  OpLog log(8);
+  for (std::uint64_t lsn = 1; lsn <= 8; ++lsn) log.append({lsn, 1, {}});
+  EXPECT_EQ(log.size(), 8u);
+  EXPECT_EQ(log.evicted(), 0u);
+  EXPECT_EQ(log.records().front().lsn, 1u);
+  EXPECT_EQ(log.records().back().lsn, 8u);
+}
+
+TEST(OpLog, OverflowEvictsOldestAndCounts) {
+  OpLog log(4);
+  for (std::uint64_t lsn = 1; lsn <= 10; ++lsn) log.append({lsn, 1, {}});
+  EXPECT_EQ(log.size(), 4u);
+  EXPECT_EQ(log.evicted(), 6u);
+  EXPECT_EQ(log.records().front().lsn, 7u);  // 1..6 gone, oldest first
+  EXPECT_EQ(log.records().back().lsn, 10u);
+}
+
+TEST(OpLog, TruncateThroughDropsCheckpointedPrefix) {
+  OpLog log(16);
+  for (std::uint64_t lsn = 1; lsn <= 10; ++lsn) log.append({lsn, 1, {}});
+  log.truncate_through(6);
+  EXPECT_EQ(log.size(), 4u);
+  EXPECT_EQ(log.records().front().lsn, 7u);
+  EXPECT_EQ(log.evicted(), 0u);  // truncation is not eviction
+
+  log.truncate_through(100);  // watermark past the tail clears it
+  EXPECT_EQ(log.size(), 0u);
+}
+
+TEST(OpLog, PayloadBytesSurviveTheDeque) {
+  OpLog log(2);
+  log.append({1, 7, util::to_bytes("first")});
+  log.append({2, 9, util::to_bytes("second")});
+  log.append({3, 9, util::to_bytes("third")});  // evicts lsn 1
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log.records().front().kind, 9u);
+  EXPECT_EQ(log.records().front().payload, util::to_bytes("second"));
+  EXPECT_EQ(log.records().back().payload, util::to_bytes("third"));
+}
+
+}  // namespace
+}  // namespace garnet::core::checkpoint

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/metrics.hpp"
+
 namespace garnet::core {
 namespace {
 
@@ -14,6 +16,7 @@ struct ReplicatorFixture : ::testing::Test {
   net::MessageBus bus{scheduler, {}};
   AuthService auth{{}};
   LocationService location{bus, auth, {}};
+  obs::MetricsRegistry registry;
 
   wireless::RadioMedium::Config perfect_radio() {
     wireless::RadioMedium::Config config;
@@ -24,7 +27,10 @@ struct ReplicatorFixture : ::testing::Test {
   wireless::RadioMedium medium{scheduler, perfect_radio(), util::Rng(1)};
   MessageReplicator replicator{medium, location, {}};
 
+  std::uint64_t counter(const char* name) { return registry.snapshot().counter(name); }
+
   ReplicatorFixture() {
+    replicator.set_metrics(registry);
     // 4 transmitters across a 1km strip, 150m range each.
     for (wireless::TransmitterId id = 1; id <= 4; ++id) {
       medium.add_transmitter({id, {250.0 * static_cast<double>(id) - 125.0, 0}, 150});
@@ -48,7 +54,7 @@ TEST_F(ReplicatorFixture, FloodsWithoutEstimate) {
   const auto report = replicator.send(7, util::Bytes(8));
   EXPECT_FALSE(report.targeted);
   EXPECT_EQ(report.transmitters_used, 4u);
-  EXPECT_EQ(replicator.stats().flooded_sends, 1u);
+  EXPECT_EQ(counter("garnet.replicator.flooded_sends"), 1u);
 }
 
 TEST_F(ReplicatorFixture, TargetsSubsetWithEstimate) {
@@ -58,7 +64,7 @@ TEST_F(ReplicatorFixture, TargetsSubsetWithEstimate) {
   EXPECT_TRUE(report.targeted);
   EXPECT_LT(report.transmitters_used, 4u);
   EXPECT_GE(report.transmitters_used, 1u);
-  EXPECT_EQ(replicator.stats().targeted_sends, 1u);
+  EXPECT_EQ(counter("garnet.replicator.targeted_sends"), 1u);
 }
 
 TEST_F(ReplicatorFixture, LowConfidenceEstimateTreatedAsAbsent) {
@@ -78,7 +84,7 @@ TEST_F(ReplicatorFixture, EmptySelectionDegradesToFlood) {
   const auto report = replicator.send(7, util::Bytes(8));
   EXPECT_FALSE(report.targeted);
   EXPECT_EQ(report.transmitters_used, 4u);
-  EXPECT_EQ(replicator.stats().flooded_sends, 1u);
+  EXPECT_EQ(counter("garnet.replicator.flooded_sends"), 1u);
 }
 
 TEST_F(ReplicatorFixture, WideUncertaintySelectsMoreTransmitters) {
@@ -97,10 +103,10 @@ TEST_F(ReplicatorFixture, StatsAccumulateAcrossSends) {
   observe(7, 2);
   (void)replicator.send(7, util::Bytes(8));
   (void)replicator.send(9, util::Bytes(8));  // unknown: flood
-  EXPECT_EQ(replicator.stats().sends, 2u);
-  EXPECT_EQ(replicator.stats().targeted_sends, 1u);
-  EXPECT_EQ(replicator.stats().flooded_sends, 1u);
-  EXPECT_GT(replicator.stats().transmitter_activations, 4u);
+  EXPECT_EQ(counter("garnet.replicator.sends"), 2u);
+  EXPECT_EQ(counter("garnet.replicator.targeted_sends"), 1u);
+  EXPECT_EQ(counter("garnet.replicator.flooded_sends"), 1u);
+  EXPECT_GT(counter("garnet.replicator.transmitter_activations"), 4u);
 }
 
 TEST_F(ReplicatorFixture, CopiesScheduledCountsEndpoints) {
@@ -109,7 +115,7 @@ TEST_F(ReplicatorFixture, CopiesScheduledCountsEndpoints) {
   observe(7, 1);
   const auto report = replicator.send(7, util::Bytes(8));
   EXPECT_GE(report.copies_scheduled, 1u);
-  EXPECT_EQ(replicator.stats().copies_scheduled, report.copies_scheduled);
+  EXPECT_EQ(counter("garnet.replicator.copies_scheduled"), report.copies_scheduled);
 }
 
 }  // namespace

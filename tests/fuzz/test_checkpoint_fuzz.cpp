@@ -1,0 +1,188 @@
+// Checkpoint-decode robustness: recovery state frames arrive over the
+// same bus as everything else, so the decoder and every service's
+// restore_state() face arbitrary bytes. Seeded pseudo-fuzzing throws
+// random buffers, truncations, bit flips and version skews at them —
+// nothing may crash, nothing may be accepted unless it is a byte-exact
+// valid frame, and a rejected restore must leave service state
+// untouched (no partial application).
+#include <gtest/gtest.h>
+
+#include "core/auth.hpp"
+#include "core/catalog.hpp"
+#include "core/checkpoint.hpp"
+#include "core/dispatch.hpp"
+#include "core/filtering.hpp"
+#include "core/location.hpp"
+#include "sim/scheduler.hpp"
+#include "util/rng.hpp"
+
+namespace garnet {
+namespace {
+
+namespace checkpoint = core::checkpoint;
+
+util::Bytes random_bytes(util::Rng& rng, std::size_t max_len) {
+  util::Bytes out(rng.below(max_len + 1));
+  for (auto& b : out) b = static_cast<std::byte>(rng.next());
+  return out;
+}
+
+util::Bytes valid_frame(util::Rng& rng) {
+  checkpoint::Header header;
+  header.service = "fuzzed";
+  header.epoch = rng.next();
+  header.taken_at = util::SimTime{} + util::Duration::millis(static_cast<std::int64_t>(rng.below(10000)));
+  return checkpoint::encode(header, random_bytes(rng, 96));
+}
+
+class CheckpointFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CheckpointFuzz, CheckpointDecodeNeverAcceptsRandomBytes) {
+  util::Rng rng(GetParam());
+  int accepted = 0;
+  for (int i = 0; i < 5000; ++i) {
+    if (checkpoint::decode(random_bytes(rng, 160)).ok()) ++accepted;
+  }
+  // Magic + version + CRC make random acceptance a ~2^-32 event.
+  EXPECT_EQ(accepted, 0);
+}
+
+TEST_P(CheckpointFuzz, CheckpointDecodeSurvivesBitFlippedFrames) {
+  util::Rng rng(GetParam());
+  const util::Bytes valid = valid_frame(rng);
+  for (int i = 0; i < 5000; ++i) {
+    util::Bytes mutated = valid;
+    const std::size_t flips = 1 + rng.below(4);
+    for (std::size_t f = 0; f < flips; ++f) {
+      mutated[rng.below(mutated.size())] ^= static_cast<std::byte>(1 + rng.below(255));
+    }
+    // Must not crash; must not accept unless the flips round-tripped.
+    const auto decoded = checkpoint::decode(mutated);
+    if (mutated != valid) {
+      EXPECT_FALSE(decoded.ok());
+    }
+  }
+}
+
+TEST_P(CheckpointFuzz, CheckpointDecodeRejectsEveryTruncationAndPadding) {
+  util::Rng rng(GetParam());
+  const util::Bytes valid = valid_frame(rng);
+  // Every prefix is truncated; any appended junk breaks the declared
+  // length; both must be rejected without reading out of bounds.
+  for (std::size_t len = 0; len < valid.size(); ++len) {
+    EXPECT_FALSE(checkpoint::decode(util::BytesView(valid.data(), len)).ok());
+  }
+  for (int i = 0; i < 200; ++i) {
+    util::Bytes padded = valid;
+    const util::Bytes extra = random_bytes(rng, 16);
+    padded.insert(padded.end(), extra.begin(), extra.end());
+    if (!extra.empty()) {
+      EXPECT_FALSE(checkpoint::decode(padded).ok());
+    }
+  }
+}
+
+TEST_P(CheckpointFuzz, CheckpointDecodeRejectsVersionSkew) {
+  util::Rng rng(GetParam());
+  const util::Bytes valid = valid_frame(rng);
+  for (int i = 0; i < 255; ++i) {
+    util::Bytes skewed = valid;
+    const auto version = static_cast<std::uint8_t>(1 + rng.below(255));
+    if (version == checkpoint::kVersion) continue;
+    skewed[4] = std::byte{version};  // byte 4 = version, after the magic
+    const auto decoded = checkpoint::decode(skewed);
+    ASSERT_FALSE(decoded.ok());
+    EXPECT_EQ(decoded.error(), util::DecodeError::kBadVersion);
+  }
+}
+
+TEST_P(CheckpointFuzz, FilteringRestoreNeverPartiallyApplies) {
+  util::Rng rng(GetParam());
+  sim::Scheduler scheduler;
+  core::FilteringService filtering(scheduler, {});
+  for (core::SequenceNo seq = 0; seq < 10; ++seq) {
+    filtering.note_seen({static_cast<core::SensorId>(1 + rng.below(30)), 0}, seq);
+  }
+  const util::Bytes before = filtering.capture_state();
+
+  for (int i = 0; i < 2000; ++i) {
+    const util::Bytes junk = random_bytes(rng, 128);
+    if (!filtering.restore_state(junk).ok()) {
+      // Rejected input must leave the dedup state byte-identical.
+      ASSERT_EQ(filtering.capture_state(), before) << "partial apply at iteration " << i;
+    } else {
+      // Whatever was accepted must round-trip stably; then put the
+      // original back for the next iteration.
+      const util::Bytes again = filtering.capture_state();
+      ASSERT_TRUE(filtering.restore_state(again).ok());
+      ASSERT_TRUE(filtering.restore_state(before).ok());
+    }
+  }
+}
+
+TEST_P(CheckpointFuzz, DispatchRestoreNeverPartiallyApplies) {
+  util::Rng rng(GetParam());
+  sim::Scheduler scheduler;
+  net::MessageBus bus(scheduler, {});
+  core::AuthService auth{{}};
+  core::StreamCatalog catalog;
+  core::DispatchingService dispatch(bus, auth, catalog);
+  const net::Address subscriber = bus.add_endpoint("fuzz.consumer", [](net::Envelope) {});
+  dispatch.subscribe(subscriber, core::StreamPattern::everything());
+  const util::Bytes before = dispatch.capture_state();
+
+  for (int i = 0; i < 2000; ++i) {
+    const util::Bytes junk = random_bytes(rng, 128);
+    if (!dispatch.restore_state(junk).ok()) {
+      ASSERT_EQ(dispatch.capture_state(), before) << "partial apply at iteration " << i;
+    } else {
+      ASSERT_TRUE(dispatch.restore_state(before).ok());
+    }
+  }
+}
+
+TEST_P(CheckpointFuzz, LocationRestoreNeverPartiallyApplies) {
+  util::Rng rng(GetParam());
+  sim::Scheduler scheduler;
+  net::MessageBus bus(scheduler, {});
+  core::AuthService auth{{}};
+  core::LocationService location(bus, auth, {});
+  const util::Bytes before = location.capture_state();
+
+  for (int i = 0; i < 2000; ++i) {
+    if (!location.restore_state(random_bytes(rng, 128)).ok()) {
+      ASSERT_EQ(location.capture_state(), before) << "partial apply at iteration " << i;
+    } else {
+      ASSERT_TRUE(location.restore_state(before).ok());
+    }
+  }
+}
+
+TEST_P(CheckpointFuzz, MutatedValidStateBodiesNeverCorruptFiltering) {
+  // Bodies lifted out of real frames, then flipped: these are the bytes
+  // a corrupted-but-CRC-colliding checkpoint would hand restore_state.
+  util::Rng rng(GetParam());
+  sim::Scheduler scheduler;
+  core::FilteringService filtering(scheduler, {});
+  for (core::SequenceNo seq = 0; seq < 20; ++seq) filtering.note_seen({7, 1}, seq);
+  const util::Bytes valid_body = filtering.capture_state();
+  const util::Bytes before = valid_body;
+
+  for (int i = 0; i < 3000; ++i) {
+    util::Bytes mutated = valid_body;
+    const std::size_t flips = 1 + rng.below(3);
+    for (std::size_t f = 0; f < flips; ++f) {
+      mutated[rng.below(mutated.size())] ^= static_cast<std::byte>(1 + rng.below(255));
+    }
+    if (!filtering.restore_state(mutated).ok()) {
+      ASSERT_EQ(filtering.capture_state(), before);
+    } else {
+      ASSERT_TRUE(filtering.restore_state(before).ok());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CheckpointFuzz, ::testing::Values(0xAAAAu, 0xBBBBu, 0xCCCCu));
+
+}  // namespace
+}  // namespace garnet

@@ -97,7 +97,38 @@ TEST_F(FailoverFixture, HotStandbyPreservesDedupAcrossFailover) {
   EXPECT_EQ(delivered.count(100), 1u);
 }
 
-TEST_F(FailoverFixture, ColdStandbyLeaksDuplicatesAfterFailover) {
+TEST_F(FailoverFixture, ColdStandbySeededFromOpLogDeliversNoDuplicates) {
+  // Historical leak, now closed: a promoted cold standby used to start
+  // with empty dedup state, so late copies of already-delivered messages
+  // leaked through as duplicates. Promotion now seeds it from the
+  // primary's checkpoint + op log.
+  FilteringFailover failover(scheduler, config_for(FilteringFailover::Mode::kCold));
+  failover.set_metrics(registry);
+  std::multiset<core::SequenceNo> delivered;
+  failover.set_message_sink(
+      [&](const core::DataMessage& m, SimTime) { delivered.insert(m.sequence); });
+
+  // Crash before the first checkpoint cadence: the seed is pure op-log
+  // replay from boot.
+  for (core::SequenceNo seq = 0; seq < 5; ++seq) failover.ingest(make_report(seq, 1));
+  failover.kill_primary();
+  scheduler.run_for(Duration::seconds(1));
+  ASSERT_TRUE(failover.failed_over());
+  EXPECT_EQ(counter("garnet.failover.ops_replayed"), 5u);
+
+  // Late radio copies of the SAME messages arrive after failover: the
+  // seeded standby recognises every one. Zero post-promotion duplicates.
+  for (core::SequenceNo seq = 0; seq < 5; ++seq) failover.ingest(make_report(seq, 2));
+  for (core::SequenceNo seq = 0; seq < 5; ++seq) EXPECT_EQ(delivered.count(seq), 1u) << seq;
+
+  // New traffic still flows through the promoted replica.
+  failover.ingest(make_report(100));
+  EXPECT_EQ(delivered.count(100), 1u);
+}
+
+TEST_F(FailoverFixture, ColdStandbySeededFromCheckpointPlusTail) {
+  // Let a checkpoint land, then forward more messages past it: the seed
+  // must combine the snapshot with the op-log tail since its watermark.
   FilteringFailover failover(scheduler, config_for(FilteringFailover::Mode::kCold));
   failover.set_metrics(registry);
   std::multiset<core::SequenceNo> delivered;
@@ -105,16 +136,18 @@ TEST_F(FailoverFixture, ColdStandbyLeaksDuplicatesAfterFailover) {
       [&](const core::DataMessage& m, SimTime) { delivered.insert(m.sequence); });
 
   for (core::SequenceNo seq = 0; seq < 5; ++seq) failover.ingest(make_report(seq, 1));
+  scheduler.run_for(Duration::millis(300));  // checkpoint cadence fires
+  EXPECT_GE(counter("garnet.failover.checkpoints"), 1u);
+  for (core::SequenceNo seq = 5; seq < 8; ++seq) failover.ingest(make_report(seq, 1));
+
   failover.kill_primary();
   scheduler.run_for(Duration::seconds(1));
   ASSERT_TRUE(failover.failed_over());
+  // Only the post-checkpoint tail (5..7) needed replaying.
+  EXPECT_EQ(counter("garnet.failover.ops_replayed"), 3u);
 
-  // The cold standby has no memory of 0..4: late copies leak through as
-  // fresh deliveries — the data-integrity cost of the cheap mode.
-  for (core::SequenceNo seq = 0; seq < 5; ++seq) failover.ingest(make_report(seq, 2));
-  std::size_t leaked = 0;
-  for (core::SequenceNo seq = 0; seq < 5; ++seq) leaked += delivered.count(seq) > 1 ? 1 : 0;
-  EXPECT_EQ(leaked, 5u);
+  for (core::SequenceNo seq = 0; seq < 8; ++seq) failover.ingest(make_report(seq, 2));
+  for (core::SequenceNo seq = 0; seq < 8; ++seq) EXPECT_EQ(delivered.count(seq), 1u) << seq;
 }
 
 TEST_F(FailoverFixture, DetectionWindowLossIsCounted) {

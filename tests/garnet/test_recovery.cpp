@@ -1,0 +1,290 @@
+// RecoveryHarness unit tests against a synthetic stateful service: a
+// key->value table whose capture/restore use the core/checkpoint
+// framing and whose mutations are op-logged. Covers the full contract —
+// checkpoint replication over the bus, op-log tailing, crash-stop
+// semantics (wiped state, silenced endpoints, dropped ops), watchdog
+// promotion from checkpoint + tail, scheduled-restart rejoin, and the
+// garnet.recovery.* / garnet.checkpoint.* telemetry.
+#include "garnet/recovery.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "obs/metrics.hpp"
+
+namespace garnet {
+namespace {
+
+using util::Duration;
+using util::SimTime;
+
+constexpr std::uint16_t kOpSet = 1;  ///< payload: [u32 key][u64 value]
+
+/// The service under management: a sorted table, so capture is
+/// deterministic by construction.
+struct FakeService {
+  std::map<std::uint32_t, std::uint64_t> table;
+  int restarts = 0;
+
+  util::Bytes capture() const {
+    util::ByteWriter w(4 + table.size() * 12);
+    w.u32(static_cast<std::uint32_t>(table.size()));
+    for (const auto& [key, value] : table) {
+      w.u32(key);
+      w.u64(value);
+    }
+    return std::move(w).take();
+  }
+
+  util::Status<util::DecodeError> restore(util::BytesView state) {
+    util::ByteReader r(state);
+    const std::uint32_t count = r.u32();
+    std::map<std::uint32_t, std::uint64_t> next;
+    for (std::uint32_t i = 0; i < count && r.ok(); ++i) {
+      const std::uint32_t key = r.u32();
+      const std::uint64_t value = r.u64();
+      next[key] = value;
+    }
+    if (!r.ok() || r.remaining() != 0) return util::Err{util::DecodeError::kTruncated};
+    table = std::move(next);
+    return {};
+  }
+
+  void apply_op(std::uint16_t kind, util::BytesView payload) {
+    if (kind != kOpSet) return;
+    util::ByteReader r(payload);
+    const std::uint32_t key = r.u32();
+    const std::uint64_t value = r.u64();
+    if (r.ok()) table[key] = value;
+  }
+};
+
+struct RecoveryFixture : ::testing::Test {
+  obs::MetricsRegistry registry;
+  sim::Scheduler scheduler;
+  net::MessageBus bus{scheduler, {}};
+  FakeService fake;
+
+  static RecoveryConfig config() {
+    RecoveryConfig c;
+    c.enabled = true;
+    c.heartbeat_interval = Duration::millis(100);
+    c.miss_threshold = 3;
+    c.checkpoint_interval = Duration::millis(250);
+    return c;
+  }
+
+  RecoveryHarness::Service service_spec(std::vector<std::string> endpoints = {}) {
+    RecoveryHarness::Service spec;
+    spec.name = "fake";
+    spec.endpoints = std::move(endpoints);
+    spec.capture = [this] { return fake.capture(); };
+    spec.restore = [this](util::BytesView state) { return fake.restore(state); };
+    spec.wipe = [this] { fake.table.clear(); };
+    spec.apply_op = [this](std::uint16_t kind, util::BytesView payload) {
+      fake.apply_op(kind, payload);
+    };
+    spec.on_restart = [this] { ++fake.restarts; };
+    return spec;
+  }
+
+  /// Mutates the primary AND logs the op, as a real service's runtime
+  /// wiring does.
+  void set_and_log(RecoveryHarness& harness, std::uint32_t key, std::uint64_t value) {
+    fake.table[key] = value;
+    util::ByteWriter w(12);
+    w.u32(key);
+    w.u64(value);
+    harness.log_op("fake", kOpSet, w.view());
+  }
+
+  std::uint64_t counter(const char* name) { return registry.snapshot().counter(name); }
+  double gauge(const char* name) { return registry.snapshot().gauge(name); }
+};
+
+TEST_F(RecoveryFixture, CheckpointsReplicateOnCadence) {
+  RecoveryHarness harness(scheduler, bus, config());
+  harness.set_metrics(registry);
+  harness.manage(service_spec());
+
+  fake.table = {{1, 10}, {2, 20}};
+  scheduler.run_for(Duration::millis(600));  // two cadences + bus latency
+
+  EXPECT_GE(counter("garnet.checkpoint.taken"), 2u);
+  EXPECT_GE(counter("garnet.checkpoint.stored"), 2u);
+  EXPECT_EQ(counter("garnet.checkpoint.rejected"), 0u);
+  EXPECT_GT(gauge("garnet.checkpoint.last_bytes"), 0.0);
+}
+
+TEST_F(RecoveryFixture, OpsReplicateToTheStandbyLog) {
+  RecoveryHarness harness(scheduler, bus, config());
+  harness.set_metrics(registry);
+  harness.manage(service_spec());
+
+  for (std::uint32_t key = 1; key <= 5; ++key) set_and_log(harness, key, key * 10);
+  scheduler.run_for(Duration::millis(50));  // replication latency only
+
+  EXPECT_EQ(counter("garnet.recovery.ops_logged"), 5u);
+  EXPECT_EQ(counter("garnet.recovery.ops_replicated"), 5u);
+}
+
+TEST_F(RecoveryFixture, CrashWipesStateAndSilencesEndpoints) {
+  RecoveryHarness harness(scheduler, bus, config());
+  harness.set_metrics(registry);
+  bus.set_metrics(registry);
+  std::size_t arrivals = 0;
+  const net::Address svc = bus.add_endpoint("fake.svc", [&](net::Envelope) { ++arrivals; });
+  const net::Address peer = bus.add_endpoint("fake.peer", [](net::Envelope) {});
+  harness.manage(service_spec({"fake.svc"}));
+
+  fake.table = {{1, 1}};
+  harness.crash("fake");
+  EXPECT_TRUE(harness.crashed("fake"));
+  EXPECT_TRUE(fake.table.empty());  // volatile state died with the process
+  EXPECT_EQ(counter("garnet.recovery.crashes"), 1u);
+  EXPECT_EQ(gauge("garnet.recovery.crashed"), 1.0);
+
+  // Peers cannot tell it is gone: the post succeeds, the bus discards.
+  bus.post(peer, svc, net::app_type(0), util::SharedBytes{util::to_bytes("hello?")});
+  scheduler.run_for(Duration::millis(50));
+  EXPECT_EQ(arrivals, 0u);
+  EXPECT_EQ(counter("garnet.bus.dropped_endpoint_down"), 1u);
+}
+
+TEST_F(RecoveryFixture, CrashedServiceLogsNothing) {
+  RecoveryHarness harness(scheduler, bus, config());
+  harness.set_metrics(registry);
+  harness.manage(service_spec());
+
+  harness.crash("fake");
+  set_and_log(harness, 1, 1);
+  scheduler.run_for(Duration::millis(50));
+  EXPECT_EQ(counter("garnet.recovery.ops_logged"), 0u);
+}
+
+TEST_F(RecoveryFixture, WatchdogPromotesFromCheckpointPlusTail) {
+  RecoveryHarness harness(scheduler, bus, config());
+  harness.set_metrics(registry);
+  harness.manage(service_spec());
+
+  // Pre-checkpoint state, then a checkpoint cadence, then a tail of ops.
+  set_and_log(harness, 1, 10);
+  set_and_log(harness, 2, 20);
+  scheduler.run_for(Duration::millis(300));  // checkpoint lands, log truncates
+  set_and_log(harness, 3, 30);
+  set_and_log(harness, 2, 21);  // overwrite past the watermark
+  scheduler.run_for(Duration::millis(20));
+  const auto expected = fake.table;
+
+  harness.crash("fake");
+  ASSERT_TRUE(fake.table.empty());
+  scheduler.run_for(Duration::seconds(1));  // watchdog notices, promotes
+
+  EXPECT_FALSE(harness.crashed("fake"));
+  EXPECT_EQ(fake.table, expected);  // checkpoint + tail == pre-crash state
+  EXPECT_EQ(counter("garnet.recovery.promotions"), 1u);
+  EXPECT_EQ(counter("garnet.recovery.rejoins"), 0u);
+  // Only the post-watermark tail replayed, not the checkpointed prefix.
+  EXPECT_EQ(counter("garnet.recovery.ops_replayed"), 2u);
+  EXPECT_EQ(fake.restarts, 1);
+  // Detection within (miss_threshold-1, miss_threshold] heartbeats.
+  EXPECT_LE(gauge("garnet.recovery.latency_ns"),
+            static_cast<double>(Duration::millis(400).ns));
+  EXPECT_GE(gauge("garnet.recovery.latency_ns"),
+            static_cast<double>(Duration::millis(200).ns));
+}
+
+TEST_F(RecoveryFixture, CrashBeforeFirstCheckpointReplaysFromBoot) {
+  RecoveryHarness harness(scheduler, bus, config());
+  harness.set_metrics(registry);
+  harness.manage(service_spec());
+
+  for (std::uint32_t key = 1; key <= 4; ++key) set_and_log(harness, key, key);
+  scheduler.run_for(Duration::millis(20));  // replicate; no checkpoint yet
+  const auto expected = fake.table;
+
+  harness.crash("fake");
+  harness.restart("fake");  // scheduled restart, not watchdog
+  EXPECT_EQ(fake.table, expected);
+  EXPECT_EQ(counter("garnet.recovery.rejoins"), 1u);
+  EXPECT_EQ(counter("garnet.recovery.promotions"), 0u);
+  EXPECT_EQ(counter("garnet.recovery.ops_replayed"), 4u);
+}
+
+TEST_F(RecoveryFixture, RestartIsNoopUnlessCrashed) {
+  RecoveryHarness harness(scheduler, bus, config());
+  harness.set_metrics(registry);
+  harness.manage(service_spec());
+
+  harness.restart("fake");
+  harness.restart("no-such-service");
+  EXPECT_EQ(counter("garnet.recovery.rejoins"), 0u);
+  EXPECT_EQ(fake.restarts, 0);
+}
+
+TEST_F(RecoveryFixture, CrashIsIdempotent) {
+  RecoveryHarness harness(scheduler, bus, config());
+  harness.set_metrics(registry);
+  harness.manage(service_spec());
+
+  harness.crash("fake");
+  harness.crash("fake");
+  EXPECT_EQ(counter("garnet.recovery.crashes"), 1u);
+  scheduler.run_for(Duration::seconds(1));
+  EXPECT_EQ(counter("garnet.recovery.promotions"), 1u);
+}
+
+TEST_F(RecoveryFixture, LostInputsAreAccountedPerService) {
+  RecoveryHarness harness(scheduler, bus, config());
+  harness.set_metrics(registry);
+  harness.manage(service_spec());
+
+  harness.crash("fake");
+  harness.note_lost_input("fake");
+  harness.note_lost_input("fake");
+  harness.note_lost_input("unknown");  // ignored
+  EXPECT_EQ(counter("garnet.recovery.inputs_lost"), 2u);
+  EXPECT_EQ(registry.snapshot().counter("garnet.recovery.service_inputs_lost",
+                                        {{"service", "fake"}}),
+            2u);
+}
+
+TEST_F(RecoveryFixture, EndpointsComeBackUpAtRecovery) {
+  RecoveryHarness harness(scheduler, bus, config());
+  harness.set_metrics(registry);
+  std::size_t arrivals = 0;
+  const net::Address svc = bus.add_endpoint("fake.svc", [&](net::Envelope) { ++arrivals; });
+  const net::Address peer = bus.add_endpoint("fake.peer", [](net::Envelope) {});
+  harness.manage(service_spec({"fake.svc"}));
+
+  harness.crash("fake");
+  EXPECT_TRUE(bus.endpoint_down("fake.svc"));
+  scheduler.run_for(Duration::seconds(1));  // watchdog promotes
+  EXPECT_FALSE(bus.endpoint_down("fake.svc"));
+
+  bus.post(peer, svc, net::app_type(0), util::SharedBytes{util::to_bytes("back?")});
+  scheduler.run_for(Duration::millis(50));
+  EXPECT_EQ(arrivals, 1u);
+}
+
+TEST_F(RecoveryFixture, CheckpointOnlyServiceSkipsReplay) {
+  // Location/catalog-style management: no apply_op hook. Promotion is
+  // restore-only; nothing counts as replayed.
+  RecoveryHarness harness(scheduler, bus, config());
+  harness.set_metrics(registry);
+  RecoveryHarness::Service spec = service_spec();
+  spec.apply_op = nullptr;
+  harness.manage(std::move(spec));
+
+  fake.table = {{5, 50}};
+  scheduler.run_for(Duration::millis(300));  // checkpoint lands
+  harness.crash("fake");
+  scheduler.run_for(Duration::seconds(1));
+
+  EXPECT_EQ(fake.table, (std::map<std::uint32_t, std::uint64_t>{{5, 50}}));
+  EXPECT_EQ(counter("garnet.recovery.ops_replayed"), 0u);
+}
+
+}  // namespace
+}  // namespace garnet

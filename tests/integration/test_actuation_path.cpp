@@ -72,17 +72,18 @@ TEST_F(ActuationPathFixture, LocationTargetingActivatesFewerTransmitters) {
   // Cold request: no location evidence yet -> flood through all 9.
   consumer.request_update({1, 0}, core::UpdateAction::kSetMode, 1, {});
   runtime.run_for(Duration::millis(200));
-  const auto after_cold = runtime.replicator().stats();
-  EXPECT_EQ(after_cold.flooded_sends, 1u);
-  EXPECT_EQ(after_cold.transmitter_activations, 9u);
+  const auto after_cold = runtime.telemetry().registry.snapshot();
+  EXPECT_EQ(after_cold.counter("garnet.replicator.flooded_sends"), 1u);
+  EXPECT_EQ(after_cold.counter("garnet.replicator.transmitter_activations"), 9u);
 
   // Warm request: reception evidence accumulated -> targeted subset.
   runtime.run_for(Duration::seconds(5));
   consumer.request_update({1, 0}, core::UpdateAction::kSetMode, 2, {});
   runtime.run_for(Duration::millis(200));
-  const auto after_warm = runtime.replicator().stats();
-  EXPECT_EQ(after_warm.targeted_sends, 1u);
-  const auto warm_activations = after_warm.transmitter_activations - 9;
+  const auto after_warm = runtime.telemetry().registry.snapshot();
+  EXPECT_EQ(after_warm.counter("garnet.replicator.targeted_sends"), 1u);
+  const auto warm_activations =
+      after_warm.counter("garnet.replicator.transmitter_activations") - 9;
   EXPECT_LT(warm_activations, 9u);
   EXPECT_GE(warm_activations, 1u);
 
