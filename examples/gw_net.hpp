@@ -1,0 +1,106 @@
+// Tiny blocking TCP client helpers shared by the gateway examples
+// (gw_client, stream_monitor --connect). Deliberately synchronous and
+// minimal — the hard non-blocking work lives on the daemon side; a
+// client that waits on one socket needs nothing more than connect,
+// send-all, read-line, and read-frame.
+#pragma once
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include "gw/framing.hpp"
+#include "util/bytes.hpp"
+
+namespace garnet::gw_client {
+
+/// Connects to host:port; -1 on failure. Caller closes the fd.
+inline int connect_tcp(const std::string& host, std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    ::close(fd);
+    return -1;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return fd;
+}
+
+inline bool send_all(int fd, util::BytesView data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+inline bool send_all(int fd, const std::string& text) {
+  return send_all(fd, util::BytesView(reinterpret_cast<const std::byte*>(text.data()),
+                                      text.size()));
+}
+
+/// Reads exactly n bytes; false on EOF/error.
+inline bool read_exact(int fd, std::byte* out, std::size_t n) {
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::recv(fd, out + got, n - got, 0);
+    if (r <= 0) return false;
+    got += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+/// Reads up to and including one '\n' (stripped, like getline).
+inline std::optional<std::string> read_line(int fd, std::size_t max = 1 << 20) {
+  std::string line;
+  char c = 0;
+  while (line.size() < max) {
+    const ssize_t r = ::recv(fd, &c, 1, 0);
+    if (r <= 0) return std::nullopt;
+    if (c == '\n') {
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return line;
+    }
+    line.push_back(c);
+  }
+  return std::nullopt;
+}
+
+/// Reads one [u32 length][body] frame off the stream; nullopt on EOF,
+/// error, or a length past the protocol bound.
+inline std::optional<util::Bytes> read_frame(int fd) {
+  std::byte prefix[gw::kLengthPrefixBytes];
+  if (!read_exact(fd, prefix, sizeof prefix)) return std::nullopt;
+  const std::uint32_t length = (static_cast<std::uint32_t>(prefix[0]) << 24) |
+                               (static_cast<std::uint32_t>(prefix[1]) << 16) |
+                               (static_cast<std::uint32_t>(prefix[2]) << 8) |
+                               static_cast<std::uint32_t>(prefix[3]);
+  if (length > gw::kMaxFrameBody) return std::nullopt;
+  util::Bytes body(length);
+  if (!read_exact(fd, body.data(), body.size())) return std::nullopt;
+  return body;
+}
+
+/// Length-prefixes `body` for the gateway's binary surfaces.
+inline util::Bytes frame_bytes(util::BytesView body) {
+  util::Bytes out(gw::kLengthPrefixBytes + body.size());
+  gw::put_length_prefix(static_cast<std::uint32_t>(body.size()), out.data());
+  std::memcpy(out.data() + gw::kLengthPrefixBytes, body.data(), body.size());
+  return out;
+}
+
+}  // namespace garnet::gw_client

@@ -4,13 +4,23 @@
 // operator text report plus the same snapshot as JSON exposition — what
 // a scraper or the bench harness would ingest.
 //
-// Usage: stream_monitor [speedup]    (default 30)
+// With --connect the monitor runs no simulation at all: it attaches to
+// a running garnet-gw daemon's stream port over TCP, subscribes to
+// everything, and tails the delivery frames a remote middleware fans
+// out — the same dashboard, fed across a real socket.
+//
+// Usage: stream_monitor [speedup]                   (default 30)
+//        stream_monitor --connect host:port [--count N]
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <map>
+#include <string>
 
+#include "core/wire_types.hpp"
 #include "garnet/report.hpp"
 #include "garnet/runtime.hpp"
+#include "gw_net.hpp"
 #include "sim/realtime.hpp"
 
 using namespace garnet;
@@ -24,9 +34,73 @@ struct StreamRow {
   util::SimTime last_seen;
 };
 
+/// Tails delivery frames from a garnet-gw stream port until EOF (or
+/// `count` frames), then prints the per-stream roll-up.
+int run_connected(const std::string& spec, std::size_t count) {
+  const auto colon = spec.rfind(':');
+  if (colon == std::string::npos) {
+    std::fprintf(stderr, "stream_monitor: --connect wants host:port\n");
+    return 2;
+  }
+  const std::string host = spec.substr(0, colon);
+  const auto port = static_cast<std::uint16_t>(std::strtoul(spec.c_str() + colon + 1, nullptr, 10));
+  const int fd = gw_client::connect_tcp(host, port);
+  if (fd < 0) {
+    std::fprintf(stderr, "stream_monitor: cannot connect to %s\n", spec.c_str());
+    return 1;
+  }
+  if (!gw_client::send_all(fd, std::string("SUB */*\n"))) return 1;
+  const auto ack = gw_client::read_line(fd);
+  if (!ack || ack->rfind("OK", 0) != 0) {
+    std::fprintf(stderr, "stream_monitor: subscribe refused: %s\n", ack ? ack->c_str() : "(eof)");
+    ::close(fd);
+    return 1;
+  }
+  std::printf("connected to %s (%s); tailing...\n", spec.c_str(), ack->c_str());
+
+  std::map<std::uint32_t, StreamRow> rows;
+  std::size_t received = 0;
+  while (count == 0 || received < count) {
+    const auto frame = gw_client::read_frame(fd);
+    if (!frame) break;
+    const auto delivery = core::decode_delivery(*frame);
+    if (!delivery.ok()) {
+      std::fprintf(stderr, "stream_monitor: corrupt delivery frame\n");
+      break;
+    }
+    const auto& msg = delivery.value().message;
+    StreamRow& row = rows[msg.stream_id.packed()];
+    ++row.messages;
+    row.last_seen = delivery.value().first_heard;
+    util::ByteReader r(msg.payload);
+    const double value = r.f64();
+    if (r.ok()) row.last_value = value;
+    ++received;
+    std::printf("  %-10s seq=%-6u %4zuB  last=%.2f\n", msg.stream_id.to_string().c_str(),
+                msg.sequence, msg.payload.size(), row.last_value);
+  }
+  ::close(fd);
+
+  std::printf("\n%-10s %-8s %s\n", "stream", "msgs", "last value");
+  for (const auto& [packed, row] : rows) {
+    std::printf("%-10s %-8llu %.2f\n", core::StreamId::from_packed(packed).to_string().c_str(),
+                static_cast<unsigned long long>(row.messages), row.last_value);
+  }
+  std::printf("%zu delivery frame(s) over the wire\n", received);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  std::string connect_spec;
+  std::size_t connect_count = 0;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--connect") == 0) connect_spec = argv[i + 1];
+    if (std::strcmp(argv[i], "--count") == 0) connect_count = std::strtoul(argv[i + 1], nullptr, 10);
+  }
+  if (!connect_spec.empty()) return run_connected(connect_spec, connect_count);
+
   const double speed = argc > 1 ? std::strtod(argv[1], nullptr) : 30.0;
 
   Runtime::Config config;

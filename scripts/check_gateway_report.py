@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""CI gate over BENCH_gateway.json (see bench/bench_gateway.cpp).
+
+The report is the full telemetry snapshot of the gateway bench's
+harshest cell (32 subscribers x 32 KiB payloads, plus one frozen reader
+whose write window never opens). The gate enforces the gateway's
+contract from docs/GATEWAY.md:
+
+  1. zero corrupt deliveries — every frame that reached a subscriber
+     re-framed and re-checksummed exactly;
+  2. control frames are never shed (garnet.gw.shed{class=control} must
+     be zero for every policy) while the frozen reader forced data
+     sheds, proving the pressure was real;
+  3. the last-value cache answered a GET with the newest sequence after
+     the whole sweep.
+"""
+import json
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) != 2:
+        print("usage: check_gateway_report.py BENCH_gateway.json", file=sys.stderr)
+        return 2
+    with open(sys.argv[1], encoding="utf-8") as fh:
+        report = json.load(fh)
+
+    shed = {"control": 0.0, "data": 0.0}
+    gauges = {}
+    for metric in report["metrics"]:
+        name = metric["name"]
+        if name == "garnet.gw.shed":
+            shed[metric["labels"]["class"]] += metric["value"]
+        elif name.startswith("bench.gateway."):
+            gauges[name.removeprefix("bench.gateway.")] = metric["value"]
+
+    failures = []
+    corrupt = gauges.get("corrupt_deliveries")
+    if corrupt is None:
+        failures.append("bench.gateway.corrupt_deliveries missing from the report")
+    elif corrupt > 0:
+        failures.append(f"{corrupt:.0f} corrupt deliveries reached subscribers")
+    if gauges.get("frames_delivered", 0) <= 0:
+        failures.append("no frames were delivered — gate is vacuous")
+    if shed["control"] > 0:
+        failures.append(
+            f"control frames were shed ({shed['control']:.0f}) — "
+            "the priority invariant is broken at the socket boundary"
+        )
+    if shed["data"] + gauges.get("data_sheds", 0) == 0:
+        failures.append("the frozen reader shed nothing — backpressure path never ran")
+    if gauges.get("cache_serves_latest") != 1:
+        failures.append("the last-value cache did not serve the newest sequence")
+
+    if failures:
+        for failure in failures:
+            print(f"gateway gate FAILED: {failure}", file=sys.stderr)
+        return 1
+    print(
+        f"gateway gate OK: {gauges.get('frames_delivered', 0):.0f} frames delivered, "
+        f"0 corrupt, control sheds=0, data sheds={shed['data']:.0f}, cache serves latest"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

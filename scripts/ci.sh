@@ -4,12 +4,13 @@
 # benchmark suite and emits the machine-readable BENCH_*.json reports
 # (notably BENCH_dispatch.json, the zero-copy payload-path pins).
 #
-# Usage: scripts/ci.sh [build-dir] [perf-build-dir]
-#        (defaults: build-ci, build-ci-perf)
+# Usage: scripts/ci.sh [build-dir] [perf-build-dir] [tsan-build-dir]
+#        (defaults: build-ci, build-ci-perf, build-ci-tsan)
 set -euo pipefail
 
 BUILD_DIR="${1:-build-ci}"
 PERF_BUILD_DIR="${2:-build-ci-perf}"
+TSAN_BUILD_DIR="${3:-build-ci-tsan}"
 GENERATOR_ARGS=()
 if command -v ninja >/dev/null 2>&1; then
   GENERATOR_ARGS=(-G Ninja)
@@ -41,5 +42,23 @@ scripts/check_overload_report.py "$PERF_BUILD_DIR/bench-results/BENCH_overload.j
 # crashed service recovered and zero duplicate deliveries after the
 # promotion (checkpoint + op-log + stash replay closed the gap exactly).
 scripts/check_recovery_report.py "$PERF_BUILD_DIR/bench-results/BENCH_recovery.json"
+
+# Gateway gate: the fan-out bench's snapshot must show zero corrupt
+# deliveries on the egress wire, zero control-frame shed while the
+# frozen reader forced data sheds, and the last-value cache serving the
+# newest sample (docs/GATEWAY.md contract).
+scripts/check_gateway_report.py "$PERF_BUILD_DIR/bench-results/BENCH_gateway.json"
+
+# Leg 3 — data races at the socket boundary: TSan over the gateway
+# suite, which crosses real kernel sockets (PosixTransport) and the
+# loopback seam in one process. The gateway is deliberately
+# single-threaded around poll(2); TSan proves no hidden thread sneaks
+# into the delivery path.
+cmake -B "$TSAN_BUILD_DIR" -S . "${GENERATOR_ARGS[@]}" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DGARNET_SANITIZE=thread
+cmake --build "$TSAN_BUILD_DIR" -j "$(nproc)" --target garnet_gw_tests
+ctest --test-dir "$TSAN_BUILD_DIR" --output-on-failure -j "$(nproc)" \
+  --tests-regex '(Gateway|GatewaySockets|LoopbackTransport|PosixTransport)'
 
 echo "CI OK: tests green, bench reports in $PERF_BUILD_DIR/bench-results"

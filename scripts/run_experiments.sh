@@ -18,14 +18,30 @@ if [ ! -d "$BUILD_DIR/bench" ]; then
   exit 1
 fi
 
+# The registered bench set comes from bench/CMakeLists.txt, so a bench
+# that fails to build (or a stale build dir missing a newly added one)
+# stops the run immediately instead of silently thinning the tables.
+SCRIPT_DIR=$(dirname "$0")
+EXPECTED=$(sed -n 's/^garnet_bench(\([a-z_0-9]*\)).*/\1/p' "$SCRIPT_DIR/../bench/CMakeLists.txt")
+if [ -z "$EXPECTED" ]; then
+  echo "error: no benches registered in bench/CMakeLists.txt — parse failure?" >&2
+  exit 1
+fi
+for name in $EXPECTED; do
+  if [ ! -x "$BUILD_DIR/bench/$name" ]; then
+    echo "error: bench binary '$BUILD_DIR/bench/$name' is missing or not executable." >&2
+    echo "       Rebuild the full tree first: cmake --build $BUILD_DIR" >&2
+    exit 1
+  fi
+done
+
 GARNET_BENCH_JSON_DIR="${GARNET_BENCH_JSON_DIR:-$BUILD_DIR/bench-results}"
 export GARNET_BENCH_JSON_DIR
 mkdir -p "$GARNET_BENCH_JSON_DIR"
 
-for bench in "$BUILD_DIR"/bench/bench_*; do
-  [ -x "$bench" ] || continue
-  echo "==== $(basename "$bench") ===="
-  "$bench" "$@"
+for name in $EXPECTED; do
+  echo "==== $name ===="
+  "$BUILD_DIR/bench/$name" "$@"
   echo
 done
 

@@ -60,6 +60,11 @@ void DispatchingService::on_filtered(const DataMessage& message, util::SimTime f
   deliver(as_view(message), first_heard);
 }
 
+void DispatchingService::on_filtered(const DataMessageView& message, util::SimTime first_heard) {
+  ++stats_.messages_in;
+  deliver(message, first_heard);
+}
+
 SubscriptionId DispatchingService::subscribe(net::Address consumer, StreamPattern pattern,
                                              SubscribeOptions qos) {
   const SubscriptionId id = table_.add(consumer, pattern, qos);

@@ -125,6 +125,12 @@ class DispatchingService {
   /// Input from the Filtering Service (wired directly by the runtime).
   void on_filtered(const DataMessage& message, util::SimTime first_heard);
 
+  /// View-taking twin for callers whose message already aliases a wire
+  /// buffer (the gateway's socket ingest): fan-out re-encodes into the
+  /// shared delivery frame directly from the view, so no owned
+  /// DataMessage — and no counted payload copy — is materialised.
+  void on_filtered(const DataMessageView& message, util::SimTime first_heard);
+
   /// Direct (non-RPC) subscription management, used by in-process
   /// services and tests. The RPC methods call these.
   SubscriptionId subscribe(net::Address consumer, StreamPattern pattern,

@@ -226,6 +226,7 @@ void Runtime::collect_service_stats(obs::SnapshotBuilder& out) {
   out.counter("garnet.filtering.relayed_copies", filtering.relayed_copies);
 
   const core::DispatchStats& dispatch = dispatch_.stats();
+  out.counter("garnet.runtime.external_in", external_in_);
   out.counter("garnet.dispatch.messages_in", dispatch.messages_in);
   out.counter("garnet.dispatch.derived_in", dispatch.derived_in);
   out.counter("garnet.dispatch.copies_delivered", dispatch.copies_delivered);
@@ -311,6 +312,19 @@ void Runtime::publish_location(core::SensorId sensor, const core::LocationEstima
   message.stream_id = *location_stream_;
   message.sequence = location_sequence_++;
   message.payload = std::move(w).take();
+  dispatch_.on_filtered(message, now);
+}
+
+void Runtime::inject_external(const core::DataMessageView& message) {
+  ++external_in_;
+  const util::SimTime now = scheduler_.now();
+  if (recovery_ && recovery_->crashed("dispatch")) {
+    // Same parking contract as filtered traffic: the stash holds the
+    // crash-window frame until dispatch's replay_stash() sweeps it.
+    bus_.post(dispatch_.address(), orphanage_.address(), core::kDataDelivery,
+              core::encode_delivery(message, now));
+    return;
+  }
   dispatch_.on_filtered(message, now);
 }
 

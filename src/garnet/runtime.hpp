@@ -124,6 +124,21 @@ class Runtime {
   /// usable as a bus endpoint (it simply has no rights left).
   void deprovision(core::Consumer& consumer);
 
+  /// Injects one externally-produced Figure-2 message into the pipeline
+  /// at the dispatch stage — the embedding hook for ingress that did not
+  /// cross the radio (the garnet-gw socket gateway, replayed archives).
+  /// The view's payload may alias the caller's receive buffer; fan-out
+  /// re-encodes into the shared delivery frame without a counted copy.
+  /// External frames bypass Filtering (the producer's TCP stream is
+  /// already loss-free and in order), so no dedup state is touched.
+  /// First-heard is stamped "now". With crash recovery enabled and
+  /// dispatch down, the frame parks in the Orphanage stash exactly like
+  /// filtered traffic, and replay_stash() recovers it after promotion.
+  void inject_external(const core::DataMessageView& message);
+
+  /// Externally-injected messages accepted so far (inject_external).
+  [[nodiscard]] std::uint64_t external_in() const noexcept { return external_in_; }
+
   // --- execution ------------------------------------------------------------
 
   void start_sensors() { field_.start_all(); }
@@ -186,6 +201,7 @@ class Runtime {
   std::unique_ptr<RecoveryHarness> recovery_;
 
   std::optional<core::StreamId> location_stream_;
+  std::uint64_t external_in_ = 0;
   core::SequenceNo location_sequence_ = 0;
   std::unordered_map<core::SensorId, util::SimTime> last_location_publish_;
 };

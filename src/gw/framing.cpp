@@ -1,0 +1,53 @@
+#include "gw/framing.hpp"
+
+#include <cstring>
+
+namespace garnet::gw {
+
+void put_length_prefix(std::uint32_t length, std::byte out[kLengthPrefixBytes]) {
+  out[0] = static_cast<std::byte>(length >> 24);
+  out[1] = static_cast<std::byte>(length >> 16);
+  out[2] = static_cast<std::byte>(length >> 8);
+  out[3] = static_cast<std::byte>(length);
+}
+
+std::optional<std::uint32_t> FrameAssembler::declared() const {
+  if (buf_.size() - pos_ < kLengthPrefixBytes) return std::nullopt;
+  const std::byte* p = buf_.data() + pos_;
+  return (static_cast<std::uint32_t>(p[0]) << 24) | (static_cast<std::uint32_t>(p[1]) << 16) |
+         (static_cast<std::uint32_t>(p[2]) << 8) | static_cast<std::uint32_t>(p[3]);
+}
+
+bool FrameAssembler::push(util::BytesView data) {
+  if (poisoned_) return false;
+  // Compact before growing: everything before pos_ is consumed frames.
+  if (pos_ > 0) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  buf_.insert(buf_.end(), data.begin(), data.end());
+  // The bound is checked as soon as the prefix is readable, before the
+  // body accumulates — frame() never sees an oversized declaration.
+  if (const auto len = declared(); len && *len > max_body_) {
+    poisoned_ = true;
+    return false;
+  }
+  return true;
+}
+
+std::optional<util::BytesView> FrameAssembler::frame() const {
+  if (poisoned_) return std::nullopt;
+  const auto len = declared();
+  if (!len || buf_.size() - pos_ - kLengthPrefixBytes < *len) return std::nullopt;
+  return util::BytesView(buf_.data() + pos_ + kLengthPrefixBytes, *len);
+}
+
+void FrameAssembler::pop() {
+  const auto len = declared();
+  if (!len) return;
+  pos_ += kLengthPrefixBytes + *len;
+  // A following frame's oversized prefix may only now become readable.
+  if (const auto next = declared(); next && *next > max_body_) poisoned_ = true;
+}
+
+}  // namespace garnet::gw

@@ -1,0 +1,72 @@
+// TCP framing for the gateway's socket surfaces.
+//
+// The radio and the in-process bus carry self-delimiting frames; a TCP
+// byte stream does not, so every binary frame the gateway sends or
+// receives rides behind a 4-byte big-endian length prefix:
+//
+//     [u32 length][length bytes of frame body]
+//
+// Ingest bodies are Figure-2 data messages (core/message.hpp); egress
+// bodies are delivery frames (core/wire_types.hpp: i64 first-heard +
+// Figure-2 message). The prefix bounds are enforced *before* any body
+// byte is buffered: a declared length past kMaxFrameBody poisons the
+// connection immediately, so a hostile peer cannot make the gateway
+// allocate 4GB or stall mid-frame forever. See docs/GATEWAY.md.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "core/message.hpp"
+#include "util/bytes.hpp"
+
+namespace garnet::gw {
+
+/// Bytes of the big-endian length prefix.
+inline constexpr std::size_t kLengthPrefixBytes = 4;
+
+/// Largest legal frame body: a delivery frame carrying a maximum-size
+/// Figure-2 message (8-byte first-heard prefix + header + ack extension
+/// + 64K payload + CRC). Ingest frames (no first-heard) fit a fortiori.
+inline constexpr std::size_t kMaxFrameBody =
+    8 + core::kFixedHeaderBytes + core::kAckExtensionBytes + core::kMaxPayload +
+    core::kChecksumBytes;
+
+/// Renders `length` as the 4-byte prefix into `out`.
+void put_length_prefix(std::uint32_t length, std::byte out[kLengthPrefixBytes]);
+
+/// Reassembles length-prefixed frames from arbitrary TCP chunk
+/// boundaries. Bounded: buffers at most one maximum frame plus one read
+/// chunk; a declared length past `max_body` poisons the assembler (the
+/// stream is unrecoverable — resynchronising on a length-prefixed
+/// stream after a bad prefix is guesswork) and the caller must close
+/// the connection.
+class FrameAssembler {
+ public:
+  explicit FrameAssembler(std::size_t max_body = kMaxFrameBody) : max_body_(max_body) {}
+
+  /// Appends one received chunk. Returns false once poisoned (a frame
+  /// declared longer than max_body); the connection should be closed.
+  [[nodiscard]] bool push(util::BytesView data);
+
+  /// Next complete frame body, or nullopt while incomplete. The view
+  /// aliases the assembler's buffer: valid until the next push()/pop().
+  [[nodiscard]] std::optional<util::BytesView> frame() const;
+
+  /// Discards the frame last returned by frame().
+  void pop();
+
+  [[nodiscard]] bool poisoned() const noexcept { return poisoned_; }
+  [[nodiscard]] std::size_t buffered() const noexcept { return buf_.size() - pos_; }
+
+ private:
+  /// Declared body length once the prefix is complete.
+  [[nodiscard]] std::optional<std::uint32_t> declared() const;
+
+  util::Bytes buf_;
+  std::size_t pos_ = 0;  ///< Consumed prefix of buf_.
+  std::size_t max_body_;
+  bool poisoned_ = false;
+};
+
+}  // namespace garnet::gw

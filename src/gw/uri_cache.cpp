@@ -1,0 +1,58 @@
+#include "gw/uri_cache.hpp"
+
+namespace garnet::gw {
+
+namespace detail {
+
+/// Parses a decimal field up to `max`; advances `s`. Rejects empty
+/// fields, leading-zero padding is allowed (it is unambiguous).
+std::optional<std::uint32_t> parse_decimal(std::string_view& s, std::uint32_t max) {
+  std::uint64_t value = 0;
+  std::size_t digits = 0;
+  while (!s.empty() && s.front() >= '0' && s.front() <= '9') {
+    value = value * 10 + static_cast<std::uint64_t>(s.front() - '0');
+    if (value > max) return std::nullopt;
+    s.remove_prefix(1);
+    ++digits;
+  }
+  if (digits == 0) return std::nullopt;
+  return static_cast<std::uint32_t>(value);
+}
+
+}  // namespace detail
+
+std::optional<core::StreamId> parse_stream_uri(std::string_view uri) {
+  const auto sensor = detail::parse_decimal(uri, core::kMaxSensorId);
+  if (!sensor || uri.empty() || uri.front() != '/') return std::nullopt;
+  uri.remove_prefix(1);
+  const auto stream = detail::parse_decimal(uri, 0xFF);
+  if (!stream || !uri.empty()) return std::nullopt;
+  return core::StreamId{*sensor, static_cast<core::InternalStreamId>(*stream)};
+}
+
+std::string stream_uri(core::StreamId id) {
+  return std::to_string(id.sensor) + "/" + std::to_string(id.stream);
+}
+
+void LastValueCache::update(core::StreamId id, core::SequenceNo sequence, std::uint8_t flags,
+                            util::SimTime at, util::SharedBytes payload) {
+  ++stats_.updates;
+  entries_[id.packed()] = Entry{sequence, flags, at, std::move(payload)};
+}
+
+const LastValueCache::Entry* LastValueCache::get(core::StreamId id) {
+  const auto it = entries_.find(id.packed());
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  return &it->second;
+}
+
+const LastValueCache::Entry* LastValueCache::peek(core::StreamId id) const {
+  const auto it = entries_.find(id.packed());
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+}  // namespace garnet::gw

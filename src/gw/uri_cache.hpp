@@ -1,0 +1,78 @@
+// sensd-style last-value cache, addressable as `SID/TAG` text URIs.
+//
+// The sensd WSN gateway caches each mote's last report in the file
+// system as SID/TAG paths so any HTTP proxy can serve "the latest
+// value" without touching the radio. Garnet's equivalent keys the cache
+// by StreamId — SID is the 24-bit sensor id, TAG the 8-bit internal
+// stream number — and retains the delivery's shared wire buffer instead
+// of copying the payload: a cache entry is a SharedBytes sub-view, so
+// updating the cache on the delivery path costs a refcount bump, and a
+// GET writev-s the payload straight from the same allocation every
+// subscriber aliases (docs/GATEWAY.md).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "core/message.hpp"
+#include "util/shared_bytes.hpp"
+#include "util/time.hpp"
+
+namespace garnet::gw {
+
+namespace detail {
+/// Consumes a decimal field up to `max` from the front of `s`; nullopt
+/// on an empty field or overflow. Shared by URI and pattern parsers.
+[[nodiscard]] std::optional<std::uint32_t> parse_decimal(std::string_view& s, std::uint32_t max);
+}  // namespace detail
+
+/// Parses "SID/TAG" (two decimal fields) into a StreamId. Rejects
+/// anything malformed, out of range, or trailed by junk.
+[[nodiscard]] std::optional<core::StreamId> parse_stream_uri(std::string_view uri);
+
+/// Renders the canonical URI for one stream ("17/3").
+[[nodiscard]] std::string stream_uri(core::StreamId id);
+
+struct CacheStats {
+  std::uint64_t updates = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+};
+
+class LastValueCache {
+ public:
+  struct Entry {
+    core::SequenceNo sequence = 0;
+    std::uint8_t flags = 0;           ///< Header flags of the cached message.
+    util::SimTime updated_at;         ///< Virtual time of the update.
+    util::SharedBytes payload;        ///< Aliases the delivery wire buffer.
+  };
+
+  /// Records the newest report for `id`. `payload` must alias a retained
+  /// wire buffer (the delivery's SharedBytes view).
+  void update(core::StreamId id, core::SequenceNo sequence, std::uint8_t flags,
+              util::SimTime at, util::SharedBytes payload);
+
+  /// Latest entry, or nullptr. Counts a hit or a miss.
+  [[nodiscard]] const Entry* get(core::StreamId id);
+
+  /// Lookup without touching hit/miss accounting (introspection).
+  [[nodiscard]] const Entry* peek(core::StreamId id) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] const CacheStats& stats() const noexcept { return stats_; }
+
+  /// Sorted (by packed StreamId) iteration for LIST replies.
+  [[nodiscard]] const std::map<std::uint32_t, Entry>& entries() const noexcept {
+    return entries_;
+  }
+
+ private:
+  std::map<std::uint32_t, Entry> entries_;  ///< Keyed by StreamId::packed().
+  CacheStats stats_;
+};
+
+}  // namespace garnet::gw

@@ -18,6 +18,19 @@ namespace garnet::util {
 using Bytes = std::vector<std::byte>;
 using BytesView = std::span<const std::byte>;
 
+/// One element of a scatter-gather write: an immutable byte run that a
+/// transport hands to the kernel (POSIX `struct iovec`) without copying.
+/// Kept POSIX-free so codec-level code can build slice arrays portably;
+/// gw::PosixTransport converts at the syscall boundary.
+struct IoSlice {
+  const std::byte* data = nullptr;
+  std::size_t size = 0;
+
+  [[nodiscard]] static IoSlice of(BytesView bytes) noexcept {
+    return {bytes.data(), bytes.size()};
+  }
+};
+
 /// Appends big-endian encoded primitives to a growing byte vector.
 class ByteWriter {
  public:

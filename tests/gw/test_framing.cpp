@@ -1,0 +1,148 @@
+// FrameAssembler: TCP chunk boundaries are adversarial by nature — the
+// peer's write sizes, the kernel's coalescing and the reader's chunk
+// size all slice the stream differently. Reassembly must be exact for
+// every slicing, and the length-prefix bound must trip before any
+// oversized body is buffered.
+#include <gtest/gtest.h>
+
+#include "gw/framing.hpp"
+#include "util/rng.hpp"
+
+namespace garnet::gw {
+namespace {
+
+util::Bytes framed(std::size_t body_len, std::byte fill = std::byte{0xAB}) {
+  util::Bytes out(kLengthPrefixBytes + body_len, fill);
+  put_length_prefix(static_cast<std::uint32_t>(body_len), out.data());
+  return out;
+}
+
+TEST(Framing, LengthPrefixRoundTrips) {
+  std::byte prefix[kLengthPrefixBytes];
+  put_length_prefix(0xDEADBEEF, prefix);
+  EXPECT_EQ(std::to_integer<unsigned>(prefix[0]), 0xDEu);
+  EXPECT_EQ(std::to_integer<unsigned>(prefix[1]), 0xADu);
+  EXPECT_EQ(std::to_integer<unsigned>(prefix[2]), 0xBEu);
+  EXPECT_EQ(std::to_integer<unsigned>(prefix[3]), 0xEFu);
+}
+
+TEST(Framing, WholeFrameInOneChunk) {
+  FrameAssembler assembler;
+  ASSERT_TRUE(assembler.push(framed(10)));
+  const auto frame = assembler.frame();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->size(), 10u);
+  assembler.pop();
+  EXPECT_FALSE(assembler.frame().has_value());
+  EXPECT_EQ(assembler.buffered(), 0u);
+}
+
+TEST(Framing, ByteAtATimeReassembly) {
+  FrameAssembler assembler;
+  const util::Bytes wire = framed(37);
+  for (std::size_t i = 0; i < wire.size(); ++i) {
+    EXPECT_FALSE(assembler.frame().has_value()) << "complete too early at byte " << i;
+    ASSERT_TRUE(assembler.push(util::BytesView(&wire[i], 1)));
+  }
+  const auto frame = assembler.frame();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->size(), 37u);
+}
+
+TEST(Framing, BackToBackFramesInOneChunk) {
+  FrameAssembler assembler;
+  util::Bytes wire = framed(5, std::byte{1});
+  const util::Bytes second = framed(9, std::byte{2});
+  wire.insert(wire.end(), second.begin(), second.end());
+  ASSERT_TRUE(assembler.push(wire));
+
+  auto frame = assembler.frame();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->size(), 5u);
+  EXPECT_EQ((*frame)[0], std::byte{1});
+  assembler.pop();
+
+  frame = assembler.frame();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->size(), 9u);
+  EXPECT_EQ((*frame)[0], std::byte{2});
+  assembler.pop();
+  EXPECT_FALSE(assembler.frame().has_value());
+}
+
+TEST(Framing, ZeroLengthFrameIsLegal) {
+  FrameAssembler assembler;
+  ASSERT_TRUE(assembler.push(framed(0)));
+  const auto frame = assembler.frame();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->size(), 0u);
+  assembler.pop();
+  EXPECT_EQ(assembler.buffered(), 0u);
+}
+
+TEST(Framing, OversizedDeclarationPoisonsImmediately) {
+  FrameAssembler assembler;
+  std::byte prefix[kLengthPrefixBytes];
+  put_length_prefix(static_cast<std::uint32_t>(kMaxFrameBody) + 1, prefix);
+  EXPECT_FALSE(assembler.push(util::BytesView(prefix, sizeof prefix)));
+  EXPECT_TRUE(assembler.poisoned());
+  EXPECT_FALSE(assembler.frame().has_value());
+  // Once poisoned, nothing is accepted — the stream is unrecoverable.
+  EXPECT_FALSE(assembler.push(framed(1)));
+}
+
+TEST(Framing, OversizedSecondFramePoisonsAfterPop) {
+  FrameAssembler assembler;
+  util::Bytes wire = framed(3);
+  std::byte prefix[kLengthPrefixBytes];
+  put_length_prefix(0xFFFFFFFF, prefix);
+  wire.insert(wire.end(), prefix, prefix + sizeof prefix);
+  // The push succeeds: the readable prefix (the first frame's) is sane,
+  // and the valid first frame is still served...
+  ASSERT_TRUE(assembler.push(wire));
+  const auto frame = assembler.frame();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->size(), 3u);
+  // ...but popping it exposes the hostile second prefix and poisons.
+  assembler.pop();
+  EXPECT_TRUE(assembler.poisoned());
+  EXPECT_FALSE(assembler.frame().has_value());
+}
+
+TEST(Framing, MaxSizeBodyAccepted) {
+  FrameAssembler assembler;
+  ASSERT_TRUE(assembler.push(framed(kMaxFrameBody)));
+  const auto frame = assembler.frame();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->size(), kMaxFrameBody);
+}
+
+TEST(Framing, RandomSlicingsAlwaysReassembleExactly) {
+  util::Rng rng(0xF4A317);
+  for (int round = 0; round < 50; ++round) {
+    FrameAssembler assembler;
+    util::Bytes wire;
+    std::size_t expected = 1 + rng.below(8);
+    for (std::size_t f = 0; f < expected; ++f) {
+      const util::Bytes one = framed(rng.below(300), static_cast<std::byte>(f));
+      wire.insert(wire.end(), one.begin(), one.end());
+    }
+    std::size_t seen = 0;
+    std::size_t pos = 0;
+    while (pos < wire.size()) {
+      const std::size_t chunk = std::min(wire.size() - pos, 1 + rng.below(64));
+      ASSERT_TRUE(assembler.push(util::BytesView(wire.data() + pos, chunk)));
+      pos += chunk;
+      while (const auto frame = assembler.frame()) {
+        EXPECT_TRUE(frame->empty() || (*frame)[0] == static_cast<std::byte>(seen));
+        assembler.pop();
+        ++seen;
+      }
+    }
+    EXPECT_EQ(seen, expected);
+    EXPECT_EQ(assembler.buffered(), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace garnet::gw

@@ -1,0 +1,123 @@
+// SID/TAG URI parsing and the sensd-style last-value cache.
+#include <gtest/gtest.h>
+
+#include "gw/gateway.hpp"
+#include "gw/uri_cache.hpp"
+
+namespace garnet::gw {
+namespace {
+
+util::SharedBytes shared_payload(std::initializer_list<int> values) {
+  util::Bytes bytes;
+  for (int v : values) bytes.push_back(static_cast<std::byte>(v));
+  return util::SharedBytes(std::move(bytes));
+}
+
+TEST(StreamUri, ParsesValidUris) {
+  const auto id = parse_stream_uri("42/7");
+  ASSERT_TRUE(id.has_value());
+  EXPECT_EQ(id->sensor, 42u);
+  EXPECT_EQ(id->stream, 7);
+  EXPECT_EQ(stream_uri(*id), "42/7");
+
+  const auto max = parse_stream_uri("16777215/255");
+  ASSERT_TRUE(max.has_value());
+  EXPECT_EQ(max->sensor, core::kMaxSensorId);
+  EXPECT_EQ(max->stream, 255);
+}
+
+TEST(StreamUri, RejectsMalformedUris) {
+  EXPECT_FALSE(parse_stream_uri("").has_value());
+  EXPECT_FALSE(parse_stream_uri("42").has_value());
+  EXPECT_FALSE(parse_stream_uri("42/").has_value());
+  EXPECT_FALSE(parse_stream_uri("/7").has_value());
+  EXPECT_FALSE(parse_stream_uri("42/7/1").has_value());
+  EXPECT_FALSE(parse_stream_uri("42/7 ").has_value());
+  EXPECT_FALSE(parse_stream_uri("-1/7").has_value());
+  EXPECT_FALSE(parse_stream_uri("a/b").has_value());
+  EXPECT_FALSE(parse_stream_uri("16777216/0").has_value());  // sensor > 24 bits
+  EXPECT_FALSE(parse_stream_uri("1/256").has_value());       // stream > 8 bits
+  EXPECT_FALSE(parse_stream_uri("999999999999999999999/0").has_value());
+}
+
+TEST(StreamPatternText, ParsesWildcards) {
+  const auto all = parse_stream_pattern("*");
+  ASSERT_TRUE(all.has_value());
+  EXPECT_FALSE(all->sensor.has_value());
+  EXPECT_FALSE(all->stream.has_value());
+  EXPECT_EQ(pattern_uri(*all), "*/*");
+
+  const auto sensor_only = parse_stream_pattern("42/*");
+  ASSERT_TRUE(sensor_only.has_value());
+  EXPECT_EQ(sensor_only->sensor, 42u);
+  EXPECT_FALSE(sensor_only->stream.has_value());
+
+  const auto stream_only = parse_stream_pattern("*/3");
+  ASSERT_TRUE(stream_only.has_value());
+  EXPECT_FALSE(stream_only->sensor.has_value());
+  EXPECT_EQ(stream_only->stream, 3);
+
+  const auto exact = parse_stream_pattern("7/1");
+  ASSERT_TRUE(exact.has_value());
+  EXPECT_TRUE(exact->matches({7, 1}));
+  EXPECT_FALSE(exact->matches({7, 2}));
+}
+
+TEST(StreamPatternText, RejectsGarbage) {
+  EXPECT_FALSE(parse_stream_pattern("").has_value());
+  EXPECT_FALSE(parse_stream_pattern("**").has_value());
+  EXPECT_FALSE(parse_stream_pattern("*/").has_value());
+  EXPECT_FALSE(parse_stream_pattern("4 2/*").has_value());
+  EXPECT_FALSE(parse_stream_pattern("42/x").has_value());
+}
+
+TEST(LastValueCache, StoresLatestPerStream) {
+  LastValueCache cache;
+  EXPECT_EQ(cache.get({1, 0}), nullptr);
+  EXPECT_EQ(cache.stats().misses, 1u);
+
+  cache.update({1, 0}, 5, 0, util::SimTime{} + util::Duration::millis(10), shared_payload({1}));
+  cache.update({1, 0}, 6, 0, util::SimTime{} + util::Duration::millis(20), shared_payload({2}));
+  cache.update({2, 1}, 1, 0, util::SimTime{} + util::Duration::millis(30), shared_payload({3}));
+
+  const auto* entry = cache.get({1, 0});
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->sequence, 6);
+  EXPECT_EQ(entry->payload.size(), 1u);
+  EXPECT_EQ(entry->payload.data()[0], std::byte{2});
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().updates, 3u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(LastValueCache, PeekDoesNotCount) {
+  LastValueCache cache;
+  cache.update({1, 0}, 1, 0, {}, {});
+  EXPECT_NE(cache.peek({1, 0}), nullptr);
+  EXPECT_EQ(cache.peek({9, 9}), nullptr);
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_EQ(cache.stats().misses, 0u);
+}
+
+TEST(LastValueCache, EntriesSortedByPackedId) {
+  LastValueCache cache;
+  cache.update({2, 0}, 1, 0, {}, {});
+  cache.update({1, 5}, 1, 0, {}, {});
+  cache.update({1, 2}, 1, 0, {}, {});
+  std::uint32_t previous = 0;
+  for (const auto& [packed, entry] : cache.entries()) {
+    EXPECT_GE(packed, previous);
+    previous = packed;
+  }
+}
+
+TEST(LastValueCache, PayloadSharesAllocation) {
+  LastValueCache cache;
+  const util::SharedBytes payload = shared_payload({1, 2, 3});
+  const long before = payload.use_count();
+  cache.update({1, 0}, 1, 0, {}, payload);
+  EXPECT_EQ(payload.use_count(), before + 1);  // refcount bump, no copy
+}
+
+}  // namespace
+}  // namespace garnet::gw
