@@ -43,6 +43,12 @@ scripts/check_overload_report.py "$PERF_BUILD_DIR/bench-results/BENCH_overload.j
 # promotion (checkpoint + op-log + stash replay closed the gap exactly).
 scripts/check_recovery_report.py "$PERF_BUILD_DIR/bench-results/BENCH_recovery.json"
 
+# Scale gate: the registration-scale bench must show the StreamTable
+# footprint inside its bytes/stream budget at every tier (10^5 tier
+# mandatory) and the incremental-capture stall inside budget — and
+# genuinely cheaper than a full capture at the large tiers.
+scripts/check_scale_report.py "$PERF_BUILD_DIR/bench-results/BENCH_scale.json"
+
 # Gateway gate: the fan-out bench's snapshot must show zero corrupt
 # deliveries on the egress wire, zero control-frame shed while the
 # frozen reader forced data sheds, and the last-value cache serving the

@@ -1,6 +1,5 @@
 #include "core/catalog.hpp"
 
-#include <algorithm>
 #include <cassert>
 #include <utility>
 
@@ -8,7 +7,7 @@ namespace garnet::core {
 
 void StreamCatalog::advertise(StreamId id, std::string name, std::string stream_class,
                               bool derived) {
-  StreamInfo& info = streams_[id];
+  StreamInfo& info = streams_.upsert(StreamKey{id});
   info.id = id;
   info.name = std::move(name);
   info.stream_class = std::move(stream_class);
@@ -17,56 +16,114 @@ void StreamCatalog::advertise(StreamId id, std::string name, std::string stream_
 }
 
 void StreamCatalog::note_message(StreamId id, util::SimTime now) {
-  auto [it, inserted] = streams_.try_emplace(id);
-  StreamInfo& info = it->second;
+  auto [info, inserted] = streams_.try_emplace(StreamKey{id});
   if (inserted) {
-    info.id = id;
-    info.first_seen = now;
-    info.derived = id.sensor >= kDerivedSensorBase;
+    info->id = id;
+    info->first_seen = now;
+    info->derived = id.sensor >= kDerivedSensorBase;
   }
-  info.last_seen = now;
-  ++info.messages;
+  info->last_seen = now;
+  ++info->messages;
 }
 
 const StreamInfo* StreamCatalog::find(StreamId id) const {
-  const auto it = streams_.find(id);
-  return it == streams_.end() ? nullptr : &it->second;
+  return streams_.find(StreamKey{id});
 }
 
 std::vector<StreamInfo> StreamCatalog::discover(const Query& query) const {
   std::vector<StreamInfo> out;
-  for (const auto& [id, info] : streams_) {
-    if (query.sensor && *query.sensor != id.sensor) continue;
-    if (!query.stream_class.empty() && query.stream_class != info.stream_class) continue;
-    if (!query.include_unadvertised && !info.advertised) continue;
+  // Snapshot order: results come back sorted by packed id, so discovery
+  // replies are deterministic across identically-populated catalogs.
+  streams_.for_each_sorted([&](StreamKey key, const StreamInfo& info) {
+    if (query.sensor && *query.sensor != key.sensor()) return;
+    if (!query.stream_class.empty() && query.stream_class != info.stream_class) return;
+    if (!query.include_unadvertised && !info.advertised) return;
     out.push_back(info);
-  }
+  });
   return out;
 }
 
-util::Bytes StreamCatalog::capture_state() const {
-  std::vector<const StreamInfo*> ordered;
-  ordered.reserve(streams_.size());
-  for (const auto& [id, info] : streams_) ordered.push_back(&info);
-  std::sort(ordered.begin(), ordered.end(), [](const StreamInfo* a, const StreamInfo* b) {
-    return a->id.packed() < b->id.packed();
-  });
+void StreamCatalog::encode_info(util::ByteWriter& w, const StreamInfo& info) {
+  w.u32(info.id.packed());
+  w.str(info.name);
+  w.str(info.stream_class);
+  w.u8(info.advertised ? 1 : 0);
+  w.u8(info.derived ? 1 : 0);
+  w.i64(info.first_seen.ns);
+  w.i64(info.last_seen.ns);
+  w.u64(info.messages);
+}
 
-  util::ByteWriter w(16 + ordered.size() * 48);
-  w.u32(static_cast<std::uint32_t>(ordered.size()));
-  for (const StreamInfo* info : ordered) {
-    w.u32(info->id.packed());
-    w.str(info->name);
-    w.str(info->stream_class);
-    w.u8(info->advertised ? 1 : 0);
-    w.u8(info->derived ? 1 : 0);
-    w.i64(info->first_seen.ns);
-    w.i64(info->last_seen.ns);
-    w.u64(info->messages);
-  }
+StreamInfo StreamCatalog::decode_info(StreamKey key, util::ByteReader& r) {
+  StreamInfo info;
+  info.id = key.id();
+  info.name = r.str();
+  info.stream_class = r.str();
+  info.advertised = r.u8() != 0;
+  info.derived = r.u8() != 0;
+  info.first_seen = util::SimTime{r.i64()};
+  info.last_seen = util::SimTime{r.i64()};
+  info.messages = r.u64();
+  return info;
+}
+
+util::Bytes StreamCatalog::capture_state() const {
+  util::ByteWriter w(16 + streams_.size() * 48);
+  w.u32(static_cast<std::uint32_t>(streams_.size()));
+  streams_.for_each_sorted(
+      [&w](StreamKey, const StreamInfo& info) { encode_info(w, info); });
   w.u32(next_derived_sensor_);
   w.u8(next_derived_stream_);
   return std::move(w).take();
+}
+
+util::Bytes StreamCatalog::capture_full() {
+  util::Bytes state = capture_state();
+  streams_.clear_dirty();
+  return state;
+}
+
+util::Bytes StreamCatalog::capture_delta() {
+  const std::vector<std::uint32_t> removed = streams_.removed_keys();
+  const std::vector<std::uint32_t> dirty = streams_.dirty_keys();
+  util::ByteWriter w(16 + removed.size() * 4 + dirty.size() * 48);
+  w.u32(static_cast<std::uint32_t>(removed.size()));
+  for (const std::uint32_t key : removed) w.u32(key);
+  w.u32(static_cast<std::uint32_t>(dirty.size()));
+  for (const std::uint32_t raw : dirty) {
+    const StreamKey key = StreamKey::from_packed(raw);
+    encode_info(w, *streams_.find(key));
+  }
+  w.u32(next_derived_sensor_);
+  w.u8(next_derived_stream_);
+  streams_.clear_dirty();
+  return std::move(w).take();
+}
+
+util::Status<util::DecodeError> StreamCatalog::apply_delta(util::BytesView delta) {
+  util::ByteReader r(delta);
+  std::vector<StreamKey> removed;
+  const std::uint32_t removed_count = r.u32();
+  for (std::uint32_t i = 0; i < removed_count && r.ok(); ++i) {
+    removed.push_back(StreamKey::from_packed(r.u32()));
+  }
+  std::vector<StreamInfo> upserts;
+  const std::uint32_t dirty_count = r.u32();
+  for (std::uint32_t i = 0; i < dirty_count && r.ok(); ++i) {
+    const StreamKey key = StreamKey::from_packed(r.u32());
+    StreamInfo info = decode_info(key, r);
+    if (r.ok()) upserts.push_back(std::move(info));
+  }
+  const SensorId next_sensor = r.u32();
+  const auto next_stream = static_cast<InternalStreamId>(r.u8());
+  if (!r.ok() || r.remaining() != 0) return util::Err{util::DecodeError::kTruncated};
+
+  for (const StreamKey key : removed) streams_.erase(key);
+  for (StreamInfo& info : upserts) streams_.upsert(StreamKey{info.id}) = std::move(info);
+  next_derived_sensor_ = next_sensor;
+  next_derived_stream_ = next_stream;
+  streams_.clear_dirty();
+  return {};
 }
 
 util::Status<util::DecodeError> StreamCatalog::restore_state(util::BytesView state) {
@@ -74,15 +131,8 @@ util::Status<util::DecodeError> StreamCatalog::restore_state(util::BytesView sta
   std::vector<StreamInfo> parsed;
   const std::uint32_t declared = r.u32();
   for (std::uint32_t i = 0; i < declared && r.ok(); ++i) {
-    StreamInfo info;
-    info.id = StreamId::from_packed(r.u32());
-    info.name = r.str();
-    info.stream_class = r.str();
-    info.advertised = r.u8() != 0;
-    info.derived = r.u8() != 0;
-    info.first_seen = util::SimTime{r.i64()};
-    info.last_seen = util::SimTime{r.i64()};
-    info.messages = r.u64();
+    const StreamKey key = StreamKey::from_packed(r.u32());
+    StreamInfo info = decode_info(key, r);
     if (r.ok()) parsed.push_back(std::move(info));
   }
   const SensorId next_sensor = r.u32();
@@ -90,12 +140,10 @@ util::Status<util::DecodeError> StreamCatalog::restore_state(util::BytesView sta
   if (!r.ok() || r.remaining() != 0) return util::Err{util::DecodeError::kTruncated};
 
   streams_.clear();
-  for (auto& info : parsed) {
-    const StreamId id = info.id;
-    streams_.emplace(id, std::move(info));
-  }
+  for (auto& info : parsed) streams_.upsert(StreamKey{info.id}) = std::move(info);
   next_derived_sensor_ = next_sensor;
   next_derived_stream_ = next_stream;
+  streams_.clear_dirty();
   return {};
 }
 

@@ -11,10 +11,10 @@
 #include <cstdint>
 #include <optional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "core/message.hpp"
+#include "core/stream_table.hpp"
 #include "util/bytes.hpp"
 #include "util/result.hpp"
 #include "util/time.hpp"
@@ -62,6 +62,19 @@ class StreamCatalog {
   /// allocator, streams sorted by packed id (byte-deterministic).
   [[nodiscard]] util::Bytes capture_state() const;
 
+  /// capture_state() plus a rebase of the incremental-capture baseline:
+  /// the next capture_delta() reports changes relative to this snapshot.
+  [[nodiscard]] util::Bytes capture_full();
+
+  /// Incremental snapshot: only streams touched since the last
+  /// capture_full()/capture_delta(), plus removals and the allocator.
+  /// O(dirty streams) to encode instead of O(catalog).
+  [[nodiscard]] util::Bytes capture_delta();
+
+  /// Applies one capture_delta() body on top of the current state.
+  /// Parses fully before committing — never partially applies.
+  [[nodiscard]] util::Status<util::DecodeError> apply_delta(util::BytesView delta);
+
   /// Rebuilds from capture_state() bytes; parses fully before
   /// committing, current state survives a failed restore.
   [[nodiscard]] util::Status<util::DecodeError> restore_state(util::BytesView state);
@@ -71,8 +84,14 @@ class StreamCatalog {
 
   [[nodiscard]] std::size_t size() const noexcept { return streams_.size(); }
 
+  /// Index + arena bytes of the stream table (bench_scale bytes/stream).
+  [[nodiscard]] std::size_t memory_bytes() const noexcept { return streams_.memory_bytes(); }
+
  private:
-  std::unordered_map<StreamId, StreamInfo> streams_;
+  static void encode_info(util::ByteWriter& w, const StreamInfo& info);
+  [[nodiscard]] static StreamInfo decode_info(StreamKey key, util::ByteReader& r);
+
+  StreamTable<StreamInfo> streams_;
   SensorId next_derived_sensor_ = kDerivedSensorBase;
   InternalStreamId next_derived_stream_ = 0;
 };

@@ -4,12 +4,16 @@
 
 namespace garnet::core::checkpoint {
 
-util::Bytes encode(const Header& header, util::BytesView state) {
-  util::ByteWriter w(4 + 1 + 2 + header.service.size() + 8 + 8 + 4 + state.size() + 4);
-  w.u32(kMagic);
+namespace {
+
+util::Bytes encode_frame(std::uint32_t magic, const Header& header,
+                         const std::uint64_t* base_epoch, util::BytesView state) {
+  util::ByteWriter w(4 + 1 + 2 + header.service.size() + 8 + 8 + 8 + 4 + state.size() + 4);
+  w.u32(magic);
   w.u8(header.version);
   w.str(header.service);
   w.u64(header.epoch);
+  if (base_epoch != nullptr) w.u64(*base_epoch);
   w.i64(header.taken_at.ns);
   w.u32(static_cast<std::uint32_t>(state.size()));
   w.raw(state);
@@ -18,21 +22,30 @@ util::Bytes encode(const Header& header, util::BytesView state) {
   return std::move(w).take();
 }
 
-util::Result<Decoded, util::DecodeError> decode(util::BytesView wire) {
-  // Smallest possible frame: magic + version + empty name + epoch +
+util::Result<Decoded, util::DecodeError> decode_frame(util::BytesView wire, bool allow_delta) {
+  // Smallest possible full frame: magic + version + empty name + epoch +
   // taken_at + zero state_len + crc.
   constexpr std::size_t kMinFrame = 4 + 1 + 2 + 8 + 8 + 4 + 4;
   if (wire.size() < kMinFrame) return util::Err{util::DecodeError::kTruncated};
 
   util::ByteReader r(wire);
-  if (r.u32() != kMagic) return util::Err{util::DecodeError::kMalformed};
+  const std::uint32_t magic = r.u32();
+  FrameKind kind = FrameKind::kFull;
+  if (magic == kDeltaMagic) {
+    if (!allow_delta) return util::Err{util::DecodeError::kMalformed};
+    kind = FrameKind::kDelta;
+  } else if (magic != kMagic) {
+    return util::Err{util::DecodeError::kMalformed};
+  }
   const std::uint8_t version = r.u8();
   if (version != kVersion) return util::Err{util::DecodeError::kBadVersion};
 
   Decoded out;
+  out.kind = kind;
   out.header.version = version;
   out.header.service = r.str();
   out.header.epoch = r.u64();
+  if (kind == FrameKind::kDelta) out.base_epoch = r.u64();
   out.header.taken_at = util::SimTime{r.i64()};
   const std::uint32_t state_len = r.u32();
   if (!r.ok()) return util::Err{util::DecodeError::kTruncated};
@@ -49,6 +62,24 @@ util::Result<Decoded, util::DecodeError> decode(util::BytesView wire) {
     return util::Err{util::DecodeError::kBadChecksum};
   }
   return out;
+}
+
+}  // namespace
+
+util::Bytes encode(const Header& header, util::BytesView state) {
+  return encode_frame(kMagic, header, nullptr, state);
+}
+
+util::Bytes encode_delta(const Header& header, std::uint64_t base_epoch, util::BytesView state) {
+  return encode_frame(kDeltaMagic, header, &base_epoch, state);
+}
+
+util::Result<Decoded, util::DecodeError> decode(util::BytesView wire) {
+  return decode_frame(wire, /*allow_delta=*/false);
+}
+
+util::Result<Decoded, util::DecodeError> decode_any(util::BytesView wire) {
+  return decode_frame(wire, /*allow_delta=*/true);
 }
 
 }  // namespace garnet::core::checkpoint

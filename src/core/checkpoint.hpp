@@ -33,7 +33,15 @@ namespace garnet::core::checkpoint {
 
 /// "GCKP" — rejects frames from other numbering spaces immediately.
 inline constexpr std::uint32_t kMagic = 0x47434B50;
+/// "GDLT" — an *incremental* frame: dirty entries + removals relative
+/// to the frame whose epoch it names as its base. Distinct magic, not a
+/// version bump, so pre-delta readers reject deltas as foreign rather
+/// than as corrupt full snapshots.
+inline constexpr std::uint32_t kDeltaMagic = 0x47444C54;
 inline constexpr std::uint8_t kVersion = 1;
+
+/// Full snapshot vs incremental delta over an earlier frame.
+enum class FrameKind : std::uint8_t { kFull, kDelta };
 
 struct Header {
   std::uint8_t version = kVersion;
@@ -42,21 +50,36 @@ struct Header {
   util::SimTime taken_at{};   ///< Sim time the snapshot was captured.
 };
 
-/// Frame layout (big-endian):
+/// Full-frame layout (big-endian):
 ///   [u32 magic][u8 version][str service][u64 epoch][i64 taken_at]
 ///   [u32 state_len][state bytes][u32 crc32c over all preceding bytes]
 [[nodiscard]] util::Bytes encode(const Header& header, util::BytesView state);
 
+/// Delta-frame layout: as encode(), but under kDeltaMagic and with
+/// [u64 base_epoch] between the epoch and taken_at — the epoch of the
+/// frame this delta applies on top of. A receiver must reject a delta
+/// whose base_epoch is not the epoch of its newest stored frame (epoch
+/// skew) or that arrives before any full frame at all.
+[[nodiscard]] util::Bytes encode_delta(const Header& header, std::uint64_t base_epoch,
+                                       util::BytesView state);
+
 struct Decoded {
   Header header;
-  util::BytesView state;  ///< Aliases the input buffer.
+  FrameKind kind = FrameKind::kFull;
+  std::uint64_t base_epoch = 0;  ///< Meaningful only for kDelta frames.
+  util::BytesView state;         ///< Aliases the input buffer.
 };
 
 /// Validates framing, version, declared length and CRC before exposing
 /// any state bytes. Truncated, bit-flipped or version-skewed input is
 /// rejected with the matching DecodeError; nothing is ever applied from
-/// a frame that fails any check.
+/// a frame that fails any check. Accepts full frames only — the
+/// pre-delta surface, still what single-snapshot restore paths use.
 [[nodiscard]] util::Result<Decoded, util::DecodeError> decode(util::BytesView wire);
+
+/// Like decode(), but accepts either magic and reports the kind — the
+/// replication path, where full snapshots and deltas interleave.
+[[nodiscard]] util::Result<Decoded, util::DecodeError> decode_any(util::BytesView wire);
 
 /// Bounded in-memory operation log. The primary appends one Record per
 /// logged mutation; the standby's copy (replicated over the bus) is

@@ -95,7 +95,7 @@ std::size_t DispatchingService::drop_consumer(net::Address consumer) {
   // this consumer's stash will see the mismatch and return the frames to
   // the Orphanage instead of delivering to (or losing them with) the
   // departed consumer.
-  flows_.erase(consumer.value);
+  flows_.erase(ConsumerKey{consumer.value});
   const std::size_t removed = table_.remove_consumer(consumer);
   if (op_sink_) {
     util::ByteWriter w(4);
@@ -126,7 +126,7 @@ void DispatchingService::apply_op(std::uint16_t kind, util::BytesView payload) {
     case kOpDropConsumer: {
       const net::Address consumer{r.u32()};
       if (r.ok()) {
-        flows_.erase(consumer.value);
+        flows_.erase(ConsumerKey{consumer.value});
         table_.remove_consumer(consumer);
       }
       break;
@@ -135,8 +135,8 @@ void DispatchingService::apply_op(std::uint16_t kind, util::BytesView payload) {
       const std::uint32_t packed = r.u32();
       const SequenceNo seq = r.u16();
       if (!r.ok()) break;
-      const auto [it, inserted] = cursors_.try_emplace(packed, seq);
-      if (!inserted && at_or_past(seq, it->second)) it->second = seq;
+      auto [cur, inserted] = cursors_.try_emplace(StreamKey::from_packed(packed));
+      if (inserted || at_or_past(seq, *cur)) *cur = seq;
       break;
     }
     default:
@@ -144,47 +144,75 @@ void DispatchingService::apply_op(std::uint16_t kind, util::BytesView payload) {
   }
 }
 
-util::Bytes DispatchingService::capture_state() const {
-  util::ByteWriter w(256);
-  table_.capture(w);
+namespace {
 
-  std::vector<std::uint32_t> addrs;
-  addrs.reserve(flows_.size());
-  for (const auto& entry : flows_) addrs.push_back(entry.first);
-  std::sort(addrs.begin(), addrs.end());
-  w.u32(static_cast<std::uint32_t>(addrs.size()));
-  for (const std::uint32_t addr : addrs) {
-    const Flow& flow = flows_.at(addr);
-    w.u32(addr);
+/// Flow fields as they sit in a checkpoint frame (shed keys unpacked).
+struct ParsedFlow {
+  std::uint32_t addr = 0;
+  bool quarantined = false;
+  std::vector<std::uint64_t> shed;
+};
+
+}  // namespace
+
+void DispatchingService::encode_flows(util::ByteWriter& w) const {
+  w.u32(static_cast<std::uint32_t>(flows_.size()));
+  flows_.for_each_sorted([&w](ConsumerKey key, const Flow& flow) {
+    w.u32(key.pack());
     w.u32(flow.credits);
     w.u8(flow.quarantined ? 1 : 0);
     std::vector<std::uint64_t> shed(flow.shed.begin(), flow.shed.end());
     std::sort(shed.begin(), shed.end());
     w.u32(static_cast<std::uint32_t>(shed.size()));
-    for (const std::uint64_t key : shed) {
-      w.u32(static_cast<std::uint32_t>(key >> 16));
-      w.u16(static_cast<std::uint16_t>(key & 0xFFFF));
+    for (const std::uint64_t key64 : shed) {
+      w.u32(static_cast<std::uint32_t>(key64 >> 16));
+      w.u16(static_cast<std::uint16_t>(key64 & 0xFFFF));
     }
-  }
+  });
+}
+
+util::Bytes DispatchingService::capture_state() const {
+  util::ByteWriter w(256);
+  table_.capture(w);
+  encode_flows(w);
 
   w.u32(static_cast<std::uint32_t>(cursors_.size()));
-  for (const auto& [packed, seq] : cursors_) {
-    w.u32(packed);
+  cursors_.for_each_sorted([&w](StreamKey key, const SequenceNo& seq) {
+    w.u32(key.pack());
     w.u16(seq);
-  }
+  });
   return std::move(w).take();
 }
 
-util::Status<util::DecodeError> DispatchingService::restore_state(util::BytesView state) {
-  util::ByteReader r(state);
-  SubscriptionTable table;
-  if (const auto status = table.restore(r); !status.ok()) return status;
+util::Bytes DispatchingService::capture_full() {
+  util::Bytes state = capture_state();
+  flows_.clear_dirty();
+  cursors_.clear_dirty();
+  return state;
+}
 
-  struct ParsedFlow {
-    std::uint32_t addr = 0;
-    bool quarantined = false;
-    std::vector<std::uint64_t> shed;
-  };
+util::Bytes DispatchingService::capture_delta() {
+  util::ByteWriter w(256);
+  table_.capture(w);
+  encode_flows(w);
+
+  const std::vector<std::uint32_t> removed = cursors_.removed_keys();
+  const std::vector<std::uint32_t> dirty = cursors_.dirty_keys();
+  w.u32(static_cast<std::uint32_t>(removed.size()));
+  for (const std::uint32_t key : removed) w.u32(key);
+  w.u32(static_cast<std::uint32_t>(dirty.size()));
+  for (const std::uint32_t raw : dirty) {
+    w.u32(raw);
+    w.u16(*cursors_.find(StreamKey::from_packed(raw)));
+  }
+  flows_.clear_dirty();
+  cursors_.clear_dirty();
+  return std::move(w).take();
+}
+
+namespace {
+
+std::vector<ParsedFlow> parse_flows(util::ByteReader& r) {
   const std::uint32_t flow_count = r.u32();
   std::vector<ParsedFlow> flows;
   for (std::uint32_t i = 0; i < flow_count && r.ok(); ++i) {
@@ -196,10 +224,59 @@ util::Status<util::DecodeError> DispatchingService::restore_state(util::BytesVie
     for (std::uint32_t j = 0; j < shed_count && r.ok(); ++j) {
       const std::uint32_t packed = r.u32();
       const SequenceNo seq = r.u16();
-      f.shed.push_back(shed_key(packed, seq));
+      f.shed.push_back((static_cast<std::uint64_t>(packed) << 16) | seq);
     }
     if (r.ok()) flows.push_back(std::move(f));
   }
+  return flows;
+}
+
+}  // namespace
+
+util::Status<util::DecodeError> DispatchingService::apply_delta(util::BytesView delta) {
+  util::ByteReader r(delta);
+  SubscriptionTable table;
+  if (const auto status = table.restore(r); !status.ok()) return status;
+  std::vector<ParsedFlow> flows = parse_flows(r);
+
+  std::vector<StreamKey> removed;
+  const std::uint32_t removed_count = r.u32();
+  for (std::uint32_t i = 0; i < removed_count && r.ok(); ++i) {
+    removed.push_back(StreamKey::from_packed(r.u32()));
+  }
+  std::vector<std::pair<StreamKey, SequenceNo>> upserts;
+  const std::uint32_t dirty_count = r.u32();
+  for (std::uint32_t i = 0; i < dirty_count && r.ok(); ++i) {
+    const StreamKey key = StreamKey::from_packed(r.u32());
+    const SequenceNo seq = r.u16();
+    upserts.emplace_back(key, seq);
+  }
+  if (!r.ok() || r.remaining() != 0) return util::Err{util::DecodeError::kTruncated};
+
+  table_ = std::move(table);
+  flows_.clear();
+  if (flow_.enabled()) {
+    for (const ParsedFlow& f : flows) {
+      Flow& flow = flows_.upsert(ConsumerKey{f.addr});
+      flow.credits = flow_.credit_window;
+      flow.quarantined = f.quarantined;
+      flow.epoch = next_flow_epoch_++;
+      flow.shed.insert(f.shed.begin(), f.shed.end());
+    }
+  }
+  for (const StreamKey key : removed) cursors_.erase(key);
+  for (const auto& [key, seq] : upserts) cursors_.upsert(key) = seq;
+  flows_.clear_dirty();
+  cursors_.clear_dirty();
+  return {};
+}
+
+util::Status<util::DecodeError> DispatchingService::restore_state(util::BytesView state) {
+  util::ByteReader r(state);
+  SubscriptionTable table;
+  if (const auto status = table.restore(r); !status.ok()) return status;
+  std::vector<ParsedFlow> flows = parse_flows(r);
+
   const std::uint32_t cursor_count = r.u32();
   std::vector<std::pair<std::uint32_t, SequenceNo>> cursors;
   for (std::uint32_t i = 0; i < cursor_count && r.ok(); ++i) {
@@ -213,7 +290,7 @@ util::Status<util::DecodeError> DispatchingService::restore_state(util::BytesVie
   flows_.clear();
   if (flow_.enabled()) {
     for (const ParsedFlow& f : flows) {
-      Flow& flow = flows_[f.addr];
+      Flow& flow = flows_.upsert(ConsumerKey{f.addr});
       flow.credits = flow_.credit_window;
       flow.quarantined = f.quarantined;
       flow.epoch = next_flow_epoch_++;
@@ -221,7 +298,12 @@ util::Status<util::DecodeError> DispatchingService::restore_state(util::BytesVie
     }
   }
   cursors_.clear();
-  for (const auto& [packed, seq] : cursors) cursors_.emplace(packed, seq);
+  cursors_.reserve(cursors.size());
+  for (const auto& [packed, seq] : cursors) {
+    cursors_.upsert(StreamKey::from_packed(packed)) = seq;
+  }
+  flows_.clear_dirty();
+  cursors_.clear_dirty();
   return {};
 }
 
@@ -232,21 +314,22 @@ void DispatchingService::reset_state() {
 }
 
 std::optional<SequenceNo> DispatchingService::cursor(StreamId id) const {
-  const auto it = cursors_.find(id.packed());
-  if (it == cursors_.end()) return std::nullopt;
-  return it->second;
+  const SequenceNo* seq = cursors_.find(StreamKey{id});
+  if (seq == nullptr) return std::nullopt;
+  return *seq;
 }
 
 void DispatchingService::advance_cursor(StreamId id, SequenceNo seq) {
-  const std::uint32_t packed = id.packed();
-  const auto [it, inserted] = cursors_.try_emplace(packed, seq);
-  if (!inserted) {
-    if (seq == it->second || !at_or_past(seq, it->second)) return;
-    it->second = seq;
+  auto [cur, inserted] = cursors_.try_emplace(StreamKey{id});
+  if (inserted) {
+    *cur = seq;
+  } else {
+    if (seq == *cur || !at_or_past(seq, *cur)) return;
+    *cur = seq;
   }
   if (op_sink_) {
     util::ByteWriter w(6);
-    w.u32(packed);
+    w.u32(id.packed());
     w.u16(seq);
     op_sink_(kOpCursor, w.view());
   }
@@ -259,10 +342,11 @@ void DispatchingService::replay_stash() {
   }
   auto plan = std::make_shared<StashReplay>();
   plan->streams.reserve(cursors_.size());
-  for (const auto& [packed, cur] : cursors_) {
-    plan->streams.push_back(packed);
-    plan->floors.emplace(packed, static_cast<SequenceNo>(cur + 1));
-  }
+  cursors_.for_each_sorted([&plan](StreamKey key, const SequenceNo& cur) {
+    plan->streams.push_back(key.pack());
+    plan->windows.upsert(key).floor = static_cast<SequenceNo>(cur + 1);
+  });
+  plan->windows.clear_dirty();
   active_stash_replay_ = plan;
   fetch_stash(plan);
 }
@@ -294,7 +378,9 @@ void DispatchingService::on_stash_backlog(const std::shared_ptr<StashReplay>& pl
                                           util::SharedBytes reply) {
   util::ByteReader r(reply);
   const std::uint16_t count = r.u16();
-  const SequenceNo plan_floor = plan->floors[plan->streams[plan->index]];
+  const ReplayWindow* fetched =
+      plan->windows.find(StreamKey::from_packed(plan->streams[plan->index]));
+  const SequenceNo plan_floor = fetched != nullptr ? fetched->floor : 0;
   for (std::uint16_t i = 0; i < count && r.ok(); ++i) {
     const std::uint16_t length = r.u16();
     const std::size_t offset = r.consumed();
@@ -303,21 +389,20 @@ void DispatchingService::on_stash_backlog(const std::shared_ptr<StashReplay>& pl
     const auto decoded = decode_delivery_view(frame);
     if (!decoded.ok()) continue;
     const DeliveryView& delivery = decoded.value();
-    const std::uint32_t packed = delivery.message.stream_id.packed();
+    const StreamKey stream_key{delivery.message.stream_id};
     const SequenceNo seq = delivery.message.sequence;
     // The sweep races live traffic, and deliver() re-stashes
     // quarantine-shed copies that later rounds fetch back. A frame is
     // replayed only inside the crash window: at or past the crash-time
     // cursor (floor), below the first live post-promotion delivery
     // (ceiling), and strictly above what this sweep already delivered.
-    const auto ceiling = plan->ceilings.find(packed);
-    const auto watermark = plan->replayed.find(packed);
+    const ReplayWindow* window = plan->windows.find(stream_key);
     const bool before_crash = !at_or_past(seq, plan_floor);
     const bool live_copy =
-        ceiling != plan->ceilings.end() && at_or_past(seq, ceiling->second);
+        window != nullptr && window->has_ceiling && at_or_past(seq, window->ceiling);
     const bool already_replayed =
-        watermark != plan->replayed.end() &&
-        !at_or_past(seq, static_cast<SequenceNo>(watermark->second + 1));
+        window != nullptr && window->has_replayed &&
+        !at_or_past(seq, static_cast<SequenceNo>(window->replayed + 1));
     if (before_crash || live_copy || already_replayed) {
       // Already processed — an orphan or a quarantine shed. Back to the
       // stash for the resume path and late claimants.
@@ -329,7 +414,9 @@ void DispatchingService::on_stash_backlog(const std::shared_ptr<StashReplay>& pl
     // the runtime's crash redirect): run it through the normal fan-out,
     // which re-advances the cursor and re-stashes it if unclaimed.
     ++stats_.recovery_replayed;
-    plan->replayed[packed] = seq;
+    ReplayWindow& mark = plan->windows.upsert(stream_key);
+    mark.has_replayed = true;
+    mark.replayed = seq;
     stash_replay_delivering_ = true;
     deliver(delivery.message, delivery.first_heard);
     stash_replay_delivering_ = false;
@@ -341,46 +428,46 @@ void DispatchingService::on_stash_backlog(const std::shared_ptr<StashReplay>& pl
 void DispatchingService::finish_stash_replay() {
   active_stash_replay_.reset();
   // Quarantined flows came back with a full window; kick their backlog
-  // replay now that the crash-window frames are settled.
+  // replay now that the crash-window frames are settled. Snapshot order
+  // keeps the kick sequence deterministic.
   std::vector<net::Address> quarantined;
-  for (const auto& entry : flows_) {
-    if (entry.second.quarantined) quarantined.push_back(net::Address{entry.first});
-  }
-  std::sort(quarantined.begin(), quarantined.end());
+  flows_.for_each_sorted([&quarantined](ConsumerKey key, const Flow& flow) {
+    if (flow.quarantined) quarantined.push_back(net::Address{key.pack()});
+  });
   for (const net::Address consumer : quarantined) maybe_resume(consumer);
 }
 
 void DispatchingService::set_flow_control(FlowControlConfig config) {
   flow_ = config;
-  for (auto& [address, flow] : flows_) {
+  flows_.for_each([this](ConsumerKey, Flow& flow) {
     flow.credits = std::min(flow.credits, flow_.credit_window);
-  }
+  });
   if (!flow_.enabled()) flows_.clear();
 }
 
 bool DispatchingService::quarantined(net::Address consumer) const {
-  const auto it = flows_.find(consumer.value);
-  return it != flows_.end() && it->second.quarantined;
+  const Flow* flow = flows_.find(ConsumerKey{consumer.value});
+  return flow != nullptr && flow->quarantined;
 }
 
 std::uint32_t DispatchingService::credits(net::Address consumer) const {
-  const auto it = flows_.find(consumer.value);
-  return it != flows_.end() ? it->second.credits : flow_.credit_window;
+  const Flow* flow = flows_.find(ConsumerKey{consumer.value});
+  return flow != nullptr ? flow->credits : flow_.credit_window;
 }
 
 DispatchingService::Flow& DispatchingService::flow_for(net::Address consumer) {
-  const auto [it, inserted] = flows_.try_emplace(consumer.value);
+  auto [flow, inserted] = flows_.try_emplace(ConsumerKey{consumer.value});
   if (inserted) {
-    it->second.credits = flow_.credit_window;
-    it->second.epoch = next_flow_epoch_++;
+    flow->credits = flow_.credit_window;
+    flow->epoch = next_flow_epoch_++;
   }
-  return it->second;
+  return *flow;
 }
 
 DispatchingService::Flow* DispatchingService::flow_if_current(const ResumePlan& plan) {
-  const auto it = flows_.find(plan.consumer.value);
-  if (it == flows_.end() || it->second.epoch != plan.epoch) return nullptr;
-  return &it->second;
+  Flow* flow = flows_.mutate(ConsumerKey{plan.consumer.value});
+  if (flow == nullptr || flow->epoch != plan.epoch) return nullptr;
+  return flow;
 }
 
 std::uint32_t DispatchingService::resume_threshold() const {
@@ -395,19 +482,19 @@ void DispatchingService::on_credit(const net::Envelope& envelope) {
   if (!r.ok() || granted == 0) return;
   // Only senders we have delivered to carry flow state; credits from
   // strangers (fuzzed or stale endpoints) are ignored, not banked.
-  const auto it = flows_.find(envelope.from.value);
-  if (it == flows_.end()) return;
+  Flow* found = flows_.mutate(ConsumerKey{envelope.from.value});
+  if (found == nullptr) return;
   ++stats_.credit_acks;
-  Flow& flow = it->second;
+  Flow& flow = *found;
   flow.credits = static_cast<std::uint32_t>(std::min<std::uint64_t>(
       flow_.credit_window, static_cast<std::uint64_t>(flow.credits) + granted));
   maybe_resume(envelope.from);
 }
 
 void DispatchingService::maybe_resume(net::Address consumer) {
-  const auto it = flows_.find(consumer.value);
-  if (it == flows_.end()) return;
-  Flow& flow = it->second;
+  Flow* found = flows_.mutate(ConsumerKey{consumer.value});
+  if (found == nullptr) return;
+  Flow& flow = *found;
   if (!flow.quarantined || flow.resume_inflight || flow.credits == 0) return;
   if (flow.shed.empty()) {
     // Nothing was shed while quarantined (or the stash is unreachable):
@@ -562,10 +649,10 @@ void DispatchingService::deliver(const DataMessageView& message, util::SimTime f
     // sequence caps the sweep for its stream, so quarantine-shed copies
     // of this delivery fetched by a later round are never re-fanned-out.
     if (const auto plan = active_stash_replay_.lock()) {
-      const auto [it, inserted] =
-          plan->ceilings.emplace(message.stream_id.packed(), message.sequence);
-      if (!inserted && !at_or_past(message.sequence, it->second)) {
-        it->second = message.sequence;
+      ReplayWindow& window = plan->windows.upsert(StreamKey{message.stream_id});
+      if (!window.has_ceiling || !at_or_past(message.sequence, window.ceiling)) {
+        window.has_ceiling = true;
+        window.ceiling = message.sequence;
       }
     }
   }

@@ -13,16 +13,15 @@
 #pragma once
 
 #include <functional>
-#include <map>
 #include <memory>
 #include <optional>
-#include <unordered_map>
 #include <unordered_set>
 
 #include "core/auth.hpp"
 #include "core/catalog.hpp"
 #include "core/message.hpp"
 #include "core/pubsub.hpp"
+#include "core/stream_table.hpp"
 #include "core/wire_types.hpp"
 #include "net/rpc.hpp"
 #include "obs/trace.hpp"
@@ -153,6 +152,21 @@ class DispatchingService {
   /// Byte-deterministic (every unordered container is walked sorted).
   [[nodiscard]] util::Bytes capture_state() const;
 
+  /// capture_state() plus a rebase of the incremental-capture baseline.
+  [[nodiscard]] util::Bytes capture_full();
+
+  /// Incremental snapshot. Subscriptions and flows are small
+  /// (per-consumer) and ride every delta whole; the cursor table — the
+  /// section that actually scales with stream count — is encoded as
+  /// removals + dirty entries only, so capture cost tracks traffic, not
+  /// the 10^6-stream registration footprint.
+  [[nodiscard]] util::Bytes capture_delta();
+
+  /// Applies one capture_delta() body on top of the current state.
+  /// Parses fully before committing — never partially applies. Flows are
+  /// re-primed exactly as in restore_state().
+  [[nodiscard]] util::Status<util::DecodeError> apply_delta(util::BytesView delta);
+
   /// Rebuilds from capture_state() bytes; parses fully before
   /// committing. Restored flows are re-primed to a full credit window —
   /// in-flight deliveries died with the primary, so the true outstanding
@@ -182,6 +196,12 @@ class DispatchingService {
   [[nodiscard]] const DispatchStats& stats() const noexcept { return stats_; }
   [[nodiscard]] const SubscriptionTable& subscriptions() const noexcept { return table_; }
   [[nodiscard]] net::Address address() const noexcept { return node_.address(); }
+
+  /// Index + arena bytes of the cursor and flow tables (bench_scale
+  /// bytes/stream; excludes heap owned by shed sets).
+  [[nodiscard]] std::size_t memory_bytes() const noexcept {
+    return cursors_.memory_bytes() + flows_.memory_bytes();
+  }
 
  private:
   /// Per-consumer flow state, created lazily at first delivery. The epoch
@@ -220,22 +240,32 @@ class DispatchingService {
     return (static_cast<std::uint64_t>(packed) << 16) | seq;
   }
 
+  /// Per-stream bounds of one post-restart stash sweep (StashReplay).
+  /// `floor` bounds the sweep from below (processed before the crash),
+  /// `ceiling` from above (delivered live since the sweep began), and
+  /// `replayed` makes the sweep itself idempotent.
+  struct ReplayWindow {
+    SequenceNo floor = 0;  ///< cursor + 1 at sweep start.
+    bool has_ceiling = false;
+    SequenceNo ceiling = 0;  ///< First live post-promotion sequence.
+    bool has_replayed = false;
+    SequenceNo replayed = 0;  ///< Highest sequence this sweep delivered.
+  };
+
   /// One post-restart stash sweep over the cursor streams. The sweep
   /// races live traffic: fetch rounds are RPC-paced, and both the
   /// replay's own deliveries and fresh post-promotion frames re-stash
-  /// quarantine-shed copies the next round can fetch back. `floors`
-  /// bounds the sweep from below (processed before the crash),
-  /// `ceilings` from above (delivered live since the sweep began), and
-  /// `replayed` makes the sweep itself idempotent.
+  /// quarantine-shed copies the next round can fetch back. One
+  /// ReplayWindow per stream replaces what used to be three parallel
+  /// std::maps keyed by the same packed id.
   struct StashReplay {
     std::vector<std::uint32_t> streams;  ///< Sorted: deterministic replay order.
-    std::map<std::uint32_t, SequenceNo> floors;    ///< cursor + 1 per stream.
-    std::map<std::uint32_t, SequenceNo> ceilings;  ///< first live post-promotion seq.
-    std::map<std::uint32_t, SequenceNo> replayed;  ///< highest seq this sweep delivered.
+    StreamTable<ReplayWindow> windows;
     std::size_t index = 0;
   };
 
   void on_envelope(net::Envelope envelope);
+  void encode_flows(util::ByteWriter& w) const;
   void deliver(const DataMessageView& message, util::SimTime first_heard);
   void advance_cursor(StreamId id, SequenceNo seq);
   void fetch_stash(const std::shared_ptr<StashReplay>& plan);
@@ -262,12 +292,12 @@ class DispatchingService {
   obs::Tracer* tracer_ = nullptr;
   std::vector<net::Address> scratch_;  ///< Reused fan-out buffer.
   FlowControlConfig flow_;
-  std::unordered_map<std::uint32_t, Flow> flows_;  ///< Keyed by consumer address.
+  StreamTable<Flow, ConsumerKey> flows_;  ///< Keyed by consumer address.
   std::uint64_t next_flow_epoch_ = 1;
   OpSink op_sink_;
-  /// packed StreamId -> newest processed sequence. A std::map so
-  /// checkpoints iterate it in deterministic order for free.
-  std::map<std::uint32_t, SequenceNo> cursors_;
+  /// Newest processed sequence per stream — the 10^6-scale table; its
+  /// dirty set is what makes dispatch deltas O(traffic) not O(streams).
+  StreamTable<SequenceNo> cursors_;
   /// Alive while a post-restart stash sweep is in flight, so deliver()
   /// can mark live traffic racing it (the sweep's per-stream ceiling).
   std::weak_ptr<StashReplay> active_stash_replay_;

@@ -39,66 +39,122 @@ void FilteringService::ingest(const wireless::ReceptionReport& report) {
     ++stats_.relayed_copies;
   }
 
-  auto [it, inserted] = streams_.try_emplace(message.stream_id);
+  auto [state, inserted] = streams_.try_emplace(StreamKey{message.stream_id});
   if (inserted) ++stats_.streams_seen;
-  accept(it->second, message, report.received_at);
+  accept(*state, message, report.received_at);
 }
 
 void FilteringService::reset() {
-  for (auto& [id, state] : streams_) scheduler_.cancel(state.gap_timer);
+  streams_.for_each([this](StreamKey, StreamState& state) { scheduler_.cancel(state.gap_timer); });
   streams_.clear();
 }
 
-util::Bytes FilteringService::capture_state() const {
-  std::vector<std::pair<std::uint32_t, const StreamState*>> ordered;
-  ordered.reserve(streams_.size());
-  for (const auto& [id, state] : streams_) ordered.emplace_back(id.packed(), &state);
-  std::sort(ordered.begin(), ordered.end(),
-            [](const auto& a, const auto& b) { return a.first < b.first; });
+void FilteringService::encode_stream(util::ByteWriter& w, std::uint32_t packed,
+                                     const StreamState& state) {
+  w.u32(packed);
+  w.u8(state.started ? 1 : 0);
+  w.u16(state.newest);
+  w.u16(state.next_release);
+  w.u64(state.accepted);
+  w.u64(state.total_advance);
+  // std::map iterates keys ascending — deterministic by construction.
+  w.u16(static_cast<std::uint16_t>(state.seen.size()));
+  for (const auto& entry : state.seen) w.u16(entry.first);
+}
 
-  util::ByteWriter w(16 + ordered.size() * 32);
-  w.u32(static_cast<std::uint32_t>(ordered.size()));
-  for (const auto& [packed, state] : ordered) {
-    w.u32(packed);
-    w.u8(state->started ? 1 : 0);
-    w.u16(state->newest);
-    w.u16(state->next_release);
-    w.u64(state->accepted);
-    w.u64(state->total_advance);
-    // std::map iterates keys ascending — deterministic by construction.
-    w.u16(static_cast<std::uint16_t>(state->seen.size()));
-    for (const auto& entry : state->seen) w.u16(entry.first);
-  }
+FilteringService::StreamState FilteringService::decode_stream(util::ByteReader& r) {
+  StreamState s;
+  s.started = r.u8() != 0;
+  s.newest = r.u16();
+  s.next_release = r.u16();
+  s.accepted = r.u64();
+  s.total_advance = r.u64();
+  const std::uint16_t seen_count = r.u16();
+  for (std::uint16_t j = 0; j < seen_count && r.ok(); ++j) s.seen.emplace(r.u16(), true);
+  return s;
+}
+
+util::Bytes FilteringService::capture_state() const {
+  util::ByteWriter w(16 + streams_.size() * 32);
+  w.u32(static_cast<std::uint32_t>(streams_.size()));
+  streams_.for_each_sorted([&w](StreamKey key, const StreamState& state) {
+    encode_stream(w, key.pack(), state);
+  });
   return std::move(w).take();
+}
+
+util::Bytes FilteringService::capture_full() {
+  util::Bytes state = capture_state();
+  streams_.clear_dirty();
+  return state;
+}
+
+util::Bytes FilteringService::capture_delta() {
+  const std::vector<std::uint32_t> removed = streams_.removed_keys();
+  const std::vector<std::uint32_t> dirty = streams_.dirty_keys();
+  util::ByteWriter w(16 + removed.size() * 4 + dirty.size() * 32);
+  w.u32(static_cast<std::uint32_t>(removed.size()));
+  for (const std::uint32_t key : removed) w.u32(key);
+  w.u32(static_cast<std::uint32_t>(dirty.size()));
+  for (const std::uint32_t raw : dirty) {
+    encode_stream(w, raw, *streams_.find(StreamKey::from_packed(raw)));
+  }
+  streams_.clear_dirty();
+  return std::move(w).take();
+}
+
+util::Status<util::DecodeError> FilteringService::apply_delta(util::BytesView delta) {
+  util::ByteReader r(delta);
+  std::vector<StreamKey> removed;
+  const std::uint32_t removed_count = r.u32();
+  for (std::uint32_t i = 0; i < removed_count && r.ok(); ++i) {
+    removed.push_back(StreamKey::from_packed(r.u32()));
+  }
+  std::vector<std::pair<StreamKey, StreamState>> upserts;
+  const std::uint32_t dirty_count = r.u32();
+  for (std::uint32_t i = 0; i < dirty_count && r.ok(); ++i) {
+    const StreamKey key = StreamKey::from_packed(r.u32());
+    StreamState s = decode_stream(r);
+    if (r.ok()) upserts.emplace_back(key, std::move(s));
+  }
+  if (!r.ok() || r.remaining() != 0) return util::Err{util::DecodeError::kTruncated};
+
+  for (const StreamKey key : removed) {
+    if (StreamState* gone = streams_.mutate(key)) scheduler_.cancel(gone->gap_timer);
+    streams_.erase(key);
+  }
+  for (auto& [key, s] : upserts) {
+    StreamState& entry = streams_.upsert(key);
+    // A replaced stream's in-flight reorder state dies with the primary:
+    // the delta carries dedup state only.
+    scheduler_.cancel(entry.gap_timer);
+    entry = std::move(s);
+  }
+  streams_.clear_dirty();
+  return {};
 }
 
 util::Status<util::DecodeError> FilteringService::restore_state(util::BytesView state) {
   util::ByteReader r(state);
-  std::vector<std::pair<StreamId, StreamState>> parsed;
+  std::vector<std::pair<StreamKey, StreamState>> parsed;
   const std::uint32_t declared = r.u32();
   for (std::uint32_t i = 0; i < declared && r.ok(); ++i) {
-    const StreamId id = StreamId::from_packed(r.u32());
-    StreamState s;
-    s.started = r.u8() != 0;
-    s.newest = r.u16();
-    s.next_release = r.u16();
-    s.accepted = r.u64();
-    s.total_advance = r.u64();
-    const std::uint16_t seen_count = r.u16();
-    for (std::uint16_t j = 0; j < seen_count && r.ok(); ++j) s.seen.emplace(r.u16(), true);
-    if (r.ok()) parsed.emplace_back(id, std::move(s));
+    const StreamKey key = StreamKey::from_packed(r.u32());
+    StreamState s = decode_stream(r);
+    if (r.ok()) parsed.emplace_back(key, std::move(s));
   }
   if (!r.ok() || r.remaining() != 0) return util::Err{util::DecodeError::kTruncated};
 
   reset();  // cancels gap timers before the wholesale swap
-  for (auto& [id, s] : parsed) streams_.emplace(id, std::move(s));
+  for (auto& [key, s] : parsed) streams_.upsert(key) = std::move(s);
+  streams_.clear_dirty();
   return {};
 }
 
 void FilteringService::note_seen(StreamId id, SequenceNo seq) {
-  auto [it, inserted] = streams_.try_emplace(id);
+  auto [entry, inserted] = streams_.try_emplace(StreamKey{id});
   if (inserted) ++stats_.streams_seen;
-  StreamState& state = it->second;
+  StreamState& state = *entry;
   if (!state.started) {
     state.started = true;
     state.newest = seq;
@@ -132,17 +188,17 @@ void FilteringService::note_seen(StreamId id, SequenceNo seq) {
 std::vector<FilteringService::StreamReport> FilteringService::stream_reports() const {
   std::vector<StreamReport> out;
   out.reserve(streams_.size());
-  for (const auto& [id, state] : streams_) {
-    if (!state.started) continue;
+  streams_.for_each([&out](StreamKey key, const StreamState& state) {
+    if (!state.started) return;
     StreamReport report;
-    report.id = id;
+    report.id = key.id();
     report.accepted = state.accepted;
     // The stream spanned total_advance+1 sequence slots; anything we
     // never accepted inside that span is a presumed-lost frame.
     report.estimated_lost = state.total_advance + 1 - state.accepted;
     report.newest = state.newest;
     out.push_back(report);
-  }
+  });
   return out;
 }
 
@@ -234,9 +290,9 @@ void FilteringService::release_ready(StreamId id, StreamState& state) {
 }
 
 void FilteringService::flush_gap(StreamId id) {
-  const auto stream_it = streams_.find(id);
-  if (stream_it == streams_.end()) return;
-  StreamState& state = stream_it->second;
+  StreamState* found = streams_.mutate(StreamKey{id});
+  if (found == nullptr) return;
+  StreamState& state = *found;
   if (state.held.empty()) return;
 
   // Find the held sequence closest ahead of next_release (wrap order).
@@ -257,9 +313,9 @@ void FilteringService::flush_gap(StreamId id) {
 void FilteringService::arm_gap_timer(StreamId id, StreamState& state) {
   if (state.gap_timer.valid()) return;  // already armed
   state.gap_timer = scheduler_.schedule_after(config_.reorder_timeout, [this, id] {
-    const auto it = streams_.find(id);
-    if (it == streams_.end()) return;
-    it->second.gap_timer = sim::EventId{};
+    StreamState* found = streams_.mutate(StreamKey{id});
+    if (found == nullptr) return;
+    found->gap_timer = sim::EventId{};
     flush_gap(id);
   });
 }

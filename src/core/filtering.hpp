@@ -20,9 +20,9 @@
 
 #include <functional>
 #include <map>
-#include <unordered_map>
 
 #include "core/message.hpp"
+#include "core/stream_table.hpp"
 #include "obs/trace.hpp"
 #include "sim/scheduler.hpp"
 #include "util/bytes.hpp"
@@ -106,6 +106,19 @@ class FilteringService {
   /// (they surface as sequence gaps, never as duplicates).
   [[nodiscard]] util::Bytes capture_state() const;
 
+  /// capture_state() plus a rebase of the incremental-capture baseline.
+  [[nodiscard]] util::Bytes capture_full();
+
+  /// Incremental snapshot: only streams whose dedup state changed since
+  /// the last capture, plus removals. O(active streams) per interval
+  /// instead of O(all streams ever seen).
+  [[nodiscard]] util::Bytes capture_delta();
+
+  /// Applies one capture_delta() body on top of the current state.
+  /// Parses fully before committing — never partially applies. Gap
+  /// timers of replaced or removed streams are cancelled.
+  [[nodiscard]] util::Status<util::DecodeError> apply_delta(util::BytesView delta);
+
   /// Rebuilds dedup state from capture_state() bytes. Fully parses
   /// before committing; current state survives a failed restore.
   [[nodiscard]] util::Status<util::DecodeError> restore_state(util::BytesView state);
@@ -124,6 +137,9 @@ class FilteringService {
 
   /// Loss/reception accounting for every reconstructed stream.
   [[nodiscard]] std::vector<StreamReport> stream_reports() const;
+
+  /// Index + arena bytes of the stream table (bench_scale bytes/stream).
+  [[nodiscard]] std::size_t memory_bytes() const noexcept { return streams_.memory_bytes(); }
 
  private:
   struct PendingMessage {
@@ -153,6 +169,8 @@ class FilteringService {
   void release_ready(StreamId id, StreamState& state);
   void flush_gap(StreamId id);
   void arm_gap_timer(StreamId id, StreamState& state);
+  static void encode_stream(util::ByteWriter& w, std::uint32_t packed, const StreamState& state);
+  [[nodiscard]] static StreamState decode_stream(util::ByteReader& r);
 
   /// True if `a` is newer than `b` in wrapping 16-bit arithmetic.
   [[nodiscard]] static bool seq_newer(SequenceNo a, SequenceNo b) {
@@ -163,7 +181,7 @@ class FilteringService {
   Config config_;
   MessageSink message_sink_;
   ReceptionSink reception_sink_;
-  std::unordered_map<StreamId, StreamState> streams_;
+  StreamTable<StreamState> streams_;
   FilteringStats stats_;
   obs::Tracer* tracer_ = nullptr;
 };

@@ -39,7 +39,7 @@ void LocationService::observe(const ReceptionEvent& event) {
   if (!receivers_.contains(event.receiver)) return;  // unknown antenna
   ++stats_.observations;
 
-  SensorTrack& track = tracks_[event.sensor];
+  SensorTrack& track = tracks_.upsert(SensorKey{event.sensor});
   track.observations.push_back({event.receiver, event.rssi_dbm, event.heard_at});
 
   // Trim anything outside the window.
@@ -55,7 +55,7 @@ void LocationService::observe(const ReceptionEvent& event) {
 
 void LocationService::hint(const LocationHint& hint, util::SimTime now) {
   ++stats_.hints;
-  SensorTrack& track = tracks_[hint.sensor];
+  SensorTrack& track = tracks_.upsert(SensorKey{hint.sensor});
   track.hint = HintRecord{{hint.x, hint.y}, hint.radius_m, now};
   if (update_sink_) {
     if (const auto est = estimate(hint.sensor)) update_sink_(hint.sensor, *est);
@@ -64,9 +64,11 @@ void LocationService::hint(const LocationHint& hint, util::SimTime now) {
 
 std::optional<LocationEstimate> LocationService::estimate(SensorId sensor) {
   ++stats_.queries;
-  const auto it = tracks_.find(sensor);
-  if (it == tracks_.end()) return std::nullopt;
-  SensorTrack& track = it->second;
+  // mutate(): the age-out pruning below changes the track, so the entry
+  // must re-enter the next delta frame.
+  SensorTrack* found = tracks_.mutate(SensorKey{sensor});
+  if (found == nullptr) return std::nullopt;
+  SensorTrack& track = *found;
   const util::SimTime now = bus_.scheduler().now();
 
   // Drop observations that have aged out since the last touch.
@@ -153,32 +155,95 @@ std::optional<LocationEstimate> LocationService::infer(SensorTrack& track) {
   return est;
 }
 
-util::Bytes LocationService::capture_state() const {
-  std::vector<std::pair<SensorId, const SensorTrack*>> ordered;
-  ordered.reserve(tracks_.size());
-  for (const auto& [sensor, track] : tracks_) ordered.emplace_back(sensor, &track);
-  std::sort(ordered.begin(), ordered.end(),
-            [](const auto& a, const auto& b) { return a.first < b.first; });
-
-  util::ByteWriter w(16 + ordered.size() * 64);
-  w.u32(static_cast<std::uint32_t>(ordered.size()));
-  for (const auto& [sensor, track] : ordered) {
-    w.u32(sensor);
-    w.u32(static_cast<std::uint32_t>(track->observations.size()));
-    for (const Observation& obs : track->observations) {
-      w.u32(obs.receiver);
-      w.f64(obs.rssi_dbm);
-      w.i64(obs.at.ns);
-    }
-    w.u8(track->hint ? 1 : 0);
-    if (track->hint) {
-      w.f64(track->hint->position.x);
-      w.f64(track->hint->position.y);
-      w.f64(track->hint->radius_m);
-      w.i64(track->hint->at.ns);
-    }
+void LocationService::encode_track(util::ByteWriter& w, SensorId sensor,
+                                   const SensorTrack& track) {
+  w.u32(sensor);
+  w.u32(static_cast<std::uint32_t>(track.observations.size()));
+  for (const Observation& obs : track.observations) {
+    w.u32(obs.receiver);
+    w.f64(obs.rssi_dbm);
+    w.i64(obs.at.ns);
   }
+  w.u8(track.hint ? 1 : 0);
+  if (track.hint) {
+    w.f64(track.hint->position.x);
+    w.f64(track.hint->position.y);
+    w.f64(track.hint->radius_m);
+    w.i64(track.hint->at.ns);
+  }
+}
+
+LocationService::SensorTrack LocationService::decode_track(util::ByteReader& r) {
+  SensorTrack track;
+  const std::uint32_t obs_count = r.u32();
+  for (std::uint32_t j = 0; j < obs_count && r.ok(); ++j) {
+    Observation obs{};
+    obs.receiver = r.u32();
+    obs.rssi_dbm = r.f64();
+    obs.at = util::SimTime{r.i64()};
+    track.observations.push_back(obs);
+  }
+  if (r.u8() != 0) {
+    HintRecord hint{};
+    hint.position.x = r.f64();
+    hint.position.y = r.f64();
+    hint.radius_m = r.f64();
+    hint.at = util::SimTime{r.i64()};
+    track.hint = hint;
+  }
+  return track;
+}
+
+util::Bytes LocationService::capture_state() const {
+  util::ByteWriter w(16 + tracks_.size() * 64);
+  w.u32(static_cast<std::uint32_t>(tracks_.size()));
+  tracks_.for_each_sorted([&w](SensorKey key, const SensorTrack& track) {
+    encode_track(w, key.sensor(), track);
+  });
   return std::move(w).take();
+}
+
+util::Bytes LocationService::capture_full() {
+  util::Bytes state = capture_state();
+  tracks_.clear_dirty();
+  return state;
+}
+
+util::Bytes LocationService::capture_delta() {
+  const std::vector<std::uint32_t> removed = tracks_.removed_keys();
+  const std::vector<std::uint32_t> dirty = tracks_.dirty_keys();
+  util::ByteWriter w(16 + removed.size() * 4 + dirty.size() * 64);
+  w.u32(static_cast<std::uint32_t>(removed.size()));
+  for (const std::uint32_t key : removed) w.u32(key);
+  w.u32(static_cast<std::uint32_t>(dirty.size()));
+  for (const std::uint32_t raw : dirty) {
+    const SensorKey key = SensorKey::from_packed(raw);
+    encode_track(w, key.sensor(), *tracks_.find(key));
+  }
+  tracks_.clear_dirty();
+  return std::move(w).take();
+}
+
+util::Status<util::DecodeError> LocationService::apply_delta(util::BytesView delta) {
+  util::ByteReader r(delta);
+  std::vector<SensorKey> removed;
+  const std::uint32_t removed_count = r.u32();
+  for (std::uint32_t i = 0; i < removed_count && r.ok(); ++i) {
+    removed.push_back(SensorKey::from_packed(r.u32()));
+  }
+  std::vector<std::pair<SensorId, SensorTrack>> upserts;
+  const std::uint32_t dirty_count = r.u32();
+  for (std::uint32_t i = 0; i < dirty_count && r.ok(); ++i) {
+    const SensorId sensor = r.u32();
+    SensorTrack track = decode_track(r);
+    if (r.ok()) upserts.emplace_back(sensor, std::move(track));
+  }
+  if (!r.ok() || r.remaining() != 0) return util::Err{util::DecodeError::kTruncated};
+
+  for (const SensorKey key : removed) tracks_.erase(key);
+  for (auto& [sensor, track] : upserts) tracks_.upsert(SensorKey{sensor}) = std::move(track);
+  tracks_.clear_dirty();
+  return {};
 }
 
 util::Status<util::DecodeError> LocationService::restore_state(util::BytesView state) {
@@ -187,29 +252,14 @@ util::Status<util::DecodeError> LocationService::restore_state(util::BytesView s
   const std::uint32_t declared = r.u32();
   for (std::uint32_t i = 0; i < declared && r.ok(); ++i) {
     const SensorId sensor = r.u32();
-    SensorTrack track;
-    const std::uint32_t obs_count = r.u32();
-    for (std::uint32_t j = 0; j < obs_count && r.ok(); ++j) {
-      Observation obs{};
-      obs.receiver = r.u32();
-      obs.rssi_dbm = r.f64();
-      obs.at = util::SimTime{r.i64()};
-      track.observations.push_back(obs);
-    }
-    if (r.u8() != 0) {
-      HintRecord hint{};
-      hint.position.x = r.f64();
-      hint.position.y = r.f64();
-      hint.radius_m = r.f64();
-      hint.at = util::SimTime{r.i64()};
-      track.hint = hint;
-    }
+    SensorTrack track = decode_track(r);
     if (r.ok()) parsed.emplace_back(sensor, std::move(track));
   }
   if (!r.ok() || r.remaining() != 0) return util::Err{util::DecodeError::kTruncated};
 
   tracks_.clear();
-  for (auto& [sensor, track] : parsed) tracks_.emplace(sensor, std::move(track));
+  for (auto& [sensor, track] : parsed) tracks_.upsert(SensorKey{sensor}) = std::move(track);
+  tracks_.clear_dirty();
   return {};
 }
 

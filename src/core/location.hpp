@@ -24,6 +24,7 @@
 
 #include "core/auth.hpp"
 #include "core/filtering.hpp"
+#include "core/stream_table.hpp"
 #include "core/wire_types.hpp"
 #include "net/rpc.hpp"
 #include "sim/geometry.hpp"
@@ -89,6 +90,16 @@ class LocationService {
   /// knowledge the runtime re-announces on restart, so it is excluded.
   [[nodiscard]] util::Bytes capture_state() const;
 
+  /// capture_state() plus a rebase of the incremental-capture baseline.
+  [[nodiscard]] util::Bytes capture_full();
+
+  /// Incremental snapshot: only tracks touched since the last capture.
+  [[nodiscard]] util::Bytes capture_delta();
+
+  /// Applies one capture_delta() body on top of the current tracks.
+  /// Parses fully before committing — never partially applies.
+  [[nodiscard]] util::Status<util::DecodeError> apply_delta(util::BytesView delta);
+
   /// Rebuilds tracks from capture_state() bytes; parses fully before
   /// committing, current state survives a failed restore.
   [[nodiscard]] util::Status<util::DecodeError> restore_state(util::BytesView state);
@@ -98,6 +109,9 @@ class LocationService {
 
   [[nodiscard]] const LocationStats& stats() const noexcept { return stats_; }
   [[nodiscard]] net::Address address() const noexcept { return node_.address(); }
+
+  /// Index + arena bytes of the track table (bench_scale bytes/stream).
+  [[nodiscard]] std::size_t memory_bytes() const noexcept { return tracks_.memory_bytes(); }
 
  private:
   struct Observation {
@@ -117,13 +131,15 @@ class LocationService {
 
   void on_envelope(net::Envelope envelope);
   [[nodiscard]] std::optional<LocationEstimate> infer(SensorTrack& track);
+  static void encode_track(util::ByteWriter& w, SensorId sensor, const SensorTrack& track);
+  [[nodiscard]] static SensorTrack decode_track(util::ByteReader& r);
 
   net::MessageBus& bus_;
   AuthService& auth_;
   Config config_;
   net::RpcNode node_;
   std::unordered_map<wireless::ReceiverId, wireless::Receiver> receivers_;
-  std::unordered_map<SensorId, SensorTrack> tracks_;
+  StreamTable<SensorTrack, SensorKey> tracks_;
   UpdateSink update_sink_;
   LocationStats stats_;
 };

@@ -57,12 +57,35 @@ void RecoveryHarness::on_heartbeat() {
 void RecoveryHarness::take_checkpoints() {
   for (auto& [name, managed] : services_) {
     if (managed.is_crashed || !managed.spec.capture) continue;
-    const util::Bytes state = managed.spec.capture();
+    // A delta rides only when the service supports the incremental pair,
+    // the config asks for it, and the chain since the last full frame
+    // still has room. Everything else — including the first capture and
+    // the one right after a recovery — is a full frame.
+    const bool incremental = static_cast<bool>(managed.spec.capture_delta) &&
+                             static_cast<bool>(managed.spec.apply_delta) &&
+                             config_.full_checkpoint_interval > 1;
+    const bool want_delta = incremental && !managed.force_full &&
+                            managed.deltas_since_full + 1 < config_.full_checkpoint_interval;
+
+    const std::uint64_t base_epoch = managed.epoch;
     core::checkpoint::Header header;
     header.service = name;
     header.epoch = ++managed.epoch;
     header.taken_at = scheduler_.now();
-    const util::Bytes frame = core::checkpoint::encode(header, state);
+
+    util::Bytes frame;
+    if (want_delta) {
+      frame = core::checkpoint::encode_delta(header, base_epoch, managed.spec.capture_delta());
+      ++managed.deltas_since_full;
+      ++stats_.deltas_taken;
+      stats_.delta_bytes_last = frame.size();
+    } else {
+      frame = core::checkpoint::encode(header, managed.spec.capture());
+      managed.deltas_since_full = 0;
+      managed.force_full = false;
+      ++stats_.checkpoints_taken;
+      stats_.checkpoint_bytes_last = frame.size();
+    }
 
     // The watermark is the next lsn the primary will assign: every op
     // below it is already inside this snapshot.
@@ -72,9 +95,6 @@ void RecoveryHarness::take_checkpoints() {
     w.u32(static_cast<std::uint32_t>(frame.size()));
     w.raw(frame);
     bus_.post(primary_, replica_, core::kCheckpointReplica, util::take_shared(std::move(w)));
-
-    ++stats_.checkpoints_taken;
-    stats_.checkpoint_bytes_last = frame.size();
   }
 }
 
@@ -111,10 +131,34 @@ void RecoveryHarness::on_replica(net::Envelope envelope) {
       ++stats_.checkpoints_rejected;
       return;
     }
-    managed.checkpoint.assign(frame.begin(), frame.end());
-    managed.checkpoint_lsn = watermark;
-    managed.log.truncate_through(watermark - 1);
-    ++stats_.checkpoints_stored;
+    // Validate at receipt, not at promotion: a corrupt frame discovered
+    // mid-recovery would leave the standby with nothing to restore from.
+    const auto decoded = core::checkpoint::decode_any(frame);
+    if (!decoded.ok() || decoded.value().header.service != name) {
+      ++stats_.checkpoints_rejected;
+      return;
+    }
+    if (decoded.value().kind == core::checkpoint::FrameKind::kFull) {
+      managed.checkpoint.assign(frame.begin(), frame.end());
+      managed.checkpoint_lsn = watermark;
+      managed.deltas.clear();
+      managed.chain_epoch = decoded.value().header.epoch;
+      managed.log.truncate_through(watermark - 1);
+      ++stats_.checkpoints_stored;
+    } else {
+      // A delta chains only onto the exact frame it was captured
+      // against: no stored full frame, or a gap in the epoch sequence
+      // (a lost replica envelope), breaks the chain until the next
+      // full capture resyncs it.
+      if (managed.checkpoint.empty() || decoded.value().base_epoch != managed.chain_epoch) {
+        ++stats_.deltas_rejected;
+        return;
+      }
+      managed.deltas.emplace_back(watermark, util::Bytes(frame.begin(), frame.end()));
+      managed.chain_epoch = decoded.value().header.epoch;
+      managed.log.truncate_through(watermark - 1);
+      ++stats_.deltas_stored;
+    }
   } else if (envelope.type == core::kOpLogRecord) {
     const std::uint64_t lsn = r.u64();
     const std::uint16_t kind = r.u16();
@@ -168,6 +212,7 @@ void RecoveryHarness::recover(Managed& managed, bool promotion) {
   }
 
   bool restored = false;
+  std::uint64_t restored_lsn = 1;
   if (!managed.checkpoint.empty() && managed.spec.restore) {
     const auto decoded = core::checkpoint::decode(managed.checkpoint);
     if (!decoded.ok()) {
@@ -176,13 +221,30 @@ void RecoveryHarness::recover(Managed& managed, bool promotion) {
       ++stats_.checkpoints_rejected;
     } else {
       restored = true;
+      restored_lsn = managed.checkpoint_lsn;
+      // Stack the delta chain on the full base, oldest first. Each frame
+      // was CRC- and epoch-validated at receipt; a frame that still
+      // fails here truncates the chain and the op replay below covers
+      // the gap from the last good watermark.
+      if (managed.spec.apply_delta) {
+        for (const auto& [watermark, frame] : managed.deltas) {
+          const auto delta = core::checkpoint::decode_any(frame);
+          if (!delta.ok() || delta.value().kind != core::checkpoint::FrameKind::kDelta ||
+              !managed.spec.apply_delta(delta.value().state).ok()) {
+            ++stats_.deltas_rejected;
+            break;
+          }
+          restored_lsn = watermark;
+          ++stats_.deltas_applied;
+        }
+      }
     }
   }
 
   // Replay: everything at or past the watermark when a checkpoint
   // landed; everything since boot when none did (the bounded log covers
   // early crashes until its capacity is exceeded).
-  const std::uint64_t start_lsn = restored ? managed.checkpoint_lsn : 1;
+  const std::uint64_t start_lsn = restored ? restored_lsn : 1;
   if (managed.spec.apply_op) {
     for (const core::checkpoint::OpLog::Record& record : managed.log.records()) {
       if (record.lsn < start_lsn) continue;
@@ -193,6 +255,9 @@ void RecoveryHarness::recover(Managed& managed, bool promotion) {
 
   managed.is_crashed = false;
   managed.misses = 0;
+  // The promoted state (base + deltas + op replay) no longer matches
+  // what the replica chain describes; re-anchor with a full frame.
+  managed.force_full = true;
   stats_.last_recovery_latency = scheduler_.now() - managed.crashed_at;
   if (promotion) {
     ++stats_.promotions;
@@ -214,6 +279,11 @@ void RecoveryHarness::set_metrics(obs::MetricsRegistry& registry) {
     out.counter("garnet.checkpoint.stored", stats_.checkpoints_stored);
     out.counter("garnet.checkpoint.rejected", stats_.checkpoints_rejected);
     out.gauge("garnet.checkpoint.last_bytes", static_cast<double>(stats_.checkpoint_bytes_last));
+    out.counter("garnet.checkpoint.deltas_taken", stats_.deltas_taken);
+    out.counter("garnet.checkpoint.deltas_stored", stats_.deltas_stored);
+    out.counter("garnet.checkpoint.deltas_rejected", stats_.deltas_rejected);
+    out.counter("garnet.checkpoint.deltas_applied", stats_.deltas_applied);
+    out.gauge("garnet.checkpoint.delta_last_bytes", static_cast<double>(stats_.delta_bytes_last));
     out.counter("garnet.recovery.ops_logged", stats_.ops_logged);
     out.counter("garnet.recovery.ops_replicated", stats_.ops_replicated);
     out.counter("garnet.recovery.ops_replayed", stats_.ops_replayed);

@@ -9,7 +9,14 @@
 //
 //   * On a checkpoint cadence, the primary's state is captured into a
 //     core/checkpoint frame and replicated to a standby endpoint over
-//     the bus as a control-class kCheckpointReplica envelope.
+//     the bus as a control-class kCheckpointReplica envelope. With
+//     full_checkpoint_interval > 1 and a service that provides the
+//     capture_delta/apply_delta hooks, most frames are *deltas* — only
+//     the state dirtied since the previous capture — chained on the
+//     last full frame by epoch; the replica CRC-validates every frame
+//     at receipt and refuses deltas whose base epoch does not match
+//     its chain head (a lost frame breaks the chain until the next
+//     full capture resyncs it).
 //   * Between checkpoints, logged mutations stream to the standby as
 //     kOpLogRecord envelopes into a bounded core::checkpoint::OpLog.
 //   * A crash (injected by net::FaultPlan::crashes or called directly)
@@ -52,6 +59,11 @@ struct RecoveryConfig {
   /// Checkpoint cadence per managed service. Longer intervals mean more
   /// ops to replay at promotion; shorter intervals cost capture time.
   util::Duration checkpoint_interval = util::Duration::millis(250);
+  /// Every Nth checkpoint is a full frame; the N-1 between are delta
+  /// frames carrying only state dirtied since the previous capture
+  /// (services must provide the capture_delta/apply_delta hooks; ones
+  /// that don't always get full frames). 1 disables deltas entirely.
+  std::uint32_t full_checkpoint_interval = 1;
   /// Replicated op-log bound per service (oldest evicted first).
   std::size_t oplog_capacity = 4096;
 };
@@ -59,10 +71,15 @@ struct RecoveryConfig {
 /// Recovery counters. Surfaced as garnet.recovery.* / garnet.checkpoint.*
 /// via set_metrics — tests read registry snapshots.
 struct RecoveryStats {
-  std::uint64_t checkpoints_taken = 0;     ///< Frames captured on the primary.
-  std::uint64_t checkpoints_stored = 0;    ///< Frames accepted by the replica.
+  std::uint64_t checkpoints_taken = 0;     ///< Full frames captured on the primary.
+  std::uint64_t checkpoints_stored = 0;    ///< Full frames accepted by the replica.
   std::uint64_t checkpoints_rejected = 0;  ///< Frames failing decode/restore.
   std::uint64_t checkpoint_bytes_last = 0;
+  std::uint64_t deltas_taken = 0;    ///< Delta frames captured on the primary.
+  std::uint64_t deltas_stored = 0;   ///< Delta frames chained by the replica.
+  std::uint64_t deltas_rejected = 0; ///< Deltas refused (no base / epoch skew / CRC).
+  std::uint64_t deltas_applied = 0;  ///< Deltas replayed onto a restored base.
+  std::uint64_t delta_bytes_last = 0;
   std::uint64_t ops_logged = 0;      ///< Mutations appended by primaries.
   std::uint64_t ops_replicated = 0;  ///< Records accepted by the replica.
   std::uint64_t ops_replayed = 0;    ///< Records re-applied at recovery.
@@ -85,10 +102,18 @@ class RecoveryHarness {
     /// Bus endpoint names silenced while the service is crashed.
     std::vector<std::string> endpoints;
     /// Serialise current state (deterministic bytes; see checkpoint.hpp).
+    /// When the delta hooks below are set, this must also rebase the
+    /// service's dirty baseline (capture_full(), not capture_state()).
     std::function<util::Bytes()> capture;
     /// Replace state from a decoded checkpoint body. Must parse fully
     /// into temporaries before committing (never partially applies).
     std::function<util::Status<util::DecodeError>(util::BytesView)> restore;
+    /// Optional incremental pair. capture_delta serialises only state
+    /// touched since the previous capture (full or delta) and rebases;
+    /// apply_delta stacks one such body onto restored state, atomically.
+    /// Both must be set for the harness to emit delta frames.
+    std::function<util::Bytes()> capture_delta;
+    std::function<util::Status<util::DecodeError>(util::BytesView)> apply_delta;
     /// Drop all volatile state (the crash itself).
     std::function<void()> wipe;
     /// Re-apply one replicated op (optional; checkpoint-only services
@@ -142,9 +167,18 @@ class RecoveryHarness {
     // service process, so they survive the crash like a peer would).
     std::uint64_t epoch = 0;
     std::uint64_t next_lsn = 1;
-    // Replica-side copy of the service's durable state.
+    std::uint32_t deltas_since_full = 0;
+    /// Next capture must be a full frame (set after every recovery: the
+    /// promoted service's state no longer matches the replica's chain).
+    bool force_full = true;
+    // Replica-side copy of the service's durable state: the newest full
+    // frame plus the validated delta chain stacked on it.
     util::Bytes checkpoint;
     std::uint64_t checkpoint_lsn = 1;  ///< Ops < this are inside the checkpoint.
+    /// (watermark, delta frame) in arrival order; each frame's base_epoch
+    /// was checked against chain_epoch when it was accepted.
+    std::vector<std::pair<std::uint64_t, util::Bytes>> deltas;
+    std::uint64_t chain_epoch = 0;  ///< Epoch of the newest stored frame.
     core::checkpoint::OpLog log;
     std::uint64_t inputs_lost = 0;
 

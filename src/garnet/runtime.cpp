@@ -143,8 +143,10 @@ void Runtime::wire_recovery() {
   recovery_->manage({
       .name = "filtering",
       .endpoints = {},  // no bus endpoint; fed directly by the radio sink
-      .capture = [this] { return filtering_.capture_state(); },
+      .capture = [this] { return filtering_.capture_full(); },
       .restore = [this](util::BytesView state) { return filtering_.restore_state(state); },
+      .capture_delta = [this] { return filtering_.capture_delta(); },
+      .apply_delta = [this](util::BytesView delta) { return filtering_.apply_delta(delta); },
       .wipe = [this] { filtering_.reset(); },
       .apply_op =
           [this](std::uint16_t kind, util::BytesView payload) {
@@ -160,8 +162,10 @@ void Runtime::wire_recovery() {
   recovery_->manage({
       .name = "dispatch",
       .endpoints = {core::DispatchingService::kEndpointName},
-      .capture = [this] { return dispatch_.capture_state(); },
+      .capture = [this] { return dispatch_.capture_full(); },
       .restore = [this](util::BytesView state) { return dispatch_.restore_state(state); },
+      .capture_delta = [this] { return dispatch_.capture_delta(); },
+      .apply_delta = [this](util::BytesView delta) { return dispatch_.apply_delta(delta); },
       .wipe = [this] { dispatch_.reset_state(); },
       .apply_op = [this](std::uint16_t kind,
                          util::BytesView payload) { dispatch_.apply_op(kind, payload); },
@@ -174,8 +178,10 @@ void Runtime::wire_recovery() {
   recovery_->manage({
       .name = "location",
       .endpoints = {core::LocationService::kEndpointName},
-      .capture = [this] { return location_.capture_state(); },
+      .capture = [this] { return location_.capture_full(); },
       .restore = [this](util::BytesView state) { return location_.restore_state(state); },
+      .capture_delta = [this] { return location_.capture_delta(); },
+      .apply_delta = [this](util::BytesView delta) { return location_.apply_delta(delta); },
       .wipe = [this] { location_.reset_state(); },
       .apply_op = {},
       .on_restart = [this] { location_.set_receiver_layout(field_.medium().receivers()); },
@@ -184,8 +190,10 @@ void Runtime::wire_recovery() {
   recovery_->manage({
       .name = "catalog",
       .endpoints = {core::CatalogService::kEndpointName},
-      .capture = [this] { return catalog_.capture_state(); },
+      .capture = [this] { return catalog_.capture_full(); },
       .restore = [this](util::BytesView state) { return catalog_.restore_state(state); },
+      .capture_delta = [this] { return catalog_.capture_delta(); },
+      .apply_delta = [this](util::BytesView delta) { return catalog_.apply_delta(delta); },
       .wipe = [this] { catalog_.clear(); },
       .apply_op = {},
       .on_restart = {},

@@ -110,6 +110,65 @@ TEST(Checkpoint, ChecksumErrorReportedWhenStructureSurvives) {
   EXPECT_EQ(decoded.error(), DecodeError::kBadChecksum);
 }
 
+// --- delta frames ------------------------------------------------------
+
+TEST(Checkpoint, DeltaRoundTripPreservesBaseEpoch) {
+  const util::Bytes state = util::to_bytes("dirty entries + removals");
+  const util::Bytes frame = encode_delta(sample_header(), /*base_epoch=*/41, state);
+
+  const auto decoded = decode_any(frame);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().kind, FrameKind::kDelta);
+  EXPECT_EQ(decoded.value().base_epoch, 41u);
+  EXPECT_EQ(decoded.value().header.service, "dispatch");
+  EXPECT_EQ(decoded.value().header.epoch, 42u);
+  ASSERT_EQ(decoded.value().state.size(), state.size());
+  EXPECT_TRUE(std::equal(state.begin(), state.end(), decoded.value().state.begin()));
+}
+
+TEST(Checkpoint, FullOnlyDecodeRejectsDeltaFrames) {
+  // decode() is the pre-delta surface: a delta frame must look foreign
+  // (wrong magic), not like a corrupt full snapshot.
+  const util::Bytes frame = encode_delta(sample_header(), 41, util::to_bytes("x"));
+  const auto decoded = decode(frame);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.error(), DecodeError::kMalformed);
+}
+
+TEST(Checkpoint, DecodeAnyAcceptsBothKinds) {
+  const auto full = decode_any(encode(sample_header(), util::to_bytes("f")));
+  ASSERT_TRUE(full.ok());
+  EXPECT_EQ(full.value().kind, FrameKind::kFull);
+  EXPECT_EQ(full.value().base_epoch, 0u);
+
+  const auto delta = decode_any(encode_delta(sample_header(), 7, util::to_bytes("d")));
+  ASSERT_TRUE(delta.ok());
+  EXPECT_EQ(delta.value().kind, FrameKind::kDelta);
+}
+
+TEST(Checkpoint, DeltaEncodeIsByteDeterministic) {
+  const util::Bytes state = util::to_bytes("same delta, same bytes");
+  EXPECT_EQ(encode_delta(sample_header(), 41, state),
+            encode_delta(sample_header(), 41, state));
+}
+
+TEST(Checkpoint, EveryDeltaTruncationIsRejected) {
+  const util::Bytes frame = encode_delta(sample_header(), 41, util::to_bytes("payload"));
+  for (std::size_t len = 0; len < frame.size(); ++len) {
+    EXPECT_FALSE(decode_any(util::BytesView(frame.data(), len)).ok())
+        << "accepted a " << len << "-byte delta prefix";
+  }
+}
+
+TEST(Checkpoint, AnySingleBitFlipFailsTheDeltaChecksum) {
+  const util::Bytes frame = encode_delta(sample_header(), 41, util::to_bytes("guarded"));
+  for (std::size_t i = 0; i < frame.size(); ++i) {
+    util::Bytes mutated = frame;
+    mutated[i] ^= std::byte{0x01};
+    EXPECT_FALSE(decode_any(mutated).ok()) << "bit flip at byte " << i << " accepted";
+  }
+}
+
 // --- service capture/restore ------------------------------------------
 
 TEST(Checkpoint, FilteringCaptureIsDeterministicAcrossInsertionOrder) {

@@ -96,6 +96,109 @@ TEST_P(CheckpointFuzz, CheckpointDecodeRejectsVersionSkew) {
   }
 }
 
+util::Bytes valid_delta_frame(util::Rng& rng) {
+  checkpoint::Header header;
+  header.service = "fuzzed";
+  header.epoch = rng.next();
+  header.taken_at = util::SimTime{} + util::Duration::millis(static_cast<std::int64_t>(rng.below(10000)));
+  return checkpoint::encode_delta(header, rng.next(), random_bytes(rng, 96));
+}
+
+TEST_P(CheckpointFuzz, DecodeAnyNeverAcceptsRandomBytes) {
+  util::Rng rng(GetParam());
+  int accepted = 0;
+  for (int i = 0; i < 5000; ++i) {
+    if (checkpoint::decode_any(random_bytes(rng, 160)).ok()) ++accepted;
+  }
+  EXPECT_EQ(accepted, 0);
+}
+
+TEST_P(CheckpointFuzz, DeltaFramesSurviveBitFlipsAndTruncation) {
+  util::Rng rng(GetParam());
+  const util::Bytes valid = valid_delta_frame(rng);
+  for (int i = 0; i < 5000; ++i) {
+    util::Bytes mutated = valid;
+    const std::size_t flips = 1 + rng.below(4);
+    for (std::size_t f = 0; f < flips; ++f) {
+      mutated[rng.below(mutated.size())] ^= static_cast<std::byte>(1 + rng.below(255));
+    }
+    if (mutated != valid) {
+      EXPECT_FALSE(checkpoint::decode_any(mutated).ok());
+    }
+  }
+  for (std::size_t len = 0; len < valid.size(); ++len) {
+    EXPECT_FALSE(checkpoint::decode_any(util::BytesView(valid.data(), len)).ok());
+  }
+  // The full-only decoder must treat a pristine delta as foreign.
+  EXPECT_FALSE(checkpoint::decode(valid).ok());
+}
+
+TEST_P(CheckpointFuzz, FilteringApplyDeltaNeverPartiallyApplies) {
+  // Delta bodies face the same arbitrary bytes restore_state does; a
+  // rejected apply must leave the standby byte-identical, an accepted
+  // one must leave it in a state that still round-trips.
+  util::Rng rng(GetParam());
+  sim::Scheduler scheduler;
+  core::FilteringService standby(scheduler, {});
+  for (core::SequenceNo seq = 0; seq < 10; ++seq) standby.note_seen({3, 0}, seq);
+  const util::Bytes before = standby.capture_full();
+
+  for (int i = 0; i < 2000; ++i) {
+    if (!standby.apply_delta(random_bytes(rng, 128)).ok()) {
+      ASSERT_EQ(standby.capture_state(), before) << "partial apply at iteration " << i;
+    } else {
+      const util::Bytes again = standby.capture_state();
+      ASSERT_TRUE(standby.restore_state(again).ok());
+      ASSERT_TRUE(standby.restore_state(before).ok());
+    }
+  }
+}
+
+TEST_P(CheckpointFuzz, CatalogApplyDeltaNeverPartiallyApplies) {
+  util::Rng rng(GetParam());
+  core::StreamCatalog standby;
+  standby.advertise({1, 0}, "one", "temperature");
+  standby.note_message({2, 2}, util::SimTime{} + util::Duration::millis(3));
+  const util::Bytes before = standby.capture_full();
+
+  for (int i = 0; i < 2000; ++i) {
+    if (!standby.apply_delta(random_bytes(rng, 128)).ok()) {
+      ASSERT_EQ(standby.capture_state(), before) << "partial apply at iteration " << i;
+    } else {
+      ASSERT_TRUE(standby.restore_state(before).ok());
+    }
+  }
+}
+
+TEST_P(CheckpointFuzz, MutatedValidDeltaBodiesNeverCorruptFiltering) {
+  // Flipped bytes inside an otherwise well-formed delta body: parseable
+  // mutations may apply (the frame CRC upstream is the integrity guard),
+  // but nothing may crash and rejections must not partially apply.
+  util::Rng rng(GetParam());
+  sim::Scheduler scheduler;
+  core::FilteringService primary(scheduler, {});
+  core::FilteringService standby(scheduler, {});
+  for (core::SequenceNo seq = 0; seq < 10; ++seq) primary.note_seen({5, 1}, seq);
+  ASSERT_TRUE(standby.restore_state(primary.capture_full()).ok());
+  primary.note_seen({5, 1}, 10);
+  primary.note_seen({8, 0}, 2);
+  const util::Bytes valid_delta = primary.capture_delta();
+  const util::Bytes before = standby.capture_state();
+
+  for (int i = 0; i < 3000; ++i) {
+    util::Bytes mutated = valid_delta;
+    const std::size_t flips = 1 + rng.below(3);
+    for (std::size_t f = 0; f < flips; ++f) {
+      mutated[rng.below(mutated.size())] ^= static_cast<std::byte>(1 + rng.below(255));
+    }
+    if (!standby.apply_delta(mutated).ok()) {
+      ASSERT_EQ(standby.capture_state(), before);
+    } else {
+      ASSERT_TRUE(standby.restore_state(before).ok());
+    }
+  }
+}
+
 TEST_P(CheckpointFuzz, FilteringRestoreNeverPartiallyApplies) {
   util::Rng rng(GetParam());
   sim::Scheduler scheduler;

@@ -10,7 +10,9 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <optional>
 
+#include "core/wire_types.hpp"
 #include "obs/metrics.hpp"
 
 namespace garnet {
@@ -22,10 +24,25 @@ using util::SimTime;
 constexpr std::uint16_t kOpSet = 1;  ///< payload: [u32 key][u64 value]
 
 /// The service under management: a sorted table, so capture is
-/// deterministic by construction.
+/// deterministic by construction. Tracks dirty/removed keys the same
+/// way core::StreamTable does, so the delta hooks can be exercised.
 struct FakeService {
   std::map<std::uint32_t, std::uint64_t> table;
+  std::map<std::uint32_t, bool> dirty;
+  std::vector<std::uint32_t> removed;
   int restarts = 0;
+  int delta_captures = 0;
+
+  void set(std::uint32_t key, std::uint64_t value) {
+    table[key] = value;
+    dirty[key] = true;
+  }
+
+  void erase(std::uint32_t key) {
+    if (table.erase(key) == 0) return;
+    dirty.erase(key);
+    removed.push_back(key);
+  }
 
   util::Bytes capture() const {
     util::ByteWriter w(4 + table.size() * 12);
@@ -35,6 +52,48 @@ struct FakeService {
       w.u64(value);
     }
     return std::move(w).take();
+  }
+
+  util::Bytes capture_full() {
+    util::Bytes state = capture();
+    dirty.clear();
+    removed.clear();
+    return state;
+  }
+
+  util::Bytes capture_delta() {
+    ++delta_captures;
+    util::ByteWriter w(8 + removed.size() * 4 + dirty.size() * 12);
+    w.u32(static_cast<std::uint32_t>(removed.size()));
+    for (const std::uint32_t key : removed) w.u32(key);
+    w.u32(static_cast<std::uint32_t>(dirty.size()));
+    for (const auto& [key, unused] : dirty) {
+      w.u32(key);
+      w.u64(table.at(key));
+    }
+    dirty.clear();
+    removed.clear();
+    return std::move(w).take();
+  }
+
+  util::Status<util::DecodeError> apply_delta(util::BytesView delta) {
+    util::ByteReader r(delta);
+    std::vector<std::uint32_t> gone;
+    const std::uint32_t removed_count = r.u32();
+    for (std::uint32_t i = 0; i < removed_count && r.ok(); ++i) gone.push_back(r.u32());
+    std::vector<std::pair<std::uint32_t, std::uint64_t>> upserts;
+    const std::uint32_t dirty_count = r.u32();
+    for (std::uint32_t i = 0; i < dirty_count && r.ok(); ++i) {
+      const std::uint32_t key = r.u32();
+      const std::uint64_t value = r.u64();
+      upserts.emplace_back(key, value);
+    }
+    if (!r.ok() || r.remaining() != 0) return util::Err{util::DecodeError::kTruncated};
+    for (const std::uint32_t key : gone) table.erase(key);
+    for (const auto& [key, value] : upserts) table[key] = value;
+    dirty.clear();
+    removed.clear();
+    return {};
   }
 
   util::Status<util::DecodeError> restore(util::BytesView state) {
@@ -48,6 +107,8 @@ struct FakeService {
     }
     if (!r.ok() || r.remaining() != 0) return util::Err{util::DecodeError::kTruncated};
     table = std::move(next);
+    dirty.clear();
+    removed.clear();
     return {};
   }
 
@@ -75,6 +136,12 @@ struct RecoveryFixture : ::testing::Test {
     return c;
   }
 
+  static RecoveryConfig delta_config(std::uint32_t full_interval) {
+    RecoveryConfig c = config();
+    c.full_checkpoint_interval = full_interval;
+    return c;
+  }
+
   RecoveryHarness::Service service_spec(std::vector<std::string> endpoints = {}) {
     RecoveryHarness::Service spec;
     spec.name = "fake";
@@ -89,15 +156,44 @@ struct RecoveryFixture : ::testing::Test {
     return spec;
   }
 
+  /// service_spec() plus the incremental pair: full captures rebase the
+  /// dirty set, deltas carry only what changed since the last capture.
+  RecoveryHarness::Service delta_spec(std::vector<std::string> endpoints = {}) {
+    RecoveryHarness::Service spec = service_spec(std::move(endpoints));
+    spec.capture = [this] { return fake.capture_full(); };
+    spec.capture_delta = [this] { return fake.capture_delta(); };
+    spec.apply_delta = [this](util::BytesView delta) { return fake.apply_delta(delta); };
+    return spec;
+  }
+
   /// Mutates the primary AND logs the op, as a real service's runtime
   /// wiring does.
   void set_and_log(RecoveryHarness& harness, std::uint32_t key, std::uint64_t value) {
-    fake.table[key] = value;
+    fake.set(key, value);
     util::ByteWriter w(12);
     w.u32(key);
     w.u64(value);
     harness.log_op("fake", kOpSet, w.view());
   }
+
+  /// Posts a hand-built checkpoint frame straight to the replica
+  /// endpoint, exactly as the primary's take_checkpoints() wraps it —
+  /// the attack surface for delta-before-full and epoch-skew frames.
+  void post_forged_frame(const util::Bytes& frame, std::uint64_t watermark = 1) {
+    const auto replica = bus.lookup(RecoveryHarness::kReplicaEndpointName);
+    ASSERT_TRUE(replica.has_value());
+    if (!forger_.has_value()) {
+      forger_ = bus.add_endpoint("test.forger", [](net::Envelope) {});
+    }
+    util::ByteWriter w(2 + 4 + 8 + 4 + frame.size());
+    w.str("fake");
+    w.u64(watermark);
+    w.u32(static_cast<std::uint32_t>(frame.size()));
+    w.raw(frame);
+    bus.post(*forger_, *replica, core::kCheckpointReplica, util::take_shared(std::move(w)));
+  }
+
+  std::optional<net::Address> forger_;
 
   std::uint64_t counter(const char* name) { return registry.snapshot().counter(name); }
   double gauge(const char* name) { return registry.snapshot().gauge(name); }
@@ -284,6 +380,172 @@ TEST_F(RecoveryFixture, CheckpointOnlyServiceSkipsReplay) {
 
   EXPECT_EQ(fake.table, (std::map<std::uint32_t, std::uint64_t>{{5, 50}}));
   EXPECT_EQ(counter("garnet.recovery.ops_replayed"), 0u);
+}
+
+TEST_F(RecoveryFixture, DeltaChainRestoresFullPlusDeltasAtPromotion) {
+  // full_checkpoint_interval=4: one full frame, then three deltas, then
+  // the next full. Promotion must stack the chain in order — including
+  // a removal — with no op replay masking a bad chain.
+  RecoveryHarness harness(scheduler, bus, delta_config(4));
+  harness.set_metrics(registry);
+  RecoveryHarness::Service spec = delta_spec();
+  spec.apply_op = nullptr;
+  harness.manage(std::move(spec));
+
+  fake.set(1, 10);
+  fake.set(2, 20);
+  scheduler.run_for(Duration::millis(300));  // cadence 1: full frame
+  EXPECT_EQ(counter("garnet.checkpoint.taken"), 1u);
+  EXPECT_EQ(counter("garnet.checkpoint.deltas_taken"), 0u);
+
+  fake.set(3, 30);
+  fake.set(2, 21);
+  scheduler.run_for(Duration::millis(250));  // cadence 2: delta
+  fake.erase(1);
+  fake.set(4, 40);
+  scheduler.run_for(Duration::millis(250));  // cadence 3: delta
+  EXPECT_EQ(counter("garnet.checkpoint.taken"), 1u);
+  EXPECT_EQ(counter("garnet.checkpoint.deltas_taken"), 2u);
+  EXPECT_EQ(counter("garnet.checkpoint.deltas_stored"), 2u);
+  EXPECT_EQ(counter("garnet.checkpoint.deltas_rejected"), 0u);
+  EXPECT_GT(gauge("garnet.checkpoint.delta_last_bytes"), 0.0);
+  const auto expected = fake.table;
+
+  harness.crash("fake");
+  ASSERT_TRUE(fake.table.empty());
+  scheduler.run_for(Duration::seconds(1));  // watchdog promotes
+
+  EXPECT_FALSE(harness.crashed("fake"));
+  EXPECT_EQ(fake.table, expected);  // full + delta + delta, no ops
+  EXPECT_EQ(counter("garnet.checkpoint.deltas_applied"), 2u);
+  EXPECT_EQ(counter("garnet.recovery.ops_replayed"), 0u);
+}
+
+TEST_F(RecoveryFixture, EveryNthCheckpointIsFullAndRebasesTheChain) {
+  RecoveryHarness harness(scheduler, bus, delta_config(3));
+  harness.set_metrics(registry);
+  harness.manage(delta_spec());
+
+  // Cadences: full, delta, delta, full, delta, delta — interval 3.
+  for (int cadence = 0; cadence < 6; ++cadence) {
+    fake.set(static_cast<std::uint32_t>(cadence), 1);
+    scheduler.run_for(Duration::millis(250));
+  }
+  scheduler.run_for(Duration::millis(100));
+  EXPECT_EQ(counter("garnet.checkpoint.taken"), 2u);
+  EXPECT_EQ(counter("garnet.checkpoint.deltas_taken"), 4u);
+  EXPECT_EQ(counter("garnet.checkpoint.deltas_stored"), 4u);
+}
+
+TEST_F(RecoveryFixture, ServicesWithoutDeltaHooksAlwaysGetFullFrames) {
+  // The config asks for deltas but the service only has capture/restore:
+  // the harness must fall back to full frames, never emit an un-appliable
+  // delta.
+  RecoveryHarness harness(scheduler, bus, delta_config(4));
+  harness.set_metrics(registry);
+  harness.manage(service_spec());
+
+  fake.table = {{1, 1}};
+  scheduler.run_for(Duration::millis(800));  // three cadences
+  EXPECT_EQ(counter("garnet.checkpoint.taken"), 3u);
+  EXPECT_EQ(counter("garnet.checkpoint.deltas_taken"), 0u);
+}
+
+TEST_F(RecoveryFixture, RecoveryForcesAFullReanchorFrame) {
+  // After promotion the primary's state (base + deltas + replay) has
+  // diverged from the replica's chain bookkeeping; the next capture must
+  // be a full frame even mid-interval.
+  RecoveryHarness harness(scheduler, bus, delta_config(8));
+  harness.set_metrics(registry);
+  harness.manage(delta_spec());
+
+  set_and_log(harness, 1, 10);
+  scheduler.run_for(Duration::millis(300));  // cadence 1: full
+  set_and_log(harness, 2, 20);
+  scheduler.run_for(Duration::millis(250));  // cadence 2: delta
+  EXPECT_EQ(counter("garnet.checkpoint.deltas_taken"), 1u);
+
+  harness.crash("fake");
+  scheduler.run_for(Duration::seconds(1));  // promote + next cadences
+  EXPECT_FALSE(harness.crashed("fake"));
+  // Interval 8 would have allowed deltas until cadence 8; the recovery
+  // forced at least one more full frame instead.
+  EXPECT_GE(counter("garnet.checkpoint.taken"), 2u);
+}
+
+TEST_F(RecoveryFixture, DeltaBeforeAnyFullFrameIsRejected) {
+  RecoveryHarness harness(scheduler, bus, delta_config(4));
+  harness.set_metrics(registry);
+  harness.manage(delta_spec());
+
+  // Forge a well-formed delta frame before the first full checkpoint
+  // cadence ever fires: the replica has no base to chain it onto.
+  core::checkpoint::Header header;
+  header.service = "fake";
+  header.epoch = 2;
+  header.taken_at = scheduler.now();
+  fake.set(1, 10);
+  post_forged_frame(core::checkpoint::encode_delta(header, 1, fake.capture_delta()));
+  scheduler.run_for(Duration::millis(50));
+
+  EXPECT_EQ(counter("garnet.checkpoint.deltas_stored"), 0u);
+  EXPECT_EQ(counter("garnet.checkpoint.deltas_rejected"), 1u);
+}
+
+TEST_F(RecoveryFixture, EpochSkewedDeltaBreaksTheChain) {
+  RecoveryHarness harness(scheduler, bus, delta_config(8));
+  harness.set_metrics(registry);
+  RecoveryHarness::Service spec = delta_spec();
+  spec.apply_op = nullptr;
+  harness.manage(std::move(spec));
+
+  fake.set(1, 10);
+  scheduler.run_for(Duration::millis(300));  // cadence 1: full, chain epoch 1
+  EXPECT_EQ(counter("garnet.checkpoint.taken"), 1u);
+
+  // A delta claiming base epoch 5 models a lost replica envelope: the
+  // chain head is epoch 1, so the frame must be refused even though its
+  // CRC and framing are valid.
+  core::checkpoint::Header header;
+  header.service = "fake";
+  header.epoch = 6;
+  header.taken_at = scheduler.now();
+  fake.set(2, 20);
+  post_forged_frame(core::checkpoint::encode_delta(header, 5, fake.capture_delta()), 2);
+  scheduler.run_for(Duration::millis(50));
+  EXPECT_EQ(counter("garnet.checkpoint.deltas_stored"), 0u);
+  EXPECT_EQ(counter("garnet.checkpoint.deltas_rejected"), 1u);
+
+  // Promotion before the chain heals restores the last full frame only:
+  // the skewed delta (and the mutation it carried) never applied.
+  harness.crash("fake");
+  scheduler.run_for(Duration::seconds(1));
+  EXPECT_EQ(fake.table, (std::map<std::uint32_t, std::uint64_t>{{1, 10}}));
+}
+
+TEST_F(RecoveryFixture, CorruptDeltaFrameIsRejectedAtReceipt) {
+  RecoveryHarness harness(scheduler, bus, delta_config(4));
+  harness.set_metrics(registry);
+  harness.manage(delta_spec());
+
+  fake.set(1, 10);
+  scheduler.run_for(Duration::millis(300));  // full frame stored
+  core::checkpoint::Header header;
+  header.service = "fake";
+  header.epoch = 2;
+  header.taken_at = scheduler.now();
+  fake.set(2, 20);
+  util::Bytes frame = core::checkpoint::encode_delta(header, 1, fake.capture_delta());
+  frame[frame.size() / 2] ^= std::byte{0x40};  // bit flip inside the frame
+  post_forged_frame(frame, 2);
+  scheduler.run_for(Duration::millis(50));
+
+  EXPECT_EQ(counter("garnet.checkpoint.deltas_stored"), 0u);
+  // CRC failures surface as checkpoint rejections (decode_any fails
+  // before the frame kind is even known).
+  EXPECT_GE(counter("garnet.checkpoint.rejected") +
+                counter("garnet.checkpoint.deltas_rejected"),
+            1u);
 }
 
 }  // namespace
