@@ -38,6 +38,12 @@ scripts/run_experiments.sh "$PERF_BUILD_DIR" --benchmark_min_time=0.05
 # flood, control-plane traffic never was.
 scripts/check_overload_report.py "$PERF_BUILD_DIR/bench-results/BENCH_overload.json"
 
+# Dispatch gate: the shard sweep in BENCH_dispatch.json must show the
+# sharded plane scaling — critical-path throughput >= 2.5x at 4 shards
+# vs 1 — with zero control-plane shed at any shard count, and the
+# zero-copy fan-out pins (1 alloc, 0 copies per message) still holding.
+scripts/check_dispatch_report.py "$PERF_BUILD_DIR/bench-results/BENCH_dispatch.json"
+
 # Recovery gate: the crash-cycle bench's snapshot must show every
 # crashed service recovered and zero duplicate deliveries after the
 # promotion (checkpoint + op-log + stash replay closed the gap exactly).
@@ -55,16 +61,18 @@ scripts/check_scale_report.py "$PERF_BUILD_DIR/bench-results/BENCH_scale.json"
 # newest sample (docs/GATEWAY.md contract).
 scripts/check_gateway_report.py "$PERF_BUILD_DIR/bench-results/BENCH_gateway.json"
 
-# Leg 3 — data races at the socket boundary: TSan over the gateway
-# suite, which crosses real kernel sockets (PosixTransport) and the
-# loopback seam in one process. The gateway is deliberately
-# single-threaded around poll(2); TSan proves no hidden thread sneaks
-# into the delivery path.
+# Leg 3 — data races: TSan over the two places real threads exist.
+# The gateway suite crosses kernel sockets (PosixTransport) and the
+# loopback seam in one process and must stay single-threaded around
+# poll(2); the worker-pool and shard-plane suites run the sharded
+# dispatch rounds on genuine pinned workers and must prove the
+# partition shares nothing.
 cmake -B "$TSAN_BUILD_DIR" -S . "${GENERATOR_ARGS[@]}" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DGARNET_SANITIZE=thread
-cmake --build "$TSAN_BUILD_DIR" -j "$(nproc)" --target garnet_gw_tests
+cmake --build "$TSAN_BUILD_DIR" -j "$(nproc)" \
+  --target garnet_gw_tests garnet_sim_tests garnet_runtime_tests
 ctest --test-dir "$TSAN_BUILD_DIR" --output-on-failure -j "$(nproc)" \
-  --tests-regex '(Gateway|GatewaySockets|LoopbackTransport|PosixTransport)'
+  --tests-regex '(Gateway|GatewaySockets|LoopbackTransport|PosixTransport|WorkerPool|ShardPlane)'
 
 echo "CI OK: tests green, bench reports in $PERF_BUILD_DIR/bench-results"

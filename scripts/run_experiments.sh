@@ -47,3 +47,37 @@ done
 
 echo "==== machine-readable reports ($GARNET_BENCH_JSON_DIR) ===="
 ls -1 "$GARNET_BENCH_JSON_DIR"/BENCH_*.json 2>/dev/null || echo "(none produced)"
+
+# Every report must carry its schema's required top-level keys — the
+# telemetry exposition (docs/OBSERVABILITY.md) or the structured
+# experiment report (bench_scale's per-tier table); a truncated or
+# malformed file fails the run instead of silently poisoning the
+# downstream gates and tables.
+for report in "$GARNET_BENCH_JSON_DIR"/BENCH_*.json; do
+  [ -e "$report" ] || continue
+  if ! python3 - "$report" <<'PY'
+import json
+import sys
+
+TELEMETRY_KEYS = ("captured_at_ns", "metrics")
+EXPERIMENT_KEYS = ("experiment", "tiers")
+
+path = sys.argv[1]
+try:
+    with open(path, encoding="utf-8") as fh:
+        report = json.load(fh)
+except (OSError, json.JSONDecodeError) as err:
+    print(f"error: {path} is not readable JSON: {err}", file=sys.stderr)
+    sys.exit(1)
+required = EXPERIMENT_KEYS if "experiment" in report else TELEMETRY_KEYS
+missing = [key for key in required if key not in report]
+if missing:
+    print(f"error: {path} is missing required top-level keys: {missing}", file=sys.stderr)
+    sys.exit(1)
+PY
+  then
+    echo "error: report validation failed for $report" >&2
+    exit 1
+  fi
+done
+echo "all reports carry the required top-level keys"

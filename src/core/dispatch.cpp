@@ -17,6 +17,26 @@ namespace {
 
 }  // namespace
 
+DispatchStats& DispatchStats::operator+=(const DispatchStats& other) noexcept {
+  messages_in += other.messages_in;
+  derived_in += other.derived_in;
+  copies_delivered += other.copies_delivered;
+  orphaned += other.orphaned;
+  acks_observed += other.acks_observed;
+  rejected_publishes += other.rejected_publishes;
+  credits_exhausted += other.credits_exhausted;
+  quarantines += other.quarantines;
+  quarantine_sheds += other.quarantine_sheds;
+  credit_acks += other.credit_acks;
+  resumes += other.resumes;
+  resume_redelivered += other.resume_redelivered;
+  resume_discarded += other.resume_discarded;
+  resume_returned += other.resume_returned;
+  recovery_replayed += other.recovery_replayed;
+  recovery_returned += other.recovery_returned;
+  return *this;
+}
+
 DispatchingService::DispatchingService(net::MessageBus& bus, AuthService& auth,
                                        StreamCatalog& catalog)
     : bus_(bus),

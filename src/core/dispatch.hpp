@@ -47,6 +47,10 @@ struct DispatchStats {
   // Crash recovery (zero unless replay_stash() ran):
   std::uint64_t recovery_replayed = 0;   ///< Crash-window frames re-dispatched after restart.
   std::uint64_t recovery_returned = 0;   ///< Pre-crash frames re-stashed during replay.
+
+  /// Cross-shard aggregation: the shard plane sums its per-shard
+  /// dispatchers' ledgers into one plane-wide view at the merge barrier.
+  DispatchStats& operator+=(const DispatchStats& other) noexcept;
 };
 
 /// Op-log record kinds emitted through set_op_sink() and consumed by

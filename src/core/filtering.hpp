@@ -49,6 +49,20 @@ struct FilteringStats {
   std::uint64_t reordered = 0;        ///< Messages held then released in order.
   std::uint64_t streams_seen = 0;     ///< Distinct StreamIds reconstructed.
   std::uint64_t relayed_copies = 0;   ///< Copies that arrived via a relay hop.
+
+  /// Cross-shard aggregation: each shard reconstructs a disjoint slice
+  /// of the stream space, so the plane-wide view is a plain sum.
+  FilteringStats& operator+=(const FilteringStats& other) noexcept {
+    copies_in += other.copies_in;
+    malformed += other.malformed;
+    duplicates_dropped += other.duplicates_dropped;
+    stale_dropped += other.stale_dropped;
+    messages_out += other.messages_out;
+    reordered += other.reordered;
+    streams_seen += other.streams_seen;
+    relayed_copies += other.relayed_copies;
+    return *this;
+  }
 };
 
 /// Filtering's single op-log record kind (garnet/recovery): one message

@@ -99,6 +99,13 @@ class RecoveryHarness {
   /// thread; capture/restore use the service's core/checkpoint framing.
   struct Service {
     std::string name;
+    /// Optional re-anchor group. Services sharing a non-empty group are
+    /// slices of one logical plane (the shard plane registers each shard
+    /// as "dispatch.shard<i>" under one group): when any member is
+    /// recovered, *every* member's next checkpoint is forced full, so
+    /// the replica's delta chains for all slices re-anchor together and
+    /// a cross-shard restore never mixes pre- and post-promotion bases.
+    std::string group;
     /// Bus endpoint names silenced while the service is crashed.
     std::vector<std::string> endpoints;
     /// Serialise current state (deterministic bytes; see checkpoint.hpp).

@@ -34,6 +34,7 @@
 #include "core/replicator.hpp"
 #include "core/resource.hpp"
 #include "garnet/recovery.hpp"
+#include "garnet/shard_plane.hpp"
 #include "net/bus.hpp"
 #include "obs/telemetry.hpp"
 #include "sim/scheduler.hpp"
@@ -84,6 +85,13 @@ class Runtime {
     core::ActuationService::Config actuation;
     core::SuperCoordinator::Config coordinator;
     obs::Tracer::Config trace;
+
+    /// Opt-in multi-core dispatch: a hash-partitioned plane of shard
+    /// pipelines beside the classic single-threaded one (embedders route
+    /// bulk ingress through it; the radio path is untouched). Enabled by
+    /// setting shard_plane.shards > 1, or shard_plane_enabled for N=1.
+    ShardPlaneConfig shard_plane;
+    bool shard_plane_enabled = false;
 
     /// Re-publish location estimates as a subscribable derived stream
     /// (paper §2 treats location as "any other data stream").
@@ -163,6 +171,10 @@ class Runtime {
   [[nodiscard]] core::CatalogService& catalog_service() noexcept { return catalog_service_; }
   /// Crash-recovery harness; nullptr unless Config::recovery.enabled.
   [[nodiscard]] RecoveryHarness* recovery() noexcept { return recovery_.get(); }
+  /// Sharded dispatch plane; nullptr unless Config::shard_plane_enabled
+  /// or Config::shard_plane.shards > 1. When recovery is also enabled,
+  /// every shard checkpoints under the "dispatch-plane" re-anchor group.
+  [[nodiscard]] ShardedDispatchPlane* shard_plane() noexcept { return shard_plane_.get(); }
   /// Metrics registry + message tracer; every service is wired into it.
   [[nodiscard]] obs::Telemetry& telemetry() noexcept { return telemetry_; }
 
@@ -196,6 +208,8 @@ class Runtime {
   core::ActuationService actuation_;
   core::SuperCoordinator coordinator_;
   core::CatalogService catalog_service_;
+  /// Optional multi-core dispatch plane (Config::shard_plane).
+  std::unique_ptr<ShardedDispatchPlane> shard_plane_;
   /// Declared after every service it manages: destroyed first, so its
   /// collector/timers never outlive the services its hooks capture.
   std::unique_ptr<RecoveryHarness> recovery_;

@@ -171,13 +171,28 @@ std::size_t MessageBus::total_inbox_depth() const {
   return total;
 }
 
-std::string MessageBus::shed_journal_text() const {
+std::string render_shed_record(const ShedRecord& record) {
   std::ostringstream out;
-  for (const ShedRecord& record : shed_journal_) {
-    out << record.at.ns << " shed " << to_string(record.cls) << ' ' << to_string(record.policy)
-        << ' ' << record.from << "->" << record.to << " type=" << record.type << '\n';
-  }
+  out << record.at.ns << " shed " << to_string(record.cls) << ' ' << to_string(record.policy)
+      << ' ' << record.from << "->" << record.to << " type=" << record.type << '\n';
   return out.str();
+}
+
+bool shed_merge_before(const ShedRecord& a, const ShedRecord& b) {
+  if (a.at != b.at) return a.at < b.at;
+  if (a.to != b.to) return a.to < b.to;
+  if (a.from != b.from) return a.from < b.from;
+  if (a.type != b.type) return a.type < b.type;
+  if (a.cls != b.cls) return a.cls < b.cls;
+  return a.policy < b.policy;
+}
+
+std::string MessageBus::shed_journal_text() const {
+  std::string out;
+  for (const ShedRecord& record : shed_journal_) {
+    out += render_shed_record(record);
+  }
+  return out;
 }
 
 void MessageBus::shed(const Envelope& envelope, TrafficClass cls, OverflowPolicy policy) {

@@ -112,6 +112,18 @@ struct ShedRecord {
   std::uint16_t type = 0;
 };
 
+/// Canonical one-line rendering of one shed event — shared by the bus's
+/// own journal and the shard plane's cross-shard merge, so both produce
+/// byte-identical text for identical records.
+[[nodiscard]] std::string render_shed_record(const ShedRecord& record);
+
+/// Total order used by the shard plane's deterministic merge: ascending
+/// (virtual time, destination, source, type, class, policy). Records a
+/// single endpoint pair sheds at distinct times sort by time alone, so
+/// a link that lives wholly on one shard renders identically at any
+/// shard count; cross-link ties break by name, never by shard index.
+[[nodiscard]] bool shed_merge_before(const ShedRecord& a, const ShedRecord& b);
+
 class MessageBus {
  public:
   struct Config {
@@ -195,6 +207,11 @@ class MessageBus {
   /// Deterministic one-line-per-shed rendering for replay comparison
   /// (empty unless Config::shed_journal_limit > 0).
   [[nodiscard]] std::string shed_journal_text() const;
+  /// The raw journal records (the shard plane merges these across its
+  /// per-shard buses before rendering).
+  [[nodiscard]] const std::vector<ShedRecord>& shed_journal() const noexcept {
+    return shed_journal_;
+  }
 
   /// Queued envelopes at one endpoint (0 for inactive inboxes or unknown
   /// addresses); the in-service envelope is not counted.

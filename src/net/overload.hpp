@@ -92,6 +92,19 @@ struct ShedStats {
   [[nodiscard]] std::uint64_t control_total() const noexcept {
     return control_drop_newest + control_drop_oldest + control_reject_nack;
   }
+
+  /// Cross-shard aggregation (each shard's bus keeps its own ledger; the
+  /// plane sums them at the merge barrier).
+  ShedStats& operator+=(const ShedStats& other) noexcept {
+    data_drop_newest += other.data_drop_newest;
+    data_drop_oldest += other.data_drop_oldest;
+    data_reject_nack += other.data_reject_nack;
+    control_drop_newest += other.control_drop_newest;
+    control_drop_oldest += other.control_drop_oldest;
+    control_reject_nack += other.control_reject_nack;
+    nacks_sent += other.nacks_sent;
+    return *this;
+  }
 };
 
 }  // namespace garnet::net

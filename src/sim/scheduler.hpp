@@ -51,6 +51,13 @@ class Scheduler {
   /// Runs for `span` of virtual time from now.
   std::size_t run_for(util::Duration span) { return run_until(now_ + span); }
 
+  /// Advances the clock to `at` without expecting any work: the shard
+  /// plane's merge barrier re-aligns every per-shard virtual clock to
+  /// the round's maximum with this. Events due at or before `at` (there
+  /// normally are none — shards drain before merging) still run, so
+  /// time never jumps over pending work. Returns the events executed.
+  std::size_t advance_to(util::SimTime at) { return run_until(at); }
+
   [[nodiscard]] bool idle() const noexcept { return pending_.empty(); }
   [[nodiscard]] std::size_t pending() const noexcept { return pending_.size(); }
   [[nodiscard]] std::uint64_t executed() const noexcept { return executed_; }

@@ -1,0 +1,94 @@
+#include "sim/worker_pool.hpp"
+
+#include <chrono>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#include <time.h>
+#endif
+
+namespace garnet::sim {
+
+std::uint64_t thread_cpu_now_ns() {
+#if defined(__linux__)
+  timespec ts{};
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0) {
+    return static_cast<std::uint64_t>(ts.tv_sec) * 1'000'000'000ull +
+           static_cast<std::uint64_t>(ts.tv_nsec);
+  }
+#endif
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+WorkerPool::WorkerPool(Config config) {
+  threads_.reserve(config.workers);
+  for (std::size_t i = 0; i < config.workers; ++i) {
+    threads_.emplace_back([this, i, pin = config.pin_threads] { worker_main(i, pin); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void WorkerPool::run(const std::vector<Task>& tasks) {
+  if (threads_.empty()) {
+    for (const Task& task : tasks) task();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    tasks_ = &tasks;
+    remaining_ = threads_.size();
+    ++round_;
+  }
+  work_cv_.notify_all();
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [this] { return remaining_ == 0; });
+  tasks_ = nullptr;
+}
+
+void WorkerPool::worker_main(std::size_t index, bool pin) {
+#if defined(__linux__)
+  if (pin) {
+    const unsigned cores = std::thread::hardware_concurrency();
+    if (cores > 0) {
+      cpu_set_t set;
+      CPU_ZERO(&set);
+      CPU_SET(index % cores, &set);
+      pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+    }
+  }
+#else
+  (void)pin;
+#endif
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::vector<Task>* tasks = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [&] { return stop_ || round_ != seen; });
+      if (stop_) return;
+      seen = round_;
+      tasks = tasks_;
+    }
+    for (std::size_t i = index; i < tasks->size(); i += threads_.size()) {
+      (*tasks)[i]();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--remaining_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace garnet::sim

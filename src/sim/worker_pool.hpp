@@ -1,0 +1,76 @@
+// Pinned worker pool for the sharded dispatch plane.
+//
+// The deterministic scheduler is single-threaded by design; the shard
+// plane (garnet/shard_plane.hpp) gets multi-core out of it by running N
+// independent shards — each with its own scheduler, bus, and service
+// state — and handing each shard's batch to a dedicated worker. This
+// pool is that execution substrate:
+//
+//   * task i of a round always runs on worker (i mod workers) — a fixed,
+//     deterministic assignment with no work stealing, so a shard's state
+//     is only ever touched by one thread and same-seed runs schedule
+//     identically;
+//   * run() is a barrier: it returns only after every task of the round
+//     has finished, which is the plane's cross-shard merge point;
+//   * workers are pinned round-robin to CPUs (Linux; elsewhere pinning
+//     is a no-op), so shard caches stay warm across rounds.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace garnet::sim {
+
+/// Monotonic per-thread CPU time in nanoseconds. Unlike a wall clock it
+/// excludes time the thread spends descheduled, so per-shard busy time
+/// measures the shard's *critical path* — comparable across hosts even
+/// when more workers than cores timeshare (bench_dispatch's scaling
+/// sweep is built on this).
+[[nodiscard]] std::uint64_t thread_cpu_now_ns();
+
+class WorkerPool {
+ public:
+  struct Config {
+    /// Worker threads. 0 = no threads: run() executes tasks inline on
+    /// the caller, in index order (the deterministic serial mode).
+    std::size_t workers = 0;
+    /// Pin worker i to CPU (i mod hardware cores). Linux only.
+    bool pin_threads = true;
+  };
+
+  using Task = std::function<void()>;
+
+  explicit WorkerPool(Config config);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Runs every task of `tasks` and blocks until all have returned.
+  /// Task i runs on worker (i mod workers); tasks sharing a worker run
+  /// in ascending index order. Tasks must not throw and must not touch
+  /// state owned by another task of the same round.
+  void run(const std::vector<Task>& tasks);
+
+  /// Live worker threads (0 in inline mode).
+  [[nodiscard]] std::size_t workers() const noexcept { return threads_.size(); }
+
+ private:
+  void worker_main(std::size_t index, bool pin);
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  const std::vector<Task>* tasks_ = nullptr;  ///< Valid for the active round.
+  std::uint64_t round_ = 0;                   ///< Generation counter.
+  std::size_t remaining_ = 0;                 ///< Workers still in the round.
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace garnet::sim
