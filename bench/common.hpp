@@ -11,12 +11,49 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
+#include <string_view>
 
 #include "core/message.hpp"
 #include "util/rng.hpp"
 
 namespace garnet::bench {
+
+/// How a bench configures admission control (net/admission.hpp):
+/// kProbed runs the throughput-probing controller, kStatic freezes the
+/// ticket pools at their initial size — the pre-admission behaviour, so
+/// old sweeps stay reproducible (`--admission=static`).
+enum class AdmissionMode { kProbed, kStatic };
+
+inline AdmissionMode& admission_mode() {
+  static AdmissionMode mode = AdmissionMode::kProbed;
+  return mode;
+}
+
+/// Strips Garnet-specific flags from argv before benchmark::Initialize
+/// (google-benchmark exits on arguments it does not recognise):
+///   --admission=static|probed   sets admission_mode()
+///   --probe                     sets *probe_only (run only the probe
+///                               sweep; callers translate it into a
+///                               --benchmark_filter)
+/// Unknown arguments pass through untouched.
+inline void parse_garnet_flags(int& argc, char** argv, bool* probe_only = nullptr) {
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--admission=static") {
+      admission_mode() = AdmissionMode::kStatic;
+    } else if (arg == "--admission=probed") {
+      admission_mode() = AdmissionMode::kProbed;
+    } else if (arg == "--probe") {
+      if (probe_only != nullptr) *probe_only = true;
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+}
 
 /// Deterministic random payload of `size` bytes.
 inline util::Bytes random_payload(util::Rng& rng, std::size_t size) {

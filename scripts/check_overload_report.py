@@ -10,9 +10,18 @@ overload layer's contract from docs/FAULT_MODEL.md:
   2. the flood actually exercised the shedding path (data sheds or
      quarantines are nonzero — a silently idle gate proves nothing);
   3. every control-plane probe was answered (no discovery went dark).
+
+It also gates the A5b adaptive-admission sweep riding in the same
+report (bench.overload.probe_* metrics): at every payload size in the
+10x spread, the throughput-probed run — started from one untuned
+initial pool size — must reach >= MIN_CONVERGENCE x the best static
+ticket setting, with zero control-plane shed and zero unanswered
+discoveries in every probe cell.
 """
 import json
 import sys
+
+MIN_CONVERGENCE = 0.9
 
 
 def main() -> int:
@@ -25,6 +34,10 @@ def main() -> int:
     shed = {"control": 0.0, "data": 0.0}
     quarantines = 0.0
     unanswered = None
+    probed = {}       # payload -> goodput of the probed run
+    best_static = {}  # payload -> best static-ticket goodput
+    probe_control_sheds = 0.0
+    probe_unanswered = 0.0
     for metric in report["metrics"]:
         name = metric["name"]
         if name == "garnet.bus.shed":
@@ -33,8 +46,38 @@ def main() -> int:
             quarantines = metric["value"]
         elif name == "bench.overload.discoveries_unanswered":
             unanswered = metric["value"]
+        elif name == "bench.overload.probe_goodput":
+            if metric["labels"]["mode"] == "probed":
+                probed[metric["labels"]["payload"]] = metric["value"]
+        elif name == "bench.overload.probe_best_static":
+            best_static[metric["labels"]["payload"]] = metric["value"]
+        elif name == "bench.overload.probe_control_sheds":
+            probe_control_sheds += metric["value"]
+        elif name == "bench.overload.probe_unanswered":
+            probe_unanswered += metric["value"]
 
     failures = []
+    if not probed or set(probed) != set(best_static):
+        failures.append(
+            "admission probe sweep missing or incomplete "
+            f"(probed payloads {sorted(probed)} vs static {sorted(best_static)})"
+        )
+    for payload, goodput in sorted(probed.items()):
+        target = best_static.get(payload, 0.0) * MIN_CONVERGENCE
+        if goodput < target:
+            failures.append(
+                f"probed goodput did not converge at payload={payload}: "
+                f"{goodput:.0f} < {MIN_CONVERGENCE} x best static "
+                f"({best_static.get(payload, 0.0):.0f})"
+            )
+    if probe_control_sheds > 0:
+        failures.append(
+            f"admission sweep shed control-plane traffic ({probe_control_sheds:.0f} envelopes)"
+        )
+    if probe_unanswered > 0:
+        failures.append(
+            f"{probe_unanswered:.0f} discoveries went unanswered during the admission sweep"
+        )
     if shed["control"] > 0:
         failures.append(
             f"control-plane traffic was shed ({shed['control']:.0f} envelopes) — "
@@ -51,9 +94,14 @@ def main() -> int:
         for failure in failures:
             print(f"overload gate FAILED: {failure}", file=sys.stderr)
         return 1
+    ratios = ", ".join(
+        f"payload {payload}: {goodput / best_static[payload]:.2f}x best static"
+        for payload, goodput in sorted(probed.items())
+        if best_static.get(payload)
+    )
     print(
         f"overload gate OK: data sheds={shed['data']:.0f}, quarantines={quarantines:.0f}, "
-        f"control sheds=0, all discoveries answered"
+        f"control sheds=0, all discoveries answered; probe convergence [{ratios}]"
     )
     return 0
 

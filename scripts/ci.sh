@@ -35,7 +35,9 @@ scripts/run_experiments.sh "$PERF_BUILD_DIR" --benchmark_min_time=0.05
 
 # Overload gate: the flood bench's telemetry snapshot must show the
 # priority invariant held — data-plane traffic was shed under the 10x
-# flood, control-plane traffic never was.
+# flood, control-plane traffic never was — and the adaptive-admission
+# sweep converged: the throughput-probed pool reaches >= 0.9x the best
+# static ticket setting at every payload size with zero control shed.
 scripts/check_overload_report.py "$PERF_BUILD_DIR/bench-results/BENCH_overload.json"
 
 # Dispatch gate: the shard sweep in BENCH_dispatch.json must show the
@@ -66,13 +68,15 @@ scripts/check_gateway_report.py "$PERF_BUILD_DIR/bench-results/BENCH_gateway.jso
 # loopback seam in one process and must stay single-threaded around
 # poll(2); the worker-pool and shard-plane suites run the sharded
 # dispatch rounds on genuine pinned workers and must prove the
-# partition shares nothing.
+# partition shares nothing. The admission suites ride along: the plane's
+# gate runs probe ticks at the merge barrier while worker threads exist,
+# and must stay off their shards.
 cmake -B "$TSAN_BUILD_DIR" -S . "${GENERATOR_ARGS[@]}" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DGARNET_SANITIZE=thread
 cmake --build "$TSAN_BUILD_DIR" -j "$(nproc)" \
-  --target garnet_gw_tests garnet_sim_tests garnet_runtime_tests
+  --target garnet_gw_tests garnet_sim_tests garnet_runtime_tests garnet_net_tests
 ctest --test-dir "$TSAN_BUILD_DIR" --output-on-failure -j "$(nproc)" \
-  --tests-regex '(Gateway|GatewaySockets|LoopbackTransport|PosixTransport|WorkerPool|ShardPlane)'
+  --tests-regex '(Gateway|GatewaySockets|LoopbackTransport|PosixTransport|WorkerPool|ShardPlane|Admission)'
 
 echo "CI OK: tests green, bench reports in $PERF_BUILD_DIR/bench-results"

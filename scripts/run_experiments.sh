@@ -74,6 +74,19 @@ missing = [key for key in required if key not in report]
 if missing:
     print(f"error: {path} is missing required top-level keys: {missing}", file=sys.stderr)
     sys.exit(1)
+
+# BENCH_overload.json additionally carries the A5b admission-probe
+# comparison; a report without it means the sweep was filtered out or
+# silently broke, which would turn the downstream convergence gate
+# (scripts/check_overload_report.py) into a vacuous pass.
+if path.endswith("BENCH_overload.json"):
+    names = {metric.get("name") for metric in report.get("metrics", [])}
+    probe_keys = ("bench.overload.probe_goodput", "bench.overload.probe_best_static",
+                  "bench.overload.probe_final_tickets")
+    absent = [key for key in probe_keys if key not in names]
+    if absent:
+        print(f"error: {path} is missing admission-probe metrics: {absent}", file=sys.stderr)
+        sys.exit(1)
 PY
   then
     echo "error: report validation failed for $report" >&2

@@ -27,6 +27,11 @@ net::MessageBus::Config bus_config(const Runtime::Config& config) {
   // that the flood makes more likely to be needed.
   bus.control_types.push_back(core::kCheckpointReplica);
   bus.control_types.push_back(core::kOpLogRecord);
+  // Admission's own wire surface is control plane: ticket releases and
+  // goodput reports are what let the gate relax, so shedding them under
+  // a data flood would lock the pool at its most pessimistic size.
+  bus.control_types.push_back(core::kAdmissionRelease);
+  bus.control_types.push_back(core::kGoodputReport);
   return bus;
 }
 
@@ -52,6 +57,26 @@ Runtime::Runtime(Config config)
     flow.credit_window = config_.overload.credit_window;
     flow.resume_threshold = config_.overload.resume_threshold;
     dispatch_.set_flow_control(flow);
+  }
+  if (config_.admission.enabled) {
+    admission_ = std::make_unique<net::AdmissionGate>(config_.admission);
+    admission_->set_metrics(telemetry_.registry);
+    // Goodput the controller steers on: deliveries that reached a
+    // consumer, minus work admitted and then shed downstream anyway
+    // (bounded-inbox data sheds + zero-credit quarantine sheds) —
+    // admitting more than the pipeline can serve scores zero.
+    admission_->set_goodput_source([this](std::uint64_t& delivered, std::uint64_t& wasted) {
+      delivered = dispatch_.stats().copies_delivered;
+      wasted = bus_.shed_stats().data_total() + dispatch_.stats().quarantine_sheds;
+    });
+    if (config_.admission.derive_credit_window && config_.overload.credit_window > 0) {
+      admission_->set_resize_listener([this](std::uint32_t size) {
+        core::FlowControlConfig flow;
+        flow.credit_window = size;
+        flow.resume_threshold = config_.overload.resume_threshold;
+        dispatch_.set_flow_control(flow);
+      });
+    }
   }
   if (config_.recovery.enabled) {
     recovery_ = std::make_unique<RecoveryHarness>(scheduler_, bus_, config_.recovery);
@@ -84,12 +109,27 @@ void Runtime::wire_services() {
   // process to ingest into: its inputs are counted lost (the radio does
   // not buffer; the sensors keep transmitting regardless).
   field_.medium().set_uplink_sink([this](const wireless::ReceptionReport& report) {
+    // Admission gates the door before any middleware work: a refused
+    // copy costs the pipeline nothing downstream.
+    if (admission_ && !admission_->admit_data(scheduler_.now())) return;
     if (recovery_ && recovery_->crashed("filtering")) {
       recovery_->note_lost_input("filtering");
       return;
     }
     filtering_.ingest(report);
   });
+
+  // Admission's wire surface: peers (remote gateways, external delivery
+  // sinks) release tickets early or report goodput the gate cannot see.
+  if (admission_ != nullptr) {
+    bus_.add_endpoint("admission", [this](net::Envelope envelope) {
+      if (envelope.type == core::kAdmissionRelease) {
+        admission_->on_wire_release(envelope.payload, scheduler_.now());
+      } else if (envelope.type == core::kGoodputReport) {
+        admission_->on_wire_goodput(envelope.payload);
+      }
+    });
+  }
 
   // Filtering feeds Dispatching (unique messages) and Location (copies).
   filtering_.set_message_sink([this](const core::DataMessage& message, util::SimTime heard) {
@@ -331,8 +371,9 @@ void Runtime::publish_location(core::SensorId sensor, const core::LocationEstima
 }
 
 void Runtime::inject_external(const core::DataMessageView& message) {
-  ++external_in_;
   const util::SimTime now = scheduler_.now();
+  if (admission_ && !admission_->admit_data(now)) return;
+  ++external_in_;
   if (recovery_ && recovery_->crashed("dispatch")) {
     // Same parking contract as filtered traffic: the stash holds the
     // crash-window frame until dispatch's replay_stash() sweeps it.

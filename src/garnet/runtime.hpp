@@ -35,6 +35,7 @@
 #include "core/resource.hpp"
 #include "garnet/recovery.hpp"
 #include "garnet/shard_plane.hpp"
+#include "net/admission.hpp"
 #include "net/bus.hpp"
 #include "obs/telemetry.hpp"
 #include "sim/scheduler.hpp"
@@ -71,6 +72,14 @@ class Runtime {
     /// Overload control (bounded inboxes, breakers, backpressure).
     /// Inbox/breaker fields override their `bus` counterparts.
     OverloadConfig overload;
+    /// Adaptive admission control (net/admission.hpp): throughput-probed
+    /// ticket pools gating the data-ingest door (radio uplinks and
+    /// inject_external). Off by default. When enabled alongside
+    /// overload.credit_window and derive_credit_window, the dispatch
+    /// credit window tracks the probed data-pool size instead of staying
+    /// a hand-tuned constant. Control-plane traffic (heartbeats, breaker
+    /// probes, credits) never touches the data pool.
+    net::AdmissionConfig admission;
     /// Crash recovery: checkpoints + replicated op-logs for the stateful
     /// services (filtering, dispatch, location, catalog). Off by default;
     /// when enabled, FaultPlan::crashes can kill and revive any of them
@@ -142,6 +151,9 @@ class Runtime {
   /// First-heard is stamped "now". With crash recovery enabled and
   /// dispatch down, the frame parks in the Orphanage stash exactly like
   /// filtered traffic, and replay_stash() recovers it after promotion.
+  /// With admission enabled, the frame must first win a data ticket;
+  /// refused frames are shed at the door (admission stats count them)
+  /// and are not counted in external_in().
   void inject_external(const core::DataMessageView& message);
 
   /// Externally-injected messages accepted so far (inject_external).
@@ -171,6 +183,10 @@ class Runtime {
   [[nodiscard]] core::CatalogService& catalog_service() noexcept { return catalog_service_; }
   /// Crash-recovery harness; nullptr unless Config::recovery.enabled.
   [[nodiscard]] RecoveryHarness* recovery() noexcept { return recovery_.get(); }
+  /// Admission gate; nullptr unless Config::admission.enabled. Also
+  /// reachable over the wire: the runtime registers an "admission" bus
+  /// endpoint accepting kAdmissionRelease / kGoodputReport frames.
+  [[nodiscard]] net::AdmissionGate* admission() noexcept { return admission_.get(); }
   /// Sharded dispatch plane; nullptr unless Config::shard_plane_enabled
   /// or Config::shard_plane.shards > 1. When recovery is also enabled,
   /// every shard checkpoints under the "dispatch-plane" re-anchor group.
@@ -208,6 +224,9 @@ class Runtime {
   core::ActuationService actuation_;
   core::SuperCoordinator coordinator_;
   core::CatalogService catalog_service_;
+  /// Optional admission gate (Config::admission). Declared before the
+  /// plane/harness so its resize listener outlives neither.
+  std::unique_ptr<net::AdmissionGate> admission_;
   /// Optional multi-core dispatch plane (Config::shard_plane).
   std::unique_ptr<ShardedDispatchPlane> shard_plane_;
   /// Declared after every service it manages: destroyed first, so its

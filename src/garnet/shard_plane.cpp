@@ -60,6 +60,31 @@ ShardedDispatchPlane::ShardedDispatchPlane(ShardPlaneConfig config)
     s.dispatch.set_flow_control(config_.flow);
     shards_.push_back(std::move(shard));
   }
+  if (config_.admission.enabled) {
+    gate_ = std::make_unique<net::AdmissionGate>(config_.admission);
+    // Merged sums are N-invariant at tick time: ticks run on the caller
+    // thread while every shard is quiescent (inject phase or the merge
+    // barrier), and a round drains all shards before the next tick, so
+    // the sums only ever reflect whole completed rounds.
+    gate_->set_goodput_source([this](std::uint64_t& delivered, std::uint64_t& wasted) {
+      delivered = 0;
+      wasted = 0;
+      for (const auto& shard : shards_) {
+        delivered += shard->dispatch.stats().copies_delivered;
+        wasted += shard->bus.shed_stats().data_total() +
+                  shard->dispatch.stats().quarantine_sheds;
+      }
+    });
+    if (config_.admission.derive_credit_window && config_.flow.enabled()) {
+      // Every shard's credit ledger resizes to the probed pool size in
+      // the same probe tick — lockstep by construction.
+      gate_->set_resize_listener([this](std::uint32_t size) {
+        core::FlowControlConfig flow = config_.flow;
+        flow.credit_window = size;
+        for (auto& shard : shards_) shard->dispatch.set_flow_control(flow);
+      });
+    }
+  }
   if (config_.use_workers && config_.shards > 1) {
     sim::WorkerPool::Config pool;
     pool.workers = config_.shards;
@@ -163,10 +188,15 @@ void ShardedDispatchPlane::grant_credits(PlaneConsumerId consumer, std::uint32_t
 }
 
 void ShardedDispatchPlane::inject(const core::DataMessage& message) {
-  Shard& s = *shards_[shard_of(message.stream_id)];
-  ++inject_seq_;
+  // Admission runs at the message's would-be arrival stamp, before the
+  // stamp is consumed: a refused message leaves the timeline untouched,
+  // so the accepted arrivals' stamps — and everything downstream of
+  // them — are identical at any shard count.
   const util::SimTime at =
-      timeline_ + config_.inject_tick * static_cast<std::int64_t>(inject_seq_);
+      timeline_ + config_.inject_tick * static_cast<std::int64_t>(inject_seq_ + 1);
+  if (gate_ && !gate_->admit_data(at)) return;
+  ++inject_seq_;
+  Shard& s = *shards_[shard_of(message.stream_id)];
   s.pending.push_back(PendingInput{at, message});
   ++s.processed;
 }
@@ -179,10 +209,11 @@ void ShardedDispatchPlane::ingest(const wireless::ReceptionReport& report) {
   const auto decoded =
       core::decode_view(util::BytesView(report.frame), core::ChecksumPolicy::kTrusted);
   if (decoded.ok()) shard = shard_of(decoded.value().stream_id);
-  Shard& s = *shards_[shard];
-  ++inject_seq_;
   const util::SimTime at =
-      timeline_ + config_.inject_tick * static_cast<std::int64_t>(inject_seq_);
+      timeline_ + config_.inject_tick * static_cast<std::int64_t>(inject_seq_ + 1);
+  if (gate_ && !gate_->admit_data(at)) return;
+  ++inject_seq_;
+  Shard& s = *shards_[shard];
   s.pending.push_back(PendingInput{at, report});
   ++s.processed;
 }
@@ -242,6 +273,10 @@ void ShardedDispatchPlane::merge_round() {
   }
   timeline_ = merged;
   inject_seq_ = 0;
+  // Probe ticks fire here, at the merge barrier: the merged clock is
+  // partition-invariant, the goodput sums cover whole rounds, and any
+  // credit-window resize lands on every shard before the next round.
+  if (gate_) gate_->advance(timeline_);
 }
 
 util::SimTime ShardedDispatchPlane::now() const { return timeline_; }
@@ -329,6 +364,7 @@ void ShardedDispatchPlane::set_metrics(obs::MetricsRegistry& registry) {
   if (metrics_ != nullptr) metrics_->remove_collector(collector_id_);
   metrics_ = &registry;
   collector_id_ = registry.add_collector([this](obs::SnapshotBuilder& out) { collect(out); });
+  if (gate_) gate_->set_metrics(registry);
 }
 
 void ShardedDispatchPlane::collect(obs::SnapshotBuilder& out) const {

@@ -66,6 +66,7 @@
 #include "core/filtering.hpp"
 #include "core/orphanage.hpp"
 #include "garnet/recovery.hpp"
+#include "net/admission.hpp"
 #include "net/bus.hpp"
 #include "obs/metrics.hpp"
 #include "sim/scheduler.hpp"
@@ -95,6 +96,13 @@ struct ShardPlaneConfig {
   /// are per (consumer, shard): a consumer subscribed on two shards
   /// holds two independent windows.
   core::FlowControlConfig flow;
+  /// Adaptive admission in front of inject()/ingest(). The gate is
+  /// plane-global on purpose: admission decisions are made while
+  /// stamping arrivals on the injection timeline — before routing — so
+  /// they are a function of injection order only, identical at any
+  /// shard count, and probe ticks run at the merge barrier so every
+  /// shard's credit window resizes in lockstep between rounds.
+  net::AdmissionConfig admission;
 };
 
 /// Plane-level consumer handle: one logical consumer, one bus endpoint
@@ -152,11 +160,16 @@ class ShardedDispatchPlane {
   // --- data plane ---------------------------------------------------------
 
   /// Queues one already-filtered message for its owning shard's
-  /// dispatcher (the gateway/archive ingress shape).
+  /// dispatcher (the gateway/archive ingress shape). With admission
+  /// enabled the message must first win a data ticket at its would-be
+  /// arrival stamp; refused messages are shed at the door without
+  /// consuming an injection tick, so accepted arrivals keep identical
+  /// stamps at any shard count.
   void inject(const core::DataMessage& message);
   /// Queues one raw receiver copy for its owning shard's filtering
   /// (dedup + reorder run shard-locally). Copies whose frame does not
   /// parse route to shard 0, whose filtering counts them malformed.
+  /// Subject to the same admission gate as inject().
   void ingest(const wireless::ReceptionReport& report);
 
   /// Runs one round: hands every shard its queued batch, drains each
@@ -217,6 +230,10 @@ class ShardedDispatchPlane {
   [[nodiscard]] net::MessageBus& bus(std::uint32_t shard);
   [[nodiscard]] sim::Scheduler& scheduler(std::uint32_t shard);
 
+  /// Plane admission gate; nullptr unless config.admission.enabled.
+  /// Journal/stats reads between rounds only.
+  [[nodiscard]] net::AdmissionGate* admission() noexcept { return gate_.get(); }
+
   /// Messages routed to the shard (inject + ingest).
   [[nodiscard]] std::uint64_t processed(std::uint32_t shard) const;
   /// Cumulative thread-CPU ns the shard's worker spent inside rounds —
@@ -273,6 +290,9 @@ class ShardedDispatchPlane {
 
   ShardPlaneConfig config_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  /// Plane-global admission gate (null when disabled). Touched only on
+  /// the caller thread: at inject/ingest and at the merge barrier.
+  std::unique_ptr<net::AdmissionGate> gate_;
   std::unique_ptr<sim::WorkerPool> pool_;  ///< Null in inline mode.
   std::vector<sim::WorkerPool::Task> round_tasks_;
 

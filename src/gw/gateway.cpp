@@ -322,8 +322,16 @@ void Gateway::send_control(Conn& conn, std::string_view text, util::SharedBytes 
   if (!conn.blocked) flush(conn);
 }
 
+std::size_t Gateway::effective_outbox_frames() {
+  net::AdmissionGate* gate = runtime_.admission();
+  if (gate == nullptr || config_.outbox_frames_per_ticket == 0) return config_.outbox_frames;
+  const std::size_t derived =
+      static_cast<std::size_t>(gate->data_pool_size()) * config_.outbox_frames_per_ticket;
+  return std::clamp<std::size_t>(derived, 1, config_.outbox_frames);
+}
+
 void Gateway::enqueue_data(Conn& conn, OutFrame frame) {
-  if (conn.data_frames >= config_.outbox_frames) {
+  if (conn.data_frames >= effective_outbox_frames()) {
     switch (config_.shed_policy) {
       case net::OverflowPolicy::kDropOldest: {
         std::size_t idx = conn.head_offset > 0 ? 1 : 0;

@@ -62,6 +62,14 @@ struct GatewayConfig {
   /// Bounded per-subscriber outbox, in data frames. Control frames are
   /// not bounded (they are small and never shed).
   std::size_t outbox_frames = 256;
+  /// When the embedding Runtime has admission control enabled, the
+  /// effective outbox bound follows the probed data-pool size:
+  /// clamp(pool_size × outbox_frames_per_ticket, 1, outbox_frames).
+  /// A pool the prober shrank (the pipeline is the bottleneck) shrinks
+  /// the egress queues with it, so slow TCP readers shed early instead
+  /// of buffering deliveries the middleware already regrets admitting.
+  /// 0 = ignore admission and keep the static outbox_frames bound.
+  std::size_t outbox_frames_per_ticket = 4;
   /// What to do with the data frame that does not fit. kRejectNack has
   /// no TCP meaning and degrades to kDropNewest.
   net::OverflowPolicy shed_policy = net::OverflowPolicy::kDropNewest;
@@ -154,6 +162,9 @@ class Gateway {
   void on_delivery(const core::DeliveryView& delivery);
 
   void send_control(Conn& conn, std::string_view text, util::SharedBytes body = {});
+  /// Current per-subscriber data-frame bound (admission-derived when the
+  /// runtime gates ingress, config_.outbox_frames otherwise).
+  [[nodiscard]] std::size_t effective_outbox_frames();
   void enqueue_data(Conn& conn, OutFrame frame);
   void flush(Conn& conn);
   /// Consumes `written` bytes off the front of the outbox.

@@ -151,6 +151,100 @@ TEST_P(OverloadFuzzSeeds, RuntimeUnderOverloadSurvivesHostileEnvelopes) {
   EXPECT_EQ(runtime.dispatch().credits(attacker), 16u);  // "unknown" default
 }
 
+TEST_P(OverloadFuzzSeeds, AdmissionWireSurfaceSurvivesForgedFramesAtFullInboxes) {
+  // The admission gate's wire surface (kAdmissionRelease/kGoodputReport)
+  // under a barrage of forged, truncated and oversized frames while the
+  // data pool is kept saturated by a real ingest flood: the gate must
+  // neither crash, nor leak tickets, nor let the forgery starve the
+  // control class.
+  Runtime::Config config;
+  config.overload.credit_window = 16;
+  {
+    net::InboxConfig inbox;
+    inbox.capacity = 32;
+    inbox.policy = net::OverflowPolicy::kDropOldest;
+    inbox.service_time = Duration::micros(50);
+    config.overload.inboxes[core::DispatchingService::kEndpointName] = inbox;
+  }
+  config.admission.enabled = true;
+  config.admission.probing = true;
+  config.admission.probe.initial_concurrency = 4;
+  config.admission.probe.min_concurrency = 2;
+  config.admission.probe.max_concurrency = 16;
+  config.admission.probe.interval = Duration::millis(5);
+  config.admission.probe.lease = Duration::micros(500);
+  Runtime runtime(config);
+  runtime.deploy_receivers(4, 300);
+  runtime.deploy_transmitters(4, 300);
+  wireless::SensorField::PopulationSpec spec;
+  spec.count = 2;
+  runtime.deploy_population(spec);
+  runtime.start_sensors();
+
+  core::Consumer consumer(runtime.bus(), "consumer.app");
+  runtime.provision(consumer, "app");
+  consumer.subscribe(core::StreamPattern::everything());
+  runtime.run_for(Duration::millis(20));
+
+  util::Rng rng(GetParam());
+  const net::Address attacker = runtime.bus().add_endpoint("attacker", [](net::Envelope) {});
+  const auto gate_addr = runtime.bus().lookup("admission");
+  ASSERT_TRUE(gate_addr.has_value());
+
+  core::DataMessage flood;
+  flood.stream_id = {200, 0};
+  flood.payload = util::to_bytes("x");
+  for (int i = 0; i < 1000; ++i) {
+    // Real ingress pressure so the forged frames land on a full pool...
+    flood.sequence = static_cast<core::SequenceNo>(i);
+    for (int burst = 0; burst < 4; ++burst) runtime.inject_external(core::as_view(flood));
+    // ...interleaved with hostile admission traffic: well-formed frames
+    // carrying absurd values, and raw garbage in both frame types.
+    switch (rng.below(4)) {
+      case 0: {
+        util::ByteWriter w(4);
+        w.u32(static_cast<std::uint32_t>(rng.below(1u << 30)));
+        runtime.bus().post(attacker, *gate_addr, core::kAdmissionRelease, std::move(w).take());
+        break;
+      }
+      case 1: {
+        util::ByteWriter w(16);
+        w.u64(rng.next());
+        w.u64(rng.next());
+        runtime.bus().post(attacker, *gate_addr, core::kGoodputReport, std::move(w).take());
+        break;
+      }
+      case 2:
+        runtime.bus().post(attacker, *gate_addr, core::kAdmissionRelease, fuzz_frame(rng));
+        break;
+      default:
+        runtime.bus().post(attacker, *gate_addr, core::kGoodputReport, fuzz_frame(rng));
+        break;
+    }
+    if (i % 100 == 0) runtime.run_for(Duration::millis(5));
+  }
+  runtime.run_for(Duration::seconds(2));
+
+  ASSERT_NE(runtime.admission(), nullptr);
+  const net::AdmissionStats& stats = runtime.admission()->stats();
+  // No ticket fabrication: every wire release popped a lease some real
+  // admission created, so releases can never exceed admissions.
+  EXPECT_LE(stats.wire_releases, stats.data_admitted);
+  // No leak: holders are bounded by the largest pool the prober may set.
+  EXPECT_LE(runtime.admission()->data_pool().holders(),
+            config.admission.probe.max_concurrency);
+  EXPECT_GT(stats.wire_malformed, 0u);  // the garbage actually arrived
+  // The data plane survived the barrage and control was never starved.
+  EXPECT_GT(consumer.received(), 0u);
+  EXPECT_EQ(runtime.bus().shed_stats().control_total(), 0u);
+  const auto far_future = util::SimTime::zero() + Duration::seconds(100);
+  EXPECT_TRUE(runtime.admission()->admit_control(far_future));
+  // With every lease long expired, the pool drains to exactly the one
+  // ticket that probe admission just took: nothing was wedged open.
+  EXPECT_TRUE(runtime.admission()->admit_data(far_future));
+  EXPECT_EQ(runtime.admission()->data_pool().holders(), 1u);
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, OverloadFuzzSeeds, ::testing::Values(0xAAAAu, 0xBBBBu, 0xCCCCu));
 
 }  // namespace

@@ -12,7 +12,9 @@
 #include <map>
 #include <optional>
 
+#include "core/message.hpp"
 #include "core/wire_types.hpp"
+#include "garnet/runtime.hpp"
 #include "obs/metrics.hpp"
 
 namespace garnet {
@@ -546,6 +548,64 @@ TEST_F(RecoveryFixture, CorruptDeltaFrameIsRejectedAtReceipt) {
   EXPECT_GE(counter("garnet.checkpoint.rejected") +
                 counter("garnet.checkpoint.deltas_rejected"),
             1u);
+}
+
+// --- admission control must never gate the watchdog -------------------------
+
+TEST(AdmissionRecovery, SaturatedDataPoolNeverDelaysWatchdogPromotion) {
+  // Regression for the control-class exemption: recovery heartbeats and
+  // the promotion path ride the control plane, which takes overdraft
+  // tickets instead of waiting behind data admission. A data pool wedged
+  // completely shut must therefore leave the crash-detection latency
+  // bit-for-bit unchanged.
+  const auto promotion_latency = [](bool saturate_pool) {
+    Runtime::Config config;
+    config.recovery.enabled = true;
+    config.recovery.heartbeat_interval = Duration::millis(100);
+    config.recovery.miss_threshold = 3;
+    config.recovery.checkpoint_interval = Duration::millis(250);
+    config.admission.enabled = true;
+    config.admission.probing = false;
+    config.admission.probe.initial_concurrency = 1;
+    config.admission.probe.min_concurrency = 1;
+    config.admission.probe.lease = Duration::seconds(30);      // never expires in-test
+    config.admission.probe.interval = Duration::seconds(60);   // no probe ticks
+    Runtime runtime(config);
+
+    if (saturate_pool) {
+      core::DataMessage msg;
+      msg.stream_id = {7, 0};
+      msg.payload = util::to_bytes("x");
+      for (int i = 0; i < 4; ++i) {
+        msg.sequence = static_cast<core::SequenceNo>(i);
+        runtime.inject_external(core::as_view(msg));  // 1 admitted, 3 refused
+      }
+      EXPECT_EQ(runtime.admission()->stats().data_rejected, 3u);
+      EXPECT_EQ(runtime.admission()->data_pool().holders(), 1u);  // wedged shut
+    }
+    runtime.run_for(Duration::millis(50));
+    runtime.recovery()->crash("dispatch");
+    runtime.run_for(Duration::seconds(1));
+
+    EXPECT_EQ(runtime.telemetry().registry.snapshot().counter("garnet.recovery.promotions"),
+              1u);
+    if (saturate_pool) {
+      // Still saturated after the promotion — and control still passes.
+      EXPECT_FALSE(runtime.admission()->admit_data(
+          util::SimTime::zero() + Duration::seconds(2)));
+      EXPECT_TRUE(runtime.admission()->admit_control(
+          util::SimTime::zero() + Duration::seconds(2)));
+    }
+    return runtime.telemetry().registry.snapshot().gauge("garnet.recovery.latency_ns");
+  };
+
+  const double unsaturated = promotion_latency(false);
+  const double saturated = promotion_latency(true);
+  // Detection within (miss_threshold-1, miss_threshold] heartbeats...
+  EXPECT_GE(unsaturated, static_cast<double>(Duration::millis(200).ns));
+  EXPECT_LE(unsaturated, static_cast<double>(Duration::millis(400).ns));
+  // ...and exactly as fast with the front door wedged shut.
+  EXPECT_EQ(saturated, unsaturated);
 }
 
 }  // namespace

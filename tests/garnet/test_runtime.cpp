@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/message.hpp"
 #include "garnet/report.hpp"
 
 namespace garnet {
@@ -169,6 +170,42 @@ TEST(Runtime, RunForAdvancesVirtualTime) {
   Runtime runtime;
   runtime.run_for(Duration::seconds(90));
   EXPECT_EQ(runtime.scheduler().now().to_seconds(), 90.0);
+}
+
+TEST(RuntimeAdmission, CreditWindowTracksTheProbedPoolSize) {
+  // PR-4 ledger derivation: with admission enabled the dispatch credit
+  // window is no longer the hand-tuned constant but follows the probed
+  // data-pool size through the resize listener.
+  Runtime::Config config;
+  config.overload.credit_window = 16;
+  config.admission.enabled = true;
+  config.admission.probing = true;
+  config.admission.probe.initial_concurrency = 8;
+  config.admission.probe.min_concurrency = 2;
+  config.admission.probe.max_concurrency = 16;
+  config.admission.probe.interval = Duration::millis(5);
+  Runtime runtime(config);
+
+  // A trickle far below the pool's admission rate: the prober learns the
+  // concurrency is unneeded and walks the pool down to the floor.
+  core::DataMessage msg;
+  msg.stream_id = {9, 0};
+  msg.payload = util::to_bytes("x");
+  for (int i = 0; i < 60; ++i) {
+    msg.sequence = static_cast<core::SequenceNo>(i);
+    runtime.inject_external(core::as_view(msg));
+    runtime.run_for(Duration::millis(5));
+  }
+
+  ASSERT_NE(runtime.admission(), nullptr);
+  EXPECT_EQ(runtime.admission()->data_pool_size(), 2u);
+  EXPECT_GT(runtime.admission()->stats().resizes, 0u);
+  EXPECT_EQ(runtime.admission()->derived_credit_window(), 2u);
+  // The ledger saw every committed resize: a sender with no credit
+  // history is granted the derived window, not the configured 16.
+  const net::Address fresh = runtime.bus().add_endpoint("test.fresh", [](net::Envelope) {});
+  EXPECT_EQ(runtime.dispatch().credits(fresh), 2u);
+  EXPECT_EQ(runtime.external_in(), 60u);  // the trickle itself never gated
 }
 
 }  // namespace

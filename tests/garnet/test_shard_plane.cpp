@@ -13,6 +13,7 @@
 #include "core/message.hpp"
 #include "core/wire_types.hpp"
 #include "garnet/recovery.hpp"
+#include "net/admission.hpp"
 #include "net/overload.hpp"
 #include "obs/metrics.hpp"
 #include "util/bytes.hpp"
@@ -326,6 +327,121 @@ TEST(ShardPlane, CreditsRouteToTheGrantingShard) {
   plane.run_round();
   EXPECT_FALSE(plane.dispatch(owner).quarantined(plane.consumer_address(consumer, owner)));
   EXPECT_GE(plane.merged_dispatch_stats().resume_redelivered, 4u);
+}
+
+// --- plane-global admission control -----------------------------------------
+
+/// The shed workload with the throughput-probed admission gate in front:
+/// injection stamps are plane-global (rejects consume no injection tick)
+/// and probe ticks land at merge barriers on the merged clock, so the
+/// probe journal must be a function of the injection order alone —
+/// invariant across shard counts and execution modes.
+std::string run_admission_workload(std::uint32_t shards, bool use_workers,
+                                   net::AdmissionStats* stats_out = nullptr) {
+  ShardPlaneConfig config;
+  config.shards = shards;
+  config.use_workers = use_workers;
+  config.bus.shed_journal_limit = 4096;
+  config.admission.enabled = true;
+  config.admission.probing = true;
+  config.admission.journal_limit = 4096;
+  config.admission.probe.initial_concurrency = 4;
+  config.admission.probe.min_concurrency = 2;
+  config.admission.probe.max_concurrency = 8;
+  config.admission.probe.interval = Duration::micros(200);
+  config.admission.probe.lease = Duration::micros(50);
+  constexpr int kStreams = 8;
+  for (int i = 0; i < kStreams; ++i) {
+    net::InboxConfig inbox;
+    inbox.capacity = 4;
+    inbox.policy = net::OverflowPolicy::kDropNewest;
+    inbox.service_time = Duration::millis(1);
+    config.bus.inboxes["c" + std::to_string(i)] = inbox;
+  }
+  ShardedDispatchPlane plane(config);
+  for (int i = 0; i < kStreams; ++i) {
+    const StreamId id{static_cast<core::SensorId>(i + 1), 0};
+    const PlaneConsumerId consumer =
+        plane.add_consumer("c" + std::to_string(i), [](std::uint32_t, const net::Envelope&) {});
+    plane.subscribe(consumer, StreamPattern::exact(id));
+  }
+  for (core::SequenceNo seq = 0; seq < 64; ++seq) {
+    for (int i = 0; i < kStreams; ++i) {
+      plane.inject(make_message({static_cast<core::SensorId>(i + 1), 0}, seq));
+    }
+  }
+  plane.run_until_idle();
+  if (stats_out != nullptr) *stats_out = plane.admission()->stats();
+  return plane.admission()->journal_text();
+}
+
+TEST(ShardPlaneAdmission, ProbeJournalIsByteIdenticalAcrossShardCounts) {
+  net::AdmissionStats at1, at2, at8;
+  const std::string j1 = run_admission_workload(1, false, &at1);
+  const std::string j2 = run_admission_workload(2, false, &at2);
+  const std::string j8 = run_admission_workload(8, false, &at8);
+
+  ASSERT_FALSE(j1.empty());
+  EXPECT_EQ(j1, j2);
+  EXPECT_EQ(j1, j8);
+  // Admission decisions — not just the journal rendering — are invariant.
+  EXPECT_EQ(at1.data_admitted, at2.data_admitted);
+  EXPECT_EQ(at1.data_admitted, at8.data_admitted);
+  EXPECT_EQ(at1.data_rejected, at2.data_rejected);
+  EXPECT_EQ(at1.data_rejected, at8.data_rejected);
+  EXPECT_EQ(at1.probes, at8.probes);
+  EXPECT_EQ(at1.resizes, at8.resizes);
+  // The flood genuinely hit the door: tickets refused, pool resized.
+  EXPECT_GT(at1.data_rejected, 0u);
+  EXPECT_GT(at1.resizes, 0u);
+}
+
+TEST(ShardPlaneAdmission, SameSeedRunsAndExecutionModesMatch) {
+  const std::string inline_a = run_admission_workload(4, false);
+  const std::string inline_b = run_admission_workload(4, false);
+  const std::string workers = run_admission_workload(4, true);
+  ASSERT_FALSE(inline_a.empty());
+  EXPECT_EQ(inline_a, inline_b);
+  EXPECT_EQ(inline_a, workers);
+}
+
+TEST(ShardPlaneAdmission, ResizesKeepEveryShardCreditWindowInLockstep) {
+  ShardPlaneConfig config;
+  config.shards = 4;
+  config.use_workers = false;
+  config.flow.credit_window = 4;
+  config.flow.resume_threshold = 1;
+  config.admission.enabled = true;
+  config.admission.probing = true;
+  config.admission.probe.initial_concurrency = 8;
+  config.admission.probe.min_concurrency = 2;
+  config.admission.probe.max_concurrency = 8;
+  config.admission.probe.interval = Duration::micros(200);
+  config.admission.probe.lease = Duration::micros(50);
+  ShardedDispatchPlane plane(config);
+
+  const PlaneConsumerId consumer =
+      plane.add_consumer("sink", [](std::uint32_t, const net::Envelope&) {});
+  plane.subscribe(consumer, StreamPattern::everything());
+  for (core::SequenceNo seq = 0; seq < 64; ++seq) {
+    for (core::SensorId sensor = 1; sensor <= 8; ++sensor) {
+      plane.inject(make_message({sensor, 0}, seq));
+    }
+  }
+  plane.run_until_idle();
+
+  ASSERT_GT(plane.admission()->stats().resizes, 0u);
+  const auto window = plane.admission()->data_pool_size();
+  EXPECT_EQ(plane.admission()->derived_credit_window(), window);
+  // A consumer registered after the run has no credit history: its
+  // balance is each shard's current default window, which must track the
+  // probed pool size on every shard, not just shard 0.
+  const PlaneConsumerId fresh =
+      plane.add_consumer("fresh", [](std::uint32_t, const net::Envelope&) {});
+  for (std::uint32_t shard = 0; shard < plane.shard_count(); ++shard) {
+    EXPECT_EQ(plane.dispatch(shard).credits(plane.consumer_address(fresh, shard)), window)
+        << "shard " << shard << " credit window diverged from the admission pool";
+  }
 }
 
 // --- telemetry --------------------------------------------------------------

@@ -71,7 +71,8 @@ struct Harness {
   LoopbackTransport transport;
   std::unique_ptr<Gateway> gateway;
 
-  explicit Harness(GatewayConfig config = {}) {
+  explicit Harness(GatewayConfig config = {}, Runtime::Config runtime_config = {})
+      : runtime(runtime_config) {
     gateway = std::make_unique<Gateway>(runtime, transport, config);
     gateway->step(Duration::millis(20));  // settle the subscribe RPC
   }
@@ -211,6 +212,56 @@ TEST(Gateway, SlowConsumerShedsDataNeverControl) {
       parse_deliveries(bytes_of(out.substr(std::string("OK SUB 9/*\nOK UNSUB\n").size())));
   ASSERT_EQ(deliveries.size(), 4u);  // the surviving bounded outbox
   EXPECT_EQ(deliveries[0].message.sequence, 0);
+}
+
+TEST(GatewayAdmission, OutboxBoundDerivesFromTheDataPoolSize) {
+  // With admission enabled in the embedding runtime, the per-subscriber
+  // outbox bound follows the probed pool: clamp(pool x per_ticket, 1,
+  // outbox_frames). A static pool of 2 with one frame per ticket bounds
+  // the queue at 2, far below the configured 64.
+  Runtime::Config runtime_config;
+  runtime_config.admission.enabled = true;
+  runtime_config.admission.probing = false;
+  runtime_config.admission.probe.initial_concurrency = 2;
+  GatewayConfig config;
+  config.outbox_frames = 64;
+  config.outbox_frames_per_ticket = 1;
+  Harness h(config, runtime_config);
+  const ConnId producer = h.ingest();
+  const ConnId sub = h.subscriber("9/*");
+  h.transport.set_write_window(sub, 0);
+
+  for (int i = 0; i < 8; ++i) h.push_message(producer, message({9, 0}, i, i));
+  EXPECT_EQ(h.gateway->stats().shed.data_drop_newest, 6u);  // 8 in, bound 2
+
+  h.transport.open_write_window(sub, 1 << 20);
+  h.turn(2);
+  const auto deliveries = parse_deliveries(h.transport.peer_take(sub));
+  ASSERT_EQ(deliveries.size(), 2u);  // the admission-derived outbox
+  EXPECT_EQ(deliveries[0].message.sequence, 0);
+}
+
+TEST(GatewayAdmission, ZeroPerTicketKeepsTheStaticBound) {
+  // outbox_frames_per_ticket = 0 opts out: the bound stays at the
+  // configured outbox_frames even though the runtime gates admission.
+  Runtime::Config runtime_config;
+  runtime_config.admission.enabled = true;
+  runtime_config.admission.probing = false;
+  runtime_config.admission.probe.initial_concurrency = 2;
+  GatewayConfig config;
+  config.outbox_frames = 4;
+  config.outbox_frames_per_ticket = 0;
+  Harness h(config, runtime_config);
+  const ConnId producer = h.ingest();
+  const ConnId sub = h.subscriber("9/*");
+  h.transport.set_write_window(sub, 0);
+
+  for (int i = 0; i < 8; ++i) h.push_message(producer, message({9, 0}, i, i));
+  EXPECT_EQ(h.gateway->stats().shed.data_drop_newest, 4u);  // static bound 4
+
+  h.transport.open_write_window(sub, 1 << 20);
+  h.turn(2);
+  EXPECT_EQ(parse_deliveries(h.transport.peer_take(sub)).size(), 4u);
 }
 
 TEST(Gateway, DropOldestKeepsNewestFrames) {
