@@ -57,7 +57,8 @@ PipelineOutcome run_pipeline(std::size_t sensors, util::Duration span, std::uint
   outcome.delivered = consumer.received();
   outcome.latency_mean_ms = consumer.delivery_latency().mean() / 1e6;
   outcome.latency_p99_ms = consumer.delivery_latency().quantile(0.99) / 1e6;
-  outcome.radio_frames = runtime.field().medium().stats().uplink_frames;
+  outcome.radio_frames =
+      runtime.telemetry().registry.snapshot().counter("garnet.radio.uplink_frames");
   outcome.telemetry_json = snapshot(runtime).to_json();
   return outcome;
 }

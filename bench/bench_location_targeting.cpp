@@ -73,12 +73,12 @@ Outcome run_scenario(std::size_t grid, std::size_t sensors, bool warm, std::uint
   const auto sends = snap.counter("garnet.replicator.sends");
   const auto activations = snap.counter("garnet.replicator.transmitter_activations");
   const auto targeted = snap.counter("garnet.replicator.targeted_sends");
-  const auto& radio = runtime.field().medium().stats();
+  const auto downlink_bytes = snap.counter("garnet.radio.downlink_bytes_sent");
   Outcome outcome;
   outcome.activations_per_send =
       sends ? static_cast<double>(activations) / static_cast<double>(sends) : 0;
   outcome.downlink_bytes_per_send =
-      sends ? static_cast<double>(radio.downlink_bytes_sent) / static_cast<double>(sends) : 0;
+      sends ? static_cast<double>(downlink_bytes) / static_cast<double>(sends) : 0;
   outcome.delivery_success =
       static_cast<double>(applied - applied_before) / static_cast<double>(sensors);
   outcome.targeted_fraction =

@@ -73,7 +73,9 @@ RelayOutcome run_scenario(std::size_t sensors, std::size_t relays, std::uint64_t
     energy += kInitialBattery - node.battery_joules();
   }
   // Battery default is effectively infinite; recompute energy from bytes.
-  energy = static_cast<double>(runtime.field().medium().stats().uplink_bytes_sent) * 50e-6;
+  energy = static_cast<double>(runtime.telemetry().registry.snapshot().counter(
+               "garnet.radio.uplink_bytes_sent")) *
+           50e-6;
 
   RelayOutcome outcome;
   const std::uint64_t delivered = consumer.received();

@@ -95,17 +95,17 @@ SharingOutcome run_scenario(std::size_t consumers, bool shared, std::uint64_t se
     energy_spent += kInitialBattery - runtime.field().sensor_at(i).battery_joules();
   }
 
-  const auto& radio = runtime.field().medium().stats();
+  const auto snap = runtime.telemetry().registry.snapshot();
   SharingOutcome outcome;
   if (delivered > 0) {
     outcome.radio_frames_per_delivery =
-        static_cast<double>(radio.uplink_frames) / static_cast<double>(delivered);
-    outcome.radio_bytes_per_delivery =
-        static_cast<double>(radio.uplink_bytes_sent) / static_cast<double>(delivered);
-    outcome.fixed_msgs_per_delivery =
-        static_cast<double>(
-            runtime.telemetry().registry.snapshot().counter("garnet.bus.posted")) /
+        static_cast<double>(snap.counter("garnet.radio.uplink_frames")) /
         static_cast<double>(delivered);
+    outcome.radio_bytes_per_delivery =
+        static_cast<double>(snap.counter("garnet.radio.uplink_bytes_sent")) /
+        static_cast<double>(delivered);
+    outcome.fixed_msgs_per_delivery = static_cast<double>(snap.counter("garnet.bus.posted")) /
+                                      static_cast<double>(delivered);
   }
   outcome.energy_joules = energy_spent;
   return outcome;

@@ -142,13 +142,13 @@ int main() {
               static_cast<unsigned long long>(live_updates));
 
   // --- what the middleware absorbed ----------------------------------------
-  const auto& radio = runtime.field().medium().stats();
+  const auto radio = runtime.telemetry().registry.snapshot();
   const auto& filter = runtime.filtering().stats();
   std::printf("\nradio: %llu frames sent, %llu copies heard (%llu duplicates), %llu unheard\n",
-              static_cast<unsigned long long>(radio.uplink_frames),
-              static_cast<unsigned long long>(radio.uplink_deliveries),
-              static_cast<unsigned long long>(radio.uplink_duplicates),
-              static_cast<unsigned long long>(radio.uplink_unheard));
+              static_cast<unsigned long long>(radio.counter("garnet.radio.uplink_frames")),
+              static_cast<unsigned long long>(radio.counter("garnet.radio.uplink_deliveries")),
+              static_cast<unsigned long long>(radio.counter("garnet.radio.uplink_duplicates")),
+              static_cast<unsigned long long>(radio.counter("garnet.radio.uplink_unheard")));
   std::printf("filter: %llu duplicates eliminated, %llu unique messages reconstructed\n",
               static_cast<unsigned long long>(filter.duplicates_dropped),
               static_cast<unsigned long long>(filter.messages_out));

@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""CI gate over BENCH_tree.json (see bench/bench_tree.cpp).
+
+The report is the full telemetry snapshot of the canonical E13 cell: a
+depth-4 chain (three relay hops between the source and the receiver)
+under 1%-per-round relay churn, advanced in 25ms strides. The gate
+enforces the routing contract from docs/FAULT_MODEL.md:
+
+  1. delivery >= 95% at depth <= 4 under churn — missed-beacon
+     detection, backoff re-attach and orphan buffering must keep the
+     loss to the detection windows around each relay crash;
+  2. zero duplicate deliveries past filtering — per-(sensor, sequence)
+     suppression plus the relay filter close every re-forward window,
+     including frames wrapped toward a parent that died mid-forward;
+  3. zero TTL expiries — in a loop-free chain a TTL death means the
+     forest looped traffic;
+  4. byte-identical fault and repair journals across advance() cadences
+     (the same cell run in one 40s stride vs 25ms hops) — churn is a
+     pure time trigger and the router draws no randomness;
+  5. the cell actually churned (relays crashed, the source orphaned and
+     re-attached — an idle gate proves nothing).
+"""
+import json
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) != 2:
+        print("usage: check_tree_report.py BENCH_tree.json", file=sys.stderr)
+        return 2
+    with open(sys.argv[1], encoding="utf-8") as fh:
+        report = json.load(fh)
+
+    values = {}
+    for metric in report["metrics"]:
+        # Histograms carry count/sum/quantiles instead of a scalar value.
+        if not metric.get("labels") and "value" in metric:
+            values[metric["name"]] = metric["value"]
+
+    failures = []
+
+    def require(name):
+        if name not in values:
+            failures.append(f"{name} missing from the report")
+            return None
+        return values[name]
+
+    delivery = require("bench.tree.delivery_ratio")
+    offered = values.get("bench.tree.offered", 0.0)
+    if offered == 0:
+        failures.append("no samples were offered — the source never ran")
+    if delivery is not None and delivery < 0.95:
+        failures.append(
+            f"delivery ratio {delivery:.3f} < 0.95 at depth 4 under 1%/round churn"
+        )
+
+    duplicates = require("bench.tree.duplicates")
+    if duplicates is not None and duplicates > 0:
+        failures.append(
+            f"{duplicates:.0f} duplicate deliveries past filtering — "
+            "the dedup window or the relay filter leaked a re-forward"
+        )
+
+    ttl_dropped = require("bench.tree.ttl_dropped")
+    if ttl_dropped is not None and ttl_dropped > 0:
+        failures.append(
+            f"{ttl_dropped:.0f} frames died of TTL exhaustion — "
+            "the loop-free chain looped traffic"
+        )
+
+    journal_match = require("bench.tree.journal_match")
+    if journal_match is not None and journal_match != 1:
+        failures.append(
+            "fault/repair journals differ across advance() cadences — "
+            "churn or repair consumed nondeterministic state"
+        )
+
+    if values.get("bench.tree.relay_crashes", 0.0) == 0:
+        failures.append("no relay crashed — the churn plan was never exercised")
+    if values.get("bench.tree.orphan_events", 0.0) == 0:
+        failures.append("no node ever orphaned — the repair path was never exercised")
+
+    if failures:
+        for failure in failures:
+            print(f"tree gate FAILED: {failure}", file=sys.stderr)
+        return 1
+    print(
+        f"tree gate OK: delivery={delivery:.3f} "
+        f"({values.get('bench.tree.delivered', 0.0):.0f}/{offered:.0f}) at depth "
+        f"{values.get('bench.tree.realized_depth', 0.0):.0f} with "
+        f"{values.get('bench.tree.relay_crashes', 0.0):.0f} relay crash(es), "
+        "duplicates=0, ttl_dropped=0, journals byte-identical across cadences"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -57,6 +57,13 @@ scripts/check_recovery_report.py "$PERF_BUILD_DIR/bench-results/BENCH_recovery.j
 # genuinely cheaper than a full capture at the large tiers.
 scripts/check_scale_report.py "$PERF_BUILD_DIR/bench-results/BENCH_scale.json"
 
+# Tree gate: the depth-4 churn cell in BENCH_tree.json must show the
+# routing plane holding its contract — delivery >= 95% under 1%/round
+# relay churn, zero duplicate deliveries past filtering, zero TTL
+# expiries (no routing loops) — and byte-identical fault/repair
+# journals across advance() cadences.
+scripts/check_tree_report.py "$PERF_BUILD_DIR/bench-results/BENCH_tree.json"
+
 # Gateway gate: the fan-out bench's snapshot must show zero corrupt
 # deliveries on the egress wire, zero control-frame shed while the
 # frozen reader forced data sheds, and the last-value cache serving the
@@ -70,13 +77,17 @@ scripts/check_gateway_report.py "$PERF_BUILD_DIR/bench-results/BENCH_gateway.jso
 # dispatch rounds on genuine pinned workers and must prove the
 # partition shares nothing. The admission suites ride along: the plane's
 # gate runs probe ticks at the merge barrier while worker threads exist,
-# and must stay off their shards.
+# and must stay off their shards. The wireless tree suites ride along:
+# the router is single-threaded by design, and running the formation,
+# churn and fuzz suites under TSan proves nothing in the forwarding or
+# repair path ever touches the worker threads' world.
 cmake -B "$TSAN_BUILD_DIR" -S . "${GENERATOR_ARGS[@]}" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DGARNET_SANITIZE=thread
 cmake --build "$TSAN_BUILD_DIR" -j "$(nproc)" \
-  --target garnet_gw_tests garnet_sim_tests garnet_runtime_tests garnet_net_tests
+  --target garnet_gw_tests garnet_sim_tests garnet_runtime_tests garnet_net_tests \
+           garnet_wireless_tests garnet_integration_tests garnet_fuzz_tests
 ctest --test-dir "$TSAN_BUILD_DIR" --output-on-failure -j "$(nproc)" \
-  --tests-regex '(Gateway|GatewaySockets|LoopbackTransport|PosixTransport|WorkerPool|ShardPlane|Admission)'
+  --tests-regex '(Gateway|GatewaySockets|LoopbackTransport|PosixTransport|WorkerPool|ShardPlane|Admission|Tree|RouterFixture)'
 
 echo "CI OK: tests green, bench reports in $PERF_BUILD_DIR/bench-results"

@@ -109,11 +109,24 @@ void Runtime::wire_services() {
   // process to ingest into: its inputs are counted lost (the radio does
   // not buffer; the sensors keep transmitting regardless).
   field_.medium().set_uplink_sink([this](const wireless::ReceptionReport& report) {
+    // Tree traffic is radio substrate, not middleware input: beacons and
+    // corrupt tree frames die here (before admission — they must not burn
+    // data tickets), and an overheard tree data frame is opportunistically
+    // decapsulated so the receiver ingests the inner Figure-2 frame.
+    auto decision = wireless::tree::decide_at_sink(report.frame);
+    using Verdict = wireless::tree::SinkDecision::Verdict;
+    if (decision.verdict == Verdict::kBeacon || decision.verdict == Verdict::kCorrupt) return;
     // Admission gates the door before any middleware work: a refused
     // copy costs the pipeline nothing downstream.
     if (admission_ && !admission_->admit_data(scheduler_.now())) return;
     if (recovery_ && recovery_->crashed("filtering")) {
       recovery_->note_lost_input("filtering");
+      return;
+    }
+    if (decision.verdict == Verdict::kInner) {
+      wireless::ReceptionReport inner = report;
+      inner.frame = std::move(decision.inner);
+      filtering_.ingest(inner);
       return;
     }
     filtering_.ingest(report);
@@ -159,6 +172,29 @@ void Runtime::wire_services() {
   });
 
   if (recovery_ != nullptr) wire_recovery();
+
+  // Wireless churn from the fault plan: relay crash/restart maps to the
+  // sensor's own stop()/start() (its router forgets all routing state —
+  // crash semantics), beacon loss/restore flips the router deaf. Wired
+  // regardless of recovery: relay churn is a radio regime, not a
+  // middleware-process failure.
+  if (net::FaultInjector* injector = bus_.fault_injector()) {
+    injector->set_relay_fault_handler([this](std::uint32_t node, bool restart) {
+      wireless::SensorNode* sensor = field_.find_sensor(node);
+      if (sensor == nullptr) return;
+      if (restart) {
+        sensor->start();
+      } else {
+        sensor->stop();
+      }
+    });
+    injector->set_beacon_fault_handler([this](std::uint32_t node, bool deaf) {
+      wireless::SensorNode* sensor = field_.find_sensor(node);
+      if (sensor != nullptr && sensor->router() != nullptr) {
+        sensor->router()->set_beacon_deaf(deaf);
+      }
+    });
+  }
 
   // Unclaimed data goes to the Orphanage; observed acks to Actuation.
   dispatch_.set_orphan_sink(orphanage_.address());
@@ -259,16 +295,21 @@ void Runtime::wire_recovery() {
 }
 
 void Runtime::collect_service_stats(obs::SnapshotBuilder& out) {
-  const wireless::RadioStats& radio = field_.medium().stats();
-  out.counter("garnet.radio.uplink_frames", radio.uplink_frames);
-  out.counter("garnet.radio.uplink_deliveries", radio.uplink_deliveries);
-  out.counter("garnet.radio.uplink_duplicates", radio.uplink_duplicates);
-  out.counter("garnet.radio.uplink_unheard", radio.uplink_unheard);
-  out.counter("garnet.radio.uplink_bytes_sent", radio.uplink_bytes_sent);
-  out.counter("garnet.radio.downlink_broadcasts", radio.downlink_broadcasts);
-  out.counter("garnet.radio.downlink_deliveries", radio.downlink_deliveries);
-  out.counter("garnet.radio.downlink_bytes_sent", radio.downlink_bytes_sent);
-  out.counter("garnet.radio.overheard", radio.overheard);
+  // garnet.radio.* comes from the medium's own collector (set_metrics).
+
+  const wireless::tree::TreeStats tree = field_.tree_stats();
+  out.counter("garnet.tree.beacons_sent", tree.beacons_sent);
+  out.counter("garnet.tree.attaches", tree.attaches);
+  out.counter("garnet.tree.reparents", tree.reparents);
+  out.counter("garnet.tree.orphaned", tree.orphan_events);
+  out.counter("garnet.tree.forwarded", tree.forwarded);
+  out.counter("garnet.tree.proxied", tree.proxied);
+  out.counter("garnet.tree.dup_dropped", tree.dup_dropped);
+  out.counter("garnet.tree.ttl_dropped", tree.ttl_dropped);
+  out.counter("garnet.tree.loop_dropped", tree.loop_dropped);
+  out.counter("garnet.tree.buffered", tree.buffered);
+  out.counter("garnet.tree.spilled", tree.spilled);
+  out.gauge("garnet.tree.depth", static_cast<double>(field_.max_tree_depth()));
 
   const core::FilteringStats& filtering = filtering_.stats();
   out.counter("garnet.filtering.copies_in", filtering.copies_in);

@@ -84,11 +84,20 @@ TrafficClass MessageBus::classify(MessageType type) const {
   return control_types_.contains(raw) ? TrafficClass::kControl : TrafficClass::kData;
 }
 
+// The collector captures `this`, so a bus that dies before its registry
+// (bench harnesses snapshot a long-lived registry across short-lived
+// buses) must deregister or the next snapshot reads freed memory.
+MessageBus::~MessageBus() {
+  if (metrics_ != nullptr) metrics_->remove_collector(collector_id_);
+}
+
 void MessageBus::set_metrics(obs::MetricsRegistry& registry) {
   transit_histogram_ = &registry.histogram("garnet.bus.transit_ns");
   size_histogram_ =
       &registry.histogram("garnet.bus.envelope_bytes", obs::Histogram::Layout::bytes());
-  registry.add_collector([this](obs::SnapshotBuilder& out) { collect(out); });
+  if (metrics_ != nullptr) metrics_->remove_collector(collector_id_);
+  metrics_ = &registry;
+  collector_id_ = registry.add_collector([this](obs::SnapshotBuilder& out) { collect(out); });
 }
 
 void MessageBus::collect(obs::SnapshotBuilder& out) const {
@@ -116,6 +125,10 @@ void MessageBus::collect(obs::SnapshotBuilder& out) const {
   out.counter("garnet.bus.faults", counters.partitioned, {{"kind", "partition"}});
   out.counter("garnet.bus.faults", counters.crashed, {{"kind", "crash"}});
   out.counter("garnet.bus.faults", counters.restarted, {{"kind", "restart"}});
+  out.counter("garnet.bus.faults", counters.relay_crashed, {{"kind", "relay-crash"}});
+  out.counter("garnet.bus.faults", counters.relay_restarted, {{"kind", "relay-restart"}});
+  out.counter("garnet.bus.faults", counters.beacon_lost, {{"kind", "beacon-loss"}});
+  out.counter("garnet.bus.faults", counters.beacon_restored, {{"kind", "beacon-restore"}});
 
   // Shed accounting: the full (class, policy) grid is emitted even when
   // zero so the CI control-shed gate can grep a stable schema, and so the

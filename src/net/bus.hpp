@@ -150,6 +150,10 @@ class MessageBus {
   };
 
   MessageBus(sim::Scheduler& scheduler, Config config);
+  ~MessageBus();
+
+  MessageBus(const MessageBus&) = delete;
+  MessageBus& operator=(const MessageBus&) = delete;
 
   using Handler = std::function<void(Envelope)>;
 
@@ -273,6 +277,8 @@ class MessageBus {
   std::unique_ptr<FaultInjector> injector_;
   obs::Histogram* transit_histogram_ = nullptr;
   obs::Histogram* size_histogram_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::MetricsRegistry::CollectorId collector_id_ = 0;
 };
 
 }  // namespace garnet::net

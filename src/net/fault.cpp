@@ -17,9 +17,23 @@ std::string_view to_string(FaultKind kind) {
     case FaultKind::kPartition: return "partition";
     case FaultKind::kCrash: return "crash";
     case FaultKind::kRestart: return "restart";
+    case FaultKind::kRelayCrash: return "relay-crash";
+    case FaultKind::kRelayRestart: return "relay-restart";
+    case FaultKind::kBeaconLoss: return "beacon-loss";
+    case FaultKind::kBeaconRestore: return "beacon-restore";
   }
   return "unknown";
 }
+
+namespace {
+
+std::string relay_name(std::uint32_t node) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "sensor-%u", node);
+  return buf;
+}
+
+}  // namespace
 
 FaultInjector::FaultInjector(sim::Scheduler& scheduler, FaultPlan plan)
     : scheduler_(scheduler), plan_(std::move(plan)), rng_(plan_.seed) {
@@ -60,6 +74,55 @@ FaultInjector::FaultInjector(sim::Scheduler& scheduler, FaultPlan plan)
                              [this, index] { fire_restart(index); });
     }
   }
+
+  // Wireless churn events follow the same discipline: pure time triggers,
+  // zero RNG draws, journalled like every other fault.
+  for (std::size_t index = 0; index < plan_.relay_faults.size(); ++index) {
+    const FaultPlan::RelayFaultSpec& spec = plan_.relay_faults[index];
+    scheduler_.schedule_at(spec.at, [this, index] { fire_relay(index, /*restart=*/false); });
+    if (spec.restart_after.has_value()) {
+      scheduler_.schedule_at(spec.at + *spec.restart_after,
+                             [this, index] { fire_relay(index, /*restart=*/true); });
+    }
+  }
+  for (std::size_t index = 0; index < plan_.beacon_faults.size(); ++index) {
+    const FaultPlan::BeaconFaultSpec& spec = plan_.beacon_faults[index];
+    scheduler_.schedule_at(spec.at, [this, index] { fire_beacon(index, /*deaf=*/true); });
+    if (spec.restore_after.has_value()) {
+      scheduler_.schedule_at(spec.at + *spec.restore_after,
+                             [this, index] { fire_beacon(index, /*deaf=*/false); });
+    }
+  }
+}
+
+void FaultInjector::fire_relay(std::size_t index, bool restart) {
+  const FaultPlan::RelayFaultSpec& spec = plan_.relay_faults[index];
+  const std::string name = relay_name(spec.node);
+  if (restart) {
+    ++counters_.relay_restarted;
+    record(FaultKind::kRelayRestart, name, name);
+  } else {
+    ++counters_.relay_crashed;
+    record(FaultKind::kRelayCrash, name, name);
+  }
+  util::log_info("fault", "relay '%s' %s at t=%.3fs", name.c_str(),
+                 restart ? "restarted" : "crashed", scheduler_.now().to_seconds());
+  if (relay_fault_handler_) relay_fault_handler_(spec.node, restart);
+}
+
+void FaultInjector::fire_beacon(std::size_t index, bool deaf) {
+  const FaultPlan::BeaconFaultSpec& spec = plan_.beacon_faults[index];
+  const std::string name = relay_name(spec.node);
+  if (deaf) {
+    ++counters_.beacon_lost;
+    record(FaultKind::kBeaconLoss, name, name);
+  } else {
+    ++counters_.beacon_restored;
+    record(FaultKind::kBeaconRestore, name, name);
+  }
+  util::log_info("fault", "relay '%s' beacon reception %s at t=%.3fs", name.c_str(),
+                 deaf ? "lost" : "restored", scheduler_.now().to_seconds());
+  if (beacon_fault_handler_) beacon_fault_handler_(spec.node, deaf);
 }
 
 void FaultInjector::fire_crash(std::size_t index) {

@@ -37,6 +37,10 @@ enum class FaultKind : std::uint8_t {
   kPartition,  ///< Dropped because an open partition separates the link.
   kCrash,      ///< A service process killed at a scheduled sim time.
   kRestart,    ///< A crashed service process revived after its delay.
+  kRelayCrash,    ///< A relay sensor node killed at a scheduled sim time.
+  kRelayRestart,  ///< A crashed relay revived (rejoins the tree cold).
+  kBeaconLoss,    ///< A relay stops hearing tree beacons (radio fault).
+  kBeaconRestore, ///< Beacon reception restored.
 };
 
 [[nodiscard]] std::string_view to_string(FaultKind kind);
@@ -92,12 +96,36 @@ struct FaultPlan {
   };
   std::vector<CrashSpec> crashes;
 
+  /// A scheduled wireless relay crash: sensor `node` dies at `at` and,
+  /// when `restart_after` is set, rejoins that much later — with cold
+  /// routing state, so the tree must re-absorb it. Pure time triggers,
+  /// exactly like CrashSpec: zero RNG draws, so adding relay churn never
+  /// perturbs the link-fault decision stream of the same plan.
+  struct RelayFaultSpec {
+    std::uint32_t node = 0;
+    util::SimTime at{};
+    std::optional<util::Duration> restart_after;
+  };
+  std::vector<RelayFaultSpec> relay_faults;
+
+  /// A scheduled beacon-reception fault: sensor `node` goes deaf to tree
+  /// beacons at `at` (its parent will be declared lost after the missed-
+  /// beacon timeout) and recovers `restore_after` later, when set. Also a
+  /// pure time trigger — zero RNG draws.
+  struct BeaconFaultSpec {
+    std::uint32_t node = 0;
+    util::SimTime at{};
+    std::optional<util::Duration> restore_after;
+  };
+  std::vector<BeaconFaultSpec> beacon_faults;
+
   /// When > 0, the injector records the first N faults in a journal whose
   /// text rendering is byte-comparable across runs (determinism tests).
   std::size_t journal_limit = 0;
 
   [[nodiscard]] bool enabled() const noexcept {
-    return global.any() || !links.empty() || !partitions.empty() || !crashes.empty();
+    return global.any() || !links.empty() || !partitions.empty() || !crashes.empty() ||
+           !relay_faults.empty() || !beacon_faults.empty();
   }
 };
 
@@ -117,9 +145,14 @@ struct FaultCounters {
   std::uint64_t partitioned = 0;
   std::uint64_t crashed = 0;
   std::uint64_t restarted = 0;
+  std::uint64_t relay_crashed = 0;
+  std::uint64_t relay_restarted = 0;
+  std::uint64_t beacon_lost = 0;
+  std::uint64_t beacon_restored = 0;
 
   [[nodiscard]] std::uint64_t total() const noexcept {
-    return dropped + duplicated + delayed + reordered + partitioned + crashed + restarted;
+    return dropped + duplicated + delayed + reordered + partitioned + crashed + restarted +
+           relay_crashed + relay_restarted + beacon_lost + beacon_restored;
   }
 };
 
@@ -147,6 +180,21 @@ class FaultInjector {
   using CrashHandler = std::function<void(const std::string& service, bool restart)>;
   void set_crash_handler(CrashHandler handler) { crash_handler_ = std::move(handler); }
 
+  /// Executes RelayFaultSpec events: restart=false at crash time,
+  /// restart=true at revival. The handler typically stops/starts the
+  /// matching wireless::SensorNode.
+  using RelayFaultHandler = std::function<void(std::uint32_t node, bool restart)>;
+  void set_relay_fault_handler(RelayFaultHandler handler) {
+    relay_fault_handler_ = std::move(handler);
+  }
+
+  /// Executes BeaconFaultSpec events: deaf=true at fault time, deaf=false
+  /// at restore. The handler typically flips TreeRouter::set_beacon_deaf.
+  using BeaconFaultHandler = std::function<void(std::uint32_t node, bool deaf)>;
+  void set_beacon_fault_handler(BeaconFaultHandler handler) {
+    beacon_fault_handler_ = std::move(handler);
+  }
+
   /// Manual partition control (sim-time control comes from the plan).
   void open_partition(std::string_view name);
   void heal_partition(std::string_view name);
@@ -170,6 +218,8 @@ class FaultInjector {
   void record(FaultKind kind, const std::string& from, const std::string& to);
   void fire_crash(std::size_t index);
   void fire_restart(std::size_t index);
+  void fire_relay(std::size_t index, bool restart);
+  void fire_beacon(std::size_t index, bool deaf);
 
   sim::Scheduler& scheduler_;
   FaultPlan plan_;
@@ -179,6 +229,8 @@ class FaultInjector {
   FaultCounters counters_;
   std::vector<FaultRecord> journal_;
   CrashHandler crash_handler_;
+  RelayFaultHandler relay_fault_handler_;
+  BeaconFaultHandler beacon_fault_handler_;
 };
 
 }  // namespace garnet::net

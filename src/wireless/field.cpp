@@ -1,12 +1,15 @@
 #include "wireless/field.hpp"
 
+#include <algorithm>
+
 namespace garnet::wireless {
 
 SensorField::SensorField(sim::Scheduler& scheduler, Config config)
     : scheduler_(scheduler),
       config_(config),
       rng_(config.seed),
-      medium_(scheduler, config.radio, util::Rng(config.seed ^ 0x5ADD1E5Cull)) {}
+      medium_(scheduler, config.radio, util::Rng(config.seed ^ 0x5ADD1E5Cull)),
+      tree_journal_(config.tree_journal_limit) {}
 
 void SensorField::add_receiver_grid(std::size_t count, double range_m) {
   for (const sim::Vec2 pos : sim::grid_layout(config_.area, count)) {
@@ -25,6 +28,7 @@ SensorNode& SensorField::add_sensor(SensorNode::Config config,
   sensors_.push_back(std::make_unique<SensorNode>(scheduler_, medium_, std::move(config),
                                                   std::move(mobility), rng_.fork()));
   sensors_.back()->set_tracer(tracer_);
+  sensors_.back()->set_tree_journal(&tree_journal_);
   return *sensors_.back();
 }
 
@@ -38,6 +42,7 @@ void SensorField::add_population(const PopulationSpec& spec) {
     SensorNode::Config config;
     config.id = spec.first_id + static_cast<core::SensorId>(i);
     config.capabilities = spec.capabilities;
+    config.tree = config_.tree;
     StreamSpec stream;
     stream.id = 0;
     stream.interval_ms = spec.interval_ms;
@@ -59,10 +64,69 @@ void SensorField::add_population(const PopulationSpec& spec) {
 
 void SensorField::start_all() {
   for (const auto& sensor : sensors_) sensor->start();
+  if (config_.tree_beacons) start_roots();
 }
 
 void SensorField::stop_all() {
   for (const auto& sensor : sensors_) sensor->stop();
+  stop_roots();
+}
+
+void SensorField::start_roots() {
+  if (beaconing_) return;
+  beaconing_ = true;
+  beacon_roots();  // beacon immediately so the forest forms within hops
+}
+
+void SensorField::stop_roots() {
+  if (!beaconing_) return;
+  beaconing_ = false;
+  scheduler_.cancel(beacon_tick_);
+  beacon_tick_ = sim::EventId{};
+}
+
+void SensorField::beacon_roots() {
+  if (!beaconing_) return;
+  // Roots are mains-powered fixed receivers: beaconing costs them nothing,
+  // and each beacon rides the same lossy uplink medium as data frames.
+  for (const Receiver& rx : medium_.receivers()) {
+    const std::uint32_t key = tree::root_key(rx.id);
+    medium_.uplink(rx.position, tree::encode_beacon(tree::Beacon{key, 0, key}), key);
+  }
+  beacon_tick_ =
+      scheduler_.schedule_after(config_.tree.beacon_interval, [this] { beacon_roots(); });
+}
+
+tree::TreeStats SensorField::tree_stats() const {
+  tree::TreeStats total;
+  for (const auto& sensor : sensors_) {
+    const tree::TreeRouter* router = sensor->router();
+    if (router == nullptr) continue;
+    const tree::TreeStats& s = router->stats();
+    total.beacons_sent += s.beacons_sent;
+    total.beacons_heard += s.beacons_heard;
+    total.attaches += s.attaches;
+    total.reparents += s.reparents;
+    total.orphan_events += s.orphan_events;
+    total.forwarded += s.forwarded;
+    total.proxied += s.proxied;
+    total.dup_dropped += s.dup_dropped;
+    total.ttl_dropped += s.ttl_dropped;
+    total.loop_dropped += s.loop_dropped;
+    total.corrupt_dropped += s.corrupt_dropped;
+    total.buffered += s.buffered;
+    total.spilled += s.spilled;
+  }
+  return total;
+}
+
+std::uint16_t SensorField::max_tree_depth() const {
+  std::uint16_t depth = 0;
+  for (const auto& sensor : sensors_) {
+    const tree::TreeRouter* router = sensor->router();
+    if (router != nullptr && router->attached()) depth = std::max(depth, router->depth());
+  }
+  return depth;
 }
 
 SensorNode* SensorField::find_sensor(core::SensorId id) {

@@ -8,6 +8,7 @@
 
 #include "wireless/radio.hpp"
 #include "wireless/sensor.hpp"
+#include "wireless/tree.hpp"
 
 namespace garnet::wireless {
 
@@ -17,6 +18,13 @@ class SensorField {
     sim::Rect area{{0, 0}, {1000, 1000}};
     RadioMedium::Config radio;
     std::uint64_t seed = 1;
+    /// When set, every receiver beacons hop-0 tree frames on the radio so
+    /// relay-capable sensors self-organize into a multi-hop forest.
+    bool tree_beacons = false;
+    /// Routing knobs applied to every sensor added via add_population.
+    tree::TreeConfig tree;
+    /// Repair-journal capacity (0 = journalling disabled).
+    std::size_t tree_journal_limit = 0;
   };
 
   SensorField(sim::Scheduler& scheduler, Config config);
@@ -45,9 +53,20 @@ class SensorField {
   };
   void add_population(const PopulationSpec& spec);
 
-  /// Starts sampling on every sensor.
+  /// Starts sampling on every sensor (and root beaconing, when enabled).
   void start_all();
   void stop_all();
+
+  /// Root beaconing on its own — start_all() calls this when
+  /// Config::tree_beacons is set; tests may drive it directly.
+  void start_roots();
+  void stop_roots();
+
+  /// Tree routing statistics summed over every relay-capable sensor.
+  [[nodiscard]] tree::TreeStats tree_stats() const;
+  /// Deepest attachment in the forest right now (0 = nothing attached).
+  [[nodiscard]] std::uint16_t max_tree_depth() const;
+  [[nodiscard]] tree::TreeJournal& tree_journal() noexcept { return tree_journal_; }
 
   /// Installs the tracer on every current and future sensor, so data
   /// traces open at the moment of radio transmission.
@@ -63,6 +82,8 @@ class SensorField {
   [[nodiscard]] SensorNode* find_sensor(core::SensorId id);
 
  private:
+  void beacon_roots();
+
   sim::Scheduler& scheduler_;
   Config config_;
   util::Rng rng_;
@@ -71,6 +92,9 @@ class SensorField {
   obs::Tracer* tracer_ = nullptr;
   ReceiverId next_receiver_id_ = 1;
   TransmitterId next_transmitter_id_ = 1;
+  tree::TreeJournal tree_journal_;
+  bool beaconing_ = false;
+  sim::EventId beacon_tick_;
 };
 
 }  // namespace garnet::wireless

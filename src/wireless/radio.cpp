@@ -9,6 +9,12 @@ namespace garnet::wireless {
 RadioMedium::RadioMedium(sim::Scheduler& scheduler, Config config, util::Rng rng)
     : scheduler_(scheduler), config_(config), rng_(rng) {}
 
+RadioMedium::~RadioMedium() {
+  // The collector captures `this`; standalone tests may tear the medium
+  // down before the registry, so deregister eagerly.
+  if (metrics_ != nullptr) metrics_->remove_collector(collector_id_);
+}
+
 void RadioMedium::add_receiver(Receiver receiver) { receivers_.push_back(receiver); }
 
 void RadioMedium::set_uplink_sink(std::function<void(const ReceptionReport&)> sink) {
@@ -59,6 +65,19 @@ void RadioMedium::set_metrics(obs::MetricsRegistry& registry) {
   hop_delay_histogram_ = &registry.histogram("garnet.radio.hop_delay_ns");
   frame_size_histogram_ =
       &registry.histogram("garnet.radio.frame_bytes", obs::Histogram::Layout::bytes());
+  if (metrics_ != nullptr) metrics_->remove_collector(collector_id_);
+  metrics_ = &registry;
+  collector_id_ = registry.add_collector([this](obs::SnapshotBuilder& out) {
+    out.counter("garnet.radio.uplink_frames", stats_.uplink_frames);
+    out.counter("garnet.radio.uplink_deliveries", stats_.uplink_deliveries);
+    out.counter("garnet.radio.uplink_duplicates", stats_.uplink_duplicates);
+    out.counter("garnet.radio.uplink_unheard", stats_.uplink_unheard);
+    out.counter("garnet.radio.uplink_bytes_sent", stats_.uplink_bytes_sent);
+    out.counter("garnet.radio.downlink_broadcasts", stats_.downlink_broadcasts);
+    out.counter("garnet.radio.downlink_deliveries", stats_.downlink_deliveries);
+    out.counter("garnet.radio.downlink_bytes_sent", stats_.downlink_bytes_sent);
+    out.counter("garnet.radio.overheard", stats_.overheard);
+  });
 }
 
 void RadioMedium::uplink(sim::Vec2 from, util::Bytes frame, std::uint32_t sender_key) {
@@ -77,11 +96,12 @@ void RadioMedium::uplink(sim::Vec2 from, util::Bytes frame, std::uint32_t sender
     if (!copy_survives(dist, peer.range_m)) continue;
     ++stats_.overheard;
     const std::uint32_t key = peer.key;
-    scheduler_.schedule_after(delivery_delay(), [this, key, frame]() {
+    const double rssi = rssi_for(dist);
+    scheduler_.schedule_after(delivery_delay(), [this, key, frame, rssi]() {
       const auto target =
           std::find_if(overhearers_.begin(), overhearers_.end(),
                        [key](const OverhearEndpoint& e) { return e.key == key; });
-      if (target != overhearers_.end()) target->deliver(frame);
+      if (target != overhearers_.end()) target->deliver(frame, rssi);
     });
   }
 

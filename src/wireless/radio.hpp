@@ -106,12 +106,14 @@ class RadioMedium {
 
   /// Registers a node that overhears *uplink* transmissions of nearby
   /// sensors (the substrate for multi-hop relaying, paper §8). The
-  /// overhearing node never receives its own transmissions.
+  /// overhearing node never receives its own transmissions. `deliver`
+  /// gets the frame plus the RSSI at which it was heard — tree routing
+  /// ranks candidate parents by smoothed RSSI.
   struct OverhearEndpoint {
     std::uint32_t key;
     double range_m = 100.0;
     std::function<sim::Vec2()> position;
-    std::function<void(util::BytesView)> deliver;
+    std::function<void(util::BytesView, double rssi_dbm)> deliver;
   };
   void add_overhear_endpoint(OverhearEndpoint endpoint);
   void remove_overhear_endpoint(std::uint32_t key);
@@ -129,14 +131,19 @@ class RadioMedium {
 
   // --- introspection ------------------------------------------------------
 
-  /// Registers native telemetry instruments (uplink hop delay and frame
-  /// size distributions) in `registry`.
+  /// Registers native telemetry in `registry`: uplink hop delay and frame
+  /// size distributions, plus a pull collector exporting every RadioStats
+  /// counter as `garnet.radio.*`. There is no stats() accessor — consumers
+  /// read the medium through a metrics snapshot like every other service.
   void set_metrics(obs::MetricsRegistry& registry);
 
   [[nodiscard]] const std::vector<Receiver>& receivers() const noexcept { return receivers_; }
   [[nodiscard]] const std::vector<Transmitter>& transmitters() const noexcept { return transmitters_; }
-  [[nodiscard]] const RadioStats& stats() const noexcept { return stats_; }
   [[nodiscard]] const Config& config() const noexcept { return config_; }
+
+  ~RadioMedium();
+  RadioMedium(const RadioMedium&) = delete;
+  RadioMedium& operator=(const RadioMedium&) = delete;
 
  private:
   [[nodiscard]] bool copy_survives(double dist, double range);
@@ -154,6 +161,8 @@ class RadioMedium {
   RadioStats stats_;
   obs::Histogram* hop_delay_histogram_ = nullptr;
   obs::Histogram* frame_size_histogram_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::MetricsRegistry::CollectorId collector_id_ = 0;
 };
 
 }  // namespace garnet::wireless

@@ -21,6 +21,18 @@ SensorNode::SensorNode(sim::Scheduler& scheduler, RadioMedium& medium, Config co
   assert(mobility_);
   sequences_.assign(config_.streams.size(), 0);
   timers_.assign(config_.streams.size(), sim::EventId{});
+
+  if (config_.capabilities.relay_capable) {
+    assert(config_.id != 0 && "relay-capable sensors need a nonzero id");
+    router_ = std::make_unique<tree::TreeRouter>(scheduler_, config_.tree, config_.id);
+    // Every frame the router emits rides this node's radio and drains
+    // this node's battery — forwarding for others is not free.
+    router_->set_transmit([this](util::Bytes frame) {
+      spend(static_cast<double>(frame.size()) * config_.tx_cost_joules_per_byte);
+      if (!alive_) return;  // battery died paying for this frame
+      medium_.uplink(position(), std::move(frame), config_.id);
+    });
+  }
 }
 
 SensorNode::~SensorNode() { stop(); }
@@ -38,15 +50,17 @@ void SensorNode::start() {
     });
   }
 
-  if (config_.capabilities.relay_capable && !registered_overhear_) {
-    assert(config_.id != 0 && "relay-capable sensors need a nonzero id");
+  if (router_ && !registered_overhear_) {
     registered_overhear_ = true;
     medium_.add_overhear_endpoint(RadioMedium::OverhearEndpoint{
         config_.id,
         config_.relay_overhear_range_m,
         [this] { return position(); },
-        [this](util::BytesView frame) { on_overheard_frame(frame); },
+        [this](util::BytesView frame, double rssi_dbm) {
+          if (alive_) router_->on_frame(frame, rssi_dbm);
+        },
     });
+    router_->start();
   }
 
   for (std::size_t i = 0; i < config_.streams.size(); ++i) {
@@ -69,6 +83,7 @@ void SensorNode::stop() {
     medium_.remove_overhear_endpoint(config_.id);
     registered_overhear_ = false;
   }
+  if (router_) router_->stop();  // crash semantics: routing state is volatile
 }
 
 const StreamSpec* SensorNode::stream(core::InternalStreamId id) const {
@@ -114,43 +129,24 @@ void SensorNode::emit_sample(std::size_t stream_index) {
   }
 
   util::Bytes frame = core::encode(msg);
-  spend(static_cast<double>(frame.size()) * config_.tx_cost_joules_per_byte);
-  if (!alive_) return;  // battery died paying for this frame
-  ++messages_sent_;
   if (tracer_ != nullptr) {
     tracer_->begin_span({msg.stream_id.packed(), msg.sequence}, "radio", scheduler_.now().ns);
   }
-  medium_.uplink(position(), std::move(frame), config_.id);
+  if (router_) {
+    // The router decides the first hop (plain to a root, wrapped to a
+    // relay parent, or buffered while orphaned); its transmit hook pays
+    // the energy cost at actual transmission time.
+    ++messages_sent_;
+    router_->send_own(std::move(frame));
+    if (!alive_) return;  // battery died paying for this frame
+  } else {
+    spend(static_cast<double>(frame.size()) * config_.tx_cost_joules_per_byte);
+    if (!alive_) return;  // battery died paying for this frame
+    ++messages_sent_;
+    medium_.uplink(position(), std::move(frame), config_.id);
+  }
 
   schedule_sample(stream_index);
-}
-
-void SensorNode::on_overheard_frame(util::BytesView frame) {
-  if (!alive_) return;
-  const auto decoded = core::decode(frame);
-  if (!decoded.ok()) return;  // corrupt on the air; nothing to forward
-  const core::DataMessage& msg = decoded.value();
-
-  if (msg.stream_id.sensor == config_.id) return;  // own traffic, echoed
-  // One extra hop only: an already-relayed frame is never re-forwarded
-  // (the paper's "initial support" limits multi-hop to header tagging).
-  if (msg.header.has(core::HeaderFlag::kRelayed)) return;
-
-  // Damp the duplicate explosion: forward each (stream, seq) once.
-  const std::uint64_t fingerprint =
-      (static_cast<std::uint64_t>(msg.stream_id.packed()) << 16) | msg.sequence;
-  for (std::size_t i = 0; i < recent_relays_.size(); ++i) {
-    if (recent_relays_.at(i) == fingerprint) return;
-  }
-  recent_relays_.push(fingerprint);
-
-  core::DataMessage relayed = msg;
-  relayed.header.set(core::HeaderFlag::kRelayed);
-  util::Bytes out = core::encode(relayed);
-  spend(static_cast<double>(out.size()) * config_.tx_cost_joules_per_byte);
-  if (!alive_) return;
-  ++frames_relayed_;
-  medium_.uplink(position(), std::move(out), config_.id);
 }
 
 void SensorNode::on_downlink_frame(util::BytesView frame) {

@@ -29,6 +29,7 @@
 #include "sim/scheduler.hpp"
 #include "util/ring_buffer.hpp"
 #include "wireless/radio.hpp"
+#include "wireless/tree.hpp"
 
 namespace garnet::wireless {
 
@@ -47,11 +48,12 @@ using PositionalPayloadGenerator =
 struct SensorCapabilities {
   bool receive_capable = false;  ///< Listens for stream-update requests.
   bool location_aware = false;   ///< Knows its own position (app-level use).
-  /// Overhears neighbours' uplink frames and re-transmits ones that may
-  /// not have reached the fixed network — the paper's §8 multi-hop
-  /// extension. Relayed frames carry the kRelayed header flag; a relay
-  /// never forwards an already-relayed frame (one extra hop, matching
-  /// the paper's "initial support" via header tagging).
+  /// Runs a tree::TreeRouter over the overhearing substrate — the
+  /// paper's §8 multi-hop extension. When receivers beacon, relays
+  /// self-organize into a spanning forest and forward frames parent-ward
+  /// with TTL + duplicate suppression; without beacons they fall back to
+  /// the historical behaviour (rebroadcast an overheard frame once,
+  /// tagged kRelayed, never forwarding an already-relayed frame).
   bool relay_capable = false;
 };
 
@@ -97,6 +99,7 @@ class SensorNode {
     double tx_cost_joules_per_byte = 50e-6;
     double downlink_listen_range_m = 1e9; ///< Receiver sensitivity bound.
     double relay_overhear_range_m = 150;  ///< Peer-overhearing radius.
+    tree::TreeConfig tree;                ///< Routing knobs (relay_capable only).
   };
 
   SensorNode(sim::Scheduler& scheduler, RadioMedium& medium, Config config,
@@ -122,7 +125,20 @@ class SensorNode {
   [[nodiscard]] std::uint64_t messages_sent() const noexcept { return messages_sent_; }
   [[nodiscard]] std::uint64_t updates_applied() const noexcept { return updates_applied_; }
   [[nodiscard]] std::uint64_t updates_rejected() const noexcept { return updates_rejected_; }
-  [[nodiscard]] std::uint64_t frames_relayed() const noexcept { return frames_relayed_; }
+  /// Frames this node moved on behalf of others (tree forwards + proxied
+  /// rebroadcasts). Zero for non-relay sensors.
+  [[nodiscard]] std::uint64_t frames_relayed() const noexcept {
+    return router_ ? router_->stats().forwarded + router_->stats().proxied : 0;
+  }
+
+  /// The node's tree router, or nullptr for non-relay sensors.
+  [[nodiscard]] tree::TreeRouter* router() noexcept { return router_.get(); }
+  [[nodiscard]] const tree::TreeRouter* router() const noexcept { return router_.get(); }
+
+  /// Repair events (attach/reparent/orphan) are recorded here, if set.
+  void set_tree_journal(tree::TreeJournal* journal) {
+    if (router_) router_->set_journal(journal);
+  }
 
   /// Current spec of one internal stream, if it exists.
   [[nodiscard]] const StreamSpec* stream(core::InternalStreamId id) const;
@@ -145,7 +161,6 @@ class SensorNode {
   void schedule_sample(std::size_t stream_index);
   void emit_sample(std::size_t stream_index);
   void on_downlink_frame(util::BytesView frame);
-  void on_overheard_frame(util::BytesView frame);
   void spend(double joules);
 
   sim::Scheduler& scheduler_;
@@ -168,9 +183,7 @@ class SensorNode {
   std::uint64_t messages_sent_ = 0;
   std::uint64_t updates_applied_ = 0;
   std::uint64_t updates_rejected_ = 0;
-  std::uint64_t frames_relayed_ = 0;
-  /// Recently relayed (stream, seq) pairs, to damp relay duplication.
-  util::RingBuffer<std::uint64_t> recent_relays_{128};
+  std::unique_ptr<tree::TreeRouter> router_;  ///< Set iff relay_capable.
   std::function<void(const core::StreamUpdateRequest&, UpdateOutcome)> update_observer_;
   obs::Tracer* tracer_ = nullptr;
 };

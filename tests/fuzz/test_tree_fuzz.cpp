@@ -1,0 +1,189 @@
+// Adversarial-input robustness for the tree routing plane: beacon and
+// route frames arrive off the air, so the router and the sink decision
+// must survive garbage, bit-flipped valid frames, forged hop counts and
+// TTL abuse without crashing, looping traffic, or growing state without
+// bound. Seeded pseudo-fuzzing keeps every run deterministic.
+#include <gtest/gtest.h>
+
+#include "sim/scheduler.hpp"
+#include "util/rng.hpp"
+#include "wireless/tree.hpp"
+
+namespace garnet::wireless::tree {
+namespace {
+
+util::Bytes random_bytes(util::Rng& rng, std::size_t max_len) {
+  util::Bytes out(rng.below(max_len + 1));
+  for (auto& b : out) b = static_cast<std::byte>(rng.next());
+  return out;
+}
+
+util::Bytes sample_frame(core::SensorId sensor, core::SequenceNo seq) {
+  core::DataMessage msg;
+  msg.stream_id = {sensor, 0};
+  msg.sequence = seq;
+  msg.payload = util::to_bytes("fuzz payload");
+  return core::encode(msg);
+}
+
+class TreeFuzzSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TreeFuzzSeeds, DecodersNeverAcceptRandomBytes) {
+  util::Rng rng(GetParam());
+  int accepted = 0;
+  for (int i = 0; i < 5000; ++i) {
+    util::Bytes junk = random_bytes(rng, 96);
+    // Half the time, force the tree magic + a valid type byte so the
+    // fuzz actually reaches the body parsers instead of bailing on the
+    // first byte.
+    if (!junk.empty() && rng.chance(0.5)) {
+      junk[0] = std::byte{kTreeMagic};
+      if (junk.size() > 1) {
+        junk[1] = std::byte{rng.chance(0.5) ? kBeaconType : kDataType};
+      }
+    }
+    if (decode_beacon(junk).has_value()) ++accepted;
+    if (decode_data(junk).has_value()) ++accepted;
+    const SinkDecision decision = decide_at_sink(junk);  // must not crash
+    if (is_tree_frame(junk)) {
+      EXPECT_NE(decision.verdict, SinkDecision::Verdict::kPassThrough);
+    }
+  }
+  // CRC-32C trailers make random acceptance a ~2^-32 event.
+  EXPECT_EQ(accepted, 0);
+}
+
+TEST_P(TreeFuzzSeeds, BitFlippedValidFramesNeverMisroute) {
+  util::Rng rng(GetParam());
+  const util::Bytes beacon = encode_beacon(Beacon{root_key(1), 0, root_key(1)});
+  const util::Bytes data = encode_data(DataFrame{8, 1, 5, 9, sample_frame(9, 3)});
+
+  for (int i = 0; i < 5000; ++i) {
+    util::Bytes mutated = rng.chance(0.5) ? beacon : data;
+    const std::size_t flips = 1 + rng.below(4);
+    for (std::size_t f = 0; f < flips; ++f) {
+      mutated[rng.below(mutated.size())] ^= static_cast<std::byte>(1 + rng.below(255));
+    }
+    // Must not crash; must not decode — unless the flips round-tripped.
+    if (const auto b = decode_beacon(mutated)) {
+      EXPECT_EQ(mutated, beacon);
+    }
+    if (const auto d = decode_data(mutated)) {
+      EXPECT_EQ(mutated, data);
+    }
+    (void)decide_at_sink(mutated);
+  }
+}
+
+TEST_P(TreeFuzzSeeds, RouterSurvivesHostileFrameStream) {
+  util::Rng rng(GetParam());
+  sim::Scheduler scheduler;
+  TreeConfig config;
+  config.neighbor_capacity = 8;
+  config.dedup_capacity = 64;
+  config.orphan_capacity = 8;
+  TreeRouter router(scheduler, config, /*self_key=*/5);
+  std::uint64_t transmissions = 0;
+  router.set_transmit([&](util::Bytes) { ++transmissions; });
+  router.start();
+
+  for (int i = 0; i < 20000; ++i) {
+    switch (rng.below(6)) {
+      case 0:  // pure garbage
+        router.on_frame(random_bytes(rng, 64), -60.0);
+        break;
+      case 1: {  // forged beacon: arbitrary origin, hop, root
+        const Beacon forged{static_cast<std::uint32_t>(rng.next()),
+                            static_cast<std::uint16_t>(rng.next()),
+                            static_cast<std::uint32_t>(rng.next())};
+        router.on_frame(encode_beacon(forged), -40.0 - static_cast<double>(rng.below(60)));
+        break;
+      }
+      case 2: {  // TTL abuse: any ttl from 0 to 255, addressed to us
+        const util::Bytes inner =
+            sample_frame(static_cast<core::SensorId>(1 + rng.below(20)),
+                         static_cast<core::SequenceNo>(rng.below(64)));
+        const DataFrame frame{static_cast<std::uint8_t>(rng.next()),
+                              static_cast<std::uint8_t>(rng.next()), 5,
+                              static_cast<std::uint32_t>(rng.next()), inner};
+        router.on_frame(encode_data(frame), -60.0);
+        break;
+      }
+      case 3: {  // tree data wrapping garbage instead of a Figure-2 frame
+        const util::Bytes garbage = random_bytes(rng, 48);
+        const DataFrame frame{8, 1, 5, 9, garbage};
+        router.on_frame(encode_data(frame), -60.0);
+        break;
+      }
+      case 4:  // plain Figure-2 traffic (ingress-proxy path)
+        router.on_frame(sample_frame(static_cast<core::SensorId>(1 + rng.below(50)),
+                                     static_cast<core::SequenceNo>(rng.next())),
+                        -60.0);
+        break;
+      default:  // time passes: maintenance ticks, timeouts, backoff
+        scheduler.run_until(scheduler.now() +
+                            util::Duration::millis(1 + static_cast<std::int64_t>(rng.below(300))));
+        break;
+    }
+
+    // Bounded-state invariants hold at every step, not just at the end.
+    ASSERT_LE(router.neighbor_count(), config.neighbor_capacity);
+    ASSERT_LE(router.orphan_backlog(), config.orphan_capacity);
+    if (router.attached()) {
+      // A forged hop can never install an implausible depth.
+      ASSERT_GE(router.depth(), 1);
+      ASSERT_LE(router.depth(), config.max_ttl);
+    }
+  }
+
+  const TreeStats& stats = router.stats();
+  // The hostile stream was actually exercised, and every transmission is
+  // accounted for by a deliberate router action — no amplification loop.
+  EXPECT_GT(stats.corrupt_dropped, 0u);
+  EXPECT_GT(stats.dup_dropped + stats.ttl_dropped + stats.loop_dropped, 0u);
+  EXPECT_LE(transmissions, stats.beacons_sent + stats.forwarded + stats.proxied +
+                               stats.spilled + stats.attaches + stats.reparents);
+}
+
+TEST_P(TreeFuzzSeeds, SinkDecisionNeverLeaksTreeFramesIntoFiltering) {
+  util::Rng rng(GetParam());
+  for (int i = 0; i < 5000; ++i) {
+    util::Bytes wire;
+    if (rng.chance(0.3)) {
+      wire = encode_beacon(Beacon{static_cast<std::uint32_t>(rng.next()),
+                                  static_cast<std::uint16_t>(rng.below(16)),
+                                  static_cast<std::uint32_t>(rng.next())});
+    } else if (rng.chance(0.5)) {
+      wire = encode_data(DataFrame{static_cast<std::uint8_t>(rng.next()),
+                                   static_cast<std::uint8_t>(rng.next()),
+                                   static_cast<std::uint32_t>(rng.next()),
+                                   static_cast<std::uint32_t>(rng.next()),
+                                   sample_frame(7, static_cast<core::SequenceNo>(i))});
+    } else {
+      wire = sample_frame(9, static_cast<core::SequenceNo>(i));
+    }
+    if (rng.chance(0.4) && !wire.empty()) {
+      wire[rng.below(wire.size())] ^= static_cast<std::byte>(1 + rng.below(255));
+    }
+
+    const SinkDecision decision = decide_at_sink(wire);
+    switch (decision.verdict) {
+      case SinkDecision::Verdict::kPassThrough:
+        // Only non-tree frames pass through untouched.
+        EXPECT_FALSE(is_tree_frame(wire));
+        break;
+      case SinkDecision::Verdict::kInner:
+        // Whatever is handed to Filtering must be a valid Figure-2 frame.
+        EXPECT_TRUE(core::decode(decision.inner).ok());
+        break;
+      case SinkDecision::Verdict::kBeacon:
+      case SinkDecision::Verdict::kCorrupt:
+        break;  // dropped before the middleware — nothing to check
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TreeFuzzSeeds, ::testing::Values(0xA111u, 0xA222u, 0xA333u));
+
+}  // namespace
+}  // namespace garnet::wireless::tree

@@ -56,7 +56,7 @@ Trace run_full_scenario(std::uint64_t seed) {
   consumer.request_update({1, 0}, core::UpdateAction::kSetIntervalMs, 150, {});
   runtime.run_for(Duration::seconds(10));
 
-  trace.radio_frames = runtime.field().medium().stats().uplink_frames;
+  trace.radio_frames = runtime.telemetry().registry.snapshot().counter("garnet.radio.uplink_frames");
   trace.duplicates = runtime.filtering().stats().duplicates_dropped;
   trace.acks = runtime.actuation().stats().acked;
   trace.prearm_hits = runtime.resource().stats().prearm_hits;

@@ -57,7 +57,7 @@ TEST_F(EndToEndFixture, DataFlowsRadioToConsumer) {
   for (const core::Delivery& d : got) {
     EXPECT_TRUE(seen.insert({d.message.stream_id.packed(), d.message.sequence}).second);
   }
-  EXPECT_GT(runtime.field().medium().stats().uplink_duplicates, 0u);
+  EXPECT_GT(runtime.telemetry().registry.snapshot().counter("garnet.radio.uplink_duplicates"), 0u);
   EXPECT_GT(runtime.filtering().stats().duplicates_dropped, 0u);
 }
 

@@ -50,7 +50,8 @@ TEST_F(FailureFixture, HeavyLossNeverDuplicatesOrCrashes) {
   EXPECT_EQ(duplicates_at_consumer, 0u);
   EXPECT_GT(seen.size(), 100u);  // something still gets through
   // Loss means gaps: fewer unique messages than transmissions.
-  EXPECT_LT(seen.size(), runtime.field().medium().stats().uplink_frames);
+  EXPECT_LT(seen.size(),
+            runtime.telemetry().registry.snapshot().counter("garnet.radio.uplink_frames"));
 }
 
 TEST_F(FailureFixture, SensorDeathMidRunIsQuietlyAbsorbed) {
@@ -116,8 +117,8 @@ TEST_F(FailureFixture, RoamingOutOfCoverageLosesDataNotState) {
   sensor.start();
   runtime.run_for(Duration::seconds(120));
 
-  const auto& radio = runtime.field().medium().stats();
-  EXPECT_GT(radio.uplink_unheard, 0u);          // out-of-range losses happened
+  const auto radio = runtime.telemetry().registry.snapshot();
+  EXPECT_GT(radio.counter("garnet.radio.uplink_unheard"), 0u);  // out-of-range losses happened
   EXPECT_GT(consumer.received(), 0u);           // in-range data flowed
   EXPECT_LT(consumer.received(), sensor.messages_sent());
 }
@@ -181,7 +182,7 @@ TEST_F(FailureFixture, ZeroReceiversMeansOrderlySilence) {
   runtime.start_sensors();
   runtime.run_for(Duration::seconds(5));
 
-  EXPECT_GT(runtime.field().medium().stats().uplink_unheard, 0u);
+  EXPECT_GT(runtime.telemetry().registry.snapshot().counter("garnet.radio.uplink_unheard"), 0u);
   EXPECT_EQ(runtime.filtering().stats().copies_in, 0u);
   EXPECT_EQ(runtime.dispatch().stats().messages_in, 0u);
 }

@@ -198,6 +198,96 @@ TEST_F(FaultFixture, JournalLimitCapsRecording) {
   EXPECT_EQ(injector.counters().dropped, 50u);  // counting is never capped
 }
 
+TEST_F(FaultFixture, RelayAndBeaconFaultsEnableThePlan) {
+  FaultPlan plan;
+  plan.relay_faults.push_back({7, SimTime{} + Duration::millis(100), std::nullopt});
+  EXPECT_TRUE(plan.enabled());
+  plan = FaultPlan{};
+  plan.beacon_faults.push_back({7, SimTime{} + Duration::millis(100), std::nullopt});
+  EXPECT_TRUE(plan.enabled());
+}
+
+TEST_F(FaultFixture, RelayFaultsFireOnScheduleAndJournal) {
+  FaultPlan plan;
+  plan.journal_limit = 64;
+  plan.relay_faults.push_back(
+      {7, SimTime{} + Duration::millis(100), Duration::millis(50)});
+  FaultInjector injector(scheduler, plan);
+
+  std::vector<std::pair<std::uint32_t, bool>> events;
+  injector.set_relay_fault_handler(
+      [&](std::uint32_t node, bool restart) { events.emplace_back(node, restart); });
+
+  scheduler.run_for(Duration::millis(90));
+  EXPECT_TRUE(events.empty());  // not yet
+  scheduler.run_for(Duration::millis(30));
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0], (std::pair<std::uint32_t, bool>{7, false}));
+  scheduler.run_for(Duration::millis(50));
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[1], (std::pair<std::uint32_t, bool>{7, true}));
+
+  EXPECT_EQ(injector.counters().relay_crashed, 1u);
+  EXPECT_EQ(injector.counters().relay_restarted, 1u);
+  const std::string journal = injector.journal_text();
+  EXPECT_NE(journal.find("relay-crash"), std::string::npos);
+  EXPECT_NE(journal.find("relay-restart"), std::string::npos);
+  EXPECT_NE(journal.find("sensor-7"), std::string::npos);
+}
+
+TEST_F(FaultFixture, BeaconFaultsFireOnScheduleAndJournal) {
+  FaultPlan plan;
+  plan.journal_limit = 64;
+  plan.beacon_faults.push_back(
+      {9, SimTime{} + Duration::millis(100), Duration::millis(50)});
+  FaultInjector injector(scheduler, plan);
+
+  std::vector<std::pair<std::uint32_t, bool>> events;
+  injector.set_beacon_fault_handler(
+      [&](std::uint32_t node, bool deaf) { events.emplace_back(node, deaf); });
+
+  scheduler.run_for(Duration::millis(200));
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0], (std::pair<std::uint32_t, bool>{9, true}));
+  EXPECT_EQ(events[1], (std::pair<std::uint32_t, bool>{9, false}));
+  EXPECT_EQ(injector.counters().beacon_lost, 1u);
+  EXPECT_EQ(injector.counters().beacon_restored, 1u);
+  const std::string journal = injector.journal_text();
+  EXPECT_NE(journal.find("beacon-loss"), std::string::npos);
+  EXPECT_NE(journal.find("beacon-restore"), std::string::npos);
+}
+
+TEST_F(FaultFixture, RelayChurnConsumesNoRngDraws) {
+  // Relay and beacon faults are pure time triggers: adding them to a plan
+  // must not shift the link-fault decision stream by a single draw.
+  FaultPlan base;
+  base.seed = 0xBEE;
+  base.global.drop = 0.3;
+  base.global.duplicate = 0.2;
+
+  const auto verdict_stream = [&](const FaultPlan& plan) {
+    sim::Scheduler fresh;
+    FaultInjector injector(fresh, plan);
+    std::vector<std::uint64_t> stream;
+    for (int i = 0; i < 400; ++i) {
+      fresh.run_for(Duration::millis(1));  // let scheduled faults fire
+      const auto verdict = injector.decide("svc.a", "svc.b");
+      stream.push_back((verdict.deliver ? 1u : 0u) | (verdict.duplicate ? 2u : 0u));
+      stream.push_back(static_cast<std::uint64_t>(verdict.duplicate_delay.ns));
+    }
+    return stream;
+  };
+
+  FaultPlan churny = base;
+  churny.relay_faults.push_back(
+      {1, SimTime{} + Duration::millis(50), Duration::millis(25)});
+  churny.relay_faults.push_back({2, SimTime{} + Duration::millis(120), std::nullopt});
+  churny.beacon_faults.push_back(
+      {3, SimTime{} + Duration::millis(200), Duration::millis(40)});
+
+  EXPECT_EQ(verdict_stream(base), verdict_stream(churny));
+}
+
 TEST_F(FaultFixture, BusInstallsInjectorAndCountsFaults) {
   // End-to-end through MessageBus::post: a total drop plan starves the
   // endpoint and the faults surface in the telemetry collector.

@@ -2,10 +2,18 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/metrics.hpp"
+
 namespace garnet::wireless {
 namespace {
 
 using util::Duration;
+
+/// The medium exports its counters through the registry now; tests read
+/// them the way operators do.
+std::uint64_t radio_counter(obs::MetricsRegistry& registry, std::string_view name) {
+  return registry.snapshot().counter(name);
+}
 
 SensorField::Config small_field() {
   SensorField::Config config;
@@ -70,7 +78,9 @@ TEST_F(FieldFixture, PopulationSensorsStayInsideArea) {
 }
 
 TEST_F(FieldFixture, StartAllProducesTraffic) {
+  obs::MetricsRegistry registry;
   SensorField field(scheduler, small_field());
+  field.medium().set_metrics(registry);
   field.add_receiver_grid(4, 400);
   SensorField::PopulationSpec spec;
   spec.count = 5;
@@ -83,11 +93,13 @@ TEST_F(FieldFixture, StartAllProducesTraffic) {
   scheduler.run_until(util::SimTime{} + Duration::seconds(5));
 
   EXPECT_GT(frames, 50u);  // 5 sensors * ~25 samples, likely duplicated
-  EXPECT_GT(field.medium().stats().uplink_frames, 100u);
+  EXPECT_GT(radio_counter(registry, "garnet.radio.uplink_frames"), 100u);
 }
 
 TEST_F(FieldFixture, StopAllSilencesField) {
+  obs::MetricsRegistry registry;
   SensorField field(scheduler, small_field());
+  field.medium().set_metrics(registry);
   field.add_receiver_grid(4, 400);
   SensorField::PopulationSpec spec;
   spec.count = 3;
@@ -95,9 +107,9 @@ TEST_F(FieldFixture, StopAllSilencesField) {
   field.start_all();
   scheduler.run_until(util::SimTime{} + Duration::seconds(2));
   field.stop_all();
-  const auto frames = field.medium().stats().uplink_frames;
+  const auto frames = radio_counter(registry, "garnet.radio.uplink_frames");
   scheduler.run_until(util::SimTime{} + Duration::seconds(10));
-  EXPECT_EQ(field.medium().stats().uplink_frames, frames);
+  EXPECT_EQ(radio_counter(registry, "garnet.radio.uplink_frames"), frames);
 }
 
 TEST_F(FieldFixture, DeterministicAcrossRuns) {

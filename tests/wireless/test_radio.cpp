@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/metrics.hpp"
+
 namespace garnet::wireless {
 namespace {
 
@@ -35,7 +37,9 @@ TEST_F(RadioFixture, DeliversToReceiverInRange) {
 }
 
 TEST_F(RadioFixture, OutOfRangeFrameUnheard) {
+  obs::MetricsRegistry registry;
   RadioMedium medium(scheduler, perfect_radio(), util::Rng(1));
+  medium.set_metrics(registry);
   medium.add_receiver({1, {0, 0}, 100});
   int heard = 0;
   medium.set_uplink_sink([&](const ReceptionReport&) { ++heard; });
@@ -44,13 +48,15 @@ TEST_F(RadioFixture, OutOfRangeFrameUnheard) {
   scheduler.run();
 
   EXPECT_EQ(heard, 0);
-  EXPECT_EQ(medium.stats().uplink_unheard, 1u);
+  EXPECT_EQ(registry.snapshot().counter("garnet.radio.uplink_unheard"), 1u);
 }
 
 TEST_F(RadioFixture, OverlappingReceiversDuplicate) {
   // Paper §4.2: overlapping coverage "causes potential duplication of
   // data messages".
+  obs::MetricsRegistry registry;
   RadioMedium medium(scheduler, perfect_radio(), util::Rng(1));
+  medium.set_metrics(registry);
   medium.add_receiver({1, {-10, 0}, 100});
   medium.add_receiver({2, {10, 0}, 100});
   medium.add_receiver({3, {0, 10}, 100});
@@ -61,7 +67,7 @@ TEST_F(RadioFixture, OverlappingReceiversDuplicate) {
   scheduler.run();
 
   EXPECT_EQ(heard, 3);
-  EXPECT_EQ(medium.stats().uplink_duplicates, 2u);
+  EXPECT_EQ(registry.snapshot().counter("garnet.radio.uplink_duplicates"), 2u);
 }
 
 TEST_F(RadioFixture, LossModelDropsFrames) {
@@ -172,8 +178,10 @@ TEST_F(RadioFixture, RemovedEndpointNotDelivered) {
   scheduler.run();
 }
 
-TEST_F(RadioFixture, StatsAccumulate) {
+TEST_F(RadioFixture, StatsExportedThroughRegistry) {
+  obs::MetricsRegistry registry;
   RadioMedium medium(scheduler, perfect_radio(), util::Rng(1));
+  medium.set_metrics(registry);
   medium.add_receiver({1, {0, 0}, 100});
   medium.add_transmitter({1, {0, 0}, 100});
   medium.set_uplink_sink([](const ReceptionReport&) {});
@@ -183,11 +191,28 @@ TEST_F(RadioFixture, StatsAccumulate) {
   medium.downlink(1, util::Bytes(20));
   scheduler.run();
 
-  EXPECT_EQ(medium.stats().uplink_frames, 1u);
-  EXPECT_EQ(medium.stats().uplink_bytes_sent, 10u);
-  EXPECT_EQ(medium.stats().downlink_broadcasts, 1u);
-  EXPECT_EQ(medium.stats().downlink_bytes_sent, 20u);
-  EXPECT_EQ(medium.stats().downlink_deliveries, 1u);
+  const obs::MetricsSnapshot snapshot = registry.snapshot();
+  EXPECT_EQ(snapshot.counter("garnet.radio.uplink_frames"), 1u);
+  EXPECT_EQ(snapshot.counter("garnet.radio.uplink_bytes_sent"), 10u);
+  EXPECT_EQ(snapshot.counter("garnet.radio.downlink_broadcasts"), 1u);
+  EXPECT_EQ(snapshot.counter("garnet.radio.downlink_bytes_sent"), 20u);
+  EXPECT_EQ(snapshot.counter("garnet.radio.downlink_deliveries"), 1u);
+}
+
+TEST_F(RadioFixture, CollectorSurvivesMediumTeardown) {
+  obs::MetricsRegistry registry;
+  {
+    RadioMedium medium(scheduler, perfect_radio(), util::Rng(1));
+    medium.set_metrics(registry);
+    medium.add_receiver({1, {0, 0}, 100});
+    medium.set_uplink_sink([](const ReceptionReport&) {});
+    medium.uplink({0, 0}, util::Bytes(4));
+    scheduler.run();
+    EXPECT_EQ(registry.snapshot().counter("garnet.radio.uplink_frames"), 1u);
+  }
+  // The medium deregistered its collector on destruction: snapshotting
+  // must not touch freed state, and the counter is simply gone.
+  EXPECT_EQ(registry.snapshot().counter("garnet.radio.uplink_frames"), 0u);
 }
 
 TEST_F(RadioFixture, JitterVariesDeliveryTimes) {
